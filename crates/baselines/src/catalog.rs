@@ -1,0 +1,143 @@
+//! Ready-made collections of every design/configuration evaluated in the
+//! paper, so experiments iterate the same rows as Table I.
+
+use realm_core::{Multiplier, Realm, RealmConfig};
+
+use crate::alm::{Alm, AlmAdder};
+use crate::am::{Am, AmRecovery};
+use crate::calm::Calm;
+use crate::drum::Drum;
+use crate::implm::ImpLm;
+use crate::intalp::IntAlp;
+use crate::mbm::Mbm;
+use crate::ssm::{Essm8, Ssm};
+
+/// Every REALM configuration of Table I: `M ∈ {16, 8, 4}` × `t ∈ 0..=9`
+/// at `N = 16`, `q = 6`, in the table's row order.
+///
+/// # Panics
+///
+/// Panics only if the paper's own design points were invalid — i.e. never.
+pub fn realm_configurations() -> Vec<Realm> {
+    let mut designs = Vec::with_capacity(30);
+    for m in [16u32, 8, 4] {
+        for t in 0..=9u32 {
+            designs.push(Realm::new(RealmConfig::n16(m, t)).expect("paper design point"));
+        }
+    }
+    designs
+}
+
+/// Every non-REALM design of Table I, in the table's row order.
+///
+/// # Panics
+///
+/// Panics only if the paper's own design points were invalid — i.e. never.
+pub fn baseline_configurations() -> Vec<Box<dyn Multiplier>> {
+    let mut designs: Vec<Box<dyn Multiplier>> = Vec::new();
+    designs.push(Box::new(Calm::new(16)));
+    designs.push(Box::new(ImpLm::new(16)));
+    for t in [0u32, 2, 4, 6, 8, 9] {
+        designs.push(Box::new(Mbm::new(16, t).expect("paper design point")));
+    }
+    for m in [3u32, 6, 9, 11, 12] {
+        designs.push(Box::new(Alm::new(16, AlmAdder::Maa, m)));
+    }
+    for m in [3u32, 6, 9, 11, 12] {
+        designs.push(Box::new(Alm::new(16, AlmAdder::Soa, m)));
+    }
+    for level in [2u32, 1] {
+        designs.push(Box::new(
+            IntAlp::new(16, level).expect("paper design point"),
+        ));
+    }
+    for nb in [13u32, 9, 5] {
+        designs.push(Box::new(
+            Am::new(16, AmRecovery::Or, nb).expect("paper design point"),
+        ));
+    }
+    for nb in [13u32, 9, 5] {
+        designs.push(Box::new(
+            Am::new(16, AmRecovery::Sum, nb).expect("paper design point"),
+        ));
+    }
+    for k in [8u32, 7, 6, 5, 4] {
+        designs.push(Box::new(Drum::new(16, k).expect("paper design point")));
+    }
+    for m in [10u32, 9, 8] {
+        designs.push(Box::new(Ssm::new(16, m).expect("paper design point")));
+    }
+    designs.push(Box::new(Essm8::new()));
+    designs
+}
+
+/// All Table I designs: REALM rows first, then the baselines.
+pub fn table1_designs() -> Vec<Box<dyn Multiplier>> {
+    let mut designs: Vec<Box<dyn Multiplier>> = realm_configurations()
+        .into_iter()
+        .map(|r| Box::new(r) as Box<dyn Multiplier>)
+        .collect();
+    designs.extend(baseline_configurations());
+    designs
+}
+
+/// The designs of the JPEG study (Table II), excluding the accurate
+/// reference: REALM{16,8,4} at `t = 8`, MBM `t = 0`, cALM, ImpLM (EA),
+/// IntALP `L = 1` and ALM-SOA `m = 11`.
+///
+/// # Panics
+///
+/// Panics only if the paper's own design points were invalid — i.e. never.
+pub fn table2_designs() -> Vec<Box<dyn Multiplier>> {
+    vec![
+        Box::new(Realm::new(RealmConfig::n16(16, 8)).expect("paper design point")),
+        Box::new(Realm::new(RealmConfig::n16(8, 8)).expect("paper design point")),
+        Box::new(Realm::new(RealmConfig::n16(4, 8)).expect("paper design point")),
+        Box::new(Mbm::new(16, 0).expect("paper design point")),
+        Box::new(Calm::new(16)),
+        Box::new(ImpLm::new(16)),
+        Box::new(IntAlp::new(16, 1).expect("paper design point")),
+        Box::new(Alm::new(16, AlmAdder::Soa, 11)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realm_core::multiplier::MultiplierExt;
+
+    #[test]
+    fn realm_rows_match_table1_count() {
+        assert_eq!(realm_configurations().len(), 30);
+    }
+
+    #[test]
+    fn baseline_rows_match_table1_count() {
+        // 1 cALM + 1 ImpLM + 6 MBM + 5 MAA + 5 SOA + 2 IntALP + 3 AM1 +
+        // 3 AM2 + 5 DRUM + 3 SSM + 1 ESSM8 = 35.
+        assert_eq!(baseline_configurations().len(), 35);
+    }
+
+    #[test]
+    fn all_designs_are_16_bit_and_zero_preserving() {
+        for d in table1_designs() {
+            assert_eq!(d.width(), 16, "{}", d.label());
+            assert_eq!(d.multiply(0, 1234), 0, "{}", d.label());
+            assert_eq!(d.multiply(1234, 0), 0, "{}", d.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<String> = table1_designs().iter().map(|d| d.label()).collect();
+        let before = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), before, "duplicate design labels");
+    }
+
+    #[test]
+    fn table2_has_eight_approximate_designs() {
+        assert_eq!(table2_designs().len(), 8);
+    }
+}

@@ -1,0 +1,65 @@
+//! # realm-baselines
+//!
+//! Bit-accurate behavioural implementations of every state-of-the-art
+//! approximate multiplier the REALM paper (DATE 2020) compares against in
+//! Table I and Table II:
+//!
+//! | Design | Module | Reference | Knob |
+//! |---|---|---|---|
+//! | cALM | [`calm`] | Mitchell, IRE Trans. EC 1962 | — |
+//! | ALM-MAA / ALM-SOA | [`alm`] | Liu et al., TCAS-I 2018 | `m` (approx. adder LSBs) |
+//! | ImpLM | [`implm`] | Ansari et al., DATE 2019 | exact adder ("EA") |
+//! | MBM | [`mbm`] | Saadat et al., TCAD 2018 | `t` (fraction truncation) |
+//! | DRUM | [`drum`] | Hashemi et al., ICCAD 2015 | `k` (dynamic segment bits) |
+//! | SSM / ESSM | [`ssm`] | Narayanamoorthy et al., TVLSI 2015 | `m` (static segment bits) |
+//! | AM1 / AM2 | [`am`] | Jiang et al., TCAS-I 2019 | `nb` (error-recovery MSBs) |
+//! | IntALP | [`intalp`] | integer ApproxLP (Imani et al., DAC 2019) | `L` (levels) |
+//!
+//! All designs implement [`realm_core::Multiplier`], so they plug directly
+//! into the `realm-metrics` characterization harness, the `realm-synth`
+//! area/power models and the `realm-jpeg` application study.
+//!
+//! Where a cited paper under-specifies its hardware (AM1/AM2 internals,
+//! ApproxLP's selection logic), the module documentation states exactly
+//! what was reconstructed and which published error signatures the
+//! reconstruction reproduces — the same caveat the REALM authors attach to
+//! their own "IntALP\* (inspired by \[11\])".
+//!
+//! ```
+//! use realm_core::Multiplier;
+//! use realm_baselines::{Calm, Drum};
+//!
+//! # fn main() -> Result<(), realm_core::ConfigError> {
+//! let calm = Calm::new(16);
+//! let drum = Drum::new(16, 6)?;
+//! // Mitchell always underestimates; DRUM is unbiased.
+//! assert!(calm.multiply(1000, 1000) <= 1_000_000);
+//! let _ = drum.multiply(1000, 1000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adders;
+pub mod alm;
+pub mod am;
+pub mod calm;
+pub mod catalog;
+pub mod drum;
+pub mod implm;
+pub mod intalp;
+pub mod kulkarni;
+pub mod mbm;
+pub mod ssm;
+
+pub use alm::{Alm, AlmAdder};
+pub use am::{Am, AmRecovery};
+pub use calm::Calm;
+pub use drum::Drum;
+pub use implm::ImpLm;
+pub use intalp::IntAlp;
+pub use kulkarni::Kulkarni;
+pub use mbm::Mbm;
+pub use ssm::{Essm8, Ssm};

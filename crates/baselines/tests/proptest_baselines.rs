@@ -1,0 +1,114 @@
+//! Property-based tests on the baseline multipliers' published error
+//! signatures: one-sidedness, bounds, exactness regions and symmetry.
+
+use proptest::prelude::*;
+use realm_baselines::adders::{approx_add, LowerPart};
+use realm_baselines::{Alm, AlmAdder, Am, AmRecovery, Calm, Drum, Essm8, ImpLm, IntAlp, Mbm, Ssm};
+use realm_core::multiplier::MultiplierExt;
+use realm_core::Multiplier;
+
+proptest! {
+    #[test]
+    fn calm_is_one_sided_and_bounded(a in 1u64..=u16::MAX as u64, b in 1u64..=u16::MAX as u64) {
+        let e = Calm::new(16).relative_error(a, b).expect("nonzero");
+        prop_assert!(e <= 0.0);
+        prop_assert!(e >= -1.0 / 9.0 - 1e-9);
+    }
+
+    #[test]
+    fn mbm_error_within_published_peaks(a in 1u64..=u16::MAX as u64,
+                                        b in 1u64..=u16::MAX as u64) {
+        // Table I: −7.64 % / +7.81 % at t = 0 (tiny margin for flooring).
+        let e = Mbm::new(16, 0).expect("valid").relative_error(a, b).expect("nonzero");
+        prop_assert!(e > -0.0790 && e < 0.0790, "error {}", e);
+    }
+
+    #[test]
+    fn implm_double_sided_bound(a in 2u64..=u16::MAX as u64, b in 2u64..=u16::MAX as u64) {
+        // Table I: ±11.11 %.
+        let e = ImpLm::new(16).relative_error(a, b).expect("nonzero");
+        prop_assert!(e.abs() <= 0.1112, "error {}", e);
+    }
+
+    #[test]
+    fn drum_small_operands_exact(a in 0u64..256, b in 0u64..256) {
+        let drum = Drum::new(16, 8).expect("valid");
+        prop_assert_eq!(drum.multiply(a, b), a * b);
+    }
+
+    #[test]
+    fn drum_error_bounded_by_fragment(a in 1u64..=u16::MAX as u64,
+                                      b in 1u64..=u16::MAX as u64,
+                                      k in 4u32..=8) {
+        // Per-operand error < 2^-(k−1), so the product error is below
+        // 1 − (1 − 2^-(k−1))² ≈ 2^-(k−2).
+        let e = Drum::new(16, k).expect("valid").relative_error(a, b).expect("nonzero");
+        let bound = 1.0 / (1u64 << (k - 2)) as f64;
+        prop_assert!(e.abs() < bound, "k={}: error {}", k, e);
+    }
+
+    #[test]
+    fn ssm_and_essm_never_overestimate(a in 1u64..=u16::MAX as u64,
+                                       b in 1u64..=u16::MAX as u64) {
+        for design in [&Ssm::new(16, 8).expect("valid") as &dyn Multiplier, &Essm8::new()] {
+            prop_assert!(design.multiply(a, b) <= a * b, "{}", design.label());
+        }
+    }
+
+    #[test]
+    fn am_never_overestimates(a in 1u64..=u16::MAX as u64, b in 1u64..=u16::MAX as u64,
+                              nb in 0u32..=32) {
+        for recovery in [AmRecovery::Or, AmRecovery::Sum] {
+            let am = Am::new(16, recovery, nb).expect("valid");
+            prop_assert!(am.multiply(a, b) <= a * b);
+        }
+    }
+
+    #[test]
+    fn am_full_recovery_sum_is_exact(a in 1u64..=u16::MAX as u64, b in 1u64..=u16::MAX as u64) {
+        // With every product column recovered and exact summation, the
+        // design degenerates to an exact multiplier.
+        let am = Am::new(16, AmRecovery::Sum, 32).expect("valid");
+        prop_assert_eq!(am.multiply(a, b), a * b);
+    }
+
+    #[test]
+    fn intalp_l1_never_underestimates_much(a in 1u64..=u16::MAX as u64,
+                                           b in 1u64..=u16::MAX as u64) {
+        // One-sided error in [0, +12.5 %]; output flooring can nibble a
+        // few ULPs below the exact product for tiny outputs.
+        let alp = IntAlp::new(16, 1).expect("valid");
+        let p = alp.multiply(a, b);
+        let exact = a * b;
+        prop_assert!(p + 2 >= exact.min(p + 2), "sanity");
+        prop_assert!((p as f64) >= exact as f64 * 0.999 - 2.0, "{} vs {}", p, exact);
+        prop_assert!((p as f64) <= exact as f64 * 1.1251 + 2.0, "{} vs {}", p, exact);
+    }
+
+    #[test]
+    fn alm_m_zero_is_calm(a in 1u64..=u16::MAX as u64, b in 1u64..=u16::MAX as u64) {
+        let alm = Alm::new(16, AlmAdder::Soa, 0);
+        prop_assert_eq!(alm.multiply(a, b), Calm::new(16).multiply(a, b));
+    }
+
+    #[test]
+    fn approx_adders_bounded_error(a in 0u64..(1 << 16), b in 0u64..(1 << 16), m in 1u32..12) {
+        for scheme in [LowerPart::Or, LowerPart::SetOne] {
+            let approx = approx_add(a, b, m, scheme) as i128;
+            let exact = (a + b) as i128;
+            prop_assert!((approx - exact).abs() < (1 << m), "{:?} m={}", scheme, m);
+        }
+    }
+
+    #[test]
+    fn all_baselines_are_commutative(a in 1u64..=u16::MAX as u64, b in 1u64..=u16::MAX as u64) {
+        for design in realm_baselines::catalog::baseline_configurations() {
+            prop_assert_eq!(
+                design.multiply(a, b),
+                design.multiply(b, a),
+                "{} not commutative",
+                design.label()
+            );
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks for the offline stages: analytic factor
+//! derivation (the MATLAB-replacement quadrature), LUT quantization and
+//! full multiplier construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use realm_core::{ErrorReductionTable, QuantizedLut, Realm, RealmConfig};
+
+fn bench_factor_derivation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("error_reduction_table");
+    for m in [4u32, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| ErrorReductionTable::analytic(m).expect("valid M"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    let table = ErrorReductionTable::analytic(16).expect("valid M");
+    c.bench_function("quantize_m16_q6", |b| {
+        b.iter(|| QuantizedLut::quantize(&table, 6).expect("paper design point"))
+    });
+}
+
+fn bench_construction(c: &mut Criterion) {
+    c.bench_function("realm16_from_precomputed", |b| {
+        b.iter(|| {
+            Realm::with_table(
+                RealmConfig::n16(16, 0),
+                realm_core::precomputed::table_m16(),
+            )
+            .expect("paper design point")
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_factor_derivation,
+    bench_quantization,
+    bench_construction
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks: behavioural-model throughput of every
+//! multiplier family (how fast the simulation substrate itself runs) and
+//! gate-level netlist evaluation speed.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use realm_baselines::{Alm, AlmAdder, Am, AmRecovery, Calm, Drum, Essm8, ImpLm, IntAlp, Mbm, Ssm};
+use realm_core::{Accurate, Multiplier, Realm, RealmConfig};
+
+fn operand_stream() -> Vec<(u64, u64)> {
+    let mut x = 0x2545_F491_4F6C_DD1Du64;
+    (0..1024)
+        .map(|_| {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            ((x >> 16) & 0xFFFF, (x >> 40) & 0xFFFF)
+        })
+        .collect()
+}
+
+fn bench_multipliers(c: &mut Criterion) {
+    let pairs = operand_stream();
+    let designs: Vec<Box<dyn Multiplier>> = vec![
+        Box::new(Accurate::new(16)),
+        Box::new(Calm::new(16)),
+        Box::new(Realm::new(RealmConfig::n16(16, 0)).expect("paper design point")),
+        Box::new(Realm::new(RealmConfig::n16(4, 9)).expect("paper design point")),
+        Box::new(Mbm::new(16, 0).expect("paper design point")),
+        Box::new(Alm::new(16, AlmAdder::Soa, 11)),
+        Box::new(ImpLm::new(16)),
+        Box::new(Drum::new(16, 6).expect("paper design point")),
+        Box::new(Ssm::new(16, 8).expect("paper design point")),
+        Box::new(Essm8::new()),
+        Box::new(Am::new(16, AmRecovery::Or, 13).expect("paper design point")),
+        Box::new(IntAlp::new(16, 2).expect("paper design point")),
+    ];
+    let mut group = c.benchmark_group("multiply_1024_pairs");
+    for design in &designs {
+        let label = format!("{}{}", design.name(), design.config());
+        group.bench_function(&label, |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &(x, y) in &pairs {
+                    acc = acc.wrapping_add(design.multiply(black_box(x), black_box(y)));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_netlist_eval(c: &mut Criterion) {
+    let realm = Realm::new(RealmConfig::n16(16, 0)).expect("paper design point");
+    let netlists = vec![
+        realm_synth::designs::wallace16(),
+        realm_synth::designs::calm_netlist(16),
+        realm_synth::designs::realm_netlist(&realm),
+    ];
+    let mut group = c.benchmark_group("netlist_eval");
+    for nl in &netlists {
+        group.bench_function(nl.name(), |b| {
+            b.iter(|| nl.eval_one(&[("a", black_box(48_131)), ("b", black_box(60_007))], "p"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multipliers, bench_netlist_eval);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Regenerates **Fig. 4** of the paper: the accuracy vs.
+//! resource-efficiency design space — four panes (mean/peak error against
+//! area/power reduction, constrained to ME ≤ 4 % and PE ≤ 15 %) with
+//! their Pareto fronts.
+//!
+//! ```text
+//! cargo run --release -p realm-bench --bin fig4 -- --samples 2^22 --out results
+//! ```
+
+use realm_bench::{table1_rows, Options};
+use realm_metrics::{pareto_front, ParetoPoint};
+
+fn main() {
+    let opts = Options::from_env();
+    println!(
+        "Fig. 4 reproduction — design space from {} samples/design, {} power cycles\n",
+        opts.samples, opts.cycles
+    );
+    let rows = table1_rows(opts.samples, opts.cycles, opts.seed);
+
+    type Extract = fn(&realm_bench::Table1Row) -> (f64, f64);
+    let panes: [(&str, Extract); 4] = [
+        ("(a) mean error vs area reduction", |r| {
+            (r.area_reduction, r.errors.mean_error * 100.0)
+        }),
+        ("(b) mean error vs power reduction", |r| {
+            (r.power_reduction, r.errors.mean_error * 100.0)
+        }),
+        ("(c) peak error vs area reduction", |r| {
+            (r.area_reduction, r.errors.peak_error() * 100.0)
+        }),
+        ("(d) peak error vs power reduction", |r| {
+            (r.power_reduction, r.errors.peak_error() * 100.0)
+        }),
+    ];
+
+    let mut csv = String::from("pane,design,gain_pct,error_pct,pareto\n");
+    for (title, extract) in panes {
+        // The paper constrains the plot to ME <= 4 %, PE <= 15 %.
+        let points: Vec<ParetoPoint> = rows
+            .iter()
+            .filter(|r| r.errors.mean_error * 100.0 <= 4.0 && r.errors.peak_error() * 100.0 <= 15.0)
+            .map(|r| {
+                let (gain, cost) = extract(r);
+                ParetoPoint::new(r.label.clone(), gain, cost)
+            })
+            .collect();
+        let front = pareto_front(&points);
+        println!("{title} — {} points in range, Pareto front:", points.len());
+        let mut realm_on_front = 0usize;
+        for &i in &front {
+            let p = &points[i];
+            if p.label.starts_with("REALM") {
+                realm_on_front += 1;
+            }
+            println!(
+                "    {:<22} gain {:>6.1}%  error {:>6.2}%",
+                p.label, p.gain, p.cost
+            );
+        }
+        println!(
+            "    -> {}/{} Pareto points are REALM configurations\n",
+            realm_on_front,
+            front.len()
+        );
+        for (i, p) in points.iter().enumerate() {
+            csv.push_str(&format!(
+                "{},{},{:.2},{:.3},{}\n",
+                title.split_whitespace().next().expect("pane id"),
+                p.label,
+                p.gain,
+                p.cost,
+                front.contains(&i)
+            ));
+        }
+    }
+    opts.write_csv("fig4_design_space.csv", &csv);
+    println!("paper shape: the front is primarily REALM, with DRUM8 at the low-error end and");
+    println!("MBM/DRUM5/ALM-SOA at the high-efficiency end");
+}

@@ -1,0 +1,46 @@
+//! Regenerates **Table I** of the paper: error metrics (bias, mean,
+//! peaks, variance — Monte-Carlo over uniform 16-bit operands) and
+//! synthesis-model area/power reductions for all 65 design
+//! configurations.
+//!
+//! ```text
+//! cargo run --release -p realm-bench --bin table1 -- --samples 2^24 --out results
+//! ```
+
+use realm_bench::{table1_rows, Options, Table1Row};
+
+fn main() {
+    let opts = Options::from_env();
+    println!(
+        "Table I reproduction — {} Monte-Carlo samples/design, {} power cycles, seed {}",
+        opts.samples, opts.cycles, opts.seed
+    );
+    println!(
+        "(paper reference: accurate multiplier = 1898.1 um^2, 821.9 uW @ 1 GHz, 25% toggle)\n"
+    );
+    println!(
+        "{:<22} {:>7} {:>7} {:>8} {:>7} {:>8} {:>7} {:>9}",
+        "design", "aRed%", "pRed%", "bias%", "mean%", "min%", "max%", "var(%^2)"
+    );
+    let rows = table1_rows(opts.samples, opts.cycles, opts.seed);
+    let mut csv = String::from(Table1Row::csv_header());
+    csv.push('\n');
+    for row in &rows {
+        println!("{}", row.render());
+        csv.push_str(&row.to_csv());
+        csv.push('\n');
+    }
+    opts.write_csv("table1.csv", &csv);
+
+    // Paper-shape sanity summary.
+    let find = |label: &str| rows.iter().find(|r| r.label == label).expect("row exists");
+    let realm16 = find("REALM16 (t=0)");
+    let calm = find("cALM");
+    println!("\nheadline checks (paper values in parentheses):");
+    println!(
+        "  REALM16/t=0 mean error {:.2}% (0.42), peak {:.2}% (2.08)",
+        realm16.errors.mean_error * 100.0,
+        realm16.errors.peak_error() * 100.0
+    );
+    println!("  cALM bias {:.2}% (-3.85)", calm.errors.bias * 100.0);
+}

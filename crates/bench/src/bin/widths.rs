@@ -1,0 +1,80 @@
+//! Width-generality study (extension): the paper evaluates `N = 16`
+//! only; this driver characterizes REALM and the classical baseline at
+//! `N ∈ {8, 12, 16, 24, 32}` — exhaustively where feasible (N ≤ 12),
+//! Monte-Carlo above — showing the error metrics are width-independent
+//! (they live in the fraction domain) while area scales with `N`.
+//!
+//! ```text
+//! cargo run --release -p realm-bench --bin widths -- --samples 2^20
+//! ```
+
+use realm_bench::Options;
+use realm_core::multiplier::MultiplierExt;
+use realm_core::{Multiplier, Realm, RealmConfig};
+use realm_metrics::{ErrorAccumulator, MonteCarlo};
+
+fn exhaustive(design: &dyn Multiplier) -> realm_metrics::ErrorSummary {
+    let max = design.max_operand();
+    let mut acc = ErrorAccumulator::new();
+    for a in 1..=max {
+        for b in 1..=max {
+            if let Some(e) = design.relative_error(a, b) {
+                acc.push(e);
+            }
+        }
+    }
+    acc.finish()
+}
+
+fn main() {
+    let opts = Options::from_env();
+    println!("width-generality study: REALM (M = 8, t = 0) across operand widths\n");
+    println!(
+        "{:>5} {:>12} {:>8} {:>8} {:>8} {:>8}",
+        "N", "method", "bias%", "mean%", "min%", "max%"
+    );
+    for width in [8u32, 12, 16, 24, 32] {
+        let realm = Realm::new(RealmConfig::new(width, 8, 0, 6)).expect("valid configuration");
+        let (method, s) = if width <= 12 {
+            ("exhaustive", exhaustive(&realm))
+        } else {
+            (
+                "monte-carlo",
+                MonteCarlo::new(opts.samples, opts.seed).characterize(&realm),
+            )
+        };
+        println!(
+            "{:>5} {:>12} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            width,
+            method,
+            s.bias * 100.0,
+            s.mean_error * 100.0,
+            s.min_error * 100.0,
+            s.max_error * 100.0
+        );
+    }
+    println!("\nThe fraction-domain error statistics are essentially width-independent for");
+    println!("N >= 12 (Table I's 16-bit numbers generalize); N = 8 shows extra output-");
+    println!("quantization error because products have few bits below the correction.");
+
+    // Area scaling from the synthesis model.
+    println!("\nsynthesis-model area scaling (REALM8/t=0 vs the accurate multiplier):");
+    println!(
+        "{:>5} {:>12} {:>14} {:>10}",
+        "N", "REALM gates", "accurate gates", "aRed%"
+    );
+    for width in [8u32, 12, 16, 24, 32] {
+        let realm = Realm::new(RealmConfig::new(width, 8, 0, 6)).expect("valid configuration");
+        let nl = realm_synth::designs::realm_netlist(&realm);
+        let acc = realm_synth::blocks::multiplier::wallace_netlist(width);
+        println!(
+            "{:>5} {:>12} {:>14} {:>10.1}",
+            width,
+            nl.gate_count(),
+            acc.gate_count(),
+            (1.0 - nl.area() / acc.area()) * 100.0
+        );
+    }
+    println!("\nthe accurate multiplier grows ~quadratically with N while the log datapath");
+    println!("grows ~linearly — the approximate design's advantage widens with width.");
+}

@@ -1,0 +1,120 @@
+//! # realm-bench
+//!
+//! Experiment drivers that regenerate **every table and figure** of the
+//! REALM paper's evaluation (§IV), plus criterion micro-benchmarks.
+//!
+//! | Binary | Regenerates | Paper reference |
+//! |---|---|---|
+//! | `table1` | error + synthesis metrics for all designs | Table I |
+//! | `table2` | JPEG PSNR study | Table II |
+//! | `fig1` | error profiles over `A, B ∈ {32..255}` | Fig. 1 |
+//! | `fig2` | `4×4` partition demo + per-segment factors | Fig. 2 |
+//! | `fig4` | design space + Pareto front | Fig. 4 |
+//! | `fig5` | REALM relative-error distributions | Fig. 5 |
+//! | `ablation` | design-choice ablations (ours) | §III design choices |
+//!
+//! Each binary prints a human-readable report and, when `--out DIR` is
+//! given, writes machine-readable CSV files.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod options;
+pub mod table;
+
+pub use options::Options;
+
+/// One row of the Table I reproduction: a design's error metrics paired
+/// with its synthesis-model results.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Display label (`"REALM16 (t=3)"`).
+    pub label: String,
+    /// Area reduction vs. the accurate multiplier (%).
+    pub area_reduction: f64,
+    /// Power reduction vs. the accurate multiplier (%).
+    pub power_reduction: f64,
+    /// Error metrics from the Monte-Carlo campaign.
+    pub errors: realm_metrics::ErrorSummary,
+}
+
+impl Table1Row {
+    /// Formats the row in the paper's column order (all in percent).
+    pub fn render(&self) -> String {
+        format!(
+            "{:<22} {:>7.1} {:>7.1} {:>8.2} {:>7.2} {:>8.2} {:>7.2} {:>9.2}",
+            self.label,
+            self.area_reduction,
+            self.power_reduction,
+            self.errors.bias * 100.0,
+            self.errors.mean_error * 100.0,
+            self.errors.min_error * 100.0,
+            self.errors.max_error * 100.0,
+            self.errors.variance_percent(),
+        )
+    }
+
+    /// The CSV form of [`render`](Self::render).
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{:.2},{:.2},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            self.label,
+            self.area_reduction,
+            self.power_reduction,
+            self.errors.bias * 100.0,
+            self.errors.mean_error * 100.0,
+            self.errors.min_error * 100.0,
+            self.errors.max_error * 100.0,
+            self.errors.variance_percent(),
+        )
+    }
+
+    /// The header matching [`to_csv`](Self::to_csv).
+    pub fn csv_header() -> &'static str {
+        "design,area_reduction_pct,power_reduction_pct,bias_pct,mean_error_pct,min_error_pct,max_error_pct,variance_pct2"
+    }
+}
+
+/// Computes the full Table I row set: Monte-Carlo error characterization
+/// of every design plus calibrated synthesis-model area/power.
+pub fn table1_rows(samples: u64, power_cycles: u32, seed: u64) -> Vec<Table1Row> {
+    use realm_core::multiplier::MultiplierExt;
+
+    let campaign = realm_metrics::MonteCarlo::new(samples, seed);
+    let reporter = realm_synth::Reporter::paper_setup(power_cycles, seed);
+    realm_synth::designs::table1_pairs()
+        .into_iter()
+        .map(|pair| {
+            let errors = campaign.characterize(pair.model.as_ref());
+            let synth = reporter.report(&pair.netlist);
+            Table1Row {
+                label: pair.model.label(),
+                area_reduction: synth.area_reduction,
+                power_reduction: synth.power_reduction,
+                errors,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_table1_run_produces_all_rows() {
+        let rows = table1_rows(20_000, 40, 3);
+        assert_eq!(rows.len(), 65); // 30 REALM + 35 baselines
+        for row in &rows {
+            assert!(row.errors.samples > 0, "{}", row.label);
+            assert!(row.area_reduction < 100.0);
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_has_matching_columns() {
+        let rows = table1_rows(5_000, 20, 1);
+        let header_cols = Table1Row::csv_header().split(',').count();
+        assert_eq!(rows[0].to_csv().split(',').count(), header_cols);
+    }
+}

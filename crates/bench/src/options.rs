@@ -1,0 +1,146 @@
+//! Minimal command-line parsing shared by the experiment drivers (no
+//! external CLI crate needed for `--samples N --cycles N --seed N
+//! --out DIR`).
+
+use std::path::PathBuf;
+
+/// Common options for the experiment binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    /// Monte-Carlo samples per design (paper default: `2^24`).
+    pub samples: u64,
+    /// Power-simulation cycles per netlist.
+    pub cycles: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optional output directory for CSV artifacts.
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            samples: 1 << 24,
+            cycles: 2_000,
+            seed: 2020,
+            out_dir: None,
+        }
+    }
+}
+
+impl Options {
+    /// Parses `std::env::args`, falling back to the defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments (these are
+    /// developer-facing experiment drivers).
+    pub fn from_env() -> Self {
+        Options::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument iterator (testable).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut opts = Options::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("flag {name} requires a value"))
+            };
+            match flag.as_str() {
+                "--samples" => {
+                    opts.samples = parse_count(&value("--samples"));
+                }
+                "--cycles" => {
+                    opts.cycles = parse_count(&value("--cycles")) as u32;
+                }
+                "--seed" => {
+                    opts.seed = parse_count(&value("--seed"));
+                }
+                "--out" => {
+                    opts.out_dir = Some(PathBuf::from(value("--out")));
+                }
+                other => {
+                    panic!("unknown flag '{other}' (expected --samples, --cycles, --seed, --out)")
+                }
+            }
+        }
+        opts
+    }
+
+    /// Writes a CSV artifact into the output directory, if one was given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory or file cannot be written (experiment
+    /// drivers fail loudly).
+    pub fn write_csv(&self, name: &str, content: &str) {
+        if let Some(dir) = &self.out_dir {
+            std::fs::create_dir_all(dir).expect("create output directory");
+            let path = dir.join(name);
+            std::fs::write(&path, content).expect("write CSV artifact");
+            println!("wrote {}", path.display());
+        }
+    }
+}
+
+/// Parses decimal, `2^k`, or `k`-suffixed counts (`1M`, `64k`).
+fn parse_count(s: &str) -> u64 {
+    if let Some(exp) = s.strip_prefix("2^") {
+        return 1u64 << exp.parse::<u32>().expect("valid exponent");
+    }
+    if let Some(mega) = s.strip_suffix(['M', 'm']) {
+        return mega.parse::<u64>().expect("valid count") * 1_000_000;
+    }
+    if let Some(kilo) = s.strip_suffix(['K', 'k']) {
+        return kilo.parse::<u64>().expect("valid count") * 1_000;
+    }
+    s.parse().expect("valid count")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Options {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_match_paper_budget() {
+        let o = Options::default();
+        assert_eq!(o.samples, 1 << 24);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = parse(&[
+            "--samples",
+            "2^20",
+            "--cycles",
+            "500",
+            "--seed",
+            "7",
+            "--out",
+            "/tmp/x",
+        ]);
+        assert_eq!(o.samples, 1 << 20);
+        assert_eq!(o.cycles, 500);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.out_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+    }
+
+    #[test]
+    fn parses_suffixes() {
+        assert_eq!(parse(&["--samples", "4M"]).samples, 4_000_000);
+        assert_eq!(parse(&["--samples", "64k"]).samples, 64_000);
+        assert_eq!(parse(&["--samples", "12345"]).samples, 12_345);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = parse(&["--bogus"]);
+    }
+}

@@ -1,0 +1,13 @@
+fn main() {
+    for m in [4u32, 8, 16] {
+        let t = realm_core::ErrorReductionTable::analytic(m).unwrap();
+        let lut = realm_core::QuantizedLut::quantize(&t, 6).unwrap();
+        println!("M={m}");
+        for i in 0..m as usize {
+            let row: Vec<String> = (0..m as usize)
+                .map(|j| lut.code(i, j).to_string())
+                .collect();
+            println!("    {}, //", row.join(", "));
+        }
+    }
+}

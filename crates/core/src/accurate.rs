@@ -1,0 +1,104 @@
+//! The exact reference multiplier every approximate design is measured
+//! against (the paper's "accurate multiplier", a Wallace-tree in hardware).
+
+use crate::multiplier::Multiplier;
+
+/// Exact `N`-bit unsigned multiplier.
+///
+/// Behaviourally this is just `a * b`; the corresponding hardware model (a
+/// Wallace-tree of 3:2 compressors, the structure synthesized in the paper)
+/// lives in the `realm-synth` crate and is verified against this reference.
+///
+/// ```
+/// use realm_core::{Accurate, Multiplier};
+///
+/// let m = Accurate::new(16);
+/// assert_eq!(m.multiply(65_535, 65_535), 65_535 * 65_535);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Accurate {
+    width: u32,
+}
+
+impl Accurate {
+    /// Creates an exact multiplier for `width`-bit operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than 32.
+    pub fn new(width: u32) -> Self {
+        assert!(
+            (1..=32).contains(&width),
+            "accurate multiplier width must be in 1..=32, got {width}"
+        );
+        Accurate { width }
+    }
+}
+
+impl Default for Accurate {
+    /// The paper's 16-bit reference design.
+    fn default() -> Self {
+        Accurate::new(16)
+    }
+}
+
+impl Multiplier for Accurate {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(
+            a >> self.width == 0,
+            "operand a exceeds {} bits",
+            self.width
+        );
+        debug_assert!(
+            b >> self.width == 0,
+            "operand b exceeds {} bits",
+            self.width
+        );
+        a * b
+    }
+
+    fn name(&self) -> &str {
+        "Accurate"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplies_exactly() {
+        let m = Accurate::new(16);
+        for (a, b) in [(0, 0), (1, 1), (65_535, 65_535), (257, 255), (40_000, 2)] {
+            assert_eq!(m.multiply(a, b), a * b);
+        }
+    }
+
+    #[test]
+    fn default_is_16_bit() {
+        assert_eq!(Accurate::default().width(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in 1..=32")]
+    fn rejects_zero_width() {
+        let _ = Accurate::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in 1..=32")]
+    fn rejects_huge_width() {
+        let _ = Accurate::new(33);
+    }
+
+    #[test]
+    fn width_32_products_do_not_overflow() {
+        let m = Accurate::new(32);
+        let a = u32::MAX as u64;
+        assert_eq!(m.multiply(a, a), a * a);
+    }
+}

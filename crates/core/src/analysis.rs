@@ -1,0 +1,151 @@
+//! Closed-form / quadrature-exact error statistics of the log-based
+//! multiplier family in the continuous fraction domain — the analytic
+//! ground truth the Monte-Carlo campaigns should converge to.
+//!
+//! Operands uniform over a power-of-two interval have uniform fractions,
+//! and for wide operands the fraction distribution over the whole range
+//! approaches uniform on `[0, 1)²` (each interval contributes half the
+//! mass of the next). These functions integrate the error expressions of
+//! [`crate::factors`] directly, giving reference values such as cALM's
+//! `bias = mean error = −3.85 %` without any sampling noise.
+
+use crate::factors::{mitchell_relative_error, numerator_integral, reduction_factor};
+use crate::quad::GaussLegendre;
+use crate::segment::SegmentGrid;
+
+/// Analytic statistics of a relative-error surface over the unit square.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticStats {
+    /// Mean signed relative error (the error bias).
+    pub bias: f64,
+    /// Mean |relative error|.
+    pub mean_error: f64,
+    /// Variance of the relative error.
+    pub variance: f64,
+}
+
+/// Integrates a piecewise-smooth error surface `e(x, y)` with the carry
+/// line handled by splitting the inner integral.
+fn integrate_stats(e: &dyn Fn(f64, f64) -> f64, panels: usize) -> AnalyticStats {
+    let rule = GaussLegendre::new(24);
+    let mut sum = 0.0;
+    let mut sum_abs = 0.0;
+    let mut sum_sq = 0.0;
+    let h = 1.0 / panels as f64;
+    for i in 0..panels {
+        let (x0, x1) = (i as f64 * h, (i as f64 + 1.0) * h);
+        for j in 0..panels {
+            let (y0, y1) = (j as f64 * h, (j as f64 + 1.0) * h);
+            let inner = |x: f64, f: &dyn Fn(f64) -> f64| -> f64 {
+                // split inner integral at both diagonals' crossings
+                let c1 = (1.0 - x).clamp(y0, y1);
+                let c2 = x.clamp(y0, y1);
+                let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+                rule.integrate(f, y0, lo) + rule.integrate(f, lo, hi) + rule.integrate(f, hi, y1)
+            };
+            sum += rule.integrate(|x| inner(x, &|y| e(x, y)), x0, x1);
+            sum_abs += rule.integrate(|x| inner(x, &|y| e(x, y).abs()), x0, x1);
+            sum_sq += rule.integrate(|x| inner(x, &|y| e(x, y) * e(x, y)), x0, x1);
+        }
+    }
+    AnalyticStats {
+        bias: sum,
+        mean_error: sum_abs,
+        variance: sum_sq - sum * sum,
+    }
+}
+
+/// Analytic statistics of Mitchell's classical multiplier: bias = −mean
+/// error (the surface is one-sided) ≈ −3.85 %, variance ≈ 8.6 (%²).
+pub fn mitchell_stats() -> AnalyticStats {
+    integrate_stats(&mitchell_relative_error, 8)
+}
+
+/// Analytic statistics of **ideal** REALM (continuous fractions,
+/// unquantized factors) for an `M × M` partition — the floor the hardware
+/// design approaches as `q` grows and `t` shrinks.
+///
+/// # Panics
+///
+/// Panics for invalid `M` (not a power of two in `2..=256`).
+pub fn ideal_realm_stats(segments: u32) -> AnalyticStats {
+    let grid = SegmentGrid::new(segments).expect("valid segment count");
+    let m = segments as usize;
+    // Per-segment factors once.
+    let mut s = vec![0.0; m * m];
+    for i in 0..m {
+        let (x0, x1) = grid.bounds(i);
+        for j in 0..m {
+            let (y0, y1) = grid.bounds(j);
+            s[i * m + j] = reduction_factor(x0, x1, y0, y1);
+        }
+    }
+    let e = move |x: f64, y: f64| {
+        let i = grid.index_of_value(x);
+        let j = grid.index_of_value(y);
+        mitchell_relative_error(x, y) + s[i * m + j] / ((1.0 + x) * (1.0 + y))
+    };
+    // Panel per segment so the piecewise-constant factor is smooth inside
+    // each integration cell.
+    integrate_stats(&e, m)
+}
+
+/// The analytic bias of Mitchell's multiplier, directly from the
+/// numerator integral (≈ −0.038497).
+pub fn mitchell_bias() -> f64 {
+    numerator_integral(0.0, 1.0, 0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mitchell_bias_matches_table1() {
+        // Table I: −3.85 %.
+        let b = mitchell_bias();
+        assert!((b - (-0.0385)).abs() < 2e-4, "bias {b}");
+    }
+
+    #[test]
+    fn mitchell_stats_are_consistent() {
+        let s = mitchell_stats();
+        // One-sided surface: mean |e| = −bias.
+        assert!((s.mean_error + s.bias).abs() < 1e-9, "{s:?}");
+        // Table I variance 8.63 (%²) → 8.63e-4 in fraction².
+        assert!(
+            (s.variance - 8.63e-4).abs() < 2e-5,
+            "variance {}",
+            s.variance
+        );
+    }
+
+    #[test]
+    fn ideal_realm_bias_is_zero_by_construction() {
+        for m in [4u32, 8] {
+            let s = ideal_realm_stats(m);
+            assert!(s.bias.abs() < 1e-10, "M={m}: bias {}", s.bias);
+        }
+    }
+
+    #[test]
+    fn ideal_realm_matches_paper_mean_errors() {
+        // Ideal floors: ~1.38 %, ~0.74 %, ~0.38 % for M = 4, 8, 16 —
+        // slightly below the hardware rows of Table I, as expected.
+        let m4 = ideal_realm_stats(4).mean_error;
+        let m8 = ideal_realm_stats(8).mean_error;
+        let m16 = ideal_realm_stats(16).mean_error;
+        assert!((m4 - 0.0138).abs() < 0.0008, "M=4: {m4}");
+        assert!((m8 - 0.0074).abs() < 0.0006, "M=8: {m8}");
+        assert!((m16 - 0.0038).abs() < 0.0004, "M=16: {m16}");
+    }
+
+    #[test]
+    fn variance_shrinks_quadratically_with_m() {
+        let v4 = ideal_realm_stats(4).variance;
+        let v8 = ideal_realm_stats(8).variance;
+        let ratio = v4 / v8;
+        // Doubling M roughly quarters the variance (error ∝ segment size).
+        assert!(ratio > 2.5 && ratio < 6.0, "ratio {ratio}");
+    }
+}

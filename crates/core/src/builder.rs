@@ -1,0 +1,160 @@
+//! Fluent construction of [`Realm`] instances — the builder companion to
+//! [`RealmConfig`] for call sites that configure knobs one at a time
+//! (design-space exploration loops, CLI frontends).
+
+use crate::error::ConfigError;
+use crate::factors::ErrorReductionTable;
+use crate::realm::{Realm, RealmConfig};
+
+/// Builder for [`Realm`] with the paper's defaults
+/// (`N = 16, M = 16, t = 0, q = 6`).
+///
+/// ```
+/// use realm_core::{Multiplier, Realm};
+///
+/// # fn main() -> Result<(), realm_core::ConfigError> {
+/// let realm = Realm::builder().segments(8).truncation(3).build()?;
+/// assert_eq!(realm.name(), "REALM8");
+/// assert_eq!(realm.configuration().truncation, 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RealmBuilder {
+    config: RealmConfig,
+    table: Option<ErrorReductionTable>,
+}
+
+impl RealmBuilder {
+    /// Starts from the paper's default configuration.
+    pub fn new() -> Self {
+        RealmBuilder {
+            config: RealmConfig::default(),
+            table: None,
+        }
+    }
+
+    /// Sets the operand width `N` (4..=32).
+    pub fn width(mut self, width: u32) -> Self {
+        self.config.width = width;
+        self
+    }
+
+    /// Sets the segments-per-axis knob `M` (a power of two).
+    pub fn segments(mut self, segments: u32) -> Self {
+        self.config.segments = segments;
+        self
+    }
+
+    /// Sets the fraction-truncation knob `t`.
+    pub fn truncation(mut self, truncation: u32) -> Self {
+        self.config.truncation = truncation;
+        self
+    }
+
+    /// Sets the LUT precision `q`.
+    pub fn precision(mut self, precision: u32) -> Self {
+        self.config.precision = precision;
+        self
+    }
+
+    /// Supplies an explicit factor table (e.g. [`crate::mse::mse_table`]
+    /// or the frozen [`crate::precomputed`] constants) instead of the
+    /// analytic derivation.
+    pub fn factor_table(mut self, table: ErrorReductionTable) -> Self {
+        self.table = Some(table);
+        self
+    }
+
+    /// Builds the multiplier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] exactly as [`Realm::new`] /
+    /// [`Realm::with_table`] would for the accumulated configuration.
+    pub fn build(self) -> Result<Realm, ConfigError> {
+        match self.table {
+            Some(table) => Realm::with_table(self.config, &table),
+            None => Realm::new(self.config),
+        }
+    }
+}
+
+impl Default for RealmBuilder {
+    fn default() -> Self {
+        RealmBuilder::new()
+    }
+}
+
+impl Realm {
+    /// Starts a fluent [`RealmBuilder`] at the paper's defaults.
+    pub fn builder() -> RealmBuilder {
+        RealmBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiplier::Multiplier;
+
+    #[test]
+    fn defaults_match_config_default() {
+        let a = Realm::builder().build().expect("defaults are valid");
+        let b = Realm::new(RealmConfig::default()).expect("defaults are valid");
+        for (x, y) in [(123u64, 456u64), (65_535, 65_535)] {
+            assert_eq!(a.multiply(x, y), b.multiply(x, y));
+        }
+    }
+
+    #[test]
+    fn all_knobs_apply() {
+        let r = Realm::builder()
+            .width(24)
+            .segments(4)
+            .truncation(5)
+            .precision(8)
+            .build()
+            .expect("valid configuration");
+        let cfg = r.configuration();
+        assert_eq!(
+            (cfg.width, cfg.segments, cfg.truncation, cfg.precision),
+            (24, 4, 5, 8)
+        );
+    }
+
+    #[test]
+    fn invalid_combination_errors_at_build() {
+        let err = Realm::builder().segments(5).build().unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::InvalidSegmentCount { segments: 5 }
+        ));
+    }
+
+    #[test]
+    fn custom_table_is_used() {
+        let mse = crate::mse::mse_table(8).expect("valid M");
+        let r = Realm::builder()
+            .segments(8)
+            .factor_table(mse.clone())
+            .build()
+            .expect("valid");
+        let direct = Realm::with_table(RealmConfig::n16(8, 0), &mse).expect("valid");
+        assert_eq!(r.multiply(40_000, 1_234), direct.multiply(40_000, 1_234));
+    }
+
+    #[test]
+    fn mismatched_table_rejected() {
+        let table = ErrorReductionTable::analytic(4).expect("valid M");
+        let err = Realm::builder()
+            .segments(8)
+            .factor_table(table)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::InvalidSegmentCount { segments: 8 }
+        ));
+    }
+}

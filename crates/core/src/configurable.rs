@@ -1,0 +1,248 @@
+//! Runtime-configurable REALM: one datapath, three hardwired LUTs,
+//! a 2-bit accuracy mode — an extension beyond the paper.
+//!
+//! The paper's two knobs (`M`, `t`) are design-time. Because the three
+//! practical LUTs (`M ∈ {4, 8, 16}`) share the same datapath and differ
+//! only in how many fraction MSBs address them, a mode input that muxes
+//! between the LUT outputs yields **runtime accuracy scaling**: a system
+//! can drop to `M = 4` (or bypass correction entirely) when the workload
+//! tolerates more error, without reconfiguring silicon. The cost is the
+//! sum of the LUT muxes plus one 4:1 output mux — quantified against the
+//! fixed designs by `realm-synth`'s reporter.
+
+use crate::error::ConfigError;
+use crate::factors::ErrorReductionTable;
+use crate::lut::QuantizedLut;
+use crate::mitchell::{self, LogEncoding};
+use crate::multiplier::Multiplier;
+
+/// The runtime accuracy mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccuracyMode {
+    /// No correction: classical Mitchell behaviour (cheapest, most error).
+    Bypass,
+    /// `M = 4` correction.
+    M4,
+    /// `M = 8` correction.
+    M8,
+    /// `M = 16` correction (most accurate).
+    M16,
+}
+
+impl AccuracyMode {
+    /// All modes, cheapest first.
+    pub const ALL: [AccuracyMode; 4] = [
+        AccuracyMode::Bypass,
+        AccuracyMode::M4,
+        AccuracyMode::M8,
+        AccuracyMode::M16,
+    ];
+
+    /// The 2-bit hardware encoding of the mode input.
+    pub fn encoding(self) -> u32 {
+        match self {
+            AccuracyMode::Bypass => 0,
+            AccuracyMode::M4 => 1,
+            AccuracyMode::M8 => 2,
+            AccuracyMode::M16 => 3,
+        }
+    }
+}
+
+/// A mode-switchable REALM multiplier (all three paper LUTs on board).
+///
+/// ```
+/// use realm_core::configurable::{AccuracyMode, ConfigurableRealm};
+/// use realm_core::Multiplier;
+///
+/// # fn main() -> Result<(), realm_core::ConfigError> {
+/// let m = ConfigurableRealm::new(16, 0)?;
+/// let exact = 48_131u64 * 60_007;
+/// let err = |p: u64| ((p as f64 - exact as f64) / exact as f64).abs();
+/// let coarse = err(m.multiply_with_mode(AccuracyMode::Bypass, 48_131, 60_007));
+/// let fine = err(m.multiply_with_mode(AccuracyMode::M16, 48_131, 60_007));
+/// assert!(fine <= coarse);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigurableRealm {
+    width: u32,
+    truncation: u32,
+    mode: AccuracyMode,
+    lut4: QuantizedLut,
+    lut8: QuantizedLut,
+    lut16: QuantizedLut,
+}
+
+impl ConfigurableRealm {
+    /// Builds the switchable design (all LUTs at the paper's `q = 6`),
+    /// defaulting to the most accurate mode.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::Realm::new`]; the `M = 16` constraint governs the
+    /// minimum surviving fraction width.
+    pub fn new(width: u32, truncation: u32) -> Result<Self, ConfigError> {
+        if !(4..=32).contains(&width) {
+            return Err(ConfigError::UnsupportedWidth { width });
+        }
+        let build = |m: u32| -> Result<QuantizedLut, ConfigError> {
+            QuantizedLut::quantize(&ErrorReductionTable::analytic(m)?, 6)
+        };
+        let (lut4, lut8, lut16) = (build(4)?, build(8)?, build(16)?);
+        let fraction_bits = width - 1;
+        if truncation >= fraction_bits || fraction_bits - truncation < 4 {
+            return Err(ConfigError::TruncationTooLarge {
+                truncation,
+                fraction_bits,
+                index_bits: 4,
+            });
+        }
+        Ok(ConfigurableRealm {
+            width,
+            truncation,
+            mode: AccuracyMode::M16,
+            lut4,
+            lut8,
+            lut16,
+        })
+    }
+
+    /// Returns a copy pinned to the given mode (the mode is the value the
+    /// hardware's mode register would hold).
+    pub fn with_mode(mut self, mode: AccuracyMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The current mode.
+    pub fn mode(&self) -> AccuracyMode {
+        self.mode
+    }
+
+    /// The truncation knob `t`.
+    pub fn truncation(&self) -> u32 {
+        self.truncation
+    }
+
+    /// The LUT serving a given (non-bypass) mode.
+    pub fn lut_for(&self, mode: AccuracyMode) -> Option<&QuantizedLut> {
+        match mode {
+            AccuracyMode::Bypass => None,
+            AccuracyMode::M4 => Some(&self.lut4),
+            AccuracyMode::M8 => Some(&self.lut8),
+            AccuracyMode::M16 => Some(&self.lut16),
+        }
+    }
+
+    /// Multiplies under an explicit mode (ignoring the stored one).
+    pub fn multiply_with_mode(&self, mode: AccuracyMode, a: u64, b: u64) -> u64 {
+        let (Some(ea), Some(eb)) = (
+            LogEncoding::encode(a, self.width),
+            LogEncoding::encode(b, self.width),
+        ) else {
+            return 0;
+        };
+        let ea = ea
+            .truncate(self.truncation)
+            .expect("validated at construction");
+        let eb = eb
+            .truncate(self.truncation)
+            .expect("validated at construction");
+        let code = match self.lut_for(mode) {
+            None => 0,
+            Some(lut) => lut.lookup(ea.fraction, eb.fraction, ea.fraction_bits) as u64,
+        };
+        mitchell::log_mul(&ea, &eb, code, 6, self.width)
+    }
+}
+
+impl Multiplier for ConfigurableRealm {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        self.multiply_with_mode(self.mode, a, b)
+    }
+
+    fn name(&self) -> &str {
+        "REALM-CFG"
+    }
+
+    fn config(&self) -> String {
+        format!("mode={:?}, t={}", self.mode, self.truncation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiplier::MultiplierExt;
+    use crate::realm::{Realm, RealmConfig};
+
+    #[test]
+    fn each_mode_matches_the_fixed_design() {
+        let cfg = ConfigurableRealm::new(16, 2).expect("valid configuration");
+        for (mode, m) in [
+            (AccuracyMode::M4, 4u32),
+            (AccuracyMode::M8, 8),
+            (AccuracyMode::M16, 16),
+        ] {
+            let fixed = Realm::new(RealmConfig::n16(m, 2)).expect("paper design point");
+            for (a, b) in [(12_345u64, 54_321u64), (65_535, 65_535), (400, 399), (1, 1)] {
+                assert_eq!(
+                    cfg.multiply_with_mode(mode, a, b),
+                    fixed.multiply(a, b),
+                    "mode {mode:?} ({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bypass_matches_mitchell_with_set_lsb() {
+        // Bypass = the same truncated datapath with zero correction.
+        let cfg = ConfigurableRealm::new(16, 0).expect("valid configuration");
+        let p = cfg.multiply_with_mode(AccuracyMode::Bypass, 1000, 1000);
+        assert!(p <= 1_000_000, "bypass must underestimate like Mitchell");
+    }
+
+    #[test]
+    fn accuracy_is_monotone_in_mode() {
+        let cfg = ConfigurableRealm::new(16, 0).expect("valid configuration");
+        let mean = |mode: AccuracyMode| {
+            let pinned = cfg.clone().with_mode(mode);
+            let (mut s, mut n) = (0.0, 0u32);
+            for a in (1..65_536u64).step_by(977) {
+                for b in (1..65_536u64).step_by(1009) {
+                    s += pinned.relative_error(a, b).expect("nonzero").abs();
+                    n += 1;
+                }
+            }
+            s / n as f64
+        };
+        let errs: Vec<f64> = AccuracyMode::ALL.iter().map(|&m| mean(m)).collect();
+        assert!(
+            errs.windows(2).all(|w| w[0] >= w[1] * 0.98),
+            "accuracy not monotone: {errs:?}"
+        );
+        assert!(errs[0] > 3.0 * errs[3], "mode range too narrow: {errs:?}");
+    }
+
+    #[test]
+    fn mode_encodings_are_distinct() {
+        let mut seen: Vec<u32> = AccuracyMode::ALL.iter().map(|m| m.encoding()).collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn validation_matches_realm16_rules() {
+        assert!(ConfigurableRealm::new(3, 0).is_err());
+        assert!(ConfigurableRealm::new(16, 12).is_err()); // < 4 index bits left
+        assert!(ConfigurableRealm::new(16, 9).is_ok());
+    }
+}

@@ -1,0 +1,87 @@
+//! Small fixed-point conversion helpers shared across the workspace
+//! (datapath models, the JPEG application study and the synthesis crate
+//! all reason about unsigned `Uq` fractions).
+
+/// Converts a real value in `[0, 1)` to an unsigned fixed-point integer
+/// with `bits` fractional bits, rounding to nearest.
+///
+/// ```
+/// use realm_core::fixed::to_fixed;
+///
+/// assert_eq!(to_fixed(0.5, 8), 128);
+/// assert_eq!(to_fixed(0.25, 4), 4);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `value` is not in `[0, 1)` or `bits > 63`.
+pub fn to_fixed(value: f64, bits: u32) -> u64 {
+    assert!((0.0..1.0).contains(&value), "value {value} outside [0, 1)");
+    assert!(bits <= 63, "too many fraction bits: {bits}");
+    let scaled = (value * (1u64 << bits) as f64).round() as u64;
+    scaled.min((1u64 << bits) - 1)
+}
+
+/// Converts an unsigned fixed-point fraction back to a real value.
+///
+/// ```
+/// use realm_core::fixed::from_fixed;
+///
+/// assert_eq!(from_fixed(128, 8), 0.5);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `bits > 63`.
+pub fn from_fixed(value: u64, bits: u32) -> f64 {
+    assert!(bits <= 63, "too many fraction bits: {bits}");
+    value as f64 / (1u64 << bits) as f64
+}
+
+/// Floor-rescales a fixed-point value from `from_bits` to `to_bits`
+/// fractional bits, exactly as a hardware bus width change does (widening
+/// appends zeros; narrowing floors low bits away).
+///
+/// ```
+/// use realm_core::fixed::rescale;
+///
+/// assert_eq!(rescale(0b1011, 4, 6), 0b101100);
+/// assert_eq!(rescale(0b1011, 4, 2), 0b10);
+/// ```
+pub fn rescale(value: u64, from_bits: u32, to_bits: u32) -> u64 {
+    if to_bits >= from_bits {
+        value << (to_bits - from_bits)
+    } else {
+        value >> (from_bits - to_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_within_half_lsb() {
+        for i in 0..100 {
+            let v = i as f64 / 101.0;
+            let f = to_fixed(v, 12);
+            assert!((from_fixed(f, 12) - v).abs() <= 0.5 / 4096.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn to_fixed_saturates_near_one() {
+        assert_eq!(to_fixed(0.999999999, 4), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn to_fixed_rejects_one() {
+        let _ = to_fixed(1.0, 8);
+    }
+
+    #[test]
+    fn rescale_identity() {
+        assert_eq!(rescale(42, 7, 7), 42);
+    }
+}

@@ -1,0 +1,296 @@
+//! Approximate floating-point multiplication built on an approximate
+//! integer mantissa core — the construction the MBM paper (\[4\], by the
+//! same authors) uses to turn integer multipliers into FP multipliers,
+//! applied here to REALM.
+//!
+//! The significand product `1.f_a × 1.f_b` is computed by any unsigned
+//! [`Multiplier`] wide enough for the format's significand; exponents add
+//! (with bias correction) and the result is renormalized. Subnormal
+//! inputs/outputs are flushed to zero and the significand product is
+//! truncated (round-toward-zero), as the referenced hardware designs do —
+//! both choices are documented behaviour, not accidents.
+
+use crate::multiplier::Multiplier;
+
+/// An IEEE-754-style binary format (1 sign bit, `exponent_bits`,
+/// `mantissa_bits`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FloatFormat {
+    /// Exponent field width in bits.
+    pub exponent_bits: u32,
+    /// Stored mantissa (fraction) width in bits, excluding the hidden one.
+    pub mantissa_bits: u32,
+}
+
+impl FloatFormat {
+    /// IEEE-754 binary32 (1 + 8 + 23).
+    pub const FP32: FloatFormat = FloatFormat {
+        exponent_bits: 8,
+        mantissa_bits: 23,
+    };
+    /// bfloat16 (1 + 8 + 7).
+    pub const BF16: FloatFormat = FloatFormat {
+        exponent_bits: 8,
+        mantissa_bits: 7,
+    };
+    /// IEEE-754 binary16 (1 + 5 + 10).
+    pub const FP16: FloatFormat = FloatFormat {
+        exponent_bits: 5,
+        mantissa_bits: 10,
+    };
+
+    /// Total storage width.
+    pub fn width(&self) -> u32 {
+        1 + self.exponent_bits + self.mantissa_bits
+    }
+
+    /// Exponent bias (`2^(e−1) − 1`).
+    pub fn bias(&self) -> i64 {
+        (1i64 << (self.exponent_bits - 1)) - 1
+    }
+
+    /// All-ones exponent field (infinity/NaN encodings).
+    pub fn exponent_mask(&self) -> u64 {
+        (1u64 << self.exponent_bits) - 1
+    }
+}
+
+/// An approximate floating-point multiplier: any unsigned integer
+/// [`Multiplier`] as the significand core.
+///
+/// ```
+/// use realm_core::float::{ApproxFloat, FloatFormat};
+/// use realm_core::{Realm, RealmConfig};
+///
+/// # fn main() -> Result<(), realm_core::ConfigError> {
+/// // REALM as a 24-bit significand core for binary32.
+/// let core = Realm::new(RealmConfig::new(24, 16, 0, 6))?;
+/// let fpu = ApproxFloat::new(FloatFormat::FP32, core)?;
+/// let p = fpu.multiply_f32(3.25, -2.5);
+/// let rel = (p - (-8.125)) / -8.125;
+/// assert!(rel.abs() < 0.021); // REALM16's ±2.08 % envelope carries over
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ApproxFloat<M> {
+    format: FloatFormat,
+    core: M,
+}
+
+impl<M: Multiplier> ApproxFloat<M> {
+    /// Wraps a significand core for the given format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ConfigError::UnsupportedWidth`] if the core is
+    /// narrower than the format's `mantissa_bits + 1` significand.
+    pub fn new(format: FloatFormat, core: M) -> Result<Self, crate::ConfigError> {
+        if core.width() < format.mantissa_bits + 1 {
+            return Err(crate::ConfigError::UnsupportedWidth {
+                width: core.width(),
+            });
+        }
+        Ok(ApproxFloat { format, core })
+    }
+
+    /// The wrapped significand core.
+    pub fn core(&self) -> &M {
+        &self.core
+    }
+
+    /// The format in use.
+    pub fn format(&self) -> FloatFormat {
+        self.format
+    }
+
+    /// Multiplies two values given as raw format encodings, returning the
+    /// raw encoding of the approximate product.
+    ///
+    /// Semantics: NaN/Inf propagate as usual (NaN is canonicalized);
+    /// subnormals flush to zero; overflow saturates to ±Inf; underflow
+    /// flushes to ±0; the significand product is truncated.
+    pub fn multiply_bits(&self, a: u64, b: u64) -> u64 {
+        let f = self.format;
+        let mbits = f.mantissa_bits;
+        let emask = f.exponent_mask();
+        let sign = ((a >> (f.width() - 1)) ^ (b >> (f.width() - 1))) & 1;
+        let (ea, ma) = ((a >> mbits) & emask, a & ((1 << mbits) - 1));
+        let (eb, mb) = ((b >> mbits) & emask, b & ((1 << mbits) - 1));
+
+        let sign_out = sign << (f.width() - 1);
+        let inf = sign_out | (emask << mbits);
+        let nan = (emask << mbits) | (1 << (mbits - 1));
+        let a_special = ea == emask;
+        let b_special = eb == emask;
+        let a_zero = ea == 0; // subnormals flush to zero
+        let b_zero = eb == 0;
+        if a_special || b_special {
+            // NaN × anything, Inf × 0 → NaN; Inf × finite-nonzero → Inf.
+            if (a_special && ma != 0) || (b_special && mb != 0) {
+                return nan;
+            }
+            if (a_special && b_zero) || (b_special && a_zero) {
+                return nan;
+            }
+            return inf;
+        }
+        if a_zero || b_zero {
+            return sign_out;
+        }
+
+        // Significand product through the approximate core: 1.m × 1.m,
+        // operands are (mbits+1)-bit integers.
+        let sa = (1u64 << mbits) | ma;
+        let sb = (1u64 << mbits) | mb;
+        let product = self.core.multiply(sa, sb); // in [2^2m, 2^(2m+2))
+                                                  // Renormalize: product = sig × 2^(2m) with sig in [1, 4).
+        let carry = (product >> (2 * mbits + 1)) & 1;
+        let mant_out = if carry == 1 {
+            (product >> (mbits + 1)) & ((1 << mbits) - 1)
+        } else {
+            (product >> mbits) & ((1 << mbits) - 1)
+        };
+        let exp_out = ea as i64 + eb as i64 - f.bias() + carry as i64;
+        if exp_out >= emask as i64 {
+            return inf; // overflow → ±Inf
+        }
+        if exp_out <= 0 {
+            return sign_out; // underflow → ±0 (flush)
+        }
+        sign_out | ((exp_out as u64) << mbits) | mant_out
+    }
+
+    /// Convenience wrapper for binary32 values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the format is not [`FloatFormat::FP32`].
+    pub fn multiply_f32(&self, a: f32, b: f32) -> f32 {
+        assert_eq!(
+            self.format,
+            FloatFormat::FP32,
+            "multiply_f32 requires the FP32 format"
+        );
+        f32::from_bits(self.multiply_bits(a.to_bits() as u64, b.to_bits() as u64) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accurate::Accurate;
+    use crate::realm::{Realm, RealmConfig};
+
+    fn exact_fpu() -> ApproxFloat<Accurate> {
+        ApproxFloat::new(FloatFormat::FP32, Accurate::new(24)).expect("24-bit core fits")
+    }
+
+    fn realm_fpu() -> ApproxFloat<Realm> {
+        let core = Realm::new(RealmConfig::new(24, 16, 0, 6)).expect("valid configuration");
+        ApproxFloat::new(FloatFormat::FP32, core).expect("24-bit core fits")
+    }
+
+    #[test]
+    fn exact_core_is_within_one_ulp_of_ieee() {
+        let fpu = exact_fpu();
+        for (a, b) in [
+            (1.5f32, 2.25f32),
+            (3.14159, 2.71828),
+            (1e-10, 1e10),
+            (123456.78, 0.0009),
+            (-7.5, 42.0),
+            (-1.0, -1.0),
+        ] {
+            let got = fpu.multiply_f32(a, b);
+            let want = a * b;
+            let ulp = (want.abs() * f32::EPSILON).max(f32::MIN_POSITIVE);
+            assert!(
+                (got - want).abs() <= 2.0 * ulp,
+                "{a} * {b}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_never_overestimates_with_exact_core() {
+        let fpu = exact_fpu();
+        for i in 1..500u32 {
+            let a = f32::from_bits(0x3F80_0000 + i * 7919);
+            let b = f32::from_bits(0x4000_0000 + i * 104_729);
+            let got = fpu.multiply_f32(a, b);
+            assert!(got <= a * b, "{a} * {b}: {got} > {}", a * b);
+        }
+    }
+
+    #[test]
+    fn realm_core_keeps_its_error_envelope() {
+        let fpu = realm_fpu();
+        let mut x = 0xACE1u64;
+        for _ in 0..2_000 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let a = f32::from_bits((0x3000_0000 + ((x >> 12) as u32 % 0x2000_0000)) & 0x7FFF_FFFF);
+            let b = f32::from_bits((0x3000_0000 + ((x >> 33) as u32 % 0x2000_0000)) & 0x7FFF_FFFF);
+            if !a.is_finite() || !b.is_finite() || a == 0.0 || b == 0.0 {
+                continue;
+            }
+            let exact = a as f64 * b as f64;
+            if !exact.is_normal() {
+                continue;
+            }
+            let got = fpu.multiply_f32(a, b) as f64;
+            if got == 0.0 || got.is_infinite() {
+                continue; // flushed/overflowed by design
+            }
+            let rel = (got - exact) / exact;
+            assert!(rel.abs() < 0.0215, "{a} * {b}: rel {rel}");
+        }
+    }
+
+    #[test]
+    fn special_values() {
+        let fpu = exact_fpu();
+        assert!(fpu.multiply_f32(f32::NAN, 1.0).is_nan());
+        assert!(fpu.multiply_f32(f32::INFINITY, 0.0).is_nan());
+        assert_eq!(fpu.multiply_f32(f32::INFINITY, 2.0), f32::INFINITY);
+        assert_eq!(fpu.multiply_f32(f32::NEG_INFINITY, 2.0), f32::NEG_INFINITY);
+        assert_eq!(fpu.multiply_f32(0.0, 123.0), 0.0);
+        assert_eq!(fpu.multiply_f32(-0.0, 123.0), -0.0);
+    }
+
+    #[test]
+    fn overflow_saturates_underflow_flushes() {
+        let fpu = exact_fpu();
+        assert_eq!(fpu.multiply_f32(f32::MAX, 2.0), f32::INFINITY);
+        assert_eq!(fpu.multiply_f32(f32::MAX, -2.0), f32::NEG_INFINITY);
+        assert_eq!(fpu.multiply_f32(f32::MIN_POSITIVE, f32::MIN_POSITIVE), 0.0);
+    }
+
+    #[test]
+    fn sign_rules() {
+        let fpu = realm_fpu();
+        assert!(fpu.multiply_f32(2.0, 3.0) > 0.0);
+        assert!(fpu.multiply_f32(-2.0, 3.0) < 0.0);
+        assert!(fpu.multiply_f32(-2.0, -3.0) > 0.0);
+    }
+
+    #[test]
+    fn bf16_core_roundtrips() {
+        // An 8-bit significand core is enough for bfloat16.
+        let core = Realm::new(RealmConfig::new(8, 4, 0, 6)).expect("valid configuration");
+        let fpu = ApproxFloat::new(FloatFormat::BF16, core).expect("8-bit core fits");
+        // 1.5 × 2.5 = 3.75 in bf16: 1.5 = 0x3FC0, 2.5 = 0x4020, 3.75 = 0x4070.
+        let p = fpu.multiply_bits(0x3FC0, 0x4020);
+        let as_f32 = f32::from_bits((p as u32) << 16);
+        assert!((as_f32 - 3.75).abs() / 3.75 < 0.06, "bf16 product {as_f32}");
+    }
+
+    #[test]
+    fn narrow_core_rejected() {
+        let err = ApproxFloat::new(FloatFormat::FP32, Accurate::new(16)).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::ConfigError::UnsupportedWidth { width: 16 }
+        ));
+    }
+}

@@ -1,0 +1,203 @@
+//! The quantized, hardwired error-reduction lookup table (paper §III-C).
+//!
+//! The real-valued factors `s_ij` are rounded to `q`-bit fractional
+//! precision (round-to-nearest, LSB weight `2^-q`). Because every factor
+//! lies in `(0, 0.25)`, the two most-significant fraction bits are always
+//! zero and are not stored: the physical table is a `(q−2)`-bit wide,
+//! `M²`-entry constant multiplexer addressed by the concatenated fraction
+//! MSBs of the two operands.
+
+use crate::error::ConfigError;
+use crate::factors::ErrorReductionTable;
+use crate::segment::SegmentGrid;
+
+/// A `q`-bit quantized `M × M` error-reduction LUT.
+///
+/// ```
+/// use realm_core::{ErrorReductionTable, QuantizedLut};
+///
+/// # fn main() -> Result<(), realm_core::ConfigError> {
+/// let table = ErrorReductionTable::analytic(8)?;
+/// let lut = QuantizedLut::quantize(&table, 6)?;
+/// // Every stored code fits in q−2 = 4 bits.
+/// assert!(lut.codes().iter().all(|&c| c < 16));
+/// // Quantization error is at most half an LSB.
+/// for i in 0..8 {
+///     for j in 0..8 {
+///         let err = (lut.real_value(i, j) - table.value(i, j)).abs();
+///         assert!(err <= 0.5 / 64.0 + 1e-12);
+///     }
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantizedLut {
+    grid: SegmentGrid,
+    precision: u32,
+    codes: Vec<u32>,
+}
+
+impl QuantizedLut {
+    /// Rounds every factor of `table` to `precision`-bit fractions
+    /// (round-to-nearest) and packs them into `(q−2)`-bit codes.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::InvalidLutPrecision`] if `precision ∉ 3..=20`.
+    /// * [`ConfigError::FactorOutOfRange`] if a factor (after rounding)
+    ///   falls outside `(0, 2^-2)` — the storage optimization would be
+    ///   unsound for it.
+    pub fn quantize(table: &ErrorReductionTable, precision: u32) -> Result<Self, ConfigError> {
+        if !(3..=20).contains(&precision) {
+            return Err(ConfigError::InvalidLutPrecision { precision });
+        }
+        let grid = SegmentGrid::new(table.segments())?;
+        let scale = (1u64 << precision) as f64;
+        let limit = 1u32 << (precision - 2); // codes must stay below 2^(q−2)
+        let m = table.segments() as usize;
+        let mut codes = Vec::with_capacity(m * m);
+        for i in 0..m {
+            for j in 0..m {
+                let s = table.value(i, j);
+                let code = (s * scale).round() as i64;
+                if s <= 0.0 || s >= 0.25 || code < 0 || code as u32 >= limit {
+                    return Err(ConfigError::FactorOutOfRange {
+                        row: i,
+                        col: j,
+                        value: s,
+                    });
+                }
+                codes.push(code as u32);
+            }
+        }
+        Ok(QuantizedLut {
+            grid,
+            precision,
+            codes,
+        })
+    }
+
+    /// Segments per axis (`M`).
+    pub fn segments(&self) -> u32 {
+        self.grid.segments()
+    }
+
+    /// The fractional precision `q` (LSB weight `2^-q`).
+    pub fn precision(&self) -> u32 {
+        self.precision
+    }
+
+    /// Width of the physical storage in bits (`q − 2`).
+    pub fn storage_bits(&self) -> u32 {
+        self.precision - 2
+    }
+
+    /// The raw stored codes, row-major; entry `(i, j)` encodes
+    /// `code · 2^-q`.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The quantized code for segment `(i, j)`, in units of `2^-q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn code(&self, i: usize, j: usize) -> u32 {
+        self.codes[self.grid.flat_index(i, j)]
+    }
+
+    /// The quantized factor for segment `(i, j)` as a real number.
+    pub fn real_value(&self, i: usize, j: usize) -> f64 {
+        self.code(i, j) as f64 / (1u64 << self.precision) as f64
+    }
+
+    /// Looks up the code addressed by two fixed-point fractions, exactly as
+    /// the hardware muxes on the concatenated MSBs.
+    pub fn lookup(&self, x_fraction: u64, y_fraction: u64, fraction_bits: u32) -> u32 {
+        let i = self.grid.index_of(x_fraction, fraction_bits);
+        let j = self.grid.index_of(y_fraction, fraction_bits);
+        self.code(i, j)
+    }
+
+    /// The segment grid used for addressing.
+    pub fn grid(&self) -> &SegmentGrid {
+        &self.grid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(m: u32) -> ErrorReductionTable {
+        ErrorReductionTable::analytic(m).expect("valid M")
+    }
+
+    #[test]
+    fn quantization_error_within_half_lsb() {
+        for m in [4u32, 8, 16] {
+            let t = table(m);
+            let lut = QuantizedLut::quantize(&t, 6).unwrap();
+            let half_lsb = 0.5 / 64.0;
+            for i in 0..m as usize {
+                for j in 0..m as usize {
+                    let e = (lut.real_value(i, j) - t.value(i, j)).abs();
+                    assert!(e <= half_lsb + 1e-12, "M={m} ({i},{j}) err {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn codes_fit_in_storage_bits() {
+        for (m, q) in [(4u32, 6u32), (8, 6), (16, 6), (16, 8), (8, 10)] {
+            let lut = QuantizedLut::quantize(&table(m), q).unwrap();
+            assert_eq!(lut.storage_bits(), q - 2);
+            let limit = 1u32 << (q - 2);
+            assert!(lut.codes().iter().all(|&c| c < limit), "M={m} q={q}");
+        }
+    }
+
+    #[test]
+    fn lookup_matches_code() {
+        let lut = QuantizedLut::quantize(&table(4), 6).unwrap();
+        // 8-bit fractions: MSB pair selects the segment.
+        assert_eq!(lut.lookup(0b1100_0000, 0b0000_0000, 8), lut.code(3, 0));
+        assert_eq!(lut.lookup(0b0101_0101, 0b1010_1010, 8), lut.code(1, 2));
+    }
+
+    #[test]
+    fn precision_bounds_enforced() {
+        let t = table(4);
+        assert!(matches!(
+            QuantizedLut::quantize(&t, 2),
+            Err(ConfigError::InvalidLutPrecision { precision: 2 })
+        ));
+        assert!(matches!(
+            QuantizedLut::quantize(&t, 21),
+            Err(ConfigError::InvalidLutPrecision { precision: 21 })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_factor_rejected() {
+        let t = ErrorReductionTable::from_values(2, vec![0.3, 0.1, 0.1, 0.1]).unwrap();
+        assert!(matches!(
+            QuantizedLut::quantize(&t, 6),
+            Err(ConfigError::FactorOutOfRange { row: 0, col: 0, .. })
+        ));
+        let t = ErrorReductionTable::from_values(2, vec![0.1, -0.01, 0.1, 0.1]).unwrap();
+        assert!(QuantizedLut::quantize(&t, 6).is_err());
+    }
+
+    #[test]
+    fn rounding_is_to_nearest() {
+        // 0.100 * 64 = 6.4 → code 6; 0.12 * 64 = 7.68 → code 8.
+        let t = ErrorReductionTable::from_values(2, vec![0.100, 0.12, 0.12, 0.100]).unwrap();
+        let lut = QuantizedLut::quantize(&t, 6).unwrap();
+        assert_eq!(lut.code(0, 0), 6);
+        assert_eq!(lut.code(0, 1), 8);
+    }
+}

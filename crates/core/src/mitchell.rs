@@ -1,0 +1,345 @@
+//! Mitchell's binary-logarithm approximation: the shared front end of the
+//! entire log-based multiplier family (cALM, MBM, ALM-SOA/MAA, REALM).
+//!
+//! An `N`-bit unsigned integer `A` with leading one at position `k` is
+//! written `A = 2^k (1 + x)` with `x ∈ [0, 1)`. Mitchell's approximation
+//! (paper Eq. 1) linearizes the binary log inside each power-of-two
+//! interval: `lg(A) ≈ k + x`. In hardware, `k` comes from a leading-one
+//! detector and `x` from a barrel shifter normalizing the bits below the
+//! leading one; this module is the bit-accurate behavioural equivalent.
+
+use crate::error::ConfigError;
+
+/// The approximate binary logarithm of a nonzero `N`-bit integer:
+/// characteristic `k` plus a fixed-point fraction.
+///
+/// The fraction field holds `fraction_bits` bits with the MSB weighing
+/// `2^-1`, i.e. the encoded value is `k + fraction / 2^fraction_bits`.
+///
+/// ```
+/// use realm_core::mitchell::LogEncoding;
+///
+/// // 192 = 2^7 * 1.5  →  k = 7, x = 0.5
+/// let enc = LogEncoding::encode(192, 8).unwrap();
+/// assert_eq!(enc.characteristic, 7);
+/// assert_eq!(enc.fraction_bits, 7);
+/// assert_eq!(enc.fraction, 1 << 6); // 0.5 in 7 fractional bits
+/// assert_eq!(enc.fraction_value(), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LogEncoding {
+    /// Position of the leading one (`k = floor(log2 A)`).
+    pub characteristic: u32,
+    /// Normalized fraction bits (`x` scaled by `2^fraction_bits`).
+    pub fraction: u64,
+    /// Number of valid bits in [`fraction`](Self::fraction).
+    pub fraction_bits: u32,
+}
+
+impl LogEncoding {
+    /// Encodes a nonzero value of the given operand `width`, producing the
+    /// full-precision `width − 1`-bit fraction.
+    ///
+    /// Returns `None` for zero (the logarithm does not exist; multiplier
+    /// datapaths short-circuit this case).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `value` does not fit in `width` bits.
+    pub fn encode(value: u64, width: u32) -> Option<Self> {
+        debug_assert!((1..=32).contains(&width));
+        debug_assert!(
+            width == 64 || value >> width == 0,
+            "value exceeds {width} bits"
+        );
+        if value == 0 {
+            return None;
+        }
+        let k = 63 - value.leading_zeros();
+        let mantissa = value - (1u64 << k); // bits below the leading one, < 2^k
+        let fraction_bits = width - 1;
+        // Barrel-shift so the bit just below the leading one lands at 2^-1.
+        let fraction = mantissa << (fraction_bits - k);
+        Some(LogEncoding {
+            characteristic: k,
+            fraction,
+            fraction_bits,
+        })
+    }
+
+    /// The fraction interpreted as a real number `x ∈ [0, 1)`.
+    pub fn fraction_value(&self) -> f64 {
+        self.fraction as f64 / (1u64 << self.fraction_bits) as f64
+    }
+
+    /// The full approximate log value `k + x` as a real number.
+    pub fn value(&self) -> f64 {
+        self.characteristic as f64 + self.fraction_value()
+    }
+
+    /// Applies the paper's truncate-and-set-LSB conditioning (§III-C): drop
+    /// the `t` least-significant fraction bits and force the surviving LSB
+    /// to 1, rounding the truncation-induced error toward zero bias.
+    ///
+    /// With `t = 0` the LSB is still forced to 1 — the paper counts this as
+    /// "(t+1) bits truncated" because that output bit need not be computed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::TruncationTooLarge`] if fewer than one bit
+    /// would survive.
+    pub fn truncate(self, t: u32) -> Result<Self, ConfigError> {
+        if t >= self.fraction_bits {
+            return Err(ConfigError::TruncationTooLarge {
+                truncation: t,
+                fraction_bits: self.fraction_bits,
+                index_bits: 1,
+            });
+        }
+        Ok(LogEncoding {
+            characteristic: self.characteristic,
+            fraction: (self.fraction >> t) | 1,
+            fraction_bits: self.fraction_bits - t,
+        })
+    }
+
+    /// Decodes (`k`, fraction) back to the integer `2^k (1 + x)` would
+    /// round down to — exact when the fraction carries full precision.
+    ///
+    /// ```
+    /// use realm_core::mitchell::LogEncoding;
+    ///
+    /// for v in 1..=255u64 {
+    ///     assert_eq!(LogEncoding::encode(v, 8).unwrap().decode(), v);
+    /// }
+    /// ```
+    pub fn decode(&self) -> u64 {
+        let mant = (1u64 << self.fraction_bits) + self.fraction; // 1.x
+        scale(mant as u128, self.characteristic as i64, self.fraction_bits) as u64
+    }
+}
+
+/// Applies the final barrel-shifter scaling of the log-based datapath:
+/// computes `floor(mantissa * 2^(exponent - fraction_bits))`, saturating at
+/// `u128::MAX` (callers clamp further to their own product width).
+///
+/// `mantissa` is a fixed-point value with `fraction_bits` fractional bits;
+/// `exponent` is the accumulated characteristic. Bits shifted below the
+/// binary point are floored away, exactly as the hardware's right shift
+/// discards them — this is the "small products lose error-reduction bits"
+/// special case the paper describes.
+pub fn scale(mantissa: u128, exponent: i64, fraction_bits: u32) -> u128 {
+    let shift = exponent - fraction_bits as i64;
+    if shift >= 0 {
+        let shift = shift as u32;
+        if shift >= 128 || (mantissa.leading_zeros() as i64) < shift as i64 {
+            u128::MAX
+        } else {
+            mantissa << shift
+        }
+    } else {
+        let down = (-shift) as u32;
+        if down >= 128 {
+            0
+        } else {
+            mantissa >> down
+        }
+    }
+}
+
+/// Saturates a wide product to the `2N`-bit output register of an `N`-bit
+/// multiplier (the paper's overflow special case: error reduction can push
+/// the result to `2N + 1` bits when both operands are near `2^N − 1`).
+pub fn saturate_product(value: u128, width: u32) -> u64 {
+    let max = if width >= 32 {
+        u64::MAX as u128
+    } else {
+        (1u128 << (2 * width)) - 1
+    };
+    if value > max {
+        max as u64
+    } else {
+        value as u64
+    }
+}
+
+/// The complete classical log-based product (paper Eq. 3): adds the two
+/// encodings, applies an optional fixed-point correction to the fraction
+/// sum, and scales back. This single routine is the shared back end of
+/// cALM (`correction` = 0), MBM (a single constant) and REALM (a per-
+/// segment LUT value); the correction is specified in units of
+/// `2^-correction_bits` and is halved (with flooring at the datapath's
+/// fraction resolution) when the fraction sum carries, implementing the
+/// `s_ij / 2` multiplexer of Fig. 3.
+///
+/// Both encodings must carry the same number of fraction bits.
+pub fn log_mul(
+    a: &LogEncoding,
+    b: &LogEncoding,
+    correction: u64,
+    correction_bits: u32,
+    width: u32,
+) -> u64 {
+    assert_eq!(
+        a.fraction_bits, b.fraction_bits,
+        "operand encodings must share a fraction width"
+    );
+    let f = a.fraction_bits;
+    let k_sum = (a.characteristic + b.characteristic) as i64;
+    let fsum = a.fraction + b.fraction; // f+1 bits
+    let carry = fsum >> f; // 1 iff x + y >= 1
+
+    // Align the correction to the datapath's fraction resolution. When the
+    // LUT is finer than the datapath (q > F) the low bits simply do not
+    // exist in hardware and are floored away.
+    let corr_f = if f >= correction_bits {
+        correction << (f - correction_bits)
+    } else {
+        correction >> (correction_bits - f)
+    };
+    let corr_eff = if carry == 1 { corr_f >> 1 } else { corr_f };
+
+    let (mantissa, exponent) = if carry == 0 {
+        // 2^(ka+kb) * (1 + x + y + s)
+        ((1u128 << f) + fsum as u128 + corr_eff as u128, k_sum)
+    } else {
+        // 2^(ka+kb+1) * (x + y + s/2), with x + y in [1, 2)
+        (fsum as u128 + corr_eff as u128, k_sum + 1)
+    };
+    saturate_product(scale(mantissa, exponent, f), width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_rejects_zero() {
+        assert!(LogEncoding::encode(0, 16).is_none());
+    }
+
+    #[test]
+    fn encode_powers_of_two_have_zero_fraction() {
+        for k in 0..16 {
+            let enc = LogEncoding::encode(1 << k, 16).unwrap();
+            assert_eq!(enc.characteristic, k);
+            assert_eq!(enc.fraction, 0);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_8bit() {
+        for v in 1..256u64 {
+            assert_eq!(LogEncoding::encode(v, 8).unwrap().decode(), v);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_16bit_sample() {
+        for v in (1..65_536u64).step_by(97) {
+            assert_eq!(LogEncoding::encode(v, 16).unwrap().decode(), v);
+        }
+        assert_eq!(LogEncoding::encode(65_535, 16).unwrap().decode(), 65_535);
+    }
+
+    #[test]
+    fn fraction_value_matches_real_log_mantissa() {
+        let enc = LogEncoding::encode(48_000, 16).unwrap();
+        let expected = 48_000.0 / (1u64 << enc.characteristic) as f64 - 1.0;
+        assert!((enc.fraction_value() - expected).abs() < 1e-4);
+    }
+
+    #[test]
+    fn truncate_sets_lsb() {
+        let enc = LogEncoding::encode(0b1010_1010, 8).unwrap();
+        let t = enc.truncate(3).unwrap();
+        assert_eq!(t.fraction_bits, 4);
+        assert_eq!(t.fraction & 1, 1);
+        assert_eq!(t.fraction >> 1, enc.fraction >> 4);
+    }
+
+    #[test]
+    fn truncate_zero_still_sets_lsb() {
+        let enc = LogEncoding::encode(1 << 10, 16).unwrap(); // fraction all zero
+        let t = enc.truncate(0).unwrap();
+        assert_eq!(t.fraction, 1);
+    }
+
+    #[test]
+    fn truncate_too_far_errors() {
+        let enc = LogEncoding::encode(100, 8).unwrap();
+        assert!(enc.truncate(7).is_err());
+        assert!(enc.truncate(6).is_ok());
+    }
+
+    #[test]
+    fn scale_up_and_down() {
+        // mantissa 1.5 with 4 fraction bits = 24; exponent 6 → 1.5 * 64 = 96
+        assert_eq!(scale(24, 6, 4), 96);
+        // exponent 2 → 1.5 * 4 = 6
+        assert_eq!(scale(24, 2, 4), 6);
+        // exponent 0 → floor(1.5) = 1
+        assert_eq!(scale(24, 0, 4), 1);
+    }
+
+    #[test]
+    fn scale_saturates_on_overflow() {
+        assert_eq!(scale(u128::MAX, 10, 0), u128::MAX);
+    }
+
+    #[test]
+    fn saturate_clamps_to_2n_bits() {
+        assert_eq!(saturate_product(1 << 32, 16), (1u64 << 32) - 1);
+        assert_eq!(saturate_product(12345, 16), 12345);
+    }
+
+    #[test]
+    fn log_mul_with_zero_correction_is_mitchell() {
+        // 6 * 12: 6 = 2^2*1.5, 12 = 2^3*1.5 → x+y = 1.0 carries.
+        // Mitchell: 2^(5+1) * (1.0 + 0) = 64. Exact is 72, error -11.1 %.
+        let a = LogEncoding::encode(6, 8).unwrap();
+        let b = LogEncoding::encode(12, 8).unwrap();
+        assert_eq!(log_mul(&a, &b, 0, 6, 8), 64);
+    }
+
+    #[test]
+    fn log_mul_exact_on_powers_of_two() {
+        for (a, b) in [(4u64, 8u64), (1, 128), (16, 16), (2, 2)] {
+            let ea = LogEncoding::encode(a, 8).unwrap();
+            let eb = LogEncoding::encode(b, 8).unwrap();
+            assert_eq!(log_mul(&ea, &eb, 0, 6, 8), a * b);
+        }
+    }
+
+    #[test]
+    fn log_mul_error_is_never_positive_without_correction() {
+        // Mitchell's approximation always underestimates: 1+x+y <= (1+x)(1+y)
+        // and 2(x+y) <= (1+x)(1+y).
+        for a in 1..256u64 {
+            for b in (1..256u64).step_by(7) {
+                let ea = LogEncoding::encode(a, 8).unwrap();
+                let eb = LogEncoding::encode(b, 8).unwrap();
+                assert!(log_mul(&ea, &eb, 0, 6, 8) <= a * b, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn log_mul_applies_half_correction_on_carry() {
+        // a = b = 192 (x = y = 0.5): fsum carries, so the correction is
+        // halved. With correction = 16/64 = 0.25 the mantissa becomes
+        // x + y + 0.125 and the product 2^(7+7+1) * 1.125 = 36864.
+        let a = LogEncoding::encode(192, 8).unwrap();
+        let b = LogEncoding::encode(192, 8).unwrap();
+        assert_eq!(log_mul(&a, &b, 16, 6, 8), 36_864);
+    }
+
+    #[test]
+    fn log_mul_saturates_near_full_scale() {
+        // Large correction on near-max operands overflows 2N bits → clamp.
+        let a = LogEncoding::encode(255, 8).unwrap();
+        let b = LogEncoding::encode(255, 8).unwrap();
+        let p = log_mul(&a, &b, 63, 6, 8);
+        assert_eq!(p, (1u64 << 16) - 1);
+    }
+}

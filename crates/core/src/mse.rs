@@ -1,0 +1,274 @@
+//! Mean-square-error factor formulation — the paper's stated future
+//! extension (§III-B: *"the formulation in Equation 8 can also be
+//! modified for other error metrics, such as mean square error"*).
+//!
+//! Instead of zeroing the segment's mean relative error (Eq. 8), choose
+//! `s_ij` to minimize the segment's **mean squared** relative error:
+//!
+//! ```text
+//! minimize  ∫∫_seg ( Ẽ(x,y) + s · w(x,y) )² dx dy,   w = 1/((1+x)(1+y))
+//! ```
+//!
+//! Setting the derivative to zero gives the least-squares solution
+//!
+//! ```text
+//! s_ij = − ∫∫ Ẽ·w  /  ∫∫ w²
+//! ```
+//!
+//! Compared with the paper's formulation the MSE factors trade a little
+//! bias (the mean error is no longer exactly zero per segment) for lower
+//! error variance; the `ablation` driver in `realm-bench` quantifies the
+//! trade.
+
+use crate::error::ConfigError;
+use crate::factors::{mitchell_relative_error, ErrorReductionTable};
+use crate::quad::GaussLegendre;
+
+/// Closed form of `∫∫ w² dx dy` over a box, with
+/// `w = 1/((1+x)(1+y))`: separable into
+/// `[x/(1+x)]·[y/(1+y)]`-style antiderivatives.
+pub fn weight_square_integral(x0: f64, x1: f64, y0: f64, y1: f64) -> f64 {
+    // ∫ 1/(1+x)² dx = −1/(1+x)
+    let ix = 1.0 / (1.0 + x0) - 1.0 / (1.0 + x1);
+    let iy = 1.0 / (1.0 + y0) - 1.0 / (1.0 + y1);
+    ix * iy
+}
+
+/// Closed form of the inner integral `∫_a^b Ẽ(x, y) · w(x, y) dy` for the
+/// `x + y < 1` branch.
+fn inner_region1(x: f64, a: f64, b: f64) -> f64 {
+    // Ẽ·w = (1+x+y)/((1+x)²(1+y)²) − 1/((1+x)(1+y))
+    // ∫ (1+x+y)/(1+y)² dy = ∫ [x/(1+y)² + 1/(1+y)] dy
+    //                      = x(1/(1+a) − 1/(1+b)) + ln((1+b)/(1+a))
+    let l = ((1.0 + b) / (1.0 + a)).ln();
+    let inv = 1.0 / (1.0 + a) - 1.0 / (1.0 + b);
+    let opx = 1.0 + x;
+    (x * inv + l) / (opx * opx) - l / opx
+}
+
+/// Closed form of the inner integral for the `x + y >= 1` branch.
+fn inner_region2(x: f64, a: f64, b: f64) -> f64 {
+    // Ẽ·w = 2(x+y)/((1+x)²(1+y)²) − 1/((1+x)(1+y))
+    // ∫ (x+y)/(1+y)² dy = (x−1)(1/(1+a) − 1/(1+b)) + ln((1+b)/(1+a))
+    let l = ((1.0 + b) / (1.0 + a)).ln();
+    let inv = 1.0 / (1.0 + a) - 1.0 / (1.0 + b);
+    let opx = 1.0 + x;
+    2.0 * ((x - 1.0) * inv + l) / (opx * opx) - l / opx
+}
+
+fn inner_integral(x: f64, y0: f64, y1: f64) -> f64 {
+    let c = 1.0 - x;
+    if c <= y0 {
+        inner_region2(x, y0, y1)
+    } else if c >= y1 {
+        inner_region1(x, y0, y1)
+    } else {
+        inner_region1(x, y0, c) + inner_region2(x, c, y1)
+    }
+}
+
+/// `∫∫ Ẽ·w dx dy` over a box (closed-form inner integral + composite
+/// Gauss–Legendre outer, split along the carry line — the same scheme as
+/// [`crate::factors::numerator_integral`]).
+pub fn weighted_error_integral(x0: f64, x1: f64, y0: f64, y1: f64) -> f64 {
+    let mut cuts = vec![x0];
+    for c in [1.0 - y1, 1.0 - y0] {
+        if c > x0 + 1e-15 && c < x1 - 1e-15 {
+            cuts.push(c);
+        }
+    }
+    cuts.push(x1);
+    cuts.sort_by(|a, b| a.partial_cmp(b).expect("cut points are finite"));
+    let rule = GaussLegendre::new(40);
+    cuts.windows(2)
+        .map(|w| rule.integrate(|x| inner_integral(x, y0, y1), w[0], w[1]))
+        .sum()
+}
+
+/// The least-squares (MSE-optimal) error-reduction factor for one box.
+pub fn mse_reduction_factor(x0: f64, x1: f64, y0: f64, y1: f64) -> f64 {
+    -weighted_error_integral(x0, x1, y0, y1) / weight_square_integral(x0, x1, y0, y1)
+}
+
+/// Computes the full `M × M` table of MSE-optimal factors — a drop-in
+/// alternative to [`ErrorReductionTable::analytic`] for
+/// [`crate::Realm::with_table`].
+///
+/// ```
+/// use realm_core::mse::mse_table;
+///
+/// # fn main() -> Result<(), realm_core::ConfigError> {
+/// let table = mse_table(8)?;
+/// // MSE factors also stay in the (0, 0.25) storage window.
+/// assert!(table.values().iter().all(|&s| s > 0.0 && s < 0.25));
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`ConfigError::InvalidSegmentCount`] for invalid `M`.
+pub fn mse_table(segments: u32) -> Result<ErrorReductionTable, ConfigError> {
+    if !(2..=256).contains(&segments) || !segments.is_power_of_two() {
+        return Err(ConfigError::InvalidSegmentCount { segments });
+    }
+    let m = segments as usize;
+    let h = 1.0 / segments as f64;
+    let mut values = vec![0.0; m * m];
+    for i in 0..m {
+        for j in i..m {
+            let s = mse_reduction_factor(
+                i as f64 * h,
+                (i + 1) as f64 * h,
+                j as f64 * h,
+                (j + 1) as f64 * h,
+            );
+            values[i * m + j] = s;
+            values[j * m + i] = s;
+        }
+    }
+    ErrorReductionTable::from_values(segments, values)
+}
+
+/// The residual mean *squared* relative error over a segment after
+/// applying factor `s` — the quantity the MSE formulation minimizes.
+/// Numerically integrated (smooth after the carry-line split).
+pub fn residual_mean_square(segments: u32, i: usize, j: usize, s: f64) -> f64 {
+    let m = segments as f64;
+    let (x0, x1) = (i as f64 / m, (i as f64 + 1.0) / m);
+    let (y0, y1) = (j as f64 / m, (j as f64 + 1.0) / m);
+    let rule = GaussLegendre::new(24);
+    let integrand = |x: f64, y: f64| {
+        let w = 1.0 / ((1.0 + x) * (1.0 + y));
+        let e = mitchell_relative_error(x, y) + s * w;
+        e * e
+    };
+    let mut cuts = vec![x0];
+    for c in [1.0 - y1, 1.0 - y0] {
+        if c > x0 + 1e-15 && c < x1 - 1e-15 {
+            cuts.push(c);
+        }
+    }
+    cuts.push(x1);
+    cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let area = (x1 - x0) * (y1 - y0);
+    let total: f64 = cuts
+        .windows(2)
+        .map(|wnd| {
+            rule.integrate(
+                |x| {
+                    let split = (1.0 - x).clamp(y0, y1);
+                    rule.integrate(|y| integrand(x, y), y0, split)
+                        + rule.integrate(|y| integrand(x, y), split, y1)
+                },
+                wnd[0],
+                wnd[1],
+            )
+        })
+        .sum();
+    total / area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factors::ErrorReductionTable;
+    use crate::quad::adaptive_simpson_2d;
+
+    #[test]
+    fn weight_square_matches_numeric() {
+        let exact = weight_square_integral(0.1, 0.4, 0.2, 0.9);
+        let numeric = adaptive_simpson_2d(
+            &|x, y| {
+                let w = 1.0 / ((1.0 + x) * (1.0 + y));
+                w * w
+            },
+            0.1,
+            0.4,
+            0.2,
+            0.9,
+            1e-12,
+        );
+        assert!((exact - numeric).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_error_matches_numeric_straddling() {
+        let analytic = weighted_error_integral(0.3, 0.7, 0.2, 0.8);
+        let numeric = adaptive_simpson_2d(
+            &|x, y| mitchell_relative_error(x, y) / ((1.0 + x) * (1.0 + y)),
+            0.3,
+            0.7,
+            0.2,
+            0.8,
+            1e-10,
+        );
+        assert!((analytic - numeric).abs() < 1e-7, "{analytic} vs {numeric}");
+    }
+
+    #[test]
+    fn mse_factor_is_the_least_squares_minimum() {
+        // Perturbing s in either direction must increase the residual MSE.
+        for (i, j) in [(0usize, 0usize), (3, 5), (7, 7), (2, 6)] {
+            let m = 8u32;
+            let h = 1.0 / 8.0;
+            let s = mse_reduction_factor(
+                i as f64 * h,
+                (i + 1) as f64 * h,
+                j as f64 * h,
+                (j + 1) as f64 * h,
+            );
+            let at = residual_mean_square(m, i, j, s);
+            let up = residual_mean_square(m, i, j, s + 0.01);
+            let down = residual_mean_square(m, i, j, s - 0.01);
+            assert!(at < up && at < down, "({i},{j}): {at} vs {up}/{down}");
+        }
+    }
+
+    #[test]
+    fn mse_and_mean_formulations_are_close_but_distinct() {
+        let mean_table = ErrorReductionTable::analytic(8).expect("valid M");
+        let mse = mse_table(8).expect("valid M");
+        let mut max_delta = 0.0f64;
+        for (a, b) in mean_table.values().iter().zip(mse.values()) {
+            max_delta = max_delta.max((a - b).abs());
+            // Same ballpark: within 10 % of each other.
+            assert!((a - b).abs() < 0.1 * a.max(*b) + 1e-4, "{a} vs {b}");
+        }
+        assert!(max_delta > 1e-6, "formulations should not be identical");
+    }
+
+    #[test]
+    fn mse_tables_are_symmetric_and_storable() {
+        for m in [4u32, 8, 16] {
+            let t = mse_table(m).expect("valid M");
+            let mm = m as usize;
+            for i in 0..mm {
+                for j in 0..mm {
+                    assert!((t.value(i, j) - t.value(j, i)).abs() < 1e-12);
+                    assert!(t.value(i, j) > 0.0 && t.value(i, j) < 0.25);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mse_factors_beat_mean_factors_on_their_own_metric() {
+        let mean_table = ErrorReductionTable::analytic(8).expect("valid M");
+        let mse = mse_table(8).expect("valid M");
+        for (i, j) in [(0usize, 0usize), (4, 4), (1, 6)] {
+            let ms_mean = residual_mean_square(8, i, j, mean_table.value(i, j));
+            let ms_mse = residual_mean_square(8, i, j, mse.value(i, j));
+            assert!(
+                ms_mse <= ms_mean + 1e-12,
+                "({i},{j}): {ms_mse} vs {ms_mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_m_rejected() {
+        assert!(mse_table(3).is_err());
+        assert!(mse_table(0).is_err());
+    }
+}

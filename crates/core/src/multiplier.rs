@@ -1,0 +1,156 @@
+//! The common interface every multiplier in the workspace implements.
+
+use std::fmt;
+
+/// An `N`-bit unsigned integer multiplier producing a `2N`-bit product.
+///
+/// Implemented by [`crate::Realm`], the exact reference
+/// [`crate::Accurate`], and every baseline in the `realm-baselines` crate.
+/// The trait is object-safe so that error-characterization campaigns,
+/// application studies and benches can iterate over heterogeneous
+/// collections of designs (`Vec<Box<dyn Multiplier>>`).
+///
+/// # Contract
+///
+/// * Operands must fit in [`width`](Multiplier::width) bits. Implementations
+///   are encouraged to `debug_assert!` this; behaviour for out-of-range
+///   operands is unspecified (approximate hardware has no defined behaviour
+///   for illegal inputs either).
+/// * `multiply(a, 0) == multiply(0, b) == 0` for all implementations: every
+///   design in the paper short-circuits zero operands.
+/// * The result is the design's approximation of `a * b`, saturated to
+///   `2^(2N) − 1` where the paper's overflow special case applies.
+///
+/// # Examples
+///
+/// ```
+/// use realm_core::{Accurate, Multiplier};
+///
+/// fn worst_case_error(m: &dyn Multiplier, pairs: &[(u64, u64)]) -> f64 {
+///     pairs
+///         .iter()
+///         .map(|&(a, b)| {
+///             let exact = (a * b) as f64;
+///             ((m.multiply(a, b) as f64 - exact) / exact).abs()
+///         })
+///         .fold(0.0, f64::max)
+/// }
+///
+/// let exact = Accurate::new(16);
+/// assert_eq!(worst_case_error(&exact, &[(3, 5), (1000, 999)]), 0.0);
+/// ```
+pub trait Multiplier: fmt::Debug + Send + Sync {
+    /// Operand bit-width `N`. Products are `2N` bits.
+    fn width(&self) -> u32;
+
+    /// Approximately multiply two `N`-bit unsigned integers.
+    fn multiply(&self, a: u64, b: u64) -> u64;
+
+    /// Short family name as used in the paper's tables (e.g. `"REALM"`,
+    /// `"cALM"`, `"DRUM"`).
+    fn name(&self) -> &str;
+
+    /// Human-readable configuration suffix as used in the paper's tables
+    /// (e.g. `"M=16, t=3"`, `"k=6"`). Empty for non-configurable designs.
+    fn config(&self) -> String {
+        String::new()
+    }
+}
+
+/// Extension helpers available on every [`Multiplier`].
+///
+/// Kept separate from the object-safe core trait so that `dyn Multiplier`
+/// stays usable; blanket-implemented for all `T: Multiplier + ?Sized`.
+pub trait MultiplierExt: Multiplier {
+    /// The signed relative error `(approx − exact) / exact` for one operand
+    /// pair, or `None` when the exact product is zero (relative error is
+    /// undefined there; the paper's characterization skips such pairs).
+    ///
+    /// ```
+    /// use realm_core::{Accurate, Multiplier};
+    /// use realm_core::multiplier::MultiplierExt;
+    ///
+    /// let exact = Accurate::new(8);
+    /// assert_eq!(exact.relative_error(12, 13), Some(0.0));
+    /// assert_eq!(exact.relative_error(12, 0), None);
+    /// ```
+    fn relative_error(&self, a: u64, b: u64) -> Option<f64> {
+        let exact = (a as u128) * (b as u128);
+        if exact == 0 {
+            return None;
+        }
+        let approx = self.multiply(a, b) as u128;
+        let diff = approx as f64 - exact as f64;
+        Some(diff / exact as f64)
+    }
+
+    /// Largest operand value, `2^N − 1`.
+    fn max_operand(&self) -> u64 {
+        if self.width() >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width()) - 1
+        }
+    }
+
+    /// Full display label, `name` plus parenthesized `config` when present.
+    ///
+    /// ```
+    /// use realm_core::{Realm, RealmConfig};
+    /// use realm_core::multiplier::MultiplierExt;
+    ///
+    /// # fn main() -> Result<(), realm_core::ConfigError> {
+    /// let m = Realm::new(RealmConfig::n16(8, 2))?;
+    /// assert_eq!(m.label(), "REALM8 (t=2)");
+    /// # Ok(())
+    /// # }
+    /// ```
+    fn label(&self) -> String {
+        let cfg = self.config();
+        if cfg.is_empty() {
+            self.name().to_string()
+        } else {
+            format!("{} ({})", self.name(), cfg)
+        }
+    }
+}
+
+impl<T: Multiplier + ?Sized> MultiplierExt for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accurate::Accurate;
+
+    #[test]
+    fn trait_is_object_safe() {
+        let boxed: Box<dyn Multiplier> = Box::new(Accurate::new(16));
+        assert_eq!(boxed.multiply(7, 6), 42);
+        assert_eq!(boxed.width(), 16);
+    }
+
+    #[test]
+    fn relative_error_of_exact_is_zero() {
+        let m = Accurate::new(16);
+        assert_eq!(m.relative_error(123, 456), Some(0.0));
+    }
+
+    #[test]
+    fn relative_error_skips_zero_products() {
+        let m = Accurate::new(16);
+        assert_eq!(m.relative_error(0, 456), None);
+        assert_eq!(m.relative_error(456, 0), None);
+        assert_eq!(m.relative_error(0, 0), None);
+    }
+
+    #[test]
+    fn max_operand_matches_width() {
+        assert_eq!(Accurate::new(8).max_operand(), 255);
+        assert_eq!(Accurate::new(16).max_operand(), 65_535);
+    }
+
+    #[test]
+    fn label_without_config_is_bare_name() {
+        assert_eq!(Accurate::new(16).label(), "Accurate");
+    }
+}

@@ -1,0 +1,170 @@
+//! The `M × M` equispaced segmentation of a power-of-two interval
+//! (paper Fig. 2) and its hardware indexing rule.
+//!
+//! Because segments are equispaced in the fraction domain, the segment
+//! index of an operand is simply the `log2 M` most-significant bits of its
+//! normalized fraction (`x_msbs` / `y_msbs` in the paper's Fig. 3) — no
+//! comparators or arithmetic are needed, which is what keeps the REALM
+//! selection logic nearly free.
+
+use crate::error::ConfigError;
+
+/// An `M × M` segmentation of the unit square of fraction values.
+///
+/// ```
+/// use realm_core::SegmentGrid;
+///
+/// # fn main() -> Result<(), realm_core::ConfigError> {
+/// let grid = SegmentGrid::new(4)?;
+/// // x = 0.7 with 8 fraction bits is 0b1011_0011 ≈ 0.7; MSBs 0b10 → segment 2.
+/// assert_eq!(grid.index_of(0b1011_0011, 8), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegmentGrid {
+    segments: u32,
+    index_bits: u32,
+}
+
+impl SegmentGrid {
+    /// Creates a grid with `segments` segments per axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidSegmentCount`] unless `segments` is a
+    /// power of two in `2..=256`.
+    pub fn new(segments: u32) -> Result<Self, ConfigError> {
+        if !(2..=256).contains(&segments) || !segments.is_power_of_two() {
+            return Err(ConfigError::InvalidSegmentCount { segments });
+        }
+        Ok(SegmentGrid {
+            segments,
+            index_bits: segments.trailing_zeros(),
+        })
+    }
+
+    /// Segments per axis (`M`).
+    pub fn segments(&self) -> u32 {
+        self.segments
+    }
+
+    /// Bits needed to address one axis (`log2 M`) — the number of fraction
+    /// MSBs routed to the LUT-multiplexer select lines.
+    pub fn index_bits(&self) -> u32 {
+        self.index_bits
+    }
+
+    /// The segment index selected by a fixed-point fraction with
+    /// `fraction_bits` valid bits: its `log2 M` MSBs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fraction carries fewer bits than needed for indexing.
+    pub fn index_of(&self, fraction: u64, fraction_bits: u32) -> usize {
+        assert!(
+            fraction_bits >= self.index_bits,
+            "fraction has {fraction_bits} bits but {} are needed for indexing",
+            self.index_bits
+        );
+        (fraction >> (fraction_bits - self.index_bits)) as usize
+    }
+
+    /// The segment index containing a real-valued fraction `x ∈ [0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is outside `[0, 1)`.
+    pub fn index_of_value(&self, x: f64) -> usize {
+        assert!((0.0..1.0).contains(&x), "fraction value {x} outside [0, 1)");
+        ((x * self.segments as f64) as usize).min(self.segments as usize - 1)
+    }
+
+    /// The half-open fraction interval `[i/M, (i+1)/M)` of segment `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= M`.
+    pub fn bounds(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.segments as usize, "segment {i} out of range");
+        let m = self.segments as f64;
+        (i as f64 / m, (i as f64 + 1.0) / m)
+    }
+
+    /// Flattened row-major index of segment `(i, j)` — the LUT address
+    /// formed by concatenating `x_msbs` and `y_msbs`.
+    pub fn flat_index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.segments as usize && j < self.segments as usize);
+        i * self.segments as usize + j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(SegmentGrid::new(6).is_err());
+        assert!(SegmentGrid::new(0).is_err());
+        assert!(SegmentGrid::new(1).is_err());
+        assert!(SegmentGrid::new(512).is_err());
+    }
+
+    #[test]
+    fn index_bits_is_log2() {
+        for (m, bits) in [(2u32, 1u32), (4, 2), (8, 3), (16, 4), (256, 8)] {
+            assert_eq!(SegmentGrid::new(m).unwrap().index_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn bit_indexing_matches_value_indexing() {
+        let grid = SegmentGrid::new(16).unwrap();
+        let bits = 15u32;
+        for frac in (0..(1u64 << bits)).step_by(997) {
+            let x = frac as f64 / (1u64 << bits) as f64;
+            assert_eq!(
+                grid.index_of(frac, bits),
+                grid.index_of_value(x),
+                "frac = {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundaries_fall_in_upper_segment() {
+        let grid = SegmentGrid::new(4).unwrap();
+        // x exactly 0.25 (bits 0b01000…) indexes segment 1 — the grid is
+        // half-open [i/M, (i+1)/M).
+        assert_eq!(grid.index_of(0b0100_0000, 8), 1);
+        assert_eq!(grid.index_of_value(0.25), 1);
+    }
+
+    #[test]
+    fn bounds_partition_the_unit_interval() {
+        let grid = SegmentGrid::new(8).unwrap();
+        let mut prev_end = 0.0;
+        for i in 0..8 {
+            let (lo, hi) = grid.bounds(i);
+            assert_eq!(lo, prev_end);
+            prev_end = hi;
+        }
+        assert_eq!(prev_end, 1.0);
+    }
+
+    #[test]
+    fn flat_index_is_row_major() {
+        let grid = SegmentGrid::new(4).unwrap();
+        assert_eq!(grid.flat_index(0, 0), 0);
+        assert_eq!(grid.flat_index(1, 0), 4);
+        assert_eq!(grid.flat_index(3, 3), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "needed for indexing")]
+    fn indexing_with_too_few_bits_panics() {
+        let grid = SegmentGrid::new(16).unwrap();
+        let _ = grid.index_of(0b101, 3);
+    }
+}

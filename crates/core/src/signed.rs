@@ -1,0 +1,118 @@
+//! Sign-magnitude extension of unsigned approximate multipliers
+//! (paper §III-C "Handling Signed Numbers", following the scheme of
+//! DRUM \[3\]): multiply magnitudes with the unsigned core and re-apply
+//! the XORed sign.
+
+use crate::multiplier::Multiplier;
+
+/// Wraps any unsigned [`Multiplier`] into a signed multiplier.
+///
+/// Operands are `width`-bit two's-complement integers; their magnitudes
+/// (at most `width − 1` bits... plus the asymmetric `-2^(N-1)` case, which
+/// is clamped to the maximum magnitude exactly as a hardware
+/// sign-magnitude converter with saturation does) are multiplied by the
+/// wrapped unsigned core and the product sign is `sign(a) XOR sign(b)`.
+///
+/// ```
+/// use realm_core::{Accurate, SignMagnitude};
+///
+/// let signed = SignMagnitude::new(Accurate::new(16));
+/// assert_eq!(signed.multiply_signed(-120, 45), -5400);
+/// assert_eq!(signed.multiply_signed(-120, -45), 5400);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignMagnitude<M> {
+    inner: M,
+}
+
+impl<M: Multiplier> SignMagnitude<M> {
+    /// Wraps an unsigned multiplier.
+    pub fn new(inner: M) -> Self {
+        SignMagnitude { inner }
+    }
+
+    /// A reference to the wrapped unsigned core.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the unsigned core.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+
+    /// Multiplies two signed `N`-bit values through the unsigned core.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if an operand does not fit in the core's
+    /// signed `N`-bit range.
+    pub fn multiply_signed(&self, a: i64, b: i64) -> i64 {
+        let width = self.inner.width();
+        let max_mag = (1u64 << (width - 1)) - 1;
+        debug_assert!(
+            (-(max_mag as i64 + 1)..=max_mag as i64).contains(&a),
+            "operand a = {a} exceeds signed {width}-bit range"
+        );
+        debug_assert!(
+            (-(max_mag as i64 + 1)..=max_mag as i64).contains(&b),
+            "operand b = {b} exceeds signed {width}-bit range"
+        );
+        // Saturating |.|: the -2^(N-1) corner clamps to 2^(N-1)-1, as a
+        // sign-magnitude front end without an extra magnitude bit must.
+        let mag = |v: i64| (v.unsigned_abs()).min(max_mag);
+        let product = self.inner.multiply(mag(a), mag(b)) as i64;
+        if (a < 0) ^ (b < 0) {
+            -product
+        } else {
+            product
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accurate::Accurate;
+    use crate::realm::{Realm, RealmConfig};
+
+    #[test]
+    fn sign_rules() {
+        let m = SignMagnitude::new(Accurate::new(16));
+        assert_eq!(m.multiply_signed(7, 6), 42);
+        assert_eq!(m.multiply_signed(-7, 6), -42);
+        assert_eq!(m.multiply_signed(7, -6), -42);
+        assert_eq!(m.multiply_signed(-7, -6), 42);
+        assert_eq!(m.multiply_signed(0, -6), 0);
+    }
+
+    #[test]
+    fn min_value_saturates_magnitude() {
+        let m = SignMagnitude::new(Accurate::new(8));
+        // -128 clamps to magnitude 127.
+        assert_eq!(m.multiply_signed(-128, 1), -127);
+    }
+
+    #[test]
+    fn realm_signed_error_matches_unsigned_error() {
+        let core = Realm::new(RealmConfig::n16(16, 0)).unwrap();
+        let signed = SignMagnitude::new(core.clone());
+        for (a, b) in [(1234i64, -567i64), (-20_000, -3), (-31_000, 29_999)] {
+            let expect = {
+                let p = core.multiply(a.unsigned_abs(), b.unsigned_abs()) as i64;
+                if (a < 0) ^ (b < 0) {
+                    -p
+                } else {
+                    p
+                }
+            };
+            assert_eq!(signed.multiply_signed(a, b), expect);
+        }
+    }
+
+    #[test]
+    fn into_inner_returns_core() {
+        let m = SignMagnitude::new(Accurate::new(16));
+        assert_eq!(m.into_inner(), Accurate::new(16));
+    }
+}

@@ -1,0 +1,71 @@
+//! # realm-dsp
+//!
+//! Application substrates for the error-resilient workload classes the
+//! paper's introduction motivates — signal processing, multimedia and
+//! machine learning — each with **every multiplication routed through a
+//! pluggable [`realm_core::Multiplier`]**:
+//!
+//! * [`fir`] — fixed-point FIR filtering (Q15 coefficients) with
+//!   output-SNR analysis against the exact filter;
+//! * [`conv2d`] — 2-D image convolution (Gaussian blur, Sobel edges) on
+//!   `realm-jpeg` images;
+//! * [`mlp`] — a small fixed-point multilayer perceptron, trained in
+//!   floating point at construction and quantized for inference, so the
+//!   classification-accuracy impact of each approximate multiplier can be
+//!   measured directly.
+//!
+//! ```
+//! use realm_core::{Accurate, Realm, RealmConfig};
+//! use realm_dsp::fir::FirFilter;
+//!
+//! # fn main() -> Result<(), realm_core::ConfigError> {
+//! let lowpass = FirFilter::low_pass(31, 0.2);
+//! let signal: Vec<i32> = (0..256).map(|n| if n % 16 < 8 { 8_000 } else { -8_000 }).collect();
+//! let exact = lowpass.apply(&Accurate::new(16), &signal);
+//! let approx = lowpass.apply(&Realm::new(RealmConfig::n16(16, 0))?, &signal);
+//! let snr = realm_dsp::fir::output_snr(&exact, &approx);
+//! assert!(snr > 30.0, "REALM filtering SNR {snr} dB");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conv2d;
+pub mod fft;
+pub mod fir;
+pub mod gemm;
+pub mod mlp;
+
+pub use conv2d::Kernel;
+pub use fir::FirFilter;
+pub use gemm::{matmul, Matrix};
+pub use mlp::Mlp;
+
+/// Sign-magnitude fixed-point multiply through an unsigned multiplier:
+/// `(a · b) >> shift` with flooring on the magnitude — the shared
+/// primitive of all three substrates.
+pub(crate) fn fixed_mul(m: &dyn realm_core::Multiplier, a: i64, b: i64, shift: u32) -> i64 {
+    let mag = m.multiply(a.unsigned_abs(), b.unsigned_abs()) >> shift;
+    if (a < 0) ^ (b < 0) {
+        -(mag as i64)
+    } else {
+        mag as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realm_core::Accurate;
+
+    #[test]
+    fn fixed_mul_matches_reference() {
+        let m = Accurate::new(16);
+        assert_eq!(fixed_mul(&m, 300, 200, 4), (300 * 200) >> 4);
+        assert_eq!(fixed_mul(&m, -300, 200, 4), -((300 * 200) >> 4));
+        assert_eq!(fixed_mul(&m, -300, -200, 4), (300 * 200) >> 4);
+        assert_eq!(fixed_mul(&m, 0, 200, 4), 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests of the DSP substrates: FIR algebra, convolution
+//! invariants and GEMM structure, all against the exact multiplier (the
+//! approximate designs are characterized statistically elsewhere).
+
+use proptest::prelude::*;
+use realm_core::Accurate;
+use realm_dsp::conv2d::Kernel;
+use realm_dsp::fir::{output_snr, FirFilter};
+use realm_dsp::gemm::{matmul, relative_norm_error, Matrix};
+use realm_jpeg::Image;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fir_is_linear_with_exact_multiplier(
+        signal in prop::collection::vec(-8_000i32..8_000, 40..80)) {
+        let m = Accurate::new(16);
+        let f = FirFilter::low_pass(15, 0.2);
+        let doubled: Vec<i32> = signal.iter().map(|&v| 2 * v).collect();
+        let y1 = f.apply(&m, &signal);
+        let y2 = f.apply(&m, &doubled);
+        for (a, b) in y1.iter().zip(&y2) {
+            // Round-to-nearest descaling leaves at most ±1 nonlinearity.
+            prop_assert!((b - 2 * a).abs() <= 2, "{} vs 2*{}", b, a);
+        }
+    }
+
+    #[test]
+    fn fir_of_zero_is_zero(len in 10usize..100) {
+        let m = Accurate::new(16);
+        let f = FirFilter::low_pass(21, 0.1);
+        let out = f.apply(&m, &vec![0i32; len]);
+        prop_assert!(out.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn snr_axioms(signal in prop::collection::vec(-8_000i32..8_000, 32..64)) {
+        prop_assume!(signal.iter().any(|&v| v != 0));
+        prop_assert_eq!(output_snr(&signal, &signal), f64::INFINITY);
+        let noisy: Vec<i32> = signal.iter().map(|&v| v + 50).collect();
+        let noisier: Vec<i32> = signal.iter().map(|&v| v + 500).collect();
+        prop_assert!(output_snr(&signal, &noisy) > output_snr(&signal, &noisier));
+    }
+
+    #[test]
+    fn gaussian_kernel_output_within_input_range(seed in 0u64..500) {
+        let m = Accurate::new(16);
+        let img = Image::from_fn(12, 12, |x, y| {
+            (((x * 31 + y * 7) as u64 * (seed + 1)) % 256) as u8
+        });
+        let lo = *img.pixels().iter().min().expect("nonempty");
+        let hi = *img.pixels().iter().max().expect("nonempty");
+        let out = Kernel::gaussian(3, 1.0).apply(&m, &img, 0);
+        for &p in out.pixels() {
+            prop_assert!(p >= lo.saturating_sub(2) && p <= hi.saturating_add(2),
+                "{} outside [{}, {}]", p, lo, hi);
+        }
+    }
+
+    #[test]
+    fn sobel_of_flat_image_is_zero(v in 0u8..=255) {
+        let m = Accurate::new(16);
+        let img = Image::from_fn(10, 10, |_, _| v);
+        let edges = realm_dsp::conv2d::sobel_edges(&m, &img);
+        prop_assert!(edges.pixels().iter().all(|&p| p <= 1));
+    }
+
+    #[test]
+    fn matmul_distributes_over_identity_chains(n in 2usize..6, seed in 0u64..100) {
+        let m = Accurate::new(16);
+        let a = Matrix::from_fn(n, n, |r, c| ((r * 7 + c * 13 + seed as usize) % 200) as i32 - 100);
+        let id = Matrix::identity(n, 1 << 8);
+        let once = matmul(&m, &a, &id, 8);
+        let twice = matmul(&m, &once, &id, 8);
+        prop_assert_eq!(once, a.clone());
+        prop_assert_eq!(twice, a);
+    }
+
+    #[test]
+    fn norm_error_is_zero_iff_equal(n in 2usize..5, seed in 0u64..100) {
+        let a = Matrix::from_fn(n, n, |r, c| ((r + 2 * c + seed as usize) % 64) as i32 + 1);
+        prop_assert_eq!(relative_norm_error(&a, &a), 0.0);
+        let b = Matrix::from_fn(n, n, |r, c| a.get(r, c) + 1);
+        prop_assert!(relative_norm_error(&b, &a) > 0.0);
+    }
+}

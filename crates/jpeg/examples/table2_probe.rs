@@ -1,0 +1,45 @@
+use realm_baselines::catalog::table2_designs;
+use realm_core::multiplier::MultiplierExt;
+use realm_core::{Accurate, Multiplier};
+use realm_jpeg::{psnr, Image, JpegCodec};
+
+fn main() {
+    let images = Image::table2_set();
+    print!("{:<12}", "image");
+    print!("{:>10}", "Accurate");
+    let designs = table2_designs();
+    for d in &designs {
+        print!("{:>18}", d.label());
+    }
+    println!();
+    for (name, img) in &images {
+        print!("{:<12}", name);
+        let acc = JpegCodec::quality50(Accurate::new(16));
+        print!("{:>10.1}", psnr(img, &acc.roundtrip(img)));
+        for d in &designs {
+            struct W<'a>(&'a dyn Multiplier);
+            impl std::fmt::Debug for W<'_> {
+                fn fmt(&self, f: &mut std::fmt::Formatter) -> std::fmt::Result {
+                    write!(f, "w")
+                }
+            }
+            impl Multiplier for W<'_> {
+                fn width(&self) -> u32 {
+                    self.0.width()
+                }
+                fn multiply(&self, a: u64, b: u64) -> u64 {
+                    self.0.multiply(a, b)
+                }
+                fn name(&self) -> &str {
+                    self.0.name()
+                }
+                fn config(&self) -> String {
+                    self.0.config()
+                }
+            }
+            let codec = JpegCodec::quality50(W(d.as_ref()));
+            print!("{:>18.1}", psnr(img, &codec.roundtrip(img)));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,306 @@
+//! 8-bit greyscale images plus deterministic synthetic substitutes for
+//! the paper's three standard test photographs.
+//!
+//! The real `cameraman`, `lena` and `livingroom` images cannot ship with
+//! this repository, so each generator below synthesizes a 256×256 scene
+//! with the same *statistical character* that drives DCT coefficient
+//! distributions: `cameraman` — a high-contrast silhouette on a smooth
+//! bright background; `lena` — soft gradients with a few strong edges and
+//! fine texture; `livingroom` — a cluttered mix of rectangular structures
+//! and texture. PSNR deltas between multipliers depend on those
+//! statistics, not on the specific photograph (DESIGN.md §2).
+
+/// An 8-bit greyscale image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>,
+}
+
+impl Image {
+    /// Creates an image from a pixel-generator function `f(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> u8) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        let mut pixels = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                pixels.push(f(x, y));
+            }
+        }
+        Image {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Wraps raw row-major pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `pixels.len() == width * height` (both nonzero).
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<u8>) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        assert_eq!(pixels.len(), width * height, "pixel buffer size mismatch");
+        Image {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Row-major pixel data.
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// The pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x}, {y}) out of bounds"
+        );
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, v: u8) {
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x}, {y}) out of bounds"
+        );
+        self.pixels[y * self.width + x] = v;
+    }
+
+    /// Mean pixel intensity.
+    pub fn mean(&self) -> f64 {
+        self.pixels.iter().map(|&p| p as f64).sum::<f64>() / self.pixels.len() as f64
+    }
+
+    /// Standard deviation of pixel intensity (a quick texture measure).
+    pub fn std_dev(&self) -> f64 {
+        let mean = self.mean();
+        let var = self
+            .pixels
+            .iter()
+            .map(|&p| (p as f64 - mean).powi(2))
+            .sum::<f64>()
+            / self.pixels.len() as f64;
+        var.sqrt()
+    }
+
+    /// Synthetic stand-in for `cameraman`: a dark silhouette (head,
+    /// shoulders, tripod) against a smooth bright sky over a textured
+    /// ground band.
+    pub fn synthetic_cameraman() -> Image {
+        let mut noise = Lcg::new(0xCA3E_12AB);
+        Image::from_fn(256, 256, |x, y| {
+            let (fx, fy) = (x as f64, y as f64);
+            // Bright sky with a gentle vertical gradient plus film grain.
+            let mut v = 205.0 - fy * 0.12
+                + noise.uniform() * 9.0
+                + 5.0 * ((fx * 0.8).sin() * (fy * 0.7).cos());
+            // Ground band with grass-like texture.
+            if y > 185 {
+                v = 95.0 + 18.0 * ((fx * 0.31).sin() + (fy * 0.57).cos()) + noise.uniform() * 14.0;
+            }
+            // Head (ellipse) + torso (trapezoid) silhouette.
+            let head = ((fx - 120.0) / 22.0).powi(2) + ((fy - 70.0) / 27.0).powi(2) <= 1.0;
+            let torso = y > 88
+                && y < 190
+                && fx > 95.0 - (fy - 88.0) * 0.18
+                && fx < 150.0 + (fy - 88.0) * 0.12;
+            let tripod = y > 120 && y < 195 && (x as i64 - 185).abs() < 3 + ((y - 120) / 22) as i64;
+            if head || torso || tripod {
+                v = 28.0 + noise.uniform() * 10.0;
+            }
+            // Camera box on the tripod.
+            if (150..180).contains(&x) && (105..130).contains(&y) {
+                v = 45.0 + noise.uniform() * 8.0;
+            }
+            v.clamp(0.0, 255.0) as u8
+        })
+    }
+
+    /// Synthetic stand-in for `lena`: smooth portrait-like blobs, a strong
+    /// diagonal edge (hat brim) and fine high-frequency texture (feathers).
+    pub fn synthetic_lena() -> Image {
+        let mut noise = Lcg::new(0x1E4A_77F1);
+        Image::from_fn(256, 256, |x, y| {
+            let (fx, fy) = (x as f64, y as f64);
+            // Background gradient with film grain and weave texture.
+            let mut v = 120.0
+                + 40.0 * ((fx * 0.011).sin() * (fy * 0.013).cos())
+                + noise.uniform() * 9.0
+                + 6.0 * ((fx * 0.9).sin() + (fy * 1.1).cos());
+            // Face: a bright blob with skin texture.
+            let face = ((fx - 140.0) / 55.0).powi(2) + ((fy - 130.0) / 70.0).powi(2);
+            if face <= 1.0 {
+                v = 185.0 - 30.0 * face + 6.0 * (fx * 0.05).sin() + noise.uniform() * 7.0;
+            }
+            // Hat brim: strong diagonal edge.
+            if fy < 0.45 * fx + 20.0 && fy > 0.45 * fx - 10.0 {
+                v = 70.0 + 10.0 * (fx * 0.09).sin();
+            }
+            // Feather texture in the upper-left.
+            if x < 90 && y < 120 {
+                v = 140.0 + 35.0 * ((fx * 0.9).sin() * (fy * 0.8).cos()) + noise.uniform() * 12.0;
+            }
+            v.clamp(0.0, 255.0) as u8
+        })
+    }
+
+    /// Synthetic stand-in for `livingroom`: rectangular furniture shapes,
+    /// window glare, and carpet/wall texture.
+    pub fn synthetic_livingroom() -> Image {
+        let mut noise = Lcg::new(0x71B3_09CD);
+        Image::from_fn(256, 256, |x, y| {
+            let (fx, fy) = (x as f64, y as f64);
+            // Wall with plaster texture and film grain.
+            let mut v = 150.0
+                + 9.0 * (fx * 0.2).sin()
+                + noise.uniform() * 11.0
+                + 6.0 * ((fx * 0.75).sin() * (fy * 0.85).cos());
+            // Bright window.
+            if (20..90).contains(&x) && (25..95).contains(&y) {
+                v = 228.0 - 0.2 * (fy - 25.0) + noise.uniform() * 4.0;
+                // Window frame bars.
+                if (x as i64 - 55).abs() < 2 || (y as i64 - 60).abs() < 2 {
+                    v = 60.0;
+                }
+            }
+            // Sofa: dark rectangle with cushion stripes.
+            if (110..245).contains(&x) && (120..200).contains(&y) {
+                v = 80.0 + 14.0 * ((fx * 0.12).sin()) + noise.uniform() * 8.0;
+            }
+            // Carpet band with strong texture.
+            if y >= 205 {
+                v = 110.0 + 22.0 * ((fx * 0.45).sin() * (fy * 0.38).cos()) + noise.uniform() * 16.0;
+            }
+            // Picture frame.
+            if (150..205).contains(&x) && (35..80).contains(&y) {
+                v = if (152..203).contains(&x) && (37..78).contains(&y) {
+                    135.0 + 25.0 * ((fx * 0.3).cos() + (fy * 0.25).sin())
+                } else {
+                    50.0
+                };
+            }
+            v.clamp(0.0, 255.0) as u8
+        })
+    }
+
+    /// The paper's three-image benchmark set (substitute scenes), paired
+    /// with the names Table II uses.
+    pub fn table2_set() -> Vec<(&'static str, Image)> {
+        vec![
+            ("cameraman", Image::synthetic_cameraman()),
+            ("lena", Image::synthetic_lena()),
+            ("livingroom", Image::synthetic_livingroom()),
+        ]
+    }
+}
+
+/// A tiny deterministic LCG for reproducible texture noise (no RNG crate
+/// needed in this crate's dependency set).
+#[derive(Debug, Clone)]
+struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    /// Uniform in [−1, 1].
+    fn uniform(&mut self) -> f64 {
+        self.state = self
+            .state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        ((self.state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(Image::synthetic_cameraman(), Image::synthetic_cameraman());
+        assert_eq!(Image::synthetic_lena(), Image::synthetic_lena());
+        assert_eq!(Image::synthetic_livingroom(), Image::synthetic_livingroom());
+    }
+
+    #[test]
+    fn scenes_have_natural_statistics() {
+        for (name, img) in Image::table2_set() {
+            let mean = img.mean();
+            let sd = img.std_dev();
+            assert!(mean > 60.0 && mean < 200.0, "{name}: mean {mean}");
+            assert!(sd > 30.0, "{name}: too flat (sd {sd})");
+        }
+    }
+
+    #[test]
+    fn cameraman_has_dark_subject_and_bright_sky() {
+        let img = Image::synthetic_cameraman();
+        assert!(img.get(120, 70) < 60, "head should be dark");
+        assert!(img.get(30, 30) > 170, "sky should be bright");
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let mut img = Image::from_fn(4, 3, |x, y| (x + 10 * y) as u8);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        assert_eq!(img.get(2, 1), 12);
+        img.set(2, 1, 99);
+        assert_eq!(img.get(2, 1), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_get_panics() {
+        let img = Image::from_fn(4, 4, |_, _| 0);
+        let _ = img.get(4, 0);
+    }
+
+    #[test]
+    fn from_pixels_validates_size() {
+        let img = Image::from_pixels(2, 2, vec![1, 2, 3, 4]);
+        assert_eq!(img.get(1, 1), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn from_pixels_rejects_wrong_length() {
+        let _ = Image::from_pixels(2, 2, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # realm-jpeg
+//!
+//! The paper's application-level evaluation substrate (§IV-D): a 16-bit
+//! fixed-point JPEG compression pipeline (quality 50) in which **every
+//! multiplication** — the forward DCT, the inverse DCT and coefficient
+//! dequantization — is routed through a pluggable
+//! [`realm_core::Multiplier`], so the image-quality impact of each
+//! approximate design can be measured as PSNR against the uncompressed
+//! image (Table II).
+//!
+//! The paper compresses `cameraman`, `lena` and `livingroom`; those
+//! copyrighted photographs are substituted with deterministic synthetic
+//! images of matching scene statistics (see [`image`] and DESIGN.md §2 —
+//! Table II's claim is *relative* between multipliers, which the
+//! substitution preserves).
+//!
+//! ```
+//! use realm_core::Accurate;
+//! use realm_jpeg::{codec::JpegCodec, image::Image};
+//!
+//! let img = Image::synthetic_cameraman();
+//! let codec = JpegCodec::quality50(Accurate::new(16));
+//! let out = codec.roundtrip(&img);
+//! let psnr = realm_jpeg::psnr::psnr(&img, &out);
+//! assert!(psnr > 28.0, "accurate-multiplier JPEG should stay above 28 dB, got {psnr}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod color;
+pub mod dct;
+pub mod image;
+pub mod pgm;
+pub mod psnr;
+pub mod quant;
+pub mod zigzag;
+
+pub use codec::JpegCodec;
+pub use color::RgbImage;
+pub use image::Image;
+pub use psnr::psnr;

@@ -1,0 +1,226 @@
+//! PGM/PPM (netpbm) image I/O — so the study can run on *real* images
+//! (e.g. the actual `cameraman.pgm`) when the user has them, making the
+//! synthetic-scene substitution fully transparent and reversible.
+//!
+//! Supports the binary formats `P5` (greyscale) and `P6` (RGB), 8-bit
+//! maxval, with `#` comments — the subset every netpbm producer emits.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{Read, Write};
+
+use crate::color::RgbImage;
+use crate::image::Image;
+
+/// The reasons a netpbm stream is rejected.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PnmError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed or unsupported header (wrong magic, maxval ≠ 255, …).
+    Malformed(String),
+}
+
+impl fmt::Display for PnmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PnmError::Io(e) => write!(f, "i/o error reading netpbm stream: {e}"),
+            PnmError::Malformed(msg) => write!(f, "malformed netpbm stream: {msg}"),
+        }
+    }
+}
+
+impl Error for PnmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PnmError::Io(e) => Some(e),
+            PnmError::Malformed(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PnmError {
+    fn from(e: std::io::Error) -> Self {
+        PnmError::Io(e)
+    }
+}
+
+/// Reads whitespace/comment-separated header tokens.
+fn header_tokens(data: &[u8], count: usize) -> Result<(Vec<usize>, usize), PnmError> {
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while tokens.len() < count {
+        // Skip whitespace and comments.
+        while i < data.len() {
+            match data[i] {
+                b'#' => {
+                    while i < data.len() && data[i] != b'\n' {
+                        i += 1;
+                    }
+                }
+                c if c.is_ascii_whitespace() => i += 1,
+                _ => break,
+            }
+        }
+        let start = i;
+        while i < data.len() && data[i].is_ascii_digit() {
+            i += 1;
+        }
+        if start == i {
+            return Err(PnmError::Malformed(
+                "expected a numeric header field".into(),
+            ));
+        }
+        let text = std::str::from_utf8(&data[start..i])
+            .map_err(|_| PnmError::Malformed("non-utf8 header".into()))?;
+        tokens.push(
+            text.parse::<usize>()
+                .map_err(|_| PnmError::Malformed(format!("bad header number '{text}'")))?,
+        );
+    }
+    // Exactly one whitespace byte separates the header from the raster.
+    if i >= data.len() || !data[i].is_ascii_whitespace() {
+        return Err(PnmError::Malformed("missing raster separator".into()));
+    }
+    Ok((tokens, i + 1))
+}
+
+/// Reads a binary `P5` greyscale image from any reader.
+///
+/// # Errors
+///
+/// Returns [`PnmError`] for I/O failures or malformed/unsupported input
+/// (only 8-bit `P5` is accepted).
+pub fn read_pgm<R: Read>(mut reader: R) -> Result<Image, PnmError> {
+    let mut data = Vec::new();
+    reader.read_to_end(&mut data)?;
+    if data.len() < 2 || &data[..2] != b"P5" {
+        return Err(PnmError::Malformed("expected P5 magic".into()));
+    }
+    let (fields, raster) = header_tokens(&data[2..], 3).map(|(f, off)| (f, off + 2))?;
+    let (width, height, maxval) = (fields[0], fields[1], fields[2]);
+    if maxval != 255 {
+        return Err(PnmError::Malformed(format!("unsupported maxval {maxval}")));
+    }
+    if width == 0 || height == 0 {
+        return Err(PnmError::Malformed("zero dimension".into()));
+    }
+    let need = width * height;
+    let pixels = data
+        .get(raster..raster + need)
+        .ok_or_else(|| PnmError::Malformed("raster shorter than header promises".into()))?;
+    Ok(Image::from_pixels(width, height, pixels.to_vec()))
+}
+
+/// Writes an image as binary `P5`.
+///
+/// # Errors
+///
+/// Propagates writer I/O failures.
+pub fn write_pgm<W: Write>(mut writer: W, image: &Image) -> Result<(), PnmError> {
+    write!(writer, "P5\n{} {}\n255\n", image.width(), image.height())?;
+    writer.write_all(image.pixels())?;
+    Ok(())
+}
+
+/// Reads a binary `P6` RGB image from any reader.
+///
+/// # Errors
+///
+/// As [`read_pgm`], for the `P6` magic.
+pub fn read_ppm<R: Read>(mut reader: R) -> Result<RgbImage, PnmError> {
+    let mut data = Vec::new();
+    reader.read_to_end(&mut data)?;
+    if data.len() < 2 || &data[..2] != b"P6" {
+        return Err(PnmError::Malformed("expected P6 magic".into()));
+    }
+    let (fields, raster) = header_tokens(&data[2..], 3).map(|(f, off)| (f, off + 2))?;
+    let (width, height, maxval) = (fields[0], fields[1], fields[2]);
+    if maxval != 255 {
+        return Err(PnmError::Malformed(format!("unsupported maxval {maxval}")));
+    }
+    if width == 0 || height == 0 {
+        return Err(PnmError::Malformed("zero dimension".into()));
+    }
+    let need = width * height * 3;
+    let body = data
+        .get(raster..raster + need)
+        .ok_or_else(|| PnmError::Malformed("raster shorter than header promises".into()))?;
+    Ok(RgbImage::from_fn(width, height, |x, y| {
+        let at = (y * width + x) * 3;
+        [body[at], body[at + 1], body[at + 2]]
+    }))
+}
+
+/// Writes an image as binary `P6`.
+///
+/// # Errors
+///
+/// Propagates writer I/O failures.
+pub fn write_ppm<W: Write>(mut writer: W, image: &RgbImage) -> Result<(), PnmError> {
+    write!(writer, "P6\n{} {}\n255\n", image.width(), image.height())?;
+    for y in 0..image.height() {
+        for x in 0..image.width() {
+            writer.write_all(&image.get(x, y))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_roundtrip() {
+        let img = Image::from_fn(13, 7, |x, y| (x * 19 + y * 3) as u8);
+        let mut buf = Vec::new();
+        write_pgm(&mut buf, &img).expect("in-memory write");
+        let back = read_pgm(&buf[..]).expect("read back");
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn ppm_roundtrip() {
+        let img = RgbImage::from_fn(9, 5, |x, y| [(x * 20) as u8, (y * 40) as u8, 7]);
+        let mut buf = Vec::new();
+        write_ppm(&mut buf, &img).expect("in-memory write");
+        let back = read_ppm(&buf[..]).expect("read back");
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn comments_in_header_are_skipped() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"P5\n# made by a camera\n4 2\n# another\n255\n");
+        buf.extend_from_slice(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let img = read_pgm(&buf[..]).expect("parse with comments");
+        assert_eq!((img.width(), img.height()), (4, 2));
+        assert_eq!(img.get(3, 1), 8);
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        assert!(matches!(
+            read_pgm(&b"P2\n1 1\n255\n0"[..]),
+            Err(PnmError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_ppm(&b"P5\n1 1\n255\n0"[..]),
+            Err(PnmError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn short_raster_rejected() {
+        let err = read_pgm(&b"P5\n4 4\n255\nxy"[..]).unwrap_err();
+        assert!(err.to_string().contains("raster"));
+    }
+
+    #[test]
+    fn sixteen_bit_maxval_rejected() {
+        let err = read_pgm(&b"P5\n1 1\n65535\n\x00\x00"[..]).unwrap_err();
+        assert!(err.to_string().contains("maxval"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Peak signal-to-noise ratio — the Table II quality metric.
+
+use crate::image::Image;
+
+/// PSNR in dB between two equally sized 8-bit images
+/// (`10·log10(255² / MSE)`), or infinity for identical images.
+///
+/// # Panics
+///
+/// Panics if the images differ in size.
+pub fn psnr(reference: &Image, distorted: &Image) -> f64 {
+    assert_eq!(
+        (reference.width(), reference.height()),
+        (distorted.width(), distorted.height()),
+        "image sizes differ"
+    );
+    let mse = reference
+        .pixels()
+        .iter()
+        .zip(distorted.pixels())
+        .map(|(&a, &b)| {
+            let d = a as f64 - b as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / reference.pixels().len() as f64;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0 * 255.0 / mse).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_have_infinite_psnr() {
+        let img = Image::from_fn(16, 16, |x, y| (x * y) as u8);
+        assert_eq!(psnr(&img, &img), f64::INFINITY);
+    }
+
+    #[test]
+    fn uniform_error_matches_closed_form() {
+        let a = Image::from_fn(16, 16, |_, _| 100);
+        let b = Image::from_fn(16, 16, |_, _| 105);
+        // MSE = 25 → PSNR = 10·log10(65025/25) ≈ 34.15 dB.
+        let expect = 10.0 * (255.0f64 * 255.0 / 25.0).log10();
+        assert!((psnr(&a, &b) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worse_distortion_lower_psnr() {
+        let a = Image::from_fn(16, 16, |_, _| 100);
+        let b = Image::from_fn(16, 16, |_, _| 103);
+        let c = Image::from_fn(16, 16, |_, _| 112);
+        assert!(psnr(&a, &b) > psnr(&a, &c));
+    }
+
+    #[test]
+    #[should_panic(expected = "image sizes differ")]
+    fn size_mismatch_panics() {
+        let a = Image::from_fn(8, 8, |_, _| 0);
+        let b = Image::from_fn(8, 9, |_, _| 0);
+        let _ = psnr(&a, &b);
+    }
+}

@@ -1,0 +1,98 @@
+//! JPEG quantization: the Annex-K luminance table with the standard
+//! quality scaling (the paper evaluates quality level 50, where the table
+//! applies unscaled).
+
+/// The JPEG Annex-K luminance quantization table (quality 50), row-major.
+pub const LUMINANCE_Q50: [[i32; 8]; 8] = [
+    [16, 11, 10, 16, 24, 40, 51, 61],
+    [12, 12, 14, 19, 26, 58, 60, 55],
+    [14, 13, 16, 24, 40, 57, 69, 56],
+    [14, 17, 22, 29, 51, 87, 80, 62],
+    [18, 22, 37, 56, 68, 109, 103, 77],
+    [24, 35, 55, 64, 81, 104, 113, 92],
+    [49, 64, 78, 87, 103, 121, 120, 101],
+    [72, 92, 95, 98, 112, 100, 103, 99],
+];
+
+/// Scales the Annex-K table to a JPEG quality level in `1..=100` using
+/// the libjpeg convention; quality 50 returns the table unchanged.
+///
+/// # Panics
+///
+/// Panics if `quality` is outside `1..=100`.
+pub fn scaled_table(quality: u32) -> [[i32; 8]; 8] {
+    assert!(
+        (1..=100).contains(&quality),
+        "quality must be in 1..=100, got {quality}"
+    );
+    let scale = if quality < 50 {
+        5000 / quality as i64
+    } else {
+        200 - 2 * quality as i64
+    };
+    let mut table = [[0i32; 8]; 8];
+    for r in 0..8 {
+        for c in 0..8 {
+            let q = (LUMINANCE_Q50[r][c] as i64 * scale + 50) / 100;
+            table[r][c] = q.clamp(1, 255) as i32;
+        }
+    }
+    table
+}
+
+/// Quantizes one coefficient: round-to-nearest division by the table
+/// entry (the encoder-side step; exact integer arithmetic, as JPEG
+/// encoders implement it with reciprocal tables).
+pub fn quantize(coef: i32, q: i32) -> i32 {
+    debug_assert!(q > 0);
+    let half = q / 2;
+    if coef >= 0 {
+        (coef + half) / q
+    } else {
+        -((-coef + half) / q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_50_is_identity() {
+        assert_eq!(scaled_table(50), LUMINANCE_Q50);
+    }
+
+    #[test]
+    fn higher_quality_has_smaller_divisors() {
+        let q80 = scaled_table(80);
+        let q20 = scaled_table(20);
+        for r in 0..8 {
+            for c in 0..8 {
+                assert!(q80[r][c] <= LUMINANCE_Q50[r][c]);
+                assert!(q20[r][c] >= LUMINANCE_Q50[r][c]);
+            }
+        }
+    }
+
+    #[test]
+    fn quality_100_is_near_lossless() {
+        let q = scaled_table(100);
+        assert!(q.iter().flatten().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn quantize_rounds_to_nearest_symmetric() {
+        assert_eq!(quantize(31, 16), 2);
+        assert_eq!(quantize(24, 16), 2);
+        assert_eq!(quantize(23, 16), 1);
+        assert_eq!(quantize(-31, 16), -2);
+        assert_eq!(quantize(-23, 16), -1);
+        assert_eq!(quantize(0, 16), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quality must be in 1..=100")]
+    fn zero_quality_panics() {
+        let _ = scaled_table(0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Zig-zag coefficient ordering and a run-length size estimate — enough
+//! of JPEG's entropy stage to report compressed-size figures (entropy
+//! coding is lossless, so PSNR — the paper's Table II metric — does not
+//! depend on it).
+
+/// The standard JPEG zig-zag scan order: `ZIGZAG[i] = (row, col)` of the
+/// `i`-th scanned coefficient.
+pub fn zigzag_order() -> [(usize, usize); 64] {
+    let mut order = [(0usize, 0usize); 64];
+    let (mut r, mut c) = (0usize, 0usize);
+    for slot in order.iter_mut() {
+        *slot = (r, c);
+        if (r + c) % 2 == 0 {
+            // moving "up-right"
+            if c == 7 {
+                r += 1;
+            } else if r == 0 {
+                c += 1;
+            } else {
+                r -= 1;
+                c += 1;
+            }
+        } else {
+            // moving "down-left"
+            if r == 7 {
+                c += 1;
+            } else if c == 0 {
+                r += 1;
+            } else {
+                r += 1;
+                c -= 1;
+            }
+        }
+    }
+    order
+}
+
+/// Scans a quantized block into zig-zag order.
+pub fn scan(block: &[[i32; 8]; 8]) -> [i32; 64] {
+    let order = zigzag_order();
+    std::array::from_fn(|i| {
+        let (r, c) = order[i];
+        block[r][c]
+    })
+}
+
+/// Estimates the entropy-coded size of one scanned block in bits, using
+/// JPEG's (run, size) model with a flat cost approximation: 4 bits of
+/// run/size token plus the coefficient's magnitude bits; trailing zeros
+/// cost a 4-bit end-of-block.
+pub fn estimate_bits(scanned: &[i32; 64]) -> u32 {
+    let last_nonzero = scanned.iter().rposition(|&v| v != 0);
+    let Some(last) = last_nonzero else {
+        return 4; // EOB only
+    };
+    let mut bits = 0u32;
+    for &v in &scanned[..=last] {
+        let mag_bits = 32 - (v.unsigned_abs()).leading_zeros();
+        bits += 4 + mag_bits;
+    }
+    bits + 4 // EOB
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_visits_every_cell_once() {
+        let order = zigzag_order();
+        let mut seen = [[false; 8]; 8];
+        for (r, c) in order {
+            assert!(!seen[r][c], "({r}, {c}) visited twice");
+            seen[r][c] = true;
+        }
+        assert!(seen.iter().flatten().all(|&v| v));
+    }
+
+    #[test]
+    fn zigzag_prefix_matches_standard() {
+        let order = zigzag_order();
+        let expect = [
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (2, 0),
+            (1, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+        ];
+        assert_eq!(&order[..8], &expect);
+        assert_eq!(order[63], (7, 7));
+    }
+
+    #[test]
+    fn scan_orders_coefficients() {
+        let mut block = [[0i32; 8]; 8];
+        block[0][0] = 9;
+        block[0][1] = 5;
+        block[1][0] = 3;
+        let s = scan(&block);
+        assert_eq!(&s[..3], &[9, 5, 3]);
+        assert!(s[3..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn sparser_blocks_estimate_fewer_bits() {
+        let mut dense = [[7i32; 8]; 8];
+        dense[0][0] = 100;
+        let mut sparse = [[0i32; 8]; 8];
+        sparse[0][0] = 100;
+        assert!(estimate_bits(&scan(&sparse)) < estimate_bits(&scan(&dense)));
+    }
+
+    #[test]
+    fn empty_block_is_eob_only() {
+        assert_eq!(estimate_bits(&[0; 64]), 4);
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-interval error breakdown: error statistics split by the operands'
+//! power-of-two intervals `(k_a, k_b)`.
+//!
+//! This directly tests the paper's Eq. 12 property: REALM's
+//! error-reduction factors are *independent of the interval*, so its
+//! relative-error statistics should look the same in every `(k_a, k_b)`
+//! cell (up to the fraction-quantization floor in the smallest
+//! intervals). For designs without that property (e.g. SSM's static
+//! segmentation) the breakdown exposes exactly where the error lives.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use realm_core::multiplier::MultiplierExt;
+use realm_core::Multiplier;
+
+use crate::summary::{ErrorAccumulator, ErrorSummary};
+
+/// Error statistics for one `(k_a, k_b)` interval pair.
+#[derive(Debug, Clone)]
+pub struct IntervalCell {
+    /// Leading-one position of operand `a`.
+    pub ka: u32,
+    /// Leading-one position of operand `b`.
+    pub kb: u32,
+    /// Statistics over the samples that landed in this cell.
+    pub summary: ErrorSummary,
+}
+
+/// Characterizes a design per power-of-two-interval pair with `samples`
+/// uniform random operand pairs; cells that received no samples are
+/// omitted.
+pub fn characterize_by_interval(
+    design: &dyn Multiplier,
+    samples: u64,
+    seed: u64,
+) -> Vec<IntervalCell> {
+    let width = design.width() as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max = design.max_operand();
+    let mut cells = vec![ErrorAccumulator::new(); width * width];
+    for _ in 0..samples {
+        let a = rng.gen_range(1..=max);
+        let b = rng.gen_range(1..=max);
+        if let Some(e) = design.relative_error(a, b) {
+            let ka = a.ilog2() as usize;
+            let kb = b.ilog2() as usize;
+            cells[ka * width + kb].push(e);
+        }
+    }
+    cells
+        .into_iter()
+        .enumerate()
+        .filter(|(_, acc)| acc.count() > 0)
+        .map(|(idx, acc)| IntervalCell {
+            ka: (idx / width) as u32,
+            kb: (idx % width) as u32,
+            summary: acc.finish(),
+        })
+        .collect()
+}
+
+/// The spread of per-interval mean errors: `(min, max)` of the cell means
+/// restricted to intervals with at least `min_k` on both axes (small
+/// intervals are dominated by output quantization) and at least
+/// `min_samples` samples.
+pub fn interval_mean_spread(
+    cells: &[IntervalCell],
+    min_k: u32,
+    min_samples: u64,
+) -> Option<(f64, f64)> {
+    let means: Vec<f64> = cells
+        .iter()
+        .filter(|c| c.ka >= min_k && c.kb >= min_k && c.summary.samples >= min_samples)
+        .map(|c| c.summary.mean_error)
+        .collect();
+    if means.is_empty() {
+        return None;
+    }
+    let lo = means.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Some((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realm_baselines::Ssm;
+    use realm_core::{Realm, RealmConfig};
+
+    #[test]
+    fn realm_error_is_interval_independent() {
+        // Eq. 12: the same factors serve every interval, so the mean error
+        // varies little across large intervals.
+        let realm = Realm::new(RealmConfig::n16(8, 0)).expect("paper design point");
+        let cells = characterize_by_interval(&realm, 1 << 20, 11);
+        let (lo, hi) = interval_mean_spread(&cells, 10, 400).expect("large intervals get samples");
+        assert!(
+            hi / lo < 1.35,
+            "REALM per-interval mean error spread too wide: {lo:.5}..{hi:.5}"
+        );
+    }
+
+    #[test]
+    fn ssm_error_is_interval_dependent() {
+        // SSM's static segmentation is exact below 2^m and truncating
+        // above: the breakdown must show a strong interval dependence.
+        let ssm = Ssm::new(16, 8).expect("valid configuration");
+        let cells = characterize_by_interval(&ssm, 1 << 18, 11);
+        let small: Vec<&IntervalCell> = cells.iter().filter(|c| c.ka < 8 && c.kb < 8).collect();
+        let large: Vec<&IntervalCell> = cells.iter().filter(|c| c.ka >= 8 && c.kb >= 8).collect();
+        assert!(
+            small.iter().all(|c| c.summary.mean_error == 0.0),
+            "small intervals are exact"
+        );
+        assert!(
+            large.iter().any(|c| c.summary.mean_error > 0.001),
+            "large intervals must show truncation error"
+        );
+    }
+
+    #[test]
+    fn cells_cover_sampled_intervals() {
+        let realm = Realm::new(RealmConfig::n16(4, 0)).expect("paper design point");
+        let cells = characterize_by_interval(&realm, 50_000, 3);
+        // Uniform 16-bit operands: the (15, 15) cell holds ~25 % of mass.
+        let top = cells
+            .iter()
+            .find(|c| c.ka == 15 && c.kb == 15)
+            .expect("dominant cell sampled");
+        assert!(top.summary.samples > 8_000);
+        let total: u64 = cells.iter().map(|c| c.summary.samples).sum();
+        assert_eq!(total, 50_000);
+    }
+
+    #[test]
+    fn spread_returns_none_when_filters_exclude_all() {
+        let realm = Realm::new(RealmConfig::n16(4, 0)).expect("paper design point");
+        let cells = characterize_by_interval(&realm, 1_000, 3);
+        assert!(interval_mean_spread(&cells, 15, u64::MAX).is_none());
+    }
+}

@@ -1,0 +1,113 @@
+//! Exhaustive sweeps over operand ranges — the methodology behind the
+//! paper's error-profile figures (Fig. 1 uses `A, B ∈ {32, …, 255}`,
+//! Fig. 2 uses `{64, …, 255}`).
+
+use std::ops::RangeInclusive;
+
+use realm_core::multiplier::MultiplierExt;
+use realm_core::Multiplier;
+
+use crate::summary::{ErrorAccumulator, ErrorSummary};
+
+/// Exhaustively characterizes `design` over the cartesian product of two
+/// operand ranges.
+///
+/// ```
+/// use realm_baselines::Calm;
+/// use realm_metrics::characterize_range;
+///
+/// let s = characterize_range(&Calm::new(16), 32..=255, 32..=255);
+/// assert!(s.max_error <= 0.0); // Mitchell never overestimates
+/// assert_eq!(s.samples, 224 * 224);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the ranges produce no sample with a nonzero product.
+pub fn characterize_range(
+    design: &dyn Multiplier,
+    a_range: RangeInclusive<u64>,
+    b_range: RangeInclusive<u64>,
+) -> ErrorSummary {
+    let mut acc = ErrorAccumulator::new();
+    for a in a_range {
+        for b in b_range.clone() {
+            if let Some(e) = design.relative_error(a, b) {
+                acc.push(e);
+            }
+        }
+    }
+    acc.finish()
+}
+
+/// One sample of an error-profile surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfilePoint {
+    /// First operand.
+    pub a: u64,
+    /// Second operand.
+    pub b: u64,
+    /// Signed relative error of the design at `(a, b)`.
+    pub error: f64,
+}
+
+/// The full relative-error surface over two operand ranges, row-major in
+/// `a` — the data behind Fig. 1 and Fig. 2 (each returned point is one
+/// pixel of those surface plots). Zero-product pairs are skipped.
+pub fn error_profile(
+    design: &dyn Multiplier,
+    a_range: RangeInclusive<u64>,
+    b_range: RangeInclusive<u64>,
+) -> Vec<ProfilePoint> {
+    let mut points = Vec::new();
+    for a in a_range {
+        for b in b_range.clone() {
+            if let Some(error) = design.relative_error(a, b) {
+                points.push(ProfilePoint { a, b, error });
+            }
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realm_baselines::Calm;
+    use realm_core::{Accurate, Realm, RealmConfig};
+
+    #[test]
+    fn fig1_range_calm_statistics() {
+        // Fig. 1(a, b): the classical multiplier over {32..255} shows the
+        // repeating sawtooth with errors in (−11.1 %, 0].
+        let s = characterize_range(&Calm::new(16), 32..=255, 32..=255);
+        assert!(s.min_error >= -0.1112 && s.min_error < -0.10);
+        assert!(s.max_error <= 0.0);
+    }
+
+    #[test]
+    fn fig1_range_realm16_statistics() {
+        // Fig. 1(f): REALM16 over the same range: ME 0.4 %, PE ~2 %.
+        let realm = Realm::new(RealmConfig::n16(16, 0)).unwrap();
+        let s = characterize_range(&realm, 32..=255, 32..=255);
+        assert!(s.mean_error < 0.008, "mean {}", s.mean_error);
+        assert!(s.peak_error() < 0.024, "peak {}", s.peak_error());
+    }
+
+    #[test]
+    fn profile_covers_grid() {
+        let pts = error_profile(&Accurate::new(16), 10..=12, 20..=21);
+        assert_eq!(pts.len(), 6);
+        assert!(pts.iter().all(|p| p.error == 0.0));
+        // Row-major in a.
+        assert_eq!((pts[0].a, pts[0].b), (10, 20));
+        assert_eq!((pts[1].a, pts[1].b), (10, 21));
+        assert_eq!((pts[2].a, pts[2].b), (11, 20));
+    }
+
+    #[test]
+    fn zero_products_skipped() {
+        let pts = error_profile(&Accurate::new(16), 0..=1, 0..=1);
+        assert_eq!(pts.len(), 1); // only (1, 1) has a nonzero product
+    }
+}

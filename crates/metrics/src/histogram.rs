@@ -1,0 +1,190 @@
+//! Relative-error histograms — the distributions of the paper's Fig. 5.
+
+/// A fixed-range, uniform-bin histogram of relative errors.
+///
+/// Samples outside the range are clamped into the first/last bin so the
+/// mass always sums to the sample count (the paper's distributions are
+/// plotted on a fixed ±8 % axis).
+///
+/// ```
+/// use realm_metrics::Histogram;
+///
+/// let mut h = Histogram::new(-0.08, 0.08, 16);
+/// for e in [-0.01, 0.0, 0.01, 0.011] {
+///     h.add(e);
+/// }
+/// assert_eq!(h.total(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram spanning `[lo, hi]` with `bins` uniform bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "histogram range is empty: [{lo}, {hi}]");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Records one sample (clamped into range).
+    pub fn add(&mut self, value: f64) {
+        let bins = self.counts.len();
+        let pos = (value - self.lo) / (self.hi - self.lo) * bins as f64;
+        let idx = (pos.floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bin sample counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The center value of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin {i} out of range");
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Per-bin fraction of total mass (empty histogram yields zeros).
+    pub fn densities(&self) -> Vec<f64> {
+        let total = self.total().max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / total).collect()
+    }
+
+    /// Mass-weighted mean of bin centers — a quick view of distribution
+    /// bias for tests and reports.
+    pub fn mean(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| self.bin_center(i) * c as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+
+    /// Fraction of mass within `±width` of zero — how concentrated the
+    /// distribution is (the paper's "narrower with larger M" observation).
+    pub fn mass_within(&self, width: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let inside: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.bin_center(i).abs() <= width)
+            .map(|(_, &c)| c)
+            .sum();
+        inside as f64 / total as f64
+    }
+
+    /// Renders the histogram as ASCII-art rows (`center  count  bar`) for
+    /// the experiment drivers.
+    pub fn render(&self, bar_width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bar = "#".repeat((c as usize * bar_width).div_ceil(max as usize));
+            out.push_str(&format!(
+                "{:+7.3}% {:>9} {}\n",
+                self.bin_center(i) * 100.0,
+                c,
+                bar
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_correct_bins() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for v in [0.1, 0.3, 0.6, 0.9, 0.95] {
+            h.add(v);
+        }
+        assert_eq!(h.counts(), &[1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(-1.0, 1.0, 2);
+        h.add(-5.0);
+        h.add(5.0);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn bin_centers_are_midpoints() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert!((h.bin_center(0) - 0.125).abs() < 1e-15);
+        assert!((h.bin_center(3) - 0.875).abs() < 1e-15);
+    }
+
+    #[test]
+    fn densities_sum_to_one() {
+        let mut h = Histogram::new(-0.1, 0.1, 7);
+        for i in 0..100 {
+            h.add((i as f64 - 50.0) / 600.0);
+        }
+        let sum: f64 = h.densities().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mass_within_detects_concentration() {
+        let mut narrow = Histogram::new(-0.1, 0.1, 100);
+        let mut wide = Histogram::new(-0.1, 0.1, 100);
+        for i in 0..1000 {
+            let t = (i as f64 / 1000.0 - 0.5) * 2.0; // −1..1
+            narrow.add(0.005 * t);
+            wide.add(0.08 * t);
+        }
+        assert!(narrow.mass_within(0.01) > 0.95);
+        assert!(wide.mass_within(0.01) < 0.30);
+    }
+
+    #[test]
+    fn render_is_nonempty_and_line_per_bin() {
+        let mut h = Histogram::new(-0.1, 0.1, 5);
+        h.add(0.0);
+        let text = h.render(20);
+        assert_eq!(text.lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "range is empty")]
+    fn inverted_range_panics() {
+        let _ = Histogram::new(0.5, -0.5, 4);
+    }
+}

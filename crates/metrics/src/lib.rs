@@ -1,0 +1,36 @@
+//! # realm-metrics
+//!
+//! The error-characterization harness behind the paper's evaluation
+//! (§IV-B): Monte-Carlo campaigns over the full operand space, exhaustive
+//! sweeps for the error-profile figures, the paper's five error metrics,
+//! relative-error histograms (Fig. 5) and Pareto-front extraction
+//! (Fig. 4).
+//!
+//! ```
+//! use realm_core::Accurate;
+//! use realm_metrics::MonteCarlo;
+//!
+//! let campaign = MonteCarlo::new(10_000, 42);
+//! let summary = campaign.characterize(&Accurate::new(16));
+//! assert_eq!(summary.mean_error, 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod exhaustive;
+pub mod heatmap;
+pub mod histogram;
+pub mod montecarlo;
+pub mod nmed;
+pub mod pareto;
+pub mod summary;
+pub mod sweep;
+
+pub use breakdown::{characterize_by_interval, IntervalCell};
+pub use exhaustive::{characterize_range, error_profile};
+pub use histogram::Histogram;
+pub use montecarlo::MonteCarlo;
+pub use pareto::{pareto_front, ParetoPoint};
+pub use summary::{ErrorAccumulator, ErrorSummary};

@@ -1,0 +1,159 @@
+//! Monte-Carlo error characterization (paper §IV-B): uniform random
+//! operand pairs over `{0, …, 2^N − 1}`, seeded for reproducibility.
+//!
+//! The paper uses `2^24` samples per configuration; campaigns here take
+//! the sample count as a parameter so tests can run small and the bench
+//! harness can run the full budget.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use realm_core::multiplier::MultiplierExt;
+use realm_core::Multiplier;
+
+use crate::summary::{ErrorAccumulator, ErrorSummary};
+
+/// A reproducible Monte-Carlo characterization campaign.
+///
+/// ```
+/// use realm_core::{Realm, RealmConfig};
+/// use realm_metrics::MonteCarlo;
+///
+/// # fn main() -> Result<(), realm_core::ConfigError> {
+/// let campaign = MonteCarlo::new(50_000, 7);
+/// let realm = Realm::new(RealmConfig::n16(16, 0))?;
+/// let s = campaign.characterize(&realm);
+/// // Table I: REALM16/t=0 mean error 0.42 %.
+/// assert!((s.mean_error - 0.0042).abs() < 0.001);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MonteCarlo {
+    samples: u64,
+    seed: u64,
+}
+
+impl MonteCarlo {
+    /// A campaign drawing `samples` operand pairs from the RNG seeded with
+    /// `seed`.
+    pub fn new(samples: u64, seed: u64) -> Self {
+        assert!(samples > 0, "campaign needs at least one sample");
+        MonteCarlo { samples, seed }
+    }
+
+    /// The paper's full-budget campaign: `2^24` samples.
+    pub fn paper_budget(seed: u64) -> Self {
+        MonteCarlo::new(1 << 24, seed)
+    }
+
+    /// Number of samples drawn per characterization.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Characterizes one design: relative error statistics over uniform
+    /// random pairs (zero products skipped, as in the paper).
+    pub fn characterize(&self, design: &dyn Multiplier) -> ErrorSummary {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let max = design.max_operand();
+        let mut acc = ErrorAccumulator::new();
+        let mut drawn = 0u64;
+        while drawn < self.samples {
+            let a = rng.gen_range(0..=max);
+            let b = rng.gen_range(0..=max);
+            drawn += 1;
+            if let Some(e) = design.relative_error(a, b) {
+                acc.push(e);
+            }
+        }
+        acc.finish()
+    }
+
+    /// Characterizes one design and simultaneously feeds every error into
+    /// `sink` (used to build Fig. 5 histograms without a second pass).
+    pub fn characterize_with<F: FnMut(f64)>(
+        &self,
+        design: &dyn Multiplier,
+        mut sink: F,
+    ) -> ErrorSummary {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let max = design.max_operand();
+        let mut acc = ErrorAccumulator::new();
+        for _ in 0..self.samples {
+            let a = rng.gen_range(0..=max);
+            let b = rng.gen_range(0..=max);
+            if let Some(e) = design.relative_error(a, b) {
+                acc.push(e);
+                sink(e);
+            }
+        }
+        acc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realm_baselines::Calm;
+    use realm_core::Accurate;
+
+    #[test]
+    fn accurate_has_all_zero_metrics() {
+        let s = MonteCarlo::new(5_000, 1).characterize(&Accurate::new(16));
+        assert_eq!(s.bias, 0.0);
+        assert_eq!(s.mean_error, 0.0);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.min_error, 0.0);
+        assert_eq!(s.max_error, 0.0);
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let m = Calm::new(16);
+        let a = MonteCarlo::new(20_000, 99).characterize(&m);
+        let b = MonteCarlo::new(20_000, 99).characterize(&m);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_agree_statistically() {
+        let m = Calm::new(16);
+        let a = MonteCarlo::new(100_000, 1).characterize(&m);
+        let b = MonteCarlo::new(100_000, 2).characterize(&m);
+        assert!((a.bias - b.bias).abs() < 0.002);
+        assert!((a.mean_error - b.mean_error).abs() < 0.002);
+    }
+
+    #[test]
+    fn calm_matches_table1_row() {
+        // Table I cALM: bias −3.85 %, mean 3.85 %, min −11.11 %, max 0.00,
+        // variance 8.63 (percent²).
+        let s = MonteCarlo::new(200_000, 7).characterize(&Calm::new(16));
+        assert!((s.bias - (-0.0385)).abs() < 0.001, "bias {}", s.bias);
+        assert!(
+            (s.mean_error - 0.0385).abs() < 0.001,
+            "mean {}",
+            s.mean_error
+        );
+        assert!(s.max_error <= 0.0);
+        assert!(s.min_error >= -0.1112);
+        assert!(
+            (s.variance_percent() - 8.63).abs() < 0.5,
+            "var {}",
+            s.variance_percent()
+        );
+    }
+
+    #[test]
+    fn sink_sees_every_error() {
+        let mut n = 0u64;
+        let s = MonteCarlo::new(3_000, 5).characterize_with(&Calm::new(16), |_| n += 1);
+        assert_eq!(n, s.samples);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        let _ = MonteCarlo::new(0, 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Absolute-error metrics: NMED (normalized mean error distance) and
+//! worst-case error distance — the other common yardsticks in the
+//! approximate-arithmetic literature (the survey \[2\] the paper cites),
+//! complementing the relative-error metrics of Table I.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use realm_core::multiplier::MultiplierExt;
+use realm_core::Multiplier;
+
+/// Absolute-error statistics for one design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceSummary {
+    /// NMED: mean |approx − exact| normalized by the maximum product
+    /// `(2^N − 1)²`.
+    pub nmed: f64,
+    /// Worst observed |approx − exact|, normalized the same way ("WCED").
+    pub worst_case: f64,
+    /// Samples drawn.
+    pub samples: u64,
+}
+
+/// Measures NMED/WCED with `samples` uniform operand pairs.
+///
+/// ```
+/// use realm_core::Accurate;
+/// use realm_metrics::nmed::distance_metrics;
+///
+/// let s = distance_metrics(&Accurate::new(16), 10_000, 1);
+/// assert_eq!(s.nmed, 0.0);
+/// ```
+pub fn distance_metrics(design: &dyn Multiplier, samples: u64, seed: u64) -> DistanceSummary {
+    assert!(samples > 0, "need at least one sample");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max = design.max_operand();
+    let norm = (max as f64) * (max as f64);
+    let mut sum = 0.0f64;
+    let mut worst = 0.0f64;
+    for _ in 0..samples {
+        let a = rng.gen_range(0..=max);
+        let b = rng.gen_range(0..=max);
+        let exact = (a as u128 * b as u128) as f64;
+        let approx = design.multiply(a, b) as f64;
+        let d = (approx - exact).abs();
+        sum += d;
+        worst = worst.max(d);
+    }
+    DistanceSummary {
+        nmed: sum / samples as f64 / norm,
+        worst_case: worst / norm,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realm_baselines::{Calm, Drum};
+    use realm_core::{Accurate, Realm, RealmConfig};
+
+    #[test]
+    fn accurate_is_zero() {
+        let s = distance_metrics(&Accurate::new(16), 5_000, 1);
+        assert_eq!(s.nmed, 0.0);
+        assert_eq!(s.worst_case, 0.0);
+    }
+
+    #[test]
+    fn realm_nmed_beats_calm() {
+        let realm = Realm::new(RealmConfig::n16(16, 0)).expect("paper design point");
+        let r = distance_metrics(&realm, 200_000, 7);
+        let c = distance_metrics(&Calm::new(16), 200_000, 7);
+        assert!(r.nmed < c.nmed / 4.0, "REALM {} vs cALM {}", r.nmed, c.nmed);
+    }
+
+    #[test]
+    fn nmed_ordering_matches_relative_ordering_for_log_family() {
+        // For designs whose relative error is roughly magnitude-
+        // independent, NMED ordering tracks mean-relative-error ordering.
+        let r16 = distance_metrics(
+            &Realm::new(RealmConfig::n16(16, 0)).expect("paper design point"),
+            100_000,
+            3,
+        );
+        let r4 = distance_metrics(
+            &Realm::new(RealmConfig::n16(4, 0)).expect("paper design point"),
+            100_000,
+            3,
+        );
+        assert!(r16.nmed < r4.nmed);
+    }
+
+    #[test]
+    fn drum_worst_case_is_bounded() {
+        let s = distance_metrics(&Drum::new(16, 8).expect("valid"), 100_000, 5);
+        // Relative error < 2^-6 → normalized distance below that too.
+        assert!(s.worst_case < 1.0 / 64.0, "worst {}", s.worst_case);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_panics() {
+        let _ = distance_metrics(&Accurate::new(16), 0, 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Pareto-front extraction for the accuracy vs. resource-efficiency
+//! design space of the paper's Fig. 4 (reduction on the x-axis — larger
+//! is better; error on the y-axis — smaller is better).
+
+/// One labelled design point in a gain/cost plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Display label (e.g. `"REALM16 (t=3)"`).
+    pub label: String,
+    /// The quantity to maximize (e.g. power reduction, in percent).
+    pub gain: f64,
+    /// The quantity to minimize (e.g. mean error, in percent).
+    pub cost: f64,
+}
+
+impl ParetoPoint {
+    /// Creates a labelled point.
+    pub fn new(label: impl Into<String>, gain: f64, cost: f64) -> Self {
+        ParetoPoint {
+            label: label.into(),
+            gain,
+            cost,
+        }
+    }
+}
+
+/// Returns the indices of the Pareto-optimal points (maximize `gain`,
+/// minimize `cost`), sorted by increasing gain.
+///
+/// A point is dominated if some other point has `gain >=` and `cost <=`
+/// with at least one strict inequality.
+///
+/// ```
+/// use realm_metrics::{pareto_front, ParetoPoint};
+///
+/// let pts = vec![
+///     ParetoPoint::new("a", 50.0, 1.0),
+///     ParetoPoint::new("b", 60.0, 0.5), // dominates "a"
+///     ParetoPoint::new("c", 70.0, 2.0),
+/// ];
+/// let front = pareto_front(&pts);
+/// assert_eq!(front, vec![1, 2]);
+/// ```
+pub fn pareto_front(points: &[ParetoPoint]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    // Sort by gain descending, cost ascending; sweep keeping the running
+    // minimum cost.
+    order.sort_by(|&i, &j| {
+        points[j]
+            .gain
+            .partial_cmp(&points[i].gain)
+            .expect("finite gains")
+            .then(
+                points[i]
+                    .cost
+                    .partial_cmp(&points[j].cost)
+                    .expect("finite costs"),
+            )
+    });
+    let mut front = Vec::new();
+    let mut best_cost = f64::INFINITY;
+    let mut last_gain = f64::INFINITY;
+    for &i in &order {
+        let p = &points[i];
+        if p.cost < best_cost || (p.cost == best_cost && p.gain == last_gain) {
+            // Equal-cost, equal-gain duplicates are all kept; otherwise a
+            // strictly lower cost is required as gain decreases.
+            if p.cost < best_cost {
+                best_cost = p.cost;
+                last_gain = p.gain;
+                front.push(i);
+            } else if p.gain == last_gain {
+                front.push(i);
+            }
+        }
+    }
+    front.sort_by(|&i, &j| {
+        points[i]
+            .gain
+            .partial_cmp(&points[j].gain)
+            .expect("finite gains")
+    });
+    front
+}
+
+/// True if point `i` lies on the Pareto front of `points`.
+pub fn is_pareto_optimal(points: &[ParetoPoint], i: usize) -> bool {
+    pareto_front(points).contains(&i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(label: &str, gain: f64, cost: f64) -> ParetoPoint {
+        ParetoPoint::new(label, gain, cost)
+    }
+
+    #[test]
+    fn single_point_is_optimal() {
+        let pts = vec![p("only", 10.0, 1.0)];
+        assert_eq!(pareto_front(&pts), vec![0]);
+    }
+
+    #[test]
+    fn dominated_points_are_excluded() {
+        let pts = vec![
+            p("good", 80.0, 1.0),
+            p("dominated", 70.0, 2.0), // worse on both axes
+            p("cheap", 90.0, 3.0),
+        ];
+        let front = pareto_front(&pts);
+        assert!(front.contains(&0));
+        assert!(front.contains(&2));
+        assert!(!front.contains(&1));
+    }
+
+    #[test]
+    fn front_is_sorted_by_gain() {
+        let pts = vec![p("hi", 90.0, 5.0), p("lo", 50.0, 0.5), p("mid", 70.0, 2.0)];
+        let front = pareto_front(&pts);
+        let gains: Vec<f64> = front.iter().map(|&i| pts[i].gain).collect();
+        assert!(gains.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(front.len(), 3); // chain: each trades error for gain
+    }
+
+    #[test]
+    fn equal_points_all_kept() {
+        let pts = vec![p("a", 60.0, 1.0), p("b", 60.0, 1.0)];
+        assert_eq!(pareto_front(&pts).len(), 2);
+    }
+
+    #[test]
+    fn strictly_worse_cost_at_same_gain_excluded() {
+        let pts = vec![p("a", 60.0, 1.0), p("b", 60.0, 2.0)];
+        assert_eq!(pareto_front(&pts), vec![0]);
+    }
+
+    #[test]
+    fn is_pareto_optimal_agrees_with_front() {
+        let pts = vec![p("a", 80.0, 1.0), p("b", 70.0, 2.0), p("c", 90.0, 3.0)];
+        assert!(is_pareto_optimal(&pts, 0));
+        assert!(!is_pareto_optimal(&pts, 1));
+        assert!(is_pareto_optimal(&pts, 2));
+    }
+}

@@ -1,0 +1,259 @@
+//! The paper's error metrics (§IV-B): error bias, mean error (MRED),
+//! variance and the two-sided peak errors — all over *relative* error,
+//! all reported in percent.
+
+use std::fmt;
+
+/// Streaming accumulator for relative-error statistics.
+///
+/// Pairs whose exact product is zero are skipped (relative error is
+/// undefined there), matching the paper's methodology.
+///
+/// ```
+/// use realm_metrics::ErrorAccumulator;
+///
+/// let mut acc = ErrorAccumulator::new();
+/// acc.push(-0.02);
+/// acc.push(0.02);
+/// let s = acc.finish();
+/// assert_eq!(s.bias, 0.0);
+/// assert_eq!(s.mean_error, 0.02);
+/// assert_eq!(s.min_error, -0.02);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorAccumulator {
+    count: u64,
+    sum: f64,
+    sum_abs: f64,
+    sum_sq: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Standard errors of the sampled means, for stating Monte-Carlo
+/// tolerances honestly (e.g. "bias = −3.85 % ± 0.01 %").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StandardErrors {
+    /// Standard error of the bias estimate.
+    pub bias: f64,
+    /// Standard error of the mean-|error| estimate.
+    pub mean_error: f64,
+}
+
+impl ErrorAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        ErrorAccumulator {
+            count: 0,
+            sum: 0.0,
+            sum_abs: 0.0,
+            sum_sq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one signed relative error.
+    pub fn push(&mut self, e: f64) {
+        self.count += 1;
+        self.sum += e;
+        self.sum_abs += e.abs();
+        self.sum_sq += e * e;
+        self.min = self.min.min(e);
+        self.max = self.max.max(e);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Merges another accumulator into this one (for sharded campaigns).
+    pub fn merge(&mut self, other: &ErrorAccumulator) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_abs += other.sum_abs;
+        self.sum_sq += other.sum_sq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Standard errors of the running mean estimates (√(var/n)); `None`
+    /// with fewer than two samples.
+    pub fn standard_errors(&self) -> Option<StandardErrors> {
+        if self.count < 2 {
+            return None;
+        }
+        let n = self.count as f64;
+        let bias_var = (self.sum_sq / n - (self.sum / n).powi(2)).max(0.0);
+        // var(|e|) = E[e²] − E[|e|]² (|e|² = e²).
+        let abs_var = (self.sum_sq / n - (self.sum_abs / n).powi(2)).max(0.0);
+        Some(StandardErrors {
+            bias: (bias_var / n).sqrt(),
+            mean_error: (abs_var / n).sqrt(),
+        })
+    }
+
+    /// Finalizes into an [`ErrorSummary`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no samples were recorded.
+    pub fn finish(&self) -> ErrorSummary {
+        assert!(self.count > 0, "cannot summarize an empty accumulator");
+        let n = self.count as f64;
+        let bias = self.sum / n;
+        ErrorSummary {
+            samples: self.count,
+            bias,
+            mean_error: self.sum_abs / n,
+            variance: (self.sum_sq / n - bias * bias).max(0.0),
+            min_error: self.min,
+            max_error: self.max,
+        }
+    }
+}
+
+/// The paper's five error metrics for one design, as fractions (multiply
+/// by 100 for the paper's percentage convention, or use the `Display`
+/// impl which prints Table I-style columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorSummary {
+    /// Number of (nonzero-product) samples characterized.
+    pub samples: u64,
+    /// Error bias: mean of signed relative error.
+    pub bias: f64,
+    /// Mean error (MRED): mean of |relative error|.
+    pub mean_error: f64,
+    /// Variance of the signed relative error.
+    pub variance: f64,
+    /// Most negative relative error ("Peak Errors / Min").
+    pub min_error: f64,
+    /// Most positive relative error ("Peak Errors / Max").
+    pub max_error: f64,
+}
+
+impl ErrorSummary {
+    /// Peak error as the paper's Fig. 4 uses it: the larger magnitude of
+    /// the two peaks.
+    pub fn peak_error(&self) -> f64 {
+        self.min_error.abs().max(self.max_error.abs())
+    }
+
+    /// Variance expressed in the paper's unit (percent², since Table I
+    /// lists variance of errors-in-percent).
+    pub fn variance_percent(&self) -> f64 {
+        self.variance * 1e4
+    }
+}
+
+impl fmt::Display for ErrorSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bias={:+.2}% mean={:.2}% min={:+.2}% max={:+.2}% var={:.2}",
+            self.bias * 100.0,
+            self.mean_error * 100.0,
+            self.min_error * 100.0,
+            self.max_error * 100.0,
+            self.variance_percent(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_of_known_sequence() {
+        let mut acc = ErrorAccumulator::new();
+        for e in [-0.04, -0.02, 0.0, 0.02, 0.04] {
+            acc.push(e);
+        }
+        let s = acc.finish();
+        assert_eq!(s.samples, 5);
+        assert!(s.bias.abs() < 1e-15);
+        assert!((s.mean_error - 0.024).abs() < 1e-15);
+        assert_eq!(s.min_error, -0.04);
+        assert_eq!(s.max_error, 0.04);
+        // variance = mean of squares = (16+4+0+4+16)e-4/5 = 8e-4
+        assert!((s.variance - 8e-4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn variance_is_centered() {
+        let mut acc = ErrorAccumulator::new();
+        for _ in 0..100 {
+            acc.push(0.05); // constant error: variance 0, bias 0.05
+        }
+        let s = acc.finish();
+        assert!((s.bias - 0.05).abs() < 1e-15);
+        assert!(s.variance < 1e-15);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let es = [-0.1, 0.2, -0.3, 0.05, 0.0, 0.17];
+        let mut whole = ErrorAccumulator::new();
+        for &e in &es {
+            whole.push(e);
+        }
+        let mut a = ErrorAccumulator::new();
+        let mut b = ErrorAccumulator::new();
+        for &e in &es[..3] {
+            a.push(e);
+        }
+        for &e in &es[3..] {
+            b.push(e);
+        }
+        a.merge(&b);
+        assert_eq!(a.finish(), whole.finish());
+    }
+
+    #[test]
+    fn peak_error_takes_larger_magnitude() {
+        let mut acc = ErrorAccumulator::new();
+        acc.push(-0.08);
+        acc.push(0.02);
+        assert_eq!(acc.finish().peak_error(), 0.08);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty accumulator")]
+    fn empty_finish_panics() {
+        let _ = ErrorAccumulator::new().finish();
+    }
+
+    #[test]
+    fn standard_errors_shrink_with_sample_count() {
+        let mut small = ErrorAccumulator::new();
+        let mut large = ErrorAccumulator::new();
+        for i in 0..100 {
+            let e = ((i % 7) as f64 - 3.0) / 100.0;
+            small.push(e);
+            for _ in 0..100 {
+                large.push(e);
+            }
+        }
+        let se_small = small.standard_errors().expect("enough samples");
+        let se_large = large.standard_errors().expect("enough samples");
+        assert!(se_large.bias < se_small.bias / 5.0);
+        assert!(se_large.mean_error < se_small.mean_error / 5.0);
+    }
+
+    #[test]
+    fn standard_errors_none_for_single_sample() {
+        let mut acc = ErrorAccumulator::new();
+        acc.push(0.01);
+        assert!(acc.standard_errors().is_none());
+    }
+
+    #[test]
+    fn display_formats_percentages() {
+        let mut acc = ErrorAccumulator::new();
+        acc.push(0.01);
+        let text = acc.finish().to_string();
+        assert!(text.contains("bias=+1.00%"), "{text}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Parameter-sweep series: the "wide and dense design space" view of the
+//! paper's §IV — one metric traced against one knob, for each family
+//! member, ready for plotting or CSV export.
+
+use realm_core::Multiplier;
+
+use crate::montecarlo::MonteCarlo;
+
+/// One traced curve: a label plus `(knob value, metric value)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Curve label (e.g. `"REALM16 mean error vs t"`).
+    pub label: String,
+    /// The `(x, y)` samples in sweep order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends one sample.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// True when `y` never decreases along the sweep (within `slack`).
+    pub fn is_non_decreasing(&self, slack: f64) -> bool {
+        self.points.windows(2).all(|w| w[1].1 >= w[0].1 - slack)
+    }
+
+    /// Renders `x,y` CSV lines (no header).
+    pub fn to_csv_rows(&self) -> String {
+        self.points
+            .iter()
+            .map(|(x, y)| format!("{},{:.6}\n", x, y))
+            .collect()
+    }
+}
+
+/// Sweeps a knob: `build(knob)` constructs a design, the campaign
+/// characterizes it, and `metric` projects the summary onto the y-axis.
+pub fn sweep_knob<B, Mtr>(
+    label: impl Into<String>,
+    knobs: &[u32],
+    campaign: &MonteCarlo,
+    mut build: B,
+    metric: Mtr,
+) -> Series
+where
+    B: FnMut(u32) -> Box<dyn Multiplier>,
+    Mtr: Fn(&crate::summary::ErrorSummary) -> f64,
+{
+    let mut series = Series::new(label);
+    for &k in knobs {
+        let design = build(k);
+        let summary = campaign.characterize(design.as_ref());
+        series.push(k as f64, metric(&summary));
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realm_core::{Realm, RealmConfig};
+
+    #[test]
+    fn series_csv_and_monotonicity() {
+        let mut s = Series::new("demo");
+        s.push(0.0, 1.0);
+        s.push(1.0, 1.5);
+        s.push(2.0, 1.4);
+        assert!(!s.is_non_decreasing(0.0));
+        assert!(s.is_non_decreasing(0.2));
+        assert_eq!(s.to_csv_rows().lines().count(), 3);
+    }
+
+    #[test]
+    fn realm_mean_error_sweep_over_t_is_non_decreasing() {
+        let campaign = MonteCarlo::new(60_000, 4);
+        let series = sweep_knob(
+            "REALM8 mean error vs t",
+            &[0, 2, 4, 6, 8, 9],
+            &campaign,
+            |t| Box::new(Realm::new(RealmConfig::n16(8, t)).expect("paper design point")),
+            |s| s.mean_error,
+        );
+        assert_eq!(series.points.len(), 6);
+        // Monte-Carlo noise slack.
+        assert!(series.is_non_decreasing(0.0005), "{:?}", series.points);
+        // t = 9 must sit clearly above t = 0.
+        assert!(series.points[5].1 > series.points[0].1 * 1.2);
+    }
+}

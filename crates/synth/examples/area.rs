@@ -1,0 +1,21 @@
+use realm_synth::designs::table1_pairs;
+use realm_synth::report::Reporter;
+
+fn main() {
+    let reporter = Reporter::paper_setup(120, 7);
+    println!(
+        "{:<22} {:>7} {:>9} {:>9} {:>9}",
+        "design", "gates", "area", "aRed%", "pRed%"
+    );
+    for pair in table1_pairs() {
+        let r = reporter.report(&pair.netlist);
+        println!(
+            "{:<22} {:>7} {:>9.1} {:>9.1} {:>9.1}",
+            pair.netlist.name(),
+            pair.netlist.gate_count(),
+            r.area_um2,
+            r.area_reduction,
+            r.power_reduction
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Adders: exact ripple-carry, subtractors, and the approximate lower-part
+//! adders used by the ALM-MAA/SOA designs.
+
+use realm_baselines::adders::LowerPart;
+
+use crate::netlist::{Net, Netlist};
+
+/// Half adder: returns `(sum, carry)`.
+pub fn half_adder(nl: &mut Netlist, a: Net, b: Net) -> (Net, Net) {
+    (nl.xor(a, b), nl.and(a, b))
+}
+
+/// Full adder from primitive gates: returns `(sum, carry)`.
+pub fn full_adder(nl: &mut Netlist, a: Net, b: Net, c: Net) -> (Net, Net) {
+    let axb = nl.xor(a, b);
+    let sum = nl.xor(axb, c);
+    let t1 = nl.and(a, b);
+    let t2 = nl.and(axb, c);
+    let carry = nl.or(t1, t2);
+    (sum, carry)
+}
+
+/// Ripple-carry addition of two buses (zero-extended to a common width)
+/// plus a carry-in; the result carries one extra bit.
+pub fn ripple_add(nl: &mut Netlist, a: &[Net], b: &[Net], cin: Net) -> Vec<Net> {
+    let width = a.len().max(b.len());
+    let mut carry = cin;
+    let mut out = Vec::with_capacity(width + 1);
+    for i in 0..width {
+        let ai = a.get(i).copied().unwrap_or(nl.zero());
+        let bi = b.get(i).copied().unwrap_or(nl.zero());
+        let (s, c) = full_adder(nl, ai, bi, carry);
+        out.push(s);
+        carry = c;
+    }
+    out.push(carry);
+    out
+}
+
+/// Two's-complement subtraction `a − b` over a common width; the returned
+/// bus has the same width as the widest input plus a borrow-free MSB that
+/// is 1 when the result is non-negative (i.e. the final carry).
+pub fn ripple_sub(nl: &mut Netlist, a: &[Net], b: &[Net]) -> Vec<Net> {
+    let width = a.len().max(b.len());
+    let mut carry = nl.one();
+    let mut out = Vec::with_capacity(width + 1);
+    for i in 0..width {
+        let ai = a.get(i).copied().unwrap_or(nl.zero());
+        let bi = b.get(i).copied().unwrap_or(nl.zero());
+        let nb = nl.not(bi);
+        let (s, c) = full_adder(nl, ai, nb, carry);
+        out.push(s);
+        carry = c;
+    }
+    out.push(carry);
+    out
+}
+
+/// The ALM approximate adder: lower `m` bits via the selected scheme
+/// (OR-based or set-one), exact ripple carry above. Mirrors
+/// [`realm_baselines::adders::approx_add`] bit for bit.
+pub fn approx_add_lower(
+    nl: &mut Netlist,
+    a: &[Net],
+    b: &[Net],
+    m: usize,
+    scheme: LowerPart,
+) -> Vec<Net> {
+    let zero = nl.zero();
+    if m == 0 || matches!(scheme, LowerPart::Exact) {
+        return ripple_add(nl, a, b, zero);
+    }
+    let width = a.len().max(b.len());
+    assert!(
+        m < width,
+        "approximate lower part must leave exact upper bits"
+    );
+    let ext = |nl: &Netlist, bus: &[Net], i: usize| bus.get(i).copied().unwrap_or(nl.zero());
+    let mut out = Vec::with_capacity(width + 1);
+    let cin = match scheme {
+        LowerPart::Exact => unreachable!("handled above"),
+        LowerPart::Or => {
+            for i in 0..m {
+                let (ai, bi) = (ext(nl, a, i), ext(nl, b, i));
+                out.push(nl.or(ai, bi));
+            }
+            let (am, bm) = (ext(nl, a, m - 1), ext(nl, b, m - 1));
+            nl.and(am, bm)
+        }
+        LowerPart::SetOne => {
+            for _ in 0..m {
+                out.push(nl.one());
+            }
+            nl.zero()
+        }
+        LowerPart::Truncate => {
+            for _ in 0..m {
+                out.push(nl.zero());
+            }
+            nl.zero()
+        }
+    };
+    let a_hi: Vec<Net> = (m..width).map(|i| ext(nl, a, i)).collect();
+    let b_hi: Vec<Net> = (m..width).map(|i| ext(nl, b, i)).collect();
+    out.extend(ripple_add(nl, &a_hi, &b_hi, cin));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realm_baselines::adders::approx_add;
+
+    #[test]
+    fn ripple_add_exhaustive_6bit() {
+        let mut nl = Netlist::new("add");
+        let a = nl.input_bus("a", 6);
+        let b = nl.input_bus("b", 6);
+        let zero = nl.zero();
+        let s = ripple_add(&mut nl, &a, &b, zero);
+        nl.output_bus("s", s);
+        for av in (0..64u64).step_by(3) {
+            for bv in 0..64u64 {
+                assert_eq!(nl.eval_one(&[("a", av), ("b", bv)], "s"), av + bv);
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_add_with_carry_in() {
+        let mut nl = Netlist::new("addc");
+        let a = nl.input_bus("a", 4);
+        let b = nl.input_bus("b", 4);
+        let one = nl.one();
+        let s = ripple_add(&mut nl, &a, &b, one);
+        nl.output_bus("s", s);
+        assert_eq!(nl.eval_one(&[("a", 15), ("b", 15)], "s"), 31);
+    }
+
+    #[test]
+    fn ripple_add_mixed_widths() {
+        let mut nl = Netlist::new("mixed");
+        let a = nl.input_bus("a", 7);
+        let b = nl.input_bus("b", 3);
+        let zero = nl.zero();
+        let s = ripple_add(&mut nl, &a, &b, zero);
+        nl.output_bus("s", s);
+        assert_eq!(nl.eval_one(&[("a", 100), ("b", 7)], "s"), 107);
+    }
+
+    #[test]
+    fn ripple_sub_non_negative() {
+        let mut nl = Netlist::new("sub");
+        let a = nl.input_bus("a", 5);
+        let b = nl.input_bus("b", 5);
+        let d = ripple_sub(&mut nl, &a, &b);
+        nl.output_bus("d", d);
+        for av in 0..32u64 {
+            for bv in 0..=av {
+                let out = nl.eval_one(&[("a", av), ("b", bv)], "d");
+                assert_eq!(out & 0x1F, av - bv, "a={av} b={bv}");
+                assert_eq!(out >> 5, 1, "carry should indicate non-negative");
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_sub_wraps_when_negative() {
+        let mut nl = Netlist::new("subneg");
+        let a = nl.input_bus("a", 4);
+        let b = nl.input_bus("b", 4);
+        let d = ripple_sub(&mut nl, &a, &b);
+        nl.output_bus("d", d);
+        // 3 − 5 = −2 → two's complement 0b1110, borrow (carry 0).
+        let out = nl.eval_one(&[("a", 3), ("b", 5)], "d");
+        assert_eq!(out & 0xF, 0b1110);
+        assert_eq!(out >> 4, 0);
+    }
+
+    #[test]
+    fn approx_adders_match_behavioural_model() {
+        for scheme in [LowerPart::Or, LowerPart::SetOne, LowerPart::Truncate] {
+            let mut nl = Netlist::new("approx");
+            let a = nl.input_bus("a", 8);
+            let b = nl.input_bus("b", 8);
+            let s = approx_add_lower(&mut nl, &a, &b, 3, scheme);
+            nl.output_bus("s", s);
+            for av in (0..256u64).step_by(5) {
+                for bv in (0..256u64).step_by(7) {
+                    assert_eq!(
+                        nl.eval_one(&[("a", av), ("b", bv)], "s"),
+                        approx_add(av, bv, 3, scheme),
+                        "scheme {scheme:?} a={av} b={bv}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soa_lower_part_costs_no_gates_below_m() {
+        // The set-one region is hardwired: no gates for the low bits, no
+        // carry logic — this is where ALM-SOA's area win comes from.
+        let mut nl = Netlist::new("soa");
+        let a = nl.input_bus("a", 8);
+        let b = nl.input_bus("b", 8);
+        let s = approx_add_lower(&mut nl, &a, &b, 4, LowerPart::SetOne);
+        nl.output_bus("s", s);
+        let mut exact = Netlist::new("exact");
+        let a = exact.input_bus("a", 8);
+        let b = exact.input_bus("b", 8);
+        let zero = exact.zero();
+        let s = ripple_add(&mut exact, &a, &b, zero);
+        exact.output_bus("s", s);
+        assert!(nl.gate_count() < exact.gate_count());
+    }
+}

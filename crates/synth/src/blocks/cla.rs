@@ -1,0 +1,139 @@
+//! Carry-lookahead adder: 4-bit lookahead groups with rippled group
+//! carries — the classic speed/area trade against the ripple-carry adder,
+//! here mainly to exercise the delay model (the paper's designs are
+//! synthesized under a 1 GHz timing constraint, which is exactly the
+//! pressure that swaps RCAs for CLAs).
+
+use crate::netlist::{Net, Netlist};
+
+/// Adds two buses with 4-bit carry-lookahead groups; the result carries
+/// one extra bit, like [`crate::blocks::adder::ripple_add`].
+pub fn carry_lookahead_add(nl: &mut Netlist, a: &[Net], b: &[Net], cin: Net) -> Vec<Net> {
+    let width = a.len().max(b.len());
+    let get = |nl: &Netlist, bus: &[Net], i: usize| bus.get(i).copied().unwrap_or(nl.zero());
+
+    // Bitwise generate/propagate.
+    let mut g = Vec::with_capacity(width);
+    let mut p = Vec::with_capacity(width);
+    for i in 0..width {
+        let (ai, bi) = (get(nl, a, i), get(nl, b, i));
+        g.push(nl.and(ai, bi));
+        p.push(nl.xor(ai, bi));
+    }
+
+    // Group-by-group: compute all four carries of the group in two logic
+    // levels from the group's carry-in, then ripple to the next group.
+    let mut carries = vec![cin];
+    let mut group_cin = cin;
+    for base in (0..width).step_by(4) {
+        let len = 4.min(width - base);
+        let mut c = group_cin;
+        for off in 0..len {
+            // c_{i+1} = g_i | (p_i & c_i), flattened per group so the
+            // carry chain inside a group is lookahead, not ripple.
+            // Flattening: c_{i+1} = g_i | p_i g_{i-1} | … | (p_i … p_0) c_in.
+            let mut terms: Vec<Net> = Vec::with_capacity(off + 2);
+            terms.push(g[base + off]);
+            for k in (0..off).rev() {
+                // product p_{base+off} … p_{base+k+1} & g_{base+k}
+                let mut prod = g[base + k];
+                for j in (k + 1)..=off {
+                    prod = nl.and(prod, p[base + j]);
+                }
+                terms.push(prod);
+            }
+            let mut all_p = p[base];
+            for j in 1..=off {
+                all_p = nl.and(all_p, p[base + j]);
+            }
+            terms.push(nl.and(all_p, group_cin));
+            c = terms
+                .into_iter()
+                .reduce(|x, y| nl.or(x, y))
+                .expect("nonempty");
+            carries.push(c);
+        }
+        group_cin = c;
+    }
+
+    let mut out: Vec<Net> = (0..width).map(|i| nl.xor(p[i], carries[i])).collect();
+    out.push(carries[width]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::adder::ripple_add;
+
+    fn build_cla(width: u32) -> Netlist {
+        let mut nl = Netlist::new("cla");
+        let a = nl.input_bus("a", width);
+        let b = nl.input_bus("b", width);
+        let zero = nl.zero();
+        let s = carry_lookahead_add(&mut nl, &a, &b, zero);
+        nl.output_bus("s", s);
+        nl
+    }
+
+    #[test]
+    fn exhaustive_6bit() {
+        let nl = build_cla(6);
+        for a in 0..64u64 {
+            for b in 0..64u64 {
+                assert_eq!(nl.eval_one(&[("a", a), ("b", b)], "s"), a + b, "{a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn strided_16bit_with_carry_in() {
+        let mut nl = Netlist::new("cla-cin");
+        let a = nl.input_bus("a", 16);
+        let b = nl.input_bus("b", 16);
+        let one = nl.one();
+        let s = carry_lookahead_add(&mut nl, &a, &b, one);
+        nl.output_bus("s", s);
+        for a in (0..65_536u64).step_by(1_237) {
+            for b in (0..65_536u64).step_by(1_543) {
+                assert_eq!(
+                    nl.eval_one(&[("a", a), ("b", b)], "s"),
+                    a + b + 1,
+                    "{a}+{b}+1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cla_is_shallower_but_bigger_than_rca() {
+        let cla = build_cla(32);
+        let mut rca = Netlist::new("rca");
+        let a = rca.input_bus("a", 32);
+        let b = rca.input_bus("b", 32);
+        let zero = rca.zero();
+        let s = ripple_add(&mut rca, &a, &b, zero);
+        rca.output_bus("s", s);
+        assert!(
+            cla.critical_path() < rca.critical_path() * 0.5,
+            "CLA depth {:.0} ps vs RCA {:.0} ps",
+            cla.critical_path(),
+            rca.critical_path()
+        );
+        assert!(
+            cla.gate_count() > rca.gate_count(),
+            "lookahead must cost area"
+        );
+    }
+
+    #[test]
+    fn mixed_width_operands() {
+        let mut nl = Netlist::new("mixed");
+        let a = nl.input_bus("a", 9);
+        let b = nl.input_bus("b", 5);
+        let zero = nl.zero();
+        let s = carry_lookahead_add(&mut nl, &a, &b, zero);
+        nl.output_bus("s", s);
+        assert_eq!(nl.eval_one(&[("a", 500), ("b", 31)], "s"), 531);
+    }
+}

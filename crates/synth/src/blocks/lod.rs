@@ -1,0 +1,106 @@
+//! Leading-one detector (LOD): the priority structure at the head of every
+//! log-based multiplier datapath (paper Fig. 3).
+
+use crate::blocks::logic::or_reduce;
+use crate::netlist::{Net, Netlist};
+
+/// Result of a leading-one detection.
+#[derive(Debug, Clone)]
+pub struct LeadingOne {
+    /// One-hot vector marking the leading-one position (all zero for a
+    /// zero input).
+    pub onehot: Vec<Net>,
+    /// Binary encoding of the leading-one position (`ceil(log2 width)`
+    /// bits; zero for a zero input).
+    pub position: Vec<Net>,
+    /// High when the input is nonzero.
+    pub nonzero: Net,
+}
+
+/// Builds a leading-one detector over `value`.
+pub fn leading_one(nl: &mut Netlist, value: &[Net]) -> LeadingOne {
+    let width = value.len();
+    assert!(width >= 2, "LOD needs at least 2 bits");
+    // Prefix "any bit above" chain from the MSB down.
+    let mut seen_above = vec![nl.zero(); width]; // seen_above[i] = OR(value[i+1..])
+    for i in (0..width - 1).rev() {
+        seen_above[i] = nl.or(seen_above[i + 1], value[i + 1]);
+    }
+    let onehot: Vec<Net> = (0..width)
+        .map(|i| {
+            let not_above = nl.not(seen_above[i]);
+            nl.and(value[i], not_above)
+        })
+        .collect();
+    // Binary-encode the one-hot vector: bit j of the position is the OR of
+    // every one-hot line whose index has bit j set.
+    let pos_bits = usize::BITS - (width - 1).leading_zeros();
+    let position: Vec<Net> = (0..pos_bits)
+        .map(|j| {
+            let lines: Vec<Net> = (0..width)
+                .filter(|i| (i >> j) & 1 == 1)
+                .map(|i| onehot[i])
+                .collect();
+            or_reduce(nl, &lines)
+        })
+        .collect();
+    let nonzero = or_reduce(nl, value);
+    LeadingOne {
+        onehot,
+        position,
+        nonzero,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(width: u32) -> Netlist {
+        let mut nl = Netlist::new("lod");
+        let v = nl.input_bus("v", width);
+        let lod = leading_one(&mut nl, &v);
+        nl.output_bus("onehot", lod.onehot);
+        nl.output_bus("pos", lod.position);
+        nl.output_bus("nz", vec![lod.nonzero]);
+        nl
+    }
+
+    #[test]
+    fn exhaustive_8bit() {
+        let nl = build(8);
+        for v in 0..256u64 {
+            let out = nl.eval(&[("v", v)]);
+            if v == 0 {
+                assert_eq!(out["onehot"], 0);
+                assert_eq!(out["pos"], 0);
+                assert_eq!(out["nz"], 0);
+            } else {
+                let k = 63 - v.leading_zeros() as u64;
+                assert_eq!(out["onehot"], 1 << k, "v = {v}");
+                assert_eq!(out["pos"], k, "v = {v}");
+                assert_eq!(out["nz"], 1);
+            }
+        }
+    }
+
+    #[test]
+    fn strided_16bit() {
+        let nl = build(16);
+        for v in (1..65_536u64).step_by(37) {
+            let out = nl.eval(&[("v", v)]);
+            assert_eq!(out["pos"], 63 - v.leading_zeros() as u64, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn position_bus_width_is_log2() {
+        let mut nl = Netlist::new("w");
+        let v = nl.input_bus("v", 16);
+        let lod = leading_one(&mut nl, &v);
+        assert_eq!(lod.position.len(), 4);
+        let v5 = nl.input_bus("w", 5);
+        let lod5 = leading_one(&mut nl, &v5);
+        assert_eq!(lod5.position.len(), 3);
+    }
+}

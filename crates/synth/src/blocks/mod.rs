@@ -1,0 +1,11 @@
+//! Reusable word-level circuit generators: the RTL "macros" every
+//! multiplier datapath in [`crate::designs`] is composed from.
+
+pub mod adder;
+pub mod booth;
+pub mod cla;
+pub mod lod;
+pub mod logic;
+pub mod multiplier;
+pub mod mux;
+pub mod shifter;

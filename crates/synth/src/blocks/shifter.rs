@@ -1,0 +1,109 @@
+//! Barrel shifters: logarithmic mux-stage shifters with variable shift
+//! amounts, used to normalize fractions after the LOD and to apply the
+//! final antilog scaling (paper Fig. 3).
+
+use crate::blocks::logic::{mux_bus, shift_left_fixed, shift_right_fixed};
+use crate::netlist::{Net, Netlist};
+
+/// Variable left shift: `value << amount`, zero-filled, truncated to
+/// `out_width` bits. One mux stage per amount bit.
+pub fn barrel_shift_left(
+    nl: &mut Netlist,
+    value: &[Net],
+    amount: &[Net],
+    out_width: usize,
+) -> Vec<Net> {
+    let mut cur: Vec<Net> = value.to_vec();
+    cur.resize(out_width.max(value.len()), nl.zero());
+    cur.truncate(out_width.max(value.len()));
+    for (i, &abit) in amount.iter().enumerate() {
+        let shifted = shift_left_fixed(nl, &cur, 1 << i, cur.len());
+        cur = mux_bus(nl, abit, &cur, &shifted);
+    }
+    cur.truncate(out_width);
+    cur.resize(out_width, nl.zero());
+    cur
+}
+
+/// Variable right shift: `value >> amount`, zero-filled, truncated to
+/// `out_width` bits.
+pub fn barrel_shift_right(
+    nl: &mut Netlist,
+    value: &[Net],
+    amount: &[Net],
+    out_width: usize,
+) -> Vec<Net> {
+    let mut cur: Vec<Net> = value.to_vec();
+    for (i, &abit) in amount.iter().enumerate() {
+        let shifted = shift_right_fixed(nl, &cur, 1 << i, cur.len());
+        cur = mux_bus(nl, abit, &cur, &shifted);
+    }
+    cur.truncate(out_width);
+    cur.resize(out_width, nl.zero());
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn left_shift_exhaustive_small() {
+        let mut nl = Netlist::new("shl");
+        let v = nl.input_bus("v", 4);
+        let a = nl.input_bus("a", 3);
+        let y = barrel_shift_left(&mut nl, &v, &a, 12);
+        nl.output_bus("y", y);
+        for vv in 0..16u64 {
+            for av in 0..8u64 {
+                let expect = (vv << av) & 0xFFF;
+                assert_eq!(
+                    nl.eval_one(&[("v", vv), ("a", av)], "y"),
+                    expect,
+                    "v={vv} a={av}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn right_shift_exhaustive_small() {
+        let mut nl = Netlist::new("shr");
+        let v = nl.input_bus("v", 6);
+        let a = nl.input_bus("a", 3);
+        let y = barrel_shift_right(&mut nl, &v, &a, 6);
+        nl.output_bus("y", y);
+        for vv in 0..64u64 {
+            for av in 0..8u64 {
+                assert_eq!(
+                    nl.eval_one(&[("v", vv), ("a", av)], "y"),
+                    vv >> av,
+                    "v={vv} a={av}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn widening_left_shift_keeps_high_bits() {
+        let mut nl = Netlist::new("wide");
+        let v = nl.input_bus("v", 8);
+        let a = nl.input_bus("a", 4);
+        let y = barrel_shift_left(&mut nl, &v, &a, 24);
+        nl.output_bus("y", y);
+        assert_eq!(nl.eval_one(&[("v", 0xAB), ("a", 15)], "y"), 0xABu64 << 15);
+    }
+
+    #[test]
+    fn shifter_cost_scales_with_stages() {
+        let cost = |amount_bits: u32| {
+            let mut nl = Netlist::new("c");
+            let v = nl.input_bus("v", 16);
+            let a = nl.input_bus("a", amount_bits);
+            let y = barrel_shift_left(&mut nl, &v, &a, 16);
+            nl.output_bus("y", y);
+            nl.gate_count()
+        };
+        assert!(cost(4) > cost(2));
+    }
+}

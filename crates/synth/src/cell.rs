@@ -1,0 +1,161 @@
+//! A 45 nm-like standard-cell library: per-cell area, switching energy
+//! and delay.
+//!
+//! The paper synthesizes with Cadence RTL Compiler against the TSMC 45 nm
+//! library; that flow is proprietary, so this crate substitutes a
+//! technology-mapped gate-level model. The per-cell figures below follow
+//! the relative sizing of public 45 nm educational libraries (an inverter
+//! ≈ 0.5 µm², a NAND2 ≈ 0.8 µm², XOR2 ≈ 2× NAND2, MUX2 ≈ 2.3× NAND2…).
+//! Absolute accuracy is not required: Table I reports area/power
+//! **reductions relative to the accurate multiplier**, which depend only
+//! on relative gate complexity and switching activity, and the reporter
+//! additionally calibrates the absolute scale to the paper's reference
+//! point (see [`crate::report`]).
+
+/// The primitive cell types netlists are technology-mapped to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Inverter.
+    Inv,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer (`sel ? b : a`).
+    Mux2,
+}
+
+impl CellKind {
+    /// All cell kinds, for iteration in reports and tests.
+    pub const ALL: [CellKind; 8] = [
+        CellKind::Inv,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Mux2,
+    ];
+
+    /// Cell area in µm² (45 nm-like relative sizing).
+    pub fn area(self) -> f64 {
+        match self {
+            CellKind::Inv => 0.532,
+            CellKind::Nand2 => 0.798,
+            CellKind::Nor2 => 0.798,
+            CellKind::And2 => 1.064,
+            CellKind::Or2 => 1.064,
+            CellKind::Xor2 => 1.596,
+            CellKind::Xnor2 => 1.596,
+            CellKind::Mux2 => 1.330,
+        }
+    }
+
+    /// Energy per output toggle in fJ (internal + average load switching).
+    pub fn energy(self) -> f64 {
+        match self {
+            CellKind::Inv => 0.40,
+            CellKind::Nand2 => 0.55,
+            CellKind::Nor2 => 0.55,
+            CellKind::And2 => 0.72,
+            CellKind::Or2 => 0.72,
+            CellKind::Xor2 => 1.10,
+            CellKind::Xnor2 => 1.10,
+            CellKind::Mux2 => 0.95,
+        }
+    }
+
+    /// Nominal propagation delay in ps (for the critical-path report).
+    pub fn delay(self) -> f64 {
+        match self {
+            CellKind::Inv => 12.0,
+            CellKind::Nand2 => 18.0,
+            CellKind::Nor2 => 20.0,
+            CellKind::And2 => 24.0,
+            CellKind::Or2 => 26.0,
+            CellKind::Xor2 => 36.0,
+            CellKind::Xnor2 => 36.0,
+            CellKind::Mux2 => 30.0,
+        }
+    }
+
+    /// Number of inputs the cell reads.
+    pub fn arity(self) -> usize {
+        match self {
+            CellKind::Inv => 1,
+            CellKind::Mux2 => 3,
+            _ => 2,
+        }
+    }
+
+    /// Evaluates the cell's boolean function. `inputs[..arity]` are read;
+    /// for [`CellKind::Mux2`] the order is `(a, b, sel)` and the output is
+    /// `sel ? b : a`.
+    pub fn eval(self, inputs: [bool; 3]) -> bool {
+        let [a, b, s] = inputs;
+        match self {
+            CellKind::Inv => !a,
+            CellKind::Nand2 => !(a && b),
+            CellKind::Nor2 => !(a || b),
+            CellKind::And2 => a && b,
+            CellKind::Or2 => a || b,
+            CellKind::Xor2 => a ^ b,
+            CellKind::Xnor2 => !(a ^ b),
+            CellKind::Mux2 => {
+                if s {
+                    b
+                } else {
+                    a
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tables() {
+        use CellKind::*;
+        let f = false;
+        let t = true;
+        assert!(Inv.eval([f, f, f]));
+        assert!(!Inv.eval([t, f, f]));
+        assert!(!Nand2.eval([t, t, f]));
+        assert!(Nand2.eval([t, f, f]));
+        assert!(Nor2.eval([f, f, f]));
+        assert!(!Nor2.eval([t, f, f]));
+        assert!(And2.eval([t, t, f]));
+        assert!(Or2.eval([f, t, f]));
+        assert!(!Xor2.eval([t, t, f]));
+        assert!(Xnor2.eval([t, t, f]));
+        // Mux2: (a, b, sel)
+        assert!(Mux2.eval([t, f, f])); // sel=0 → a
+        assert!(!Mux2.eval([t, f, t])); // sel=1 → b
+    }
+
+    #[test]
+    fn bigger_cells_cost_more() {
+        assert!(CellKind::Inv.area() < CellKind::Nand2.area());
+        assert!(CellKind::Nand2.area() < CellKind::Xor2.area());
+        assert!(CellKind::Inv.energy() < CellKind::Xor2.energy());
+    }
+
+    #[test]
+    fn arity_matches_eval_usage() {
+        assert_eq!(CellKind::Inv.arity(), 1);
+        assert_eq!(CellKind::Nand2.arity(), 2);
+        assert_eq!(CellKind::Mux2.arity(), 3);
+    }
+}

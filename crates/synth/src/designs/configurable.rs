@@ -1,0 +1,126 @@
+//! Netlist for the runtime-configurable REALM
+//! (`realm_core::configurable`): the shared log datapath with all three
+//! hardwired LUTs on board and a 2-bit `mode` input muxing between
+//! bypass / M=4 / M=8 / M=16 correction.
+
+use realm_core::configurable::{AccuracyMode, ConfigurableRealm};
+
+use crate::blocks::adder::ripple_add;
+use crate::blocks::logic::{constant_bus, mux_bus, resize, shift_left_fixed, shift_right_fixed};
+use crate::blocks::mux::{constant_lut, mux_tree_bus};
+use crate::designs::log_family::{log_front_end, scale_mask_saturate, truncate_set_lsb};
+use crate::netlist::{Net, Netlist};
+
+/// Builds the mode-switchable netlist from a behavioural instance (LUT
+/// contents are read from it so the two cannot diverge). Input buses:
+/// `a`, `b` (operands) and `mode` (2 bits, see
+/// [`AccuracyMode::encoding`]); output `p`.
+pub fn configurable_realm_netlist(model: &ConfigurableRealm) -> Netlist {
+    let width = realm_core::Multiplier::width(model);
+    let w = width as usize;
+    let t = model.truncation();
+    let mut nl = Netlist::new(format!("REALMCFG{width}_t{t}"));
+    let a = nl.input_bus("a", width);
+    let b = nl.input_bus("b", width);
+    let mode = nl.input_bus("mode", 2);
+    let fa = log_front_end(&mut nl, &a);
+    let fb = log_front_end(&mut nl, &b);
+    let valid = nl.and(fa.nonzero, fb.nonzero);
+
+    let xa = truncate_set_lsb(&nl, &fa.fraction, t as usize);
+    let xb = truncate_set_lsb(&nl, &fb.fraction, t as usize);
+    let f = xa.len();
+
+    let zero = nl.zero();
+    let ksum = ripple_add(&mut nl, &fa.position, &fb.position, zero);
+    let fsum = ripple_add(&mut nl, &xa, &xb, zero);
+    let carry = fsum[f];
+
+    // One LUT per mode, all addressed from the same fraction MSBs.
+    let lut_out = |nl: &mut Netlist, mode_id: AccuracyMode| -> Vec<Net> {
+        match model.lut_for(mode_id) {
+            None => vec![nl.zero(); f],
+            Some(lut) => {
+                let ib = lut.grid().index_bits() as usize;
+                let mut sel: Vec<Net> = xb[f - ib..].to_vec();
+                sel.extend_from_slice(&xa[f - ib..]);
+                let table: Vec<u64> = lut.codes().iter().map(|&c| c as u64).collect();
+                let code = constant_lut(nl, &sel, &table, lut.storage_bits() as usize);
+                shift_left_fixed(nl, &code, f - 6, f)
+            }
+        }
+    };
+    let options: Vec<Vec<Net>> = [
+        AccuracyMode::Bypass,
+        AccuracyMode::M4,
+        AccuracyMode::M8,
+        AccuracyMode::M16,
+    ]
+    .into_iter()
+    .map(|m| lut_out(&mut nl, m))
+    .collect();
+    let s_f = mux_tree_bus(&mut nl, &mode, &options);
+
+    // The rest is the standard REALM back end (s/2 mux, mantissa, scale).
+    let s_half = shift_right_fixed(&nl, &s_f, 1, f);
+    let s_eff = mux_bus(&mut nl, carry, &s_f, &s_half);
+    let msum = ripple_add(&mut nl, &fsum, &s_eff, zero);
+    let one_point = constant_bus(&nl, 1 << f, f + 1);
+    let case0 = ripple_add(&mut nl, &msum, &one_point, zero);
+    let case0 = resize(&nl, &case0, f + 3);
+    let case1 = shift_left_fixed(&nl, &msum, 1, f + 3);
+    let mantissa = mux_bus(&mut nl, carry, &case0, &case1);
+    let product = scale_mask_saturate(&mut nl, &mantissa, &ksum, f, w, valid);
+    nl.output_bus("p", product);
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::realm_netlist;
+    use realm_core::{Realm, RealmConfig};
+
+    #[test]
+    fn every_mode_matches_the_behavioural_model() {
+        let model = ConfigurableRealm::new(16, 0).expect("valid configuration");
+        let nl = configurable_realm_netlist(&model);
+        let mut x = 0x7E57_ABCDu64;
+        for mode in AccuracyMode::ALL {
+            for _ in 0..120 {
+                x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                let a = (x >> 13) & 0xFFFF;
+                let b = (x >> 37) & 0xFFFF;
+                assert_eq!(
+                    nl.eval_one(&[("a", a), ("b", b), ("mode", mode.encoding() as u64)], "p"),
+                    model.multiply_with_mode(mode, a, b),
+                    "mode {mode:?} ({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn switchable_design_costs_less_than_three_fixed_ones() {
+        // The shared datapath amortizes across the modes.
+        let model = ConfigurableRealm::new(16, 0).expect("valid configuration");
+        let cfg = configurable_realm_netlist(&model);
+        let sum_fixed: usize = [4u32, 8, 16]
+            .iter()
+            .map(|&m| {
+                realm_netlist(&Realm::new(RealmConfig::n16(m, 0)).expect("paper design point"))
+                    .gate_count()
+            })
+            .sum();
+        assert!(
+            cfg.gate_count() < sum_fixed,
+            "configurable {} vs 3 fixed {}",
+            cfg.gate_count(),
+            sum_fixed
+        );
+        // But more than the biggest single fixed design.
+        let fixed16 =
+            realm_netlist(&Realm::new(RealmConfig::n16(16, 0)).expect("paper design point"));
+        assert!(cfg.gate_count() > fixed16.gate_count());
+    }
+}

@@ -1,0 +1,190 @@
+//! Netlists for the log-based dividers: Mitchell's classical divider and
+//! the REALM-style reduced-error divider of `realm_core::divider`.
+//!
+//! The datapath exploits a unification: with `d = (x_a − y_b) mod 2^F`
+//! and `borrow = (x_a < y_b)`, the mantissa is `2^F + d − s` in **both**
+//! branches — only the exponent differs (`k_a − k_b` vs `k_a − k_b − 1`).
+//! The final scaling becomes `(mant << k_a) >> k_b [>> 1] >> F`, i.e. one
+//! left and one right barrel shifter plus a borrow-controlled mux.
+
+use realm_core::divider::RealmDivider;
+
+use crate::blocks::adder::ripple_sub;
+use crate::blocks::logic::{mux_bus, or_reduce, shift_left_fixed, shift_right_fixed};
+use crate::blocks::mux::constant_lut;
+use crate::blocks::shifter::{barrel_shift_left, barrel_shift_right};
+use crate::designs::log_family::{log_front_end, truncate_set_lsb};
+use crate::netlist::{Net, Netlist};
+
+/// Shared divider datapath; `lut_q6` carries the REALM correction table
+/// (`None` builds Mitchell's classical divider).
+fn divider_datapath(
+    name: String,
+    width: u32,
+    truncation: Option<u32>,
+    lut_q6: Option<(&[u32], u32)>, // (codes, index bits per axis)
+) -> Netlist {
+    let w = width as usize;
+    let mut nl = Netlist::new(name);
+    let a = nl.input_bus("a", width);
+    let b = nl.input_bus("b", width);
+    let fa = log_front_end(&mut nl, &a);
+    let fb = log_front_end(&mut nl, &b);
+
+    let (xa, yb) = match truncation {
+        Some(t) => (
+            truncate_set_lsb(&nl, &fa.fraction, t as usize),
+            truncate_set_lsb(&nl, &fb.fraction, t as usize),
+        ),
+        None => (fa.fraction.clone(), fb.fraction.clone()),
+    };
+    let f = xa.len();
+
+    // d = (x_a − y_b) mod 2^F, borrow-free flag in the carry bit.
+    let sub = ripple_sub(&mut nl, &xa, &yb);
+    let no_borrow = sub[f];
+    let d = &sub[..f];
+
+    // mant = 2^F + d − s (clamped at 2^F when s exceeds d).
+    let mant_low: Vec<Net> = match lut_q6 {
+        None => d.to_vec(),
+        Some((codes, index_bits)) => {
+            let ib = index_bits as usize;
+            let mut sel: Vec<Net> = yb[f - ib..].to_vec();
+            sel.extend_from_slice(&xa[f - ib..]);
+            let table: Vec<u64> = codes.iter().map(|&c| c as u64).collect();
+            let code = constant_lut(&mut nl, &sel, &table, 4);
+            let s_f = shift_left_fixed(&nl, &code, f - 6, f);
+            let corrected = ripple_sub(&mut nl, d, &s_f);
+            let ok = corrected[f]; // 1 iff d >= s
+            let zeros = vec![nl.zero(); f];
+            mux_bus(&mut nl, ok, &zeros, &corrected[..f])
+        }
+    };
+    let mut mant = mant_low;
+    mant.push(nl.one()); // the implicit 2^F
+
+    // Q = (mant << ka) >> kb >> borrow >> F; keep w quotient bits plus
+    // overflow headroom.
+    let wide = f + 1 + (w - 1) + 2;
+    let up = barrel_shift_left(&mut nl, &mant, &fa.position, wide);
+    let down = barrel_shift_right(&mut nl, &up, &fb.position, wide);
+    let shifted_once = shift_right_fixed(&nl, &down, 1, wide);
+    let adjusted = mux_bus(&mut nl, no_borrow, &shifted_once, &down);
+    let q_bits = &adjusted[f..(f + w).min(wide)];
+    let overflow = or_reduce(&mut nl, &adjusted[(f + w).min(wide)..]);
+
+    // Output conditioning: a = 0 → 0; b = 0 → saturate to all ones.
+    let b_is_zero = nl.not(fb.nonzero);
+    let product: Vec<Net> = q_bits
+        .iter()
+        .map(|&bit| {
+            let sat = nl.or(bit, overflow);
+            let gated = nl.and(sat, fa.nonzero);
+            nl.or(gated, b_is_zero)
+        })
+        .collect();
+    nl.output_bus("q", product);
+    nl
+}
+
+/// Netlist for Mitchell's classical log-based divider.
+pub fn mitchell_divider_netlist(width: u32) -> Netlist {
+    divider_datapath(format!("MitchellDiv{width}"), width, None, None)
+}
+
+/// Netlist for the REALM-style reduced-error divider, using the given
+/// behavioural instance's quantized LUT (so model and netlist cannot
+/// diverge).
+pub fn realm_divider_netlist(model: &RealmDivider) -> Netlist {
+    let lut = model.lut();
+    divider_datapath(
+        format!("REALMDiv{}_m{}", model.width(), lut.segments()),
+        model.width(),
+        Some(model.truncation()),
+        Some((lut.codes(), lut.grid().index_bits())),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realm_core::divider::{MitchellDivider, RealmDivider};
+
+    fn assert_divider_equivalent(
+        model: impl Fn(u64, u64) -> u64,
+        netlist: &Netlist,
+        width: u32,
+        samples: u32,
+    ) {
+        let max = (1u64 << width) - 1;
+        for &(a, b) in &[
+            (0u64, 0u64),
+            (0, max),
+            (max, 0),
+            (1, 1),
+            (max, 1),
+            (1, max),
+            (max, max),
+        ] {
+            assert_eq!(
+                netlist.eval_one(&[("a", a), ("b", b)], "q"),
+                model(a, b),
+                "{} corner ({a}, {b})",
+                netlist.name()
+            );
+        }
+        let mut x = 0x0BAD_F00D_DEAD_BEEFu64;
+        for _ in 0..samples {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let a = (x >> 13) & max;
+            let b = (x >> 41) & max;
+            assert_eq!(
+                netlist.eval_one(&[("a", a), ("b", b)], "q"),
+                model(a, b),
+                "{} random ({a}, {b})",
+                netlist.name()
+            );
+        }
+    }
+
+    #[test]
+    fn mitchell_divider_matches_behavioural() {
+        let model = MitchellDivider::new(16);
+        let nl = mitchell_divider_netlist(16);
+        assert_divider_equivalent(|a, b| model.divide(a, b), &nl, 16, 400);
+    }
+
+    #[test]
+    fn mitchell_divider_8bit_exhaustive_slice() {
+        let model = MitchellDivider::new(8);
+        let nl = mitchell_divider_netlist(8);
+        for a in (0..256u64).step_by(3) {
+            for b in 0..256u64 {
+                assert_eq!(
+                    nl.eval_one(&[("a", a), ("b", b)], "q"),
+                    model.divide(a, b),
+                    "({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn realm_divider_matches_behavioural() {
+        for (m, t) in [(8u32, 0u32), (16, 0), (8, 4)] {
+            let model = RealmDivider::new(16, m, t).expect("valid configuration");
+            let nl = realm_divider_netlist(&model);
+            assert_divider_equivalent(|a, b| model.divide(a, b), &nl, 16, 300);
+        }
+    }
+
+    #[test]
+    fn divider_cost_is_comparable_to_log_multiplier() {
+        let model = RealmDivider::new(16, 8, 0).expect("valid configuration");
+        let div = realm_divider_netlist(&model);
+        let mul = crate::designs::calm_netlist(16);
+        let ratio = div.gate_count() as f64 / mul.gate_count() as f64;
+        assert!(ratio > 0.5 && ratio < 2.5, "ratio {ratio}");
+    }
+}

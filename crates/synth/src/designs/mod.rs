@@ -1,0 +1,160 @@
+//! Complete gate-level netlists for every multiplier architecture in the
+//! paper's Table I.
+//!
+//! Each generator returns a [`crate::netlist::Netlist`] with input buses
+//! `a`, `b` and output bus `p` (the `2N`-bit product), and is verified
+//! bit-exactly against its behavioural model from `realm-core` /
+//! `realm-baselines` — two independent implementations of the same
+//! specification.
+
+mod array;
+mod configurable;
+mod divider;
+mod dynamic;
+mod intalp;
+mod kulkarni;
+mod log_family;
+
+pub use array::{am_netlist, wallace16};
+pub use configurable::configurable_realm_netlist;
+pub use divider::{mitchell_divider_netlist, realm_divider_netlist};
+pub use dynamic::{drum_netlist, essm8_netlist, ssm_netlist};
+pub use intalp::intalp_netlist;
+pub use kulkarni::kulkarni_netlist;
+pub use log_family::{alm_netlist, calm_netlist, implm_netlist, mbm_netlist, realm_netlist};
+
+use realm_core::Multiplier;
+
+use crate::netlist::Netlist;
+
+/// A Table I row: the behavioural model paired with its gate-level
+/// netlist.
+pub struct DesignPair {
+    /// The behavioural (bit-accurate) model.
+    pub model: Box<dyn Multiplier>,
+    /// The synthesized structural netlist.
+    pub netlist: Netlist,
+}
+
+/// Builds the behavioural-model + netlist pair for every design and
+/// configuration in Table I, in the table's row order (REALM rows first).
+///
+/// # Panics
+///
+/// Panics only if the paper's own design points were invalid — i.e. never.
+pub fn table1_pairs() -> Vec<DesignPair> {
+    use realm_baselines::adders::LowerPart;
+    use realm_baselines::{
+        Alm, AlmAdder, Am, AmRecovery, Calm, Drum, Essm8, ImpLm, IntAlp, Mbm, Ssm,
+    };
+    use realm_core::{Realm, RealmConfig};
+
+    let mut pairs: Vec<DesignPair> = Vec::new();
+    for m in [16u32, 8, 4] {
+        for t in 0..=9u32 {
+            let realm = Realm::new(RealmConfig::n16(m, t)).expect("paper design point");
+            let netlist = realm_netlist(&realm);
+            pairs.push(DesignPair {
+                model: Box::new(realm),
+                netlist,
+            });
+        }
+    }
+    pairs.push(DesignPair {
+        model: Box::new(Calm::new(16)),
+        netlist: calm_netlist(16),
+    });
+    pairs.push(DesignPair {
+        model: Box::new(ImpLm::new(16)),
+        netlist: implm_netlist(16),
+    });
+    for t in [0u32, 2, 4, 6, 8, 9] {
+        pairs.push(DesignPair {
+            model: Box::new(Mbm::new(16, t).expect("paper design point")),
+            netlist: mbm_netlist(16, t),
+        });
+    }
+    for (adder, lower) in [
+        (AlmAdder::Maa, LowerPart::Or),
+        (AlmAdder::Soa, LowerPart::SetOne),
+    ] {
+        for m in [3u32, 6, 9, 11, 12] {
+            pairs.push(DesignPair {
+                model: Box::new(Alm::new(16, adder, m)),
+                netlist: alm_netlist(16, lower, m),
+            });
+        }
+    }
+    for level in [2u32, 1] {
+        let model = IntAlp::new(16, level).expect("paper design point");
+        let netlist = intalp_netlist(&model);
+        pairs.push(DesignPair {
+            model: Box::new(model),
+            netlist,
+        });
+    }
+    for recovery in [AmRecovery::Or, AmRecovery::Sum] {
+        for nb in [13u32, 9, 5] {
+            pairs.push(DesignPair {
+                model: Box::new(Am::new(16, recovery, nb).expect("paper design point")),
+                netlist: am_netlist(16, recovery, nb),
+            });
+        }
+    }
+    for k in [8u32, 7, 6, 5, 4] {
+        pairs.push(DesignPair {
+            model: Box::new(Drum::new(16, k).expect("paper design point")),
+            netlist: drum_netlist(16, k),
+        });
+    }
+    for m in [10u32, 9, 8] {
+        pairs.push(DesignPair {
+            model: Box::new(Ssm::new(16, m).expect("paper design point")),
+            netlist: ssm_netlist(16, m),
+        });
+    }
+    pairs.push(DesignPair {
+        model: Box::new(Essm8::new()),
+        netlist: essm8_netlist(),
+    });
+    pairs
+}
+
+#[cfg(test)]
+pub(crate) mod verify {
+    use realm_core::Multiplier;
+
+    use crate::netlist::Netlist;
+
+    /// Asserts netlist ≡ behavioural model on corners plus a deterministic
+    /// pseudo-random sweep.
+    pub fn assert_equivalent(model: &dyn Multiplier, netlist: &Netlist, samples: u32) {
+        let max = (1u64 << model.width()) - 1;
+        let corners = [
+            (0u64, 0u64),
+            (0, max),
+            (max, 0),
+            (1, 1),
+            (1, max),
+            (max, max),
+            (max / 2, max / 2 + 1),
+            (1 << (model.width() - 1), 2),
+        ];
+        for &(a, b) in &corners {
+            let want = model.multiply(a, b);
+            let got = netlist.eval_one(&[("a", a), ("b", b)], "p");
+            assert_eq!(got, want, "{} corner ({a}, {b})", netlist.name());
+        }
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..samples {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let a = (x >> 13) & max;
+            let b = (x >> 37) & max;
+            let want = model.multiply(a, b);
+            let got = netlist.eval_one(&[("a", a), ("b", b)], "p");
+            assert_eq!(got, want, "{} random ({a}, {b})", netlist.name());
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! The REALM-style approximate **divider** (extension beyond the paper):
+//! Mitchell's 1962 log-based division with per-segment error reduction.
+//!
+//! ```text
+//! cargo run --release --example approximate_divider
+//! ```
+
+use realm::divider::{MitchellDivider, RealmDivider};
+
+fn main() -> Result<(), realm::ConfigError> {
+    let realm = RealmDivider::new(16, 8, 0)?;
+    let mitchell = MitchellDivider::new(16);
+
+    println!("approximate division, N = 16 (REALM-style M = 8 correction):\n");
+    println!(
+        "{:>22} {:>10} {:>10} {:>10}",
+        "a / b", "exact", "Mitchell", "REALM-div"
+    );
+    for (a, b) in [
+        (50_000u64, 123u64),
+        (61_657, 478),
+        (40_000, 777),
+        (65_535, 3),
+        (4_096, 64),
+    ] {
+        println!(
+            "{:>14} / {:<6} {:>10.1} {:>10} {:>10}",
+            a,
+            b,
+            a as f64 / b as f64,
+            mitchell.divide(a, b),
+            realm.divide(a, b)
+        );
+    }
+
+    // Mean error comparison over large quotients (where output flooring
+    // does not dominate).
+    let (mut me_realm, mut me_mitchell, mut n) = (0.0f64, 0.0f64, 0u64);
+    for a in (256..65_536u64).step_by(127) {
+        for b in (2..512u64).step_by(5) {
+            if a / b < 64 {
+                continue;
+            }
+            let exact = a as f64 / b as f64;
+            me_realm += ((realm.divide(a, b) as f64 - exact) / exact).abs();
+            me_mitchell += ((mitchell.divide(a, b) as f64 - exact) / exact).abs();
+            n += 1;
+        }
+    }
+    println!("\nmean |relative error| over {n} divisions with quotient >= 64:");
+    println!(
+        "  Mitchell (classical) : {:.3}%",
+        me_mitchell / n as f64 * 100.0
+    );
+    println!(
+        "  REALM-style divider  : {:.3}%",
+        me_realm / n as f64 * 100.0
+    );
+    println!("\nThe same per-segment zero-mean-error derivation that powers the multiplier");
+    println!("cuts the classical divider's error by ~4x; its factors are interval-");
+    println!("independent too, so the hardware again needs only an M x M constant LUT.");
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Design-space exploration: characterize every Table I configuration
+//! with a medium Monte-Carlo budget, report the accuracy vs.
+//! power-efficiency Pareto front (the paper's Fig. 4 claim), and show how
+//! a designer would pick a configuration for an error budget.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use realm::metrics::{pareto_front, MonteCarlo, ParetoPoint};
+use realm::multiplier::MultiplierExt;
+use realm::synth::Reporter;
+
+fn main() {
+    let campaign = MonteCarlo::new(1 << 18, 42);
+    let reporter = Reporter::paper_setup(300, 42);
+
+    println!("characterizing all 65 Table I configurations ...");
+    let mut points = Vec::new();
+    let mut measurements = Vec::new();
+    for pair in realm::synth::designs::table1_pairs() {
+        let errors = campaign.characterize(pair.model.as_ref());
+        let synth = reporter.report(&pair.netlist);
+        let label = pair.model.label();
+        if errors.mean_error <= 0.04 && errors.peak_error() <= 0.15 {
+            points.push(ParetoPoint::new(
+                label.clone(),
+                synth.power_reduction,
+                errors.mean_error * 100.0,
+            ));
+        }
+        measurements.push((label, errors, synth));
+    }
+
+    println!("\nPareto front (mean error vs power reduction):");
+    let front = pareto_front(&points);
+    for &i in &front {
+        let p = &points[i];
+        println!(
+            "  {:<22} power -{:>5.1}%   mean error {:>5.2}%",
+            p.label, p.gain, p.cost
+        );
+    }
+    let realm_points = front
+        .iter()
+        .filter(|&&i| points[i].label.starts_with("REALM"))
+        .count();
+    println!(
+        "  -> {realm_points}/{} front points are REALM configurations",
+        front.len()
+    );
+
+    // A designer's query: cheapest configuration under a 1 % mean-error
+    // budget.
+    let budget = 0.01;
+    let best = measurements
+        .iter()
+        .filter(|(_, e, _)| e.mean_error <= budget)
+        .max_by(|a, b| {
+            a.2.power_reduction
+                .partial_cmp(&b.2.power_reduction)
+                .expect("finite reductions")
+        })
+        .expect("at least one design fits the budget");
+    println!(
+        "\ncheapest design with mean error <= {:.1}%: {} ({:.1}% power reduction, ME {:.2}%)",
+        budget * 100.0,
+        best.0,
+        best.2.power_reduction,
+        best.1.mean_error * 100.0
+    );
+}

@@ -1,0 +1,66 @@
+//! The error-cancellation motivation (paper §I, design consideration (b)):
+//! in accumulation-heavy kernels — dot products, FIR filters, neural-net
+//! layers — a *low-bias* approximate multiplier's errors cancel across
+//! terms, while a biased one drifts.
+//!
+//! This example runs a 256-tap dot product through REALM (bias ≈ 0.01 %)
+//! and cALM (bias −3.85 %) and compares the accumulated error.
+//!
+//! ```text
+//! cargo run --release --example dot_product
+//! ```
+
+use realm::baselines::Calm;
+use realm::{Multiplier, Realm, RealmConfig};
+
+fn dot(m: &dyn Multiplier, xs: &[u64], ys: &[u64]) -> u64 {
+    xs.iter().zip(ys).map(|(&x, &y)| m.multiply(x, y)).sum()
+}
+
+fn main() -> Result<(), realm::ConfigError> {
+    // Deterministic pseudo-random vectors of 16-bit operands.
+    let mut state = 0x1234_5678_9ABC_DEF0u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1);
+        (state >> 24) & 0xFFFF
+    };
+    let xs: Vec<u64> = (0..256).map(|_| next().max(1)).collect();
+    let ys: Vec<u64> = (0..256).map(|_| next().max(1)).collect();
+
+    let exact: u64 = xs.iter().zip(&ys).map(|(&x, &y)| x * y).sum();
+    let realm = Realm::new(RealmConfig::n16(16, 0))?;
+    let calm = Calm::new(16);
+
+    println!("256-tap dot product of random 16-bit vectors");
+    println!("  exact : {exact}");
+    for (label, m) in [("REALM16", &realm as &dyn Multiplier), ("cALM", &calm)] {
+        let approx = dot(m, &xs, &ys);
+        let err = (approx as f64 - exact as f64) / exact as f64 * 100.0;
+        println!("  {label:<8}: {approx}  ({err:+.3}% accumulated error)");
+    }
+    println!();
+    println!("REALM's per-term errors are double-sided and nearly unbiased, so they cancel");
+    println!("as terms accumulate; cALM's one-sided errors add up to its -3.85% bias.");
+
+    // Show convergence: accumulated error vs vector length.
+    println!("\naccumulated relative error vs number of taps:");
+    println!("{:>6} {:>12} {:>12}", "taps", "REALM16", "cALM");
+    for taps in [4usize, 16, 64, 256] {
+        let exact_n: u64 = xs[..taps]
+            .iter()
+            .zip(&ys[..taps])
+            .map(|(&x, &y)| x * y)
+            .sum();
+        let r = dot(&realm, &xs[..taps], &ys[..taps]);
+        let c = dot(&calm, &xs[..taps], &ys[..taps]);
+        println!(
+            "{:>6} {:>11.3}% {:>11.3}%",
+            taps,
+            (r as f64 - exact_n as f64) / exact_n as f64 * 100.0,
+            (c as f64 - exact_n as f64) / exact_n as f64 * 100.0
+        );
+    }
+    Ok(())
+}

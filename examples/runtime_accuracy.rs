@@ -1,0 +1,70 @@
+//! Runtime accuracy scaling (extension): a single REALM-CFG datapath
+//! switching its mode per workload phase — high accuracy while a JPEG
+//! frame is "important", bypass when the system wants to save energy.
+//!
+//! ```text
+//! cargo run --release --example runtime_accuracy
+//! ```
+
+use realm::configurable::{AccuracyMode, ConfigurableRealm};
+use realm::jpeg::{psnr, Image, JpegCodec};
+use realm::multiplier::MultiplierExt;
+use realm::synth::designs::configurable_realm_netlist;
+use realm::synth::Reporter;
+
+fn main() -> Result<(), realm::ConfigError> {
+    let cfg = ConfigurableRealm::new(16, 0)?;
+    println!("one datapath, four accuracy modes (2-bit mode input):\n");
+
+    // Error per mode.
+    println!("{:>8} {:>12} {:>12}", "mode", "mean err %", "peak err %");
+    for mode in AccuracyMode::ALL {
+        let pinned = cfg.clone().with_mode(mode);
+        let (mut sum, mut peak, mut n) = (0.0f64, 0.0f64, 0u32);
+        for a in (1..65_536u64).step_by(811) {
+            for b in (1..65_536u64).step_by(877) {
+                let e = pinned.relative_error(a, b).expect("nonzero");
+                sum += e.abs();
+                peak = peak.max(e.abs());
+                n += 1;
+            }
+        }
+        println!(
+            "{:>8} {:>12.3} {:>12.2}",
+            format!("{mode:?}"),
+            sum / n as f64 * 100.0,
+            peak * 100.0
+        );
+    }
+
+    // Application view: JPEG quality per mode.
+    let img = Image::synthetic_lena();
+    println!("\nJPEG (quality 50) PSNR per mode on the lena substitute:");
+    for mode in AccuracyMode::ALL {
+        let codec = JpegCodec::quality50(cfg.clone().with_mode(mode));
+        println!(
+            "  {:<8} {:.2} dB",
+            format!("{mode:?}"),
+            psnr(&img, &codec.roundtrip(&img))
+        );
+    }
+
+    // Hardware view: what the switchability costs.
+    let nl = configurable_realm_netlist(&cfg);
+    let reporter = Reporter::paper_setup(300, 21);
+    let switchable = reporter.report(&nl);
+    println!(
+        "\nswitchable datapath: {} gates, {:.1}% area reduction vs accurate",
+        nl.gate_count(),
+        switchable.area_reduction
+    );
+    println!(
+        "(a fixed REALM16 saves {:.1}%; the difference buys runtime mode control)",
+        reporter
+            .report(&realm::synth::designs::realm_netlist(&realm::Realm::new(
+                realm::RealmConfig::n16(16, 0)
+            )?))
+            .area_reduction
+    );
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! # realm
+//!
+//! Facade crate for the REALM reproduction workspace (DATE 2020:
+//! *"REALM: Reduced-Error Approximate Log-based Integer Multiplier"* by
+//! Saadat, Javaid, Ignjatovic and Parameswaran): one dependency that
+//! re-exports the whole ecosystem.
+//!
+//! * [`realm_core`] (re-exported at the root) — the REALM multiplier, the
+//!   analytic error-reduction factors, the quantized LUT and the shared
+//!   [`Multiplier`] trait.
+//! * [`baselines`] — every comparator of the paper's Table I.
+//! * [`metrics`] — Monte-Carlo error characterization, histograms,
+//!   Pareto fronts.
+//! * [`synth`] — gate-level netlists for every design with a calibrated
+//!   45 nm-style area/power model.
+//! * [`jpeg`] — the fixed-point JPEG application study.
+//! * [`dsp`] — FIR filtering, 2-D convolution and fixed-point MLP
+//!   inference through approximate multipliers.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use realm::{Multiplier, Realm, RealmConfig};
+//!
+//! # fn main() -> Result<(), realm::ConfigError> {
+//! let realm = Realm::new(RealmConfig::n16(16, 0))?;
+//! let approx = realm.multiply(48_131, 60_007);
+//! let exact = 48_131u64 * 60_007;
+//! let err = (approx as f64 - exact as f64) / exact as f64;
+//! assert!(err.abs() < 0.0208); // Table I: REALM16/t=0 peak error 2.08 %
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use realm_core::*;
+
+/// The approximate-multiplier baselines of Table I (re-export of
+/// `realm-baselines`).
+pub use realm_baselines as baselines;
+
+/// The DSP/ML application substrates (re-export of `realm-dsp`).
+pub use realm_dsp as dsp;
+
+/// The JPEG application study (re-export of `realm-jpeg`).
+pub use realm_jpeg as jpeg;
+
+/// The error-characterization harness (re-export of `realm-metrics`).
+pub use realm_metrics as metrics;
+
+/// The gate-level synthesis substitute (re-export of `realm-synth`).
+pub use realm_synth as synth;

@@ -1,0 +1,137 @@
+//! Cross-crate integration tests: the facade API, the behavioural ↔
+//! gate-level equivalence across the whole Table I catalogue, the signed
+//! wrapper driving the JPEG pipeline, and the metrics → Pareto pipeline.
+
+use realm::baselines::catalog;
+use realm::jpeg::{psnr, Image, JpegCodec};
+use realm::metrics::{pareto_front, MonteCarlo, ParetoPoint};
+use realm::multiplier::MultiplierExt;
+use realm::synth::designs::table1_pairs;
+use realm::{Accurate, Multiplier, Realm, RealmConfig, SignMagnitude};
+
+#[test]
+fn facade_reexports_compose() {
+    let realm = Realm::new(RealmConfig::default()).expect("default is a paper design point");
+    let exact = Accurate::new(16);
+    let e = realm.relative_error(1000, 1000).expect("nonzero");
+    assert!(e.abs() < 0.021);
+    assert_eq!(exact.multiply(1000, 1000), 1_000_000);
+}
+
+#[test]
+fn every_table1_netlist_matches_its_model_on_samples() {
+    // The synth crate verifies each design deeply; this cross-crate pass
+    // sweeps the complete catalogue with a shared vector set so a catalog
+    // regression (model paired with the wrong netlist) cannot slip by.
+    let mut x = 0xDEAD_BEEF_CAFE_1234u64;
+    let vectors: Vec<(u64, u64)> = (0..40)
+        .map(|_| {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            ((x >> 11) & 0xFFFF, (x >> 37) & 0xFFFF)
+        })
+        .chain([(0, 0), (65_535, 65_535), (1, 65_535)])
+        .collect();
+    for pair in table1_pairs() {
+        for &(a, b) in &vectors {
+            assert_eq!(
+                pair.netlist.eval_one(&[("a", a), ("b", b)], "p"),
+                pair.model.multiply(a, b),
+                "{} diverges from its netlist at ({a}, {b})",
+                pair.model.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn signed_realm_drives_dot_products() {
+    let signed = SignMagnitude::new(Realm::new(RealmConfig::n16(16, 0)).expect("paper design"));
+    let xs: [i64; 6] = [120, -3400, 25_000, -32_000, 7, -1];
+    let ys: [i64; 6] = [-45, 1200, -30_000, 32_000, -7, 1];
+    let approx: i64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(&x, &y)| signed.multiply_signed(x, y))
+        .sum();
+    let exact: i64 = xs.iter().zip(&ys).map(|(&x, &y)| x * y).sum();
+    let rel = (approx - exact) as f64 / exact.abs() as f64;
+    assert!(rel.abs() < 0.03, "signed dot product error {rel}");
+}
+
+#[test]
+fn jpeg_quality_ordering_matches_table2() {
+    // Table II ordering on every scene: REALM16/t=8 within ~1.5 dB of
+    // accurate and clearly better than cALM.
+    let accurate = JpegCodec::quality50(Accurate::new(16));
+    let realm = JpegCodec::quality50(Realm::new(RealmConfig::n16(16, 8)).expect("paper design"));
+    let calm = JpegCodec::quality50(realm::baselines::Calm::new(16));
+    for (name, img) in Image::table2_set() {
+        let pa = psnr(&img, &accurate.roundtrip(&img));
+        let pr = psnr(&img, &realm.roundtrip(&img));
+        let pc = psnr(&img, &calm.roundtrip(&img));
+        assert!(
+            pa - pr < 1.5,
+            "{name}: REALM16 {pr:.2} too far below accurate {pa:.2}"
+        );
+        assert!(
+            pr - pc > 2.0,
+            "{name}: REALM16 {pr:.2} not clearly above cALM {pc:.2}"
+        );
+    }
+}
+
+#[test]
+fn metrics_to_pareto_pipeline() {
+    // Characterize a subset and extract a front; REALM must appear on it.
+    let campaign = MonteCarlo::new(60_000, 99);
+    let reporter = realm::synth::Reporter::paper_setup(120, 99);
+    let points: Vec<ParetoPoint> = table1_pairs()
+        .into_iter()
+        .filter(|p| {
+            matches!(
+                p.model.name(),
+                "REALM4" | "REALM8" | "REALM16" | "cALM" | "MBM" | "DRUM"
+            )
+        })
+        .map(|p| {
+            let e = campaign.characterize(p.model.as_ref());
+            let s = reporter.report(&p.netlist);
+            ParetoPoint::new(p.model.label(), s.power_reduction, e.mean_error * 100.0)
+        })
+        .collect();
+    let front = pareto_front(&points);
+    assert!(!front.is_empty());
+    assert!(
+        front.iter().any(|&i| points[i].label.starts_with("REALM")),
+        "REALM absent from its own Pareto front"
+    );
+}
+
+#[test]
+fn precomputed_tables_build_identical_multipliers() {
+    // Building REALM from the frozen constants must agree bit-for-bit
+    // with the analytic derivation.
+    for m in [4u32, 8, 16] {
+        let analytic = Realm::new(RealmConfig::n16(m, 0)).expect("paper design point");
+        let frozen = Realm::with_table(RealmConfig::n16(m, 0), &realm::precomputed::table(m))
+            .expect("paper design point");
+        for (a, b) in [
+            (12_345u64, 54_321u64),
+            (65_535, 65_535),
+            (40_000, 3),
+            (255, 255),
+        ] {
+            assert_eq!(
+                analytic.multiply(a, b),
+                frozen.multiply(a, b),
+                "M={m} ({a}, {b})"
+            );
+        }
+    }
+}
+
+#[test]
+fn catalog_row_count_matches_table1() {
+    assert_eq!(catalog::table1_designs().len(), 65);
+    assert_eq!(table1_pairs().len(), 65);
+}
