@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks for the application substrates: JPEG block
+//! Wall-clock micro-benchmarks for the application substrates: JPEG block
 //! pipeline, FIR filtering, MLP inference and gate-level power
 //! simulation — how fast the evaluation harness itself runs.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use realm_bench::stopwatch::{bench, opaque};
 use realm_core::{Accurate, Realm, RealmConfig};
 use realm_dsp::fir::FirFilter;
 use realm_dsp::mlp::{dataset, Mlp};
@@ -10,52 +10,51 @@ use realm_jpeg::{Image, JpegCodec};
 use realm_synth::designs::calm_netlist;
 use realm_synth::PowerSim;
 
-fn bench_jpeg(c: &mut Criterion) {
+fn bench_jpeg() {
     let img = Image::from_fn(64, 64, |x, y| ((x * 5 + y * 3) % 256) as u8);
-    let mut group = c.benchmark_group("jpeg_64x64_roundtrip");
-    group.bench_function("accurate", |b| {
-        let codec = JpegCodec::quality50(Accurate::new(16));
-        b.iter(|| codec.roundtrip(black_box(&img)))
+    let accurate = JpegCodec::quality50(Accurate::new(16));
+    bench("jpeg_64x64_roundtrip/accurate", || {
+        accurate.roundtrip(opaque(&img))
     });
-    group.bench_function("realm16", |b| {
-        let codec =
-            JpegCodec::quality50(Realm::new(RealmConfig::n16(16, 0)).expect("paper design"));
-        b.iter(|| codec.roundtrip(black_box(&img)))
+    let realm = JpegCodec::quality50(Realm::new(RealmConfig::n16(16, 0)).expect("paper design"));
+    bench("jpeg_64x64_roundtrip/realm16", || {
+        realm.roundtrip(opaque(&img))
     });
-    group.finish();
 }
 
-fn bench_fir(c: &mut Criterion) {
+fn bench_fir() {
     let filter = FirFilter::low_pass(31, 0.2);
     let signal: Vec<i32> = (0..1024).map(|n| ((n * 37) % 16_384) - 8_192).collect();
-    let mut group = c.benchmark_group("fir_1024_samples");
-    group.bench_function("accurate", |b| {
-        let m = Accurate::new(16);
-        b.iter(|| filter.apply(&m, black_box(&signal)))
+    let accurate = Accurate::new(16);
+    bench("fir_1024_samples/accurate", || {
+        filter.apply(&accurate, opaque(&signal))
     });
-    group.bench_function("realm16", |b| {
-        let m = Realm::new(RealmConfig::n16(16, 0)).expect("paper design");
-        b.iter(|| filter.apply(&m, black_box(&signal)))
+    let realm = Realm::new(RealmConfig::n16(16, 0)).expect("paper design");
+    bench("fir_1024_samples/realm16", || {
+        filter.apply(&realm, opaque(&signal))
     });
-    group.finish();
 }
 
-fn bench_mlp(c: &mut Criterion) {
+fn bench_mlp() {
     let mlp = Mlp::train(12, 200);
     let test = dataset(128, 0xF00D);
-    c.bench_function("mlp_128_inferences_realm16", |b| {
-        let m = Realm::new(RealmConfig::n16(16, 0)).expect("paper design");
-        b.iter(|| mlp.accuracy(&m, black_box(&test)))
+    let realm = Realm::new(RealmConfig::n16(16, 0)).expect("paper design");
+    bench("mlp_128_inferences_realm16", || {
+        mlp.accuracy(&realm, opaque(&test))
     });
 }
 
-fn bench_power_sim(c: &mut Criterion) {
+fn bench_power_sim() {
     let nl = calm_netlist(16);
-    c.bench_function("power_sim_calm16_100_cycles", |b| {
-        let sim = PowerSim::paper_stimulus(100, 7);
-        b.iter(|| sim.dynamic_power(black_box(&nl)))
+    let sim = PowerSim::paper_stimulus(100, 7);
+    bench("power_sim_calm16_100_cycles", || {
+        sim.dynamic_power(opaque(&nl))
     });
 }
 
-criterion_group!(benches, bench_jpeg, bench_fir, bench_mlp, bench_power_sim);
-criterion_main!(benches);
+fn main() {
+    bench_jpeg();
+    bench_fir();
+    bench_mlp();
+    bench_power_sim();
+}

@@ -1,43 +1,25 @@
-//! Criterion micro-benchmarks for the offline stages: analytic factor
+//! Wall-clock micro-benchmarks for the offline stages: analytic factor
 //! derivation (the MATLAB-replacement quadrature), LUT quantization and
 //! full multiplier construction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use realm_bench::stopwatch::bench;
 use realm_core::{ErrorReductionTable, QuantizedLut, Realm, RealmConfig};
 
-fn bench_factor_derivation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("error_reduction_table");
+fn main() {
     for m in [4u32, 8, 16, 32] {
-        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
-            b.iter(|| ErrorReductionTable::analytic(m).expect("valid M"))
+        bench(&format!("error_reduction_table/M={m}"), || {
+            ErrorReductionTable::analytic(m).expect("valid M")
         });
     }
-    group.finish();
-}
-
-fn bench_quantization(c: &mut Criterion) {
     let table = ErrorReductionTable::analytic(16).expect("valid M");
-    c.bench_function("quantize_m16_q6", |b| {
-        b.iter(|| QuantizedLut::quantize(&table, 6).expect("paper design point"))
+    bench("quantize_m16_q6", || {
+        QuantizedLut::quantize(&table, 6).expect("paper design point")
+    });
+    bench("realm16_from_precomputed", || {
+        Realm::with_table(
+            RealmConfig::n16(16, 0),
+            realm_core::precomputed::table_m16(),
+        )
+        .expect("paper design point")
     });
 }
-
-fn bench_construction(c: &mut Criterion) {
-    c.bench_function("realm16_from_precomputed", |b| {
-        b.iter(|| {
-            Realm::with_table(
-                RealmConfig::n16(16, 0),
-                realm_core::precomputed::table_m16(),
-            )
-            .expect("paper design point")
-        })
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_factor_derivation,
-    bench_quantization,
-    bench_construction
-);
-criterion_main!(benches);

@@ -1,9 +1,9 @@
-//! Criterion micro-benchmarks: behavioural-model throughput of every
+//! Wall-clock micro-benchmarks: behavioural-model throughput of every
 //! multiplier family (how fast the simulation substrate itself runs) and
 //! gate-level netlist evaluation speed.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use realm_baselines::{Alm, AlmAdder, Am, AmRecovery, Calm, Drum, Essm8, ImpLm, IntAlp, Mbm, Ssm};
+use realm_bench::stopwatch::{bench, opaque};
 use realm_core::{Accurate, Multiplier, Realm, RealmConfig};
 
 fn operand_stream() -> Vec<(u64, u64)> {
@@ -16,7 +16,7 @@ fn operand_stream() -> Vec<(u64, u64)> {
         .collect()
 }
 
-fn bench_multipliers(c: &mut Criterion) {
+fn bench_multipliers() {
     let pairs = operand_stream();
     let designs: Vec<Box<dyn Multiplier>> = vec![
         Box::new(Accurate::new(16)),
@@ -32,37 +32,33 @@ fn bench_multipliers(c: &mut Criterion) {
         Box::new(Am::new(16, AmRecovery::Or, 13).expect("paper design point")),
         Box::new(IntAlp::new(16, 2).expect("paper design point")),
     ];
-    let mut group = c.benchmark_group("multiply_1024_pairs");
     for design in &designs {
-        let label = format!("{}{}", design.name(), design.config());
-        group.bench_function(&label, |b| {
-            b.iter(|| {
-                let mut acc = 0u64;
-                for &(x, y) in &pairs {
-                    acc = acc.wrapping_add(design.multiply(black_box(x), black_box(y)));
-                }
-                acc
-            })
+        let label = format!("multiply_1024_pairs/{}{}", design.name(), design.config());
+        bench(&label, || {
+            let mut acc = 0u64;
+            for &(x, y) in &pairs {
+                acc = acc.wrapping_add(design.multiply(opaque(x), opaque(y)));
+            }
+            acc
         });
     }
-    group.finish();
 }
 
-fn bench_netlist_eval(c: &mut Criterion) {
+fn bench_netlist_eval() {
     let realm = Realm::new(RealmConfig::n16(16, 0)).expect("paper design point");
     let netlists = vec![
         realm_synth::designs::wallace16(),
         realm_synth::designs::calm_netlist(16),
         realm_synth::designs::realm_netlist(&realm),
     ];
-    let mut group = c.benchmark_group("netlist_eval");
     for nl in &netlists {
-        group.bench_function(nl.name(), |b| {
-            b.iter(|| nl.eval_one(&[("a", black_box(48_131)), ("b", black_box(60_007))], "p"))
+        bench(&format!("netlist_eval/{}", nl.name()), || {
+            nl.eval_one(&[("a", opaque(48_131)), ("b", opaque(60_007))], "p")
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_multipliers, bench_netlist_eval);
-criterion_main!(benches);
+fn main() {
+    bench_multipliers();
+    bench_netlist_eval();
+}

@@ -1,7 +1,7 @@
 //! # realm-bench
 //!
 //! Experiment drivers that regenerate **every table and figure** of the
-//! REALM paper's evaluation (§IV), plus criterion micro-benchmarks.
+//! REALM paper's evaluation (§IV), plus wall-clock micro-benchmarks.
 //!
 //! | Binary | Regenerates | Paper reference |
 //! |---|---|---|
@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod options;
+pub mod stopwatch;
 pub mod table;
 
 pub use options::Options;

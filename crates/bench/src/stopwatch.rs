@@ -1,0 +1,94 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace builds fully offline, so the benches cannot use an
+//! external harness crate; this module provides the small subset actually
+//! needed: warm-up, repeated timed batches, and a median-of-batches
+//! nanoseconds-per-iteration report printed in a stable, greppable format.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Re-exported so bench binaries keep optimizer barriers without an
+/// external dependency.
+pub use std::hint::black_box as opaque;
+
+/// Result of one micro-benchmark: median nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Display label.
+    pub label: String,
+    /// Median ns/iter across batches.
+    pub ns_per_iter: f64,
+    /// Iterations per batch actually used.
+    pub iters_per_batch: u64,
+}
+
+impl Measurement {
+    /// Formats the measurement as a stable single line.
+    pub fn render(&self) -> String {
+        format!(
+            "bench {:<40} {:>12.1} ns/iter ({} iters/batch)",
+            self.label, self.ns_per_iter, self.iters_per_batch
+        )
+    }
+}
+
+/// Times `f` and prints/returns the median ns/iter.
+///
+/// Auto-calibrates the batch size so each batch runs ≥ ~5 ms, runs one
+/// warm-up batch and 7 timed batches, and reports the median — cheap but
+/// resistant to scheduler noise.
+pub fn bench<T, F: FnMut() -> T>(label: &str, mut f: F) -> Measurement {
+    // Calibrate: grow the batch until it takes at least ~5 ms.
+    let mut iters: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let dt = t0.elapsed();
+        if dt.as_millis() >= 5 || iters >= 1 << 24 {
+            break;
+        }
+        iters = (iters * 4).min(1 << 24);
+    }
+    let mut samples: Vec<f64> = (0..7)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let m = Measurement {
+        label: label.to_string(),
+        ns_per_iter: samples[samples.len() / 2],
+        iters_per_batch: iters,
+    };
+    println!("{}", m.render());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_positive_time() {
+        let m = bench("noop_sum", || (0..100u64).sum::<u64>());
+        assert!(m.ns_per_iter > 0.0);
+        assert!(m.iters_per_batch >= 1);
+    }
+
+    #[test]
+    fn render_contains_label() {
+        let m = Measurement {
+            label: "x".into(),
+            ns_per_iter: 1.5,
+            iters_per_batch: 10,
+        };
+        assert!(m.render().contains('x'));
+    }
+}

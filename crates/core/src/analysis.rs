@@ -65,11 +65,12 @@ pub fn mitchell_stats() -> AnalyticStats {
 /// unquantized factors) for an `M × M` partition — the floor the hardware
 /// design approaches as `q` grows and `t` shrinks.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics for invalid `M` (not a power of two in `2..=256`).
-pub fn ideal_realm_stats(segments: u32) -> AnalyticStats {
-    let grid = SegmentGrid::new(segments).expect("valid segment count");
+/// Returns a [`crate::ConfigError`] for invalid `M` (not a power of two
+/// in `2..=256`).
+pub fn ideal_realm_stats(segments: u32) -> Result<AnalyticStats, crate::ConfigError> {
+    let grid = SegmentGrid::new(segments)?;
     let m = segments as usize;
     // Per-segment factors once.
     let mut s = vec![0.0; m * m];
@@ -87,7 +88,7 @@ pub fn ideal_realm_stats(segments: u32) -> AnalyticStats {
     };
     // Panel per segment so the piecewise-constant factor is smooth inside
     // each integration cell.
-    integrate_stats(&e, m)
+    Ok(integrate_stats(&e, m))
 }
 
 /// The analytic bias of Mitchell's multiplier, directly from the
@@ -123,7 +124,7 @@ mod tests {
     #[test]
     fn ideal_realm_bias_is_zero_by_construction() {
         for m in [4u32, 8] {
-            let s = ideal_realm_stats(m);
+            let s = ideal_realm_stats(m).expect("valid M");
             assert!(s.bias.abs() < 1e-10, "M={m}: bias {}", s.bias);
         }
     }
@@ -132,9 +133,9 @@ mod tests {
     fn ideal_realm_matches_paper_mean_errors() {
         // Ideal floors: ~1.38 %, ~0.74 %, ~0.38 % for M = 4, 8, 16 —
         // slightly below the hardware rows of Table I, as expected.
-        let m4 = ideal_realm_stats(4).mean_error;
-        let m8 = ideal_realm_stats(8).mean_error;
-        let m16 = ideal_realm_stats(16).mean_error;
+        let m4 = ideal_realm_stats(4).expect("valid M").mean_error;
+        let m8 = ideal_realm_stats(8).expect("valid M").mean_error;
+        let m16 = ideal_realm_stats(16).expect("valid M").mean_error;
         assert!((m4 - 0.0138).abs() < 0.0008, "M=4: {m4}");
         assert!((m8 - 0.0074).abs() < 0.0006, "M=8: {m8}");
         assert!((m16 - 0.0038).abs() < 0.0004, "M=16: {m16}");
@@ -142,8 +143,8 @@ mod tests {
 
     #[test]
     fn variance_shrinks_quadratically_with_m() {
-        let v4 = ideal_realm_stats(4).variance;
-        let v8 = ideal_realm_stats(8).variance;
+        let v4 = ideal_realm_stats(4).expect("valid M").variance;
+        let v8 = ideal_realm_stats(8).expect("valid M").variance;
         let ratio = v4 / v8;
         // Doubling M roughly quarters the variance (error ∝ segment size).
         assert!(ratio > 2.5 && ratio < 6.0, "ratio {ratio}");

@@ -137,19 +137,26 @@ impl ConfigurableRealm {
     }
 
     /// Multiplies under an explicit mode (ignoring the stored one).
+    /// Out-of-range operands are masked to their low `N` bits.
     pub fn multiply_with_mode(&self, mode: AccuracyMode, a: u64, b: u64) -> u64 {
+        let mask = if self.width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
+        let (a, b) = (a & mask, b & mask);
         let (Some(ea), Some(eb)) = (
             LogEncoding::encode(a, self.width),
             LogEncoding::encode(b, self.width),
         ) else {
             return 0;
         };
-        let ea = ea
-            .truncate(self.truncation)
-            .expect("validated at construction");
-        let eb = eb
-            .truncate(self.truncation)
-            .expect("validated at construction");
+        let t = self.truncation;
+        let (Ok(ea), Ok(eb)) = (ea.truncate(t), eb.truncate(t)) else {
+            // Truncation is validated at construction; never panic in the
+            // datapath — fall back to the exact saturated product.
+            return mitchell::saturate_product(a as u128 * b as u128, self.width);
+        };
         let code = match self.lut_for(mode) {
             None => 0,
             Some(lut) => lut.lookup(ea.fraction, eb.fraction, ea.fraction_bits) as u64,

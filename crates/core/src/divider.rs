@@ -100,7 +100,7 @@ pub fn division_reduction_factor(x0: f64, x1: f64, y0: f64, y1: f64) -> f64 {
         }
     }
     cuts.push(x1);
-    cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    cuts.sort_by(|a, b| a.total_cmp(b));
     let integrate = |f: &dyn Fn(f64) -> f64| -> f64 {
         cuts.windows(2).map(|w| rule.integrate(f, w[0], w[1])).sum()
     };
@@ -214,16 +214,20 @@ impl RealmDivider {
                 (1u64 << self.width) - 1
             };
         }
-        let Some(ea) = LogEncoding::encode(a, self.width) else {
+        // `b` is nonzero here, so its encoding always exists; a zero `a`
+        // falls out through the same binding.
+        let (Some(ea), Some(eb)) = (
+            LogEncoding::encode(a, self.width),
+            LogEncoding::encode(b, self.width),
+        ) else {
             return 0;
         };
-        let eb = LogEncoding::encode(b, self.width).expect("b is nonzero");
-        let ea = ea
-            .truncate(self.truncation)
-            .expect("validated at construction");
-        let eb = eb
-            .truncate(self.truncation)
-            .expect("validated at construction");
+        let t = self.truncation;
+        let (Ok(ea), Ok(eb)) = (ea.truncate(t), eb.truncate(t)) else {
+            // Truncation is validated at construction; never panic in the
+            // datapath — fall back to the exact quotient.
+            return a / b;
+        };
         let f = ea.fraction_bits;
         let q = self.lut.precision();
         let s = self.lut.lookup(ea.fraction, eb.fraction, f) as i64;
@@ -285,10 +289,14 @@ impl MitchellDivider {
         if b == 0 {
             return (1u64 << self.width) - 1;
         }
-        let Some(ea) = LogEncoding::encode(a, self.width) else {
+        // `b` is nonzero here, so its encoding always exists; a zero `a`
+        // falls out through the same binding.
+        let (Some(ea), Some(eb)) = (
+            LogEncoding::encode(a, self.width),
+            LogEncoding::encode(b, self.width),
+        ) else {
             return 0;
         };
-        let eb = LogEncoding::encode(b, self.width).expect("b is nonzero");
         let f = ea.fraction_bits;
         let diff = ea.fraction as i64 - eb.fraction as i64;
         let (mantissa, exponent) = if diff >= 0 {

@@ -98,7 +98,7 @@ pub fn numerator_integral(x0: f64, x1: f64, y0: f64, y1: f64) -> f64 {
         }
     }
     cuts.push(x1);
-    cuts.sort_by(|a, b| a.partial_cmp(b).expect("cut points are finite"));
+    cuts.sort_by(|a, b| a.total_cmp(b));
 
     let rule = GaussLegendre::new(40);
     cuts.windows(2)

@@ -196,7 +196,7 @@ mod tests {
         let fpu = exact_fpu();
         for (a, b) in [
             (1.5f32, 2.25f32),
-            (3.14159, 2.71828),
+            (std::f32::consts::PI, std::f32::consts::E),
             (1e-10, 1e10),
             (123456.78, 0.0009),
             (-7.5, 42.0),

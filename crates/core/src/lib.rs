@@ -50,6 +50,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The datapath models must be total: no lazy panics outside test code.
+// Invariant violations either propagate a `ConfigError` or degrade to an
+// exact fallback result.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod accurate;
 pub mod analysis;
@@ -67,6 +71,7 @@ pub mod multiplier;
 pub mod precomputed;
 pub mod quad;
 pub mod realm;
+pub mod rng;
 pub mod segment;
 pub mod signed;
 

@@ -78,7 +78,7 @@ pub fn weighted_error_integral(x0: f64, x1: f64, y0: f64, y1: f64) -> f64 {
         }
     }
     cuts.push(x1);
-    cuts.sort_by(|a, b| a.partial_cmp(b).expect("cut points are finite"));
+    cuts.sort_by(|a, b| a.total_cmp(b));
     let rule = GaussLegendre::new(40);
     cuts.windows(2)
         .map(|w| rule.integrate(|x| inner_integral(x, y0, y1), w[0], w[1]))
@@ -150,7 +150,7 @@ pub fn residual_mean_square(segments: u32, i: usize, j: usize, s: f64) -> f64 {
         }
     }
     cuts.push(x1);
-    cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    cuts.sort_by(|a, b| a.total_cmp(b));
     let area = (x1 - x0) * (y1 - y0);
     let total: f64 = cuts
         .windows(2)

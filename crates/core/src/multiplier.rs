@@ -84,6 +84,32 @@ pub trait MultiplierExt: Multiplier {
         Some(diff / exact as f64)
     }
 
+    /// Total variant of [`relative_error`](MultiplierExt::relative_error):
+    /// defined for **every** operand pair, including those with a zero
+    /// exact product. When `a * b == 0` the error is `0.0` if the design
+    /// also returns zero (every paper design short-circuits zeros) and
+    /// `1.0` — one full unit of the claimed product — if it fabricates a
+    /// nonzero result, as a faulty datapath can.
+    ///
+    /// Fault campaigns use this so that no operand pair is silently
+    /// skipped and zero-input misbehaviour is scored rather than ignored.
+    ///
+    /// ```
+    /// use realm_core::Accurate;
+    /// use realm_core::multiplier::MultiplierExt;
+    ///
+    /// let exact = Accurate::new(8);
+    /// assert_eq!(exact.relative_error_total(12, 13), 0.0);
+    /// assert_eq!(exact.relative_error_total(12, 0), 0.0);
+    /// ```
+    fn relative_error_total(&self, a: u64, b: u64) -> f64 {
+        match self.relative_error(a, b) {
+            Some(e) => e,
+            None if self.multiply(a, b) == 0 => 0.0,
+            None => 1.0,
+        }
+    }
+
     /// Largest operand value, `2^N − 1`.
     fn max_operand(&self) -> u64 {
         if self.width() >= 64 {

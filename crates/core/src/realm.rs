@@ -174,15 +174,25 @@ impl Multiplier for Realm {
 
     fn multiply(&self, a: u64, b: u64) -> u64 {
         let width = self.config.width;
-        debug_assert!(a >> width == 0, "operand a exceeds {width} bits");
-        debug_assert!(b >> width == 0, "operand b exceeds {width} bits");
+        // Total over all of u64: out-of-range operands are masked to their
+        // low N bits, matching what the hardware's N-bit input ports see.
+        let mask = if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let (a, b) = (a & mask, b & mask);
         let (Some(ea), Some(eb)) = (LogEncoding::encode(a, width), LogEncoding::encode(b, width))
         else {
             return 0; // zero-operand special case
         };
         let t = self.config.truncation;
-        let ea = ea.truncate(t).expect("validated at construction");
-        let eb = eb.truncate(t).expect("validated at construction");
+        let (Ok(ea), Ok(eb)) = (ea.truncate(t), eb.truncate(t)) else {
+            // `t` is validated against the fraction width at construction,
+            // so truncation cannot fail; degrade to the exact saturated
+            // product rather than panic if that invariant is ever broken.
+            return mitchell::saturate_product(a as u128 * b as u128, width);
+        };
         let s = self.lut.lookup(ea.fraction, eb.fraction, ea.fraction_bits);
         mitchell::log_mul(&ea, &eb, s as u64, self.lut.precision(), width)
     }

@@ -1,143 +1,225 @@
-//! Property-based tests for the core invariants: log encode/decode,
+//! Property-style tests for the core invariants: log encode/decode,
 //! Mitchell bounds, segment indexing, LUT quantization, factor symmetry
 //! and REALM's error envelope.
+//!
+//! Cases are drawn from the workspace's internal seeded PRNG
+//! ([`realm_core::rng::SplitMix64`]) so the suite is deterministic and
+//! builds offline, with no external property-testing dependency.
 
-use proptest::prelude::*;
 use realm_core::factors::{
     denominator_integral, mitchell_relative_error, numerator_integral, reduction_factor,
 };
 use realm_core::mitchell::{log_mul, saturate_product, scale, LogEncoding};
 use realm_core::multiplier::MultiplierExt;
+use realm_core::rng::SplitMix64;
 use realm_core::{Multiplier, Realm, RealmConfig, SegmentGrid};
 
-proptest! {
-    #[test]
-    fn encode_decode_roundtrip(v in 1u64..=u16::MAX as u64) {
+const CASES: u64 = 512;
+
+fn rng(salt: u64) -> SplitMix64 {
+    SplitMix64::new(0xC0FFEE ^ salt)
+}
+
+fn unit(rng: &mut SplitMix64, lo: f64, hi: f64) -> f64 {
+    lo + rng.next_f64() * (hi - lo)
+}
+
+#[test]
+fn encode_decode_roundtrip() {
+    let mut rng = rng(1);
+    for _ in 0..CASES {
+        let v = rng.range_inclusive(1, u16::MAX as u64);
         let enc = LogEncoding::encode(v, 16).expect("nonzero");
-        prop_assert_eq!(enc.decode(), v);
+        assert_eq!(enc.decode(), v);
         // Reconstruction identity: v = 2^k (1 + x).
-        let reconstructed =
-            (1u64 << enc.characteristic) as f64 * (1.0 + enc.fraction_value());
-        prop_assert!((reconstructed - v as f64).abs() < 1e-6);
+        let reconstructed = (1u64 << enc.characteristic) as f64 * (1.0 + enc.fraction_value());
+        assert!((reconstructed - v as f64).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn characteristic_is_floor_log2(v in 1u64..=u16::MAX as u64) {
+#[test]
+fn characteristic_is_floor_log2() {
+    let mut rng = rng(2);
+    for _ in 0..CASES {
+        let v = rng.range_inclusive(1, u16::MAX as u64);
         let enc = LogEncoding::encode(v, 16).expect("nonzero");
-        prop_assert_eq!(enc.characteristic, v.ilog2());
-        prop_assert!(enc.fraction < (1 << enc.fraction_bits));
+        assert_eq!(enc.characteristic, v.ilog2());
+        assert!(enc.fraction < (1 << enc.fraction_bits));
     }
+}
 
-    #[test]
-    fn truncation_monotone_and_lsb_set(v in 1u64..=u16::MAX as u64, t in 0u32..10) {
+#[test]
+fn truncation_monotone_and_lsb_set() {
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let v = rng.range_inclusive(1, u16::MAX as u64);
+        let t = rng.below(10) as u32;
         let enc = LogEncoding::encode(v, 16).expect("nonzero");
         let tr = enc.truncate(t).expect("t < 15");
-        prop_assert_eq!(tr.fraction & 1, 1);
-        prop_assert_eq!(tr.fraction_bits, 15 - t);
+        assert_eq!(tr.fraction & 1, 1);
+        assert_eq!(tr.fraction_bits, 15 - t);
         // Truncation changes the fraction by at most 2^t in original units.
         let orig = enc.fraction;
-        let back = (tr.fraction) << t;
-        prop_assert!(back.abs_diff(orig) < (1u64 << (t + 1)).max(2));
+        let back = tr.fraction << t;
+        assert!(back.abs_diff(orig) < (1u64 << (t + 1)).max(2));
     }
+}
 
-    #[test]
-    fn mitchell_product_never_overestimates(a in 1u64..=u16::MAX as u64,
-                                            b in 1u64..=u16::MAX as u64) {
+#[test]
+fn mitchell_product_never_overestimates() {
+    let mut rng = rng(4);
+    for _ in 0..CASES {
+        let a = rng.range_inclusive(1, u16::MAX as u64);
+        let b = rng.range_inclusive(1, u16::MAX as u64);
         let ea = LogEncoding::encode(a, 16).expect("nonzero");
         let eb = LogEncoding::encode(b, 16).expect("nonzero");
         let approx = log_mul(&ea, &eb, 0, 6, 16);
         let exact = a * b;
-        prop_assert!(approx <= exact);
+        assert!(approx <= exact);
         // And never underestimates past −1/9 (minus one ULP of flooring).
-        prop_assert!(approx as f64 >= exact as f64 * (1.0 - 1.0 / 9.0) - 1.0);
+        assert!(approx as f64 >= exact as f64 * (1.0 - 1.0 / 9.0) - 1.0);
     }
+}
 
-    #[test]
-    fn scale_matches_shift_semantics(mant in 1u128..=(1 << 20), exp in 0i64..30, f in 0u32..18) {
+#[test]
+fn scale_matches_shift_semantics() {
+    let mut rng = rng(5);
+    for _ in 0..CASES {
+        let mant = rng.range_inclusive(1, 1 << 20) as u128;
+        let exp = rng.below(30) as i64;
+        let f = rng.below(18) as u32;
         let v = scale(mant, exp, f);
         let expected = if exp >= f as i64 {
             mant << (exp - f as i64) as u32
         } else {
             mant >> (f as i64 - exp) as u32
         };
-        prop_assert_eq!(v, expected);
+        assert_eq!(v, expected);
     }
+}
 
-    #[test]
-    fn saturation_clamps_exactly_at_2n_bits(v in 0u128..(1 << 40)) {
+#[test]
+fn saturation_clamps_exactly_at_2n_bits() {
+    let mut rng = rng(6);
+    for _ in 0..CASES {
+        let v = rng.below(1 << 40) as u128;
         let s = saturate_product(v, 16);
         if v > u32::MAX as u128 {
-            prop_assert_eq!(s, u32::MAX as u64);
+            assert_eq!(s, u32::MAX as u64);
         } else {
-            prop_assert_eq!(s as u128, v);
+            assert_eq!(s as u128, v);
         }
     }
+}
 
-    #[test]
-    fn segment_bit_indexing_equals_value_indexing(frac in 0u64..(1 << 15)) {
-        for m in [4u32, 8, 16] {
-            let grid = SegmentGrid::new(m).expect("valid M");
+#[test]
+fn segment_bit_indexing_equals_value_indexing() {
+    let mut rng = rng(7);
+    let grids: Vec<SegmentGrid> = [4u32, 8, 16]
+        .iter()
+        .map(|&m| SegmentGrid::new(m).expect("valid M"))
+        .collect();
+    for _ in 0..CASES {
+        let frac = rng.below(1 << 15);
+        for grid in &grids {
             let x = frac as f64 / (1u64 << 15) as f64;
-            prop_assert_eq!(grid.index_of(frac, 15), grid.index_of_value(x));
+            assert_eq!(grid.index_of(frac, 15), grid.index_of_value(x));
         }
     }
+}
 
-    #[test]
-    fn factor_symmetry_on_random_boxes(x0 in 0.0f64..0.9, y0 in 0.0f64..0.9,
-                                       dx in 0.01f64..0.1, dy in 0.01f64..0.1) {
+#[test]
+fn factor_symmetry_on_random_boxes() {
+    let mut rng = rng(8);
+    for _ in 0..CASES {
+        let x0 = unit(&mut rng, 0.0, 0.9);
+        let y0 = unit(&mut rng, 0.0, 0.9);
+        let dx = unit(&mut rng, 0.01, 0.1);
+        let dy = unit(&mut rng, 0.01, 0.1);
         let (x1, y1) = ((x0 + dx).min(1.0), (y0 + dy).min(1.0));
         let a = reduction_factor(x0, x1, y0, y1);
         let b = reduction_factor(y0, y1, x0, x1);
-        prop_assert!((a - b).abs() < 1e-9, "asymmetric: {} vs {}", a, b);
+        assert!((a - b).abs() < 1e-9, "asymmetric: {a} vs {b}");
         // And it zeroes the residual by construction.
-        let residual = numerator_integral(x0, x1, y0, y1)
-            + a * denominator_integral(x0, x1, y0, y1);
-        prop_assert!(residual.abs() < 1e-12);
+        let residual =
+            numerator_integral(x0, x1, y0, y1) + a * denominator_integral(x0, x1, y0, y1);
+        assert!(residual.abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn mitchell_error_bounds_hold_pointwise(x in 0.0f64..1.0, y in 0.0f64..1.0) {
+#[test]
+fn mitchell_error_bounds_hold_pointwise() {
+    let mut rng = rng(9);
+    for _ in 0..CASES {
+        let x = unit(&mut rng, 0.0, 1.0);
+        let y = unit(&mut rng, 0.0, 1.0);
         let e = mitchell_relative_error(x, y);
-        prop_assert!(e <= 1e-15);
-        prop_assert!(e >= -1.0 / 9.0 - 1e-15);
+        assert!(e <= 1e-15);
+        assert!(e >= -1.0 / 9.0 - 1e-15);
     }
+}
 
-    #[test]
-    fn realm_error_envelope(a in 1u64..=u16::MAX as u64, b in 1u64..=u16::MAX as u64,
-                            cfg in 0usize..6) {
-        let (m, t) = [(16u32, 0u32), (16, 9), (8, 0), (8, 9), (4, 0), (4, 9)][cfg];
-        let realm = Realm::new(RealmConfig::n16(m, t)).expect("paper design point");
+#[test]
+fn realm_error_envelope() {
+    let mut rng = rng(10);
+    let designs: Vec<Realm> = [(16u32, 0u32), (16, 9), (8, 0), (8, 9), (4, 0), (4, 9)]
+        .iter()
+        .map(|&(m, t)| Realm::new(RealmConfig::n16(m, t)).expect("paper design point"))
+        .collect();
+    for _ in 0..CASES {
+        let a = rng.range_inclusive(1, u16::MAX as u64);
+        let b = rng.range_inclusive(1, u16::MAX as u64);
+        let realm = &designs[rng.index(designs.len())];
         let e = realm.relative_error(a, b).expect("nonzero");
         // Abstract: peak error at most 7.4 % across the whole design space
         // (allow a small margin for the t = 9 outliers).
-        prop_assert!(e.abs() < 0.085, "M={} t={}: error {}", m, t, e);
+        assert!(e.abs() < 0.085, "{}: error {e}", realm.label());
     }
+}
 
-    #[test]
-    fn realm_zero_annihilates(b in 0u64..=u16::MAX as u64) {
-        let realm = Realm::new(RealmConfig::n16(8, 4)).expect("paper design point");
-        prop_assert_eq!(realm.multiply(0, b), 0);
-        prop_assert_eq!(realm.multiply(b, 0), 0);
+#[test]
+fn realm_zero_annihilates() {
+    let mut rng = rng(11);
+    let realm = Realm::new(RealmConfig::n16(8, 4)).expect("paper design point");
+    for _ in 0..CASES {
+        let b = rng.range_inclusive(0, u16::MAX as u64);
+        assert_eq!(realm.multiply(0, b), 0);
+        assert_eq!(realm.multiply(b, 0), 0);
     }
+}
 
-    #[test]
-    fn realm_is_commutative(a in 1u64..=u16::MAX as u64, b in 1u64..=u16::MAX as u64) {
-        // s_ij = s_ji makes the whole datapath symmetric.
-        let realm = Realm::new(RealmConfig::n16(16, 0)).expect("paper design point");
-        prop_assert_eq!(realm.multiply(a, b), realm.multiply(b, a));
+#[test]
+fn realm_is_commutative() {
+    let mut rng = rng(12);
+    // s_ij = s_ji makes the whole datapath symmetric.
+    let realm = Realm::new(RealmConfig::n16(16, 0)).expect("paper design point");
+    for _ in 0..CASES {
+        let a = rng.range_inclusive(1, u16::MAX as u64);
+        let b = rng.range_inclusive(1, u16::MAX as u64);
+        assert_eq!(realm.multiply(a, b), realm.multiply(b, a));
     }
+}
 
-    #[test]
-    fn realm_monotone_under_power_of_two_scaling(a in 1u64..=255, b in 1u64..=255,
-                                                 sa in 0u32..8, sb in 0u32..8) {
-        // Scaling an operand by 2^k scales the product by exactly 2^k —
-        // the factors are interval-independent (paper Eq. 12-13), so the
-        // relative error must be identical in every power-of-two interval
-        // (up to the bits floored at the output for small products).
-        let realm = Realm::new(RealmConfig::n16(16, 0)).expect("paper design point");
+#[test]
+fn realm_monotone_under_power_of_two_scaling() {
+    let mut rng = rng(13);
+    // Scaling an operand by 2^k scales the product by exactly 2^k —
+    // the factors are interval-independent (paper Eq. 12-13), so the
+    // relative error must be identical in every power-of-two interval
+    // (up to the bits floored at the output for small products).
+    let realm = Realm::new(RealmConfig::n16(16, 0)).expect("paper design point");
+    for _ in 0..CASES {
+        let a = rng.range_inclusive(1, 255);
+        let b = rng.range_inclusive(1, 255);
+        let sa = rng.below(8) as u32;
+        let sb = rng.below(8) as u32;
         let shifted = realm.multiply(a << sa, b << sb);
         let unshifted = realm.multiply(a << sa, b);
         // Nested-floor identity: floor(m >> (F−e−sb)) >> sb == floor(m >> (F−e)).
-        prop_assert_eq!(shifted >> sb, unshifted, "scaling violated at sa={}, sb={}", sa, sb);
+        assert_eq!(
+            shifted >> sb,
+            unshifted,
+            "scaling violated at sa={sa}, sb={sb}"
+        );
     }
 }

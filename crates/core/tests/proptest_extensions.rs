@@ -1,113 +1,174 @@
-//! Property-based tests for the extension modules: the divider, the
+//! Property-style tests for the extension modules: the divider, the
 //! floating-point wrapper, the MSE factor formulation and the
 //! runtime-configurable REALM.
+//!
+//! Deterministic randomized cases from [`realm_core::rng::SplitMix64`];
+//! no external property-testing dependency.
 
-use proptest::prelude::*;
 use realm_core::configurable::{AccuracyMode, ConfigurableRealm};
 use realm_core::divider::{mitchell_division_error, MitchellDivider, RealmDivider};
 use realm_core::float::{ApproxFloat, FloatFormat};
 use realm_core::mse::{mse_reduction_factor, residual_mean_square};
+use realm_core::rng::SplitMix64;
 use realm_core::{Accurate, Multiplier, Realm, RealmConfig};
 
-proptest! {
-    #[test]
-    fn division_error_bounds_hold_pointwise(x in 0.0f64..1.0, y in 0.0f64..1.0) {
-        let e = mitchell_division_error(x, y);
-        prop_assert!(e >= -1e-15);
-        prop_assert!(e <= 0.125 + 1e-12);
-    }
+const CASES: u64 = 512;
 
-    #[test]
-    fn mitchell_divider_never_overshoots_much(a in 1u64..=u16::MAX as u64,
-                                              b in 1u64..=u16::MAX as u64) {
-        let div = MitchellDivider::new(16);
+fn rng(salt: u64) -> SplitMix64 {
+    SplitMix64::new(0xD1CE ^ salt)
+}
+
+#[test]
+fn division_error_bounds_hold_pointwise() {
+    let mut rng = rng(1);
+    for _ in 0..CASES {
+        let x = rng.next_f64();
+        let y = rng.next_f64();
+        let e = mitchell_division_error(x, y);
+        assert!(e >= -1e-15);
+        assert!(e <= 0.125 + 1e-12);
+    }
+}
+
+#[test]
+fn mitchell_divider_never_overshoots_much() {
+    let mut rng = rng(2);
+    let div = MitchellDivider::new(16);
+    for _ in 0..CASES {
+        let a = rng.range_inclusive(1, u16::MAX as u64);
+        let b = rng.range_inclusive(1, u16::MAX as u64);
         let q = div.divide(a, b);
         let exact = a as f64 / b as f64;
         // One-sided +12.5 % plus at most one ULP of output flooring.
-        prop_assert!((q as f64) <= exact * 1.1251 + 1.0, "({a}, {b}): {q} vs {exact}");
-        prop_assert!((q as f64) >= exact.floor() * 0.999 - 1.0 - exact * 0.0,
-            "({a}, {b}): {q} vs {exact}");
+        assert!(
+            (q as f64) <= exact * 1.1251 + 1.0,
+            "({a}, {b}): {q} vs {exact}"
+        );
+        assert!(
+            (q as f64) >= exact.floor() * 0.999 - 1.0,
+            "({a}, {b}): {q} vs {exact}"
+        );
     }
+}
 
-    #[test]
-    fn realm_divider_stays_within_envelope(a in 256u64..=u16::MAX as u64, b in 1u64..=255) {
-        // Quotients >= 1 region: the corrected divider must stay within
-        // the classical one-sided band minus the subtracted correction.
-        let div = RealmDivider::new(16, 8, 0).expect("valid configuration");
+#[test]
+fn realm_divider_stays_within_envelope() {
+    let mut rng = rng(3);
+    // Quotients >= 1 region: the corrected divider must stay within
+    // the classical one-sided band minus the subtracted correction.
+    let div = RealmDivider::new(16, 8, 0).expect("valid configuration");
+    for _ in 0..CASES {
+        let a = rng.range_inclusive(256, u16::MAX as u64);
+        let b = rng.range_inclusive(1, 255);
         let q = div.divide(a, b);
         let exact = a as f64 / b as f64;
         let rel = (q as f64 - exact) / exact;
         // Loose envelope: correction < 0.25, plus flooring granularity.
-        prop_assert!(rel < 0.13, "({a}, {b}): rel {rel}");
-        prop_assert!(rel > -0.26 - 2.0 / exact, "({a}, {b}): rel {rel}");
+        assert!(rel < 0.13, "({a}, {b}): rel {rel}");
+        assert!(rel > -0.26 - 2.0 / exact, "({a}, {b}): rel {rel}");
     }
+}
 
-    #[test]
-    fn divider_scaling_invariance(a in 64u64..256, b in 1u64..64, s in 0u32..8) {
-        // Scaling the dividend by 2^s scales the quotient by 2^s (nested
-        // floors), mirroring the multiplier's power-of-two property.
-        let div = RealmDivider::new(16, 8, 0).expect("valid configuration");
+#[test]
+fn divider_scaling_invariance() {
+    let mut rng = rng(4);
+    // Scaling the dividend by 2^s scales the quotient by 2^s (nested
+    // floors), mirroring the multiplier's power-of-two property.
+    let div = RealmDivider::new(16, 8, 0).expect("valid configuration");
+    for _ in 0..CASES {
+        let a = rng.range_inclusive(64, 255);
+        let b = rng.range_inclusive(1, 63);
+        let s = rng.below(8) as u32;
         let scaled = div.divide(a << s, b);
         let base = div.divide(a, b);
-        prop_assert_eq!(scaled >> s, base, "a={} b={} s={}", a, b, s);
+        assert_eq!(scaled >> s, base, "a={a} b={b} s={s}");
     }
+}
 
-    #[test]
-    fn mse_factor_minimizes_its_objective(i in 0usize..8, j in 0usize..8) {
-        let h = 1.0 / 8.0;
-        let s = mse_reduction_factor(i as f64 * h, (i + 1) as f64 * h,
-                                     j as f64 * h, (j + 1) as f64 * h);
-        let at = residual_mean_square(8, i, j, s);
-        prop_assert!(at <= residual_mean_square(8, i, j, s + 0.004) + 1e-15);
-        prop_assert!(at <= residual_mean_square(8, i, j, s - 0.004) + 1e-15);
+#[test]
+fn mse_factor_minimizes_its_objective() {
+    for i in 0..8usize {
+        for j in 0..8usize {
+            let h = 1.0 / 8.0;
+            let s = mse_reduction_factor(
+                i as f64 * h,
+                (i + 1) as f64 * h,
+                j as f64 * h,
+                (j + 1) as f64 * h,
+            );
+            let at = residual_mean_square(8, i, j, s);
+            assert!(at <= residual_mean_square(8, i, j, s + 0.004) + 1e-15);
+            assert!(at <= residual_mean_square(8, i, j, s - 0.004) + 1e-15);
+        }
     }
+}
 
-    #[test]
-    fn fp32_sign_and_magnitude_envelope(abits in 0x3800_0000u32..0x4880_0000,
-                                        bbits in 0x3800_0000u32..0x4880_0000,
-                                        sa in 0u32..2, sb in 0u32..2) {
-        let fpu = ApproxFloat::new(
-            FloatFormat::FP32,
-            Realm::new(RealmConfig::new(24, 16, 0, 6)).expect("valid configuration"),
-        ).expect("wide core");
+#[test]
+fn fp32_sign_and_magnitude_envelope() {
+    let mut rng = rng(5);
+    let fpu = ApproxFloat::new(
+        FloatFormat::FP32,
+        Realm::new(RealmConfig::new(24, 16, 0, 6)).expect("valid configuration"),
+    )
+    .expect("wide core");
+    for _ in 0..CASES {
+        let abits = rng.range_inclusive(0x3800_0000, 0x4880_0000 - 1) as u32;
+        let bbits = rng.range_inclusive(0x3800_0000, 0x4880_0000 - 1) as u32;
+        let sa = rng.below(2) as u32;
+        let sb = rng.below(2) as u32;
         let a = f32::from_bits(abits | (sa << 31));
         let b = f32::from_bits(bbits | (sb << 31));
         let p = fpu.multiply_f32(a, b);
         let exact = a as f64 * b as f64;
-        prop_assert_eq!(p.is_sign_negative(), exact < 0.0, "{} * {} = {}", a, b, p);
+        assert_eq!(p.is_sign_negative(), exact < 0.0, "{a} * {b} = {p}");
         let rel = (p as f64 - exact) / exact;
-        prop_assert!(rel.abs() < 0.0215, "{} * {}: rel {}", a, b, rel);
+        assert!(rel.abs() < 0.0215, "{a} * {b}: rel {rel}");
     }
+}
 
-    #[test]
-    fn fp32_exact_core_matches_ieee_closely(abits in 0x3F00_0000u32..0x4100_0000,
-                                            bbits in 0x3F00_0000u32..0x4100_0000) {
-        let fpu = ApproxFloat::new(FloatFormat::FP32, Accurate::new(24)).expect("wide core");
+#[test]
+fn fp32_exact_core_matches_ieee_closely() {
+    let mut rng = rng(6);
+    let fpu = ApproxFloat::new(FloatFormat::FP32, Accurate::new(24)).expect("wide core");
+    for _ in 0..CASES {
+        let abits = rng.range_inclusive(0x3F00_0000, 0x4100_0000 - 1) as u32;
+        let bbits = rng.range_inclusive(0x3F00_0000, 0x4100_0000 - 1) as u32;
         let (a, b) = (f32::from_bits(abits), f32::from_bits(bbits));
         let p = fpu.multiply_f32(a, b);
         let exact = a as f64 * b as f64;
         let rel = (p as f64 - exact) / exact;
         // Truncation: within one part in 2^22, never overestimating.
-        prop_assert!(rel <= 1e-9 && rel > -3e-7, "{} * {}: rel {}", a, b, rel);
+        assert!(rel <= 1e-9 && rel > -3e-7, "{a} * {b}: rel {rel}");
     }
+}
 
-    #[test]
-    fn configurable_realm_m16_equals_fixed_realm(a in 1u64..=u16::MAX as u64,
-                                                 b in 1u64..=u16::MAX as u64) {
-        let cfg = ConfigurableRealm::new(16, 0).expect("valid configuration");
-        let fixed = Realm::new(RealmConfig::n16(16, 0)).expect("paper design point");
-        prop_assert_eq!(cfg.multiply_with_mode(AccuracyMode::M16, a, b), fixed.multiply(a, b));
+#[test]
+fn configurable_realm_m16_equals_fixed_realm() {
+    let mut rng = rng(7);
+    let cfg = ConfigurableRealm::new(16, 0).expect("valid configuration");
+    let fixed = Realm::new(RealmConfig::n16(16, 0)).expect("paper design point");
+    for _ in 0..CASES {
+        let a = rng.range_inclusive(1, u16::MAX as u64);
+        let b = rng.range_inclusive(1, u16::MAX as u64);
+        assert_eq!(
+            cfg.multiply_with_mode(AccuracyMode::M16, a, b),
+            fixed.multiply(a, b)
+        );
     }
+}
 
-    #[test]
-    fn configurable_modes_all_respect_the_mitchell_family_envelope(
-        a in 1u64..=u16::MAX as u64, b in 1u64..=u16::MAX as u64, mode_idx in 0usize..4) {
-        let cfg = ConfigurableRealm::new(16, 0).expect("valid configuration");
-        let mode = AccuracyMode::ALL[mode_idx];
+#[test]
+fn configurable_modes_all_respect_the_mitchell_family_envelope() {
+    let mut rng = rng(8);
+    let cfg = ConfigurableRealm::new(16, 0).expect("valid configuration");
+    for _ in 0..CASES {
+        let a = rng.range_inclusive(1, u16::MAX as u64);
+        let b = rng.range_inclusive(1, u16::MAX as u64);
+        let mode = AccuracyMode::ALL[rng.index(AccuracyMode::ALL.len())];
         let p = cfg.multiply_with_mode(mode, a, b);
         let exact = (a * b) as f64;
         let rel = (p as f64 - exact) / exact;
         // Worst member of the family is bypass (Mitchell): [−11.2 %, +tiny].
-        prop_assert!(rel > -0.1121 && rel < 0.075, "mode {:?}: rel {}", mode, rel);
+        assert!(rel > -0.1121 && rel < 0.075, "mode {mode:?}: rel {rel}");
     }
 }

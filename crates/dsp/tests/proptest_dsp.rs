@@ -1,51 +1,80 @@
-//! Property-based tests of the DSP substrates: FIR algebra, convolution
+//! Property-style tests of the DSP substrates: FIR algebra, convolution
 //! invariants and GEMM structure, all against the exact multiplier (the
 //! approximate designs are characterized statistically elsewhere).
+//!
+//! Deterministic randomized cases from [`realm_core::rng::SplitMix64`];
+//! no external property-testing dependency.
 
-use proptest::prelude::*;
+use realm_core::rng::SplitMix64;
 use realm_core::Accurate;
 use realm_dsp::conv2d::Kernel;
 use realm_dsp::fir::{output_snr, FirFilter};
 use realm_dsp::gemm::{matmul, relative_norm_error, Matrix};
 use realm_jpeg::Image;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    #[test]
-    fn fir_is_linear_with_exact_multiplier(
-        signal in prop::collection::vec(-8_000i32..8_000, 40..80)) {
-        let m = Accurate::new(16);
-        let f = FirFilter::low_pass(15, 0.2);
-        let doubled: Vec<i32> = signal.iter().map(|&v| 2 * v).collect();
-        let y1 = f.apply(&m, &signal);
+fn rng(salt: u64) -> SplitMix64 {
+    SplitMix64::new(0xD59 ^ salt)
+}
+
+fn signal(rng: &mut SplitMix64, min_len: u64, max_len: u64) -> Vec<i32> {
+    let len = rng.range_inclusive(min_len, max_len) as usize;
+    (0..len)
+        .map(|_| rng.range_inclusive(0, 16_000) as i32 - 8_000)
+        .collect()
+}
+
+#[test]
+fn fir_is_linear_with_exact_multiplier() {
+    let mut rng = rng(1);
+    let m = Accurate::new(16);
+    let f = FirFilter::low_pass(15, 0.2);
+    for _ in 0..CASES {
+        let sig = signal(&mut rng, 40, 79);
+        let doubled: Vec<i32> = sig.iter().map(|&v| 2 * v).collect();
+        let y1 = f.apply(&m, &sig);
         let y2 = f.apply(&m, &doubled);
         for (a, b) in y1.iter().zip(&y2) {
             // Round-to-nearest descaling leaves at most ±1 nonlinearity.
-            prop_assert!((b - 2 * a).abs() <= 2, "{} vs 2*{}", b, a);
+            assert!((b - 2 * a).abs() <= 2, "{b} vs 2*{a}");
         }
     }
+}
 
-    #[test]
-    fn fir_of_zero_is_zero(len in 10usize..100) {
-        let m = Accurate::new(16);
-        let f = FirFilter::low_pass(21, 0.1);
+#[test]
+fn fir_of_zero_is_zero() {
+    let mut rng = rng(2);
+    let m = Accurate::new(16);
+    let f = FirFilter::low_pass(21, 0.1);
+    for _ in 0..CASES {
+        let len = rng.range_inclusive(10, 99) as usize;
         let out = f.apply(&m, &vec![0i32; len]);
-        prop_assert!(out.iter().all(|&v| v == 0));
+        assert!(out.iter().all(|&v| v == 0));
     }
+}
 
-    #[test]
-    fn snr_axioms(signal in prop::collection::vec(-8_000i32..8_000, 32..64)) {
-        prop_assume!(signal.iter().any(|&v| v != 0));
-        prop_assert_eq!(output_snr(&signal, &signal), f64::INFINITY);
-        let noisy: Vec<i32> = signal.iter().map(|&v| v + 50).collect();
-        let noisier: Vec<i32> = signal.iter().map(|&v| v + 500).collect();
-        prop_assert!(output_snr(&signal, &noisy) > output_snr(&signal, &noisier));
+#[test]
+fn snr_axioms() {
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let sig = signal(&mut rng, 32, 63);
+        if sig.iter().all(|&v| v == 0) {
+            continue;
+        }
+        assert_eq!(output_snr(&sig, &sig), f64::INFINITY);
+        let noisy: Vec<i32> = sig.iter().map(|&v| v + 50).collect();
+        let noisier: Vec<i32> = sig.iter().map(|&v| v + 500).collect();
+        assert!(output_snr(&sig, &noisy) > output_snr(&sig, &noisier));
     }
+}
 
-    #[test]
-    fn gaussian_kernel_output_within_input_range(seed in 0u64..500) {
-        let m = Accurate::new(16);
+#[test]
+fn gaussian_kernel_output_within_input_range() {
+    let mut rng = rng(4);
+    let m = Accurate::new(16);
+    for _ in 0..CASES {
+        let seed = rng.below(500);
         let img = Image::from_fn(12, 12, |x, y| {
             (((x * 31 + y * 7) as u64 * (seed + 1)) % 256) as u8
         });
@@ -53,35 +82,53 @@ proptest! {
         let hi = *img.pixels().iter().max().expect("nonempty");
         let out = Kernel::gaussian(3, 1.0).apply(&m, &img, 0);
         for &p in out.pixels() {
-            prop_assert!(p >= lo.saturating_sub(2) && p <= hi.saturating_add(2),
-                "{} outside [{}, {}]", p, lo, hi);
+            assert!(
+                p >= lo.saturating_sub(2) && p <= hi.saturating_add(2),
+                "{p} outside [{lo}, {hi}]"
+            );
         }
     }
+}
 
-    #[test]
-    fn sobel_of_flat_image_is_zero(v in 0u8..=255) {
-        let m = Accurate::new(16);
+#[test]
+fn sobel_of_flat_image_is_zero() {
+    let mut rng = rng(5);
+    let m = Accurate::new(16);
+    for _ in 0..CASES {
+        let v = rng.below(256) as u8;
         let img = Image::from_fn(10, 10, |_, _| v);
         let edges = realm_dsp::conv2d::sobel_edges(&m, &img);
-        prop_assert!(edges.pixels().iter().all(|&p| p <= 1));
+        assert!(edges.pixels().iter().all(|&p| p <= 1));
     }
+}
 
-    #[test]
-    fn matmul_distributes_over_identity_chains(n in 2usize..6, seed in 0u64..100) {
-        let m = Accurate::new(16);
-        let a = Matrix::from_fn(n, n, |r, c| ((r * 7 + c * 13 + seed as usize) % 200) as i32 - 100);
+#[test]
+fn matmul_distributes_over_identity_chains() {
+    let mut rng = rng(6);
+    let m = Accurate::new(16);
+    for _ in 0..CASES {
+        let n = rng.range_inclusive(2, 5) as usize;
+        let seed = rng.below(100);
+        let a = Matrix::from_fn(n, n, |r, c| {
+            ((r * 7 + c * 13 + seed as usize) % 200) as i32 - 100
+        });
         let id = Matrix::identity(n, 1 << 8);
         let once = matmul(&m, &a, &id, 8);
         let twice = matmul(&m, &once, &id, 8);
-        prop_assert_eq!(once, a.clone());
-        prop_assert_eq!(twice, a);
+        assert_eq!(once, a.clone());
+        assert_eq!(twice, a);
     }
+}
 
-    #[test]
-    fn norm_error_is_zero_iff_equal(n in 2usize..5, seed in 0u64..100) {
+#[test]
+fn norm_error_is_zero_iff_equal() {
+    let mut rng = rng(7);
+    for _ in 0..CASES {
+        let n = rng.range_inclusive(2, 4) as usize;
+        let seed = rng.below(100);
         let a = Matrix::from_fn(n, n, |r, c| ((r + 2 * c + seed as usize) % 64) as i32 + 1);
-        prop_assert_eq!(relative_norm_error(&a, &a), 0.0);
+        assert_eq!(relative_norm_error(&a, &a), 0.0);
         let b = Matrix::from_fn(n, n, |r, c| a.get(r, c) + 1);
-        prop_assert!(relative_norm_error(&b, &a) > 0.0);
+        assert!(relative_norm_error(&b, &a) > 0.0);
     }
 }

@@ -1,0 +1,211 @@
+//! Graceful degradation: a lightweight runtime invariant check with an
+//! exact-multiply fallback.
+//!
+//! A log-based product of nonzero `N`-bit operands with leading-one
+//! positions `k_a`, `k_b` always satisfies
+//!
+//! ```text
+//! k_a + k_b  ≤  bitlen(p)  ≤  k_a + k_b + 2
+//! ```
+//!
+//! because `2^(k_a + k_b) ≤ a·b < 2^(k_a + k_b + 2)` and the paper's
+//! designs stay within those two octaves even at their worst-case
+//! relative error. The check costs two leading-zero counts and an add —
+//! far cheaper than the multiply it guards — yet catches exactly the
+//! fault classes that matter most (characteristic and shift-amount
+//! corruption, which displace the product by whole octaves). Fraction
+//! and LUT-factor faults perturb the product *within* an octave; they
+//! slip through the guard but are bounded to ≤ ~2× error by construction.
+
+use realm_core::mitchell;
+use realm_core::Multiplier;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bit_len(v: u64) -> u32 {
+    64 - v.leading_zeros()
+}
+
+fn operand_mask(width: u32) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Whether a claimed product `p` for operands `a`, `b` satisfies the
+/// log-domain magnitude invariant (see module docs). Zero operands force
+/// `p == 0`.
+pub fn plausible_product(a: u64, b: u64, p: u64) -> bool {
+    if a == 0 || b == 0 {
+        return p == 0;
+    }
+    let k_sum = a.ilog2() + b.ilog2();
+    let bl = bit_len(p);
+    bl >= k_sum && bl <= k_sum + 2
+}
+
+/// A [`Multiplier`] wrapper that validates every product against the
+/// log-domain magnitude invariant and transparently recomputes it
+/// exactly on violation, counting how often it had to.
+///
+/// Wrapping a fault-free design never triggers the fallback; wrapping a
+/// [`FaultyMultiplier`](crate::FaultyMultiplier) turns octave-displacing
+/// faults into exact results at the cost of one exact multiply per
+/// detection, and [`fallback_rate`](Guarded::fallback_rate) reports the
+/// effective detection rate.
+#[derive(Debug)]
+pub struct Guarded<M: Multiplier> {
+    inner: M,
+    name: String,
+    operations: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+impl<M: Multiplier> Guarded<M> {
+    /// Wraps a multiplier with the invariant guard.
+    pub fn new(inner: M) -> Self {
+        let name = format!("Guarded({})", inner.name());
+        Guarded {
+            inner,
+            name,
+            operations: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped multiplier.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Operations performed so far.
+    pub fn operations(&self) -> u64 {
+        self.operations.load(Ordering::Relaxed)
+    }
+
+    /// Operations whose product violated the invariant and was recomputed
+    /// exactly.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of operations that fell back to the exact multiply
+    /// (0 when idle).
+    pub fn fallback_rate(&self) -> f64 {
+        let ops = self.operations();
+        if ops == 0 {
+            0.0
+        } else {
+            self.fallbacks() as f64 / ops as f64
+        }
+    }
+
+    /// Resets the operation and fallback counters.
+    pub fn reset_counters(&self) {
+        self.operations.store(0, Ordering::Relaxed);
+        self.fallbacks.store(0, Ordering::Relaxed);
+    }
+}
+
+impl<M: Multiplier> Multiplier for Guarded<M> {
+    fn width(&self) -> u32 {
+        self.inner.width()
+    }
+
+    fn multiply(&self, a: u64, b: u64) -> u64 {
+        self.operations.fetch_add(1, Ordering::Relaxed);
+        let width = self.inner.width();
+        let mask = operand_mask(width);
+        let (am, bm) = (a & mask, b & mask);
+        let p = self.inner.multiply(a, b);
+        if plausible_product(am, bm, p) {
+            p
+        } else {
+            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+            mitchell::saturate_product(am as u128 * bm as u128, width)
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn config(&self) -> String {
+        self.inner.config()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Fault, FaultPlan};
+    use crate::site::FaultSite;
+    use crate::FaultyMultiplier;
+    use realm_core::{Accurate, Realm, RealmConfig};
+
+    fn realm16() -> Realm {
+        Realm::new(RealmConfig::n16(16, 0)).expect("valid configuration")
+    }
+
+    #[test]
+    fn exact_products_are_always_plausible() {
+        for a in (0u64..65_536).step_by(1021) {
+            for b in (0u64..65_536).step_by(977) {
+                assert!(plausible_product(a, b, a * b), "({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_designs_never_fall_back() {
+        let g = Guarded::new(realm16());
+        for a in (1u64..65_536).step_by(509) {
+            for b in (1u64..65_536).step_by(463) {
+                g.multiply(a, b);
+            }
+        }
+        assert_eq!(g.fallbacks(), 0);
+        assert!(g.operations() > 0);
+    }
+
+    #[test]
+    fn octave_displacement_is_caught_and_corrected() {
+        let plan = FaultPlan::single(Fault::stuck_at(FaultSite::ShiftAmount { bit: 4 }, true));
+        let g = Guarded::new(FaultyMultiplier::new(realm16(), plan, 1));
+        // 3·3: the stuck shift bit inflates the product by 2^16; the guard
+        // must detect the impossible magnitude and return exactly 9.
+        assert_eq!(g.multiply(3, 3), 9);
+        assert_eq!(g.fallbacks(), 1);
+        assert!((g.fallback_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_operand_with_nonzero_claim_falls_back_to_zero() {
+        let plan = FaultPlan::single(Fault::stuck_at(FaultSite::ProductBit { bit: 7 }, true));
+        let g = Guarded::new(FaultyMultiplier::new(
+            crate::InterfaceLevel::new(Accurate::new(16)),
+            plan,
+            5,
+        ));
+        assert_eq!(g.multiply(0, 1234), 0);
+        assert_eq!(g.fallbacks(), 1);
+    }
+
+    #[test]
+    fn counters_reset() {
+        let g = Guarded::new(Accurate::new(16));
+        g.multiply(5, 6);
+        assert_eq!(g.operations(), 1);
+        g.reset_counters();
+        assert_eq!(g.operations(), 0);
+        assert_eq!(g.fallbacks(), 0);
+    }
+
+    #[test]
+    fn name_reflects_guarding() {
+        let g = Guarded::new(realm16());
+        assert_eq!(g.name(), "Guarded(REALM16)");
+        assert_eq!(g.config(), "t=0");
+    }
+}

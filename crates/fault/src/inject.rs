@@ -1,0 +1,199 @@
+//! The per-operation injection engine.
+//!
+//! An [`Injector`] is built once per multiply operation: it rolls the
+//! activation dice for every transient fault in the plan up front (so the
+//! random stream is independent of datapath control flow), then datapath
+//! models call [`Injector::apply`] at each architectural value to corrupt
+//! the bits of any active fault that matches.
+
+use crate::plan::{Fault, FaultKind};
+use crate::site::{Operand, SiteClass};
+use realm_core::rng::SplitMix64;
+
+/// Per-operation fault applicator handed to
+/// [`FaultTarget::multiply_faulty`](crate::FaultTarget::multiply_faulty).
+#[derive(Debug)]
+pub struct Injector<'p> {
+    faults: &'p [Fault],
+    /// Bit `i` set ⇔ fault `i` is active this operation.
+    active: u64,
+    /// Whether any applied fault actually changed a value this operation.
+    disturbed: bool,
+}
+
+impl<'p> Injector<'p> {
+    /// Rolls activation for one operation. Stuck-at faults are always
+    /// active; each transient fault is active with its own probability,
+    /// consuming exactly one draw from `rng` per transient fault.
+    pub fn new(faults: &'p [Fault], rng: &mut SplitMix64) -> Self {
+        let mut active = 0u64;
+        for (i, fault) in faults.iter().enumerate().take(64) {
+            let on = match fault.kind {
+                FaultKind::StuckAt(_) => true,
+                FaultKind::Transient { probability } => rng.chance(probability),
+            };
+            if on {
+                active |= 1 << i;
+            }
+        }
+        Injector {
+            faults,
+            active,
+            disturbed: false,
+        }
+    }
+
+    /// An injector that never corrupts anything (for fault-free reference
+    /// runs through the same code path).
+    pub fn inert() -> Self {
+        Injector {
+            faults: &[],
+            active: 0,
+            disturbed: false,
+        }
+    }
+
+    /// Whether at least one fault is active this operation.
+    pub fn any_active(&self) -> bool {
+        self.active != 0
+    }
+
+    /// Whether an applied fault has actually changed a value so far this
+    /// operation (a stuck-at forcing a bit to its existing value does not
+    /// count).
+    pub fn disturbed(&self) -> bool {
+        self.disturbed
+    }
+
+    /// Passes a `bits`-wide architectural value of class `class`
+    /// (attached to `operand` if per-operand) through the active faults
+    /// and returns the possibly corrupted value, masked to `bits`.
+    ///
+    /// Faults whose site class or operand does not match, or whose bit
+    /// index is outside `bits`, leave the value untouched — sites that do
+    /// not exist in a narrower design are inert rather than erroneous.
+    pub fn apply(
+        &mut self,
+        class: SiteClass,
+        operand: Option<Operand>,
+        value: u64,
+        bits: u32,
+    ) -> u64 {
+        let mask = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
+        let mut value = value & mask;
+        if self.active == 0 {
+            return value;
+        }
+        for (i, fault) in self.faults.iter().enumerate() {
+            if self.active & (1 << i) == 0 {
+                continue;
+            }
+            let site = fault.site;
+            if site.class() != class || site.operand() != operand || site.bit() >= bits {
+                continue;
+            }
+            let bit = 1u64 << site.bit();
+            let corrupted = match fault.kind {
+                FaultKind::Transient { .. } => value ^ bit,
+                FaultKind::StuckAt(true) => value | bit,
+                FaultKind::StuckAt(false) => value & !bit,
+            };
+            if corrupted != value {
+                self.disturbed = true;
+                value = corrupted;
+            }
+        }
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Fault;
+    use crate::site::FaultSite;
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(7)
+    }
+
+    #[test]
+    fn stuck_at_is_always_active_and_forces_the_bit() {
+        let faults = [Fault::stuck_at(FaultSite::ShiftAmount { bit: 2 }, true)];
+        let mut inj = Injector::new(&faults, &mut rng());
+        assert!(inj.any_active());
+        assert_eq!(inj.apply(SiteClass::ShiftAmount, None, 0b0001, 5), 0b0101);
+        assert!(inj.disturbed());
+        // Forcing an already-set bit is not a disturbance.
+        let mut inj = Injector::new(&faults, &mut rng());
+        assert_eq!(inj.apply(SiteClass::ShiftAmount, None, 0b0100, 5), 0b0100);
+        assert!(!inj.disturbed());
+    }
+
+    #[test]
+    fn mismatched_class_operand_or_bit_is_inert() {
+        let faults = [Fault::stuck_at(
+            FaultSite::Fraction {
+                operand: Operand::A,
+                bit: 9,
+            },
+            true,
+        )];
+        let mut inj = Injector::new(&faults, &mut rng());
+        // Wrong class.
+        assert_eq!(
+            inj.apply(SiteClass::Characteristic, Some(Operand::A), 0, 4),
+            0
+        );
+        // Wrong operand.
+        assert_eq!(inj.apply(SiteClass::Fraction, Some(Operand::B), 0, 15), 0);
+        // Bit outside the value width.
+        assert_eq!(inj.apply(SiteClass::Fraction, Some(Operand::A), 0, 8), 0);
+        assert!(!inj.disturbed());
+        // Matching site within width fires.
+        assert_eq!(
+            inj.apply(SiteClass::Fraction, Some(Operand::A), 0, 15),
+            1 << 9
+        );
+    }
+
+    #[test]
+    fn transient_rate_tracks_probability() {
+        let faults = [Fault::transient(FaultSite::LutFactor { bit: 0 }, 0.25)];
+        let mut rng = SplitMix64::new(99);
+        let mut fired = 0u32;
+        for _ in 0..4000 {
+            let inj = Injector::new(&faults, &mut rng);
+            if inj.any_active() {
+                fired += 1;
+            }
+        }
+        let rate = f64::from(fired) / 4000.0;
+        assert!((rate - 0.25).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn inert_injector_never_disturbs() {
+        let mut inj = Injector::inert();
+        assert!(!inj.any_active());
+        assert_eq!(inj.apply(SiteClass::ProductBit, None, 42, 32), 42);
+        assert!(!inj.disturbed());
+    }
+
+    #[test]
+    fn apply_masks_to_width() {
+        let mut inj = Injector::inert();
+        assert_eq!(
+            inj.apply(SiteClass::Fraction, Some(Operand::A), 0xFF, 4),
+            0xF
+        );
+        assert_eq!(
+            inj.apply(SiteClass::ProductBit, None, u64::MAX, 64),
+            u64::MAX
+        );
+    }
+}

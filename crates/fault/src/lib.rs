@@ -1,0 +1,71 @@
+//! Functional-level fault injection and graceful degradation for
+//! log-based approximate multipliers.
+//!
+//! Gate-level fault simulation (`realm_synth::faults`) answers "what does
+//! a stuck-at on *this gate* do", but is too slow for campaign-scale
+//! studies and only exists for synthesized designs. This crate injects
+//! faults one level up, at the *architectural values* of the REALM
+//! datapath — the leading-one characteristic, the conditioned log
+//! fraction, the stored `(q−2)`-bit error-reduction factor and the
+//! antilog shift amount — where a single-bit fault corresponds to a
+//! class of gate-level faults on the stage that computes the value.
+//!
+//! # Layers
+//!
+//! * [`FaultSite`] / [`SiteClass`] — where faults live (datapath and
+//!   interface-level sites).
+//! * [`Fault`] / [`FaultKind`] / [`FaultPlan`] — transient (per-operation
+//!   probabilistic bit flips) and permanent (stuck-at) faults.
+//! * [`FaultTarget`] — a datapath that can execute under an
+//!   [`Injector`]; implemented natively by [`realm_core::Realm`] and
+//!   generically by [`InterfaceLevel`] for any [`Multiplier`].
+//! * [`FaultyMultiplier`] — runs a target under a plan while exposing
+//!   the ordinary [`Multiplier`] trait, so Monte-Carlo campaigns, JPEG
+//!   and DSP workloads run under injection unchanged.
+//! * [`Guarded`] — graceful degradation: checks every product against
+//!   the log-domain magnitude invariant
+//!   `k_a + k_b ≤ bitlen(p) ≤ k_a + k_b + 2` and falls back to an exact
+//!   multiply on violation, reporting the fallback rate.
+//!
+//! # Example
+//!
+//! ```
+//! use realm_core::{Multiplier, Realm, RealmConfig};
+//! use realm_fault::{Fault, FaultPlan, FaultSite, FaultyMultiplier, Guarded};
+//!
+//! # fn main() -> Result<(), realm_core::ConfigError> {
+//! let realm = Realm::new(RealmConfig::n16(16, 0))?;
+//! // Stuck-at-1 on the MSB of the antilog shift amount.
+//! let plan = FaultPlan::single(Fault::stuck_at(FaultSite::ShiftAmount { bit: 4 }, true));
+//! let faulty = FaultyMultiplier::new(realm, plan, 0xFEED);
+//!
+//! // Undetected, the fault displaces small products by 2^16...
+//! assert!(faulty.multiply(3, 3) > 9 * 1000);
+//!
+//! // ...but the magnitude guard catches it and recomputes exactly.
+//! let guarded = Guarded::new(faulty);
+//! assert_eq!(guarded.multiply(3, 3), 9);
+//! assert_eq!(guarded.fallbacks(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod faulty;
+pub mod guard;
+pub mod inject;
+pub mod plan;
+pub mod site;
+
+pub use faulty::{FaultTarget, FaultyMultiplier, InterfaceLevel};
+pub use guard::{plausible_product, Guarded};
+pub use inject::Injector;
+pub use plan::{Fault, FaultKind, FaultPlan, MAX_FAULTS};
+pub use site::{characteristic_bits, shift_amount_bits, FaultSite, Operand, SiteClass};
+
+// Re-exported so doc examples and downstream code can name the trait the
+// wrappers implement without importing realm-core explicitly.
+pub use realm_core::Multiplier;

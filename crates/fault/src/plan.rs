@@ -1,0 +1,157 @@
+//! Fault descriptions: what goes wrong, where, and how often.
+
+use crate::site::FaultSite;
+use std::fmt;
+
+/// Maximum number of simultaneous faults a [`FaultPlan`] carries.
+///
+/// The activation state of a plan is tracked in a single 64-bit mask per
+/// operation; campaigns study single and few-fault scenarios, so the cap
+/// is far above any realistic plan. [`FaultPlan::new`] silently keeps the
+/// first `MAX_FAULTS` faults of a longer list.
+pub const MAX_FAULTS: usize = 64;
+
+/// How a fault manifests over time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// A transient (soft-error) bit flip: on each operation, with the
+    /// given probability, the site's bit is inverted. Probabilities
+    /// outside `[0, 1]` are clamped.
+    Transient {
+        /// Per-operation activation probability.
+        probability: f64,
+    },
+    /// A permanent stuck-at fault: on every operation the site's bit is
+    /// forced to the given value.
+    StuckAt(bool),
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Transient { probability } => write!(f, "transient(p={probability})"),
+            FaultKind::StuckAt(v) => write!(f, "stuck-at-{}", u8::from(*v)),
+        }
+    }
+}
+
+/// One fault: a [`FaultSite`] plus its temporal behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fault {
+    /// Where in the datapath the fault sits.
+    pub site: FaultSite,
+    /// How the fault manifests.
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    /// A permanent stuck-at fault at `site`.
+    pub fn stuck_at(site: FaultSite, value: bool) -> Self {
+        Fault {
+            site,
+            kind: FaultKind::StuckAt(value),
+        }
+    }
+
+    /// A transient bit-flip fault at `site` firing with `probability`
+    /// per operation.
+    pub fn transient(site: FaultSite, probability: f64) -> Self {
+        Fault {
+            site,
+            kind: FaultKind::Transient { probability },
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.kind, self.site)
+    }
+}
+
+/// An immutable set of faults injected together into one multiplier.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Builds a plan from a fault list, keeping at most
+    /// [`MAX_FAULTS`] entries.
+    pub fn new(mut faults: Vec<Fault>) -> Self {
+        faults.truncate(MAX_FAULTS);
+        FaultPlan { faults }
+    }
+
+    /// A plan holding a single fault.
+    pub fn single(fault: Fault) -> Self {
+        FaultPlan {
+            faults: vec![fault],
+        }
+    }
+
+    /// A plan with no faults (the injected design behaves nominally).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// The faults in this plan.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Number of faults in the plan.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.faults.is_empty() {
+            return f.write_str("no faults");
+        }
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{fault}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::{FaultSite, Operand};
+
+    #[test]
+    fn plan_caps_at_max_faults() {
+        let fault = Fault::stuck_at(FaultSite::ShiftAmount { bit: 0 }, true);
+        let plan = FaultPlan::new(vec![fault; MAX_FAULTS + 10]);
+        assert_eq!(plan.len(), MAX_FAULTS);
+    }
+
+    #[test]
+    fn display_names_kind_and_site() {
+        let fault = Fault::stuck_at(
+            FaultSite::Characteristic {
+                operand: Operand::A,
+                bit: 2,
+            },
+            true,
+        );
+        assert_eq!(fault.to_string(), "stuck-at-1 characteristic[a][2]");
+        assert_eq!(FaultPlan::none().to_string(), "no faults");
+        assert_eq!(
+            FaultPlan::single(fault).to_string(),
+            "stuck-at-1 characteristic[a][2]"
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! The taxonomy of functional fault sites in a log-based multiplier
+//! datapath.
+//!
+//! A *site* names one bit of one architectural value inside the datapath
+//! (paper Fig. 3), not a gate: the leading-one characteristic `k`, the
+//! truncated log-fraction, the stored `(q−2)`-bit error-reduction factor
+//! `s_ij`, and the antilog shift amount `k_a + k_b`. Two interface-level
+//! site kinds (operand and product register bits) cover designs whose
+//! internals this crate does not model.
+
+use std::fmt;
+
+/// Which operand a per-operand site belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// The first operand (`a`).
+    A,
+    /// The second operand (`b`).
+    B,
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::A => write!(f, "a"),
+            Operand::B => write!(f, "b"),
+        }
+    }
+}
+
+/// The architectural value class a fault site lives in, ignoring the bit
+/// index and operand — the granularity at which campaigns aggregate and
+/// at which the functional/gate-level cross-validation compares results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SiteClass {
+    /// The leading-one characteristic `k` out of the LOD.
+    Characteristic,
+    /// The truncated, LSB-set log fraction.
+    Fraction,
+    /// The stored `(q−2)`-bit error-reduction factor `s_ij`.
+    LutFactor,
+    /// The antilog barrel-shifter amount (`k_a + k_b`).
+    ShiftAmount,
+    /// An operand input register bit (interface level).
+    OperandBit,
+    /// A product output register bit (interface level).
+    ProductBit,
+}
+
+impl SiteClass {
+    /// All classes, in display order.
+    pub const ALL: [SiteClass; 6] = [
+        SiteClass::Characteristic,
+        SiteClass::Fraction,
+        SiteClass::LutFactor,
+        SiteClass::ShiftAmount,
+        SiteClass::OperandBit,
+        SiteClass::ProductBit,
+    ];
+
+    /// Short stable label used in campaign reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SiteClass::Characteristic => "characteristic",
+            SiteClass::Fraction => "fraction",
+            SiteClass::LutFactor => "lut-factor",
+            SiteClass::ShiftAmount => "shift-amount",
+            SiteClass::OperandBit => "operand",
+            SiteClass::ProductBit => "product",
+        }
+    }
+}
+
+impl fmt::Display for SiteClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One functional fault site: a bit of one architectural value.
+///
+/// `bit` is the zero-based index within the value, LSB first. A site
+/// whose bit index exceeds the width of the value in a given design
+/// simply never matches (the injector leaves the value untouched), so
+/// plans are portable across widths; use
+/// [`FaultTarget::fault_sites`](crate::FaultTarget::fault_sites) to
+/// enumerate the sites that actually exist in a design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Bit `bit` of operand `operand`'s characteristic `k`.
+    Characteristic {
+        /// Operand the site belongs to.
+        operand: Operand,
+        /// Bit index, LSB first.
+        bit: u32,
+    },
+    /// Bit `bit` of operand `operand`'s truncated fraction.
+    Fraction {
+        /// Operand the site belongs to.
+        operand: Operand,
+        /// Bit index, LSB first.
+        bit: u32,
+    },
+    /// Bit `bit` of the `(q−2)`-bit stored LUT factor read out per
+    /// operation.
+    LutFactor {
+        /// Bit index, LSB first.
+        bit: u32,
+    },
+    /// Bit `bit` of the antilog shift amount `k_a + k_b`.
+    ShiftAmount {
+        /// Bit index, LSB first.
+        bit: u32,
+    },
+    /// Bit `bit` of operand `operand`'s input register (interface level).
+    OperandBit {
+        /// Operand the site belongs to.
+        operand: Operand,
+        /// Bit index, LSB first.
+        bit: u32,
+    },
+    /// Bit `bit` of the `2N`-bit product register (interface level).
+    ProductBit {
+        /// Bit index, LSB first.
+        bit: u32,
+    },
+}
+
+impl FaultSite {
+    /// The class this site aggregates under.
+    pub fn class(&self) -> SiteClass {
+        match self {
+            FaultSite::Characteristic { .. } => SiteClass::Characteristic,
+            FaultSite::Fraction { .. } => SiteClass::Fraction,
+            FaultSite::LutFactor { .. } => SiteClass::LutFactor,
+            FaultSite::ShiftAmount { .. } => SiteClass::ShiftAmount,
+            FaultSite::OperandBit { .. } => SiteClass::OperandBit,
+            FaultSite::ProductBit { .. } => SiteClass::ProductBit,
+        }
+    }
+
+    /// The operand the site is attached to, if it is per-operand.
+    pub fn operand(&self) -> Option<Operand> {
+        match self {
+            FaultSite::Characteristic { operand, .. }
+            | FaultSite::Fraction { operand, .. }
+            | FaultSite::OperandBit { operand, .. } => Some(*operand),
+            _ => None,
+        }
+    }
+
+    /// The bit index within the value.
+    pub fn bit(&self) -> u32 {
+        match *self {
+            FaultSite::Characteristic { bit, .. }
+            | FaultSite::Fraction { bit, .. }
+            | FaultSite::LutFactor { bit }
+            | FaultSite::ShiftAmount { bit }
+            | FaultSite::OperandBit { bit, .. }
+            | FaultSite::ProductBit { bit } => bit,
+        }
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.operand() {
+            Some(op) => write!(f, "{}[{}][{}]", self.class(), op, self.bit()),
+            None => write!(f, "{}[{}]", self.class(), self.bit()),
+        }
+    }
+}
+
+/// Number of bits in the characteristic register of an `N`-bit design
+/// (`k ∈ 0..N`, so `⌈log2 N⌉` bits).
+pub fn characteristic_bits(width: u32) -> u32 {
+    if width <= 1 {
+        1
+    } else {
+        (width - 1).ilog2() + 1
+    }
+}
+
+/// Number of bits in the antilog shift-amount register
+/// (`k_a + k_b ∈ 0..=2(N−1)`).
+pub fn shift_amount_bits(width: u32) -> u32 {
+    if width <= 1 {
+        1
+    } else {
+        (2 * (width - 1)).ilog2() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_and_bit_roundtrip() {
+        let s = FaultSite::Characteristic {
+            operand: Operand::A,
+            bit: 3,
+        };
+        assert_eq!(s.class(), SiteClass::Characteristic);
+        assert_eq!(s.operand(), Some(Operand::A));
+        assert_eq!(s.bit(), 3);
+        let p = FaultSite::ProductBit { bit: 17 };
+        assert_eq!(p.class(), SiteClass::ProductBit);
+        assert_eq!(p.operand(), None);
+        assert_eq!(p.bit(), 17);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let s = FaultSite::Fraction {
+            operand: Operand::B,
+            bit: 2,
+        };
+        assert_eq!(s.to_string(), "fraction[b][2]");
+        assert_eq!(
+            FaultSite::ShiftAmount { bit: 0 }.to_string(),
+            "shift-amount[0]"
+        );
+    }
+
+    #[test]
+    fn register_widths_match_paper_design() {
+        // N = 16: k in 0..=15 → 4 bits; k_a + k_b in 0..=30 → 5 bits.
+        assert_eq!(characteristic_bits(16), 4);
+        assert_eq!(shift_amount_bits(16), 5);
+        // N = 8: k in 0..=7 → 3 bits; sums to 14 → 4 bits.
+        assert_eq!(characteristic_bits(8), 3);
+        assert_eq!(shift_amount_bits(8), 4);
+    }
+}

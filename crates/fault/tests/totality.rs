@@ -1,0 +1,257 @@
+//! Totality property suite: no public datapath entry point may panic.
+//!
+//! The robustness contract of the workspace is that `multiply`, `divide`
+//! and the fault-injection wrappers are **total** over their documented
+//! input domains — and, for the REALM models, over all of `u64` (operands
+//! are masked to the port width, as the hardware's input pins would).
+//! These tests sweep corners, saturating extremes and deterministic
+//! pseudo-random stimulus through every design family and every fault
+//! site, asserting only that execution completes and the results respect
+//! the `2N`-bit product bound.
+
+use realm_baselines::{
+    Alm, AlmAdder, Am, AmRecovery, Calm, Drum, Essm8, ImpLm, IntAlp, Kulkarni, Mbm, Ssm,
+};
+use realm_core::configurable::{AccuracyMode, ConfigurableRealm};
+use realm_core::divider::{MitchellDivider, RealmDivider};
+use realm_core::multiplier::MultiplierExt;
+use realm_core::rng::SplitMix64;
+use realm_core::{Accurate, Multiplier, Realm, RealmConfig};
+use realm_fault::{
+    Fault, FaultPlan, FaultSite, FaultTarget, FaultyMultiplier, Guarded, InterfaceLevel,
+};
+
+/// Corner operands worth hitting at every width; values beyond the width
+/// exercise the masking path of the REALM models.
+const EXTREMES: [u64; 8] = [
+    0,
+    1,
+    2,
+    3,
+    u64::MAX,
+    u64::MAX - 1,
+    1 << 63,
+    0x5555_5555_5555_5555,
+];
+
+fn product_bound(width: u32) -> u64 {
+    if width >= 32 {
+        u64::MAX
+    } else {
+        (1u64 << (2 * width)) - 1
+    }
+}
+
+/// Drives a multiplier with corners plus a pseudo-random sweep, either
+/// over all of `u64` (`full_domain`) or masked to the operand width.
+/// `zero_invariant` additionally asserts the zero-operand short-circuit —
+/// off for faulty wrappers, whose product register may be stuck nonzero.
+fn exercise(m: &dyn Multiplier, full_domain: bool, zero_invariant: bool, sweeps: u32, seed: u64) {
+    let max = m.max_operand();
+    let bound = product_bound(m.width());
+    let check = |a: u64, b: u64| {
+        let p = m.multiply(a, b);
+        assert!(
+            p <= bound,
+            "{}: multiply({a}, {b}) = {p} exceeds 2N bits",
+            m.name()
+        );
+        if zero_invariant && (a == 0 || b == 0) {
+            assert_eq!(p, 0, "{}: zero operand gave {p}", m.name());
+        }
+        let e = m.relative_error_total(a, b);
+        assert!(
+            e.is_finite(),
+            "{}: non-finite error at ({a}, {b})",
+            m.name()
+        );
+    };
+    for &a in &EXTREMES {
+        for &b in &EXTREMES {
+            if full_domain {
+                check(a, b);
+            } else {
+                check(a & max, b & max);
+            }
+        }
+    }
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..sweeps {
+        let (mut a, mut b) = (rng.next_u64(), rng.next_u64());
+        if !full_domain {
+            a &= max;
+            b &= max;
+        }
+        check(a, b);
+    }
+}
+
+#[test]
+fn realm_is_total_over_all_of_u64() {
+    // Every valid corner of the (N, M, t) design space, including the
+    // narrowest and widest supported operand widths.
+    let configs = [
+        RealmConfig::new(4, 4, 0, 6),
+        RealmConfig::new(8, 8, 1, 6),
+        RealmConfig::n16(16, 0),
+        RealmConfig::n16(4, 9),
+        RealmConfig::new(24, 16, 4, 6),
+        RealmConfig::new(32, 16, 0, 6),
+    ];
+    for cfg in configs {
+        let realm = Realm::new(cfg).expect("valid design point");
+        exercise(&realm, true, true, 400, 0xDEAD_BEEF ^ cfg.width as u64);
+    }
+}
+
+#[test]
+fn configurable_realm_is_total_in_every_mode() {
+    let design = ConfigurableRealm::new(16, 0).expect("valid configuration");
+    for mode in AccuracyMode::ALL {
+        let pinned = design.clone().with_mode(mode);
+        exercise(
+            &pinned,
+            true,
+            true,
+            300,
+            0xC0FF_EE00 ^ mode.encoding() as u64,
+        );
+    }
+}
+
+#[test]
+fn baselines_are_total_in_domain() {
+    let designs: Vec<Box<dyn Multiplier>> = vec![
+        Box::new(Accurate::new(16)),
+        Box::new(Calm::new(16)),
+        Box::new(ImpLm::new(16)),
+        Box::new(Mbm::new(16, 4).expect("valid")),
+        Box::new(Alm::new(16, AlmAdder::Maa, 9)),
+        Box::new(Alm::new(16, AlmAdder::Soa, 3)),
+        Box::new(IntAlp::new(16, 2).expect("valid")),
+        Box::new(Am::new(16, AmRecovery::Or, 13).expect("valid")),
+        Box::new(Am::new(16, AmRecovery::Sum, 5).expect("valid")),
+        Box::new(Drum::new(16, 6).expect("valid")),
+        Box::new(Ssm::new(16, 8).expect("valid")),
+        Box::new(Essm8::new()),
+        Box::new(Kulkarni::new(16).expect("valid")),
+    ];
+    for design in &designs {
+        exercise(design.as_ref(), false, true, 300, 0xBA5E_11E5);
+    }
+}
+
+#[test]
+fn dividers_are_total_including_division_by_zero() {
+    let realm_div = RealmDivider::new(16, 8, 0).expect("valid configuration");
+    let mitchell = MitchellDivider::new(16);
+    let max = (1u64 << 16) - 1;
+    let mut rng = SplitMix64::new(0xD1B1_0F00);
+    let check = |a: u64, b: u64| {
+        let q1 = realm_div.divide(a, b);
+        let q2 = mitchell.divide(a, b);
+        assert!(
+            q1 <= max && q2 <= max,
+            "quotient out of range for ({a}, {b})"
+        );
+        if b == 0 {
+            assert_eq!(q1, max, "division by zero must saturate");
+            assert_eq!(q2, max, "division by zero must saturate");
+        }
+        if a == 0 && b != 0 {
+            assert_eq!(q1, 0);
+            assert_eq!(q2, 0);
+        }
+    };
+    for a in [0u64, 1, 2, max - 1, max] {
+        for b in [0u64, 1, 2, max - 1, max] {
+            check(a, b);
+        }
+    }
+    for _ in 0..500 {
+        check(rng.next_u64() & max, rng.next_u64() & max);
+    }
+}
+
+/// Every fault site of a design, under stuck-at-0, stuck-at-1 and a noisy
+/// transient, must leave `multiply` total.
+fn exercise_all_sites<M: FaultTarget + Clone>(design: M, sweeps: u32) {
+    let sites: Vec<FaultSite> = design.fault_sites();
+    assert!(!sites.is_empty(), "design exposes no fault sites");
+    for (i, &site) in sites.iter().enumerate() {
+        for fault in [
+            Fault::stuck_at(site, false),
+            Fault::stuck_at(site, true),
+            Fault::transient(site, 0.5),
+        ] {
+            let faulty =
+                FaultyMultiplier::new(design.clone(), FaultPlan::single(fault), 77 + i as u64);
+            exercise(&faulty, true, false, sweeps, 0xFA17 ^ i as u64);
+            let guarded = Guarded::new(FaultyMultiplier::new(
+                design.clone(),
+                FaultPlan::single(fault),
+                77 + i as u64,
+            ));
+            exercise(&guarded, true, false, sweeps, 0x6A2D ^ i as u64);
+        }
+    }
+}
+
+#[test]
+fn fault_injection_is_total_across_every_site_realm16() {
+    exercise_all_sites(
+        Realm::new(RealmConfig::n16(16, 0)).expect("paper design point"),
+        24,
+    );
+}
+
+#[test]
+fn fault_injection_is_total_across_every_site_realm8_8bit() {
+    exercise_all_sites(
+        Realm::new(RealmConfig::new(8, 8, 0, 6)).expect("valid design point"),
+        24,
+    );
+}
+
+#[test]
+fn fault_injection_is_total_at_the_interface_level() {
+    exercise_all_sites(
+        InterfaceLevel::new(Realm::new(RealmConfig::n16(8, 2)).expect("valid design point")),
+        12,
+    );
+}
+
+#[test]
+fn cross_width_plans_are_inert_not_panicking() {
+    // A plan authored for a 16-bit design applied to an 8-bit one: sites
+    // beyond the narrower datapath must be silently inert.
+    let wide_sites = Realm::new(RealmConfig::n16(16, 0))
+        .expect("paper design point")
+        .fault_sites();
+    let narrow = Realm::new(RealmConfig::new(8, 8, 0, 6)).expect("valid design point");
+    let plan = FaultPlan::new(
+        wide_sites
+            .iter()
+            .map(|&s| Fault::stuck_at(s, true))
+            .collect(),
+    );
+    let faulty = FaultyMultiplier::new(narrow, plan, 5);
+    exercise(&faulty, true, false, 200, 0x17E6);
+}
+
+#[test]
+fn relative_error_total_is_finite_and_scores_zero_inputs() {
+    let realm = Realm::new(RealmConfig::n16(16, 0)).expect("paper design point");
+    assert_eq!(realm.relative_error_total(0, 123), 0.0);
+    assert_eq!(realm.relative_error_total(123, 0), 0.0);
+    assert_eq!(realm.relative_error_total(0, 0), 0.0);
+    // A fault that fabricates a nonzero product from a zero operand is
+    // scored as one full unit, not skipped.
+    let plan = FaultPlan::single(Fault::stuck_at(FaultSite::ProductBit { bit: 3 }, true));
+    let faulty = FaultyMultiplier::new(
+        InterfaceLevel::new(Realm::new(RealmConfig::n16(16, 0)).expect("paper design point")),
+        plan,
+        9,
+    );
+    assert_eq!(faulty.relative_error_total(0, 500), 1.0);
+}

@@ -1,8 +1,11 @@
-//! Property-based tests of the JPEG substrate: DCT algebra, quantizer
+//! Property-style tests of the JPEG substrate: DCT algebra, quantizer
 //! symmetry, zig-zag bijectivity, PSNR axioms and color-conversion
 //! invariants.
+//!
+//! Deterministic randomized cases from [`realm_core::rng::SplitMix64`];
+//! no external property-testing dependency.
 
-use proptest::prelude::*;
+use realm_core::rng::SplitMix64;
 use realm_core::Accurate;
 use realm_jpeg::color::{rgb_to_ycbcr, subsample_420, upsample_420, ycbcr_to_rgb, RgbImage};
 use realm_jpeg::image::Image;
@@ -11,30 +14,43 @@ use realm_jpeg::quant::{quantize, scaled_table};
 use realm_jpeg::zigzag::{estimate_bits, scan, zigzag_order};
 use realm_jpeg::{dct, JpegCodec};
 
-fn arb_block() -> impl Strategy<Value = [[i32; 8]; 8]> {
-    prop::collection::vec(-128i32..=127, 64)
-        .prop_map(|v| std::array::from_fn(|r| std::array::from_fn(|c| v[r * 8 + c])))
+const CASES: u64 = 48;
+
+fn rng(salt: u64) -> SplitMix64 {
+    SplitMix64::new(0x1BE6 ^ salt)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn arb_block(rng: &mut SplitMix64) -> [[i32; 8]; 8] {
+    std::array::from_fn(|_| std::array::from_fn(|_| rng.range_inclusive(0, 255) as i32 - 128))
+}
 
-    #[test]
-    fn dct_roundtrip_bounded_error(block in arb_block()) {
-        let m = Accurate::new(16);
+#[test]
+fn dct_roundtrip_bounded_error() {
+    let mut rng = rng(1);
+    let m = Accurate::new(16);
+    for _ in 0..CASES {
+        let block = arb_block(&mut rng);
         let rec = dct::inverse(&m, &dct::forward(&m, &block));
         for r in 0..8 {
             for c in 0..8 {
-                prop_assert!((rec[r][c] - block[r][c]).abs() <= 3,
-                    "({r},{c}): {} vs {}", rec[r][c], block[r][c]);
+                assert!(
+                    (rec[r][c] - block[r][c]).abs() <= 3,
+                    "({r},{c}): {} vs {}",
+                    rec[r][c],
+                    block[r][c]
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn dct_is_linear_in_scaling_by_two(block in arb_block()) {
-        // Doubling a (half-range) block ~doubles every coefficient.
-        let m = Accurate::new(16);
+#[test]
+fn dct_is_linear_in_scaling_by_two() {
+    let mut rng = rng(2);
+    // Doubling a (half-range) block ~doubles every coefficient.
+    let m = Accurate::new(16);
+    for _ in 0..CASES {
+        let block = arb_block(&mut rng);
         let halved: [[i32; 8]; 8] =
             std::array::from_fn(|r| std::array::from_fn(|c| block[r][c] / 2));
         let doubled: [[i32; 8]; 8] =
@@ -43,85 +59,126 @@ proptest! {
         let cd = dct::forward(&m, &doubled);
         for u in 0..8 {
             for v in 0..8 {
-                prop_assert!((cd[u][v] - 2 * ch[u][v]).abs() <= 3,
-                    "({u},{v}): {} vs 2*{}", cd[u][v], ch[u][v]);
+                assert!(
+                    (cd[u][v] - 2 * ch[u][v]).abs() <= 3,
+                    "({u},{v}): {} vs 2*{}",
+                    cd[u][v],
+                    ch[u][v]
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn quantize_is_odd_and_contractive(coef in -2048i32..=2048, qsel in 0usize..8) {
+#[test]
+fn quantize_is_odd_and_contractive() {
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let coef = rng.range_inclusive(0, 4096) as i32 - 2048;
+        let qsel = rng.index(8);
         let q = scaled_table(50)[qsel][7 - qsel];
-        prop_assert_eq!(quantize(-coef, q), -quantize(coef, q));
+        assert_eq!(quantize(-coef, q), -quantize(coef, q));
         let back = quantize(coef, q) * q;
-        prop_assert!((back - coef).abs() <= q / 2 + 1, "coef {} q {} back {}", coef, q, back);
+        assert!(
+            (back - coef).abs() <= q / 2 + 1,
+            "coef {coef} q {q} back {back}"
+        );
     }
+}
 
-    #[test]
-    fn zigzag_scan_is_a_bijection(block in arb_block()) {
-        let order = zigzag_order();
+#[test]
+fn zigzag_scan_is_a_bijection() {
+    let mut rng = rng(4);
+    let order = zigzag_order();
+    for _ in 0..CASES {
+        let block = arb_block(&mut rng);
         let scanned = scan(&block);
         // Invert and compare.
         let mut back = [[0i32; 8]; 8];
         for (i, &(r, c)) in order.iter().enumerate() {
             back[r][c] = scanned[i];
         }
-        prop_assert_eq!(back, block);
+        assert_eq!(back, block);
     }
+}
 
-    #[test]
-    fn estimate_bits_monotone_in_sparsity(block in arb_block(), kill in 1usize..60) {
+#[test]
+fn estimate_bits_monotone_in_sparsity() {
+    let mut rng = rng(5);
+    for _ in 0..CASES {
+        let block = arb_block(&mut rng);
+        let kill = rng.range_inclusive(1, 59) as usize;
         let full = scan(&block);
         let mut sparse = full;
         for v in sparse.iter_mut().rev().take(kill) {
             *v = 0;
         }
-        prop_assert!(estimate_bits(&sparse) <= estimate_bits(&full));
+        assert!(estimate_bits(&sparse) <= estimate_bits(&full));
     }
+}
 
-    #[test]
-    fn psnr_is_symmetric_in_mse_and_detects_identity(seed in 0u64..1000) {
-        let a = Image::from_fn(16, 16, |x, y| ((x * 31 + y * 17 + seed as usize) % 256) as u8);
-        prop_assert_eq!(psnr(&a, &a), f64::INFINITY);
+#[test]
+fn psnr_is_symmetric_in_mse_and_detects_identity() {
+    let mut rng = rng(6);
+    for _ in 0..CASES {
+        let seed = rng.below(1000);
+        let a = Image::from_fn(16, 16, |x, y| {
+            ((x * 31 + y * 17 + seed as usize) % 256) as u8
+        });
+        assert_eq!(psnr(&a, &a), f64::INFINITY);
         let b = Image::from_fn(16, 16, |x, y| a.get(x, y).wrapping_add(3));
         let p1 = psnr(&a, &b);
         let p2 = psnr(&b, &a);
-        prop_assert!((p1 - p2).abs() < 1e-12);
+        assert!((p1 - p2).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn codec_output_always_in_range(seed in 0u64..500) {
+#[test]
+fn codec_output_always_in_range() {
+    let mut rng = rng(7);
+    let codec = JpegCodec::quality50(Accurate::new(16));
+    for _ in 0..CASES {
+        let seed = rng.below(500);
         let img = Image::from_fn(24, 16, |x, y| {
             ((x * 7 + y * 13).wrapping_mul(seed as usize + 1) % 256) as u8
         });
-        let codec = JpegCodec::quality50(Accurate::new(16));
         let out = codec.roundtrip(&img);
-        prop_assert_eq!((out.width(), out.height()), (24, 16));
+        assert_eq!((out.width(), out.height()), (24, 16));
         // u8 storage makes range implicit; check the codec improves
         // nothing to the point of identity for nontrivial content.
         let p = psnr(&img, &out);
-        prop_assert!(p > 10.0, "degenerate PSNR {}", p);
+        assert!(p > 10.0, "degenerate PSNR {p}");
     }
+}
 
-    #[test]
-    fn grey_rgb_roundtrips_through_ycbcr(v in 0u8..=255) {
-        let m = Accurate::new(16);
+#[test]
+fn grey_rgb_roundtrips_through_ycbcr() {
+    let mut rng = rng(8);
+    let m = Accurate::new(16);
+    for _ in 0..CASES {
+        let v = rng.below(256) as u8;
         let rgb = RgbImage::from_fn(8, 8, |_, _| [v, v, v]);
         let (y, cb, cr) = rgb_to_ycbcr(&m, &rgb);
         let back = ycbcr_to_rgb(&m, &y, &cb, &cr);
         for c in back.get(3, 3) {
-            prop_assert!((c as i32 - v as i32).abs() <= 2, "{} vs {}", c, v);
+            assert!((c as i32 - v as i32).abs() <= 2, "{c} vs {v}");
         }
     }
+}
 
-    #[test]
-    fn subsample_preserves_flat_planes(v in 0u8..=255, w in 2usize..20, h in 2usize..20) {
+#[test]
+fn subsample_preserves_flat_planes() {
+    let mut rng = rng(9);
+    for _ in 0..CASES {
+        let v = rng.below(256) as u8;
+        let w = rng.range_inclusive(2, 19) as usize;
+        let h = rng.range_inclusive(2, 19) as usize;
         let plane = Image::from_fn(w, h, |_, _| v);
         let small = subsample_420(&plane);
         let big = upsample_420(&small, w, h);
         for y in 0..h {
             for x in 0..w {
-                prop_assert_eq!(big.get(x, y), v);
+                assert_eq!(big.get(x, y), v);
             }
         }
     }

@@ -8,9 +8,8 @@
 //! intervals). For designs without that property (e.g. SSM's static
 //! segmentation) the breakdown exposes exactly where the error lives.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use realm_core::multiplier::MultiplierExt;
+use realm_core::rng::SplitMix64;
 use realm_core::Multiplier;
 
 use crate::summary::{ErrorAccumulator, ErrorSummary};
@@ -35,12 +34,12 @@ pub fn characterize_by_interval(
     seed: u64,
 ) -> Vec<IntervalCell> {
     let width = design.width() as usize;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let max = design.max_operand();
     let mut cells = vec![ErrorAccumulator::new(); width * width];
     for _ in 0..samples {
-        let a = rng.gen_range(1..=max);
-        let b = rng.gen_range(1..=max);
+        let a = rng.range_inclusive(1, max);
+        let b = rng.range_inclusive(1, max);
         if let Some(e) = design.relative_error(a, b) {
             let ka = a.ilog2() as usize;
             let kb = b.ilog2() as usize;

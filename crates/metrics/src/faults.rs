@@ -1,0 +1,391 @@
+//! Fault-injection campaigns: per-site corruption/detection statistics
+//! and error-degradation metrics over the functional fault model of
+//! `realm-fault`.
+//!
+//! A campaign drives one [`FaultTarget`] design through uniform random
+//! operand pairs three ways per sample — fault-free, faulty, and faulty
+//! behind the [`Guarded`](realm_fault::Guarded) invariant — and reports,
+//! per fault site:
+//!
+//! * how often the fault disturbed an architectural value and how often
+//!   that corrupted the product,
+//! * how often the log-domain magnitude guard caught the corruption,
+//! * NMED and mean-relative-error degradation relative to the fault-free
+//!   design, and the residual NMED behind the guard.
+
+use crate::nmed::DistanceSummary;
+use realm_core::multiplier::MultiplierExt;
+use realm_core::rng::SplitMix64;
+use realm_fault::{plausible_product, Fault, FaultSite, FaultTarget, Injector, SiteClass};
+use std::fmt;
+
+/// A fault-injection campaign configuration: how many operand pairs to
+/// draw and the random seed shared by operand sampling and transient
+/// activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultCampaign {
+    samples: u64,
+    seed: u64,
+}
+
+/// Campaign statistics for one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiteReport {
+    /// The injected fault.
+    pub fault: Fault,
+    /// Operand pairs characterized.
+    pub samples: u64,
+    /// Fraction of operations in which the fault changed an
+    /// architectural value (for stuck-ats, the activation profile of the
+    /// site; for transients, ≈ the flip probability).
+    pub disturbance_rate: f64,
+    /// Fraction of operations whose product differed from the fault-free
+    /// product — directly comparable to the gate-level
+    /// `detection_rate` of `realm_synth::faults`.
+    pub corruption_rate: f64,
+    /// Fraction of *corrupted* operations the magnitude guard flagged
+    /// (1.0 when nothing was corrupted: a silent fault has no undetected
+    /// corruption).
+    pub detection_rate: f64,
+    /// Fraction of all operations the guard recomputed exactly.
+    pub fallback_rate: f64,
+    /// NMED of the fault-free design (campaign baseline).
+    pub nmed_clean: f64,
+    /// NMED of the faulty design.
+    pub nmed_faulty: f64,
+    /// NMED of the faulty design behind the guard.
+    pub nmed_guarded: f64,
+    /// Mean |relative error| of the faulty design (zero-product pairs
+    /// skipped), comparable to the gate-level `mean_relative_error`.
+    pub mre_faulty: f64,
+}
+
+impl SiteReport {
+    /// NMED degradation attributable to the fault.
+    pub fn nmed_degradation(&self) -> f64 {
+        self.nmed_faulty - self.nmed_clean
+    }
+
+    /// NMED degradation that remains once the guard is in place.
+    pub fn guarded_degradation(&self) -> f64 {
+        self.nmed_guarded - self.nmed_clean
+    }
+}
+
+impl fmt::Display for SiteReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<28} corrupt={:6.2}% detect={:6.2}% nmed {:.2e}→{:.2e} (guarded {:.2e})",
+            self.fault.to_string(),
+            self.corruption_rate * 100.0,
+            self.detection_rate * 100.0,
+            self.nmed_clean,
+            self.nmed_faulty,
+            self.nmed_guarded,
+        )
+    }
+}
+
+/// Per-class aggregation of [`SiteReport`]s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassSummary {
+    /// The aggregated site class.
+    pub class: SiteClass,
+    /// Number of site reports aggregated.
+    pub sites: usize,
+    /// Mean corruption rate across the class's sites.
+    pub corruption_rate: f64,
+    /// Mean guard detection rate across the class's sites.
+    pub detection_rate: f64,
+    /// Mean NMED degradation across the class's sites.
+    pub nmed_degradation: f64,
+    /// Worst NMED degradation across the class's sites.
+    pub worst_degradation: f64,
+    /// Mean faulty MRE across the class's sites.
+    pub mre: f64,
+}
+
+impl fmt::Display for ClassSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} sites={:<3} corrupt={:6.2}% detect={:6.2}% ΔNMED mean={:.2e} worst={:.2e} MRE={:.3}",
+            self.class.to_string(),
+            self.sites,
+            self.corruption_rate * 100.0,
+            self.detection_rate * 100.0,
+            self.nmed_degradation,
+            self.worst_degradation,
+            self.mre,
+        )
+    }
+}
+
+/// One point of a transient-fault degradation curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientPoint {
+    /// Per-operation flip probability injected.
+    pub probability: f64,
+    /// The campaign statistics at that probability.
+    pub report: SiteReport,
+}
+
+impl FaultCampaign {
+    /// A campaign drawing `samples` uniform operand pairs with the given
+    /// seed. `samples` is clamped up to 1 so campaigns are total.
+    pub fn new(samples: u64, seed: u64) -> Self {
+        FaultCampaign {
+            samples: samples.max(1),
+            seed,
+        }
+    }
+
+    /// Characterizes a single fault on a design.
+    pub fn characterize(&self, design: &dyn FaultTarget, fault: Fault) -> SiteReport {
+        let max = design.max_operand();
+        let width = design.width();
+        let norm = max as f64 * max as f64;
+        let faults = [fault];
+        let mut rng = SplitMix64::new(self.seed);
+
+        let mut disturbed = 0u64;
+        let mut corrupted = 0u64;
+        let mut detected = 0u64;
+        let mut fallbacks = 0u64;
+        let mut sum_clean = 0.0f64;
+        let mut sum_faulty = 0.0f64;
+        let mut sum_guarded = 0.0f64;
+        let mut sum_mre = 0.0f64;
+        let mut mre_samples = 0u64;
+
+        for _ in 0..self.samples {
+            let a = rng.range_inclusive(0, max);
+            let b = rng.range_inclusive(0, max);
+            let exact = (a as u128 * b as u128) as f64;
+
+            let clean = design.multiply(a, b);
+            let mut injector = Injector::new(&faults, &mut rng);
+            let faulty = design.multiply_faulty(a, b, &mut injector);
+
+            if injector.disturbed() {
+                disturbed += 1;
+            }
+            let is_corrupted = faulty != clean;
+            if is_corrupted {
+                corrupted += 1;
+            }
+            let implausible = !plausible_product(a, b, faulty);
+            if implausible {
+                fallbacks += 1;
+                if is_corrupted {
+                    detected += 1;
+                }
+            }
+            let guarded = if implausible {
+                realm_core::mitchell::saturate_product(a as u128 * b as u128, width)
+            } else {
+                faulty
+            };
+
+            sum_clean += (clean as f64 - exact).abs();
+            sum_faulty += (faulty as f64 - exact).abs();
+            sum_guarded += (guarded as f64 - exact).abs();
+            if exact > 0.0 {
+                sum_mre += ((faulty as f64 - exact) / exact).abs();
+                mre_samples += 1;
+            }
+        }
+
+        let n = self.samples as f64;
+        SiteReport {
+            fault,
+            samples: self.samples,
+            disturbance_rate: disturbed as f64 / n,
+            corruption_rate: corrupted as f64 / n,
+            detection_rate: if corrupted == 0 {
+                1.0
+            } else {
+                detected as f64 / corrupted as f64
+            },
+            fallback_rate: fallbacks as f64 / n,
+            nmed_clean: sum_clean / n / norm,
+            nmed_faulty: sum_faulty / n / norm,
+            nmed_guarded: sum_guarded / n / norm,
+            mre_faulty: if mre_samples == 0 {
+                0.0
+            } else {
+                sum_mre / mre_samples as f64
+            },
+        }
+    }
+
+    /// Exhaustive permanent-fault sweep: one stuck-at-0 and one
+    /// stuck-at-1 campaign per fault site of the design.
+    pub fn stuck_at_sweep(&self, design: &dyn FaultTarget) -> Vec<SiteReport> {
+        let mut reports = Vec::new();
+        for site in design.fault_sites() {
+            for value in [false, true] {
+                reports.push(self.characterize(design, Fault::stuck_at(site, value)));
+            }
+        }
+        reports
+    }
+
+    /// Transient degradation curve: one campaign per flip probability on
+    /// a single site.
+    pub fn transient_curve(
+        &self,
+        design: &dyn FaultTarget,
+        site: FaultSite,
+        probabilities: &[f64],
+    ) -> Vec<TransientPoint> {
+        probabilities
+            .iter()
+            .map(|&probability| TransientPoint {
+                probability,
+                report: self.characterize(design, Fault::transient(site, probability)),
+            })
+            .collect()
+    }
+
+    /// The fault-free NMED/WCED of a design under this campaign's
+    /// operand distribution (convenience baseline).
+    pub fn baseline(&self, design: &dyn realm_core::Multiplier) -> DistanceSummary {
+        crate::nmed::distance_metrics(design, self.samples, self.seed)
+    }
+}
+
+/// Aggregates site reports into per-class summaries, ordered most
+/// error-critical first (by mean NMED degradation).
+pub fn summarize_by_class(reports: &[SiteReport]) -> Vec<ClassSummary> {
+    let mut summaries = Vec::new();
+    for class in SiteClass::ALL {
+        let members: Vec<&SiteReport> = reports
+            .iter()
+            .filter(|r| r.fault.site.class() == class)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let n = members.len() as f64;
+        summaries.push(ClassSummary {
+            class,
+            sites: members.len(),
+            corruption_rate: members.iter().map(|r| r.corruption_rate).sum::<f64>() / n,
+            detection_rate: members.iter().map(|r| r.detection_rate).sum::<f64>() / n,
+            nmed_degradation: members.iter().map(|r| r.nmed_degradation()).sum::<f64>() / n,
+            worst_degradation: members
+                .iter()
+                .map(|r| r.nmed_degradation())
+                .fold(f64::NEG_INFINITY, f64::max),
+            mre: members.iter().map(|r| r.mre_faulty).sum::<f64>() / n,
+        });
+    }
+    summaries.sort_by(|a, b| b.nmed_degradation.total_cmp(&a.nmed_degradation));
+    summaries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realm_core::{Realm, RealmConfig};
+    use realm_fault::Operand;
+
+    fn realm16() -> Realm {
+        Realm::new(RealmConfig::n16(16, 0)).expect("valid configuration")
+    }
+
+    fn campaign() -> FaultCampaign {
+        FaultCampaign::new(4_000, 0xCA11)
+    }
+
+    #[test]
+    fn msb_shift_fault_is_critical_and_guard_catches_it() {
+        let r = campaign().characterize(
+            &realm16(),
+            Fault::stuck_at(FaultSite::ShiftAmount { bit: 4 }, false),
+        );
+        // Clearing the shift MSB crushes most products by 2^16.
+        assert!(r.corruption_rate > 0.5, "corruption {}", r.corruption_rate);
+        assert!(r.detection_rate > 0.95, "detection {}", r.detection_rate);
+        assert!(
+            r.nmed_degradation() > 0.01,
+            "ΔNMED {}",
+            r.nmed_degradation()
+        );
+        // Behind the guard the degradation nearly vanishes.
+        assert!(
+            r.guarded_degradation() < r.nmed_degradation() / 100.0,
+            "guarded ΔNMED {} vs {}",
+            r.guarded_degradation(),
+            r.nmed_degradation()
+        );
+    }
+
+    #[test]
+    fn lut_lsb_fault_is_benign_and_invisible_to_the_guard() {
+        let r = campaign().characterize(
+            &realm16(),
+            Fault::stuck_at(FaultSite::LutFactor { bit: 0 }, true),
+        );
+        // The LUT LSB is worth 2^-6 of the product — within an octave, so
+        // the magnitude guard cannot see it and the damage is tiny.
+        assert!(r.mre_faulty < 0.05, "MRE {}", r.mre_faulty);
+        assert!(r.fallback_rate < 0.01, "fallback {}", r.fallback_rate);
+        assert!(r.nmed_degradation() < 1e-3);
+    }
+
+    #[test]
+    fn characteristic_outranks_lut_in_class_ranking() {
+        let c = campaign();
+        let design = realm16();
+        let mut reports = Vec::new();
+        for site in [
+            FaultSite::Characteristic {
+                operand: Operand::A,
+                bit: 3,
+            },
+            FaultSite::Characteristic {
+                operand: Operand::B,
+                bit: 2,
+            },
+            FaultSite::LutFactor { bit: 0 },
+            FaultSite::LutFactor { bit: 3 },
+        ] {
+            reports.push(c.characterize(&design, Fault::stuck_at(site, true)));
+            reports.push(c.characterize(&design, Fault::stuck_at(site, false)));
+        }
+        let classes = summarize_by_class(&reports);
+        assert_eq!(classes[0].class, SiteClass::Characteristic);
+        assert!(classes[0].nmed_degradation > classes[1].nmed_degradation);
+    }
+
+    #[test]
+    fn transient_curve_is_monotone_in_probability() {
+        let points = campaign().transient_curve(
+            &realm16(),
+            FaultSite::ShiftAmount { bit: 3 },
+            &[0.0, 0.1, 0.5, 1.0],
+        );
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].report.corruption_rate, 0.0);
+        for pair in points.windows(2) {
+            assert!(
+                pair[1].report.nmed_faulty >= pair[0].report.nmed_faulty,
+                "NMED not monotone: {:?}",
+                pair.iter()
+                    .map(|p| p.report.nmed_faulty)
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_covers_every_site_twice() {
+        let design = realm16();
+        let small = FaultCampaign::new(50, 3);
+        let reports = small.stuck_at_sweep(&design);
+        assert_eq!(reports.len(), 2 * design.fault_sites().len());
+    }
+}

@@ -20,6 +20,7 @@
 
 pub mod breakdown;
 pub mod exhaustive;
+pub mod faults;
 pub mod heatmap;
 pub mod histogram;
 pub mod montecarlo;
@@ -30,6 +31,7 @@ pub mod sweep;
 
 pub use breakdown::{characterize_by_interval, IntervalCell};
 pub use exhaustive::{characterize_range, error_profile};
+pub use faults::{summarize_by_class, ClassSummary, FaultCampaign, SiteReport, TransientPoint};
 pub use histogram::Histogram;
 pub use montecarlo::MonteCarlo;
 pub use pareto::{pareto_front, ParetoPoint};

@@ -5,9 +5,8 @@
 //! the sample count as a parameter so tests can run small and the bench
 //! harness can run the full budget.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use realm_core::multiplier::MultiplierExt;
+use realm_core::rng::SplitMix64;
 use realm_core::Multiplier;
 
 use crate::summary::{ErrorAccumulator, ErrorSummary};
@@ -54,13 +53,13 @@ impl MonteCarlo {
     /// Characterizes one design: relative error statistics over uniform
     /// random pairs (zero products skipped, as in the paper).
     pub fn characterize(&self, design: &dyn Multiplier) -> ErrorSummary {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         let max = design.max_operand();
         let mut acc = ErrorAccumulator::new();
         let mut drawn = 0u64;
         while drawn < self.samples {
-            let a = rng.gen_range(0..=max);
-            let b = rng.gen_range(0..=max);
+            let a = rng.range_inclusive(0, max);
+            let b = rng.range_inclusive(0, max);
             drawn += 1;
             if let Some(e) = design.relative_error(a, b) {
                 acc.push(e);
@@ -76,12 +75,12 @@ impl MonteCarlo {
         design: &dyn Multiplier,
         mut sink: F,
     ) -> ErrorSummary {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         let max = design.max_operand();
         let mut acc = ErrorAccumulator::new();
         for _ in 0..self.samples {
-            let a = rng.gen_range(0..=max);
-            let b = rng.gen_range(0..=max);
+            let a = rng.range_inclusive(0, max);
+            let b = rng.range_inclusive(0, max);
             if let Some(e) = design.relative_error(a, b) {
                 acc.push(e);
                 sink(e);

@@ -3,9 +3,8 @@
 //! approximate-arithmetic literature (the survey \[2\] the paper cites),
 //! complementing the relative-error metrics of Table I.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use realm_core::multiplier::MultiplierExt;
+use realm_core::rng::SplitMix64;
 use realm_core::Multiplier;
 
 /// Absolute-error statistics for one design.
@@ -31,14 +30,14 @@ pub struct DistanceSummary {
 /// ```
 pub fn distance_metrics(design: &dyn Multiplier, samples: u64, seed: u64) -> DistanceSummary {
     assert!(samples > 0, "need at least one sample");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let max = design.max_operand();
     let norm = (max as f64) * (max as f64);
     let mut sum = 0.0f64;
     let mut worst = 0.0f64;
     for _ in 0..samples {
-        let a = rng.gen_range(0..=max);
-        let b = rng.gen_range(0..=max);
+        let a = rng.range_inclusive(0, max);
+        let b = rng.range_inclusive(0, max);
         let exact = (a as u128 * b as u128) as f64;
         let approx = design.multiply(a, b) as f64;
         let d = (approx - exact).abs();

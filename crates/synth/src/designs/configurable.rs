@@ -8,7 +8,9 @@ use realm_core::configurable::{AccuracyMode, ConfigurableRealm};
 use crate::blocks::adder::ripple_add;
 use crate::blocks::logic::{constant_bus, mux_bus, resize, shift_left_fixed, shift_right_fixed};
 use crate::blocks::mux::{constant_lut, mux_tree_bus};
-use crate::designs::log_family::{log_front_end, scale_mask_saturate, truncate_set_lsb};
+use crate::designs::log_family::{
+    log_front_end, scale_mask_saturate, truncate_set_lsb, StageTrace,
+};
 use crate::netlist::{Net, Netlist};
 
 /// Builds the mode-switchable netlist from a behavioural instance (LUT
@@ -23,8 +25,9 @@ pub fn configurable_realm_netlist(model: &ConfigurableRealm) -> Netlist {
     let a = nl.input_bus("a", width);
     let b = nl.input_bus("b", width);
     let mode = nl.input_bus("mode", 2);
-    let fa = log_front_end(&mut nl, &a);
-    let fb = log_front_end(&mut nl, &b);
+    let mut scratch = StageTrace::new();
+    let fa = log_front_end(&mut nl, &a, &mut scratch);
+    let fb = log_front_end(&mut nl, &b, &mut scratch);
     let valid = nl.and(fa.nonzero, fb.nonzero);
 
     let xa = truncate_set_lsb(&nl, &fa.fraction, t as usize);

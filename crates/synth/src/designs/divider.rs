@@ -13,7 +13,7 @@ use crate::blocks::adder::ripple_sub;
 use crate::blocks::logic::{mux_bus, or_reduce, shift_left_fixed, shift_right_fixed};
 use crate::blocks::mux::constant_lut;
 use crate::blocks::shifter::{barrel_shift_left, barrel_shift_right};
-use crate::designs::log_family::{log_front_end, truncate_set_lsb};
+use crate::designs::log_family::{log_front_end, truncate_set_lsb, StageTrace};
 use crate::netlist::{Net, Netlist};
 
 /// Shared divider datapath; `lut_q6` carries the REALM correction table
@@ -28,8 +28,9 @@ fn divider_datapath(
     let mut nl = Netlist::new(name);
     let a = nl.input_bus("a", width);
     let b = nl.input_bus("b", width);
-    let fa = log_front_end(&mut nl, &a);
-    let fb = log_front_end(&mut nl, &b);
+    let mut scratch = StageTrace::new();
+    let fa = log_front_end(&mut nl, &a, &mut scratch);
+    let fb = log_front_end(&mut nl, &b, &mut scratch);
 
     let (xa, yb) = match truncation {
         Some(t) => (

@@ -8,7 +8,7 @@ use crate::blocks::adder::{ripple_add, ripple_sub};
 use crate::blocks::logic::{
     constant_bus, mux_bus, or_reduce, resize, shift_left_fixed, shift_right_fixed,
 };
-use crate::designs::log_family::{log_front_end, scale_mask_saturate};
+use crate::designs::log_family::{log_front_end, scale_mask_saturate, StageTrace};
 use crate::netlist::{Net, Netlist};
 
 /// Multiplies a bus by a compile-time constant magnitude via shift-add
@@ -40,8 +40,9 @@ pub fn intalp_netlist(model: &IntAlp) -> Netlist {
     let mut nl = Netlist::new(format!("IntALP{width}_L{}", model.level()));
     let a = nl.input_bus("a", width);
     let b = nl.input_bus("b", width);
-    let fa = log_front_end(&mut nl, &a);
-    let fb = log_front_end(&mut nl, &b);
+    let mut scratch = StageTrace::new();
+    let fa = log_front_end(&mut nl, &a, &mut scratch);
+    let fb = log_front_end(&mut nl, &b, &mut scratch);
     let valid = nl.and(fa.nonzero, fb.nonzero);
     let zero = nl.zero();
 

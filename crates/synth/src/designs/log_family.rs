@@ -12,7 +12,41 @@ use crate::blocks::logic::{
 };
 use crate::blocks::mux::constant_lut;
 use crate::blocks::shifter::barrel_shift_left;
+use crate::faults::{StageClass, StageSpan};
 use crate::netlist::{Net, Netlist};
+
+/// Records which datapath stage each emitted gate belongs to, exploiting
+/// the fact that the generators emit gates stage by stage: every call to
+/// [`StageTrace::mark`] closes the span started by the previous call.
+pub(crate) struct StageTrace {
+    spans: Vec<StageSpan>,
+    cursor: usize,
+}
+
+impl StageTrace {
+    pub(crate) fn new() -> Self {
+        StageTrace {
+            spans: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    /// Attributes all gates emitted since the previous mark to `stage`.
+    pub(crate) fn mark(&mut self, nl: &Netlist, stage: StageClass) {
+        let here = nl.gate_count();
+        if here > self.cursor {
+            self.spans.push(StageSpan {
+                stage,
+                gates: self.cursor..here,
+            });
+        }
+        self.cursor = here;
+    }
+
+    pub(crate) fn finish(self) -> Vec<StageSpan> {
+        self.spans
+    }
+}
 
 /// One operand after the LOD + normalizing barrel shifter (paper Fig. 3
 /// left half): binary leading-one position, the `N−1`-bit Mitchell
@@ -24,15 +58,17 @@ pub(crate) struct LogOperand {
 }
 
 /// Builds the LOD + normalizer for one operand bus.
-pub(crate) fn log_front_end(nl: &mut Netlist, value: &[Net]) -> LogOperand {
+pub(crate) fn log_front_end(nl: &mut Netlist, value: &[Net], trace: &mut StageTrace) -> LogOperand {
     let w = value.len();
     let lod = leading_one(nl, value);
+    trace.mark(nl, StageClass::Characteristic);
     let pb = lod.position.len();
     // Normalizing shift amount: (w−1) − k.
     let wm1 = constant_bus(nl, (w - 1) as u64, pb);
     let diff = ripple_sub(nl, &wm1, &lod.position);
     let amount = diff[..pb].to_vec();
     let norm = barrel_shift_left(nl, value, &amount, w);
+    trace.mark(nl, StageClass::Fraction);
     LogOperand {
         position: lod.position,
         fraction: norm[..w - 1].to_vec(),
@@ -91,14 +127,16 @@ fn log_family(
     width: u32,
     truncation: Option<u32>,
     correction: Correction<'_>,
-) -> Netlist {
+) -> (Netlist, Vec<StageSpan>) {
     let w = width as usize;
     let mut nl = Netlist::new(name);
+    let mut trace = StageTrace::new();
     let a = nl.input_bus("a", width);
     let b = nl.input_bus("b", width);
-    let fa = log_front_end(&mut nl, &a);
-    let fb = log_front_end(&mut nl, &b);
+    let fa = log_front_end(&mut nl, &a, &mut trace);
+    let fb = log_front_end(&mut nl, &b, &mut trace);
     let valid = nl.and(fa.nonzero, fb.nonzero);
+    trace.mark(&nl, StageClass::Antilog); // zero masking of the output
 
     let (xa, xb) = match truncation {
         Some(t) => (
@@ -111,7 +149,9 @@ fn log_family(
 
     let zero = nl.zero();
     let ksum = ripple_add(&mut nl, &fa.position, &fb.position, zero);
+    trace.mark(&nl, StageClass::ShiftAmount);
     let fsum = ripple_add(&mut nl, &xa, &xb, zero); // F+1 bits
+    trace.mark(&nl, StageClass::Fraction);
     let carry = fsum[f];
 
     // Correction value in units of 2^-F, after the s/2 mux.
@@ -135,6 +175,7 @@ fn log_family(
             sel.extend_from_slice(&xa[f - index_bits..]);
             let table: Vec<u64> = lut.codes().iter().map(|&c| c as u64).collect();
             let code = constant_lut(&mut nl, &sel, &table, lut.storage_bits() as usize);
+            trace.mark(&nl, StageClass::LutFactor);
             // Units 2^-q, top two bits implicitly zero → shift into 2^-F.
             let s_f = shift_left_fixed(&nl, &code, f - q as usize, f);
             Some(s_f)
@@ -160,14 +201,23 @@ fn log_family(
     let case0 = resize(&nl, &case0, f + 3);
     let case1 = shift_left_fixed(&nl, &msum, 1, f + 3);
     let mantissa = mux_bus(&mut nl, carry, &case0, &case1);
+    trace.mark(&nl, StageClass::Fraction);
 
     let product = scale_mask_saturate(&mut nl, &mantissa, &ksum, f, w, valid);
+    trace.mark(&nl, StageClass::Antilog);
     nl.output_bus("p", product);
-    nl
+    (nl, trace.finish())
 }
 
 /// Netlist for Mitchell's classical log-based multiplier.
 pub fn calm_netlist(width: u32) -> Netlist {
+    log_family(format!("cALM{width}"), width, None, Correction::None).0
+}
+
+/// Netlist for Mitchell's classical log-based multiplier, with the
+/// gate-index span of every datapath stage (for stage-resolved fault
+/// analysis).
+pub fn calm_netlist_staged(width: u32) -> (Netlist, Vec<StageSpan>) {
     log_family(format!("cALM{width}"), width, None, Correction::None)
 }
 
@@ -182,11 +232,19 @@ pub fn mbm_netlist(width: u32, truncation: u32) -> Netlist {
             bits: realm_baselines::mbm::MBM_CORRECTION_BITS,
         },
     )
+    .0
 }
 
 /// Netlist for REALM, mirroring the paper's Fig. 3 exactly: the LUT is the
 /// hardwired constant multiplexer of the given instance.
 pub fn realm_netlist(realm: &Realm) -> Netlist {
+    realm_netlist_staged(realm).0
+}
+
+/// Netlist for REALM plus the gate-index span of every datapath stage,
+/// enabling gate-level fault campaigns to be aggregated by the same
+/// stage classes the functional fault model of `realm-fault` uses.
+pub fn realm_netlist_staged(realm: &Realm) -> (Netlist, Vec<StageSpan>) {
     let cfg = realm.configuration();
     log_family(
         format!("REALM{}_t{}", cfg.segments, cfg.truncation),
@@ -202,10 +260,11 @@ pub fn alm_netlist(width: u32, scheme: LowerPart, m: u32) -> Netlist {
     let w = width as usize;
     let f = w - 1;
     let mut nl = Netlist::new(format!("ALM{width}_m{m}"));
+    let mut scratch = StageTrace::new();
     let a = nl.input_bus("a", width);
     let b = nl.input_bus("b", width);
-    let fa = log_front_end(&mut nl, &a);
-    let fb = log_front_end(&mut nl, &b);
+    let fa = log_front_end(&mut nl, &a, &mut scratch);
+    let fb = log_front_end(&mut nl, &b, &mut scratch);
     let valid = nl.and(fa.nonzero, fb.nonzero);
 
     // Characteristic ∥ fraction, summed with the approximate adder.
@@ -238,7 +297,8 @@ pub fn implm_netlist(width: u32) -> Netlist {
     let b = nl.input_bus("b", width);
 
     let encode = |nl: &mut Netlist, v: &[Net]| -> (Vec<Net>, Vec<Net>, Net) {
-        let fe = log_front_end(nl, v);
+        let mut scratch = StageTrace::new();
+        let fe = log_front_end(nl, v, &mut scratch);
         let round = *fe.fraction.last().expect("fraction is nonempty"); // x >= 0.5
                                                                         // k' = k + round.
         let zero = nl.zero();
@@ -348,6 +408,38 @@ mod tests {
                     nl.eval_one(&[("a", a), ("b", b)], "p"),
                     model.multiply(a, b),
                     "({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn staged_netlist_spans_cover_every_gate_exactly_once() {
+        let model = Realm::new(RealmConfig::new(8, 8, 0, 6)).unwrap();
+        let (nl, spans) = realm_netlist_staged(&model);
+        let mut covered = vec![0u32; nl.gate_count()];
+        for span in &spans {
+            for g in span.gates.clone() {
+                covered[g] += 1;
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1), "gates covered {covered:?}");
+        // All five stage classes are present for a REALM instance.
+        use crate::faults::StageClass;
+        for stage in StageClass::ALL {
+            assert!(
+                spans.iter().any(|s| s.stage == stage),
+                "missing stage {stage}"
+            );
+        }
+        // The staged and plain generators agree bit for bit.
+        let plain = realm_netlist(&model);
+        assert_eq!(plain.gate_count(), nl.gate_count());
+        for a in (0..256u64).step_by(17) {
+            for b in (0..256u64).step_by(23) {
+                assert_eq!(
+                    nl.eval_one(&[("a", a), ("b", b)], "p"),
+                    plain.eval_one(&[("a", a), ("b", b)], "p"),
                 );
             }
         }

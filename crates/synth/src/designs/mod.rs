@@ -21,7 +21,10 @@ pub use divider::{mitchell_divider_netlist, realm_divider_netlist};
 pub use dynamic::{drum_netlist, essm8_netlist, ssm_netlist};
 pub use intalp::intalp_netlist;
 pub use kulkarni::kulkarni_netlist;
-pub use log_family::{alm_netlist, calm_netlist, implm_netlist, mbm_netlist, realm_netlist};
+pub use log_family::{
+    alm_netlist, calm_netlist, calm_netlist_staged, implm_netlist, mbm_netlist, realm_netlist,
+    realm_netlist_staged,
+};
 
 use realm_core::Multiplier;
 

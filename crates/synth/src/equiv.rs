@@ -3,8 +3,7 @@
 //! simulation — the verification layer behind this repository's
 //! "two independent implementations must agree" methodology.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use realm_core::rng::SplitMix64;
 
 use crate::netlist::Netlist;
 
@@ -94,11 +93,11 @@ pub fn check_equivalence(a: &Netlist, b: &Netlist, random_vectors: u64, seed: u6
             vectors.push(v);
         }
         // Random.
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         for _ in 0..random_vectors {
             let v = ports
                 .iter()
-                .map(|(name, w)| (name.clone(), rng.gen_range(0..=max(*w))))
+                .map(|(name, w)| (name.clone(), rng.range_inclusive(0, max(*w))))
                 .collect();
             vectors.push(v);
         }

@@ -8,10 +8,152 @@
 //! stimulus — a miniature fault-simulation flow over the same netlists
 //! the area/power model uses.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use realm_core::rng::SplitMix64;
 
 use crate::netlist::Netlist;
+use std::fmt;
+use std::ops::Range;
+
+/// The datapath stage a gate belongs to, for staged netlists (see
+/// [`crate::designs::realm_netlist_staged`]). Mirrors the functional
+/// fault-site classes of the `realm-fault` crate so that gate-level and
+/// functional campaigns can be compared class by class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StageClass {
+    /// Leading-one detection (the characteristic `k`).
+    Characteristic,
+    /// Fraction path: normalizing shifter, fraction-sum adder, `s/2`
+    /// mux, correction add and mantissa assembly.
+    Fraction,
+    /// The hardwired LUT multiplexer holding the `(q−2)`-bit factors.
+    LutFactor,
+    /// The characteristic-sum adder driving the antilog shift amount.
+    ShiftAmount,
+    /// The final antilog barrel shifter, saturation and zero masking.
+    Antilog,
+}
+
+impl StageClass {
+    /// All stages, in datapath order.
+    pub const ALL: [StageClass; 5] = [
+        StageClass::Characteristic,
+        StageClass::Fraction,
+        StageClass::LutFactor,
+        StageClass::ShiftAmount,
+        StageClass::Antilog,
+    ];
+
+    /// Short stable label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StageClass::Characteristic => "characteristic",
+            StageClass::Fraction => "fraction",
+            StageClass::LutFactor => "lut-factor",
+            StageClass::ShiftAmount => "shift-amount",
+            StageClass::Antilog => "antilog",
+        }
+    }
+}
+
+impl fmt::Display for StageClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A contiguous range of gate indices belonging to one datapath stage.
+/// Staged generators emit gates stage by stage, so construction order
+/// yields these spans directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSpan {
+    /// The stage the gates implement.
+    pub stage: StageClass,
+    /// Indices into [`Netlist::gates`].
+    pub gates: Range<usize>,
+}
+
+/// The stage a gate index belongs to, if any span covers it.
+pub fn classify_gate(spans: &[StageSpan], gate: usize) -> Option<StageClass> {
+    spans
+        .iter()
+        .find(|s| s.gates.contains(&gate))
+        .map(|s| s.stage)
+}
+
+/// Per-stage aggregate of a gate-level fault campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageImpact {
+    /// The stage the faults were injected into.
+    pub stage: StageClass,
+    /// Gates available in the stage.
+    pub gates: usize,
+    /// Faults actually simulated.
+    pub faults: usize,
+    /// Mean fraction of vectors whose outputs changed, across the
+    /// stage's faults.
+    pub detection_rate: f64,
+    /// Mean induced |relative error| across the stage's faults.
+    pub mean_relative_error: f64,
+}
+
+impl fmt::Display for StageImpact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} gates={:<5} faults={:<3} detect={:6.2}% MRE={:.3}",
+            self.stage.to_string(),
+            self.gates,
+            self.faults,
+            self.detection_rate * 100.0,
+            self.mean_relative_error,
+        )
+    }
+}
+
+/// Stage-resolved fault sensitivity: samples up to `faults_per_stage`
+/// stuck-at faults inside each stage span and simulates each with
+/// `vectors` random vectors. Stages with no gates (e.g. a LUT folded
+/// entirely into wiring) are skipped.
+pub fn stage_sensitivity(
+    nl: &Netlist,
+    spans: &[StageSpan],
+    faults_per_stage: usize,
+    vectors: u32,
+    seed: u64,
+) -> Vec<StageImpact> {
+    let mut impacts = Vec::new();
+    for stage in StageClass::ALL {
+        let gates: Vec<usize> = spans
+            .iter()
+            .filter(|s| s.stage == stage)
+            .flat_map(|s| s.gates.clone())
+            .collect();
+        if gates.is_empty() {
+            continue;
+        }
+        let mut rng = SplitMix64::new(seed ^ (stage as u64).wrapping_mul(0x9E37_79B9));
+        let n = faults_per_stage.min(2 * gates.len()).max(1);
+        let mut det_sum = 0.0;
+        let mut err_sum = 0.0;
+        for _ in 0..n {
+            let fault = Fault {
+                gate: gates[rng.index(gates.len())],
+                stuck_at: rng.chance(0.5),
+            };
+            let impact = simulate_fault(nl, fault, vectors, rng.next_u64());
+            det_sum += impact.detection_rate;
+            err_sum += impact.mean_relative_error;
+        }
+        impacts.push(StageImpact {
+            stage,
+            gates: gates.len(),
+            faults: n,
+            detection_rate: det_sum / n as f64,
+            mean_relative_error: err_sum / n as f64,
+        });
+    }
+    impacts
+}
 
 /// A single stuck-at fault site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,7 +213,7 @@ fn eval_with_fault(nl: &Netlist, inputs: &[(&str, u64)], fault: Option<Fault>) -
 pub fn simulate_fault(nl: &Netlist, fault: Fault, vectors: u32, seed: u64) -> FaultImpact {
     assert!(fault.gate < nl.gate_count(), "fault site out of range");
     assert!(!nl.outputs().is_empty(), "netlist has no outputs");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let ports: Vec<(String, u32)> = nl
         .inputs()
         .iter()
@@ -85,7 +227,7 @@ pub fn simulate_fault(nl: &Netlist, fault: Fault, vectors: u32, seed: u64) -> Fa
             .iter()
             .map(|(n, w)| {
                 let max = if *w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
-                (n.clone(), rng.gen_range(0..=max))
+                (n.clone(), rng.range_inclusive(0, max))
             })
             .collect();
         let refs: Vec<(&str, u64)> = values.iter().map(|(n, v)| (n.as_str(), *v)).collect();
@@ -113,12 +255,12 @@ pub fn simulate_fault(nl: &Netlist, fault: Fault, vectors: u32, seed: u64) -> Fa
 /// Samples `count` distinct single stuck-at faults (deterministic given
 /// the seed) across the netlist's gates.
 pub fn sample_faults(nl: &Netlist, count: usize, seed: u64) -> Vec<Fault> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut faults = Vec::with_capacity(count);
     for _ in 0..count {
         faults.push(Fault {
-            gate: rng.gen_range(0..nl.gate_count()),
-            stuck_at: rng.gen_bool(0.5),
+            gate: rng.index(nl.gate_count()),
+            stuck_at: rng.chance(0.5),
         });
     }
     faults

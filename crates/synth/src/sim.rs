@@ -6,8 +6,7 @@
 //! probability 0.25 per cycle, gate-accurate propagation, per-cell toggle
 //! counting weighted by per-cell switching energy.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use realm_core::rng::SplitMix64;
 
 use crate::netlist::Netlist;
 
@@ -44,7 +43,7 @@ impl PowerSim {
     /// Panics if `cycles` is zero.
     pub fn dynamic_power(&self, nl: &Netlist) -> f64 {
         assert!(self.cycles > 0, "power simulation needs at least one cycle");
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         let mut state = vec![false; nl.net_count()];
         state[1] = true;
 
@@ -56,7 +55,7 @@ impl PowerSim {
             .map(|(name, nets)| {
                 let mut v = 0u64;
                 for i in 0..nets.len() {
-                    if rng.gen_bool(0.5) {
+                    if rng.chance(0.5) {
                         v |= 1 << i;
                     }
                 }
@@ -75,7 +74,7 @@ impl PowerSim {
             // Flip each input bit with the configured toggle rate.
             for ((_, value), &width) in input_values.iter_mut().zip(&widths) {
                 for bit in 0..width {
-                    if self.toggle_rate > 0.0 && rng.gen_bool(self.toggle_rate) {
+                    if self.toggle_rate > 0.0 && rng.chance(self.toggle_rate) {
                         *value ^= 1 << bit;
                     }
                 }

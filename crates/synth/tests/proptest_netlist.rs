@@ -1,8 +1,11 @@
-//! Property-based tests of the circuit generators: word-level blocks
+//! Property-style tests of the circuit generators: word-level blocks
 //! against their arithmetic specifications, plus netlist builder
 //! invariants (topological order, folding soundness).
+//!
+//! Deterministic randomized cases from [`realm_core::rng::SplitMix64`];
+//! no external property-testing dependency.
 
-use proptest::prelude::*;
+use realm_core::rng::SplitMix64;
 use realm_synth::blocks::adder::{ripple_add, ripple_sub};
 use realm_synth::blocks::lod::leading_one;
 use realm_synth::blocks::logic::{constant_bus, or_reduce};
@@ -11,44 +14,67 @@ use realm_synth::blocks::mux::constant_lut;
 use realm_synth::blocks::shifter::{barrel_shift_left, barrel_shift_right};
 use realm_synth::Netlist;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    #[test]
-    fn ripple_add_is_addition(a in 0u64..(1 << 12), b in 0u64..(1 << 12), cin in 0u64..2) {
+fn rng(salt: u64) -> SplitMix64 {
+    SplitMix64::new(0x5A17 ^ salt)
+}
+
+#[test]
+fn ripple_add_is_addition() {
+    let mut rng = rng(1);
+    for _ in 0..CASES {
+        let a = rng.below(1 << 12);
+        let b = rng.below(1 << 12);
+        let cin = rng.below(2);
         let mut nl = Netlist::new("add");
         let ab = nl.input_bus("a", 12);
         let bb = nl.input_bus("b", 12);
         let c = nl.constant(cin == 1);
         let s = ripple_add(&mut nl, &ab, &bb, c);
         nl.output_bus("s", s);
-        prop_assert_eq!(nl.eval_one(&[("a", a), ("b", b)], "s"), a + b + cin);
+        assert_eq!(nl.eval_one(&[("a", a), ("b", b)], "s"), a + b + cin);
     }
+}
 
-    #[test]
-    fn ripple_sub_is_modular_subtraction(a in 0u64..(1 << 10), b in 0u64..(1 << 10)) {
+#[test]
+fn ripple_sub_is_modular_subtraction() {
+    let mut rng = rng(2);
+    for _ in 0..CASES {
+        let a = rng.below(1 << 10);
+        let b = rng.below(1 << 10);
         let mut nl = Netlist::new("sub");
         let ab = nl.input_bus("a", 10);
         let bb = nl.input_bus("b", 10);
         let d = ripple_sub(&mut nl, &ab, &bb);
         nl.output_bus("d", d);
         let out = nl.eval_one(&[("a", a), ("b", b)], "d");
-        prop_assert_eq!(out & 0x3FF, a.wrapping_sub(b) & 0x3FF);
-        prop_assert_eq!(out >> 10, u64::from(a >= b));
+        assert_eq!(out & 0x3FF, a.wrapping_sub(b) & 0x3FF);
+        assert_eq!(out >> 10, u64::from(a >= b));
     }
+}
 
-    #[test]
-    fn wallace_is_multiplication(a in 0u64..(1 << 10), b in 0u64..(1 << 10)) {
+#[test]
+fn wallace_is_multiplication() {
+    let mut rng = rng(3);
+    for _ in 0..CASES {
+        let a = rng.below(1 << 10);
+        let b = rng.below(1 << 10);
         let mut nl = Netlist::new("mul");
         let ab = nl.input_bus("a", 10);
         let bb = nl.input_bus("b", 10);
         let p = wallace_multiplier(&mut nl, &ab, &bb);
         nl.output_bus("p", p);
-        prop_assert_eq!(nl.eval_one(&[("a", a), ("b", b)], "p"), a * b);
+        assert_eq!(nl.eval_one(&[("a", a), ("b", b)], "p"), a * b);
     }
+}
 
-    #[test]
-    fn shifters_match_rust_shifts(v in 0u64..(1 << 12), amt in 0u64..16) {
+#[test]
+fn shifters_match_rust_shifts() {
+    let mut rng = rng(4);
+    for _ in 0..CASES {
+        let v = rng.below(1 << 12);
+        let amt = rng.below(16);
         let mut nl = Netlist::new("sh");
         let vb = nl.input_bus("v", 12);
         let ab = nl.input_bus("amt", 4);
@@ -57,42 +83,60 @@ proptest! {
         nl.output_bus("l", l);
         nl.output_bus("r", r);
         let out = nl.eval(&[("v", v), ("amt", amt)]);
-        prop_assert_eq!(out["l"], (v << amt) & ((1 << 28) - 1));
-        prop_assert_eq!(out["r"], v >> amt);
+        assert_eq!(out["l"], (v << amt) & ((1 << 28) - 1));
+        assert_eq!(out["r"], v >> amt);
     }
+}
 
-    #[test]
-    fn lod_matches_ilog2(v in 1u64..(1 << 16)) {
+#[test]
+fn lod_matches_ilog2() {
+    let mut rng = rng(5);
+    for _ in 0..CASES {
+        let v = rng.range_inclusive(1, (1 << 16) - 1);
         let mut nl = Netlist::new("lod");
         let vb = nl.input_bus("v", 16);
         let lod = leading_one(&mut nl, &vb);
         nl.output_bus("pos", lod.position);
         nl.output_bus("nz", vec![lod.nonzero]);
         let out = nl.eval(&[("v", v)]);
-        prop_assert_eq!(out["pos"], v.ilog2() as u64);
-        prop_assert_eq!(out["nz"], 1);
+        assert_eq!(out["pos"], v.ilog2() as u64);
+        assert_eq!(out["nz"], 1);
     }
+}
 
-    #[test]
-    fn constant_lut_reads_table(table in prop::collection::vec(0u64..16, 32), sel in 0usize..32) {
+#[test]
+fn constant_lut_reads_table() {
+    let mut rng = rng(6);
+    for _ in 0..CASES {
+        let table: Vec<u64> = (0..32).map(|_| rng.below(16)).collect();
+        let sel = rng.index(32);
         let mut nl = Netlist::new("lut");
         let sb = nl.input_bus("sel", 5);
         let out = constant_lut(&mut nl, &sb, &table, 4);
         nl.output_bus("y", out);
-        prop_assert_eq!(nl.eval_one(&[("sel", sel as u64)], "y"), table[sel]);
+        assert_eq!(nl.eval_one(&[("sel", sel as u64)], "y"), table[sel]);
     }
+}
 
-    #[test]
-    fn or_reduce_matches_any(v in 0u64..(1 << 14)) {
+#[test]
+fn or_reduce_matches_any() {
+    let mut rng = rng(7);
+    for _ in 0..CASES {
+        let v = rng.below(1 << 14);
         let mut nl = Netlist::new("or");
         let vb = nl.input_bus("v", 14);
         let any = or_reduce(&mut nl, &vb);
         nl.output_bus("any", vec![any]);
-        prop_assert_eq!(nl.eval_one(&[("v", v)], "any"), u64::from(v != 0));
+        assert_eq!(nl.eval_one(&[("v", v)], "any"), u64::from(v != 0));
     }
+}
 
-    #[test]
-    fn structural_hashing_preserves_function(a in 0u64..(1 << 8), b in 0u64..(1 << 8)) {
+#[test]
+fn structural_hashing_preserves_function() {
+    let mut rng = rng(8);
+    for _ in 0..CASES {
+        let a = rng.below(1 << 8);
+        let b = rng.below(1 << 8);
         // Emit the same expression twice; hashing must dedupe the gates
         // while keeping the function intact.
         let mut nl = Netlist::new("cse");
@@ -102,16 +146,21 @@ proptest! {
         let s1 = ripple_add(&mut nl, &ab, &bb, zero);
         let before = nl.gate_count();
         let s2 = ripple_add(&mut nl, &ab, &bb, zero);
-        prop_assert_eq!(nl.gate_count(), before, "duplicate adder should be free");
+        assert_eq!(nl.gate_count(), before, "duplicate adder should be free");
         nl.output_bus("s1", s1);
         nl.output_bus("s2", s2);
         let out = nl.eval(&[("a", a), ("b", b)]);
-        prop_assert_eq!(out["s1"], a + b);
-        prop_assert_eq!(out["s2"], a + b);
+        assert_eq!(out["s1"], a + b);
+        assert_eq!(out["s2"], a + b);
     }
+}
 
-    #[test]
-    fn constants_fold_to_zero_gates(v in 0u64..(1 << 8), w in 1usize..9) {
+#[test]
+fn constants_fold_to_zero_gates() {
+    let mut rng = rng(9);
+    for _ in 0..CASES {
+        let v = rng.below(1 << 8);
+        let w = rng.range_inclusive(1, 8) as usize;
         // A constant-only computation must synthesize to nothing.
         let mut nl = Netlist::new("const");
         let c1 = constant_bus(&nl, v & ((1 << w) - 1), w);
@@ -119,8 +168,8 @@ proptest! {
         let zero = nl.zero();
         let s = ripple_add(&mut nl, &c1, &c2, zero);
         nl.output_bus("s", s);
-        prop_assert_eq!(nl.gate_count(), 0);
+        assert_eq!(nl.gate_count(), 0);
         let expect = (v & ((1 << w) - 1)) + ((v >> 1) & ((1 << w) - 1));
-        prop_assert_eq!(nl.eval_one(&[], "s"), expect);
+        assert_eq!(nl.eval_one(&[], "s"), expect);
     }
 }

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         None => {
             eprintln!("(no PGM given — using the synthetic cameraman substitute)");
-            ("synthetic cameraman".to_string(), Image::synthetic_cameraman())
+            (
+                "synthetic cameraman".to_string(),
+                Image::synthetic_cameraman(),
+            )
         }
     };
     println!(
@@ -33,21 +36,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         img.std_dev()
     );
 
-    println!("{:<22} {:>10} {:>14}", "multiplier", "psnr (dB)", "vs accurate");
+    println!(
+        "{:<22} {:>10} {:>14}",
+        "multiplier", "psnr (dB)", "vs accurate"
+    );
     let accurate = JpegCodec::quality50(Accurate::new(16));
     let p_acc = psnr(&img, &accurate.roundtrip(&img));
     println!("{:<22} {:>10.2} {:>14}", "Accurate", p_acc, "-");
     for (name, codec) in [
-        ("REALM16 (t=8)", JpegCodec::quality50(Realm::new(RealmConfig::n16(16, 8))?)),
-        ("REALM8 (t=8)", JpegCodec::quality50(Realm::new(RealmConfig::n16(8, 8))?)),
-        ("REALM4 (t=8)", JpegCodec::quality50(Realm::new(RealmConfig::n16(4, 8))?)),
+        (
+            "REALM16 (t=8)",
+            JpegCodec::quality50(Realm::new(RealmConfig::n16(16, 8))?),
+        ),
+        (
+            "REALM8 (t=8)",
+            JpegCodec::quality50(Realm::new(RealmConfig::n16(8, 8))?),
+        ),
+        (
+            "REALM4 (t=8)",
+            JpegCodec::quality50(Realm::new(RealmConfig::n16(4, 8))?),
+        ),
     ] {
         let p = psnr(&img, &codec.roundtrip(&img));
         println!("{:<22} {:>10.2} {:>+13.2}dB", name, p, p - p_acc);
     }
     let calm = JpegCodec::quality50(Calm::new(16));
     let p_calm = psnr(&img, &calm.roundtrip(&img));
-    println!("{:<22} {:>10.2} {:>+13.2}dB", "cALM", p_calm, p_calm - p_acc);
+    println!(
+        "{:<22} {:>10.2} {:>+13.2}dB",
+        "cALM",
+        p_calm,
+        p_calm - p_acc
+    );
 
     println!("\nTable II's shape — REALM within a fraction of a dB, cALM several dB down —");
     println!("should hold for any natural image; try your own PGM to verify.");

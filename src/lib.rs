@@ -10,7 +10,9 @@
 //!   [`Multiplier`] trait.
 //! * [`baselines`] — every comparator of the paper's Table I.
 //! * [`metrics`] — Monte-Carlo error characterization, histograms,
-//!   Pareto fronts.
+//!   Pareto fronts, fault campaigns.
+//! * [`fault`] — functional fault injection (transient and stuck-at)
+//!   with an invariant-guarded graceful-degradation wrapper.
 //! * [`synth`] — gate-level netlists for every design with a calibrated
 //!   45 nm-style area/power model.
 //! * [`jpeg`] — the fixed-point JPEG application study.
@@ -43,6 +45,10 @@ pub use realm_baselines as baselines;
 
 /// The DSP/ML application substrates (re-export of `realm-dsp`).
 pub use realm_dsp as dsp;
+
+/// Functional fault injection and graceful degradation (re-export of
+/// `realm-fault`).
+pub use realm_fault as fault;
 
 /// The JPEG application study (re-export of `realm-jpeg`).
 pub use realm_jpeg as jpeg;

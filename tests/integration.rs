@@ -113,8 +113,8 @@ fn precomputed_tables_build_identical_multipliers() {
     // with the analytic derivation.
     for m in [4u32, 8, 16] {
         let analytic = Realm::new(RealmConfig::n16(m, 0)).expect("paper design point");
-        let frozen = Realm::with_table(RealmConfig::n16(m, 0), &realm::precomputed::table(m))
-            .expect("paper design point");
+        let table = realm::precomputed::table(m).expect("paper design point");
+        let frozen = Realm::with_table(RealmConfig::n16(m, 0), &table).expect("paper design point");
         for (a, b) in [
             (12_345u64, 54_321u64),
             (65_535, 65_535),
