@@ -65,6 +65,68 @@ impl Multiplier for Calm {
     fn name(&self) -> &str {
         "cALM"
     }
+
+    /// Monomorphic batch kernel: encode → log-add inlined with the fraction
+    /// width hoisted out of the loop; bit-identical to the scalar path
+    /// (cALM is `log_mul` with a zero correction, so the correction terms
+    /// vanish entirely).
+    fn multiply_batch(&self, pairs: &[(u64, u64)], out: &mut [u64]) {
+        assert_eq!(
+            pairs.len(),
+            out.len(),
+            "multiply_batch needs one output slot per operand pair"
+        );
+        let width = self.width;
+        let f = width - 1;
+        if width <= 31 {
+            // Narrow fast path: mantissa < 2^(f+1) and the scale shift is
+            // at most 2·width − 1 − f, so everything fits in u64.
+            let max_product = (1u64 << (2 * width)) - 1;
+            for (slot, &(a, b)) in out.iter_mut().zip(pairs) {
+                if a == 0 || b == 0 {
+                    *slot = 0;
+                    continue;
+                }
+                let ka = 63 - a.leading_zeros();
+                let kb = 63 - b.leading_zeros();
+                let fa = (a - (1u64 << ka)) << (f - ka);
+                let fb = (b - (1u64 << kb)) << (f - kb);
+                let fsum = fa + fb;
+                let k_sum = ka + kb;
+                let (mantissa, exponent) = if fsum >> f == 0 {
+                    ((1u64 << f) + fsum, k_sum)
+                } else {
+                    (fsum, k_sum + 1)
+                };
+                let shift = exponent as i32 - f as i32;
+                let value = if shift >= 0 {
+                    mantissa << shift
+                } else {
+                    mantissa >> -shift
+                };
+                *slot = value.min(max_product);
+            }
+            return;
+        }
+        for (slot, &(a, b)) in out.iter_mut().zip(pairs) {
+            if a == 0 || b == 0 {
+                *slot = 0;
+                continue;
+            }
+            let ka = 63 - a.leading_zeros();
+            let kb = 63 - b.leading_zeros();
+            let fa = (a - (1u64 << ka)) << (f - ka);
+            let fb = (b - (1u64 << kb)) << (f - kb);
+            let fsum = fa + fb;
+            let k_sum = (ka + kb) as i64;
+            let (mantissa, exponent) = if fsum >> f == 0 {
+                ((1u128 << f) + fsum as u128, k_sum)
+            } else {
+                (fsum as u128, k_sum + 1)
+            };
+            *slot = mitchell::saturate_product(mitchell::scale(mantissa, exponent, f), width);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -118,5 +180,26 @@ mod tests {
     #[test]
     fn zero_short_circuits() {
         assert_eq!(Calm::new(16).multiply(0, 999), 0);
+    }
+
+    #[test]
+    fn batch_kernel_matches_scalar() {
+        for width in [8u32, 16, 32] {
+            let m = Calm::new(width);
+            let max = (1u64 << width) - 1;
+            let mut pairs: Vec<(u64, u64)> = (0..4096u64)
+                .map(|i| {
+                    let a = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % (max + 1);
+                    let b = i.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) % (max + 1);
+                    (a, b)
+                })
+                .collect();
+            pairs.extend([(0, 0), (0, max), (max, max), (1, 1), (6, 12)]);
+            let mut out = vec![0u64; pairs.len()];
+            m.multiply_batch(&pairs, &mut out);
+            for (&(a, b), &p) in pairs.iter().zip(&out) {
+                assert_eq!(p, m.multiply(a, b), "width={width} a={a} b={b}");
+            }
+        }
     }
 }

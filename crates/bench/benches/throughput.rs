@@ -1,14 +1,35 @@
-//! Wall-clock micro-benchmarks: behavioural-model throughput of every
-//! multiplier family (how fast the simulation substrate itself runs) and
-//! gate-level netlist evaluation speed.
+//! Wall-clock throughput of the characterization substrate, three ways:
+//!
+//! 1. **scalar-dyn** — one `Multiplier::multiply` virtual call per
+//!    operand pair (how campaigns ran before the batched engine),
+//! 2. **batched** — one `multiply_batch` virtual call per operand block,
+//!    dispatching to the monomorphic kernels of `Accurate`, `Calm` and
+//!    `Realm` (the fast path the campaigns now use),
+//! 3. **parallel** — the end-to-end `MonteCarlo` engine at several worker
+//!    counts (the thread-scaling curve).
+//!
+//! Prints human-readable lines and writes a machine-readable
+//! `BENCH_throughput.json` (to `--out DIR`, else the working directory).
+//!
+//! ```text
+//! cargo bench -p realm-bench --bench throughput -- --smoke --threads 2 --out results
+//! ```
 
-use realm_baselines::{Alm, AlmAdder, Am, AmRecovery, Calm, Drum, Essm8, ImpLm, IntAlp, Mbm, Ssm};
-use realm_bench::stopwatch::{bench, opaque};
+use realm_baselines::Calm;
+use realm_bench::stopwatch::{bench, opaque, KernelThroughput, ScalingPoint, ThroughputReport};
+use realm_bench::Options;
 use realm_core::{Accurate, Multiplier, Realm, RealmConfig};
+use realm_metrics::MonteCarlo;
+use realm_par::Threads;
+use std::time::Instant;
 
-fn operand_stream() -> Vec<(u64, u64)> {
+/// Operand pairs per kernel block: large enough to amortize the batch
+/// call, small enough to stay cache-resident.
+const BLOCK: usize = 4_096;
+
+fn operand_stream(n: usize) -> Vec<(u64, u64)> {
     let mut x = 0x2545_F491_4F6C_DD1Du64;
-    (0..1024)
+    (0..n)
         .map(|_| {
             x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
             ((x >> 16) & 0xFFFF, (x >> 40) & 0xFFFF)
@@ -16,34 +37,88 @@ fn operand_stream() -> Vec<(u64, u64)> {
         .collect()
 }
 
-fn bench_multipliers() {
-    let pairs = operand_stream();
-    let designs: Vec<Box<dyn Multiplier>> = vec![
+fn kernel_designs() -> Vec<Box<dyn Multiplier>> {
+    vec![
         Box::new(Accurate::new(16)),
         Box::new(Calm::new(16)),
         Box::new(Realm::new(RealmConfig::n16(16, 0)).expect("paper design point")),
         Box::new(Realm::new(RealmConfig::n16(4, 9)).expect("paper design point")),
-        Box::new(Mbm::new(16, 0).expect("paper design point")),
-        Box::new(Alm::new(16, AlmAdder::Soa, 11)),
-        Box::new(ImpLm::new(16)),
-        Box::new(Drum::new(16, 6).expect("paper design point")),
-        Box::new(Ssm::new(16, 8).expect("paper design point")),
-        Box::new(Essm8::new()),
-        Box::new(Am::new(16, AmRecovery::Or, 13).expect("paper design point")),
-        Box::new(IntAlp::new(16, 2).expect("paper design point")),
-    ];
-    for design in &designs {
-        let label = format!("multiply_1024_pairs/{}{}", design.name(), design.config());
-        bench(&label, || {
+    ]
+}
+
+/// Measures every design in both execution modes and returns the kernel
+/// rows, reporting the batched-over-scalar speedup per design.
+fn measure_kernels(report: &mut ThroughputReport) {
+    let pairs = operand_stream(BLOCK);
+    let mut products = vec![0u64; BLOCK];
+    for design in kernel_designs() {
+        let label = format!("{}{}", design.name(), design.config());
+
+        let scalar = bench(&format!("scalar-dyn/{label}"), || {
             let mut acc = 0u64;
-            for &(x, y) in &pairs {
-                acc = acc.wrapping_add(design.multiply(opaque(x), opaque(y)));
+            for &(a, b) in &pairs {
+                acc = acc.wrapping_add(design.multiply(opaque(a), opaque(b)));
             }
             acc
         });
+        let batched = bench(&format!("batched/{label}"), || {
+            design.multiply_batch(opaque(&pairs), &mut products);
+            products[BLOCK - 1]
+        });
+
+        for (mode, m) in [("scalar-dyn", &scalar), ("batched", &batched)] {
+            let ns = m.ns_per_iter / BLOCK as f64;
+            report.kernels.push(KernelThroughput {
+                design: label.clone(),
+                mode: mode.to_string(),
+                ns_per_multiply: ns,
+                samples_per_sec: 1e9 / ns,
+            });
+        }
+        println!(
+            "  {label:<22} batched speedup over scalar-dyn: {:.2}x",
+            scalar.ns_per_iter / batched.ns_per_iter
+        );
     }
 }
 
+/// Times the end-to-end Monte-Carlo engine on the paper's headline design
+/// at each worker count (best of `reps` runs — campaigns are
+/// deterministic, so only the clock varies).
+fn measure_scaling(
+    samples: u64,
+    seed: u64,
+    counts: &[usize],
+    reps: u32,
+    report: &mut ThroughputReport,
+) {
+    let design = Realm::new(RealmConfig::n16(16, 0)).expect("paper design point");
+    let mut base_rate = None;
+    for &threads in counts {
+        let campaign = MonteCarlo::new(samples, seed).with_threads(Threads::Fixed(threads));
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            opaque(campaign.characterize(&design));
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        let rate = samples as f64 / best;
+        let base = *base_rate.get_or_insert(rate);
+        let point = ScalingPoint {
+            threads,
+            samples_per_sec: rate,
+            speedup: rate / base,
+        };
+        println!(
+            "  montecarlo REALM16 (t=0) threads={threads:<2} {:>12.0} samples/s (speedup {:.2}x)",
+            point.samples_per_sec, point.speedup
+        );
+        report.scaling.push(point);
+    }
+}
+
+/// Gate-level netlist evaluation speed (unchanged from the original
+/// bench; skipped under `--smoke`).
 fn bench_netlist_eval() {
     let realm = Realm::new(RealmConfig::n16(16, 0)).expect("paper design point");
     let netlists = vec![
@@ -59,6 +134,43 @@ fn bench_netlist_eval() {
 }
 
 fn main() {
-    bench_multipliers();
-    bench_netlist_eval();
+    let opts = Options::from_env();
+    let samples = if opts.samples != Options::default().samples {
+        opts.samples
+    } else if opts.smoke {
+        1 << 16
+    } else {
+        1 << 20
+    };
+    let reps = if opts.smoke { 1 } else { 3 };
+    // Always include the 1-worker baseline; probe powers of two up to the
+    // requested (or detected) parallelism, but at least 2 so the curve
+    // always exercises the pool.
+    let max_threads = opts.threads.resolve().max(2);
+    let counts: Vec<usize> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&n| n <= max_threads)
+        .collect();
+
+    let mut report = ThroughputReport {
+        samples,
+        ..ThroughputReport::default()
+    };
+    println!("multiply-kernel throughput ({BLOCK}-pair blocks):");
+    measure_kernels(&mut report);
+    println!("\nparallel Monte-Carlo scaling ({samples} samples/campaign):");
+    measure_scaling(samples, opts.seed, &counts, reps, &mut report);
+    if !opts.smoke {
+        println!("\ngate-level netlist evaluation:");
+        bench_netlist_eval();
+    }
+
+    let dir = opts
+        .out_dir
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    std::fs::create_dir_all(&dir).expect("create output directory");
+    let path = dir.join("BENCH_throughput.json");
+    std::fs::write(&path, report.to_json()).expect("write throughput report");
+    println!("\nwrote {}", path.display());
 }

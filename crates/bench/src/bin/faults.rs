@@ -52,7 +52,7 @@ fn top_shared<T>(
 
 fn functional_campaign(opts: &Options, samples: u64) -> Vec<ClassSummary> {
     let design = realm8();
-    let campaign = FaultCampaign::new(samples, opts.seed);
+    let campaign = FaultCampaign::new(samples, opts.seed).with_threads(opts.threads);
     let reports = campaign.stuck_at_sweep(&design);
     let classes = summarize_by_class(&reports);
 
@@ -108,7 +108,7 @@ fn gate_level_campaign(opts: &Options, faults_per_stage: usize, vectors: u32) ->
 
 fn degradation_curve(opts: &Options, samples: u64) {
     let design = realm16();
-    let campaign = FaultCampaign::new(samples, opts.seed);
+    let campaign = FaultCampaign::new(samples, opts.seed).with_threads(opts.threads);
     let site = FaultSite::ShiftAmount { bit: 4 };
     let probabilities = [1e-4, 1e-3, 1e-2, 1e-1];
     let points = campaign.transient_curve(&design, site, &probabilities);
@@ -192,10 +192,8 @@ fn application_impact(opts: &Options) {
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    args.retain(|a| a != "--smoke");
-    let mut opts = Options::parse(args);
+    let mut opts = Options::from_env();
+    let smoke = opts.smoke;
     if opts.samples == Options::default().samples {
         // The paper's 2^24 Monte-Carlo default is far more than a
         // per-site campaign needs.

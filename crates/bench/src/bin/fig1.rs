@@ -13,7 +13,7 @@ use realm_baselines::{Alm, AlmAdder, Calm, ImpLm, IntAlp, Mbm};
 use realm_bench::Options;
 use realm_core::{Multiplier, Realm, RealmConfig};
 use realm_metrics::heatmap::render_heatmap;
-use realm_metrics::{characterize_range, error_profile};
+use realm_metrics::{characterize_range_threaded, error_profile_threaded};
 
 fn main() {
     let opts = Options::from_env();
@@ -41,7 +41,7 @@ fn main() {
         "panel/design", "bias%", "mean%", "min%", "max%"
     );
     for (panel, design) in &designs {
-        let s = characterize_range(design.as_ref(), 32..=255, 32..=255);
+        let s = characterize_range_threaded(design.as_ref(), 32..=255, 32..=255, opts.threads);
         println!(
             "{:<16} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
             panel,
@@ -52,7 +52,7 @@ fn main() {
         );
         if opts.out_dir.is_some() {
             let mut csv = String::from("a,b,error_pct\n");
-            for p in error_profile(design.as_ref(), 32..=255, 32..=255) {
+            for p in error_profile_threaded(design.as_ref(), 32..=255, 32..=255, opts.threads) {
                 csv.push_str(&format!("{},{},{:.5}\n", p.a, p.b, p.error * 100.0));
             }
             opts.write_csv(&format!("fig1_{panel}.csv"), &csv);
@@ -62,7 +62,7 @@ fn main() {
     // (f) contrast: dense sawtooth vs near-blank surface).
     for (panel, design) in [&designs[0], &designs[designs.len() - 1]] {
         println!("\n|error| heatmap for {panel} (x = A, y = B, 32..=255):");
-        let profile = error_profile(design.as_ref(), 32..=255, 32..=255);
+        let profile = error_profile_threaded(design.as_ref(), 32..=255, 32..=255, opts.threads);
         print!("{}", render_heatmap(&profile, 64, 20, 0.12));
     }
     println!(

@@ -16,7 +16,7 @@ fn main() {
         "Fig. 4 reproduction — design space from {} samples/design, {} power cycles\n",
         opts.samples, opts.cycles
     );
-    let rows = table1_rows(opts.samples, opts.cycles, opts.seed);
+    let rows = table1_rows(opts.samples, opts.cycles, opts.seed, opts.threads);
 
     type Extract = fn(&realm_bench::Table1Row) -> (f64, f64);
     let panes: [(&str, Extract); 4] = [

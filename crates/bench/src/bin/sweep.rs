@@ -15,7 +15,7 @@ use realm_metrics::MonteCarlo;
 
 fn main() {
     let opts = Options::from_env();
-    let campaign = MonteCarlo::new(opts.samples, opts.seed);
+    let campaign = MonteCarlo::new(opts.samples, opts.seed).with_threads(opts.threads);
     let knobs: Vec<u32> = (0..=9).collect();
 
     println!(

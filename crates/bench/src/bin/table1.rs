@@ -10,7 +10,11 @@
 use realm_bench::{table1_rows, Options, Table1Row};
 
 fn main() {
-    let opts = Options::from_env();
+    let mut opts = Options::from_env();
+    if opts.smoke && opts.samples == Options::default().samples {
+        opts.samples = 1 << 18;
+        opts.cycles = 200;
+    }
     println!(
         "Table I reproduction — {} Monte-Carlo samples/design, {} power cycles, seed {}",
         opts.samples, opts.cycles, opts.seed
@@ -22,7 +26,7 @@ fn main() {
         "{:<22} {:>7} {:>7} {:>8} {:>7} {:>8} {:>7} {:>9}",
         "design", "aRed%", "pRed%", "bias%", "mean%", "min%", "max%", "var(%^2)"
     );
-    let rows = table1_rows(opts.samples, opts.cycles, opts.seed);
+    let rows = table1_rows(opts.samples, opts.cycles, opts.seed, opts.threads);
     let mut csv = String::from(Table1Row::csv_header());
     csv.push('\n');
     for row in &rows {

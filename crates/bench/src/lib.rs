@@ -78,10 +78,18 @@ impl Table1Row {
 
 /// Computes the full Table I row set: Monte-Carlo error characterization
 /// of every design plus calibrated synthesis-model area/power.
-pub fn table1_rows(samples: u64, power_cycles: u32, seed: u64) -> Vec<Table1Row> {
+///
+/// `threads` is a pure performance knob for the Monte-Carlo campaigns —
+/// the rows are bit-identical under every worker count.
+pub fn table1_rows(
+    samples: u64,
+    power_cycles: u32,
+    seed: u64,
+    threads: realm_par::Threads,
+) -> Vec<Table1Row> {
     use realm_core::multiplier::MultiplierExt;
 
-    let campaign = realm_metrics::MonteCarlo::new(samples, seed);
+    let campaign = realm_metrics::MonteCarlo::new(samples, seed).with_threads(threads);
     let reporter = realm_synth::Reporter::paper_setup(power_cycles, seed);
     realm_synth::designs::table1_pairs()
         .into_iter()
@@ -104,7 +112,7 @@ mod tests {
 
     #[test]
     fn small_table1_run_produces_all_rows() {
-        let rows = table1_rows(20_000, 40, 3);
+        let rows = table1_rows(20_000, 40, 3, realm_par::Threads::Auto);
         assert_eq!(rows.len(), 65); // 30 REALM + 35 baselines
         for row in &rows {
             assert!(row.errors.samples > 0, "{}", row.label);
@@ -114,7 +122,7 @@ mod tests {
 
     #[test]
     fn csv_roundtrip_has_matching_columns() {
-        let rows = table1_rows(5_000, 20, 1);
+        let rows = table1_rows(5_000, 20, 1, realm_par::Threads::Fixed(2));
         let header_cols = Table1Row::csv_header().split(',').count();
         assert_eq!(rows[0].to_csv().split(',').count(), header_cols);
     }

@@ -1,7 +1,8 @@
 //! Minimal command-line parsing shared by the experiment drivers (no
 //! external CLI crate needed for `--samples N --cycles N --seed N
-//! --out DIR`).
+//! --threads N --out DIR --smoke`).
 
+use realm_par::Threads;
 use std::path::PathBuf;
 
 /// Common options for the experiment binaries.
@@ -13,8 +14,14 @@ pub struct Options {
     pub cycles: u32,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for characterization campaigns (`--threads 0` =
+    /// every hardware thread). A pure performance knob: campaign results
+    /// are bit-identical under every setting.
+    pub threads: Threads,
     /// Optional output directory for CSV artifacts.
     pub out_dir: Option<PathBuf>,
+    /// CI smoke mode: shrink every campaign to seconds.
+    pub smoke: bool,
 }
 
 impl Default for Options {
@@ -23,7 +30,9 @@ impl Default for Options {
             samples: 1 << 24,
             cycles: 2_000,
             seed: 2020,
+            threads: Threads::Auto,
             out_dir: None,
+            smoke: false,
         }
     }
 }
@@ -58,11 +67,23 @@ impl Options {
                 "--seed" => {
                     opts.seed = parse_count(&value("--seed"));
                 }
+                "--threads" => {
+                    opts.threads = Threads::from_count(parse_count(&value("--threads")) as usize);
+                }
                 "--out" => {
                     opts.out_dir = Some(PathBuf::from(value("--out")));
                 }
+                "--smoke" => {
+                    opts.smoke = true;
+                }
+                // Cargo's bench runner forwards this marker to
+                // `harness = false` benches; it carries no information.
+                "--bench" => {}
                 other => {
-                    panic!("unknown flag '{other}' (expected --samples, --cycles, --seed, --out)")
+                    panic!(
+                        "unknown flag '{other}' (expected --samples, --cycles, --seed, \
+                         --threads, --out, --smoke)"
+                    )
                 }
             }
         }
@@ -122,13 +143,30 @@ mod tests {
             "500",
             "--seed",
             "7",
+            "--threads",
+            "4",
             "--out",
             "/tmp/x",
+            "--smoke",
         ]);
         assert_eq!(o.samples, 1 << 20);
         assert_eq!(o.cycles, 500);
         assert_eq!(o.seed, 7);
+        assert_eq!(o.threads, Threads::Fixed(4));
         assert_eq!(o.out_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        assert!(o.smoke);
+    }
+
+    #[test]
+    fn threads_zero_means_auto() {
+        assert_eq!(parse(&["--threads", "0"]).threads, Threads::Auto);
+        assert_eq!(parse(&[]).threads, Threads::Auto);
+    }
+
+    #[test]
+    fn cargo_bench_marker_is_ignored() {
+        let o = parse(&["--bench", "--smoke"]);
+        assert!(o.smoke);
     }
 
     #[test]

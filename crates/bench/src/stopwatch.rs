@@ -71,6 +71,106 @@ pub fn bench<T, F: FnMut() -> T>(label: &str, mut f: F) -> Measurement {
     m
 }
 
+/// Throughput of one `(design, execution mode)` kernel measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelThroughput {
+    /// Design label (`"REALM16 (t=0)"`).
+    pub design: String,
+    /// Execution mode: `"scalar-dyn"` (one `multiply` call per pair
+    /// through the trait object) or `"batched"` (one `multiply_batch`
+    /// call per operand block).
+    pub mode: String,
+    /// Nanoseconds per multiply.
+    pub ns_per_multiply: f64,
+    /// Multiplies per second (1e9 / `ns_per_multiply`).
+    pub samples_per_sec: f64,
+}
+
+/// One point of the Monte-Carlo thread-scaling curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end campaign samples per second at that worker count.
+    pub samples_per_sec: f64,
+    /// Speedup over the 1-worker point.
+    pub speedup: f64,
+}
+
+/// The machine-readable throughput report written as
+/// `BENCH_throughput.json` — serial-vs-batched kernel rates plus the
+/// parallel-campaign scaling curve.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ThroughputReport {
+    /// Monte-Carlo samples per scaling-curve campaign.
+    pub samples: u64,
+    /// Per-(design, mode) kernel throughputs.
+    pub kernels: Vec<KernelThroughput>,
+    /// Thread-scaling curve of the parallel Monte-Carlo engine.
+    pub scaling: Vec<ScalingPoint>,
+}
+
+impl ThroughputReport {
+    /// Renders the report as a self-describing JSON document (hand-rolled
+    /// — the workspace builds offline, with no serialization crate).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"realm-bench/throughput/v1\",\n");
+        out.push_str(&format!("  \"samples\": {},\n", self.samples));
+        out.push_str("  \"kernels\": [");
+        for (i, k) in self.kernels.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"design\": \"{}\", \"mode\": \"{}\", \
+                 \"ns_per_multiply\": {}, \"samples_per_sec\": {}}}",
+                escape_json(&k.design),
+                escape_json(&k.mode),
+                json_number(k.ns_per_multiply),
+                json_number(k.samples_per_sec),
+            ));
+        }
+        out.push_str("\n  ],\n  \"scaling\": [");
+        for (i, p) in self.scaling.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"threads\": {}, \"samples_per_sec\": {}, \"speedup\": {}}}",
+                p.threads,
+                json_number(p.samples_per_sec),
+                json_number(p.speedup),
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/Infinity tokens, so
+/// non-finite values degrade to 0).
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "0".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,5 +190,62 @@ mod tests {
             iters_per_batch: 10,
         };
         assert!(m.render().contains('x'));
+    }
+
+    #[test]
+    fn escape_json_handles_special_characters() {
+        assert_eq!(escape_json(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape_json("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+        assert_eq!(escape_json("REALM16 (t=0)"), "REALM16 (t=0)");
+    }
+
+    #[test]
+    fn json_number_degrades_non_finite_values() {
+        assert_eq!(json_number(f64::NAN), "0");
+        assert_eq!(json_number(f64::INFINITY), "0");
+        assert_eq!(json_number(2.5), "2.500");
+    }
+
+    #[test]
+    fn report_json_has_expected_structure() {
+        let report = ThroughputReport {
+            samples: 1 << 16,
+            kernels: vec![KernelThroughput {
+                design: "REALM16 (t=0)".into(),
+                mode: "batched".into(),
+                ns_per_multiply: 12.5,
+                samples_per_sec: 8.0e7,
+            }],
+            scaling: vec![ScalingPoint {
+                threads: 1,
+                samples_per_sec: 1.0e7,
+                speedup: 1.0,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"realm-bench/throughput/v1\""));
+        assert!(json.contains("\"design\": \"REALM16 (t=0)\""));
+        assert!(json.contains("\"threads\": 1"));
+        // Structurally balanced and quote-paired (all strings here are
+        // escape-free, so raw counts suffice).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('"').count() % 2, 0, "{json}");
+    }
+
+    #[test]
+    fn empty_report_is_still_valid_json_shape() {
+        let json = ThroughputReport::default().to_json();
+        assert!(json.contains("\"kernels\": ["));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -64,6 +64,20 @@ impl Multiplier for Accurate {
     fn name(&self) -> &str {
         "Accurate"
     }
+
+    fn multiply_batch(&self, pairs: &[(u64, u64)], out: &mut [u64]) {
+        assert_eq!(
+            pairs.len(),
+            out.len(),
+            "multiply_batch needs one output slot per operand pair"
+        );
+        let width = self.width;
+        for (slot, &(a, b)) in out.iter_mut().zip(pairs) {
+            debug_assert!(a >> width == 0, "operand a exceeds {width} bits");
+            debug_assert!(b >> width == 0, "operand b exceeds {width} bits");
+            *slot = a * b;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -100,5 +114,19 @@ mod tests {
         let m = Accurate::new(32);
         let a = u32::MAX as u64;
         assert_eq!(m.multiply(a, a), a * a);
+    }
+
+    #[test]
+    fn batch_matches_scalar() {
+        let m = Accurate::new(16);
+        let pairs: Vec<(u64, u64)> = (0..64)
+            .map(|i| (i * 1021 % 65_536, i * 1777 % 65_536))
+            .chain([(0, 0), (65_535, 65_535), (1, 65_535)])
+            .collect();
+        let mut out = vec![0u64; pairs.len()];
+        m.multiply_batch(&pairs, &mut out);
+        for (&(a, b), &p) in pairs.iter().zip(&out) {
+            assert_eq!(p, m.multiply(a, b), "a={a} b={b}");
+        }
     }
 }

@@ -22,6 +22,7 @@
 
 use crate::error::ConfigError;
 use crate::quad::GaussLegendre;
+use std::sync::OnceLock;
 
 /// Mitchell's relative error `Ẽ_rel(x, y)` (paper Eq. 5).
 ///
@@ -156,23 +157,41 @@ impl ErrorReductionTable {
     /// `log2 M` MSBs of the fractions, so `M` must be a power of two).
     pub fn analytic(segments: u32) -> Result<Self, ConfigError> {
         validate_segments(segments)?;
-        let m = segments as usize;
-        let h = 1.0 / segments as f64;
-        let mut values = vec![0.0; m * m];
-        for i in 0..m {
-            // Exploit symmetry: compute the upper triangle, mirror the rest.
-            for j in i..m {
-                let s = reduction_factor(
-                    i as f64 * h,
-                    (i + 1) as f64 * h,
-                    j as f64 * h,
-                    (j + 1) as f64 * h,
-                );
-                values[i * m + j] = s;
-                values[j * m + i] = s;
-            }
-        }
-        Ok(ErrorReductionTable { segments, values })
+        Ok(analytic_table(segments))
+    }
+
+    /// Like [`analytic`](Self::analytic), but memoized: the table for each
+    /// valid `M` is computed once per process and shared afterwards.
+    ///
+    /// The quadrature behind a table is the expensive part of building a
+    /// [`crate::Realm`] — design-space sweeps construct dozens of
+    /// multipliers over the same three segment counts, and parallel
+    /// characterization campaigns construct one per worker; with the cache
+    /// those rebuilds are pointer copies. Deterministic: the cached table
+    /// is the exact same value [`analytic`](Self::analytic) returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidSegmentCount`] for the same inputs
+    /// [`analytic`](Self::analytic) rejects.
+    ///
+    /// ```
+    /// use realm_core::ErrorReductionTable;
+    ///
+    /// # fn main() -> Result<(), realm_core::ConfigError> {
+    /// let a = ErrorReductionTable::analytic_cached(16)?;
+    /// let b = ErrorReductionTable::analytic_cached(16)?;
+    /// assert!(std::ptr::eq(a, b)); // second call hits the cache
+    /// assert_eq!(*a, ErrorReductionTable::analytic(16)?);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn analytic_cached(segments: u32) -> Result<&'static Self, ConfigError> {
+        // One slot per valid M = 2^(slot+1), i.e. 2, 4, …, 256.
+        static CACHE: [OnceLock<ErrorReductionTable>; 8] = [const { OnceLock::new() }; 8];
+        validate_segments(segments)?;
+        let slot = segments.trailing_zeros() as usize - 1;
+        Ok(CACHE[slot].get_or_init(|| analytic_table(segments)))
     }
 
     /// Builds a table from externally supplied values (e.g. the authors'
@@ -251,6 +270,27 @@ fn validate_segments(segments: u32) -> Result<(), ConfigError> {
         return Err(ConfigError::InvalidSegmentCount { segments });
     }
     Ok(())
+}
+
+/// The quadrature proper, for a pre-validated segment count.
+fn analytic_table(segments: u32) -> ErrorReductionTable {
+    let m = segments as usize;
+    let h = 1.0 / segments as f64;
+    let mut values = vec![0.0; m * m];
+    for i in 0..m {
+        // Exploit symmetry: compute the upper triangle, mirror the rest.
+        for j in i..m {
+            let s = reduction_factor(
+                i as f64 * h,
+                (i + 1) as f64 * h,
+                j as f64 * h,
+                (j + 1) as f64 * h,
+            );
+            values[i * m + j] = s;
+            values[j * m + i] = s;
+        }
+    }
+    ErrorReductionTable { segments, values }
 }
 
 #[cfg(test)]
@@ -443,6 +483,20 @@ mod tests {
                 ErrorReductionTable::analytic(m).is_err(),
                 "M = {m} accepted"
             );
+            assert!(
+                ErrorReductionTable::analytic_cached(m).is_err(),
+                "M = {m} accepted by cache"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_table_is_shared_and_identical() {
+        for m in [2u32, 4, 8, 16] {
+            let a = ErrorReductionTable::analytic_cached(m).unwrap();
+            let b = ErrorReductionTable::analytic_cached(m).unwrap();
+            assert!(std::ptr::eq(a, b), "M = {m} not memoized");
+            assert_eq!(*a, ErrorReductionTable::analytic(m).unwrap());
         }
     }
 }

@@ -55,6 +55,40 @@ pub trait Multiplier: fmt::Debug + Send + Sync {
     fn config(&self) -> String {
         String::new()
     }
+
+    /// Multiplies every operand pair in `pairs`, writing product `i` into
+    /// `out[i]`.
+    ///
+    /// Semantically this is exactly `out[i] = self.multiply(pairs[i])` —
+    /// implementations **must** be bit-identical to the scalar path — but
+    /// performance-critical designs override it with a monomorphic kernel
+    /// that hoists configuration and LUT lookups out of the inner loop and
+    /// avoids per-sample virtual dispatch. The bulk characterization
+    /// campaigns in `realm-metrics` run on this entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` and `out` differ in length.
+    ///
+    /// ```
+    /// use realm_core::{Accurate, Multiplier};
+    ///
+    /// let m = Accurate::new(16);
+    /// let pairs = [(3, 5), (7, 9), (0, 11)];
+    /// let mut out = [0u64; 3];
+    /// m.multiply_batch(&pairs, &mut out);
+    /// assert_eq!(out, [15, 63, 0]);
+    /// ```
+    fn multiply_batch(&self, pairs: &[(u64, u64)], out: &mut [u64]) {
+        assert_eq!(
+            pairs.len(),
+            out.len(),
+            "multiply_batch needs one output slot per operand pair"
+        );
+        for (slot, &(a, b)) in out.iter_mut().zip(pairs) {
+            *slot = self.multiply(a, b);
+        }
+    }
 }
 
 /// Extension helpers available on every [`Multiplier`].

@@ -111,8 +111,10 @@ impl Realm {
     /// Returns a [`ConfigError`] when the width, segment count, truncation
     /// or LUT precision are invalid or mutually inconsistent.
     pub fn new(config: RealmConfig) -> Result<Self, ConfigError> {
-        let table = ErrorReductionTable::analytic(config.segments)?;
-        Realm::with_table(config, &table)
+        // The quadrature is memoized per segment count: sweeps and parallel
+        // campaigns build many Realm instances over the same handful of M.
+        let table = ErrorReductionTable::analytic_cached(config.segments)?;
+        Realm::with_table(config, table)
     }
 
     /// Builds a REALM multiplier from an externally supplied factor table
@@ -203,6 +205,97 @@ impl Multiplier for Realm {
 
     fn config(&self) -> String {
         format!("t={}", self.config.truncation)
+    }
+
+    /// Monomorphic batch kernel: the same datapath as `multiply`, with the
+    /// configuration (mask, truncation, fraction width, LUT geometry and
+    /// code slice) hoisted out of the per-sample loop and the encode →
+    /// truncate → lookup → log-add chain inlined. Bit-identical to the
+    /// scalar path by construction — the tests exhaustively cross-check.
+    fn multiply_batch(&self, pairs: &[(u64, u64)], out: &mut [u64]) {
+        assert_eq!(
+            pairs.len(),
+            out.len(),
+            "multiply_batch needs one output slot per operand pair"
+        );
+        let width = self.config.width;
+        let mask = if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let t = self.config.truncation;
+        let full_f = width - 1; // fraction bits before truncation
+        let f = full_f - t; // surviving fraction bits (≥ index_bits ≥ 1)
+        let q = self.lut.precision();
+        let m = self.lut.segments() as usize;
+        // Construction guarantees f ≥ index_bits, so this cannot underflow.
+        let idx_shift = f - self.lut.grid().index_bits();
+        let codes = self.lut.codes();
+        if width <= 31 {
+            // Narrow fast path: every intermediate fits in u64. The
+            // mantissa is < 2^(f+2) and the scale shift is at most
+            // 2·width − 1 − f, so the scaled value stays below
+            // 2^(2·width + 1) ≤ 2^63 — no u128 arithmetic needed.
+            let max_product = (1u64 << (2 * width)) - 1;
+            for (slot, &(a, b)) in out.iter_mut().zip(pairs) {
+                let (a, b) = (a & mask, b & mask);
+                if a == 0 || b == 0 {
+                    *slot = 0; // zero-operand special case
+                    continue;
+                }
+                let ka = 63 - a.leading_zeros();
+                let kb = 63 - b.leading_zeros();
+                let fa = (((a - (1u64 << ka)) << (full_f - ka)) >> t) | 1;
+                let fb = (((b - (1u64 << kb)) << (full_f - kb)) >> t) | 1;
+                let s = codes[((fa >> idx_shift) as usize) * m + (fb >> idx_shift) as usize] as u64;
+                let fsum = fa + fb;
+                let carry = fsum >> f;
+                let corr_f = if f >= q { s << (f - q) } else { s >> (q - f) };
+                let corr_eff = if carry == 1 { corr_f >> 1 } else { corr_f };
+                let k_sum = ka + kb;
+                let (mantissa, exponent) = if carry == 0 {
+                    ((1u64 << f) + fsum + corr_eff, k_sum)
+                } else {
+                    (fsum + corr_eff, k_sum + 1)
+                };
+                let shift = exponent as i32 - f as i32;
+                let value = if shift >= 0 {
+                    mantissa << shift
+                } else {
+                    mantissa >> -shift
+                };
+                *slot = value.min(max_product);
+            }
+            return;
+        }
+        for (slot, &(a, b)) in out.iter_mut().zip(pairs) {
+            let (a, b) = (a & mask, b & mask);
+            if a == 0 || b == 0 {
+                *slot = 0; // zero-operand special case
+                continue;
+            }
+            // LOD + barrel shift (LogEncoding::encode), then
+            // truncate-and-set-LSB (LogEncoding::truncate).
+            let ka = 63 - a.leading_zeros();
+            let kb = 63 - b.leading_zeros();
+            let fa = (((a - (1u64 << ka)) << (full_f - ka)) >> t) | 1;
+            let fb = (((b - (1u64 << kb)) << (full_f - kb)) >> t) | 1;
+            // LUT mux on the concatenated fraction MSBs.
+            let s = codes[((fa >> idx_shift) as usize) * m + (fb >> idx_shift) as usize] as u64;
+            // mitchell::log_mul with the lookup already resolved.
+            let fsum = fa + fb;
+            let carry = fsum >> f;
+            let corr_f = if f >= q { s << (f - q) } else { s >> (q - f) };
+            let corr_eff = if carry == 1 { corr_f >> 1 } else { corr_f };
+            let k_sum = (ka + kb) as i64;
+            let (mantissa, exponent) = if carry == 0 {
+                ((1u128 << f) + fsum as u128 + corr_eff as u128, k_sum)
+            } else {
+                (fsum as u128 + corr_eff as u128, k_sum + 1)
+            };
+            *slot = mitchell::saturate_product(mitchell::scale(mantissa, exponent, f), width);
+        }
     }
 }
 
@@ -356,6 +449,58 @@ mod tests {
         let (a, b) = (3_000_000_000u64, 4_000_000_000u64);
         let e = r.relative_error(a, b).expect("nonzero");
         assert!(e.abs() < 0.021, "32-bit error {e}");
+    }
+
+    #[test]
+    fn batch_kernel_matches_scalar_exhaustive_slice() {
+        // The monomorphic kernel must be bit-identical to the scalar
+        // datapath; sweep the corner-rich low range exhaustively plus a
+        // stride across the full 16-bit space, for several (M, t) points.
+        for (m, t) in [(16u32, 0u32), (8, 3), (4, 9), (16, 4)] {
+            let r = realm(m, t);
+            let mut pairs: Vec<(u64, u64)> = Vec::new();
+            for a in 0..48u64 {
+                for b in 0..48u64 {
+                    pairs.push((a, b));
+                }
+            }
+            for a in (1..65_536u64).step_by(811) {
+                for b in (1..65_536u64).step_by(877) {
+                    pairs.push((a, b));
+                }
+            }
+            pairs.extend([(65_535, 65_535), (65_535, 1), (32_768, 32_768)]);
+            let mut out = vec![0u64; pairs.len()];
+            r.multiply_batch(&pairs, &mut out);
+            for (&(a, b), &p) in pairs.iter().zip(&out) {
+                assert_eq!(p, r.multiply(a, b), "M={m} t={t} a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_kernel_matches_scalar_other_widths() {
+        for width in [8u32, 12, 24, 32] {
+            let r = Realm::new(RealmConfig::new(width, 8, 1, 6)).expect("valid");
+            let max = if width >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            let pairs: Vec<(u64, u64)> = (0..4096u64)
+                .map(|i| {
+                    let a = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % (max + 1);
+                    let b = i.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) % (max + 1);
+                    (a, b)
+                })
+                .chain([(0, max), (max, max), (1, 1)])
+                .collect();
+            let mut out = vec![0u64; pairs.len()];
+            r.multiply_batch(&pairs, &mut out);
+            for (&(a, b), &p) in pairs.iter().zip(&out) {
+                assert_eq!(p, r.multiply(a, b), "width={width} a={a} b={b}");
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,9 @@
 use realm_core::multiplier::MultiplierExt;
 use realm_core::rng::SplitMix64;
 use realm_core::Multiplier;
+use realm_par::{map_chunks, ChunkPlan, Threads};
 
+use crate::montecarlo::DEFAULT_CHUNK;
 use crate::summary::{ErrorAccumulator, ErrorSummary};
 
 /// Error statistics for one `(k_a, k_b)` interval pair.
@@ -25,25 +27,46 @@ pub struct IntervalCell {
     pub summary: ErrorSummary,
 }
 
-/// Characterizes a design per power-of-two-interval pair with `samples`
-/// uniform random operand pairs; cells that received no samples are
-/// omitted.
-pub fn characterize_by_interval(
+/// [`characterize_by_interval`] with an explicit worker-thread policy.
+///
+/// Chunk `i` of the sample budget draws from `SplitMix64::stream(seed, i)`
+/// into a private grid of accumulators; the per-chunk grids are merged
+/// cell-wise in chunk order, so the breakdown is bit-identical for every
+/// policy.
+pub fn characterize_by_interval_threaded(
     design: &dyn Multiplier,
     samples: u64,
     seed: u64,
+    threads: Threads,
 ) -> Vec<IntervalCell> {
     let width = design.width() as usize;
-    let mut rng = SplitMix64::new(seed);
     let max = design.max_operand();
-    let mut cells = vec![ErrorAccumulator::new(); width * width];
-    for _ in 0..samples {
-        let a = rng.range_inclusive(1, max);
-        let b = rng.range_inclusive(1, max);
-        if let Some(e) = design.relative_error(a, b) {
+    let plan = ChunkPlan::new(samples, DEFAULT_CHUNK);
+    let grids = map_chunks(plan, threads, |chunk| {
+        let mut rng = SplitMix64::stream(seed, chunk.index);
+        let mut pairs = Vec::with_capacity(chunk.len as usize);
+        for _ in 0..chunk.len {
+            let a = rng.range_inclusive(1, max);
+            let b = rng.range_inclusive(1, max);
+            pairs.push((a, b));
+        }
+        let mut products = vec![0u64; pairs.len()];
+        design.multiply_batch(&pairs, &mut products);
+        let mut cells = vec![ErrorAccumulator::new(); width * width];
+        for (&(a, b), &p) in pairs.iter().zip(&products) {
+            let exact = a as u128 * b as u128; // nonzero: operands are ≥ 1
+            let e = (p as f64 - exact as f64) / exact as f64;
             let ka = a.ilog2() as usize;
             let kb = b.ilog2() as usize;
             cells[ka * width + kb].push(e);
+        }
+        cells
+    });
+
+    let mut cells = vec![ErrorAccumulator::new(); width * width];
+    for grid in &grids {
+        for (total, part) in cells.iter_mut().zip(grid) {
+            total.merge(part);
         }
     }
     cells
@@ -56,6 +79,18 @@ pub fn characterize_by_interval(
             summary: acc.finish(),
         })
         .collect()
+}
+
+/// Characterizes a design per power-of-two-interval pair with `samples`
+/// uniform random operand pairs; cells that received no samples are
+/// omitted. Runs on every available hardware thread — the thread count
+/// never changes the result.
+pub fn characterize_by_interval(
+    design: &dyn Multiplier,
+    samples: u64,
+    seed: u64,
+) -> Vec<IntervalCell> {
+    characterize_by_interval_threaded(design, samples, seed, Threads::Auto)
 }
 
 /// The spread of per-interval mean errors: `(min, max)` of the cell means
@@ -129,6 +164,18 @@ mod tests {
         assert!(top.summary.samples > 8_000);
         let total: u64 = cells.iter().map(|c| c.summary.samples).sum();
         assert_eq!(total, 50_000);
+    }
+
+    #[test]
+    fn breakdown_is_thread_count_independent() {
+        let realm = Realm::new(RealmConfig::n16(4, 1)).expect("paper design point");
+        let one = characterize_by_interval_threaded(&realm, 200_000, 9, Threads::Fixed(1));
+        let many = characterize_by_interval_threaded(&realm, 200_000, 9, Threads::Fixed(8));
+        assert_eq!(one.len(), many.len());
+        for (a, b) in one.iter().zip(&many) {
+            assert_eq!((a.ka, a.kb), (b.ka, b.kb));
+            assert_eq!(a.summary, b.summary);
+        }
     }
 
     #[test]

@@ -1,16 +1,86 @@
 //! Exhaustive sweeps over operand ranges — the methodology behind the
 //! paper's error-profile figures (Fig. 1 uses `A, B ∈ {32, …, 255}`,
 //! Fig. 2 uses `{64, …, 255}`).
+//!
+//! Sweeps are row-decomposed: the `b` axis is materialized once, each `a`
+//! row is multiplied through the design's batch kernel, and rows are
+//! distributed over the worker pool in fixed chunks merged in chunk order
+//! — so results do not depend on the thread count.
 
 use std::ops::RangeInclusive;
 
-use realm_core::multiplier::MultiplierExt;
 use realm_core::Multiplier;
+use realm_par::{map_chunks, ChunkPlan, Threads};
 
 use crate::summary::{ErrorAccumulator, ErrorSummary};
 
+/// Rows per chunk for the parallel sweeps. Fixed (never derived from the
+/// worker count) so the merge order, and with it every floating-point sum,
+/// is identical on any machine.
+const ROWS_PER_CHUNK: u64 = 8;
+
+/// Runs one sweep row through the design's batch kernel: multiplies
+/// `(a, b)` for every `b` in `bs` and reports each pair's signed relative
+/// error (zero products skipped) in `b` order. The scratch buffers are
+/// caller-owned so a chunk of rows reuses one allocation.
+fn for_each_row_error(
+    design: &dyn Multiplier,
+    a: u64,
+    bs: &[u64],
+    pairs: &mut Vec<(u64, u64)>,
+    products: &mut Vec<u64>,
+    mut on_error: impl FnMut(u64, u64, f64),
+) {
+    pairs.clear();
+    pairs.extend(bs.iter().map(|&b| (a, b)));
+    products.clear();
+    products.resize(bs.len(), 0);
+    design.multiply_batch(pairs, products);
+    for (&(a, b), &p) in pairs.iter().zip(products.iter()) {
+        let exact = a as u128 * b as u128;
+        if exact == 0 {
+            continue;
+        }
+        on_error(a, b, (p as f64 - exact as f64) / exact as f64);
+    }
+}
+
 /// Exhaustively characterizes `design` over the cartesian product of two
-/// operand ranges.
+/// operand ranges, with an explicit worker-thread policy. The summary is
+/// bit-identical for every policy.
+///
+/// # Panics
+///
+/// Panics if the ranges produce no sample with a nonzero product.
+pub fn characterize_range_threaded(
+    design: &dyn Multiplier,
+    a_range: RangeInclusive<u64>,
+    b_range: RangeInclusive<u64>,
+    threads: Threads,
+) -> ErrorSummary {
+    let a_vals: Vec<u64> = a_range.collect();
+    let bs: Vec<u64> = b_range.collect();
+    let plan = ChunkPlan::new(a_vals.len() as u64, ROWS_PER_CHUNK);
+    let parts = map_chunks(plan, threads, |chunk| {
+        let mut acc = ErrorAccumulator::new();
+        let mut pairs = Vec::new();
+        let mut products = Vec::new();
+        for &a in &a_vals[chunk.start as usize..chunk.end() as usize] {
+            for_each_row_error(design, a, &bs, &mut pairs, &mut products, |_, _, e| {
+                acc.push(e)
+            });
+        }
+        acc
+    });
+    let mut total = ErrorAccumulator::new();
+    for part in &parts {
+        total.merge(part);
+    }
+    total.finish()
+}
+
+/// Exhaustively characterizes `design` over the cartesian product of two
+/// operand ranges on every available hardware thread.
 ///
 /// ```
 /// use realm_baselines::Calm;
@@ -29,15 +99,7 @@ pub fn characterize_range(
     a_range: RangeInclusive<u64>,
     b_range: RangeInclusive<u64>,
 ) -> ErrorSummary {
-    let mut acc = ErrorAccumulator::new();
-    for a in a_range {
-        for b in b_range.clone() {
-            if let Some(e) = design.relative_error(a, b) {
-                acc.push(e);
-            }
-        }
-    }
-    acc.finish()
+    characterize_range_threaded(design, a_range, b_range, Threads::Auto)
 }
 
 /// One sample of an error-profile surface.
@@ -51,6 +113,32 @@ pub struct ProfilePoint {
     pub error: f64,
 }
 
+/// [`error_profile`] with an explicit worker-thread policy. The point list
+/// (content and order) is identical for every policy.
+pub fn error_profile_threaded(
+    design: &dyn Multiplier,
+    a_range: RangeInclusive<u64>,
+    b_range: RangeInclusive<u64>,
+    threads: Threads,
+) -> Vec<ProfilePoint> {
+    let a_vals: Vec<u64> = a_range.collect();
+    let bs: Vec<u64> = b_range.collect();
+    let plan = ChunkPlan::new(a_vals.len() as u64, ROWS_PER_CHUNK);
+    let parts = map_chunks(plan, threads, |chunk| {
+        let mut points = Vec::new();
+        let mut pairs = Vec::new();
+        let mut products = Vec::new();
+        for &a in &a_vals[chunk.start as usize..chunk.end() as usize] {
+            for_each_row_error(design, a, &bs, &mut pairs, &mut products, |a, b, error| {
+                points.push(ProfilePoint { a, b, error })
+            });
+        }
+        points
+    });
+    // Chunks come back in order, so concatenation restores row-major order.
+    parts.into_iter().flatten().collect()
+}
+
 /// The full relative-error surface over two operand ranges, row-major in
 /// `a` — the data behind Fig. 1 and Fig. 2 (each returned point is one
 /// pixel of those surface plots). Zero-product pairs are skipped.
@@ -59,21 +147,14 @@ pub fn error_profile(
     a_range: RangeInclusive<u64>,
     b_range: RangeInclusive<u64>,
 ) -> Vec<ProfilePoint> {
-    let mut points = Vec::new();
-    for a in a_range {
-        for b in b_range.clone() {
-            if let Some(error) = design.relative_error(a, b) {
-                points.push(ProfilePoint { a, b, error });
-            }
-        }
-    }
-    points
+    error_profile_threaded(design, a_range, b_range, Threads::Auto)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use realm_baselines::Calm;
+    use realm_core::multiplier::MultiplierExt;
     use realm_core::{Accurate, Realm, RealmConfig};
 
     #[test]
@@ -95,6 +176,17 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_does_not_change_range_summary() {
+        let realm = Realm::new(RealmConfig::n16(8, 2)).unwrap();
+        let serial = characterize_range_threaded(&realm, 1..=300, 1..=300, Threads::Fixed(1));
+        for workers in [2usize, 8] {
+            let parallel =
+                characterize_range_threaded(&realm, 1..=300, 1..=300, Threads::Fixed(workers));
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+    }
+
+    #[test]
     fn profile_covers_grid() {
         let pts = error_profile(&Accurate::new(16), 10..=12, 20..=21);
         assert_eq!(pts.len(), 6);
@@ -103,6 +195,26 @@ mod tests {
         assert_eq!((pts[0].a, pts[0].b), (10, 20));
         assert_eq!((pts[1].a, pts[1].b), (10, 21));
         assert_eq!((pts[2].a, pts[2].b), (11, 20));
+    }
+
+    #[test]
+    fn profile_matches_scalar_relative_error() {
+        // The batched sweep must reproduce the unbatched per-pair errors.
+        let realm = Realm::new(RealmConfig::n16(16, 0)).unwrap();
+        let pts = error_profile(&realm, 32..=96, 32..=96);
+        assert_eq!(pts.len(), 65 * 65);
+        for p in pts.iter().step_by(37) {
+            let expected = realm.relative_error(p.a, p.b).expect("nonzero product");
+            assert_eq!(p.error, expected, "a={} b={}", p.a, p.b);
+        }
+    }
+
+    #[test]
+    fn profile_order_is_thread_count_independent() {
+        let calm = Calm::new(16);
+        let one = error_profile_threaded(&calm, 1..=64, 1..=16, Threads::Fixed(1));
+        let many = error_profile_threaded(&calm, 1..=64, 1..=16, Threads::Fixed(8));
+        assert_eq!(one, many);
     }
 
     #[test]

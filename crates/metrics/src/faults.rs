@@ -13,19 +13,58 @@
 //! * NMED and mean-relative-error degradation relative to the fault-free
 //!   design, and the residual NMED behind the guard.
 
+use crate::montecarlo::DEFAULT_CHUNK;
 use crate::nmed::DistanceSummary;
 use realm_core::multiplier::MultiplierExt;
 use realm_core::rng::SplitMix64;
 use realm_fault::{plausible_product, Fault, FaultSite, FaultTarget, Injector, SiteClass};
+use realm_par::{map_chunks, ChunkPlan, Threads};
 use std::fmt;
 
 /// A fault-injection campaign configuration: how many operand pairs to
 /// draw and the random seed shared by operand sampling and transient
 /// activation.
+///
+/// Campaigns are chunked exactly like [`crate::MonteCarlo`]: chunk `i`
+/// draws its operands and transient activations from
+/// `SplitMix64::stream(seed, i)` and produces a private partial, and
+/// partials fold in chunk order — so reports are bit-identical for any
+/// worker-thread count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultCampaign {
     samples: u64,
     seed: u64,
+    threads: Threads,
+    chunk: u64,
+}
+
+/// Per-chunk partial statistics of a fault campaign, folded in chunk
+/// order by the reduce.
+#[derive(Debug, Clone, Copy, Default)]
+struct FaultPartial {
+    disturbed: u64,
+    corrupted: u64,
+    detected: u64,
+    fallbacks: u64,
+    sum_clean: f64,
+    sum_faulty: f64,
+    sum_guarded: f64,
+    sum_mre: f64,
+    mre_samples: u64,
+}
+
+impl FaultPartial {
+    fn merge(&mut self, other: &FaultPartial) {
+        self.disturbed += other.disturbed;
+        self.corrupted += other.corrupted;
+        self.detected += other.detected;
+        self.fallbacks += other.fallbacks;
+        self.sum_clean += other.sum_clean;
+        self.sum_faulty += other.sum_faulty;
+        self.sum_guarded += other.sum_guarded;
+        self.sum_mre += other.sum_mre;
+        self.mre_samples += other.mre_samples;
+    }
 }
 
 /// Campaign statistics for one injected fault.
@@ -133,53 +172,73 @@ pub struct TransientPoint {
 
 impl FaultCampaign {
     /// A campaign drawing `samples` uniform operand pairs with the given
-    /// seed. `samples` is clamped up to 1 so campaigns are total.
+    /// seed, on every available hardware thread ([`Threads::Auto`]).
+    /// `samples` is clamped up to 1 so campaigns are total. The thread
+    /// count never changes a report.
     pub fn new(samples: u64, seed: u64) -> Self {
         FaultCampaign {
             samples: samples.max(1),
             seed,
+            threads: Threads::Auto,
+            chunk: DEFAULT_CHUNK,
         }
     }
 
-    /// Characterizes a single fault on a design.
-    pub fn characterize(&self, design: &dyn FaultTarget, fault: Fault) -> SiteReport {
+    /// Sets the worker-thread policy (a pure performance knob).
+    pub fn with_threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the chunk size. Changes which RNG substream serves which
+    /// sample, so reports compare bit-identically only at equal chunk
+    /// size.
+    pub fn with_chunk(mut self, chunk: u64) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
+
+    /// The chunk driver: draws the chunk's operand pairs up front, runs
+    /// the fault-free products through the design's batch kernel, then
+    /// replays each pair through the injector (whose transient draws
+    /// continue the chunk's substream).
+    fn run_chunk(
+        design: &dyn FaultTarget,
+        fault: Fault,
+        seed: u64,
+        chunk: realm_par::Chunk,
+    ) -> FaultPartial {
         let max = design.max_operand();
         let width = design.width();
-        let norm = max as f64 * max as f64;
         let faults = [fault];
-        let mut rng = SplitMix64::new(self.seed);
-
-        let mut disturbed = 0u64;
-        let mut corrupted = 0u64;
-        let mut detected = 0u64;
-        let mut fallbacks = 0u64;
-        let mut sum_clean = 0.0f64;
-        let mut sum_faulty = 0.0f64;
-        let mut sum_guarded = 0.0f64;
-        let mut sum_mre = 0.0f64;
-        let mut mre_samples = 0u64;
-
-        for _ in 0..self.samples {
+        let mut rng = SplitMix64::stream(seed, chunk.index);
+        let mut pairs = Vec::with_capacity(chunk.len as usize);
+        for _ in 0..chunk.len {
             let a = rng.range_inclusive(0, max);
             let b = rng.range_inclusive(0, max);
-            let exact = (a as u128 * b as u128) as f64;
+            pairs.push((a, b));
+        }
+        let mut clean_products = vec![0u64; pairs.len()];
+        design.multiply_batch(&pairs, &mut clean_products);
 
-            let clean = design.multiply(a, b);
+        let mut part = FaultPartial::default();
+        for (&(a, b), &clean) in pairs.iter().zip(&clean_products) {
+            let exact = (a as u128 * b as u128) as f64;
             let mut injector = Injector::new(&faults, &mut rng);
             let faulty = design.multiply_faulty(a, b, &mut injector);
 
             if injector.disturbed() {
-                disturbed += 1;
+                part.disturbed += 1;
             }
             let is_corrupted = faulty != clean;
             if is_corrupted {
-                corrupted += 1;
+                part.corrupted += 1;
             }
             let implausible = !plausible_product(a, b, faulty);
             if implausible {
-                fallbacks += 1;
+                part.fallbacks += 1;
                 if is_corrupted {
-                    detected += 1;
+                    part.detected += 1;
                 }
             }
             let guarded = if implausible {
@@ -188,34 +247,50 @@ impl FaultCampaign {
                 faulty
             };
 
-            sum_clean += (clean as f64 - exact).abs();
-            sum_faulty += (faulty as f64 - exact).abs();
-            sum_guarded += (guarded as f64 - exact).abs();
+            part.sum_clean += (clean as f64 - exact).abs();
+            part.sum_faulty += (faulty as f64 - exact).abs();
+            part.sum_guarded += (guarded as f64 - exact).abs();
             if exact > 0.0 {
-                sum_mre += ((faulty as f64 - exact) / exact).abs();
-                mre_samples += 1;
+                part.sum_mre += ((faulty as f64 - exact) / exact).abs();
+                part.mre_samples += 1;
             }
+        }
+        part
+    }
+
+    /// Characterizes a single fault on a design.
+    pub fn characterize(&self, design: &dyn FaultTarget, fault: Fault) -> SiteReport {
+        let max = design.max_operand();
+        let norm = max as f64 * max as f64;
+        let seed = self.seed;
+        let plan = ChunkPlan::new(self.samples, self.chunk);
+        let parts = map_chunks(plan, self.threads, |chunk| {
+            FaultCampaign::run_chunk(design, fault, seed, chunk)
+        });
+        let mut total = FaultPartial::default();
+        for part in &parts {
+            total.merge(part);
         }
 
         let n = self.samples as f64;
         SiteReport {
             fault,
             samples: self.samples,
-            disturbance_rate: disturbed as f64 / n,
-            corruption_rate: corrupted as f64 / n,
-            detection_rate: if corrupted == 0 {
+            disturbance_rate: total.disturbed as f64 / n,
+            corruption_rate: total.corrupted as f64 / n,
+            detection_rate: if total.corrupted == 0 {
                 1.0
             } else {
-                detected as f64 / corrupted as f64
+                total.detected as f64 / total.corrupted as f64
             },
-            fallback_rate: fallbacks as f64 / n,
-            nmed_clean: sum_clean / n / norm,
-            nmed_faulty: sum_faulty / n / norm,
-            nmed_guarded: sum_guarded / n / norm,
-            mre_faulty: if mre_samples == 0 {
+            fallback_rate: total.fallbacks as f64 / n,
+            nmed_clean: total.sum_clean / n / norm,
+            nmed_faulty: total.sum_faulty / n / norm,
+            nmed_guarded: total.sum_guarded / n / norm,
+            mre_faulty: if total.mre_samples == 0 {
                 0.0
             } else {
-                sum_mre / mre_samples as f64
+                total.sum_mre / total.mre_samples as f64
             },
         }
     }
@@ -252,7 +327,7 @@ impl FaultCampaign {
     /// The fault-free NMED/WCED of a design under this campaign's
     /// operand distribution (convenience baseline).
     pub fn baseline(&self, design: &dyn realm_core::Multiplier) -> DistanceSummary {
-        crate::nmed::distance_metrics(design, self.samples, self.seed)
+        crate::nmed::distance_metrics_threaded(design, self.samples, self.seed, self.threads)
     }
 }
 
@@ -387,5 +462,22 @@ mod tests {
         let small = FaultCampaign::new(50, 3);
         let reports = small.stuck_at_sweep(&design);
         assert_eq!(reports.len(), 2 * design.fault_sites().len());
+    }
+
+    #[test]
+    fn report_is_thread_count_independent() {
+        use realm_par::Threads;
+        let design = realm16();
+        let fault = Fault::transient(FaultSite::ShiftAmount { bit: 2 }, 0.25);
+        let base = FaultCampaign::new(20_000, 0xF00D).with_chunk(1 << 11);
+        let one = base
+            .with_threads(Threads::Fixed(1))
+            .characterize(&design, fault);
+        for workers in [2usize, 8] {
+            let many = base
+                .with_threads(Threads::Fixed(workers))
+                .characterize(&design, fault);
+            assert_eq!(one, many, "workers={workers}");
+        }
     }
 }

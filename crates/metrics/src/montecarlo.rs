@@ -4,12 +4,27 @@
 //! The paper uses `2^24` samples per configuration; campaigns here take
 //! the sample count as a parameter so tests can run small and the bench
 //! harness can run the full budget.
+//!
+//! ## Determinism under parallelism
+//!
+//! A campaign is decomposed into fixed-size chunks ([`ChunkPlan`]); chunk
+//! `i` draws its operands from the substream `SplitMix64::stream(seed, i)`
+//! and fills a private [`ErrorAccumulator`], and the per-chunk accumulators
+//! are merged **in chunk order**. Both the serial and the parallel path run
+//! this exact decomposition, so the summary is bit-identical for any
+//! worker-thread count — parallelism only changes wall-clock time.
 
 use realm_core::multiplier::MultiplierExt;
 use realm_core::rng::SplitMix64;
 use realm_core::Multiplier;
+use realm_par::{map_chunks, Chunk, ChunkPlan, Threads};
 
 use crate::summary::{ErrorAccumulator, ErrorSummary};
+
+/// Default chunk size: 2^16 samples per chunk, i.e. 256 chunks for the
+/// paper's 2^24-sample budget — plenty of load-balancing granularity while
+/// keeping per-chunk bookkeeping negligible.
+pub const DEFAULT_CHUNK: u64 = 1 << 16;
 
 /// A reproducible Monte-Carlo characterization campaign.
 ///
@@ -30,14 +45,23 @@ use crate::summary::{ErrorAccumulator, ErrorSummary};
 pub struct MonteCarlo {
     samples: u64,
     seed: u64,
+    threads: Threads,
+    chunk: u64,
 }
 
 impl MonteCarlo {
     /// A campaign drawing `samples` operand pairs from the RNG seeded with
-    /// `seed`.
+    /// `seed`, using every available hardware thread ([`Threads::Auto`])
+    /// and the default chunk size. The thread count never affects the
+    /// result.
     pub fn new(samples: u64, seed: u64) -> Self {
         assert!(samples > 0, "campaign needs at least one sample");
-        MonteCarlo { samples, seed }
+        MonteCarlo {
+            samples,
+            seed,
+            threads: Threads::Auto,
+            chunk: DEFAULT_CHUNK,
+        }
     }
 
     /// The paper's full-budget campaign: `2^24` samples.
@@ -45,48 +69,108 @@ impl MonteCarlo {
         MonteCarlo::new(1 << 24, seed)
     }
 
+    /// Sets the worker-thread policy. Purely a performance knob: summaries
+    /// are bit-identical for every choice.
+    pub fn with_threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the chunk size. **This knob changes which RNG substream serves
+    /// which sample**, so two campaigns compare bit-identically only at
+    /// equal chunk size (the default is fine for everything but tests).
+    pub fn with_chunk(mut self, chunk: u64) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
+
     /// Number of samples drawn per characterization.
     pub fn samples(&self) -> u64 {
         self.samples
     }
 
-    /// Characterizes one design: relative error statistics over uniform
-    /// random pairs (zero products skipped, as in the paper).
-    pub fn characterize(&self, design: &dyn Multiplier) -> ErrorSummary {
-        let mut rng = SplitMix64::new(self.seed);
+    /// The campaign seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The worker-thread policy.
+    pub fn threads(&self) -> Threads {
+        self.threads
+    }
+
+    /// The chunk decomposition of this campaign.
+    pub fn plan(&self) -> ChunkPlan {
+        ChunkPlan::new(self.samples, self.chunk)
+    }
+
+    /// The single chunk driver both entry points run: draws the chunk's
+    /// operand pairs from its own substream, multiplies them through the
+    /// design's batch kernel, and accumulates relative errors (zero
+    /// products skipped, as in the paper). `on_error` observes every
+    /// recorded error in draw order.
+    fn run_chunk(
+        design: &dyn Multiplier,
+        seed: u64,
+        chunk: Chunk,
+        mut on_error: impl FnMut(f64),
+    ) -> ErrorAccumulator {
+        let mut rng = SplitMix64::stream(seed, chunk.index);
         let max = design.max_operand();
-        let mut acc = ErrorAccumulator::new();
-        let mut drawn = 0u64;
-        while drawn < self.samples {
+        let mut pairs = Vec::with_capacity(chunk.len as usize);
+        for _ in 0..chunk.len {
             let a = rng.range_inclusive(0, max);
             let b = rng.range_inclusive(0, max);
-            drawn += 1;
-            if let Some(e) = design.relative_error(a, b) {
-                acc.push(e);
-            }
+            pairs.push((a, b));
         }
-        acc.finish()
+        let mut products = vec![0u64; pairs.len()];
+        design.multiply_batch(&pairs, &mut products);
+        let mut acc = ErrorAccumulator::new();
+        for (&(a, b), &p) in pairs.iter().zip(&products) {
+            let exact = a as u128 * b as u128;
+            if exact == 0 {
+                continue;
+            }
+            let e = (p as f64 - exact as f64) / exact as f64;
+            acc.push(e);
+            on_error(e);
+        }
+        acc
+    }
+
+    /// Characterizes one design: relative error statistics over uniform
+    /// random pairs (zero products skipped, as in the paper). Runs the
+    /// chunk plan on the campaign's worker pool.
+    pub fn characterize(&self, design: &dyn Multiplier) -> ErrorSummary {
+        let seed = self.seed;
+        let parts = map_chunks(self.plan(), self.threads, |chunk| {
+            MonteCarlo::run_chunk(design, seed, chunk, |_| {})
+        });
+        let mut total = ErrorAccumulator::new();
+        for part in &parts {
+            total.merge(part);
+        }
+        total.finish()
     }
 
     /// Characterizes one design and simultaneously feeds every error into
     /// `sink` (used to build Fig. 5 histograms without a second pass).
+    ///
+    /// The sink forces serial execution, but the decomposition and fold
+    /// order are identical to [`characterize`](Self::characterize), so the
+    /// returned summary is bit-identical to the parallel one and the sink
+    /// sees errors in deterministic chunk order.
     pub fn characterize_with<F: FnMut(f64)>(
         &self,
         design: &dyn Multiplier,
         mut sink: F,
     ) -> ErrorSummary {
-        let mut rng = SplitMix64::new(self.seed);
-        let max = design.max_operand();
-        let mut acc = ErrorAccumulator::new();
-        for _ in 0..self.samples {
-            let a = rng.range_inclusive(0, max);
-            let b = rng.range_inclusive(0, max);
-            if let Some(e) = design.relative_error(a, b) {
-                acc.push(e);
-                sink(e);
-            }
+        let mut total = ErrorAccumulator::new();
+        for chunk in self.plan().chunks() {
+            let part = MonteCarlo::run_chunk(design, self.seed, chunk, &mut sink);
+            total.merge(&part);
         }
-        acc.finish()
+        total.finish()
     }
 }
 
@@ -112,6 +196,26 @@ mod tests {
         let a = MonteCarlo::new(20_000, 99).characterize(&m);
         let b = MonteCarlo::new(20_000, 99).characterize(&m);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_summary() {
+        let m = Calm::new(16);
+        let base = MonteCarlo::new(30_000, 4).with_chunk(1 << 10);
+        let serial = base.with_threads(Threads::Fixed(1)).characterize(&m);
+        for workers in [2usize, 3, 8] {
+            let parallel = base.with_threads(Threads::Fixed(workers)).characterize(&m);
+            assert_eq!(serial, parallel, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn characterize_with_matches_characterize_bit_for_bit() {
+        let m = Calm::new(16);
+        let c = MonteCarlo::new(25_000, 12).with_chunk(1 << 11);
+        let plain = c.characterize(&m);
+        let with_sink = c.characterize_with(&m, |_| {});
+        assert_eq!(plain, with_sink);
     }
 
     #[test]

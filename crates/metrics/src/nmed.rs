@@ -6,6 +6,9 @@
 use realm_core::multiplier::MultiplierExt;
 use realm_core::rng::SplitMix64;
 use realm_core::Multiplier;
+use realm_par::{map_chunks, ChunkPlan, Threads};
+
+use crate::montecarlo::DEFAULT_CHUNK;
 
 /// Absolute-error statistics for one design.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,7 +22,65 @@ pub struct DistanceSummary {
     pub samples: u64,
 }
 
-/// Measures NMED/WCED with `samples` uniform operand pairs.
+/// Per-chunk partial of a distance campaign: plain sums, merged in chunk
+/// order by the reduce.
+#[derive(Debug, Clone, Copy)]
+struct DistancePartial {
+    sum: f64,
+    worst: f64,
+}
+
+/// [`distance_metrics`] with an explicit worker-thread policy. The summary
+/// is bit-identical for every policy: chunk `i` draws from
+/// `SplitMix64::stream(seed, i)` and the per-chunk sums fold in chunk
+/// order.
+pub fn distance_metrics_threaded(
+    design: &dyn Multiplier,
+    samples: u64,
+    seed: u64,
+    threads: Threads,
+) -> DistanceSummary {
+    assert!(samples > 0, "need at least one sample");
+    let max = design.max_operand();
+    let norm = (max as f64) * (max as f64);
+    let plan = ChunkPlan::new(samples, DEFAULT_CHUNK);
+    let parts = map_chunks(plan, threads, |chunk| {
+        let mut rng = SplitMix64::stream(seed, chunk.index);
+        let mut pairs = Vec::with_capacity(chunk.len as usize);
+        for _ in 0..chunk.len {
+            let a = rng.range_inclusive(0, max);
+            let b = rng.range_inclusive(0, max);
+            pairs.push((a, b));
+        }
+        let mut products = vec![0u64; pairs.len()];
+        design.multiply_batch(&pairs, &mut products);
+        let mut part = DistancePartial {
+            sum: 0.0,
+            worst: 0.0,
+        };
+        for (&(a, b), &p) in pairs.iter().zip(&products) {
+            let exact = (a as u128 * b as u128) as f64;
+            let d = (p as f64 - exact).abs();
+            part.sum += d;
+            part.worst = part.worst.max(d);
+        }
+        part
+    });
+    let mut sum = 0.0f64;
+    let mut worst = 0.0f64;
+    for part in &parts {
+        sum += part.sum;
+        worst = worst.max(part.worst);
+    }
+    DistanceSummary {
+        nmed: sum / samples as f64 / norm,
+        worst_case: worst / norm,
+        samples,
+    }
+}
+
+/// Measures NMED/WCED with `samples` uniform operand pairs on every
+/// available hardware thread (the thread count never changes the result).
 ///
 /// ```
 /// use realm_core::Accurate;
@@ -29,26 +90,7 @@ pub struct DistanceSummary {
 /// assert_eq!(s.nmed, 0.0);
 /// ```
 pub fn distance_metrics(design: &dyn Multiplier, samples: u64, seed: u64) -> DistanceSummary {
-    assert!(samples > 0, "need at least one sample");
-    let mut rng = SplitMix64::new(seed);
-    let max = design.max_operand();
-    let norm = (max as f64) * (max as f64);
-    let mut sum = 0.0f64;
-    let mut worst = 0.0f64;
-    for _ in 0..samples {
-        let a = rng.range_inclusive(0, max);
-        let b = rng.range_inclusive(0, max);
-        let exact = (a as u128 * b as u128) as f64;
-        let approx = design.multiply(a, b) as f64;
-        let d = (approx - exact).abs();
-        sum += d;
-        worst = worst.max(d);
-    }
-    DistanceSummary {
-        nmed: sum / samples as f64 / norm,
-        worst_case: worst / norm,
-        samples,
-    }
+    distance_metrics_threaded(design, samples, seed, Threads::Auto)
 }
 
 #[cfg(test)]
@@ -87,6 +129,16 @@ mod tests {
             3,
         );
         assert!(r16.nmed < r4.nmed);
+    }
+
+    #[test]
+    fn distance_is_thread_count_independent() {
+        let realm = Realm::new(RealmConfig::n16(8, 3)).expect("paper design point");
+        let one = distance_metrics_threaded(&realm, 300_000, 5, Threads::Fixed(1));
+        for workers in [2usize, 8] {
+            let many = distance_metrics_threaded(&realm, 300_000, 5, Threads::Fixed(workers));
+            assert_eq!(one, many, "workers={workers}");
+        }
     }
 
     #[test]

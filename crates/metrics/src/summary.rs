@@ -211,6 +211,90 @@ mod tests {
         assert_eq!(a.finish(), whole.finish());
     }
 
+    /// A pseudo-random stream of dyadic rationals `k · 2^-22` with
+    /// `|k| < 2^20`. Sums of a few thousand such values (and of their
+    /// absolute values and squares) are exactly representable in f64, so
+    /// partition-vs-sequential equality can be asserted **exactly** rather
+    /// than within a tolerance — the property the chunked parallel reduce
+    /// rests on.
+    fn dyadic_stream(seed: u64, n: usize) -> Vec<f64> {
+        let mut rng = realm_core::rng::SplitMix64::new(seed);
+        (0..n)
+            .map(|_| {
+                let k = rng.range_inclusive(0, 1 << 21) as i64 - (1 << 20);
+                k as f64 / (1u64 << 22) as f64
+            })
+            .collect()
+    }
+
+    fn accumulate(values: &[f64]) -> ErrorAccumulator {
+        let mut acc = ErrorAccumulator::new();
+        for &e in values {
+            acc.push(e);
+        }
+        acc
+    }
+
+    #[test]
+    fn merge_any_partition_equals_sequential_exactly() {
+        let es = dyadic_stream(0xA11CE, 4_000);
+        let whole = accumulate(&es);
+        // Partitions of varying granularity, including chunk sizes that do
+        // not divide the stream length (ragged final chunk).
+        for chunk in [1usize, 7, 64, 1_000, 4_000, 9_999] {
+            let mut merged = ErrorAccumulator::new();
+            for part in es.chunks(chunk) {
+                merged.merge(&accumulate(part));
+            }
+            assert_eq!(merged, whole, "chunk={chunk}");
+            assert_eq!(merged.finish(), whole.finish(), "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn merge_tolerates_empty_chunks_exactly() {
+        let es = dyadic_stream(0xBEEF, 512);
+        let whole = accumulate(&es);
+        // Interleave empty accumulators at the front, middle and back.
+        let mut merged = ErrorAccumulator::new();
+        merged.merge(&ErrorAccumulator::new());
+        merged.merge(&accumulate(&es[..200]));
+        merged.merge(&ErrorAccumulator::new());
+        merged.merge(&accumulate(&es[200..]));
+        merged.merge(&ErrorAccumulator::new());
+        assert_eq!(merged, whole);
+        assert_eq!(merged.finish(), whole.finish());
+    }
+
+    #[test]
+    fn merge_is_associative_exactly() {
+        let es = dyadic_stream(0xCAFE, 3_000);
+        let (a, b, c) = (
+            accumulate(&es[..777]),
+            accumulate(&es[777..2_000]),
+            accumulate(&es[2_000..]),
+        );
+        // (a ⊕ b) ⊕ c
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right);
+        assert_eq!(left.finish(), right.finish());
+    }
+
+    #[test]
+    fn merge_into_empty_is_identity() {
+        let acc = accumulate(&dyadic_stream(7, 100));
+        let mut empty = ErrorAccumulator::new();
+        empty.merge(&acc);
+        assert_eq!(empty, acc);
+    }
+
     #[test]
     fn peak_error_takes_larger_magnitude() {
         let mut acc = ErrorAccumulator::new();

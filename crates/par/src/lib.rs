@@ -1,0 +1,353 @@
+//! # realm-par
+//!
+//! A dependency-free, deterministic parallel execution layer for the
+//! workspace's bulk characterization campaigns (Monte-Carlo error
+//! profiling, exhaustive sweeps, fault-injection runs).
+//!
+//! The paper's evaluation draws 2^24 Monte-Carlo samples *per
+//! configuration* across dozens of design points; that work is trivially
+//! parallel, but naive parallelism would make the reported statistics
+//! depend on the thread count (floating-point accumulation order) and on
+//! scheduling (which worker consumed which RNG draws). This crate makes
+//! parallel campaigns **bit-identical for any worker count** with a simple
+//! discipline:
+//!
+//! 1. The workload is split into **fixed-size chunks** by a [`ChunkPlan`]
+//!    whose geometry depends only on `(total, chunk_size)` — never on the
+//!    number of workers.
+//! 2. Each chunk derives its own RNG substream from `(seed, chunk index)`
+//!    (see `realm_core::rng::SplitMix64::stream`) and fills a private
+//!    accumulator.
+//! 3. [`map_chunks`] executes chunks on a scoped worker pool
+//!    (`std::thread::scope`, no external crates) and returns the per-chunk
+//!    results **in chunk order**, so the caller's reduce is a fixed
+//!    left-fold regardless of which worker finished first.
+//!
+//! Steps 1–3 mean the only thing parallelism changes is wall-clock time:
+//! the values folded, and the order they are folded in, are exactly those
+//! of a serial run over the same chunk plan.
+//!
+//! ```
+//! use realm_par::{map_chunks, ChunkPlan, Threads};
+//!
+//! let plan = ChunkPlan::new(10_000, 1 << 10);
+//! let partial_sums = map_chunks(plan, Threads::Fixed(4), |chunk| {
+//!     (chunk.start..chunk.end()).sum::<u64>()
+//! });
+//! let total: u64 = partial_sums.iter().sum();
+//! assert_eq!(total, 10_000 * 9_999 / 2);
+//! // Identical plan + fold order ⇒ identical result on any thread count.
+//! let serial = map_chunks(plan, Threads::Fixed(1), |c| (c.start..c.end()).sum::<u64>());
+//! assert_eq!(partial_sums, serial);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+
+/// Worker-count policy for a parallel campaign.
+///
+/// `Threads` only decides how many OS threads execute the chunk plan —
+/// never how the work is chunked — so results are identical under every
+/// variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Threads {
+    /// Use every hardware thread the OS reports
+    /// ([`std::thread::available_parallelism`]), falling back to 1 when
+    /// the query fails.
+    #[default]
+    Auto,
+    /// Use exactly this many workers. `Fixed(0)` is treated as `Fixed(1)`:
+    /// the policy is total, zero workers cannot execute anything.
+    Fixed(usize),
+}
+
+impl Threads {
+    /// The concrete worker count this policy resolves to, always ≥ 1.
+    pub fn resolve(self) -> usize {
+        match self {
+            Threads::Auto => thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Threads::Fixed(n) => n.max(1),
+        }
+    }
+
+    /// Parses a CLI-style thread count: `0` means [`Threads::Auto`], any
+    /// other value is [`Threads::Fixed`].
+    pub fn from_count(n: usize) -> Self {
+        if n == 0 {
+            Threads::Auto
+        } else {
+            Threads::Fixed(n)
+        }
+    }
+}
+
+/// One contiguous slice of a campaign's index space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Chunk {
+    /// Position of this chunk in the plan (0-based). Campaigns use this as
+    /// the RNG substream index.
+    pub index: u64,
+    /// First global sample index covered by the chunk.
+    pub start: u64,
+    /// Number of samples in the chunk (the final chunk may be short).
+    pub len: u64,
+}
+
+impl Chunk {
+    /// One past the last global sample index covered by the chunk.
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+}
+
+/// A deterministic decomposition of `total` samples into fixed-size
+/// chunks.
+///
+/// The geometry is a pure function of `(total, chunk_size)`: chunk `i`
+/// covers `[i * chunk_size, min((i+1) * chunk_size, total))`. Worker
+/// counts, scheduling and hardware never change it — which is what lets
+/// the parallel reduce reproduce the serial one bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChunkPlan {
+    total: u64,
+    chunk_size: u64,
+}
+
+impl ChunkPlan {
+    /// Plans `total` samples in chunks of `chunk_size`.
+    ///
+    /// A zero `chunk_size` is clamped to 1 (the plan is total); a zero
+    /// `total` yields an empty plan with no chunks.
+    pub fn new(total: u64, chunk_size: u64) -> Self {
+        ChunkPlan {
+            total,
+            chunk_size: chunk_size.max(1),
+        }
+    }
+
+    /// Total samples covered by the plan.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The fixed chunk size (the final chunk may be shorter).
+    pub fn chunk_size(&self) -> u64 {
+        self.chunk_size
+    }
+
+    /// Number of chunks in the plan.
+    pub fn num_chunks(&self) -> u64 {
+        self.total.div_ceil(self.chunk_size)
+    }
+
+    /// The `index`-th chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= num_chunks()`.
+    pub fn chunk(&self, index: u64) -> Chunk {
+        assert!(
+            index < self.num_chunks(),
+            "chunk {index} out of range for plan of {} chunks",
+            self.num_chunks()
+        );
+        let start = index * self.chunk_size;
+        Chunk {
+            index,
+            start,
+            len: self.chunk_size.min(self.total - start),
+        }
+    }
+
+    /// All chunks, in order.
+    pub fn chunks(&self) -> impl Iterator<Item = Chunk> + '_ {
+        (0..self.num_chunks()).map(|i| self.chunk(i))
+    }
+}
+
+/// Executes `f` over every chunk of `plan` and returns the results **in
+/// chunk order**, using up to `threads` scoped worker threads.
+///
+/// Workers claim chunks from a shared atomic counter, so load balances
+/// dynamically; because each result is tagged with its chunk index and the
+/// output is reassembled positionally, the caller observes the exact
+/// sequence a serial loop would produce. With one worker (or a single
+/// chunk) the pool is bypassed entirely and `f` runs inline on the calling
+/// thread.
+///
+/// # Panics
+///
+/// If `f` panics on any chunk, the panic is resumed on the calling thread
+/// after the pool unwinds (other in-flight chunks run to completion).
+pub fn map_chunks<T, F>(plan: ChunkPlan, threads: Threads, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Chunk) -> T + Sync,
+{
+    let num_chunks = plan.num_chunks();
+    let workers = threads.resolve().min(num_chunks.max(1) as usize);
+    if workers <= 1 {
+        return plan.chunks().map(f).collect();
+    }
+
+    let next = AtomicU64::new(0);
+    let worker = |_id: usize| -> Result<Vec<(u64, T)>, Box<dyn std::any::Any + Send>> {
+        let mut produced = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= num_chunks {
+                return Ok(produced);
+            }
+            let chunk = plan.chunk(i);
+            match catch_unwind(AssertUnwindSafe(|| f(chunk))) {
+                Ok(value) => produced.push((i, value)),
+                Err(payload) => return Err(payload),
+            }
+        }
+    };
+
+    let mut tagged: Vec<(u64, T)> = Vec::with_capacity(num_chunks as usize);
+    let mut panic_payload = None;
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|id| scope.spawn(move || worker(id)))
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(part)) => tagged.extend(part),
+                Ok(Err(payload)) | Err(payload) => panic_payload = Some(payload),
+            }
+        }
+    });
+    if let Some(payload) = panic_payload {
+        resume_unwind(payload);
+    }
+
+    // Reassemble in chunk order: scheduling decided who computed what,
+    // never the order the caller sees.
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(tagged.len(), num_chunks as usize);
+    tagged.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_resolve_is_at_least_one() {
+        assert!(Threads::Auto.resolve() >= 1);
+        assert_eq!(Threads::Fixed(0).resolve(), 1);
+        assert_eq!(Threads::Fixed(7).resolve(), 7);
+    }
+
+    #[test]
+    fn threads_from_count_maps_zero_to_auto() {
+        assert_eq!(Threads::from_count(0), Threads::Auto);
+        assert_eq!(Threads::from_count(3), Threads::Fixed(3));
+    }
+
+    #[test]
+    fn plan_covers_every_sample_exactly_once() {
+        for (total, size) in [(0u64, 8u64), (1, 8), (8, 8), (9, 8), (100, 7), (100, 1000)] {
+            let plan = ChunkPlan::new(total, size);
+            let mut expected_start = 0;
+            for chunk in plan.chunks() {
+                assert_eq!(chunk.start, expected_start);
+                assert!(chunk.len >= 1 && chunk.len <= size);
+                expected_start = chunk.end();
+            }
+            assert_eq!(expected_start, total, "total={total} size={size}");
+        }
+    }
+
+    #[test]
+    fn empty_plan_has_no_chunks() {
+        let plan = ChunkPlan::new(0, 64);
+        assert_eq!(plan.num_chunks(), 0);
+        assert_eq!(
+            map_chunks(plan, Threads::Fixed(4), |c| c.len),
+            Vec::<u64>::new()
+        );
+    }
+
+    #[test]
+    fn zero_chunk_size_is_clamped() {
+        let plan = ChunkPlan::new(10, 0);
+        assert_eq!(plan.chunk_size(), 1);
+        assert_eq!(plan.num_chunks(), 10);
+    }
+
+    #[test]
+    fn final_chunk_is_short() {
+        let plan = ChunkPlan::new(10, 4);
+        let chunks: Vec<Chunk> = plan.chunks().collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[2].len, 2);
+        assert_eq!(chunks[2].start, 8);
+        assert_eq!(chunks[2].index, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn chunk_index_out_of_range_panics() {
+        let _ = ChunkPlan::new(10, 4).chunk(3);
+    }
+
+    #[test]
+    fn results_are_in_chunk_order_for_any_thread_count() {
+        let plan = ChunkPlan::new(1_000, 13);
+        let reference: Vec<u64> = plan.chunks().map(|c| c.start * 31 + c.len).collect();
+        for workers in [1usize, 2, 3, 8, 64] {
+            let got = map_chunks(plan, Threads::Fixed(workers), |c| c.start * 31 + c.len);
+            assert_eq!(got, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn uneven_work_is_load_balanced_without_reordering() {
+        // Chunks with wildly different costs must still come back ordered.
+        let plan = ChunkPlan::new(64, 1);
+        let got = map_chunks(plan, Threads::Fixed(8), |c| {
+            if c.index % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            c.index
+        });
+        assert_eq!(got, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn more_workers_than_chunks_is_fine() {
+        let plan = ChunkPlan::new(3, 1);
+        let got = map_chunks(plan, Threads::Fixed(32), |c| c.index * 2);
+        assert_eq!(got, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let plan = ChunkPlan::new(16, 1);
+        let result = std::panic::catch_unwind(|| {
+            map_chunks(plan, Threads::Fixed(4), |c| {
+                assert!(c.index != 5, "boom on chunk 5");
+                c.index
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn auto_threads_match_fixed_results() {
+        let plan = ChunkPlan::new(500, 9);
+        let auto = map_chunks(plan, Threads::Auto, |c| c.start + c.len);
+        let one = map_chunks(plan, Threads::Fixed(1), |c| c.start + c.len);
+        assert_eq!(auto, one);
+    }
+}

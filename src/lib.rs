@@ -11,6 +11,8 @@
 //! * [`baselines`] — every comparator of the paper's Table I.
 //! * [`metrics`] — Monte-Carlo error characterization, histograms,
 //!   Pareto fronts, fault campaigns.
+//! * [`par`] — the deterministic chunked worker pool those campaigns
+//!   run on (bit-identical results for any thread count).
 //! * [`fault`] — functional fault injection (transient and stuck-at)
 //!   with an invariant-guarded graceful-degradation wrapper.
 //! * [`synth`] — gate-level netlists for every design with a calibrated
@@ -55,6 +57,9 @@ pub use realm_jpeg as jpeg;
 
 /// The error-characterization harness (re-export of `realm-metrics`).
 pub use realm_metrics as metrics;
+
+/// The deterministic parallel execution layer (re-export of `realm-par`).
+pub use realm_par as par;
 
 /// The gate-level synthesis substitute (re-export of `realm-synth`).
 pub use realm_synth as synth;
