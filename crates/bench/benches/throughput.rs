@@ -171,6 +171,8 @@ fn main() {
         .unwrap_or_else(|| std::path::PathBuf::from("."));
     std::fs::create_dir_all(&dir).expect("create output directory");
     let path = dir.join("BENCH_throughput.json");
-    std::fs::write(&path, report.to_json()).expect("write throughput report");
+    // Atomic (tmp + fsync + rename): a reader of the report never
+    // observes a torn file even if the bench is killed mid-write.
+    realm_harness::atomic_write_str(&path, &report.to_json()).expect("write throughput report");
     println!("\nwrote {}", path.display());
 }

@@ -13,7 +13,9 @@
 //! cargo run --release -p realm-bench --bin ablation -- --samples 2^20
 //! ```
 
-use realm_bench::Options;
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use realm_bench::{Options, OrDie};
 use realm_core::factors::reduced_relative_error;
 use realm_core::mitchell::{self, LogEncoding};
 use realm_core::quad::adaptive_simpson_2d;
@@ -78,7 +80,7 @@ fn actual_error_table(m: u32) -> ErrorReductionTable {
             values[i * mm + j] = integral / (h * h);
         }
     }
-    ErrorReductionTable::from_values(m, values).expect("square table")
+    ErrorReductionTable::from_values(m, values).or_die("square table")
 }
 
 fn main() {
@@ -92,15 +94,17 @@ fn main() {
     // it is the cheapest legal one.
     println!("Ablation 1 — LUT precision q (M = 16, t = 0; paper fixes q = 6):");
     for q in [4u32, 5] {
-        let err = Realm::new(RealmConfig::new(16, 16, 0, q)).expect_err("q too coarse");
-        println!("  q={q}: rejected ({err})");
+        match Realm::new(RealmConfig::new(16, 16, 0, q)) {
+            Err(err) => println!("  q={q}: rejected ({err})"),
+            Ok(_) => realm_bench::die(&format!("q={q} was accepted but must be too coarse")),
+        }
     }
     println!(
         "{:<6} {:>8} {:>8} {:>8} {:>8}",
         "q", "bias%", "mean%", "peak%", "lut bits"
     );
     for q in 6..=10u32 {
-        let realm = Realm::new(RealmConfig::new(16, 16, 0, q)).expect("valid configuration");
+        let realm = Realm::new(RealmConfig::new(16, 16, 0, q)).or_die("valid configuration");
         let s = campaign.characterize(&realm);
         println!(
             "{:<6} {:>8.3} {:>8.3} {:>8.3} {:>8}",
@@ -113,7 +117,7 @@ fn main() {
     }
 
     println!("\nAblation 2 — factor formulation (M = 8, t = 0):");
-    let relative = ErrorReductionTable::analytic(8).expect("valid M");
+    let relative = ErrorReductionTable::analytic(8).or_die("valid M");
     let actual = actual_error_table(8);
     let max_delta = relative
         .values()
@@ -133,7 +137,7 @@ fn main() {
     ] {
         for q in [6u32, 10] {
             let realm = Realm::with_table(RealmConfig::new(16, 8, 0, q), table)
-                .expect("valid configuration");
+                .or_die("valid configuration");
             let s = campaign.characterize(&realm);
             println!(
                 "  {:<30} q={q:<3} bias {:+.4}%  mean {:.4}%  peak {:.3}%",
@@ -148,7 +152,7 @@ fn main() {
     println!("\nAblation 3 — truncate-and-set-LSB (M = 16):");
     println!("{:<4} {:>16} {:>16}", "t", "with set-LSB", "without");
     for t in [4u32, 6, 8, 9] {
-        let with = Realm::new(RealmConfig::n16(16, t)).expect("paper design point");
+        let with = Realm::new(RealmConfig::n16(16, t)).or_die("paper design point");
         let without = RealmNoSetLsb {
             lut: with.lut().clone(),
             truncation: t,
@@ -167,8 +171,8 @@ fn main() {
 
     println!("\nAblation 4 — quantized hardware vs ideal real-valued REALM (t = 0):");
     for m in [4u32, 8, 16] {
-        let table = ErrorReductionTable::analytic(m).expect("valid M");
-        let grid = SegmentGrid::new(m).expect("valid M");
+        let table = ErrorReductionTable::analytic(m).or_die("valid M");
+        let grid = SegmentGrid::new(m).or_die("valid M");
         // Ideal: continuous fractions, unquantized factors.
         let steps = 512usize;
         let mut mean = 0.0f64;
@@ -188,7 +192,7 @@ fn main() {
         }
         mean /= (steps * steps) as f64;
         let hw =
-            campaign.characterize(&Realm::new(RealmConfig::n16(m, 0)).expect("paper design point"));
+            campaign.characterize(&Realm::new(RealmConfig::n16(m, 0)).or_die("paper design point"));
         println!(
             "  M={m:<3} ideal mean {:.3}% peak {:.3}%   hardware mean {:.3}% peak {:.3}%",
             mean * 100.0,

@@ -1,0 +1,89 @@
+//! Supervised Monte-Carlo error campaign on the paper's 16-bit design
+//! point (REALM16, t = 0) — the workspace's reference workload for the
+//! resilience layer: chunk-granular checkpointing, `--resume`, panic
+//! quarantine, `--deadline`, and Ctrl-C all apply.
+//!
+//! ```text
+//! cargo run --release -p realm-bench --bin campaign -- \
+//!     --samples 2^22 --checkpoint-dir ckpt --resume --out results
+//! ```
+//!
+//! A complete campaign writes a **byte-stable** `campaign_summary.json`
+//! via the crash-safe atomic path (every float is spelled both in
+//! shortest-round-trip decimal and as raw IEEE-754 bits, so a resumed
+//! run can be byte-compared against an uninterrupted one). An
+//! interrupted or quarantined campaign prints the supervision report
+//! with a resume hint and still exits 0 — partial progress is a normal
+//! outcome, not a failure.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use realm_bench::{or_die, Options, OrDie};
+use realm_core::multiplier::MultiplierExt;
+use realm_core::{Realm, RealmConfig};
+use realm_metrics::{ErrorSummary, MonteCarlo};
+
+/// A float as a JSON object carrying both the shortest decimal that
+/// round-trips and the exact bit pattern — byte-stable because the
+/// campaign itself is bit-identical across thread counts and resumes.
+fn json_f64(x: f64) -> String {
+    format!("{{\"value\": {x:?}, \"bits\": \"{:016x}\"}}", x.to_bits())
+}
+
+fn summary_json(design: &str, requested: u64, seed: u64, errors: &ErrorSummary) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"realm-bench/campaign/v1\",\n");
+    out.push_str(&format!("  \"design\": \"{design}\",\n"));
+    out.push_str(&format!("  \"requested_samples\": {requested},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"samples\": {},\n", errors.samples));
+    out.push_str(&format!("  \"bias\": {},\n", json_f64(errors.bias)));
+    out.push_str(&format!(
+        "  \"mean_error\": {},\n",
+        json_f64(errors.mean_error)
+    ));
+    out.push_str(&format!("  \"variance\": {},\n", json_f64(errors.variance)));
+    out.push_str(&format!(
+        "  \"min_error\": {},\n",
+        json_f64(errors.min_error)
+    ));
+    out.push_str(&format!(
+        "  \"max_error\": {}\n",
+        json_f64(errors.max_error)
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let mut opts = Options::from_env();
+    if opts.smoke && opts.samples == Options::default().samples {
+        opts.samples = 1 << 16;
+    }
+    let design = Realm::new(RealmConfig::n16(16, 0)).or_die("paper design point");
+    let label = design.label();
+    println!(
+        "supervised Monte-Carlo campaign — {label}, {} samples, seed {}",
+        opts.samples, opts.seed
+    );
+
+    let campaign = MonteCarlo::new(opts.samples, opts.seed);
+    let supervisor = opts.supervisor();
+    let sup = or_die(
+        campaign.characterize_supervised(&design, &supervisor),
+        "campaign",
+    );
+    println!("{}", sup.report.render());
+
+    if let (true, Some(errors)) = (sup.report.is_complete(), &sup.value) {
+        println!("{errors}");
+        opts.write_csv(
+            "campaign_summary.json",
+            &summary_json(&label, opts.samples, opts.seed, errors),
+        );
+    } else {
+        // Partial coverage is a normal outcome of a deadline, Ctrl-C,
+        // a chunk budget, or quarantined chunks — exit 0 either way.
+        println!("campaign incomplete — no summary written");
+    }
+}

@@ -16,8 +16,10 @@
 //! cargo run --release -p realm-bench --bin extensions -- --samples 2^20
 //! ```
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use realm_baselines::{Calm, Drum, Mbm, Ssm};
-use realm_bench::Options;
+use realm_bench::{Options, OrDie};
 use realm_core::float::{ApproxFloat, FloatFormat};
 use realm_core::mse::mse_table;
 use realm_core::{Accurate, ErrorReductionTable, Multiplier, Realm, RealmConfig};
@@ -42,12 +44,12 @@ fn main() {
         for (label, table) in [
             (
                 "mean-error (paper)",
-                ErrorReductionTable::analytic(m).expect("valid M"),
+                ErrorReductionTable::analytic(m).or_die("valid M"),
             ),
-            ("mean-square-error", mse_table(m).expect("valid M")),
+            ("mean-square-error", mse_table(m).or_die("valid M")),
         ] {
             let realm = Realm::with_table(RealmConfig::new(16, m, 0, 10), &table)
-                .expect("valid configuration");
+                .or_die("valid configuration");
             let s = campaign.characterize(&realm);
             println!(
                 "{:<28} {:>8.3} {:>8.3} {:>8.3} {:>10.3}   (M={m}, q=10)",
@@ -62,12 +64,12 @@ fn main() {
 
     println!("\nExtension 2 — absolute-error metrics (NMED / worst-case, x10^-4):");
     let reps: Vec<Box<dyn Multiplier>> = vec![
-        Box::new(Realm::new(RealmConfig::n16(16, 0)).expect("paper design point")),
-        Box::new(Realm::new(RealmConfig::n16(4, 0)).expect("paper design point")),
+        Box::new(Realm::new(RealmConfig::n16(16, 0)).or_die("paper design point")),
+        Box::new(Realm::new(RealmConfig::n16(4, 0)).or_die("paper design point")),
         Box::new(Calm::new(16)),
-        Box::new(Mbm::new(16, 0).expect("paper design point")),
-        Box::new(Drum::new(16, 6).expect("paper design point")),
-        Box::new(Ssm::new(16, 8).expect("paper design point")),
+        Box::new(Mbm::new(16, 0).or_die("paper design point")),
+        Box::new(Drum::new(16, 6).or_die("paper design point")),
+        Box::new(Ssm::new(16, 8).or_die("paper design point")),
     ];
     for design in &reps {
         use realm_core::multiplier::MultiplierExt;
@@ -81,8 +83,8 @@ fn main() {
     }
 
     println!("\nExtension 3 — per-interval mean error (Eq. 12 interval-independence):");
-    let realm = Realm::new(RealmConfig::n16(8, 0)).expect("paper design point");
-    let ssm = Ssm::new(16, 8).expect("paper design point");
+    let realm = Realm::new(RealmConfig::n16(8, 0)).or_die("paper design point");
+    let ssm = Ssm::new(16, 8).or_die("paper design point");
     for (label, design) in [
         ("REALM8", &realm as &dyn Multiplier),
         ("SSM m=8", &ssm as &dyn Multiplier),
@@ -100,12 +102,12 @@ fn main() {
     }
 
     println!("\nExtension 4 — binary32 multiplication with approximate significand cores:");
-    let exact_fpu = ApproxFloat::new(FloatFormat::FP32, Accurate::new(24)).expect("wide enough");
+    let exact_fpu = ApproxFloat::new(FloatFormat::FP32, Accurate::new(24)).or_die("wide enough");
     let realm_fpu = ApproxFloat::new(
         FloatFormat::FP32,
-        Realm::new(RealmConfig::new(24, 16, 0, 6)).expect("valid configuration"),
+        Realm::new(RealmConfig::new(24, 16, 0, 6)).or_die("valid configuration"),
     )
-    .expect("wide enough");
+    .or_die("wide enough");
     let mut x = 0x5EED_1234u64;
     let (mut worst_exact, mut worst_realm, mut mean_realm, mut n) = (0.0f64, 0.0f64, 0.0, 0u32);
     for _ in 0..20_000 {
@@ -146,13 +148,13 @@ fn main() {
     let designs: Vec<(&str, Box<dyn Multiplier>)> = vec![
         (
             "REALM16 t=0",
-            Box::new(Realm::new(RealmConfig::n16(16, 0)).expect("valid")),
+            Box::new(Realm::new(RealmConfig::n16(16, 0)).or_die("valid")),
         ),
         (
             "REALM4 t=0",
-            Box::new(Realm::new(RealmConfig::n16(4, 0)).expect("valid")),
+            Box::new(Realm::new(RealmConfig::n16(4, 0)).or_die("valid")),
         ),
-        ("MBM t=0", Box::new(Mbm::new(16, 0).expect("valid"))),
+        ("MBM t=0", Box::new(Mbm::new(16, 0).or_die("valid"))),
         ("cALM", Box::new(Calm::new(16))),
     ];
     let img = Image::synthetic_livingroom();

@@ -11,7 +11,9 @@
 //! the functional and gate-level campaigns disagree on the most
 //! error-critical datapath stage.
 
-use realm_bench::Options;
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use realm_bench::{Options, OrDie};
 use realm_core::{Realm, RealmConfig};
 use realm_dsp::fir::{output_snr, FirFilter};
 use realm_fault::{Fault, FaultPlan, FaultSite, FaultyMultiplier, Guarded, Operand, SiteClass};
@@ -24,11 +26,11 @@ use realm_synth::faults::{stage_sensitivity, StageImpact};
 const SHARED_CLASSES: [&str; 4] = ["characteristic", "fraction", "lut-factor", "shift-amount"];
 
 fn realm8() -> Realm {
-    Realm::new(RealmConfig::new(8, 8, 0, 6)).expect("valid 8-bit design point")
+    Realm::new(RealmConfig::new(8, 8, 0, 6)).or_die("valid 8-bit design point")
 }
 
 fn realm16() -> Realm {
-    Realm::new(RealmConfig::n16(16, 0)).expect("paper design point")
+    Realm::new(RealmConfig::n16(16, 0)).or_die("paper design point")
 }
 
 /// Most error-critical shared class by mean relative error, with its MRE.
@@ -50,10 +52,21 @@ fn top_shared<T>(
         })
 }
 
-fn functional_campaign(opts: &Options, samples: u64) -> Vec<ClassSummary> {
+fn functional_campaign(opts: &Options, samples: u64) -> Option<Vec<ClassSummary>> {
     let design = realm8();
     let campaign = FaultCampaign::new(samples, opts.seed).with_threads(opts.threads);
-    let reports = campaign.stuck_at_sweep(&design);
+    // Each per-fault campaign journals separately under the supervisor,
+    // so Ctrl-C / --deadline stop the sweep at a chunk boundary and
+    // --resume continues it bit-identically.
+    let sup = campaign
+        .stuck_at_sweep_supervised(&design, &opts.supervisor())
+        .or_die("functional stuck-at sweep");
+    if !sup.report.is_complete() {
+        println!("functional stuck-at sweep — REALM8 (8-bit): incomplete");
+        println!("{}", sup.report.render());
+        return None;
+    }
+    let reports = sup.value.unwrap_or_default();
     let classes = summarize_by_class(&reports);
 
     println!(
@@ -79,7 +92,7 @@ fn functional_campaign(opts: &Options, samples: u64) -> Vec<ClassSummary> {
         ));
     }
     opts.write_csv("faults_functional_classes.csv", &csv);
-    classes
+    Some(classes)
 }
 
 fn gate_level_campaign(opts: &Options, faults_per_stage: usize, vectors: u32) -> Vec<StageImpact> {
@@ -201,7 +214,12 @@ fn main() {
     }
     let (faults_per_stage, vectors) = if smoke { (6, 50) } else { (16, 250) };
 
-    let classes = functional_campaign(&opts, opts.samples);
+    let Some(classes) = functional_campaign(&opts, opts.samples) else {
+        // The stop (deadline, Ctrl-C) covers the whole study: a partial
+        // sweep cannot be cross-validated, so report and exit cleanly.
+        println!("\nstudy interrupted; rerun with --resume --checkpoint-dir to continue");
+        return;
+    };
     let impacts = gate_level_campaign(&opts, faults_per_stage, vectors);
 
     let (f_top, f_mre) = top_shared(

@@ -9,8 +9,10 @@
 //! cargo run --release -p realm-bench --bin fig1 -- --out results
 //! ```
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use realm_baselines::{Alm, AlmAdder, Calm, ImpLm, IntAlp, Mbm};
-use realm_bench::Options;
+use realm_bench::{Options, OrDie};
 use realm_core::{Multiplier, Realm, RealmConfig};
 use realm_metrics::heatmap::render_heatmap;
 use realm_metrics::{characterize_range_threaded, error_profile_threaded};
@@ -23,15 +25,15 @@ fn main() {
         ("c_implm", Box::new(ImpLm::new(16))),
         (
             "d_mbm",
-            Box::new(Mbm::new(16, 0).expect("paper design point")),
+            Box::new(Mbm::new(16, 0).or_die("paper design point")),
         ),
         (
             "e_intalp_l2",
-            Box::new(IntAlp::new(16, 2).expect("paper design point")),
+            Box::new(IntAlp::new(16, 2).or_die("paper design point")),
         ),
         (
             "f_realm16",
-            Box::new(Realm::new(RealmConfig::n16(16, 0)).expect("paper design point")),
+            Box::new(Realm::new(RealmConfig::n16(16, 0)).or_die("paper design point")),
         ),
     ];
 

@@ -7,8 +7,10 @@
 //! cargo run --release -p realm-bench --bin fig2 -- --out results
 //! ```
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use realm_baselines::Calm;
-use realm_bench::Options;
+use realm_bench::{Options, OrDie};
 use realm_core::factors::reduced_relative_error;
 use realm_core::multiplier::MultiplierExt;
 use realm_core::{ErrorReductionTable, Realm, RealmConfig, SegmentGrid};
@@ -16,8 +18,8 @@ use realm_core::{ErrorReductionTable, Realm, RealmConfig, SegmentGrid};
 fn main() {
     let opts = Options::from_env();
     let m = 4u32;
-    let table = ErrorReductionTable::analytic(m).expect("M = 4 is valid");
-    let grid = SegmentGrid::new(m).expect("M = 4 is valid");
+    let table = ErrorReductionTable::analytic(m).or_die("M = 4 is valid");
+    let grid = SegmentGrid::new(m).or_die("M = 4 is valid");
 
     println!("Fig. 2 reproduction — 4x4 partitioning of each power-of-two interval\n");
     println!("error-reduction factors s_ij (x 10^-3), rows = x segment, cols = y segment:");
@@ -32,7 +34,7 @@ fn main() {
     // measured empirically over A, B in {64..255} (one full interval per
     // axis, as in the paper's illustration).
     let calm = Calm::new(16);
-    let realm = Realm::new(RealmConfig::new(16, m, 0, 6)).expect("valid configuration");
+    let realm = Realm::new(RealmConfig::new(16, m, 0, 6)).or_die("valid configuration");
     let mut before = vec![(0.0f64, 0u64); (m * m) as usize];
     let mut after = vec![(0.0f64, 0u64); (m * m) as usize];
     for a in 64..=255u64 {
@@ -42,8 +44,8 @@ fn main() {
             let x = a as f64 / (1u64 << ka) as f64 - 1.0;
             let y = b as f64 / (1u64 << kb) as f64 - 1.0;
             let idx = grid.flat_index(grid.index_of_value(x), grid.index_of_value(y));
-            let eb = calm.relative_error(a, b).expect("nonzero");
-            let ea = realm.relative_error(a, b).expect("nonzero");
+            let eb = calm.relative_error(a, b).or_die("nonzero");
+            let ea = realm.relative_error(a, b).or_die("nonzero");
             before[idx].0 += eb;
             before[idx].1 += 1;
             after[idx].0 += ea;

@@ -8,7 +8,9 @@
 //! cargo run --release -p realm-bench --bin fig3 -- --out results
 //! ```
 
-use realm_bench::Options;
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use realm_bench::{Options, OrDie};
 use realm_core::{Realm, RealmConfig};
 use realm_synth::blocks::adder::ripple_add;
 use realm_synth::blocks::lod::leading_one;
@@ -52,7 +54,7 @@ fn main() {
     let luts: Vec<(u32, usize)> = [4u32, 8, 16]
         .iter()
         .map(|&m| {
-            let realm = Realm::new(RealmConfig::n16(m, 0)).expect("paper design point");
+            let realm = Realm::new(RealmConfig::n16(m, 0)).or_die("paper design point");
             let table: Vec<u64> = realm.lut().codes().iter().map(|&c| c as u64).collect();
             let bits = 2 * (m.trailing_zeros());
             let cost = block_cost(|nl| {
@@ -81,7 +83,7 @@ fn main() {
 
     // Whole-design census comparison.
     println!("\nfull-design cell census (REALM16/t=0 vs cALM vs accurate):");
-    let realm = Realm::new(RealmConfig::n16(16, 0)).expect("paper design point");
+    let realm = Realm::new(RealmConfig::n16(16, 0)).or_die("paper design point");
     let designs = [realm_netlist(&realm), calm_netlist(16), wallace_netlist(16)];
     print!("{:<10}", "cell");
     for d in &designs {

@@ -7,7 +7,9 @@
 //! cargo run --release -p realm-bench --bin fig4 -- --samples 2^22 --out results
 //! ```
 
-use realm_bench::{table1_rows, Options};
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use realm_bench::{table1_rows, Options, OrDie};
 use realm_metrics::{pareto_front, ParetoPoint};
 
 fn main() {
@@ -66,7 +68,7 @@ fn main() {
         for (i, p) in points.iter().enumerate() {
             csv.push_str(&format!(
                 "{},{},{:.2},{:.3},{}\n",
-                title.split_whitespace().next().expect("pane id"),
+                title.split_whitespace().next().or_die("pane id"),
                 p.label,
                 p.gain,
                 p.cost,

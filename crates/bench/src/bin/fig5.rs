@@ -6,7 +6,9 @@
 //! cargo run --release -p realm-bench --bin fig5 -- --samples 2^22 --out results
 //! ```
 
-use realm_bench::Options;
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use realm_bench::{Options, OrDie};
 use realm_core::{Realm, RealmConfig};
 use realm_metrics::{Histogram, MonteCarlo};
 
@@ -30,7 +32,7 @@ fn main() {
         (8, 9),
         (4, 9),
     ] {
-        let realm = Realm::new(RealmConfig::n16(m, t)).expect("paper design point");
+        let realm = Realm::new(RealmConfig::n16(m, t)).or_die("paper design point");
         let mut hist = Histogram::new(-0.08, 0.08, 64);
         let summary = campaign.characterize_with(&realm, |e| hist.add(e));
         println!(

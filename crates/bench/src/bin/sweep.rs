@@ -8,7 +8,9 @@
 //! cargo run --release -p realm-bench --bin sweep -- --samples 2^20 --out results
 //! ```
 
-use realm_bench::Options;
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use realm_bench::{Options, OrDie};
 use realm_core::{Multiplier, Realm, RealmConfig};
 use realm_metrics::sweep::{sweep_knob, Series};
 use realm_metrics::MonteCarlo;
@@ -39,7 +41,7 @@ fn main() {
             &knobs,
             &campaign,
             |t| {
-                Box::new(Realm::new(RealmConfig::n16(m, t)).expect("paper design point"))
+                Box::new(Realm::new(RealmConfig::n16(m, t)).or_die("paper design point"))
                     as Box<dyn Multiplier>
             },
             |s| s.mean_error,
@@ -50,7 +52,7 @@ fn main() {
             &knobs,
             &campaign,
             |t| {
-                Box::new(Realm::new(RealmConfig::n16(m, t)).expect("paper design point"))
+                Box::new(Realm::new(RealmConfig::n16(m, t)).or_die("paper design point"))
                     as Box<dyn Multiplier>
             },
             |s| s.peak_error(),
@@ -63,7 +65,7 @@ fn main() {
     for m in [16u32, 8, 4] {
         print!("REALM{m}: ");
         for t in 0..=9u32 {
-            let realm = Realm::new(RealmConfig::n16(m, t)).expect("paper design point");
+            let realm = Realm::new(RealmConfig::n16(m, t)).or_die("paper design point");
             let r = reporter.report(&realm_synth::designs::realm_netlist(&realm));
             print!("({t}: {:.1}/{:.1}) ", r.area_reduction, r.power_reduction);
             csv.push_str(&format!(

@@ -7,7 +7,9 @@
 //! cargo run --release -p realm-bench --bin table1 -- --samples 2^24 --out results
 //! ```
 
-use realm_bench::{table1_rows, Options, Table1Row};
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use realm_bench::{or_die, table1_rows_supervised, Options, OrDie, Table1Row};
 
 fn main() {
     let mut opts = Options::from_env();
@@ -26,18 +28,41 @@ fn main() {
         "{:<22} {:>7} {:>7} {:>8} {:>7} {:>8} {:>7} {:>9}",
         "design", "aRed%", "pRed%", "bias%", "mean%", "min%", "max%", "var(%^2)"
     );
-    let rows = table1_rows(opts.samples, opts.cycles, opts.seed, opts.threads);
+    // All 65 per-design campaigns run under one supervisor: Ctrl-C /
+    // --deadline stop the table gracefully at a chunk boundary, and
+    // with --checkpoint-dir + --resume it continues where it stopped.
+    let supervisor = opts.supervisor();
+    let table = or_die(
+        table1_rows_supervised(opts.samples, opts.cycles, opts.seed, &supervisor),
+        "table I campaign",
+    );
     let mut csv = String::from(Table1Row::csv_header());
     csv.push('\n');
-    for row in &rows {
+    for row in &table.rows {
         println!("{}", row.render());
         csv.push_str(&row.to_csv());
         csv.push('\n');
     }
     opts.write_csv("table1.csv", &csv);
 
-    // Paper-shape sanity summary.
-    let find = |label: &str| rows.iter().find(|r| r.label == label).expect("row exists");
+    if !table.skipped.is_empty() {
+        println!(
+            "\n{} of 65 designs incomplete ({} rows written); rerun with --resume \
+             --checkpoint-dir to continue",
+            table.skipped.len(),
+            table.rows.len()
+        );
+        return;
+    }
+
+    // Paper-shape sanity summary (only meaningful on a complete table).
+    let find = |label: &str| {
+        table
+            .rows
+            .iter()
+            .find(|r| r.label == label)
+            .or_die("row exists")
+    };
     let realm16 = find("REALM16 (t=0)");
     let calm = find("cALM");
     println!("\nheadline checks (paper values in parentheses):");

@@ -6,6 +6,8 @@
 //! cargo run --release -p realm-bench --bin table2 -- --out results
 //! ```
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use realm_baselines::catalog::table2_designs;
 use realm_bench::Options;
 use realm_core::multiplier::MultiplierExt;

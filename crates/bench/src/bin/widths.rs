@@ -8,7 +8,9 @@
 //! cargo run --release -p realm-bench --bin widths -- --samples 2^20
 //! ```
 
-use realm_bench::Options;
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use realm_bench::{Options, OrDie};
 use realm_core::multiplier::MultiplierExt;
 use realm_core::{Multiplier, Realm, RealmConfig};
 use realm_metrics::{ErrorAccumulator, MonteCarlo};
@@ -34,7 +36,7 @@ fn main() {
         "N", "method", "bias%", "mean%", "min%", "max%"
     );
     for width in [8u32, 12, 16, 24, 32] {
-        let realm = Realm::new(RealmConfig::new(width, 8, 0, 6)).expect("valid configuration");
+        let realm = Realm::new(RealmConfig::new(width, 8, 0, 6)).or_die("valid configuration");
         let (method, s) = if width <= 12 {
             ("exhaustive", exhaustive(&realm))
         } else {
@@ -64,7 +66,7 @@ fn main() {
         "N", "REALM gates", "accurate gates", "aRed%"
     );
     for width in [8u32, 12, 16, 24, 32] {
-        let realm = Realm::new(RealmConfig::new(width, 8, 0, 6)).expect("valid configuration");
+        let realm = Realm::new(RealmConfig::new(width, 8, 0, 6)).or_die("valid configuration");
         let nl = realm_synth::designs::realm_netlist(&realm);
         let acc = realm_synth::blocks::multiplier::wallace_netlist(width);
         println!(

@@ -18,12 +18,62 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod options;
 pub mod stopwatch;
 pub mod table;
 
 pub use options::Options;
+
+/// Unwraps a result in a driver binary: on error, prints the diagnostic
+/// with its context and exits 1 — drivers fail loudly but never panic.
+pub fn or_die<T, E: std::fmt::Display>(result: Result<T, E>, context: &str) -> T {
+    match result {
+        Ok(value) => value,
+        Err(e) => die(&format!("{context}: {e}")),
+    }
+}
+
+/// [`or_die`] for options: exits with a diagnostic when a value that
+/// must exist (a paper design point, a lookup that cannot miss) is
+/// absent.
+pub fn or_die_opt<T>(option: Option<T>, context: &str) -> T {
+    match option {
+        Some(value) => value,
+        None => die(context),
+    }
+}
+
+/// Prints `error: <msg>` to stderr and exits 1.
+pub fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+/// Method-position sugar for [`or_die`]/[`or_die_opt`], so driver
+/// binaries can unwrap fallible setup (`Realm::new(...).or_die("…")`)
+/// with a diagnostic and a clean exit instead of a panic.
+pub trait OrDie {
+    /// The success value.
+    type Out;
+    /// Returns the success value or exits 1 with `context`.
+    fn or_die(self, context: &str) -> Self::Out;
+}
+
+impl<T, E: std::fmt::Display> OrDie for Result<T, E> {
+    type Out = T;
+    fn or_die(self, context: &str) -> T {
+        or_die(self, context)
+    }
+}
+
+impl<T> OrDie for Option<T> {
+    type Out = T;
+    fn or_die(self, context: &str) -> T {
+        or_die_opt(self, context)
+    }
+}
 
 /// One row of the Table I reproduction: a design's error metrics paired
 /// with its synthesis-model results.
@@ -106,9 +156,101 @@ pub fn table1_rows(
         .collect()
 }
 
+/// The outcome of a supervised Table I campaign: the rows whose error
+/// campaign completed, the designs that had to be skipped (interrupted
+/// or quarantined), and whether the run stopped early.
+#[derive(Debug)]
+pub struct Table1Campaign {
+    /// Completed rows — each bit-identical to its unsupervised
+    /// counterpart.
+    pub rows: Vec<Table1Row>,
+    /// Labels of designs whose campaign did not complete this
+    /// invocation (rerun with `--resume` to finish them).
+    pub skipped: Vec<String>,
+    /// Whether a deadline/cancellation/budget stop cut the run short.
+    pub interrupted: bool,
+}
+
+/// [`table1_rows`] under a [`realm_harness::Supervisor`]: every
+/// design's Monte-Carlo campaign is journaled separately, so the table
+/// survives interruption at any point and resumes exactly where it
+/// stopped. Completed rows are bit-identical to [`table1_rows`] at the
+/// same samples/seed.
+pub fn table1_rows_supervised(
+    samples: u64,
+    power_cycles: u32,
+    seed: u64,
+    supervisor: &realm_harness::Supervisor,
+) -> Result<Table1Campaign, realm_harness::HarnessError> {
+    use realm_core::multiplier::MultiplierExt;
+
+    let campaign = realm_metrics::MonteCarlo::new(samples, seed);
+    let reporter = realm_synth::Reporter::paper_setup(power_cycles, seed);
+    let mut out = Table1Campaign {
+        rows: Vec::new(),
+        skipped: Vec::new(),
+        interrupted: false,
+    };
+    for pair in realm_synth::designs::table1_pairs() {
+        let label = pair.model.label();
+        if out.interrupted {
+            // The stop (deadline, Ctrl-C, budget) covers the whole
+            // table: don't start further campaigns.
+            out.skipped.push(label);
+            continue;
+        }
+        let sup = campaign.characterize_supervised(pair.model.as_ref(), supervisor)?;
+        if sup.report.stopped.is_some() {
+            out.interrupted = true;
+        }
+        match (sup.report.is_complete(), sup.value) {
+            (true, Some(errors)) => {
+                let synth = reporter.report(&pair.netlist);
+                out.rows.push(Table1Row {
+                    label,
+                    area_reduction: synth.area_reduction,
+                    power_reduction: synth.power_reduction,
+                    errors,
+                });
+            }
+            _ => out.skipped.push(label),
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn supervised_table1_matches_plain() {
+        let rows = table1_rows(5_000, 20, 3, realm_par::Threads::Auto);
+        let sup = table1_rows_supervised(5_000, 20, 3, &realm_harness::Supervisor::new())
+            .expect("supervised table");
+        assert!(!sup.interrupted);
+        assert!(sup.skipped.is_empty());
+        assert_eq!(sup.rows.len(), rows.len());
+        for (a, b) in sup.rows.iter().zip(&rows) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.errors, b.errors);
+            assert_eq!(a.area_reduction, b.area_reduction);
+        }
+    }
+
+    #[test]
+    fn supervised_table1_skips_cleanly_on_expired_deadline() {
+        let sup = table1_rows_supervised(
+            5_000,
+            20,
+            3,
+            &realm_harness::Supervisor::new().with_deadline(std::time::Duration::ZERO),
+        )
+        .expect("supervised table");
+        assert!(sup.interrupted);
+        assert!(sup.rows.is_empty());
+        assert_eq!(sup.skipped.len(), 65);
+    }
 
     #[test]
     fn small_table1_run_produces_all_rows() {

@@ -1,9 +1,30 @@
 //! Minimal command-line parsing shared by the experiment drivers (no
-//! external CLI crate needed for `--samples N --cycles N --seed N
-//! --threads N --out DIR --smoke`).
+//! external CLI crate needed).
+//!
+//! Parsing never panics: malformed input produces a [`CliError`] with a
+//! friendly diagnostic, and [`Options::from_env`] turns that into a
+//! usage message plus exit status 2. Thread counts follow one rule
+//! everywhere: **`--threads 0` means auto** (every hardware thread),
+//! matching `realm_par::Threads`.
 
-use realm_par::Threads;
+use std::fmt;
 use std::path::PathBuf;
+use std::time::Duration;
+
+use realm_harness::{CancelToken, Supervisor};
+use realm_par::Threads;
+
+/// A diagnostic for one malformed command-line argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
 
 /// Common options for the experiment binaries.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +43,22 @@ pub struct Options {
     pub out_dir: Option<PathBuf>,
     /// CI smoke mode: shrink every campaign to seconds.
     pub smoke: bool,
+    /// Directory for campaign checkpoint journals (`--checkpoint-dir`).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from existing journals instead of restarting
+    /// (`--resume`; implies journaling into `--checkpoint-dir`, which
+    /// defaults to `.realm-checkpoints` when only `--resume` is given).
+    pub resume: bool,
+    /// Wall-clock budget for the whole invocation (`--deadline 30m`).
+    pub deadline: Option<Duration>,
+    /// Execute at most this many chunks per campaign then stop with a
+    /// resumable checkpoint (`--max-chunks N`; deterministic
+    /// interruption for CI and tests).
+    pub max_chunks: Option<u64>,
+    /// Chaos hook: chunk indices that panic on every attempt
+    /// (`--inject-panic 2,5`), exercising quarantine and graceful
+    /// degradation end to end.
+    pub inject_panic: Vec<u64>,
 }
 
 impl Default for Options {
@@ -33,99 +70,212 @@ impl Default for Options {
             threads: Threads::Auto,
             out_dir: None,
             smoke: false,
+            checkpoint_dir: None,
+            resume: false,
+            deadline: None,
+            max_chunks: None,
+            inject_panic: Vec::new(),
         }
     }
 }
 
+/// The flag table shared by every experiment driver's `--help`.
+pub fn usage() -> &'static str {
+    "options:\n\
+     \x20 --samples N        Monte-Carlo samples per design (default 2^24; accepts 2^k, 64k, 4M)\n\
+     \x20 --cycles N         power-simulation cycles per netlist (default 2000)\n\
+     \x20 --seed N           RNG seed (default 2020)\n\
+     \x20 --threads N        worker threads; 0 = auto (every hardware thread, the default).\n\
+     \x20                    Purely a performance knob: results are bit-identical for any N.\n\
+     \x20 --out DIR          write CSV/JSON artifacts into DIR (atomic tmp+fsync+rename)\n\
+     \x20 --smoke            CI smoke mode: shrink campaigns to seconds\n\
+     \x20 --checkpoint-dir D journal completed chunks into D (one file per campaign)\n\
+     \x20 --resume           resume from existing journals (default dir: .realm-checkpoints)\n\
+     \x20 --deadline T       stop gracefully after T (30s, 10m, 2h, 500ms), checkpoint, exit 0\n\
+     \x20 --max-chunks N     execute at most N chunks per campaign, then checkpoint and stop\n\
+     \x20 --inject-panic L   comma-separated chunk indices that always panic (chaos test)\n\
+     \x20 --help             print this help\n\
+     \n\
+     Ctrl-C checkpoints and exits cleanly; a second Ctrl-C aborts immediately.\n\
+     Interrupted campaigns rerun with --resume produce bit-identical results."
+}
+
 impl Options {
-    /// Parses `std::env::args`, falling back to the defaults.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on malformed arguments (these are
-    /// developer-facing experiment drivers).
+    /// Parses `std::env::args`. Prints the usage table and exits 0 on
+    /// `--help`; prints the diagnostic plus usage and exits 2 on
+    /// malformed input.
     pub fn from_env() -> Self {
-        Options::parse(std::env::args().skip(1))
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{}", usage());
+            std::process::exit(0);
+        }
+        match Options::parse(args) {
+            Ok(opts) => opts,
+            Err(e) => {
+                eprintln!("error: {e}\n\n{}", usage());
+                std::process::exit(2);
+            }
+        }
     }
 
-    /// Parses an explicit argument iterator (testable).
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+    /// Parses an explicit argument iterator (testable). Never panics.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, CliError> {
         let mut opts = Options::default();
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
             let mut value = |name: &str| {
                 it.next()
-                    .unwrap_or_else(|| panic!("flag {name} requires a value"))
+                    .ok_or_else(|| CliError(format!("flag {name} requires a value")))
             };
             match flag.as_str() {
-                "--samples" => {
-                    opts.samples = parse_count(&value("--samples"));
-                }
+                "--samples" => opts.samples = parse_count(&value("--samples")?)?,
                 "--cycles" => {
-                    opts.cycles = parse_count(&value("--cycles")) as u32;
+                    let n = parse_count(&value("--cycles")?)?;
+                    opts.cycles = u32::try_from(n).map_err(|_| {
+                        CliError(format!("--cycles {n} exceeds the 32-bit cycle budget"))
+                    })?;
                 }
-                "--seed" => {
-                    opts.seed = parse_count(&value("--seed"));
-                }
+                "--seed" => opts.seed = parse_count(&value("--seed")?)?,
                 "--threads" => {
-                    opts.threads = Threads::from_count(parse_count(&value("--threads")) as usize);
+                    let n = parse_count(&value("--threads")?)?;
+                    let n = usize::try_from(n).map_err(|_| {
+                        CliError(format!("--threads {n} is not a sensible thread count"))
+                    })?;
+                    opts.threads = Threads::from_count(n);
                 }
-                "--out" => {
-                    opts.out_dir = Some(PathBuf::from(value("--out")));
+                "--out" => opts.out_dir = Some(PathBuf::from(value("--out")?)),
+                "--smoke" => opts.smoke = true,
+                "--checkpoint-dir" => {
+                    opts.checkpoint_dir = Some(PathBuf::from(value("--checkpoint-dir")?))
                 }
-                "--smoke" => {
-                    opts.smoke = true;
+                "--resume" => opts.resume = true,
+                "--deadline" => opts.deadline = Some(parse_duration(&value("--deadline")?)?),
+                "--max-chunks" => opts.max_chunks = Some(parse_count(&value("--max-chunks")?)?),
+                "--inject-panic" => {
+                    let list = value("--inject-panic")?;
+                    for part in list.split(',').filter(|p| !p.is_empty()) {
+                        opts.inject_panic.push(parse_count(part)?);
+                    }
                 }
                 // Cargo's bench runner forwards this marker to
                 // `harness = false` benches; it carries no information.
                 "--bench" => {}
                 other => {
-                    panic!(
-                        "unknown flag '{other}' (expected --samples, --cycles, --seed, \
-                         --threads, --out, --smoke)"
-                    )
+                    return Err(CliError(format!(
+                        "unknown flag '{other}' (try --help for the flag table)"
+                    )))
                 }
             }
         }
-        opts
+        if opts.resume && opts.checkpoint_dir.is_none() {
+            opts.checkpoint_dir = Some(PathBuf::from(".realm-checkpoints"));
+        }
+        Ok(opts)
     }
 
-    /// Writes a CSV artifact into the output directory, if one was given.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the directory or file cannot be written (experiment
-    /// drivers fail loudly).
+    /// Builds the campaign [`Supervisor`] these options describe:
+    /// thread policy, checkpoint directory, resume, deadline, chunk
+    /// budget, chaos injection, and a Ctrl-C cancellation token.
+    pub fn supervisor(&self) -> Supervisor {
+        let mut sup = Supervisor::new()
+            .with_threads(self.threads)
+            .with_cancel(CancelToken::ctrl_c())
+            .resume(self.resume);
+        if let Some(dir) = &self.checkpoint_dir {
+            sup = sup.checkpoint_to(dir);
+        }
+        if let Some(deadline) = self.deadline {
+            sup = sup.with_deadline(deadline);
+        }
+        if let Some(budget) = self.max_chunks {
+            sup = sup.with_chunk_budget(budget);
+        }
+        if !self.inject_panic.is_empty() {
+            sup = sup.with_injected_panics(&self.inject_panic, true);
+        }
+        sup
+    }
+
+    /// Writes a CSV artifact into the output directory (if one was
+    /// given) via the crash-safe atomic write path. Prints the
+    /// diagnostic and exits 1 if the artifact cannot be written — a
+    /// half-written file is never left behind.
     pub fn write_csv(&self, name: &str, content: &str) {
         if let Some(dir) = &self.out_dir {
-            std::fs::create_dir_all(dir).expect("create output directory");
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: cannot create '{}': {e}", dir.display());
+                std::process::exit(1);
+            }
             let path = dir.join(name);
-            std::fs::write(&path, content).expect("write CSV artifact");
+            if let Err(e) = realm_harness::atomic_write_str(&path, content) {
+                eprintln!("error: cannot write '{}': {e}", path.display());
+                std::process::exit(1);
+            }
             println!("wrote {}", path.display());
         }
     }
 }
 
-/// Parses decimal, `2^k`, or `k`-suffixed counts (`1M`, `64k`).
-fn parse_count(s: &str) -> u64 {
+/// Parses decimal, `2^k`, or `K`/`M`-suffixed counts (`1M`, `64k`).
+/// Overflow is a diagnostic, not a panic.
+pub fn parse_count(s: &str) -> Result<u64, CliError> {
+    let bad = |why: &str| CliError(format!("invalid count '{s}': {why}"));
     if let Some(exp) = s.strip_prefix("2^") {
-        return 1u64 << exp.parse::<u32>().expect("valid exponent");
+        let k: u32 = exp
+            .parse()
+            .map_err(|_| bad("exponent must be a small integer"))?;
+        if k > 63 {
+            return Err(bad("2^k exceeds 64 bits (k must be ≤ 63)"));
+        }
+        return Ok(1u64 << k);
     }
     if let Some(mega) = s.strip_suffix(['M', 'm']) {
-        return mega.parse::<u64>().expect("valid count") * 1_000_000;
+        let n: u64 = mega.parse().map_err(|_| bad("expected digits before M"))?;
+        return n
+            .checked_mul(1_000_000)
+            .ok_or_else(|| bad("count overflows 64 bits"));
     }
     if let Some(kilo) = s.strip_suffix(['K', 'k']) {
-        return kilo.parse::<u64>().expect("valid count") * 1_000;
+        let n: u64 = kilo.parse().map_err(|_| bad("expected digits before K"))?;
+        return n
+            .checked_mul(1_000)
+            .ok_or_else(|| bad("count overflows 64 bits"));
     }
-    s.parse().expect("valid count")
+    s.parse()
+        .map_err(|_| bad("expected a non-negative integer (or 2^k / 64k / 4M)"))
+}
+
+/// Parses a human duration: `90s`, `10m`, `2h`, `500ms`, or bare
+/// seconds.
+pub fn parse_duration(s: &str) -> Result<Duration, CliError> {
+    let bad = || CliError(format!("invalid duration '{s}': use 30s, 10m, 2h or 500ms"));
+    let (digits, scale_ms) = if let Some(d) = s.strip_suffix("ms") {
+        (d, 1u64)
+    } else if let Some(d) = s.strip_suffix('s') {
+        (d, 1_000)
+    } else if let Some(d) = s.strip_suffix('m') {
+        (d, 60_000)
+    } else if let Some(d) = s.strip_suffix('h') {
+        (d, 3_600_000)
+    } else {
+        (s, 1_000)
+    };
+    let n: u64 = digits.parse().map_err(|_| bad())?;
+    let ms = n.checked_mul(scale_ms).ok_or_else(bad)?;
+    Ok(Duration::from_millis(ms))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn parse(args: &[&str]) -> Options {
+    fn parse(args: &[&str]) -> Result<Options, CliError> {
         Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    fn ok(args: &[&str]) -> Options {
+        parse(args).expect("valid arguments")
     }
 
     #[test]
@@ -136,7 +286,7 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let o = parse(&[
+        let o = ok(&[
             "--samples",
             "2^20",
             "--cycles",
@@ -148,6 +298,15 @@ mod tests {
             "--out",
             "/tmp/x",
             "--smoke",
+            "--checkpoint-dir",
+            "/tmp/ckpt",
+            "--resume",
+            "--deadline",
+            "10m",
+            "--max-chunks",
+            "12",
+            "--inject-panic",
+            "2,5",
         ]);
         assert_eq!(o.samples, 1 << 20);
         assert_eq!(o.cycles, 500);
@@ -155,30 +314,88 @@ mod tests {
         assert_eq!(o.threads, Threads::Fixed(4));
         assert_eq!(o.out_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
         assert!(o.smoke);
+        assert_eq!(
+            o.checkpoint_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/ckpt"))
+        );
+        assert!(o.resume);
+        assert_eq!(o.deadline, Some(Duration::from_secs(600)));
+        assert_eq!(o.max_chunks, Some(12));
+        assert_eq!(o.inject_panic, vec![2, 5]);
     }
 
     #[test]
     fn threads_zero_means_auto() {
-        assert_eq!(parse(&["--threads", "0"]).threads, Threads::Auto);
-        assert_eq!(parse(&[]).threads, Threads::Auto);
+        assert_eq!(ok(&["--threads", "0"]).threads, Threads::Auto);
+        assert_eq!(ok(&[]).threads, Threads::Auto);
+    }
+
+    #[test]
+    fn resume_defaults_the_checkpoint_dir() {
+        let o = ok(&["--resume"]);
+        assert_eq!(
+            o.checkpoint_dir.as_deref(),
+            Some(std::path::Path::new(".realm-checkpoints"))
+        );
+        assert!(ok(&[]).checkpoint_dir.is_none());
     }
 
     #[test]
     fn cargo_bench_marker_is_ignored() {
-        let o = parse(&["--bench", "--smoke"]);
+        let o = ok(&["--bench", "--smoke"]);
         assert!(o.smoke);
     }
 
     #[test]
     fn parses_suffixes() {
-        assert_eq!(parse(&["--samples", "4M"]).samples, 4_000_000);
-        assert_eq!(parse(&["--samples", "64k"]).samples, 64_000);
-        assert_eq!(parse(&["--samples", "12345"]).samples, 12_345);
+        assert_eq!(ok(&["--samples", "4M"]).samples, 4_000_000);
+        assert_eq!(ok(&["--samples", "64k"]).samples, 64_000);
+        assert_eq!(ok(&["--samples", "12345"]).samples, 12_345);
     }
 
     #[test]
-    #[should_panic(expected = "unknown flag")]
-    fn unknown_flag_panics() {
-        let _ = parse(&["--bogus"]);
+    fn parses_durations() {
+        assert_eq!(parse_duration("500ms"), Ok(Duration::from_millis(500)));
+        assert_eq!(parse_duration("90s"), Ok(Duration::from_secs(90)));
+        assert_eq!(parse_duration("10m"), Ok(Duration::from_secs(600)));
+        assert_eq!(parse_duration("2h"), Ok(Duration::from_secs(7_200)));
+        assert_eq!(parse_duration("45"), Ok(Duration::from_secs(45)));
+        assert!(parse_duration("soon").is_err());
+        assert!(parse_duration("-3s").is_err());
+    }
+
+    #[test]
+    fn unknown_flag_is_a_friendly_error_not_a_panic() {
+        let err = parse(&["--bogus"]).expect_err("must be rejected");
+        assert!(err.to_string().contains("--bogus"), "{err}");
+        assert!(err.to_string().contains("--help"), "{err}");
+    }
+
+    #[test]
+    fn malformed_counts_are_diagnosed() {
+        for args in [
+            &["--samples", "lots"][..],
+            &["--samples", "2^64"],
+            &["--samples", "99999999999999999999M"],
+            &["--cycles", "2^33"],
+            &["--samples"],
+        ] {
+            let err = parse(args).expect_err("must be rejected");
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn usage_documents_zero_is_auto() {
+        assert!(usage().contains("0 = auto"));
+        assert!(usage().contains("--resume"));
+        assert!(usage().contains("--deadline"));
+    }
+
+    #[test]
+    fn supervisor_reflects_the_options() {
+        let o = ok(&["--threads", "3", "--max-chunks", "7"]);
+        let sup = o.supervisor();
+        assert_eq!(sup.threads(), Threads::Fixed(3));
     }
 }

@@ -1,0 +1,145 @@
+//! Out-of-process resilience tests for the `campaign` driver binary:
+//! a SIGKILLed campaign resumed with `--resume` must produce a
+//! byte-identical `campaign_summary.json` to an uninterrupted
+//! reference run, and `--inject-panic` must degrade to a quarantine
+//! report with exit code 0 instead of aborting.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const CAMPAIGN: &str = env!("CARGO_BIN_EXE_campaign");
+
+/// A fresh scratch directory under the target-adjacent temp root,
+/// unique per test process so parallel test runs don't collide.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("realm-resume-{}-{name}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear scratch dir");
+    }
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn campaign(args: &[&str]) -> std::process::Output {
+    Command::new(CAMPAIGN)
+        .args(args)
+        .output()
+        .expect("run campaign binary")
+}
+
+fn summary(dir: &Path) -> Vec<u8> {
+    std::fs::read(dir.join("campaign_summary.json")).expect("summary exists")
+}
+
+#[test]
+fn sigkilled_campaign_resumes_byte_identically() {
+    let root = scratch("kill");
+    let (ref_out, ref_ck) = (root.join("ref"), root.join("ck-ref"));
+    let (out, ck) = (root.join("out"), root.join("ck"));
+    let samples = "2^22";
+
+    // Uninterrupted reference at one thread count.
+    let reference = campaign(&[
+        "--samples",
+        samples,
+        "--seed",
+        "9",
+        "--threads",
+        "2",
+        "--out",
+        ref_out.to_str().unwrap(),
+        "--checkpoint-dir",
+        ref_ck.to_str().unwrap(),
+    ]);
+    assert!(reference.status.success(), "{reference:?}");
+
+    // Victim: same campaign, SIGKILLed mid-run. If the machine is fast
+    // enough that it finishes first, the resume leg degenerates to a
+    // pure journal replay — the byte comparison still has to hold.
+    let mut victim = Command::new(CAMPAIGN)
+        .args([
+            "--samples",
+            samples,
+            "--seed",
+            "9",
+            "--threads",
+            "2",
+            "--out",
+            out.to_str().unwrap(),
+            "--checkpoint-dir",
+            ck.to_str().unwrap(),
+        ])
+        .spawn()
+        .expect("spawn victim");
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let _ = victim.kill(); // SIGKILL: no cleanup, journal tail may be torn
+    let _ = victim.wait();
+
+    // Resume at a *different* thread count: coverage must reach 100%
+    // and the summary must match the reference byte for byte.
+    let resumed = campaign(&[
+        "--samples",
+        samples,
+        "--seed",
+        "9",
+        "--threads",
+        "5",
+        "--resume",
+        "--out",
+        out.to_str().unwrap(),
+        "--checkpoint-dir",
+        ck.to_str().unwrap(),
+    ]);
+    assert!(resumed.status.success(), "{resumed:?}");
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(stdout.contains("coverage 100.00%"), "{stdout}");
+    assert_eq!(summary(&out), summary(&ref_out), "resumed summary differs");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn injected_panic_quarantines_instead_of_aborting() {
+    let root = scratch("chaos");
+    let ck = root.join("ck");
+    let run = campaign(&[
+        "--samples",
+        "2^18",
+        "--seed",
+        "3",
+        "--checkpoint-dir",
+        ck.to_str().unwrap(),
+        "--inject-panic",
+        "1",
+    ]);
+    assert!(run.status.success(), "chaos run must exit 0: {run:?}");
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert!(stdout.contains("quarantined"), "{stdout}");
+    assert!(stdout.contains("campaign incomplete"), "{stdout}");
+
+    // The journal is not poisoned: dropping the chaos flag and resuming
+    // heals the quarantined chunk and completes the campaign.
+    let healed = campaign(&[
+        "--samples",
+        "2^18",
+        "--seed",
+        "3",
+        "--checkpoint-dir",
+        ck.to_str().unwrap(),
+        "--resume",
+    ]);
+    assert!(healed.status.success(), "{healed:?}");
+    let stdout = String::from_utf8_lossy(&healed.stdout);
+    assert!(stdout.contains("coverage 100.00%"), "{stdout}");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn malformed_flags_exit_2_with_a_diagnostic() {
+    let run = campaign(&["--samples", "banana"]);
+    assert_eq!(run.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&run.stderr);
+    assert!(stderr.contains("invalid count"), "{stderr}");
+    assert!(stderr.contains("options:"), "{stderr}");
+}

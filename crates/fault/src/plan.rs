@@ -61,6 +61,18 @@ impl Fault {
             kind: FaultKind::Transient { probability },
         }
     }
+
+    /// A stable, collision-free identifier for checkpoint journals:
+    /// like `Display`, but spelling a transient's probability in raw
+    /// IEEE-754 bits so two faults share a tag only if they are equal.
+    pub fn campaign_tag(&self) -> String {
+        match self.kind {
+            FaultKind::Transient { probability } => {
+                format!("transient[{:016x}] {}", probability.to_bits(), self.site)
+            }
+            FaultKind::StuckAt(v) => format!("stuck-at-{} {}", u8::from(v), self.site),
+        }
+    }
 }
 
 impl fmt::Display for Fault {

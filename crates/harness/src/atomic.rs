@@ -1,0 +1,120 @@
+//! Crash-safe artifact writes: tmp file + fsync + atomic rename.
+//!
+//! Every results artifact the workspace emits (`BENCH_*.json`, CSV
+//! tables, Verilog dumps) goes through [`atomic_write`], so a reader can
+//! never observe a half-written file: it sees either the previous
+//! version or the complete new one, even across `SIGKILL` or power loss
+//! at any instant.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Writes `contents` to `path` atomically.
+///
+/// The bytes are written to a hidden sibling temp file in the same
+/// directory (rename is only atomic within one filesystem), fsynced,
+/// and renamed over `path`; the directory entry is then fsynced
+/// best-effort so the rename itself is durable. On any error the temp
+/// file is removed and `path` is left untouched.
+pub fn atomic_write(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let tmp = sibling_tmp_path(path)?;
+    let result = (|| {
+        let mut file = File::create(&tmp)?;
+        file.write_all(contents)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return result;
+    }
+    // Durability of the rename needs the directory entry flushed too;
+    // failure here (e.g. exotic filesystems) does not undo the write.
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// [`atomic_write`] for text artifacts.
+pub fn atomic_write_str(path: &Path, contents: &str) -> io::Result<()> {
+    atomic_write(path, contents.as_bytes())
+}
+
+/// The temp-file path used for `path`: same directory, hidden, tagged
+/// with the pid so concurrent writers of *different* processes cannot
+/// collide.
+fn sibling_tmp_path(path: &Path) -> io::Result<PathBuf> {
+    let name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "cannot atomically write to '{}': no file name",
+                path.display()
+            ),
+        )
+    })?;
+    let tmp_name = format!(".{}.tmp.{}", name.to_string_lossy(), std::process::id());
+    Ok(path.with_file_name(tmp_name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("realm-atomic-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_new_file() {
+        let dir = test_dir("new");
+        let path = dir.join("out.json");
+        atomic_write_str(&path, "{\"ok\": true}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\": true}\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replaces_existing_file() {
+        let dir = test_dir("replace");
+        let path = dir.join("out.csv");
+        atomic_write_str(&path, "old").unwrap();
+        atomic_write_str(&path, "new contents").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new contents");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leaves_no_temp_files_behind() {
+        let dir = test_dir("tmpfiles");
+        let path = dir.join("artifact.txt");
+        atomic_write_str(&path, "x").unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["artifact.txt".to_string()], "{names:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_an_error_not_a_panic() {
+        let dir = test_dir("missing");
+        let path = dir.join("no/such/dir/out.txt");
+        assert!(atomic_write_str(&path, "x").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn root_path_is_rejected() {
+        assert!(atomic_write_str(Path::new("/"), "x").is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Cooperative cancellation: a cloneable token checked at chunk
+//! boundaries, with optional Ctrl-C (SIGINT) wiring for the campaign
+//! drivers.
+//!
+//! Cancellation is *cooperative*: nothing is interrupted mid-chunk.
+//! The supervisor stops claiming new chunks once the token trips,
+//! finishes the chunks already in flight (journaling them as usual),
+//! flushes a final checkpoint and returns a partial result with an
+//! explicit stop cause — so a Ctrl-C'd campaign resumes exactly where
+//! it left off.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable cancellation token.
+///
+/// All clones share one flag: cancelling any clone cancels them all.
+/// Tokens created via [`CancelToken::ctrl_c`] additionally trip when the
+/// process receives SIGINT.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    local: Arc<AtomicBool>,
+    watch_ctrl_c: bool,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that also trips on Ctrl-C. Installs the process-wide
+    /// SIGINT handler on first use (idempotent). A second Ctrl-C while
+    /// the first is still being honored exits the process immediately
+    /// with status 130, so a wedged campaign can always be killed from
+    /// the keyboard.
+    pub fn ctrl_c() -> Self {
+        sigint::install();
+        CancelToken {
+            local: Arc::new(AtomicBool::new(false)),
+            watch_ctrl_c: true,
+        }
+    }
+
+    /// Trips the token (and every clone of it).
+    pub fn cancel(&self) {
+        self.local.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token has tripped (by [`cancel`](Self::cancel) or,
+    /// for Ctrl-C tokens, by SIGINT).
+    pub fn is_cancelled(&self) -> bool {
+        self.local.load(Ordering::SeqCst) || (self.watch_ctrl_c && sigint::pressed())
+    }
+}
+
+/// Minimal SIGINT plumbing. The only unsafe code in the workspace: two
+/// direct libc calls (`signal` to install the handler, `_exit` for the
+/// double-Ctrl-C escape hatch), both async-signal-safe.
+#[allow(unsafe_code)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set (only) by the signal handler.
+    static PRESSED: AtomicBool = AtomicBool::new(false);
+    /// Guards one-time handler installation.
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn _exit(status: i32) -> !;
+    }
+
+    /// The handler: first Ctrl-C requests cooperative shutdown, second
+    /// exits hard with the conventional 128+SIGINT status. Both paths
+    /// touch only async-signal-safe operations.
+    extern "C" fn on_sigint(_signum: i32) {
+        if PRESSED.swap(true, Ordering::SeqCst) {
+            // SAFETY: `_exit` is async-signal-safe and never returns.
+            unsafe { _exit(130) }
+        }
+    }
+
+    /// Installs the handler once per process.
+    pub fn install() {
+        if INSTALLED.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // SAFETY: installing a handler that only performs atomic stores
+        // and `_exit` is async-signal-safe; `signal` itself is safe to
+        // call from any thread.
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+    }
+
+    /// Whether SIGINT has been received.
+    pub fn pressed() -> bool {
+        PRESSED.load(Ordering::SeqCst)
+    }
+
+    /// Test hook: raise SIGINT in-process via libc `raise`.
+    #[cfg(test)]
+    pub fn raise_sigint_for_test() {
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        // SAFETY: raising a signal we have installed a handler for.
+        unsafe {
+            raise(SIGINT);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_not_cancelled() {
+        assert!(!CancelToken::new().is_cancelled());
+    }
+
+    #[test]
+    fn cancel_trips_every_clone() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        b.cancel();
+        assert!(a.is_cancelled());
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn independent_tokens_do_not_interfere() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn sigint_trips_ctrl_c_tokens_only() {
+        let plain = CancelToken::new();
+        let watched = CancelToken::ctrl_c();
+        assert!(!watched.is_cancelled());
+        sigint::raise_sigint_for_test();
+        assert!(watched.is_cancelled(), "SIGINT must trip the token");
+        assert!(!plain.is_cancelled(), "plain tokens ignore SIGINT");
+    }
+}

@@ -1,0 +1,547 @@
+//! The append-only campaign journal: chunk-granular checkpoints that
+//! survive `SIGKILL`.
+//!
+//! # File format (`*.journal`, version 1)
+//!
+//! Line-oriented ASCII so a journal can be inspected with `less` and
+//! diffed in CI:
+//!
+//! ```text
+//! realm-journal v1 <fingerprint-hex16>
+//! # montecarlo: REALM16 (t=0) total=16777216 chunk=65536 seed=2020
+//! c <chunk-index-hex> <payload-hex> <fnv64-hex>
+//! c <chunk-index-hex> <payload-hex> <fnv64-hex>
+//! ...
+//! ```
+//!
+//! * The header binds the journal to one [`CampaignId`] fingerprint;
+//!   resuming with a different campaign (different sample budget, chunk
+//!   size, seed, design, …) is a hard error, never a silent mix.
+//! * The `#` comment line is human context and is ignored on load.
+//! * Every record carries an FNV-1a 64 checksum over its own body. On
+//!   load, parsing stops at the first invalid line: a torn tail from a
+//!   mid-write crash is dropped (and truncated away before appending
+//!   resumes), while every fully-flushed record is recovered.
+//! * Appends are `write` + `flush` + `fsync` per record, so a record is
+//!   durable the moment the chunk that produced it is reported complete.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::HarnessError;
+
+/// Format magic of journal version 1.
+const MAGIC_V1: &str = "realm-journal v1";
+
+/// The identity of one characterization campaign: everything that must
+/// match for two runs to be chunk-for-chunk interchangeable.
+///
+/// The deterministic engine guarantees that chunk `i` of a campaign is a
+/// pure function of `(total, chunk_size, seed, i)` and of the subject
+/// under test — so those coordinates *are* the resume key. The identity
+/// is hashed into a fingerprint that names the journal file and is
+/// verified on resume.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CampaignId {
+    family: String,
+    subject: String,
+    total: u64,
+    chunk_size: u64,
+    seed: u64,
+}
+
+impl CampaignId {
+    /// An identity from the campaign family (`"montecarlo"`,
+    /// `"faults"`, …), the subject under test (design label, fault tag),
+    /// the chunk plan geometry and the RNG seed.
+    pub fn new(
+        family: impl Into<String>,
+        subject: impl Into<String>,
+        plan: realm_par::ChunkPlan,
+        seed: u64,
+    ) -> Self {
+        CampaignId {
+            family: family.into(),
+            subject: subject.into(),
+            total: plan.total(),
+            chunk_size: plan.chunk_size(),
+            seed,
+        }
+    }
+
+    /// The campaign family tag.
+    pub fn family(&self) -> &str {
+        &self.family
+    }
+
+    /// The subject under test.
+    pub fn subject(&self) -> &str {
+        &self.subject
+    }
+
+    /// The 64-bit FNV-1a fingerprint binding journals to this identity.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        for part in [self.family.as_str(), self.subject.as_str()] {
+            h.update(part.as_bytes());
+            h.update(&[0x1F]); // unit separator: "ab"+"c" != "a"+"bc"
+        }
+        for word in [self.total, self.chunk_size, self.seed] {
+            h.update(&word.to_le_bytes());
+        }
+        h.finish()
+    }
+
+    /// The journal file name this campaign checkpoints to inside a
+    /// checkpoint directory: `<family>-<fingerprint>.journal`, with the
+    /// family sanitized to filesystem-safe characters.
+    pub fn journal_file_name(&self) -> String {
+        let safe: String = self
+            .family
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        format!("{safe}-{:016x}.journal", self.fingerprint())
+    }
+}
+
+impl fmt::Display for CampaignId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} total={} chunk={} seed={}",
+            self.family, self.subject, self.total, self.chunk_size, self.seed
+        )
+    }
+}
+
+/// Streaming FNV-1a 64-bit hash (the journal's checksum and fingerprint
+/// function — small, fast, dependency-free; corruption detection, not
+/// cryptography).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// A hasher in its initial state.
+    pub fn new() -> Self {
+        Fnv64(0xCBF2_9CE4_8422_2325)
+    }
+
+    /// Absorbs `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// The digest of everything absorbed so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+
+    /// One-shot convenience.
+    pub fn hash(bytes: &[u8]) -> u64 {
+        let mut h = Fnv64::new();
+        h.update(bytes);
+        h.finish()
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// What a resume salvaged from an existing journal file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Checksummed records recovered.
+    pub records: u64,
+    /// Bytes of torn/invalid tail dropped (0 for a cleanly-closed file).
+    pub truncated_bytes: u64,
+}
+
+/// An open, append-position journal for one campaign.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Creates (or truncates) a journal for `id`, writing and syncing
+    /// the header.
+    pub fn create(path: &Path, id: &CampaignId) -> Result<Self, HarnessError> {
+        let mut file = File::create(path).map_err(|e| HarnessError::io(path, e))?;
+        let header = format!("{MAGIC_V1} {:016x}\n# {id}\n", id.fingerprint());
+        file.write_all(header.as_bytes())
+            .and_then(|_| file.sync_all())
+            .map_err(|e| HarnessError::io(path, e))?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Opens a journal for resume: verifies the header against `id`,
+    /// salvages every intact record, truncates any torn tail, and
+    /// returns the journal positioned for appending plus the recovered
+    /// `chunk index → payload` map.
+    ///
+    /// A missing file — or one whose header never finished hitting the
+    /// disk — starts a fresh journal: both are the legitimate aftermath
+    /// of a crash, not corruption. A *valid* header for a different
+    /// campaign is refused with [`HarnessError::CampaignMismatch`].
+    pub fn resume(path: &Path, id: &CampaignId) -> Result<ResumedJournal, HarnessError> {
+        if !path.exists() {
+            let journal = Journal::create(path, id)?;
+            return Ok((journal, BTreeMap::new(), LoadStats::default()));
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| HarnessError::io(path, e))?;
+        let mut text = String::new();
+        file.read_to_string(&mut text)
+            .map_err(|e| HarnessError::io(path, e))?;
+
+        // Header: first complete line must be the magic + our fingerprint.
+        let Some(header_end) = text.find('\n') else {
+            // Torn header (crash during create): start over.
+            drop(file);
+            let journal = Journal::create(path, id)?;
+            let dropped = text.len() as u64;
+            return Ok((
+                journal,
+                BTreeMap::new(),
+                LoadStats {
+                    records: 0,
+                    truncated_bytes: dropped,
+                },
+            ));
+        };
+        let header = &text[..header_end];
+        let found = parse_header(header);
+        match found {
+            Some(fp) if fp == id.fingerprint() => {}
+            Some(fp) => {
+                return Err(HarnessError::CampaignMismatch {
+                    path: path.to_path_buf(),
+                    expected: id.fingerprint(),
+                    found: fp,
+                })
+            }
+            None => {
+                // Unrecognized header: refuse to clobber what may be a
+                // foreign file the user pointed us at by mistake.
+                return Err(HarnessError::Corrupt {
+                    path: path.to_path_buf(),
+                    detail: format!("unrecognized journal header '{header}'"),
+                });
+            }
+        }
+
+        // Records: stop at the first invalid line; everything after it
+        // (a torn tail) is dropped and truncated away.
+        let mut records = BTreeMap::new();
+        let mut stats = LoadStats::default();
+        let mut valid_end = header_end + 1;
+        let mut cursor = header_end + 1;
+        while cursor < text.len() {
+            let line_end = match text[cursor..].find('\n') {
+                Some(off) => cursor + off,
+                None => break, // no terminating newline: torn tail
+            };
+            let line = &text[cursor..line_end];
+            if line.starts_with('#') || line.is_empty() {
+                cursor = line_end + 1;
+                valid_end = cursor;
+                continue;
+            }
+            let Some((index, payload)) = parse_record(line) else {
+                break;
+            };
+            // First record wins: duplicates can only arise from a crash
+            // between journaling and accounting, and determinism makes
+            // them byte-identical anyway.
+            records.entry(index).or_insert(payload);
+            stats.records += 1;
+            cursor = line_end + 1;
+            valid_end = cursor;
+        }
+        stats.truncated_bytes = (text.len() - valid_end) as u64;
+        if stats.truncated_bytes > 0 {
+            file.set_len(valid_end as u64)
+                .map_err(|e| HarnessError::io(path, e))?;
+        }
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| HarnessError::io(path, e))?;
+        Ok((
+            Journal {
+                file,
+                path: path.to_path_buf(),
+            },
+            records,
+            stats,
+        ))
+    }
+
+    /// Appends one completed chunk's payload and makes it durable
+    /// (write + fsync) before returning.
+    pub fn append(&mut self, chunk: u64, payload: &[u8]) -> Result<(), HarnessError> {
+        let body = format!("c {chunk:x} {}", hex_encode(payload));
+        let line = format!("{body} {:016x}\n", Fnv64::hash(body.as_bytes()));
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|_| self.file.sync_data())
+            .map_err(|e| HarnessError::io(&self.path, e))
+    }
+
+    /// Forces everything to disk (also done per-append; kept for an
+    /// explicit barrier at campaign exit).
+    pub fn sync(&mut self) -> Result<(), HarnessError> {
+        self.file
+            .sync_all()
+            .map_err(|e| HarnessError::io(&self.path, e))
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Parses a `realm-journal v1 <fp>` header, returning the fingerprint.
+fn parse_header(line: &str) -> Option<u64> {
+    let rest = line.strip_prefix(MAGIC_V1)?.trim();
+    u64::from_str_radix(rest, 16).ok()
+}
+
+/// Parses one `c <index> <payload> <checksum>` record, verifying the
+/// checksum. Returns `None` for anything invalid.
+fn parse_record(line: &str) -> Option<(u64, Vec<u8>)> {
+    let body = line.strip_prefix("c ")?;
+    let (body, checksum_hex) = body.rsplit_once(' ')?;
+    let checksum = u64::from_str_radix(checksum_hex, 16).ok()?;
+    if Fnv64::hash(format!("c {body}").as_bytes()) != checksum {
+        return None;
+    }
+    let (index_hex, payload_hex) = body.split_once(' ')?;
+    let index = u64::from_str_radix(index_hex, 16).ok()?;
+    Some((index, hex_decode(payload_hex)?))
+}
+
+/// Lower-case hex encoding.
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2 + 1);
+    if bytes.is_empty() {
+        // A visible marker so records keep their 4-field shape even for
+        // zero-length payloads.
+        out.push('-');
+        return out;
+    }
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Everything [`Journal::resume`] recovers: the reopened journal, the
+/// salvaged `chunk index → payload` map, and the load statistics.
+pub type ResumedJournal = (Journal, BTreeMap<u64, Vec<u8>>, LoadStats);
+
+/// Inverse of [`hex_encode`].
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if s == "-" {
+        return Some(Vec::new());
+    }
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push((hi * 16 + lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realm_par::ChunkPlan;
+
+    fn test_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("realm-journal-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn id() -> CampaignId {
+        CampaignId::new("unit", "test subject", ChunkPlan::new(1000, 100), 42)
+    }
+
+    #[test]
+    fn fingerprint_depends_on_every_coordinate() {
+        let base = id();
+        let variants = [
+            CampaignId::new("unit2", "test subject", ChunkPlan::new(1000, 100), 42),
+            CampaignId::new("unit", "other subject", ChunkPlan::new(1000, 100), 42),
+            CampaignId::new("unit", "test subject", ChunkPlan::new(999, 100), 42),
+            CampaignId::new("unit", "test subject", ChunkPlan::new(1000, 10), 42),
+            CampaignId::new("unit", "test subject", ChunkPlan::new(1000, 100), 43),
+        ];
+        for v in variants {
+            assert_ne!(v.fingerprint(), base.fingerprint(), "{v}");
+        }
+    }
+
+    #[test]
+    fn field_boundaries_are_unambiguous() {
+        let a = CampaignId::new("ab", "c", ChunkPlan::new(1, 1), 0);
+        let b = CampaignId::new("a", "bc", ChunkPlan::new(1, 1), 0);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn journal_file_name_is_sanitized() {
+        let id = CampaignId::new("monte carlo/x", "s", ChunkPlan::new(1, 1), 0);
+        let name = id.journal_file_name();
+        assert!(!name.contains('/') && !name.contains(' '), "{name}");
+        assert!(name.ends_with(".journal"));
+    }
+
+    #[test]
+    fn create_append_resume_round_trip() {
+        let dir = test_dir("roundtrip");
+        let path = dir.join(id().journal_file_name());
+        let mut j = Journal::create(&path, &id()).unwrap();
+        j.append(0, &[1, 2, 3]).unwrap();
+        j.append(5, &[]).unwrap();
+        j.append(2, &[0xFF; 48]).unwrap();
+        drop(j);
+
+        let (_, records, stats) = Journal::resume(&path, &id()).unwrap();
+        assert_eq!(stats.records, 3);
+        assert_eq!(stats.truncated_bytes, 0);
+        assert_eq!(records[&0], vec![1, 2, 3]);
+        assert_eq!(records[&5], Vec::<u8>::new());
+        assert_eq!(records[&2], vec![0xFF; 48]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_truncated() {
+        let dir = test_dir("torn");
+        let path = dir.join("t.journal");
+        let mut j = Journal::create(&path, &id()).unwrap();
+        j.append(0, &[9]).unwrap();
+        drop(j);
+        // Simulate a crash mid-append: a record without its newline.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"c 1 aabb").unwrap();
+        drop(f);
+
+        let (mut j, records, stats) = Journal::resume(&path, &id()).unwrap();
+        assert_eq!(stats.records, 1);
+        assert!(stats.truncated_bytes > 0);
+        assert_eq!(records.len(), 1);
+        // Appending after salvage lands on a clean boundary.
+        j.append(1, &[7, 7]).unwrap();
+        drop(j);
+        let (_, records, stats) = Journal::resume(&path, &id()).unwrap();
+        assert_eq!(stats.records, 2);
+        assert_eq!(stats.truncated_bytes, 0);
+        assert_eq!(records[&1], vec![7, 7]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_the_scan() {
+        let dir = test_dir("corrupt");
+        let path = dir.join("c.journal");
+        let mut j = Journal::create(&path, &id()).unwrap();
+        j.append(0, &[1]).unwrap();
+        j.append(1, &[2]).unwrap();
+        drop(j);
+        // Flip a payload nibble of record 1 without fixing its checksum.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let corrupted = text.replacen("c 1 02 ", "c 1 03 ", 1);
+        assert_ne!(text, corrupted);
+        std::fs::write(&path, corrupted).unwrap();
+
+        let (_, records, stats) = Journal::resume(&path, &id()).unwrap();
+        assert_eq!(stats.records, 1, "only the intact prefix survives");
+        assert!(records.contains_key(&0));
+        assert!(!records.contains_key(&1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_campaign_is_refused() {
+        let dir = test_dir("mismatch");
+        let path = dir.join("m.journal");
+        Journal::create(&path, &id()).unwrap();
+        let other = CampaignId::new("unit", "test subject", ChunkPlan::new(1000, 100), 43);
+        let err = Journal::resume(&path, &other).unwrap_err();
+        assert!(
+            matches!(err, HarnessError::CampaignMismatch { .. }),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_file_is_refused() {
+        let dir = test_dir("foreign");
+        let path = dir.join("f.journal");
+        std::fs::write(&path, "this is not a journal\nc 0 aa 0\n").unwrap();
+        let err = Journal::resume(&path, &id()).unwrap_err();
+        assert!(matches!(err, HarnessError::Corrupt { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_starts_fresh() {
+        let dir = test_dir("fresh");
+        let path = dir.join("missing.journal");
+        let (_, records, stats) = Journal::resume(&path, &id()).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(stats, LoadStats::default());
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_header_starts_fresh() {
+        let dir = test_dir("torn-header");
+        let path = dir.join("h.journal");
+        std::fs::write(&path, "realm-jour").unwrap(); // no newline
+        let (mut j, records, _) = Journal::resume(&path, &id()).unwrap();
+        assert!(records.is_empty());
+        j.append(0, &[5]).unwrap();
+        drop(j);
+        let (_, records, _) = Journal::resume(&path, &id()).unwrap();
+        assert_eq!(records[&0], vec![5]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        for payload in [vec![], vec![0u8], vec![0xAB, 0xCD, 0x00, 0xFF]] {
+            assert_eq!(hex_decode(&hex_encode(&payload)), Some(payload));
+        }
+        assert_eq!(hex_decode("abc"), None);
+        assert_eq!(hex_decode("zz"), None);
+    }
+}

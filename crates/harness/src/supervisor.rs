@@ -1,0 +1,624 @@
+//! The campaign supervisor: checkpoint/resume, panic quarantine,
+//! deadlines and cooperative cancellation over the deterministic chunk
+//! engine of `realm-par`.
+//!
+//! # Why this is *exactly* correct, not approximately
+//!
+//! The chunk engine guarantees that chunk `i` of a campaign is a pure
+//! function of `(total, chunk_size, seed, i)` and the subject under
+//! test — never of thread count, scheduling or wall-clock. The
+//! supervisor leans on that determinism three ways:
+//!
+//! * **Resume is bit-identical.** A journaled chunk payload *is* the
+//!   payload a fresh run would compute, so replaying the journal and
+//!   executing only the missing chunks folds to the same bits as an
+//!   uninterrupted run — at any thread count, across any number of
+//!   interruptions.
+//! * **Retry is sound.** A panicking chunk is retried with the same
+//!   substream; if the panic was environmental (OOM killer, cosmic ray,
+//!   injected chaos) the retry produces the canonical payload.
+//! * **Quarantine is honest.** A chunk that keeps panicking is excluded
+//!   with its exact index, so the coverage accounting says precisely
+//!   which samples the partial result covers.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use realm_par::{run_chunks_supervised, Chunk, ChunkPlan, ChunkRun, Threads};
+
+use crate::journal::{CampaignId, Journal, LoadStats};
+use crate::wire::Checkpoint;
+use crate::HarnessError;
+
+/// Why a campaign stopped before attempting every chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The cancellation token tripped (e.g. Ctrl-C).
+    Cancelled,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The per-invocation chunk budget was exhausted.
+    ChunkBudget,
+}
+
+impl fmt::Display for StopCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopCause::Cancelled => write!(f, "cancelled"),
+            StopCause::Deadline => write!(f, "deadline"),
+            StopCause::ChunkBudget => write!(f, "chunk budget"),
+        }
+    }
+}
+
+/// One quarantined chunk: it panicked on every attempt and was excluded
+/// from the campaign's fold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantine {
+    /// The chunk's index in the plan (and RNG substream index).
+    pub chunk: u64,
+    /// Samples the chunk would have covered.
+    pub samples: u64,
+    /// Attempts made (1 + retries).
+    pub attempts: u32,
+    /// The last panic message observed.
+    pub message: String,
+}
+
+impl fmt::Display for Quarantine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "chunk {} ({} samples) panicked {}x: {}",
+            self.chunk, self.samples, self.attempts, self.message
+        )
+    }
+}
+
+/// The accounting of one supervised campaign invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Chunks in the campaign's plan.
+    pub total_chunks: u64,
+    /// Chunks replayed from the journal (resume).
+    pub replayed_chunks: u64,
+    /// Chunks executed in this invocation.
+    pub executed_chunks: u64,
+    /// Chunks excluded after exhausting their retries.
+    pub quarantined: Vec<Quarantine>,
+    /// Why the run stopped early, if it did (`None` = every non-
+    /// quarantined chunk completed).
+    pub stopped: Option<StopCause>,
+    /// Samples covered by completed (replayed + executed) chunks.
+    pub covered_samples: u64,
+    /// Samples in the full campaign.
+    pub total_samples: u64,
+    /// What the journal load salvaged (zero for fresh runs).
+    pub journal: LoadStats,
+}
+
+impl RunReport {
+    /// Whether every chunk completed: nothing skipped, nothing
+    /// quarantined — the result is the uninterrupted campaign's result.
+    pub fn is_complete(&self) -> bool {
+        self.stopped.is_none() && self.quarantined.is_empty()
+    }
+
+    /// Fraction of the sample budget covered by completed chunks.
+    pub fn coverage(&self) -> f64 {
+        if self.total_samples == 0 {
+            1.0
+        } else {
+            self.covered_samples as f64 / self.total_samples as f64
+        }
+    }
+
+    /// Chunks neither completed nor quarantined (they run on resume).
+    pub fn pending_chunks(&self) -> u64 {
+        self.total_chunks
+            - self.replayed_chunks
+            - self.executed_chunks
+            - self.quarantined.len() as u64
+    }
+
+    /// A multi-line human-readable report (status line, stop cause,
+    /// quarantine details).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}/{} chunks complete ({} replayed, {} executed), coverage {:.2}%",
+            self.replayed_chunks + self.executed_chunks,
+            self.total_chunks,
+            self.replayed_chunks,
+            self.executed_chunks,
+            self.coverage() * 100.0
+        );
+        if let Some(cause) = self.stopped {
+            out.push_str(&format!(
+                "\nstopped early ({cause}); {} chunks pending — rerun with --resume to continue",
+                self.pending_chunks()
+            ));
+        }
+        if !self.quarantined.is_empty() {
+            out.push_str(&format!(
+                "\nquarantined {} chunk(s):",
+                self.quarantined.len()
+            ));
+            for q in &self.quarantined {
+                out.push_str(&format!("\n  {q}"));
+            }
+        }
+        out
+    }
+}
+
+/// A supervised campaign result: the completed chunk payloads plus the
+/// run's accounting.
+#[derive(Debug)]
+pub struct Outcome<T> {
+    /// Completed payloads in chunk order: journal replays and fresh
+    /// executions, indistinguishable by construction.
+    pub parts: Vec<(u64, T)>,
+    /// The invocation's accounting.
+    pub report: RunReport,
+}
+
+/// A campaign-level value distilled from an [`Outcome`]: `None` when
+/// the covered chunks contain no usable sample (e.g. everything
+/// quarantined), always paired with the accounting.
+#[derive(Debug)]
+pub struct Supervised<V> {
+    /// The folded campaign value, if any chunk produced one.
+    pub value: Option<V>,
+    /// The run's accounting.
+    pub report: RunReport,
+}
+
+impl<T> Outcome<T> {
+    /// Folds the completed parts into a campaign value, keeping the
+    /// accounting attached.
+    pub fn fold<V>(self, fold: impl FnOnce(Vec<(u64, T)>) -> Option<V>) -> Supervised<V> {
+        Supervised {
+            value: fold(self.parts),
+            report: self.report,
+        }
+    }
+}
+
+/// Deterministic chaos injection: which chunks panic, and whether they
+/// keep panicking on retries.
+#[derive(Debug, Clone, Default)]
+struct Chaos {
+    chunks: BTreeSet<u64>,
+    persistent: bool,
+}
+
+/// The resilient campaign supervisor.
+///
+/// Configure once (thread policy, checkpoint directory, retry budget,
+/// deadline, cancellation token), then [`run`](Supervisor::run) any
+/// number of campaigns through it; each campaign journals to its own
+/// file (named by its [`CampaignId`] fingerprint) inside the checkpoint
+/// directory.
+///
+/// ```
+/// use realm_harness::{CampaignId, Supervisor};
+/// use realm_par::ChunkPlan;
+///
+/// # fn main() -> Result<(), realm_harness::HarnessError> {
+/// let plan = ChunkPlan::new(1_000, 100);
+/// let id = CampaignId::new("doc", "sum of indices", plan, 0);
+/// let outcome = Supervisor::new().run(&id, plan, |chunk| {
+///     (chunk.start..chunk.end()).sum::<u64>()
+/// })?;
+/// assert!(outcome.report.is_complete());
+/// let total: u64 = outcome.parts.iter().map(|(_, s)| s).sum();
+/// assert_eq!(total, 1_000 * 999 / 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    threads: Threads,
+    retries: u32,
+    deadline: Option<Instant>,
+    cancel: crate::CancelToken,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
+    chunk_budget: Option<u64>,
+    chaos: Chaos,
+}
+
+impl Default for Supervisor {
+    fn default() -> Self {
+        Supervisor {
+            threads: Threads::Auto,
+            retries: 2,
+            deadline: None,
+            cancel: crate::CancelToken::new(),
+            checkpoint_dir: None,
+            resume: false,
+            chunk_budget: None,
+            chaos: Chaos::default(),
+        }
+    }
+}
+
+impl Supervisor {
+    /// A supervisor with defaults: auto threads, 2 retries, no
+    /// checkpointing, no deadline, a fresh cancellation token.
+    pub fn new() -> Self {
+        Supervisor::default()
+    }
+
+    /// Sets the worker-thread policy (`0`/auto = every hardware
+    /// thread). Purely a performance knob: supervised results are
+    /// bit-identical under every policy.
+    pub fn with_threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets how many times a panicking chunk is retried (with the same
+    /// RNG substream) before quarantine. `0` quarantines on first
+    /// panic.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets a wall-clock deadline `from_now`. Once it passes, the
+    /// supervisor stops claiming chunks, flushes a final checkpoint and
+    /// returns a partial result with [`StopCause::Deadline`].
+    pub fn with_deadline(mut self, from_now: Duration) -> Self {
+        self.deadline = Some(Instant::now() + from_now);
+        self
+    }
+
+    /// Uses `token` for cooperative cancellation (checked at chunk
+    /// boundaries; pair with [`crate::CancelToken::ctrl_c`] in
+    /// binaries).
+    pub fn with_cancel(mut self, token: crate::CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Journals completed chunks into `dir` (one `*.journal` file per
+    /// campaign fingerprint). Without [`resume`](Self::resume), an
+    /// existing journal for the same campaign is restarted from
+    /// scratch.
+    pub fn checkpoint_to(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// On the next [`run`](Self::run), replay the campaign's journal
+    /// (if any) and execute only the missing chunks.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Executes at most `budget` chunks per [`run`](Self::run)
+    /// invocation, then stops with [`StopCause::ChunkBudget`] — the
+    /// deterministic way to slice a long campaign across invocations
+    /// (and to test kill/resume at an exact point).
+    pub fn with_chunk_budget(mut self, budget: u64) -> Self {
+        self.chunk_budget = Some(budget);
+        self
+    }
+
+    /// Chaos-testing hook mirroring `realm-fault`'s philosophy: the
+    /// listed chunks panic when attempted. With `persistent = false`
+    /// only the first attempt panics (exercising the retry path);
+    /// with `persistent = true` every attempt panics (forcing
+    /// quarantine).
+    pub fn with_injected_panics(mut self, chunks: &[u64], persistent: bool) -> Self {
+        self.chaos = Chaos {
+            chunks: chunks.iter().copied().collect(),
+            persistent,
+        };
+        self
+    }
+
+    /// The configured thread policy.
+    pub fn threads(&self) -> Threads {
+        self.threads
+    }
+
+    /// The configured cancellation token (clone it to cancel from
+    /// elsewhere).
+    pub fn cancel_token(&self) -> crate::CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Runs a campaign under supervision.
+    ///
+    /// `f` computes one chunk's payload and must be deterministic in
+    /// the chunk (the engine-wide discipline); `id` must identify the
+    /// campaign — same id ⇔ same chunk payloads.
+    ///
+    /// Returns the completed payloads in chunk order plus the
+    /// accounting; fails only on journal I/O or corruption (a panicking
+    /// chunk is retried and quarantined, never an error).
+    pub fn run<T, F>(
+        &self,
+        id: &CampaignId,
+        plan: ChunkPlan,
+        f: F,
+    ) -> Result<Outcome<T>, HarnessError>
+    where
+        T: Checkpoint + Send,
+        F: Fn(Chunk) -> T + Sync,
+    {
+        let num_chunks = plan.num_chunks();
+
+        // Phase 1: journal replay.
+        let mut journal = None;
+        let mut load_stats = LoadStats::default();
+        let mut completed: BTreeMap<u64, T> = BTreeMap::new();
+        if let Some(dir) = &self.checkpoint_dir {
+            std::fs::create_dir_all(dir).map_err(|e| HarnessError::io(dir, e))?;
+            let path = dir.join(id.journal_file_name());
+            let j = if self.resume {
+                let (j, records, stats) = Journal::resume(&path, id)?;
+                load_stats = stats;
+                for (index, bytes) in records {
+                    if index >= num_chunks {
+                        // Can only happen via manual journal edits; the
+                        // fingerprint binds the plan geometry.
+                        continue;
+                    }
+                    let Some(value) = T::from_bytes(&bytes) else {
+                        return Err(HarnessError::Corrupt {
+                            path: path.clone(),
+                            detail: format!("chunk {index} payload does not decode"),
+                        });
+                    };
+                    completed.insert(index, value);
+                }
+                j
+            } else {
+                Journal::create(&path, id)?
+            };
+            journal = Some(Mutex::new(j));
+        }
+        let replayed_chunks = completed.len() as u64;
+
+        // Phase 2: plan this invocation's work.
+        let mut pending: Vec<u64> = (0..num_chunks)
+            .filter(|i| !completed.contains_key(i))
+            .collect();
+        let mut budget_tripped = false;
+        if let Some(budget) = self.chunk_budget {
+            if (pending.len() as u64) > budget {
+                pending.truncate(budget as usize);
+                budget_tripped = true;
+            }
+        }
+
+        // Phase 3: execute with bounded retries. Journal appends happen
+        // in the completion callback so a chunk is durable the moment
+        // it finishes; append errors are latched and surfaced after the
+        // in-flight pass drains.
+        let deadline = self.deadline;
+        let should_stop =
+            || self.cancel.is_cancelled() || deadline.is_some_and(|d| Instant::now() >= d);
+        let journal_error: Mutex<Option<HarnessError>> = Mutex::new(None);
+        let mut failures: BTreeMap<u64, (u32, String)> = BTreeMap::new();
+        let mut executed_chunks = 0u64;
+        let mut to_run = pending.clone();
+        for attempt in 0..=self.retries {
+            if to_run.is_empty() || should_stop() {
+                break;
+            }
+            let chaos_arms = |index: u64| {
+                self.chaos.chunks.contains(&index) && (self.chaos.persistent || attempt == 0)
+            };
+            let body = |chunk: Chunk| {
+                if chaos_arms(chunk.index) {
+                    panic!("injected chaos panic (chunk {})", chunk.index);
+                }
+                f(chunk)
+            };
+            let on_complete = |index: u64, run: &ChunkRun<T>| {
+                if let (Some(j), ChunkRun::Completed(value)) = (&journal, run) {
+                    let bytes = value.to_bytes();
+                    let result = match j.lock() {
+                        Ok(mut guard) => guard.append(index, &bytes),
+                        Err(_) => Err(HarnessError::Corrupt {
+                            path: self.checkpoint_dir.clone().unwrap_or_default(),
+                            detail: "journal mutex poisoned".into(),
+                        }),
+                    };
+                    if let (Err(e), Ok(mut slot)) = (result, journal_error.lock()) {
+                        slot.get_or_insert(e);
+                    }
+                }
+            };
+            let runs = run_chunks_supervised(
+                plan,
+                self.threads,
+                &to_run,
+                &should_stop,
+                &body,
+                &on_complete,
+            );
+            if let Some(e) = journal_error.lock().ok().and_then(|mut s| s.take()) {
+                return Err(e);
+            }
+            let mut still_failing = Vec::new();
+            for (index, run) in runs {
+                match run {
+                    ChunkRun::Completed(value) => {
+                        completed.insert(index, value);
+                        failures.remove(&index);
+                        executed_chunks += 1;
+                    }
+                    ChunkRun::Panicked(message) => {
+                        let entry = failures.entry(index).or_insert((0, String::new()));
+                        entry.0 += 1;
+                        entry.1 = message;
+                        still_failing.push(index);
+                    }
+                }
+            }
+            to_run = still_failing;
+        }
+
+        // Phase 4: classify what did not complete.
+        let quarantined: Vec<Quarantine> = failures
+            .iter()
+            .filter(|(_, (attempts, _))| *attempts > self.retries)
+            .map(|(&chunk, (attempts, message))| Quarantine {
+                chunk,
+                samples: plan.chunk(chunk).len,
+                attempts: *attempts,
+                message: message.clone(),
+            })
+            .collect();
+        let finished = completed.len() as u64 + quarantined.len() as u64;
+        let stopped = if finished == num_chunks {
+            None
+        } else if self.cancel.is_cancelled() {
+            Some(StopCause::Cancelled)
+        } else if deadline.is_some_and(|d| Instant::now() >= d) {
+            Some(StopCause::Deadline)
+        } else if budget_tripped {
+            Some(StopCause::ChunkBudget)
+        } else {
+            // Chunks interrupted mid-retry with attempts left: they run
+            // again on resume; account them as a budget-style stop.
+            Some(StopCause::ChunkBudget)
+        };
+
+        // Phase 5: final checkpoint barrier.
+        if let Some(j) = &journal {
+            if let Ok(mut guard) = j.lock() {
+                guard.sync()?;
+            }
+        }
+
+        let covered_samples = completed.keys().map(|&i| plan.chunk(i).len).sum();
+        let report = RunReport {
+            total_chunks: num_chunks,
+            replayed_chunks,
+            executed_chunks,
+            quarantined,
+            stopped,
+            covered_samples,
+            total_samples: plan.total(),
+            journal: load_stats,
+        };
+        Ok(Outcome {
+            parts: completed.into_iter().collect(),
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> ChunkPlan {
+        ChunkPlan::new(100, 10)
+    }
+
+    fn id(tag: &str) -> CampaignId {
+        CampaignId::new("sup-test", tag, plan(), 1)
+    }
+
+    fn chunk_sum(c: Chunk) -> u64 {
+        (c.start..c.end()).sum()
+    }
+
+    #[test]
+    fn unjournaled_run_completes() {
+        let outcome = Supervisor::new()
+            .run(&id("plain"), plan(), chunk_sum)
+            .unwrap();
+        assert!(outcome.report.is_complete());
+        assert_eq!(outcome.report.executed_chunks, 10);
+        assert_eq!(outcome.report.coverage(), 1.0);
+        let total: u64 = outcome.parts.iter().map(|(_, s)| s).sum();
+        assert_eq!(total, 100 * 99 / 2);
+    }
+
+    #[test]
+    fn chunk_budget_stops_deterministically() {
+        let outcome = Supervisor::new()
+            .with_chunk_budget(4)
+            .run(&id("budget"), plan(), chunk_sum)
+            .unwrap();
+        assert_eq!(outcome.report.executed_chunks, 4);
+        assert_eq!(outcome.report.stopped, Some(StopCause::ChunkBudget));
+        assert_eq!(outcome.report.pending_chunks(), 6);
+        assert!(!outcome.report.is_complete());
+    }
+
+    #[test]
+    fn cancelled_token_stops_before_any_chunk() {
+        let sup = Supervisor::new();
+        sup.cancel_token().cancel();
+        let outcome = sup.run(&id("cancel"), plan(), chunk_sum).unwrap();
+        assert_eq!(outcome.report.executed_chunks, 0);
+        assert_eq!(outcome.report.stopped, Some(StopCause::Cancelled));
+    }
+
+    #[test]
+    fn past_deadline_stops_before_any_chunk() {
+        let outcome = Supervisor::new()
+            .with_deadline(Duration::ZERO)
+            .run(&id("deadline"), plan(), chunk_sum)
+            .unwrap();
+        assert_eq!(outcome.report.executed_chunks, 0);
+        assert_eq!(outcome.report.stopped, Some(StopCause::Deadline));
+    }
+
+    #[test]
+    fn transient_chaos_is_retried_to_the_canonical_result() {
+        let reference = Supervisor::new()
+            .run(&id("chaos"), plan(), chunk_sum)
+            .unwrap();
+        let chaotic = Supervisor::new()
+            .with_injected_panics(&[2, 7], false)
+            .run(&id("chaos"), plan(), chunk_sum)
+            .unwrap();
+        assert!(chaotic.report.is_complete());
+        assert_eq!(
+            chaotic.parts, reference.parts,
+            "retry must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn persistent_chaos_is_quarantined() {
+        let outcome = Supervisor::new()
+            .with_retries(1)
+            .with_injected_panics(&[3], true)
+            .run(&id("quarantine"), plan(), chunk_sum)
+            .unwrap();
+        assert_eq!(outcome.report.quarantined.len(), 1);
+        let q = &outcome.report.quarantined[0];
+        assert_eq!(q.chunk, 3);
+        assert_eq!(q.attempts, 2); // 1 attempt + 1 retry
+        assert!(q.message.contains("injected chaos"), "{}", q.message);
+        assert_eq!(outcome.report.stopped, None, "quarantine is not a stop");
+        assert_eq!(outcome.parts.len(), 9);
+        assert_eq!(outcome.report.covered_samples, 90);
+        assert!(outcome.report.render().contains("quarantined 1 chunk"));
+    }
+
+    #[test]
+    fn report_render_mentions_resume_when_stopped() {
+        let outcome = Supervisor::new()
+            .with_chunk_budget(1)
+            .run(&id("render"), plan(), chunk_sum)
+            .unwrap();
+        let text = outcome.report.render();
+        assert!(text.contains("--resume"), "{text}");
+    }
+}

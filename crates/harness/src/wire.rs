@@ -1,0 +1,224 @@
+//! The checkpoint wire codec: a tiny, dependency-free binary encoding
+//! for per-chunk campaign payloads.
+//!
+//! Journal resume must be **bit-identical** to an uninterrupted run, so
+//! the codec never goes through decimal formatting: every `f64` travels
+//! as its IEEE-754 bit pattern ([`f64::to_bits`]), which round-trips
+//! `-0.0`, subnormals and the `±inf` sentinels of a fresh accumulator
+//! exactly. Integers are little-endian fixed-width words; collections
+//! are length-prefixed.
+
+/// A type that can be journaled as a per-chunk checkpoint payload and
+/// reconstructed bit-identically on resume.
+///
+/// Implementations must be **total inverses**: for every value,
+/// `decode(encode(v)) == Some(v)` with all input bytes consumed, and
+/// `decode` must return `None` (never panic) on malformed input — a
+/// corrupt journal degrades into an explicit error, not an abort.
+pub trait Checkpoint: Sized {
+    /// Appends the value's canonical byte encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Reads one value back from the reader, or `None` if the bytes do
+    /// not form a valid encoding.
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self>;
+
+    /// Convenience: the value encoded into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Convenience: decodes a value that must consume `bytes` exactly.
+    fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut r = ByteReader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        r.is_empty().then_some(v)
+    }
+}
+
+/// A bounds-checked cursor over a checkpoint payload.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader positioned at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    /// Takes the next `n` bytes, or `None` if fewer remain.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(slice)
+    }
+
+    /// Reads one little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        let raw = self.take(8)?;
+        let mut word = [0u8; 8];
+        word.copy_from_slice(raw);
+        Some(u64::from_le_bytes(word))
+    }
+
+    /// Reads one little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        let raw = self.take(4)?;
+        let mut word = [0u8; 4];
+        word.copy_from_slice(raw);
+        Some(u32::from_le_bytes(word))
+    }
+
+    /// Reads one `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+}
+
+impl Checkpoint for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        r.u64()
+    }
+}
+
+impl Checkpoint for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        r.u32()
+    }
+}
+
+impl Checkpoint for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        r.f64()
+    }
+}
+
+impl<T: Checkpoint> Checkpoint for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        let len = r.u64()?;
+        // Defensive cap: a corrupt length must not trigger an OOM
+        // allocation before element decoding fails naturally.
+        let mut items = Vec::with_capacity(len.min(1 << 16) as usize);
+        for _ in 0..len {
+            items.push(T::decode(r)?);
+        }
+        Some(items)
+    }
+}
+
+impl<A: Checkpoint, B: Checkpoint> Checkpoint for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        Some((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [0u64, 1, u64::MAX, 0xDEAD_BEEF] {
+            assert_eq!(u64::from_bytes(&v.to_bytes()), Some(v));
+        }
+        for v in [0u32, u32::MAX] {
+            assert_eq!(u32::from_bytes(&v.to_bytes()), Some(v));
+        }
+    }
+
+    #[test]
+    fn f64_round_trips_bit_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            1.5,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            f64::EPSILON,
+            -1.234e-308,
+        ] {
+            let back = f64::from_bytes(&v.to_bytes()).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+        // NaN payload bits survive too.
+        let nan = f64::from_bits(0x7FF8_0000_0000_1234);
+        assert_eq!(
+            f64::from_bytes(&nan.to_bytes()).unwrap().to_bits(),
+            nan.to_bits()
+        );
+    }
+
+    #[test]
+    fn vec_round_trips() {
+        let v: Vec<u64> = vec![3, 1, 4, 1, 5];
+        assert_eq!(Vec::<u64>::from_bytes(&v.to_bytes()), Some(v));
+        let empty: Vec<f64> = Vec::new();
+        assert_eq!(Vec::<f64>::from_bytes(&empty.to_bytes()), Some(empty));
+    }
+
+    #[test]
+    fn tuple_round_trips() {
+        let v = (7u64, 2.5f64);
+        assert_eq!(<(u64, f64)>::from_bytes(&v.to_bytes()), Some(v));
+    }
+
+    #[test]
+    fn truncated_input_is_rejected_not_panicking() {
+        let bytes = 42u64.to_bytes();
+        assert_eq!(u64::from_bytes(&bytes[..7]), None);
+        assert_eq!(Vec::<u64>::from_bytes(&[1, 0, 0, 0, 0, 0, 0, 0]), None);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = 42u64.to_bytes();
+        bytes.push(0);
+        assert_eq!(u64::from_bytes(&bytes), None);
+    }
+
+    #[test]
+    fn corrupt_vec_length_does_not_allocate_unbounded() {
+        // Length claims 2^60 entries but the payload ends immediately.
+        let bytes = (1u64 << 60).to_bytes();
+        assert_eq!(Vec::<u64>::from_bytes(&bytes), None);
+    }
+}

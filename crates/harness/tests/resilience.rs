@@ -1,0 +1,308 @@
+//! Resilience integration suite: interrupted campaigns resume
+//! bit-identically, panicking chunks are quarantined with honest
+//! coverage, and the journal survives torn writes.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+use realm_harness::{ByteReader, CampaignId, Checkpoint, HarnessError, StopCause, Supervisor};
+use realm_par::{Chunk, ChunkPlan, Threads};
+
+/// A payload exercising the full wire surface: integers, floats
+/// (including values only exact under bit-level encoding) and a vector.
+#[derive(Debug, Clone, PartialEq)]
+struct Payload {
+    count: u64,
+    sum: f64,
+    min: f64,
+    samples: Vec<u64>,
+}
+
+impl Checkpoint for Payload {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.count.encode(out);
+        self.sum.encode(out);
+        self.min.encode(out);
+        self.samples.encode(out);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        Some(Payload {
+            count: u64::decode(r)?,
+            sum: f64::decode(r)?,
+            min: f64::decode(r)?,
+            samples: Vec::<u64>::decode(r)?,
+        })
+    }
+}
+
+/// Deterministic chunk body with awkward floats (0.1 accumulation order
+/// matters, so bit-identity is a real assertion, not a triviality).
+fn body(chunk: Chunk) -> Payload {
+    let mut sum = 0.0f64;
+    let mut min = f64::INFINITY;
+    let mut samples = Vec::new();
+    for i in chunk.start..chunk.end() {
+        let x = (i as f64) * 0.1 - 3.0;
+        sum += x * x;
+        min = min.min(x);
+        if i % 7 == 0 {
+            samples.push(i);
+        }
+    }
+    Payload {
+        count: chunk.len,
+        sum,
+        min,
+        samples,
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("realm-resilience-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+const PLAN: (u64, u64) = (2_000, 128);
+
+fn plan() -> ChunkPlan {
+    ChunkPlan::new(PLAN.0, PLAN.1)
+}
+
+fn id(subject: &str) -> CampaignId {
+    CampaignId::new("resilience", subject, plan(), 42)
+}
+
+fn reference(subject: &str) -> Vec<(u64, Payload)> {
+    Supervisor::new()
+        .run(&id(subject), plan(), body)
+        .expect("reference run")
+        .parts
+}
+
+#[test]
+fn interrupted_then_resumed_equals_uninterrupted_at_any_thread_count() {
+    let expected = reference("kill-resume");
+    for &threads in &[1usize, 2, 8] {
+        let dir = temp_dir(&format!("kill-{threads}"));
+        // First invocation: graceful interruption after ~half the chunks.
+        let half = plan().num_chunks() / 2;
+        let first = Supervisor::new()
+            .with_threads(Threads::from_count(threads))
+            .checkpoint_to(&dir)
+            .with_chunk_budget(half)
+            .run(&id("kill-resume"), plan(), body)
+            .expect("first leg");
+        assert_eq!(first.report.stopped, Some(StopCause::ChunkBudget));
+        assert_eq!(first.report.executed_chunks, half);
+
+        // Second invocation resumes at a *different* thread count.
+        let resumed = Supervisor::new()
+            .with_threads(Threads::from_count(9 - threads))
+            .checkpoint_to(&dir)
+            .resume(true)
+            .run(&id("kill-resume"), plan(), body)
+            .expect("resume leg");
+        assert!(resumed.report.is_complete());
+        assert_eq!(resumed.report.replayed_chunks, half);
+        assert_eq!(
+            resumed.parts, expected,
+            "resume must be bit-identical (threads {threads})"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn resume_after_torn_journal_tail_still_matches() {
+    let expected = reference("torn");
+    let dir = temp_dir("torn");
+    let first = Supervisor::new()
+        .checkpoint_to(&dir)
+        .with_chunk_budget(6)
+        .run(&id("torn"), plan(), body)
+        .expect("first leg");
+    assert_eq!(first.report.executed_chunks, 6);
+
+    // Simulate a crash mid-append: chop bytes off the journal tail.
+    let journal = dir.join(id("torn").journal_file_name());
+    let bytes = std::fs::read(&journal).expect("read journal");
+    std::fs::write(&journal, &bytes[..bytes.len() - 11]).expect("tear tail");
+
+    let resumed = Supervisor::new()
+        .checkpoint_to(&dir)
+        .resume(true)
+        .run(&id("torn"), plan(), body)
+        .expect("resume leg");
+    assert!(resumed.report.is_complete());
+    assert!(
+        resumed.report.journal.truncated_bytes > 0,
+        "the torn tail must be detected and salvaged"
+    );
+    // The torn record is simply re-executed.
+    assert_eq!(resumed.report.replayed_chunks, 5);
+    assert_eq!(resumed.parts, expected);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repeated_interruptions_converge_to_completion() {
+    let expected = reference("drip");
+    let dir = temp_dir("drip");
+    let mut legs = 0;
+    loop {
+        legs += 1;
+        assert!(legs < 50, "campaign failed to converge");
+        let out = Supervisor::new()
+            .checkpoint_to(&dir)
+            .resume(true)
+            .with_chunk_budget(3)
+            .run(&id("drip"), plan(), body)
+            .expect("leg");
+        if out.report.is_complete() {
+            assert_eq!(out.parts, expected);
+            break;
+        }
+    }
+    let total_chunks = plan().num_chunks();
+    assert_eq!(legs, total_chunks.div_ceil(3), "3 chunks per leg");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn transient_panic_is_retried_and_journaled() {
+    // Chunk 4 fails on its first attempt only (a genuinely transient
+    // fault, driven by an external counter rather than chaos injection).
+    let attempts = AtomicU32::new(0);
+    let flaky = |chunk: Chunk| {
+        if chunk.index == 4 && attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+            panic!("transient wobble");
+        }
+        body(chunk)
+    };
+    let dir = temp_dir("transient");
+    let out = Supervisor::new()
+        .checkpoint_to(&dir)
+        .run(&id("transient"), plan(), flaky)
+        .expect("run");
+    assert!(out.report.is_complete());
+    assert_eq!(out.parts, reference("transient"));
+
+    // The journal must contain every chunk exactly once: replay it.
+    let replay = Supervisor::new()
+        .checkpoint_to(&dir)
+        .resume(true)
+        .run(&id("transient"), plan(), |_| -> Payload {
+            panic!("nothing should execute on full replay")
+        })
+        .expect("replay");
+    assert!(replay.report.is_complete());
+    assert_eq!(replay.report.executed_chunks, 0);
+    assert_eq!(replay.parts, reference("transient"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quarantined_chunks_are_excluded_but_not_journal_poisoning() {
+    let dir = temp_dir("quarantine");
+    let out = Supervisor::new()
+        .checkpoint_to(&dir)
+        .with_retries(1)
+        .with_injected_panics(&[0, 9], true)
+        .run(&id("quarantine"), plan(), body)
+        .expect("run");
+    assert_eq!(out.report.quarantined.len(), 2);
+    assert_eq!(out.report.stopped, None);
+    let expected = reference("quarantine");
+    let kept: Vec<_> = expected
+        .iter()
+        .filter(|(i, _)| *i != 0 && *i != 9)
+        .cloned()
+        .collect();
+    assert_eq!(out.parts, kept);
+    let covered: u64 = kept.iter().map(|(i, _)| plan().chunk(*i).len).sum();
+    assert_eq!(out.report.covered_samples, covered);
+
+    // A later resume without chaos heals the quarantined chunks.
+    let healed = Supervisor::new()
+        .checkpoint_to(&dir)
+        .resume(true)
+        .run(&id("quarantine"), plan(), body)
+        .expect("healing run");
+    assert!(healed.report.is_complete());
+    assert_eq!(healed.parts, expected);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mismatched_campaign_refuses_to_resume() {
+    let dir = temp_dir("mismatch");
+    Supervisor::new()
+        .checkpoint_to(&dir)
+        .run(&id("original"), plan(), body)
+        .expect("seed journal");
+    // Same file name requires same fingerprint, so fabricate a clash by
+    // renaming the journal onto the other campaign's expected name.
+    let other = CampaignId::new("resilience", "other", plan(), 42);
+    std::fs::rename(
+        dir.join(id("original").journal_file_name()),
+        dir.join(other.journal_file_name()),
+    )
+    .expect("rename");
+    let err = Supervisor::new()
+        .checkpoint_to(&dir)
+        .resume(true)
+        .run(&other, plan(), body)
+        .expect_err("must refuse");
+    assert!(
+        matches!(err, HarnessError::CampaignMismatch { .. }),
+        "{err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadline_flushes_a_resumable_checkpoint() {
+    let expected = reference("deadline");
+    let dir = temp_dir("deadline");
+    // A zero deadline trips before the first chunk is claimed; the
+    // journal must still be created and resumable.
+    let first = Supervisor::new()
+        .checkpoint_to(&dir)
+        .with_deadline(Duration::ZERO)
+        .run(&id("deadline"), plan(), body)
+        .expect("deadline leg");
+    assert_eq!(first.report.stopped, Some(StopCause::Deadline));
+    assert_eq!(first.report.executed_chunks, 0);
+
+    let resumed = Supervisor::new()
+        .checkpoint_to(&dir)
+        .resume(true)
+        .run(&id("deadline"), plan(), body)
+        .expect("resume");
+    assert!(resumed.report.is_complete());
+    assert_eq!(resumed.parts, expected);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fresh_run_without_resume_restarts_the_journal() {
+    let dir = temp_dir("restart");
+    let first = Supervisor::new()
+        .checkpoint_to(&dir)
+        .with_chunk_budget(5)
+        .run(&id("restart"), plan(), body)
+        .expect("first");
+    assert_eq!(first.report.executed_chunks, 5);
+    // No `.resume(true)`: the journal is recreated from scratch.
+    let second = Supervisor::new()
+        .checkpoint_to(&dir)
+        .with_chunk_budget(2)
+        .run(&id("restart"), plan(), body)
+        .expect("second");
+    assert_eq!(second.report.replayed_chunks, 0);
+    assert_eq!(second.report.executed_chunks, 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -11,7 +11,8 @@
 use realm_core::multiplier::MultiplierExt;
 use realm_core::rng::SplitMix64;
 use realm_core::Multiplier;
-use realm_par::{map_chunks, ChunkPlan, Threads};
+use realm_harness::{CampaignId, HarnessError, Supervised, Supervisor};
+use realm_par::{map_chunks, Chunk, ChunkPlan, Threads};
 
 use crate::montecarlo::DEFAULT_CHUNK;
 use crate::summary::{ErrorAccumulator, ErrorSummary};
@@ -40,31 +41,44 @@ pub fn characterize_by_interval_threaded(
     threads: Threads,
 ) -> Vec<IntervalCell> {
     let width = design.width() as usize;
-    let max = design.max_operand();
     let plan = ChunkPlan::new(samples, DEFAULT_CHUNK);
-    let grids = map_chunks(plan, threads, |chunk| {
-        let mut rng = SplitMix64::stream(seed, chunk.index);
-        let mut pairs = Vec::with_capacity(chunk.len as usize);
-        for _ in 0..chunk.len {
-            let a = rng.range_inclusive(1, max);
-            let b = rng.range_inclusive(1, max);
-            pairs.push((a, b));
-        }
-        let mut products = vec![0u64; pairs.len()];
-        design.multiply_batch(&pairs, &mut products);
-        let mut cells = vec![ErrorAccumulator::new(); width * width];
-        for (&(a, b), &p) in pairs.iter().zip(&products) {
-            let exact = a as u128 * b as u128; // nonzero: operands are ≥ 1
-            let e = (p as f64 - exact as f64) / exact as f64;
-            let ka = a.ilog2() as usize;
-            let kb = b.ilog2() as usize;
-            cells[ka * width + kb].push(e);
-        }
-        cells
-    });
+    let grids = map_chunks(plan, threads, |chunk| run_chunk(design, seed, chunk));
+    fold_grids(width, grids.iter())
+}
 
+/// The chunk driver shared by the threaded and supervised paths: a
+/// private `width × width` grid of accumulators for one chunk's samples.
+fn run_chunk(design: &dyn Multiplier, seed: u64, chunk: Chunk) -> Vec<ErrorAccumulator> {
+    let width = design.width() as usize;
+    let max = design.max_operand();
+    let mut rng = SplitMix64::stream(seed, chunk.index);
+    let mut pairs = Vec::with_capacity(chunk.len as usize);
+    for _ in 0..chunk.len {
+        let a = rng.range_inclusive(1, max);
+        let b = rng.range_inclusive(1, max);
+        pairs.push((a, b));
+    }
+    let mut products = vec![0u64; pairs.len()];
+    design.multiply_batch(&pairs, &mut products);
     let mut cells = vec![ErrorAccumulator::new(); width * width];
-    for grid in &grids {
+    for (&(a, b), &p) in pairs.iter().zip(&products) {
+        let exact = a as u128 * b as u128; // nonzero: operands are ≥ 1
+        let e = (p as f64 - exact as f64) / exact as f64;
+        let ka = a.ilog2() as usize;
+        let kb = b.ilog2() as usize;
+        cells[ka * width + kb].push(e);
+    }
+    cells
+}
+
+/// Folds per-chunk grids cell-wise (in iteration order = chunk order)
+/// and drops empty cells.
+fn fold_grids<'a>(
+    width: usize,
+    grids: impl Iterator<Item = &'a Vec<ErrorAccumulator>>,
+) -> Vec<IntervalCell> {
+    let mut cells = vec![ErrorAccumulator::new(); width * width];
+    for grid in grids {
         for (total, part) in cells.iter_mut().zip(grid) {
             total.merge(part);
         }
@@ -79,6 +93,26 @@ pub fn characterize_by_interval_threaded(
             summary: acc.finish(),
         })
         .collect()
+}
+
+/// [`characterize_by_interval`] under a [`Supervisor`]: the breakdown's
+/// per-chunk grids are journaled, so an interrupted campaign resumes
+/// bit-identically. On a partial run the cells cover the completed
+/// chunks only (`None` when no sample landed anywhere).
+pub fn characterize_by_interval_supervised(
+    design: &dyn Multiplier,
+    samples: u64,
+    seed: u64,
+    supervisor: &Supervisor,
+) -> Result<Supervised<Vec<IntervalCell>>, HarnessError> {
+    let width = design.width() as usize;
+    let plan = ChunkPlan::new(samples, DEFAULT_CHUNK);
+    let id = CampaignId::new("breakdown", design.label(), plan, seed);
+    let outcome = supervisor.run(&id, plan, |chunk| run_chunk(design, seed, chunk))?;
+    Ok(outcome.fold(|parts| {
+        let cells = fold_grids(width, parts.iter().map(|(_, grid)| grid));
+        (!cells.is_empty()).then_some(cells)
+    }))
 }
 
 /// Characterizes a design per power-of-two-interval pair with `samples`

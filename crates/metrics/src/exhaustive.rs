@@ -9,7 +9,9 @@
 
 use std::ops::RangeInclusive;
 
+use realm_core::multiplier::MultiplierExt;
 use realm_core::Multiplier;
+use realm_harness::{CampaignId, HarnessError, Supervised, Supervisor};
 use realm_par::{map_chunks, ChunkPlan, Threads};
 
 use crate::summary::{ErrorAccumulator, ErrorSummary};
@@ -100,6 +102,49 @@ pub fn characterize_range(
     b_range: RangeInclusive<u64>,
 ) -> ErrorSummary {
     characterize_range_threaded(design, a_range, b_range, Threads::Auto)
+}
+
+/// [`characterize_range`] under a [`Supervisor`]: the sweep's rows are
+/// journaled chunk-by-chunk, so an interrupted exhaustive sweep resumes
+/// bit-identically. The campaign identity binds the design label and
+/// both operand ranges (the seed slot carries the range bounds — the
+/// sweep itself draws no randomness).
+pub fn characterize_range_supervised(
+    design: &dyn Multiplier,
+    a_range: RangeInclusive<u64>,
+    b_range: RangeInclusive<u64>,
+    supervisor: &Supervisor,
+) -> Result<Supervised<ErrorSummary>, HarnessError> {
+    let a_vals: Vec<u64> = a_range.clone().collect();
+    let bs: Vec<u64> = b_range.clone().collect();
+    let plan = ChunkPlan::new(a_vals.len() as u64, ROWS_PER_CHUNK);
+    let subject = format!(
+        "{} a={}..={} b={}..={}",
+        design.label(),
+        a_range.start(),
+        a_range.end(),
+        b_range.start(),
+        b_range.end()
+    );
+    let id = CampaignId::new("exhaustive", &subject, plan, 0);
+    let outcome = supervisor.run(&id, plan, |chunk| {
+        let mut acc = ErrorAccumulator::new();
+        let mut pairs = Vec::new();
+        let mut products = Vec::new();
+        for &a in &a_vals[chunk.start as usize..chunk.end() as usize] {
+            for_each_row_error(design, a, &bs, &mut pairs, &mut products, |_, _, e| {
+                acc.push(e)
+            });
+        }
+        acc
+    })?;
+    Ok(outcome.fold(|parts| {
+        let mut total = ErrorAccumulator::new();
+        for (_, part) in &parts {
+            total.merge(part);
+        }
+        (total.count() > 0).then(|| total.finish())
+    }))
 }
 
 /// One sample of an error-profile surface.

@@ -18,6 +18,7 @@ use crate::nmed::DistanceSummary;
 use realm_core::multiplier::MultiplierExt;
 use realm_core::rng::SplitMix64;
 use realm_fault::{plausible_product, Fault, FaultSite, FaultTarget, Injector, SiteClass};
+use realm_harness::{ByteReader, CampaignId, Checkpoint, HarnessError, Supervised, Supervisor};
 use realm_par::{map_chunks, ChunkPlan, Threads};
 use std::fmt;
 
@@ -51,6 +52,34 @@ struct FaultPartial {
     sum_guarded: f64,
     sum_mre: f64,
     mre_samples: u64,
+}
+
+impl Checkpoint for FaultPartial {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.disturbed.encode(out);
+        self.corrupted.encode(out);
+        self.detected.encode(out);
+        self.fallbacks.encode(out);
+        self.sum_clean.encode(out);
+        self.sum_faulty.encode(out);
+        self.sum_guarded.encode(out);
+        self.sum_mre.encode(out);
+        self.mre_samples.encode(out);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        Some(FaultPartial {
+            disturbed: u64::decode(r)?,
+            corrupted: u64::decode(r)?,
+            detected: u64::decode(r)?,
+            fallbacks: u64::decode(r)?,
+            sum_clean: f64::decode(r)?,
+            sum_faulty: f64::decode(r)?,
+            sum_guarded: f64::decode(r)?,
+            sum_mre: f64::decode(r)?,
+            mre_samples: u64::decode(r)?,
+        })
+    }
 }
 
 impl FaultPartial {
@@ -258,24 +287,13 @@ impl FaultCampaign {
         part
     }
 
-    /// Characterizes a single fault on a design.
-    pub fn characterize(&self, design: &dyn FaultTarget, fault: Fault) -> SiteReport {
-        let max = design.max_operand();
-        let norm = max as f64 * max as f64;
-        let seed = self.seed;
-        let plan = ChunkPlan::new(self.samples, self.chunk);
-        let parts = map_chunks(plan, self.threads, |chunk| {
-            FaultCampaign::run_chunk(design, fault, seed, chunk)
-        });
-        let mut total = FaultPartial::default();
-        for part in &parts {
-            total.merge(part);
-        }
-
-        let n = self.samples as f64;
+    /// Normalizes a folded partial into a [`SiteReport`] over `samples`
+    /// covered operand pairs.
+    fn report_from(fault: Fault, samples: u64, norm: f64, total: &FaultPartial) -> SiteReport {
+        let n = samples as f64;
         SiteReport {
             fault,
-            samples: self.samples,
+            samples,
             disturbance_rate: total.disturbed as f64 / n,
             corruption_rate: total.corrupted as f64 / n,
             detection_rate: if total.corrupted == 0 {
@@ -293,6 +311,116 @@ impl FaultCampaign {
                 total.sum_mre / total.mre_samples as f64
             },
         }
+    }
+
+    /// Characterizes a single fault on a design.
+    pub fn characterize(&self, design: &dyn FaultTarget, fault: Fault) -> SiteReport {
+        let max = design.max_operand();
+        let norm = max as f64 * max as f64;
+        let seed = self.seed;
+        let plan = ChunkPlan::new(self.samples, self.chunk);
+        let parts = map_chunks(plan, self.threads, |chunk| {
+            FaultCampaign::run_chunk(design, fault, seed, chunk)
+        });
+        let mut total = FaultPartial::default();
+        for part in &parts {
+            total.merge(part);
+        }
+        FaultCampaign::report_from(fault, self.samples, norm, &total)
+    }
+
+    /// The fault campaign's identity for checkpoint journaling: binds
+    /// the design, the injected fault (via
+    /// [`Fault::campaign_tag`]), the plan geometry and the seed.
+    pub fn campaign_id(&self, design: &dyn FaultTarget, fault: Fault) -> CampaignId {
+        let subject = format!("{} :: {}", design.label(), fault.campaign_tag());
+        CampaignId::new(
+            "faults",
+            &subject,
+            ChunkPlan::new(self.samples, self.chunk),
+            self.seed,
+        )
+    }
+
+    /// [`characterize`](Self::characterize) under a [`Supervisor`]:
+    /// checkpoint/resume, panic quarantine, deadlines and cancellation.
+    /// A complete run is bit-identical to the unsupervised report; a
+    /// partial run normalizes by — and reports — the samples actually
+    /// covered (`None` if no chunk completed).
+    pub fn characterize_supervised(
+        &self,
+        design: &dyn FaultTarget,
+        fault: Fault,
+        supervisor: &Supervisor,
+    ) -> Result<Supervised<SiteReport>, HarnessError> {
+        let max = design.max_operand();
+        let norm = max as f64 * max as f64;
+        let seed = self.seed;
+        let plan = ChunkPlan::new(self.samples, self.chunk);
+        let outcome = supervisor.run(&self.campaign_id(design, fault), plan, |chunk| {
+            FaultCampaign::run_chunk(design, fault, seed, chunk)
+        })?;
+        Ok(outcome.fold(|parts| {
+            let covered: u64 = parts.iter().map(|&(i, _)| plan.chunk(i).len).sum();
+            if covered == 0 {
+                return None;
+            }
+            let mut total = FaultPartial::default();
+            for (_, part) in &parts {
+                total.merge(part);
+            }
+            Some(FaultCampaign::report_from(fault, covered, norm, &total))
+        }))
+    }
+
+    /// [`stuck_at_sweep`](Self::stuck_at_sweep) under a [`Supervisor`]:
+    /// every per-fault campaign is journaled separately (one file per
+    /// fault), so a sweep interrupted between — or within — faults
+    /// resumes where it stopped. Faults whose campaign was interrupted
+    /// or fully quarantined are omitted from the returned list; the
+    /// reports that are present are exact.
+    pub fn stuck_at_sweep_supervised(
+        &self,
+        design: &dyn FaultTarget,
+        supervisor: &Supervisor,
+    ) -> Result<Supervised<Vec<SiteReport>>, HarnessError> {
+        let mut reports = Vec::new();
+        let mut last_report = None;
+        for site in design.fault_sites() {
+            for value in [false, true] {
+                let fault = Fault::stuck_at(site, value);
+                let sup = self.characterize_supervised(design, fault, supervisor)?;
+                if let (true, Some(report)) = (sup.report.is_complete(), sup.value) {
+                    reports.push(report);
+                }
+                let report = sup.report;
+                if report.stopped.is_some() {
+                    // Deadline/cancel applies to the whole sweep: stop
+                    // scheduling further faults.
+                    return Ok(Supervised {
+                        value: (!reports.is_empty()).then_some(reports),
+                        report,
+                    });
+                }
+                last_report = Some(report);
+            }
+        }
+        // A design with no fault sites is vacuously complete: an empty
+        // report with nothing pending.
+        let report = last_report.unwrap_or(realm_harness::RunReport {
+            total_chunks: 0,
+            replayed_chunks: 0,
+            executed_chunks: 0,
+            quarantined: Vec::new(),
+            stopped: None,
+            covered_samples: 0,
+            total_samples: 0,
+            journal: realm_harness::LoadStats::default(),
+        });
+        Ok(Supervised {
+            value: (!reports.is_empty()).then_some(reports),
+            report,
+        })
     }
 
     /// Exhaustive permanent-fault sweep: one stuck-at-0 and one

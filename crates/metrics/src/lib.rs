@@ -29,14 +29,21 @@ pub mod pareto;
 pub mod summary;
 pub mod sweep;
 
-pub use breakdown::{characterize_by_interval, characterize_by_interval_threaded, IntervalCell};
+pub use breakdown::{
+    characterize_by_interval, characterize_by_interval_supervised,
+    characterize_by_interval_threaded, IntervalCell,
+};
 pub use exhaustive::{
-    characterize_range, characterize_range_threaded, error_profile, error_profile_threaded,
+    characterize_range, characterize_range_supervised, characterize_range_threaded, error_profile,
+    error_profile_threaded,
 };
 pub use faults::{summarize_by_class, ClassSummary, FaultCampaign, SiteReport, TransientPoint};
 pub use histogram::Histogram;
 pub use montecarlo::MonteCarlo;
-pub use nmed::{distance_metrics, distance_metrics_threaded, DistanceSummary};
+pub use nmed::{
+    distance_metrics, distance_metrics_supervised, distance_metrics_threaded, DistanceSummary,
+};
 pub use pareto::{pareto_front, ParetoPoint};
+pub use realm_harness::{Supervised, Supervisor};
 pub use realm_par::Threads;
 pub use summary::{ErrorAccumulator, ErrorSummary};

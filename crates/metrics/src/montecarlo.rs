@@ -17,6 +17,7 @@
 use realm_core::multiplier::MultiplierExt;
 use realm_core::rng::SplitMix64;
 use realm_core::Multiplier;
+use realm_harness::{CampaignId, HarnessError, Supervised, Supervisor};
 use realm_par::{map_chunks, Chunk, ChunkPlan, Threads};
 
 use crate::summary::{ErrorAccumulator, ErrorSummary};
@@ -151,6 +152,44 @@ impl MonteCarlo {
             total.merge(part);
         }
         total.finish()
+    }
+
+    /// The campaign's identity for checkpoint journaling: binds the
+    /// family, the design (via its label), the plan geometry and the
+    /// seed, so a journal can never be replayed into a different
+    /// campaign.
+    pub fn campaign_id(&self, design: &dyn Multiplier) -> CampaignId {
+        CampaignId::new("montecarlo", design.label(), self.plan(), self.seed)
+    }
+
+    /// [`characterize`](Self::characterize) under a
+    /// [`Supervisor`]: checkpoint/resume, panic quarantine, deadlines
+    /// and cancellation.
+    ///
+    /// When the report says the run is complete, the summary is
+    /// bit-identical to [`characterize`](Self::characterize) —
+    /// regardless of thread count, how many times the campaign was
+    /// interrupted and resumed, or how many transient panics were
+    /// retried. On a partial run the summary covers exactly the chunks
+    /// the report accounts for (`None` if no chunk completed). The
+    /// supervisor's thread policy is used (the campaign's own is for
+    /// the unsupervised path).
+    pub fn characterize_supervised(
+        &self,
+        design: &dyn Multiplier,
+        supervisor: &Supervisor,
+    ) -> Result<Supervised<ErrorSummary>, HarnessError> {
+        let seed = self.seed;
+        let outcome = supervisor.run(&self.campaign_id(design), self.plan(), |chunk| {
+            MonteCarlo::run_chunk(design, seed, chunk, |_| {})
+        })?;
+        Ok(outcome.fold(|parts| {
+            let mut total = ErrorAccumulator::new();
+            for (_, part) in &parts {
+                total.merge(part);
+            }
+            (total.count() > 0).then(|| total.finish())
+        }))
     }
 
     /// Characterizes one design and simultaneously feeds every error into

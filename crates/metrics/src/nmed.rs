@@ -6,7 +6,8 @@
 use realm_core::multiplier::MultiplierExt;
 use realm_core::rng::SplitMix64;
 use realm_core::Multiplier;
-use realm_par::{map_chunks, ChunkPlan, Threads};
+use realm_harness::{ByteReader, CampaignId, Checkpoint, HarnessError, Supervised, Supervisor};
+use realm_par::{map_chunks, Chunk, ChunkPlan, Threads};
 
 use crate::montecarlo::DEFAULT_CHUNK;
 
@@ -30,6 +31,45 @@ struct DistancePartial {
     worst: f64,
 }
 
+impl Checkpoint for DistancePartial {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.sum.encode(out);
+        self.worst.encode(out);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        Some(DistancePartial {
+            sum: f64::decode(r)?,
+            worst: f64::decode(r)?,
+        })
+    }
+}
+
+/// The chunk driver shared by the threaded and supervised paths.
+fn run_chunk(design: &dyn Multiplier, seed: u64, chunk: Chunk) -> DistancePartial {
+    let max = design.max_operand();
+    let mut rng = SplitMix64::stream(seed, chunk.index);
+    let mut pairs = Vec::with_capacity(chunk.len as usize);
+    for _ in 0..chunk.len {
+        let a = rng.range_inclusive(0, max);
+        let b = rng.range_inclusive(0, max);
+        pairs.push((a, b));
+    }
+    let mut products = vec![0u64; pairs.len()];
+    design.multiply_batch(&pairs, &mut products);
+    let mut part = DistancePartial {
+        sum: 0.0,
+        worst: 0.0,
+    };
+    for (&(a, b), &p) in pairs.iter().zip(&products) {
+        let exact = (a as u128 * b as u128) as f64;
+        let d = (p as f64 - exact).abs();
+        part.sum += d;
+        part.worst = part.worst.max(d);
+    }
+    part
+}
+
 /// [`distance_metrics`] with an explicit worker-thread policy. The summary
 /// is bit-identical for every policy: chunk `i` draws from
 /// `SplitMix64::stream(seed, i)` and the per-chunk sums fold in chunk
@@ -44,28 +84,7 @@ pub fn distance_metrics_threaded(
     let max = design.max_operand();
     let norm = (max as f64) * (max as f64);
     let plan = ChunkPlan::new(samples, DEFAULT_CHUNK);
-    let parts = map_chunks(plan, threads, |chunk| {
-        let mut rng = SplitMix64::stream(seed, chunk.index);
-        let mut pairs = Vec::with_capacity(chunk.len as usize);
-        for _ in 0..chunk.len {
-            let a = rng.range_inclusive(0, max);
-            let b = rng.range_inclusive(0, max);
-            pairs.push((a, b));
-        }
-        let mut products = vec![0u64; pairs.len()];
-        design.multiply_batch(&pairs, &mut products);
-        let mut part = DistancePartial {
-            sum: 0.0,
-            worst: 0.0,
-        };
-        for (&(a, b), &p) in pairs.iter().zip(&products) {
-            let exact = (a as u128 * b as u128) as f64;
-            let d = (p as f64 - exact).abs();
-            part.sum += d;
-            part.worst = part.worst.max(d);
-        }
-        part
-    });
+    let parts = map_chunks(plan, threads, |chunk| run_chunk(design, seed, chunk));
     let mut sum = 0.0f64;
     let mut worst = 0.0f64;
     for part in &parts {
@@ -77,6 +96,40 @@ pub fn distance_metrics_threaded(
         worst_case: worst / norm,
         samples,
     }
+}
+
+/// [`distance_metrics`] under a [`Supervisor`]. A complete run is
+/// bit-identical to [`distance_metrics_threaded`]; a partial run
+/// normalizes by — and reports — the samples actually covered.
+pub fn distance_metrics_supervised(
+    design: &dyn Multiplier,
+    samples: u64,
+    seed: u64,
+    supervisor: &Supervisor,
+) -> Result<Supervised<DistanceSummary>, HarnessError> {
+    assert!(samples > 0, "need at least one sample");
+    let max = design.max_operand();
+    let norm = (max as f64) * (max as f64);
+    let plan = ChunkPlan::new(samples, DEFAULT_CHUNK);
+    let id = CampaignId::new("nmed", design.label(), plan, seed);
+    let outcome = supervisor.run(&id, plan, |chunk| run_chunk(design, seed, chunk))?;
+    Ok(outcome.fold(|parts| {
+        let covered: u64 = parts.iter().map(|&(i, _)| plan.chunk(i).len).sum();
+        if covered == 0 {
+            return None;
+        }
+        let mut sum = 0.0f64;
+        let mut worst = 0.0f64;
+        for (_, part) in &parts {
+            sum += part.sum;
+            worst = worst.max(part.worst);
+        }
+        Some(DistanceSummary {
+            nmed: sum / covered as f64 / norm,
+            worst_case: worst / norm,
+            samples: covered,
+        })
+    }))
 }
 
 /// Measures NMED/WCED with `samples` uniform operand pairs on every

@@ -4,6 +4,8 @@
 
 use std::fmt;
 
+use realm_harness::{ByteReader, Checkpoint};
+
 /// Streaming accumulator for relative-error statistics.
 ///
 /// Pairs whose exact product is zero are skipped (relative error is
@@ -28,6 +30,30 @@ pub struct ErrorAccumulator {
     sum_sq: f64,
     min: f64,
     max: f64,
+}
+
+impl Checkpoint for ErrorAccumulator {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.count.encode(out);
+        self.sum.encode(out);
+        self.sum_abs.encode(out);
+        self.sum_sq.encode(out);
+        // min/max are ±∞ sentinels on an empty accumulator; the bit-level
+        // f64 codec round-trips them exactly.
+        self.min.encode(out);
+        self.max.encode(out);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        Some(ErrorAccumulator {
+            count: u64::decode(r)?,
+            sum: f64::decode(r)?,
+            sum_abs: f64::decode(r)?,
+            sum_sq: f64::decode(r)?,
+            min: f64::decode(r)?,
+            max: f64::decode(r)?,
+        })
+    }
 }
 
 /// Standard errors of the sampled means, for stating Monte-Carlo

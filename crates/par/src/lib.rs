@@ -61,8 +61,11 @@ pub enum Threads {
     /// the query fails.
     #[default]
     Auto,
-    /// Use exactly this many workers. `Fixed(0)` is treated as `Fixed(1)`:
-    /// the policy is total, zero workers cannot execute anything.
+    /// Use exactly this many workers. `Fixed(0)` resolves like
+    /// [`Threads::Auto`]: **`0` means auto everywhere** — the CLI flag,
+    /// [`Threads::from_count`] and this variant all agree, so a config
+    /// value of `0` can be threaded through any layer without a special
+    /// case.
     Fixed(usize),
 }
 
@@ -70,10 +73,10 @@ impl Threads {
     /// The concrete worker count this policy resolves to, always ≥ 1.
     pub fn resolve(self) -> usize {
         match self {
-            Threads::Auto => thread::available_parallelism()
+            Threads::Auto | Threads::Fixed(0) => thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
-            Threads::Fixed(n) => n.max(1),
+            Threads::Fixed(n) => n,
         }
     }
 
@@ -237,6 +240,125 @@ where
     tagged.into_iter().map(|(_, v)| v).collect()
 }
 
+/// The outcome of one supervised chunk execution.
+#[derive(Debug)]
+pub enum ChunkRun<T> {
+    /// The chunk ran to completion and produced its payload.
+    Completed(T),
+    /// The chunk panicked; the payload is the panic message
+    /// (best-effort: non-string panic payloads get a placeholder).
+    Panicked(String),
+}
+
+impl<T> ChunkRun<T> {
+    /// The payload of a completed chunk, if any.
+    pub fn completed(&self) -> Option<&T> {
+        match self {
+            ChunkRun::Completed(v) => Some(v),
+            ChunkRun::Panicked(_) => None,
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The fault-isolating sibling of [`map_chunks`]: executes an explicit
+/// subset of a plan's chunks, catches per-chunk panics instead of
+/// aborting the campaign, reports each chunk the moment it finishes, and
+/// stops claiming new chunks once `should_stop` turns true.
+///
+/// This is the execution primitive the `realm-harness` supervisor builds
+/// checkpoint/resume, retry/quarantine and deadline handling on:
+///
+/// * `indices` — which chunks of `plan` to run (a resumed campaign
+///   passes only the chunks its journal is missing). Indices must be
+///   in-range for the plan.
+/// * `should_stop` — polled before every chunk claim; once true, no new
+///   chunk starts (in-flight chunks finish and are reported normally).
+/// * `f` — the chunk body. A panic is caught and surfaced as
+///   [`ChunkRun::Panicked`] for that chunk only; other chunks are
+///   unaffected.
+/// * `on_complete` — invoked from worker threads as each chunk
+///   finishes, in completion order (the caller serializes internally if
+///   needed, e.g. behind a journal mutex). Must not panic.
+///
+/// Returns the attempted chunks as `(index, outcome)` **sorted by chunk
+/// index**; chunks skipped because `should_stop` tripped are absent.
+/// Like [`map_chunks`], scheduling never affects payload values — only
+/// which chunks got a chance to run before the stop.
+pub fn run_chunks_supervised<T, F, C, S>(
+    plan: ChunkPlan,
+    threads: Threads,
+    indices: &[u64],
+    should_stop: &S,
+    f: &F,
+    on_complete: &C,
+) -> Vec<(u64, ChunkRun<T>)>
+where
+    T: Send,
+    F: Fn(Chunk) -> T + Sync,
+    C: Fn(u64, &ChunkRun<T>) + Sync,
+    S: Fn() -> bool + Sync,
+{
+    let run_one = |chunk_index: u64| -> ChunkRun<T> {
+        let chunk = plan.chunk(chunk_index);
+        let run = match catch_unwind(AssertUnwindSafe(|| f(chunk))) {
+            Ok(value) => ChunkRun::Completed(value),
+            Err(payload) => ChunkRun::Panicked(panic_message(payload.as_ref())),
+        };
+        on_complete(chunk_index, &run);
+        run
+    };
+
+    let workers = threads.resolve().min(indices.len().max(1));
+    let mut tagged: Vec<(u64, ChunkRun<T>)> = Vec::with_capacity(indices.len());
+    if workers <= 1 {
+        for &chunk_index in indices {
+            if should_stop() {
+                break;
+            }
+            tagged.push((chunk_index, run_one(chunk_index)));
+        }
+    } else {
+        let next = AtomicU64::new(0);
+        let worker = || {
+            let mut produced = Vec::new();
+            loop {
+                if should_stop() {
+                    return produced;
+                }
+                let slot = next.fetch_add(1, Ordering::Relaxed) as usize;
+                let Some(&chunk_index) = indices.get(slot) else {
+                    return produced;
+                };
+                produced.push((chunk_index, run_one(chunk_index)));
+            }
+        };
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers).map(|_| scope.spawn(worker)).collect();
+            for handle in handles {
+                // A worker can only die if `on_complete` panicked,
+                // which the contract forbids; degrade by dropping
+                // that worker's chunks (they will re-run on resume).
+                if let Ok(part) = handle.join() {
+                    tagged.extend(part);
+                }
+            }
+        });
+    }
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,8 +366,14 @@ mod tests {
     #[test]
     fn threads_resolve_is_at_least_one() {
         assert!(Threads::Auto.resolve() >= 1);
-        assert_eq!(Threads::Fixed(0).resolve(), 1);
         assert_eq!(Threads::Fixed(7).resolve(), 7);
+    }
+
+    #[test]
+    fn fixed_zero_means_auto_everywhere() {
+        // The unified CLI semantics: 0 = auto under every spelling.
+        assert_eq!(Threads::Fixed(0).resolve(), Threads::Auto.resolve());
+        assert_eq!(Threads::from_count(0).resolve(), Threads::Auto.resolve());
     }
 
     #[test]
@@ -349,5 +477,88 @@ mod tests {
         let auto = map_chunks(plan, Threads::Auto, |c| c.start + c.len);
         let one = map_chunks(plan, Threads::Fixed(1), |c| c.start + c.len);
         assert_eq!(auto, one);
+    }
+
+    #[test]
+    fn supervised_runs_exactly_the_requested_indices() {
+        let plan = ChunkPlan::new(100, 10);
+        let indices = [1u64, 4, 7];
+        for workers in [1usize, 4] {
+            let runs = run_chunks_supervised(
+                plan,
+                Threads::Fixed(workers),
+                &indices,
+                &|| false,
+                &|c| c.start,
+                &|_, _| {},
+            );
+            let got: Vec<u64> = runs.iter().map(|(i, _)| *i).collect();
+            assert_eq!(got, indices, "workers={workers}");
+            for (i, run) in &runs {
+                assert_eq!(run.completed(), Some(&(i * 10)));
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_isolates_panicking_chunks() {
+        let plan = ChunkPlan::new(16, 1);
+        for workers in [1usize, 4] {
+            let runs = run_chunks_supervised(
+                plan,
+                Threads::Fixed(workers),
+                &(0..16).collect::<Vec<u64>>(),
+                &|| false,
+                &|c| {
+                    assert!(c.index != 5, "boom on chunk 5");
+                    c.index * 2
+                },
+                &|_, _| {},
+            );
+            assert_eq!(runs.len(), 16, "workers={workers}");
+            for (i, run) in &runs {
+                if *i == 5 {
+                    match run {
+                        ChunkRun::Panicked(msg) => assert!(msg.contains("boom"), "{msg}"),
+                        ChunkRun::Completed(_) => panic!("chunk 5 must be Panicked"),
+                    }
+                } else {
+                    assert_eq!(run.completed(), Some(&(i * 2)), "chunk {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_honors_should_stop_immediately() {
+        let plan = ChunkPlan::new(64, 1);
+        let runs = run_chunks_supervised(
+            plan,
+            Threads::Fixed(4),
+            &(0..64).collect::<Vec<u64>>(),
+            &|| true,
+            &|c| c.index,
+            &|_, _| {},
+        );
+        assert!(runs.is_empty(), "pre-tripped stop must claim no chunks");
+    }
+
+    #[test]
+    fn supervised_reports_every_completion_exactly_once() {
+        use std::sync::Mutex;
+        let plan = ChunkPlan::new(40, 4);
+        let seen = Mutex::new(Vec::new());
+        let runs = run_chunks_supervised(
+            plan,
+            Threads::Fixed(3),
+            &(0..10).collect::<Vec<u64>>(),
+            &|| false,
+            &|c| c.len,
+            &|i, _| seen.lock().unwrap().push(i),
+        );
+        assert_eq!(runs.len(), 10);
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<u64>>());
     }
 }
