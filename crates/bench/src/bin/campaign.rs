@@ -68,7 +68,8 @@ fn main() {
     );
 
     let campaign = MonteCarlo::new(opts.samples, opts.seed);
-    let supervisor = opts.supervisor();
+    let obs = opts.observability();
+    let supervisor = opts.supervisor().with_collector(obs.collector());
     let sup = or_die(
         campaign.characterize_supervised(&design, &supervisor),
         "campaign",
@@ -86,4 +87,9 @@ fn main() {
         // a chunk budget, or quarantined chunks — exit 0 either way.
         println!("campaign incomplete — no summary written");
     }
+    // The aggregated observability artifacts ride along with --out /
+    // --trace; the campaign summary above stays byte-identical whether
+    // or not anyone observed the run.
+    opts.write_csv("metrics_summary.json", &obs.metrics().to_json());
+    obs.finish();
 }

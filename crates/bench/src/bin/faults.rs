@@ -19,6 +19,7 @@ use realm_dsp::fir::{output_snr, FirFilter};
 use realm_fault::{Fault, FaultPlan, FaultSite, FaultyMultiplier, Guarded, Operand, SiteClass};
 use realm_jpeg::{psnr, Image, JpegCodec};
 use realm_metrics::faults::{summarize_by_class, ClassSummary, FaultCampaign};
+use realm_metrics::Supervisor;
 use realm_synth::designs::realm_netlist_staged;
 use realm_synth::faults::{stage_sensitivity, StageImpact};
 
@@ -52,14 +53,18 @@ fn top_shared<T>(
         })
 }
 
-fn functional_campaign(opts: &Options, samples: u64) -> Option<Vec<ClassSummary>> {
+fn functional_campaign(
+    opts: &Options,
+    samples: u64,
+    supervisor: &Supervisor,
+) -> Option<Vec<ClassSummary>> {
     let design = realm8();
     let campaign = FaultCampaign::new(samples, opts.seed).with_threads(opts.threads);
     // Each per-fault campaign journals separately under the supervisor,
     // so Ctrl-C / --deadline stop the sweep at a chunk boundary and
     // --resume continues it bit-identically.
     let sup = campaign
-        .stuck_at_sweep_supervised(&design, &opts.supervisor())
+        .stuck_at_sweep_supervised(&design, supervisor)
         .or_die("functional stuck-at sweep");
     if !sup.report.is_complete() {
         println!("functional stuck-at sweep — REALM8 (8-bit): incomplete");
@@ -214,10 +219,14 @@ fn main() {
     }
     let (faults_per_stage, vectors) = if smoke { (6, 50) } else { (16, 250) };
 
-    let Some(classes) = functional_campaign(&opts, opts.samples) else {
+    let obs = opts.observability();
+    let supervisor = opts.supervisor().with_collector(obs.collector());
+    let Some(classes) = functional_campaign(&opts, opts.samples, &supervisor) else {
         // The stop (deadline, Ctrl-C) covers the whole study: a partial
         // sweep cannot be cross-validated, so report and exit cleanly.
         println!("\nstudy interrupted; rerun with --resume --checkpoint-dir to continue");
+        opts.write_csv("metrics_summary.json", &obs.metrics().to_json());
+        obs.finish();
         return;
     };
     let impacts = gate_level_campaign(&opts, faults_per_stage, vectors);
@@ -242,6 +251,8 @@ fn main() {
 
     degradation_curve(&opts, opts.samples);
     application_impact(&opts);
+    opts.write_csv("metrics_summary.json", &obs.metrics().to_json());
+    obs.finish();
 
     if f_top == g_top {
         println!("\ncross-validation PASSED: both levels rank '{f_top}' most critical");

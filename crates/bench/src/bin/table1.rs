@@ -31,7 +31,8 @@ fn main() {
     // All 65 per-design campaigns run under one supervisor: Ctrl-C /
     // --deadline stop the table gracefully at a chunk boundary, and
     // with --checkpoint-dir + --resume it continues where it stopped.
-    let supervisor = opts.supervisor();
+    let obs = opts.observability();
+    let supervisor = opts.supervisor().with_collector(obs.collector());
     let table = or_die(
         table1_rows_supervised(opts.samples, opts.cycles, opts.seed, &supervisor),
         "table I campaign",
@@ -44,6 +45,8 @@ fn main() {
         csv.push('\n');
     }
     opts.write_csv("table1.csv", &csv);
+    opts.write_csv("metrics_summary.json", &obs.metrics().to_json());
+    obs.finish();
 
     if !table.skipped.is_empty() {
         println!(

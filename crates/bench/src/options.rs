@@ -9,9 +9,11 @@
 
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 use realm_harness::{CancelToken, Supervisor};
+use realm_obs::{Fanout, JsonlSink, MetricsSummary, ProgressReporter, Registry, SharedCollector};
 use realm_par::Threads;
 
 /// A diagnostic for one malformed command-line argument.
@@ -59,6 +61,12 @@ pub struct Options {
     /// (`--inject-panic 2,5`), exercising quarantine and graceful
     /// degradation end to end.
     pub inject_panic: Vec<u64>,
+    /// Stream campaign events to this file as JSONL, schema
+    /// `realm-obs/v1` (`--trace FILE`; published atomically at exit).
+    pub trace: Option<PathBuf>,
+    /// Keep a live progress line on stderr while campaigns run
+    /// (`--progress`).
+    pub progress: bool,
 }
 
 impl Default for Options {
@@ -75,6 +83,8 @@ impl Default for Options {
             deadline: None,
             max_chunks: None,
             inject_panic: Vec::new(),
+            trace: None,
+            progress: false,
         }
     }
 }
@@ -94,6 +104,9 @@ pub fn usage() -> &'static str {
      \x20 --deadline T       stop gracefully after T (30s, 10m, 2h, 500ms), checkpoint, exit 0\n\
      \x20 --max-chunks N     execute at most N chunks per campaign, then checkpoint and stop\n\
      \x20 --inject-panic L   comma-separated chunk indices that always panic (chaos test)\n\
+     \x20 --trace FILE       stream campaign events to FILE as JSONL (schema realm-obs/v1,\n\
+     \x20                    published via the crash-safe atomic write path)\n\
+     \x20 --progress         live progress line on stderr (chunks done, samples/sec)\n\
      \x20 --help             print this help\n\
      \n\
      Ctrl-C checkpoints and exits cleanly; a second Ctrl-C aborts immediately.\n\
@@ -158,6 +171,8 @@ impl Options {
                         opts.inject_panic.push(parse_count(part)?);
                     }
                 }
+                "--trace" => opts.trace = Some(PathBuf::from(value("--trace")?)),
+                "--progress" => opts.progress = true,
                 // Cargo's bench runner forwards this marker to
                 // `harness = false` benches; it carries no information.
                 "--bench" => {}
@@ -197,6 +212,28 @@ impl Options {
         sup
     }
 
+    /// Builds the [`Observability`] bundle these options describe: a
+    /// metrics [`Registry`] (always installed — its summary feeds
+    /// `metrics_summary.json`), a `--trace` JSONL sink and a
+    /// `--progress` stderr reporter when requested, fanned into one
+    /// collector for [`Supervisor::with_collector`].
+    pub fn observability(&self) -> Observability {
+        let registry = Arc::new(Registry::new());
+        let mut fanout = Fanout::new().with(registry.clone());
+        let sink = self.trace.as_ref().map(|p| Arc::new(JsonlSink::new(p)));
+        if let Some(sink) = &sink {
+            fanout = fanout.with(sink.clone());
+        }
+        if self.progress {
+            fanout = fanout.with(Arc::new(ProgressReporter::new()));
+        }
+        Observability {
+            registry,
+            sink,
+            collector: fanout.shared(),
+        }
+    }
+
     /// Writes a CSV artifact into the output directory (if one was
     /// given) via the crash-safe atomic write path. Prints the
     /// diagnostic and exits 1 if the artifact cannot be written — a
@@ -213,6 +250,53 @@ impl Options {
                 std::process::exit(1);
             }
             println!("wrote {}", path.display());
+        }
+    }
+}
+
+/// The observability wiring of one driver invocation (see
+/// [`Options::observability`]): share its collector with every
+/// supervisor the driver builds, then call [`finish`](Self::finish)
+/// once before exiting to publish the trace file.
+pub struct Observability {
+    registry: Arc<Registry>,
+    sink: Option<Arc<JsonlSink>>,
+    collector: SharedCollector,
+}
+
+impl fmt::Debug for Observability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Observability")
+            .field("trace", &self.sink.as_ref().map(|s| s.path().to_path_buf()))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Observability {
+    /// The fan-out collector to install via
+    /// [`Supervisor::with_collector`].
+    pub fn collector(&self) -> SharedCollector {
+        self.collector.clone()
+    }
+
+    /// A snapshot of the aggregated metrics (counters, gauges, chunk
+    /// wall-time histogram) accumulated so far.
+    pub fn metrics(&self) -> MetricsSummary {
+        self.registry.snapshot()
+    }
+
+    /// Publishes the `--trace` JSONL stream (crash-safe atomic write).
+    /// The trace is advisory: a publish failure is reported on stderr
+    /// but never fails the driver, whose results are already computed.
+    pub fn finish(&self) {
+        if let Some(sink) = &self.sink {
+            match sink.finish() {
+                Ok(()) => println!("wrote {}", sink.path().display()),
+                Err(e) => eprintln!(
+                    "warning: cannot write trace '{}': {e}",
+                    sink.path().display()
+                ),
+            }
         }
     }
 }
@@ -397,5 +481,49 @@ mod tests {
         let o = ok(&["--threads", "3", "--max-chunks", "7"]);
         let sup = o.supervisor();
         assert_eq!(sup.threads(), Threads::Fixed(3));
+    }
+
+    #[test]
+    fn parses_trace_and_progress() {
+        let o = ok(&["--trace", "/tmp/run.jsonl", "--progress"]);
+        assert_eq!(
+            o.trace.as_deref(),
+            Some(std::path::Path::new("/tmp/run.jsonl"))
+        );
+        assert!(o.progress);
+        assert!(!ok(&[]).progress);
+        assert!(usage().contains("--trace"), "usage must document --trace");
+        assert!(usage().contains("--progress"));
+    }
+
+    #[test]
+    fn observability_collects_into_the_registry() {
+        let obs = ok(&[]).observability();
+        let collector = obs.collector();
+        assert!(collector.enabled(), "registry is always installed");
+        collector.record(&realm_obs::Event::ChunkReplayed {
+            chunk: 0,
+            samples: 64,
+        });
+        let metrics = obs.metrics();
+        assert_eq!(metrics.counters["chunks_replayed_total"], 1);
+        obs.finish(); // no --trace: must be a no-op, not an error
+    }
+
+    #[test]
+    fn observability_trace_sink_follows_the_flag() {
+        let dir = std::env::temp_dir().join("realm-bench-opts-trace-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("t.jsonl");
+        let o = ok(&["--trace", path.to_str().expect("utf-8 path")]);
+        let obs = o.observability();
+        obs.collector().record(&realm_obs::Event::ChunkReplayed {
+            chunk: 1,
+            samples: 2,
+        });
+        obs.finish();
+        let text = std::fs::read_to_string(&path).expect("trace published");
+        assert!(text.contains("\"ev\":\"chunk_replayed\""), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

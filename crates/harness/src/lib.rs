@@ -29,13 +29,16 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
-mod atomic;
 mod cancel;
 mod journal;
 mod supervisor;
 mod wire;
 
-pub use atomic::{atomic_write, atomic_write_str};
+// The crash-safe writer lives in `realm-obs` (the bottom of the
+// workspace) so the JSONL trace sink and the harness share one
+// implementation; the harness API is unchanged.
+pub use realm_obs::{atomic_write, atomic_write_str};
+
 pub use cancel::CancelToken;
 pub use journal::{CampaignId, Fnv64, Journal, LoadStats, ResumedJournal};
 pub use supervisor::{Outcome, Quarantine, RunReport, StopCause, Supervised, Supervisor};

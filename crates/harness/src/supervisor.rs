@@ -27,7 +27,8 @@ use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use realm_par::{run_chunks_supervised, Chunk, ChunkPlan, ChunkRun, Threads};
+use realm_obs::{null_collector, Event, SharedCollector};
+use realm_par::{run_chunks_traced, Chunk, ChunkPlan, ChunkRun, Threads};
 
 use crate::journal::{CampaignId, Journal, LoadStats};
 use crate::wire::Checkpoint;
@@ -219,7 +220,7 @@ struct Chaos {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Supervisor {
     threads: Threads,
     retries: u32,
@@ -229,6 +230,22 @@ pub struct Supervisor {
     resume: bool,
     chunk_budget: Option<u64>,
     chaos: Chaos,
+    collector: SharedCollector,
+}
+
+impl fmt::Debug for Supervisor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Supervisor")
+            .field("threads", &self.threads)
+            .field("retries", &self.retries)
+            .field("deadline", &self.deadline)
+            .field("checkpoint_dir", &self.checkpoint_dir)
+            .field("resume", &self.resume)
+            .field("chunk_budget", &self.chunk_budget)
+            .field("chaos", &self.chaos)
+            .field("observed", &self.collector.enabled())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for Supervisor {
@@ -242,6 +259,7 @@ impl Default for Supervisor {
             resume: false,
             chunk_budget: None,
             chaos: Chaos::default(),
+            collector: null_collector(),
         }
     }
 }
@@ -323,6 +341,22 @@ impl Supervisor {
         self
     }
 
+    /// Streams campaign events (spans, journal activity, quarantines)
+    /// into `collector` — a `realm_obs::Registry`, `JsonlSink`,
+    /// `ProgressReporter`, or any fanout of them. Observability is
+    /// strictly passive: a collected run is bit-identical to an
+    /// uncollected one.
+    pub fn with_collector(mut self, collector: SharedCollector) -> Self {
+        self.collector = collector;
+        self
+    }
+
+    /// The installed event collector (the no-op [`null_collector`]
+    /// unless [`with_collector`](Self::with_collector) was called).
+    pub fn collector(&self) -> SharedCollector {
+        self.collector.clone()
+    }
+
     /// The configured thread policy.
     pub fn threads(&self) -> Threads {
         self.threads
@@ -354,6 +388,18 @@ impl Supervisor {
         F: Fn(Chunk) -> T + Sync,
     {
         let num_chunks = plan.num_chunks();
+        let t0 = Instant::now();
+        let obs = &*self.collector;
+        if obs.enabled() {
+            obs.record(&Event::CampaignStart {
+                family: id.family().to_string(),
+                subject: id.subject().to_string(),
+                fingerprint: id.fingerprint(),
+                total_chunks: num_chunks,
+                total_samples: plan.total(),
+                threads: self.threads.resolve() as u64,
+            });
+        }
 
         // Phase 1: journal replay.
         let mut journal = None;
@@ -386,6 +432,18 @@ impl Supervisor {
             journal = Some(Mutex::new(j));
         }
         let replayed_chunks = completed.len() as u64;
+        if obs.enabled() && self.resume && journal.is_some() {
+            obs.record(&Event::JournalLoaded {
+                records: load_stats.records,
+                truncated_bytes: load_stats.truncated_bytes,
+            });
+            for &index in completed.keys() {
+                obs.record(&Event::ChunkReplayed {
+                    chunk: index,
+                    samples: plan.chunk(index).len,
+                });
+            }
+        }
 
         // Phase 2: plan this invocation's work.
         let mut pending: Vec<u64> = (0..num_chunks)
@@ -433,15 +491,29 @@ impl Supervisor {
                             detail: "journal mutex poisoned".into(),
                         }),
                     };
-                    if let (Err(e), Ok(mut slot)) = (result, journal_error.lock()) {
-                        slot.get_or_insert(e);
+                    match result {
+                        Ok(()) => {
+                            if obs.enabled() {
+                                obs.record(&Event::JournalAppend {
+                                    chunk: index,
+                                    bytes: bytes.len() as u64,
+                                });
+                            }
+                        }
+                        Err(e) => {
+                            if let Ok(mut slot) = journal_error.lock() {
+                                slot.get_or_insert(e);
+                            }
+                        }
                     }
                 }
             };
-            let runs = run_chunks_supervised(
+            let runs = run_chunks_traced(
                 plan,
                 self.threads,
                 &to_run,
+                attempt,
+                obs,
                 &should_stop,
                 &body,
                 &on_complete,
@@ -512,6 +584,27 @@ impl Supervisor {
             total_samples: plan.total(),
             journal: load_stats,
         };
+        if obs.enabled() {
+            for q in &report.quarantined {
+                obs.record(&Event::Quarantined {
+                    chunk: q.chunk,
+                    samples: q.samples,
+                    attempts: q.attempts,
+                    message: q.message.clone(),
+                });
+            }
+            obs.record(&Event::CampaignEnd {
+                family: id.family().to_string(),
+                fingerprint: id.fingerprint(),
+                replayed_chunks: report.replayed_chunks,
+                executed_chunks: report.executed_chunks,
+                quarantined_chunks: report.quarantined.len() as u64,
+                covered_samples: report.covered_samples,
+                total_samples: report.total_samples,
+                stopped: report.stopped.map(|c| c.to_string()),
+                wall_ns: t0.elapsed().as_nanos() as u64,
+            });
+        }
         Ok(Outcome {
             parts: completed.into_iter().collect(),
             report,

@@ -1,0 +1,213 @@
+//! Integration tests for the observability stream of supervised
+//! campaigns: an in-memory [`MemoryCollector`] is installed on the
+//! [`Supervisor`] and the test asserts on the exact event sequence a
+//! real Monte-Carlo campaign (from `realm-metrics`, a dev-dependency)
+//! produces — spans per chunk, sample accounting, quarantine counts and
+//! resume cache hits.
+//!
+//! These tests also pin the tentpole's passivity guarantee: a collected
+//! campaign folds to bit-identical statistics.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use realm_core::{Realm, RealmConfig};
+use realm_harness::Supervisor;
+use realm_metrics::MonteCarlo;
+use realm_obs::{Event, MemoryCollector, Registry};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("realm-obs-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn design() -> Realm {
+    Realm::new(RealmConfig::n16(16, 0)).expect("paper design point")
+}
+
+/// A small but real campaign: 4096 samples in 16 chunks of 256.
+fn campaign() -> MonteCarlo {
+    MonteCarlo::new(4096, 7).with_chunk(256)
+}
+
+#[test]
+fn complete_campaign_emits_one_ok_span_per_chunk() {
+    let mem = Arc::new(MemoryCollector::new());
+    let sup = Supervisor::new().with_collector(mem.clone());
+    let outcome = campaign()
+        .characterize_supervised(&design(), &sup)
+        .expect("campaign");
+    assert!(outcome.report.is_complete());
+
+    let events = mem.events();
+    assert_eq!(
+        mem.count(|e| matches!(e, Event::CampaignStart { .. })),
+        1,
+        "exactly one root span opens"
+    );
+    assert_eq!(mem.count(|e| matches!(e, Event::CampaignEnd { .. })), 1);
+
+    // Exactly one successful ChunkEnd per chunk, each chunk exactly once.
+    let mut ok_chunks: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::ChunkEnd {
+                chunk, ok: true, ..
+            } => Some(*chunk),
+            _ => None,
+        })
+        .collect();
+    ok_chunks.sort_unstable();
+    assert_eq!(ok_chunks, (0..16).collect::<Vec<u64>>());
+
+    // The per-chunk sample counts sum to the campaign total.
+    let covered: u64 = events
+        .iter()
+        .map(|e| match e {
+            Event::ChunkEnd {
+                samples, ok: true, ..
+            } => *samples,
+            _ => 0,
+        })
+        .sum();
+    assert_eq!(covered, 4096);
+
+    // Every span carries the attempt number and a measured duration.
+    for e in &events {
+        if let Event::ChunkEnd {
+            attempt, wall_ns, ..
+        } = e
+        {
+            assert_eq!(*attempt, 0, "no retries in a clean campaign");
+            // wall_ns is monotonic elapsed time; tiny chunks may round
+            // to zero on coarse clocks, so only sanity-bound it.
+            assert!(*wall_ns < u64::MAX / 2);
+        }
+    }
+
+    // No journal was configured: no journal or replay events.
+    assert_eq!(mem.count(|e| matches!(e, Event::JournalAppend { .. })), 0);
+    assert_eq!(mem.count(|e| matches!(e, Event::ChunkReplayed { .. })), 0);
+}
+
+#[test]
+fn quarantine_events_match_injected_chaos() {
+    let mem = Arc::new(MemoryCollector::new());
+    let sup = Supervisor::new()
+        .with_retries(1)
+        .with_injected_panics(&[3, 11], true)
+        .with_collector(mem.clone());
+    let outcome = campaign()
+        .characterize_supervised(&design(), &sup)
+        .expect("campaign");
+
+    assert_eq!(outcome.report.quarantined.len(), 2);
+    let quarantined: Vec<u64> = mem
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::Quarantined { chunk, .. } => Some(*chunk),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(quarantined, vec![3, 11], "one event per quarantined chunk");
+
+    // Each poisoned chunk produced a failed span per attempt (2 each),
+    // and the failed spans carry distinct attempt numbers.
+    for chunk in [3u64, 11] {
+        let attempts: Vec<u32> = mem
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::ChunkEnd {
+                    chunk: c,
+                    ok: false,
+                    attempt,
+                    ..
+                } if *c == chunk => Some(*attempt),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(attempts, vec![0, 1], "chunk {chunk} failed twice");
+    }
+
+    // The root-span close reports the same accounting as the report.
+    let end = mem
+        .events()
+        .into_iter()
+        .find_map(|e| match e {
+            Event::CampaignEnd {
+                quarantined_chunks,
+                covered_samples,
+                ..
+            } => Some((quarantined_chunks, covered_samples)),
+            _ => None,
+        })
+        .expect("campaign_end present");
+    assert_eq!(end, (2, outcome.report.covered_samples));
+}
+
+#[test]
+fn resume_reports_cache_hit_chunks() {
+    let dir = temp_dir("resume");
+    let mc = campaign();
+    let d = design();
+
+    // Leg 1: run 10 of the 16 chunks, then stop at the budget.
+    let first = mc
+        .characterize_supervised(
+            &d,
+            &Supervisor::new().checkpoint_to(&dir).with_chunk_budget(10),
+        )
+        .expect("first leg");
+    assert_eq!(first.report.executed_chunks, 10);
+
+    // Leg 2: resume under a collector; the journaled chunks must
+    // surface as cache hits, the rest as executed spans.
+    let mem = Arc::new(MemoryCollector::new());
+    let registry = Arc::new(Registry::new());
+    let sup = Supervisor::new()
+        .checkpoint_to(&dir)
+        .resume(true)
+        .with_collector(
+            realm_obs::Fanout::new()
+                .with(mem.clone())
+                .with(registry.clone())
+                .shared(),
+        );
+    let outcome = mc.characterize_supervised(&d, &sup).expect("resumed leg");
+    assert!(outcome.report.is_complete());
+    assert_eq!(outcome.report.replayed_chunks, 10);
+
+    assert_eq!(mem.count(|e| matches!(e, Event::JournalLoaded { .. })), 1);
+    let replayed: Vec<u64> = mem
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::ChunkReplayed { chunk, .. } => Some(*chunk),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(replayed, (0..10).collect::<Vec<u64>>());
+    assert_eq!(
+        mem.count(|e| matches!(e, Event::ChunkEnd { ok: true, .. })),
+        6,
+        "only the missing chunks execute"
+    );
+
+    // The registry aggregates the same picture.
+    let metrics = registry.snapshot();
+    assert_eq!(metrics.counters["chunks_replayed_total"], 10);
+    assert_eq!(metrics.counters["chunks_executed_total"], 6);
+    assert_eq!(metrics.counters["samples_covered_total"], 4096);
+
+    // Passivity: the observed, resumed campaign folds to the same bits
+    // as an unobserved, uninterrupted one.
+    let reference = mc.characterize(&d);
+    let observed = outcome.value.expect("complete campaign has a summary");
+    assert_eq!(observed, reference);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -6,7 +6,10 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Duration;
 
-use realm_harness::{ByteReader, CampaignId, Checkpoint, HarnessError, StopCause, Supervisor};
+use realm_core::rng::SplitMix64;
+use realm_harness::{
+    ByteReader, CampaignId, Checkpoint, HarnessError, Journal, StopCause, Supervisor,
+};
 use realm_par::{Chunk, ChunkPlan, Threads};
 
 /// A payload exercising the full wire surface: integers, floats
@@ -284,6 +287,190 @@ fn deadline_flushes_a_resumable_checkpoint() {
         .expect("resume");
     assert!(resumed.report.is_complete());
     assert_eq!(resumed.parts, expected);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Seeded property tests (no external property-testing dependency): the
+// generator is a SplitMix64 stream, so every failure is reproducible
+// from the constant seed below.
+// ---------------------------------------------------------------------
+
+const PROPERTY_SEED: u64 = 0xC0FF_EE00_0BAD_F00D;
+
+/// Draws a payload with adversarial floats: NaNs with payload bits,
+/// ±inf, -0.0, subnormals — everything that only survives bit-level
+/// encoding.
+fn arbitrary_payload(rng: &mut SplitMix64) -> Payload {
+    let mut f64_bits = || match rng.below(5) {
+        0 => f64::from_bits(0x7FF8_0000_0000_0000 | rng.next_u64() & 0xFFFF), // NaN w/ payload
+        1 => {
+            if rng.chance(0.5) {
+                f64::INFINITY
+            } else {
+                f64::NEG_INFINITY
+            }
+        }
+        2 => {
+            if rng.chance(0.5) {
+                -0.0
+            } else {
+                f64::from_bits(rng.range_inclusive(1, 0xF_FFFF_FFFF_FFFF)) // subnormal
+            }
+        }
+        _ => f64::from_bits(rng.next_u64()),
+    };
+    let sum = f64_bits();
+    let min = f64_bits();
+    let len = rng.below(50) as usize;
+    Payload {
+        count: rng.next_u64(),
+        sum,
+        min,
+        samples: (0..len).map(|_| rng.next_u64()).collect(),
+    }
+}
+
+#[test]
+fn property_wire_round_trips_arbitrary_payloads_bit_exactly() {
+    let mut rng = SplitMix64::stream(PROPERTY_SEED, 1);
+    for case in 0..200 {
+        let payload = arbitrary_payload(&mut rng);
+        let bytes = payload.to_bytes();
+        let back = Payload::from_bytes(&bytes)
+            .unwrap_or_else(|| panic!("case {case}: canonical encoding must decode"));
+        // Compare via re-encoding: NaN != NaN under PartialEq, but the
+        // wire contract is bit-identity, which byte equality captures.
+        assert_eq!(back.to_bytes(), bytes, "case {case}: decode∘encode ≠ id");
+    }
+}
+
+#[test]
+fn property_wire_rejects_every_truncation_and_extension() {
+    let mut rng = SplitMix64::stream(PROPERTY_SEED, 2);
+    for case in 0..50 {
+        let payload = arbitrary_payload(&mut rng);
+        let bytes = payload.to_bytes();
+        // Every proper prefix must fail: the encoding is fixed-shape
+        // given its length prefixes, so a shorter input always starves
+        // some field (never "accidentally valid").
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                Payload::from_bytes(&bytes[..cut]),
+                None,
+                "case {case}: truncation to {cut}/{} must be rejected",
+                bytes.len()
+            );
+        }
+        // Trailing garbage must fail too (consume-all contract).
+        let mut extended = bytes.clone();
+        extended.push(rng.next_u64() as u8);
+        assert_eq!(
+            Payload::from_bytes(&extended),
+            None,
+            "case {case}: trailing byte must be rejected"
+        );
+    }
+}
+
+#[test]
+fn property_journal_round_trips_arbitrary_record_sequences() {
+    let mut rng = SplitMix64::stream(PROPERTY_SEED, 3);
+    for case in 0..25 {
+        let dir = temp_dir(&format!("prop-journal-{case}"));
+        std::fs::create_dir_all(&dir).expect("create dir");
+        let path = dir.join(id("prop").journal_file_name());
+        let mut journal = Journal::create(&path, &id("prop")).expect("create journal");
+
+        // Arbitrary sequence: random indices (duplicates allowed —
+        // first record wins), random payloads including empty ones.
+        let n = 1 + rng.below(30);
+        let mut expected: std::collections::BTreeMap<u64, Vec<u8>> = Default::default();
+        for _ in 0..n {
+            let index = rng.below(40);
+            let len = rng.below(64) as usize;
+            let payload: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            journal.append(index, &payload).expect("append");
+            expected.entry(index).or_insert(payload);
+        }
+        drop(journal);
+
+        let (_, records, stats) = Journal::resume(&path, &id("prop")).expect("resume");
+        assert_eq!(stats.truncated_bytes, 0, "case {case}: clean file");
+        assert_eq!(records, expected, "case {case}: records must round-trip");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn property_any_truncated_journal_tail_salvages_to_a_valid_prefix() {
+    // One complete supervised campaign builds the journal under test.
+    let expected = reference("prop-salvage");
+    let dir = temp_dir("prop-salvage");
+    Supervisor::new()
+        .checkpoint_to(&dir)
+        .run(&id("prop-salvage"), plan(), body)
+        .expect("seed run");
+    let path = dir.join(id("prop-salvage").journal_file_name());
+    let full = std::fs::read(&path).expect("journal bytes");
+
+    // The journal is line-oriented ASCII: a record survives a cut iff
+    // its terminating newline does. Compute, for any cut, how many
+    // complete `c ` record lines the prefix holds.
+    let records_in_prefix = |cut: usize| -> u64 {
+        let mut count = 0;
+        let mut line_start = 0;
+        for (i, &b) in full[..cut].iter().enumerate() {
+            if b == b'\n' {
+                if full[line_start..].starts_with(b"c ") {
+                    count += 1;
+                }
+                line_start = i + 1;
+            }
+        }
+        count
+    };
+
+    // Sampled cut points plus the edges: empty file, torn header,
+    // header boundary, and one byte short of clean.
+    let mut rng = SplitMix64::stream(PROPERTY_SEED, 4);
+    let header_end = full
+        .iter()
+        .position(|&b| b == b'\n')
+        .expect("header newline");
+    let mut cuts = vec![0, 1, header_end, header_end + 1, full.len() - 1];
+    for _ in 0..40 {
+        cuts.push(rng.below(full.len() as u64) as usize);
+    }
+
+    for cut in cuts {
+        std::fs::write(&path, &full[..cut]).expect("truncate journal");
+        let salvagable = records_in_prefix(cut);
+        let (journal, records, stats) =
+            Journal::resume(&path, &id("prop-salvage")).expect("salvage");
+        drop(journal);
+        assert_eq!(
+            stats.records, salvagable,
+            "cut {cut}: salvage must keep exactly the complete record lines"
+        );
+        assert_eq!(
+            records.len() as u64,
+            salvagable,
+            "cut {cut}: unique indices"
+        );
+
+        // And the salvaged prefix must resume to the bit-identical
+        // uninterrupted result.
+        std::fs::write(&path, &full[..cut]).expect("re-truncate journal");
+        let resumed = Supervisor::new()
+            .checkpoint_to(&dir)
+            .resume(true)
+            .run(&id("prop-salvage"), plan(), body)
+            .expect("resume from cut");
+        assert!(resumed.report.is_complete(), "cut {cut}");
+        assert_eq!(resumed.report.replayed_chunks, salvagable, "cut {cut}");
+        assert_eq!(resumed.parts, expected, "cut {cut}: bit-identity");
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -45,5 +45,9 @@ pub use nmed::{
 };
 pub use pareto::{pareto_front, ParetoPoint};
 pub use realm_harness::{Supervised, Supervisor};
+/// The observability layer (`realm-obs`): install a collector on a
+/// [`Supervisor`] via `Supervisor::with_collector` to stream spans,
+/// metrics and JSONL events from every `*_supervised` campaign family.
+pub use realm_obs as obs;
 pub use realm_par::Threads;
 pub use summary::{ErrorAccumulator, ErrorSummary};

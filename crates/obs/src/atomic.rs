@@ -1,10 +1,14 @@
 //! Crash-safe artifact writes: tmp file + fsync + atomic rename.
 //!
 //! Every results artifact the workspace emits (`BENCH_*.json`, CSV
-//! tables, Verilog dumps) goes through [`atomic_write`], so a reader can
-//! never observe a half-written file: it sees either the previous
-//! version or the complete new one, even across `SIGKILL` or power loss
-//! at any instant.
+//! tables, JSONL traces, Verilog dumps) goes through [`atomic_write`],
+//! so a reader can never observe a half-written file: it sees either
+//! the previous version or the complete new one, even across `SIGKILL`
+//! or power loss at any instant.
+//!
+//! The implementation lives here — at the bottom of the workspace — so
+//! both the observability sinks and `realm-harness` (which re-exports
+//! these functions unchanged) share a single crash-safe writer.
 
 use std::fs::File;
 use std::io::{self, Write};

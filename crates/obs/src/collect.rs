@@ -1,0 +1,161 @@
+//! The [`Collector`] trait and the basic collectors: null, in-memory,
+//! and fan-out.
+//!
+//! A collector is the single funnel every instrumented layer emits
+//! into. The contract is deliberately tiny so instrumentation can live
+//! below the rest of the workspace:
+//!
+//! * `record` must be cheap, non-blocking-ish and **must never panic**
+//!   — observability may not take a campaign down.
+//! * Collectors are `Send + Sync`: events arrive concurrently from
+//!   worker threads and in completion order, not chunk order.
+//! * `enabled` lets hot paths skip timing work entirely when nobody is
+//!   listening ([`NullCollector`] reports `false`).
+
+use std::sync::{Arc, Mutex};
+
+use crate::event::Event;
+
+/// A sink for campaign [`Event`]s.
+pub trait Collector: Send + Sync {
+    /// Accepts one event. Must not panic.
+    fn record(&self, event: &Event);
+
+    /// Whether anything downstream is listening. Instrumented code may
+    /// skip building events (and timing them) when this is `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// A shareable collector handle, as stored by supervisors and option
+/// structs.
+pub type SharedCollector = Arc<dyn Collector>;
+
+/// The do-nothing collector: `enabled()` is `false`, so instrumented
+/// hot paths skip event construction entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullCollector;
+
+impl Collector for NullCollector {
+    fn record(&self, _event: &Event) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A [`SharedCollector`] that discards everything — the default wiring
+/// when no observer is installed.
+pub fn null_collector() -> SharedCollector {
+    Arc::new(NullCollector)
+}
+
+/// An in-memory collector for tests: stores every event in arrival
+/// order behind a mutex.
+#[derive(Debug, Default)]
+pub struct MemoryCollector {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemoryCollector {
+    /// An empty in-memory collector.
+    pub fn new() -> Self {
+        MemoryCollector::default()
+    }
+
+    /// A snapshot of every event recorded so far, in arrival order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().map(|g| g.clone()).unwrap_or_default()
+    }
+
+    /// How many recorded events satisfy `pred`.
+    pub fn count(&self, pred: impl Fn(&Event) -> bool) -> usize {
+        self.events
+            .lock()
+            .map(|g| g.iter().filter(|e| pred(e)).count())
+            .unwrap_or(0)
+    }
+}
+
+impl Collector for MemoryCollector {
+    fn record(&self, event: &Event) {
+        if let Ok(mut g) = self.events.lock() {
+            g.push(event.clone());
+        }
+    }
+}
+
+/// Broadcasts each event to several collectors (registry + JSONL sink +
+/// progress reporter is the usual trio in the bench drivers).
+#[derive(Default)]
+pub struct Fanout {
+    children: Vec<SharedCollector>,
+}
+
+impl Fanout {
+    /// An empty fan-out (equivalent to [`NullCollector`]).
+    pub fn new() -> Self {
+        Fanout::default()
+    }
+
+    /// Adds a downstream collector.
+    pub fn with(mut self, child: SharedCollector) -> Self {
+        self.children.push(child);
+        self
+    }
+
+    /// Wraps the fan-out into a [`SharedCollector`].
+    pub fn shared(self) -> SharedCollector {
+        Arc::new(self)
+    }
+}
+
+impl Collector for Fanout {
+    fn record(&self, event: &Event) {
+        for child in &self.children {
+            child.record(event);
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.children.iter().any(|c| c.enabled())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(chunk: u64) -> Event {
+        Event::ChunkReplayed { chunk, samples: 1 }
+    }
+
+    #[test]
+    fn null_collector_is_disabled() {
+        let c = null_collector();
+        assert!(!c.enabled());
+        c.record(&ev(0)); // must be a no-op, not a panic
+    }
+
+    #[test]
+    fn memory_collector_stores_in_order() {
+        let m = MemoryCollector::new();
+        m.record(&ev(2));
+        m.record(&ev(1));
+        assert_eq!(m.events(), vec![ev(2), ev(1)]);
+        assert_eq!(m.count(|e| matches!(e, Event::ChunkReplayed { .. })), 2);
+    }
+
+    #[test]
+    fn fanout_broadcasts_and_reports_enabled() {
+        let a = Arc::new(MemoryCollector::new());
+        let b = Arc::new(MemoryCollector::new());
+        let f = Fanout::new().with(a.clone()).with(b.clone());
+        assert!(f.enabled());
+        f.record(&ev(7));
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+        assert!(!Fanout::new().enabled(), "empty fan-out is disabled");
+    }
+}

@@ -1,0 +1,310 @@
+//! The event vocabulary: everything the campaign stack can tell an
+//! observer, as plain data.
+//!
+//! # Span hierarchy
+//!
+//! Events encode a three-level span tree:
+//!
+//! ```text
+//! campaign (CampaignStart … CampaignEnd, wall_ns on the end event)
+//! └── chunk i (ChunkStart … ChunkEnd, wall_ns on the end event)
+//!     └── attempt a (the `attempt` field: 0 = first try, ≥1 = retry)
+//! ```
+//!
+//! A retried chunk emits one `ChunkStart`/`ChunkEnd` pair *per attempt*,
+//! distinguished by the `attempt` field; exactly one of them ends with
+//! `ok = true` unless the chunk is quarantined. Resume cache hits emit
+//! `ChunkReplayed` instead of a start/end pair — no work was done, so
+//! there is no span to time.
+//!
+//! Durations are measured with [`std::time::Instant`] at the emission
+//! site, so they are monotonic and immune to wall-clock steps.
+
+/// One observable occurrence inside a supervised campaign.
+///
+/// Every variant maps to one JSONL event type (see
+/// [`Event::kind`]); the field names below are the JSON key names.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A campaign invocation began (the root span opens).
+    CampaignStart {
+        /// Campaign family tag (`"montecarlo"`, `"faults"`, …).
+        family: String,
+        /// The subject under test (design label, fault tag).
+        subject: String,
+        /// The campaign's journal-binding fingerprint.
+        fingerprint: u64,
+        /// Chunks in the campaign plan.
+        total_chunks: u64,
+        /// Samples in the campaign plan.
+        total_samples: u64,
+        /// Resolved worker-thread count.
+        threads: u64,
+    },
+    /// A resume replayed an existing journal (before any chunk runs).
+    JournalLoaded {
+        /// Checksummed records recovered from the journal.
+        records: u64,
+        /// Bytes of torn tail dropped by the salvage.
+        truncated_bytes: u64,
+    },
+    /// A chunk was satisfied from the journal — a resume cache hit.
+    ChunkReplayed {
+        /// The chunk's index in the plan.
+        chunk: u64,
+        /// Samples the chunk covers.
+        samples: u64,
+    },
+    /// A chunk attempt started executing on a worker (span opens).
+    ChunkStart {
+        /// The chunk's index in the plan.
+        chunk: u64,
+        /// Attempt number: `0` first try, `≥ 1` a retry.
+        attempt: u32,
+        /// Samples the chunk covers.
+        samples: u64,
+    },
+    /// A chunk attempt finished (span closes).
+    ChunkEnd {
+        /// The chunk's index in the plan.
+        chunk: u64,
+        /// Attempt number: `0` first try, `≥ 1` a retry.
+        attempt: u32,
+        /// Samples the chunk covers.
+        samples: u64,
+        /// `true` when the attempt completed, `false` when it panicked.
+        ok: bool,
+        /// Monotonic wall time of the attempt, in nanoseconds.
+        wall_ns: u64,
+    },
+    /// A completed chunk's payload was made durable in the journal.
+    JournalAppend {
+        /// The chunk's index in the plan.
+        chunk: u64,
+        /// Payload size in bytes (before hex encoding).
+        bytes: u64,
+    },
+    /// A chunk exhausted its retries and was excluded from the fold.
+    Quarantined {
+        /// The chunk's index in the plan.
+        chunk: u64,
+        /// Samples the exclusion costs.
+        samples: u64,
+        /// Attempts made (1 + retries).
+        attempts: u32,
+        /// The last panic message observed.
+        message: String,
+    },
+    /// The campaign invocation finished (the root span closes).
+    CampaignEnd {
+        /// Campaign family tag.
+        family: String,
+        /// The campaign's fingerprint (pairs with `CampaignStart`).
+        fingerprint: u64,
+        /// Chunks replayed from the journal.
+        replayed_chunks: u64,
+        /// Chunks executed this invocation.
+        executed_chunks: u64,
+        /// Chunks quarantined this invocation.
+        quarantined_chunks: u64,
+        /// Samples covered by completed chunks.
+        covered_samples: u64,
+        /// Samples in the full campaign.
+        total_samples: u64,
+        /// Why the run stopped early (`None` = ran to completion).
+        stopped: Option<String>,
+        /// Monotonic wall time of the whole invocation, in nanoseconds.
+        wall_ns: u64,
+    },
+}
+
+impl Event {
+    /// The event's type tag — the `"ev"` field of its JSONL encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::CampaignStart { .. } => "campaign_start",
+            Event::JournalLoaded { .. } => "journal_loaded",
+            Event::ChunkReplayed { .. } => "chunk_replayed",
+            Event::ChunkStart { .. } => "chunk_start",
+            Event::ChunkEnd { .. } => "chunk_end",
+            Event::JournalAppend { .. } => "journal_append",
+            Event::Quarantined { .. } => "quarantined",
+            Event::CampaignEnd { .. } => "campaign_end",
+        }
+    }
+
+    /// Appends the event's fields to `out` as JSON object members
+    /// (leading comma included), e.g. `,"chunk":3,"samples":128`.
+    pub(crate) fn write_json_fields(&self, out: &mut String) {
+        use std::fmt::Write;
+        // Writing to a String cannot fail; the let-bindings keep the
+        // formatting readable without unwraps.
+        let _ = match self {
+            Event::CampaignStart {
+                family,
+                subject,
+                fingerprint,
+                total_chunks,
+                total_samples,
+                threads,
+            } => write!(
+                out,
+                ",\"family\":{},\"subject\":{},\"fingerprint\":\"{fingerprint:016x}\",\
+                 \"total_chunks\":{total_chunks},\"total_samples\":{total_samples},\
+                 \"threads\":{threads}",
+                json_string(family),
+                json_string(subject),
+            ),
+            Event::JournalLoaded {
+                records,
+                truncated_bytes,
+            } => write!(
+                out,
+                ",\"records\":{records},\"truncated_bytes\":{truncated_bytes}"
+            ),
+            Event::ChunkReplayed { chunk, samples } => {
+                write!(out, ",\"chunk\":{chunk},\"samples\":{samples}")
+            }
+            Event::ChunkStart {
+                chunk,
+                attempt,
+                samples,
+            } => write!(
+                out,
+                ",\"chunk\":{chunk},\"attempt\":{attempt},\"samples\":{samples}"
+            ),
+            Event::ChunkEnd {
+                chunk,
+                attempt,
+                samples,
+                ok,
+                wall_ns,
+            } => write!(
+                out,
+                ",\"chunk\":{chunk},\"attempt\":{attempt},\"samples\":{samples},\
+                 \"ok\":{ok},\"wall_ns\":{wall_ns}"
+            ),
+            Event::JournalAppend { chunk, bytes } => {
+                write!(out, ",\"chunk\":{chunk},\"bytes\":{bytes}")
+            }
+            Event::Quarantined {
+                chunk,
+                samples,
+                attempts,
+                message,
+            } => write!(
+                out,
+                ",\"chunk\":{chunk},\"samples\":{samples},\"attempts\":{attempts},\
+                 \"message\":{}",
+                json_string(message)
+            ),
+            Event::CampaignEnd {
+                family,
+                fingerprint,
+                replayed_chunks,
+                executed_chunks,
+                quarantined_chunks,
+                covered_samples,
+                total_samples,
+                stopped,
+                wall_ns,
+            } => {
+                let stopped_json = match stopped {
+                    Some(cause) => json_string(cause),
+                    None => "null".to_string(),
+                };
+                write!(
+                    out,
+                    ",\"family\":{},\"fingerprint\":\"{fingerprint:016x}\",\
+                     \"replayed_chunks\":{replayed_chunks},\"executed_chunks\":{executed_chunks},\
+                     \"quarantined_chunks\":{quarantined_chunks},\"covered_samples\":{covered_samples},\
+                     \"total_samples\":{total_samples},\"stopped\":{stopped_json},\
+                     \"wall_ns\":{wall_ns}",
+                    json_string(family),
+                )
+            }
+        };
+    }
+}
+
+/// Encodes `s` as a JSON string literal (quotes, backslashes and
+/// control characters escaped).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_names() {
+        let e = Event::ChunkReplayed {
+            chunk: 0,
+            samples: 1,
+        };
+        assert_eq!(e.kind(), "chunk_replayed");
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_string("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn fields_render_as_json_members() {
+        let e = Event::ChunkEnd {
+            chunk: 3,
+            attempt: 1,
+            samples: 128,
+            ok: true,
+            wall_ns: 42,
+        };
+        let mut s = String::new();
+        e.write_json_fields(&mut s);
+        assert_eq!(
+            s,
+            ",\"chunk\":3,\"attempt\":1,\"samples\":128,\"ok\":true,\"wall_ns\":42"
+        );
+    }
+
+    #[test]
+    fn stopped_none_renders_as_null() {
+        let e = Event::CampaignEnd {
+            family: "f".into(),
+            fingerprint: 0xAB,
+            replayed_chunks: 0,
+            executed_chunks: 1,
+            quarantined_chunks: 0,
+            covered_samples: 10,
+            total_samples: 10,
+            stopped: None,
+            wall_ns: 7,
+        };
+        let mut s = String::new();
+        e.write_json_fields(&mut s);
+        assert!(s.contains("\"stopped\":null"), "{s}");
+        assert!(s.contains("\"fingerprint\":\"00000000000000ab\""), "{s}");
+    }
+}

@@ -1,0 +1,254 @@
+//! The structured JSONL event sink.
+//!
+//! # Line schema (`realm-obs/v1`)
+//!
+//! Every line is one self-contained JSON object:
+//!
+//! ```text
+//! {"schema":"realm-obs/v1","seq":12,"t_ns":48211095,"ev":"chunk_end","chunk":3,...}
+//! ```
+//!
+//! * `schema` — the literal `"realm-obs/v1"` on every line.
+//! * `seq` — the line's 0-based position in the stream (strictly
+//!   increasing, gap-free: a validator can detect dropped lines).
+//! * `t_ns` — monotonic nanoseconds since the sink was created
+//!   ([`std::time::Instant`]-based: never steps backwards).
+//! * `ev` — the event type tag ([`Event::kind`]); the remaining fields
+//!   are the event's own (see [`crate::event`]).
+//!
+//! The sink buffers lines in memory and publishes the whole stream with
+//! one crash-safe [`atomic_write`](crate::atomic_write) on
+//! [`finish`](JsonlSink::finish) (also attempted best-effort on drop) —
+//! a reader never observes a torn trace file.
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+use std::{fmt, io};
+
+use crate::collect::Collector;
+use crate::event::Event;
+
+/// The schema tag stamped on every line.
+pub const JSONL_SCHEMA: &str = "realm-obs/v1";
+
+#[derive(Debug)]
+struct SinkState {
+    lines: String,
+    seq: u64,
+    finished: bool,
+}
+
+/// A [`Collector`] that renders the event stream to a JSONL file.
+pub struct JsonlSink {
+    path: PathBuf,
+    start: Instant,
+    state: Mutex<SinkState>,
+}
+
+impl fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("path", &self.path)
+            .finish()
+    }
+}
+
+impl JsonlSink {
+    /// A sink that will publish its stream to `path` on
+    /// [`finish`](Self::finish).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        JsonlSink {
+            path: path.into(),
+            start: Instant::now(),
+            state: Mutex::new(SinkState {
+                lines: String::new(),
+                seq: 0,
+                finished: false,
+            }),
+        }
+    }
+
+    /// The destination path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Lines buffered so far (a test convenience; the file itself only
+    /// exists after [`finish`](Self::finish)).
+    pub fn buffered_lines(&self) -> u64 {
+        self.state.lock().map(|s| s.seq).unwrap_or(0)
+    }
+
+    /// Publishes the buffered stream to the destination path with one
+    /// atomic write and marks the sink finished (subsequent events are
+    /// dropped, subsequent `finish` calls are no-ops).
+    pub fn finish(&self) -> io::Result<()> {
+        let Ok(mut state) = self.state.lock() else {
+            return Err(io::Error::other("event sink mutex poisoned"));
+        };
+        if state.finished {
+            return Ok(());
+        }
+        state.finished = true;
+        crate::atomic::atomic_write_str(&self.path, &state.lines)
+    }
+}
+
+impl Collector for JsonlSink {
+    fn record(&self, event: &Event) {
+        use std::fmt::Write;
+        let t_ns = self.start.elapsed().as_nanos() as u64;
+        let Ok(mut state) = self.state.lock() else {
+            return;
+        };
+        if state.finished {
+            return;
+        }
+        let seq = state.seq;
+        state.seq += 1;
+        let _ = write!(
+            state.lines,
+            "{{\"schema\":\"{JSONL_SCHEMA}\",\"seq\":{seq},\"t_ns\":{t_ns},\"ev\":\"{}\"",
+            event.kind()
+        );
+        event.write_json_fields(&mut state.lines);
+        state.lines.push_str("}\n");
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        // Best-effort: a driver that forgets (or fails before) finish()
+        // still leaves a complete trace behind. Errors are swallowed —
+        // drop cannot report them and the trace is advisory.
+        let _ = self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_path(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("realm-jsonl-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("trace.jsonl")
+    }
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::CampaignStart {
+                family: "montecarlo".into(),
+                subject: "REALM16 (t=0)".into(),
+                fingerprint: 0x1234,
+                total_chunks: 2,
+                total_samples: 200,
+                threads: 4,
+            },
+            Event::ChunkStart {
+                chunk: 0,
+                attempt: 0,
+                samples: 100,
+            },
+            Event::ChunkEnd {
+                chunk: 0,
+                attempt: 0,
+                samples: 100,
+                ok: true,
+                wall_ns: 999,
+            },
+            Event::Quarantined {
+                chunk: 1,
+                samples: 100,
+                attempts: 3,
+                message: "a \"quoted\" panic\nwith newline".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn stream_is_sequenced_and_published_atomically() {
+        let path = test_path("publish");
+        let sink = JsonlSink::new(&path);
+        for e in sample_events() {
+            sink.record(&e);
+        }
+        assert_eq!(sink.buffered_lines(), 4);
+        assert!(!path.exists(), "file only appears on finish");
+        sink.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for (i, line) in lines.iter().enumerate() {
+            assert!(line.starts_with("{\"schema\":\"realm-obs/v1\""), "{line}");
+            assert!(line.contains(&format!("\"seq\":{i},")), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+        assert!(lines[0].contains("\"ev\":\"campaign_start\""));
+        assert!(lines[3].contains("\\\"quoted\\\""), "{}", lines[3]);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_stops_recording() {
+        let path = test_path("idempotent");
+        let sink = JsonlSink::new(&path);
+        sink.record(&Event::ChunkReplayed {
+            chunk: 0,
+            samples: 1,
+        });
+        sink.finish().unwrap();
+        sink.record(&Event::ChunkReplayed {
+            chunk: 1,
+            samples: 1,
+        });
+        sink.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1, "{text}");
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn drop_publishes_best_effort() {
+        let path = test_path("drop");
+        {
+            let sink = JsonlSink::new(&path);
+            sink.record(&Event::ChunkReplayed {
+                chunk: 7,
+                samples: 3,
+            });
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"chunk\":7"), "{text}");
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn monotonic_timestamps() {
+        let path = test_path("mono");
+        let sink = JsonlSink::new(&path);
+        for i in 0..10 {
+            sink.record(&Event::ChunkReplayed {
+                chunk: i,
+                samples: 1,
+            });
+        }
+        sink.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut last = 0u64;
+        for line in text.lines() {
+            let t: u64 = line
+                .split("\"t_ns\":")
+                .nth(1)
+                .and_then(|s| s.split(',').next())
+                .and_then(|s| s.parse().ok())
+                .unwrap();
+            assert!(t >= last, "timestamps must be monotonic: {t} < {last}");
+            last = t;
+        }
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}

@@ -1,0 +1,56 @@
+//! # realm-obs
+//!
+//! The observability layer for the REALM characterization stack:
+//! hierarchical spans, a metrics registry, structured JSONL event
+//! streams and human-readable progress reporting — with **zero
+//! dependencies**, like the rest of the workspace.
+//!
+//! PRs 2–3 made the paper's 2^24-sample campaigns parallel,
+//! checkpointed and crash-safe; this crate makes them *legible while
+//! they run*. It sits at the very bottom of the workspace (below
+//! `realm-par` and `realm-harness`) so every layer can emit into the
+//! same funnel:
+//!
+//! * [`Event`] — the shared vocabulary: a three-level span tree
+//!   (campaign → chunk → attempt) plus journal and quarantine
+//!   bookkeeping, timed with monotonic clocks.
+//! * [`Collector`] — the funnel trait. `realm-par` times chunk
+//!   executions, `realm-harness` brackets campaigns and journal
+//!   activity; tests install a [`MemoryCollector`] and assert on the
+//!   stream.
+//! * [`Registry`] — a collector that aggregates the stream into named
+//!   counters, gauges and a chunk wall-time [`Histogram`], snapshotted
+//!   as a [`MetricsSummary`] (`metrics_summary.json`).
+//! * [`JsonlSink`] — a collector that renders each event as one JSON
+//!   line (schema `realm-obs/v1`) and publishes the stream with a
+//!   crash-safe atomic write (`--trace out.jsonl`).
+//! * [`ProgressReporter`] — a collector that keeps a throttled status
+//!   line on stderr (`--progress`).
+//! * [`atomic_write`] / [`atomic_write_str`] — the workspace's single
+//!   crash-safe artifact writer (re-exported by `realm-harness`).
+//!
+//! Observability is strictly passive: collectors never touch RNG
+//! streams, chunk plans or folds, so a traced campaign is bit-identical
+//! to an untraced one, and the [`NullCollector`] default keeps the
+//! uninstrumented hot path free of even timing overhead
+//! ([`Collector::enabled`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod atomic;
+mod collect;
+mod event;
+mod jsonl;
+mod progress;
+mod registry;
+
+pub use atomic::{atomic_write, atomic_write_str};
+pub use collect::{
+    null_collector, Collector, Fanout, MemoryCollector, NullCollector, SharedCollector,
+};
+pub use event::{json_string, Event};
+pub use jsonl::{JsonlSink, JSONL_SCHEMA};
+pub use progress::{human_count, progress_line, ProgressReporter};
+pub use registry::{Histogram, MetricsSummary, Registry};

@@ -1,0 +1,435 @@
+//! The metrics registry: a [`Collector`] that aggregates the event
+//! stream into counters, gauges and histograms.
+//!
+//! # Metric names (v1)
+//!
+//! Counters (monotonic):
+//!
+//! | name | incremented on |
+//! |---|---|
+//! | `campaigns_started_total` | `campaign_start` |
+//! | `campaigns_completed_total` | `campaign_end` with no stop cause and no quarantine |
+//! | `chunks_executed_total` | `chunk_end` with `ok = true` |
+//! | `chunks_panicked_total` | `chunk_end` with `ok = false` |
+//! | `chunks_retried_total` | `chunk_start` with `attempt ≥ 1` |
+//! | `chunks_replayed_total` | `chunk_replayed` (resume cache hits) |
+//! | `chunks_quarantined_total` | `quarantined` |
+//! | `journal_appends_total` | `journal_append` |
+//! | `journal_records_loaded_total` | `journal_loaded` (by `records`) |
+//! | `journal_bytes_salvaged_total` | `journal_loaded` (by `truncated_bytes`) |
+//! | `samples_covered_total` | `campaign_end` (by `covered_samples`) |
+//!
+//! Gauges (last observed value):
+//!
+//! | name | set on |
+//! |---|---|
+//! | `threads` | `campaign_start` |
+//! | `coverage_percent` | `campaign_end` |
+//! | `samples_per_sec` | `campaign_end` (`covered_samples / wall`) |
+//! | `pending_chunks` | `campaign_end` |
+//!
+//! Histograms: `chunk_wall_ns` (one observation per executed chunk
+//! attempt, power-of-two buckets).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::collect::Collector;
+use crate::event::{json_string, Event};
+
+/// A power-of-two-bucketed histogram of `u64` observations.
+///
+/// Bucket `k` counts observations `v` with `floor(log2(v)) == k`
+/// (`v = 0` lands in bucket 0). Exact count/sum/min/max ride along, so
+/// the mean is exact and the quantiles are within a factor of two.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Observations per power-of-two bucket.
+    pub buckets: [u64; 64],
+    /// Number of observations.
+    pub count: u64,
+    /// Exact sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let bucket = if value == 0 {
+            0
+        } else {
+            value.ilog2() as usize
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// The exact mean of all observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `(bucket_floor, count)` for every non-empty bucket, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(k, &n)| (1u64 << k, n))
+            .collect()
+    }
+}
+
+/// An immutable snapshot of the registry, ready to render or serialize.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSummary {
+    /// Monotonic counters, by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Last-value gauges, by name.
+    pub gauges: BTreeMap<&'static str, f64>,
+    /// The per-chunk wall-time histogram.
+    pub chunk_wall_ns: Histogram,
+}
+
+impl MetricsSummary {
+    /// Serializes the snapshot as a `metrics_summary.json` document
+    /// (schema `realm-obs/metrics/v1`). Keys are sorted, so the layout
+    /// is deterministic; the *values* include timings, so the bytes are
+    /// not expected to be stable across runs.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{\n  \"schema\": \"realm-obs/metrics/v1\",\n");
+        out.push_str("  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    {}: {value}", json_string(name));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            // {:?} prints the shortest decimal that round-trips.
+            let _ = write!(out, "{sep}\n    {}: {value:?}", json_string(name));
+        }
+        out.push_str("\n  },\n  \"histograms\": {\n    \"chunk_wall_ns\": {");
+        let h = &self.chunk_wall_ns;
+        let _ = write!(
+            out,
+            "\n      \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:?},",
+            h.count,
+            h.sum,
+            if h.count == 0 { 0 } else { h.min },
+            h.max,
+            h.mean()
+        );
+        out.push_str("\n      \"buckets\": [");
+        for (i, (floor, n)) in h.nonzero_buckets().iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(out, "{sep}[{floor}, {n}]");
+        }
+        out.push_str("]\n    }\n  }\n}\n");
+        out
+    }
+
+    /// A compact human-readable rendering (one `name value` per line).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "{name} {value:.3}");
+        }
+        let h = &self.chunk_wall_ns;
+        if h.count > 0 {
+            let _ = writeln!(
+                out,
+                "chunk_wall_ns count={} mean={:.0} min={} max={}",
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            );
+        }
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    campaigns_started: u64,
+    campaigns_completed: u64,
+    chunks_executed: u64,
+    chunks_panicked: u64,
+    chunks_retried: u64,
+    chunks_replayed: u64,
+    chunks_quarantined: u64,
+    journal_appends: u64,
+    journal_records_loaded: u64,
+    journal_bytes_salvaged: u64,
+    samples_covered: u64,
+    threads: f64,
+    coverage_percent: f64,
+    samples_per_sec: f64,
+    pending_chunks: f64,
+    last_total_chunks: u64,
+    chunk_wall_ns: Histogram,
+}
+
+/// The aggregating [`Collector`]: feed it the event stream (directly or
+/// through a fan-out) and snapshot it at any time.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// An immutable snapshot of every metric.
+    pub fn snapshot(&self) -> MetricsSummary {
+        let Ok(inner) = self.inner.lock() else {
+            return MetricsSummary::default();
+        };
+        let mut counters = BTreeMap::new();
+        counters.insert("campaigns_started_total", inner.campaigns_started);
+        counters.insert("campaigns_completed_total", inner.campaigns_completed);
+        counters.insert("chunks_executed_total", inner.chunks_executed);
+        counters.insert("chunks_panicked_total", inner.chunks_panicked);
+        counters.insert("chunks_retried_total", inner.chunks_retried);
+        counters.insert("chunks_replayed_total", inner.chunks_replayed);
+        counters.insert("chunks_quarantined_total", inner.chunks_quarantined);
+        counters.insert("journal_appends_total", inner.journal_appends);
+        counters.insert("journal_records_loaded_total", inner.journal_records_loaded);
+        counters.insert("journal_bytes_salvaged_total", inner.journal_bytes_salvaged);
+        counters.insert("samples_covered_total", inner.samples_covered);
+        let mut gauges = BTreeMap::new();
+        gauges.insert("threads", inner.threads);
+        gauges.insert("coverage_percent", inner.coverage_percent);
+        gauges.insert("samples_per_sec", inner.samples_per_sec);
+        gauges.insert("pending_chunks", inner.pending_chunks);
+        MetricsSummary {
+            counters,
+            gauges,
+            chunk_wall_ns: inner.chunk_wall_ns.clone(),
+        }
+    }
+
+    /// One counter by name (0 if unknown) — a test convenience.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.snapshot().counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+impl Collector for Registry {
+    fn record(&self, event: &Event) {
+        let Ok(mut inner) = self.inner.lock() else {
+            return; // poisoned by a panicking peer: drop the event
+        };
+        match event {
+            Event::CampaignStart {
+                threads,
+                total_chunks,
+                ..
+            } => {
+                inner.campaigns_started += 1;
+                inner.threads = *threads as f64;
+                inner.last_total_chunks = *total_chunks;
+            }
+            Event::JournalLoaded {
+                records,
+                truncated_bytes,
+            } => {
+                inner.journal_records_loaded += records;
+                inner.journal_bytes_salvaged += truncated_bytes;
+            }
+            Event::ChunkReplayed { .. } => inner.chunks_replayed += 1,
+            Event::ChunkStart { attempt, .. } => {
+                if *attempt >= 1 {
+                    inner.chunks_retried += 1;
+                }
+            }
+            Event::ChunkEnd { ok, wall_ns, .. } => {
+                if *ok {
+                    inner.chunks_executed += 1;
+                } else {
+                    inner.chunks_panicked += 1;
+                }
+                inner.chunk_wall_ns.observe(*wall_ns);
+            }
+            Event::JournalAppend { .. } => inner.journal_appends += 1,
+            Event::Quarantined { .. } => inner.chunks_quarantined += 1,
+            Event::CampaignEnd {
+                replayed_chunks,
+                executed_chunks,
+                quarantined_chunks,
+                covered_samples,
+                total_samples,
+                stopped,
+                wall_ns,
+                ..
+            } => {
+                if stopped.is_none() && *quarantined_chunks == 0 {
+                    inner.campaigns_completed += 1;
+                }
+                inner.samples_covered += covered_samples;
+                inner.coverage_percent = if *total_samples == 0 {
+                    100.0
+                } else {
+                    *covered_samples as f64 / *total_samples as f64 * 100.0
+                };
+                inner.samples_per_sec = if *wall_ns == 0 {
+                    0.0
+                } else {
+                    *covered_samples as f64 / (*wall_ns as f64 / 1e9)
+                };
+                let done = replayed_chunks + executed_chunks + quarantined_chunks;
+                inner.pending_chunks = inner.last_total_chunks.saturating_sub(done) as f64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 1024, 1500] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1500);
+        let buckets = h.nonzero_buckets();
+        // 0 and 1 land in bucket 0 (floor 1); 2 and 3 in bucket 1
+        // (floor 2); 1024 and 1500 in bucket 10 (floor 1024).
+        assert_eq!(buckets, vec![(1, 2), (2, 2), (1024, 2)]);
+        let sum: u64 = [0u64, 1, 2, 3, 1024, 1500].iter().sum();
+        assert!((h.mean() - sum as f64 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_aggregates_the_event_stream() {
+        let r = Registry::new();
+        r.record(&Event::CampaignStart {
+            family: "f".into(),
+            subject: "s".into(),
+            fingerprint: 1,
+            total_chunks: 4,
+            total_samples: 400,
+            threads: 2,
+        });
+        r.record(&Event::JournalLoaded {
+            records: 1,
+            truncated_bytes: 13,
+        });
+        r.record(&Event::ChunkReplayed {
+            chunk: 0,
+            samples: 100,
+        });
+        for chunk in 1..4u64 {
+            r.record(&Event::ChunkStart {
+                chunk,
+                attempt: 0,
+                samples: 100,
+            });
+            r.record(&Event::ChunkEnd {
+                chunk,
+                attempt: 0,
+                samples: 100,
+                ok: chunk != 3,
+                wall_ns: 1000,
+            });
+            r.record(&Event::JournalAppend { chunk, bytes: 32 });
+        }
+        r.record(&Event::ChunkStart {
+            chunk: 3,
+            attempt: 1,
+            samples: 100,
+        });
+        r.record(&Event::ChunkEnd {
+            chunk: 3,
+            attempt: 1,
+            samples: 100,
+            ok: true,
+            wall_ns: 900,
+        });
+        r.record(&Event::CampaignEnd {
+            family: "f".into(),
+            fingerprint: 1,
+            replayed_chunks: 1,
+            executed_chunks: 3,
+            quarantined_chunks: 0,
+            covered_samples: 400,
+            total_samples: 400,
+            stopped: None,
+            wall_ns: 4_000,
+        });
+        assert_eq!(r.counter("campaigns_started_total"), 1);
+        assert_eq!(r.counter("campaigns_completed_total"), 1);
+        assert_eq!(r.counter("chunks_executed_total"), 3);
+        assert_eq!(r.counter("chunks_panicked_total"), 1);
+        assert_eq!(r.counter("chunks_retried_total"), 1);
+        assert_eq!(r.counter("chunks_replayed_total"), 1);
+        assert_eq!(r.counter("journal_appends_total"), 3);
+        assert_eq!(r.counter("journal_records_loaded_total"), 1);
+        assert_eq!(r.counter("journal_bytes_salvaged_total"), 13);
+        assert_eq!(r.counter("samples_covered_total"), 400);
+        let snap = r.snapshot();
+        assert_eq!(snap.gauges["coverage_percent"], 100.0);
+        assert!(snap.gauges["samples_per_sec"] > 0.0);
+        assert_eq!(snap.chunk_wall_ns.count, 4);
+    }
+
+    #[test]
+    fn summary_json_is_well_formed_enough_to_eyeball() {
+        let r = Registry::new();
+        r.record(&Event::ChunkEnd {
+            chunk: 0,
+            attempt: 0,
+            samples: 10,
+            ok: true,
+            wall_ns: 500,
+        });
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"schema\": \"realm-obs/metrics/v1\""));
+        assert!(json.contains("\"chunks_executed_total\": 1"));
+        assert!(json.contains("\"chunk_wall_ns\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        // Render must not panic and must mention a counter.
+        assert!(r.snapshot().render().contains("chunks_executed_total 1"));
+    }
+}

@@ -48,6 +48,9 @@
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
+use std::time::Instant;
+
+use realm_obs::{Collector, Event, NullCollector};
 
 /// Worker-count policy for a parallel campaign.
 ///
@@ -309,12 +312,76 @@ where
     C: Fn(u64, &ChunkRun<T>) + Sync,
     S: Fn() -> bool + Sync,
 {
+    run_chunks_traced(
+        plan,
+        threads,
+        indices,
+        0,
+        &NullCollector,
+        should_stop,
+        f,
+        on_complete,
+    )
+}
+
+/// [`run_chunks_supervised`] with chunk-span instrumentation: every
+/// chunk execution is bracketed by `chunk_start` / `chunk_end` events
+/// on `collector`, timed with a monotonic clock on the worker thread
+/// that ran it.
+///
+/// * `attempt` labels the spans (0 = first try, ≥ 1 = a retry pass);
+///   the caller drives retries by re-invoking with the still-failing
+///   indices and a bumped attempt number, as `realm-harness` does.
+/// * When `collector.enabled()` is false (the [`NullCollector`]
+///   default), no event is built and no clock is read — tracing costs
+///   the hot path nothing unless someone is listening.
+///
+/// Observability is passive: the collector sees timings but never
+/// influences chunk payloads, ordering or scheduling, so a traced run
+/// is bit-identical to an untraced one.
+#[allow(clippy::too_many_arguments)] // the supervision surface is one call deep
+pub fn run_chunks_traced<T, F, C, S>(
+    plan: ChunkPlan,
+    threads: Threads,
+    indices: &[u64],
+    attempt: u32,
+    collector: &dyn Collector,
+    should_stop: &S,
+    f: &F,
+    on_complete: &C,
+) -> Vec<(u64, ChunkRun<T>)>
+where
+    T: Send,
+    F: Fn(Chunk) -> T + Sync,
+    C: Fn(u64, &ChunkRun<T>) + Sync,
+    S: Fn() -> bool + Sync,
+{
+    let traced = collector.enabled();
     let run_one = |chunk_index: u64| -> ChunkRun<T> {
         let chunk = plan.chunk(chunk_index);
+        let started = if traced {
+            collector.record(&Event::ChunkStart {
+                chunk: chunk.index,
+                attempt,
+                samples: chunk.len,
+            });
+            Some(Instant::now())
+        } else {
+            None
+        };
         let run = match catch_unwind(AssertUnwindSafe(|| f(chunk))) {
             Ok(value) => ChunkRun::Completed(value),
             Err(payload) => ChunkRun::Panicked(panic_message(payload.as_ref())),
         };
+        if let Some(t0) = started {
+            collector.record(&Event::ChunkEnd {
+                chunk: chunk.index,
+                attempt,
+                samples: chunk.len,
+                ok: matches!(run, ChunkRun::Completed(_)),
+                wall_ns: t0.elapsed().as_nanos() as u64,
+            });
+        }
         on_complete(chunk_index, &run);
         run
     };
@@ -541,6 +608,88 @@ mod tests {
             &|_, _| {},
         );
         assert!(runs.is_empty(), "pre-tripped stop must claim no chunks");
+    }
+
+    #[test]
+    fn traced_runs_emit_one_timed_span_per_chunk() {
+        use realm_obs::MemoryCollector;
+        let plan = ChunkPlan::new(100, 10);
+        let collector = MemoryCollector::new();
+        let runs = run_chunks_traced(
+            plan,
+            Threads::Fixed(4),
+            &(0..10).collect::<Vec<u64>>(),
+            3,
+            &collector,
+            &|| false,
+            &|c| {
+                assert!(c.index != 6, "boom");
+                c.len
+            },
+            &|_, _| {},
+        );
+        assert_eq!(runs.len(), 10);
+        let events = collector.events();
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, Event::ChunkStart { attempt: 3, .. }))
+            .count();
+        assert_eq!(starts, 10, "one start per chunk");
+        let mut ok = 0;
+        let mut failed = 0;
+        for e in &events {
+            if let Event::ChunkEnd {
+                chunk,
+                attempt,
+                samples,
+                ok: completed,
+                ..
+            } = e
+            {
+                assert_eq!(*attempt, 3);
+                assert_eq!(*samples, 10);
+                if *completed {
+                    ok += 1;
+                } else {
+                    assert_eq!(*chunk, 6);
+                    failed += 1;
+                }
+            }
+        }
+        assert_eq!((ok, failed), (9, 1));
+    }
+
+    #[test]
+    fn traced_and_supervised_results_are_identical() {
+        use realm_obs::MemoryCollector;
+        let plan = ChunkPlan::new(64, 8);
+        let indices: Vec<u64> = (0..plan.num_chunks()).collect();
+        let body = |c: Chunk| c.start * 31 + c.len;
+        let collector = MemoryCollector::new();
+        let traced = run_chunks_traced(
+            plan,
+            Threads::Fixed(3),
+            &indices,
+            0,
+            &collector,
+            &|| false,
+            &body,
+            &|_, _| {},
+        );
+        let plain = run_chunks_supervised(
+            plan,
+            Threads::Fixed(3),
+            &indices,
+            &|| false,
+            &body,
+            &|_, _| {},
+        );
+        let values = |runs: &[(u64, ChunkRun<u64>)]| -> Vec<(u64, u64)> {
+            runs.iter()
+                .map(|(i, r)| (*i, *r.completed().unwrap()))
+                .collect()
+        };
+        assert_eq!(values(&traced), values(&plain));
     }
 
     #[test]

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Validate a realm-obs JSONL trace against the documented schema.
+
+Usage: validate_trace.py TRACE.jsonl [TRACE2.jsonl ...]
+
+Checks, per DESIGN.md §11 (schema ``realm-obs/v1``):
+
+* every line parses as a self-contained JSON object;
+* ``schema`` is the literal ``realm-obs/v1`` on every line;
+* ``seq`` starts at 0 and is gap-free;
+* ``t_ns`` is monotonically non-decreasing;
+* ``ev`` is a documented kind and carries exactly the documented
+  fields with the documented JSON types;
+* campaigns are well-bracketed: every ``campaign_start`` is closed by
+  a ``campaign_end`` with the same fingerprint, chunk events only
+  occur inside a campaign;
+* accounting: within each campaign, replayed samples plus the samples
+  of distinct ok-executed chunks equal ``campaign_end.covered_samples``,
+  and replayed/executed/quarantined chunk counts match the close event.
+
+Exit status 0 when every file validates; 1 otherwise.
+"""
+
+import json
+import sys
+
+# ev -> {field: type or (types,)}; `schema`, `seq`, `t_ns`, `ev` are
+# common to every line and checked separately.
+SCHEMA = "realm-obs/v1"
+EVENTS = {
+    "campaign_start": {
+        "family": str,
+        "subject": str,
+        "fingerprint": str,
+        "total_chunks": int,
+        "total_samples": int,
+        "threads": int,
+    },
+    "journal_loaded": {"records": int, "truncated_bytes": int},
+    "chunk_replayed": {"chunk": int, "samples": int},
+    "chunk_start": {"chunk": int, "attempt": int, "samples": int},
+    "chunk_end": {
+        "chunk": int,
+        "attempt": int,
+        "samples": int,
+        "ok": bool,
+        "wall_ns": int,
+    },
+    "journal_append": {"chunk": int, "bytes": int},
+    "quarantined": {"chunk": int, "samples": int, "attempts": int, "message": str},
+    "campaign_end": {
+        "family": str,
+        "fingerprint": str,
+        "replayed_chunks": int,
+        "executed_chunks": int,
+        "quarantined_chunks": int,
+        "covered_samples": int,
+        "total_samples": int,
+        "stopped": (str, type(None)),
+        "wall_ns": int,
+    },
+}
+COMMON = {"schema", "seq", "t_ns", "ev"}
+
+
+class Campaign:
+    """Accounting for one campaign_start .. campaign_end bracket."""
+
+    def __init__(self, fingerprint):
+        self.fingerprint = fingerprint
+        self.replayed = {}  # chunk -> samples
+        self.ok_chunks = {}  # chunk -> samples (distinct chunks)
+        self.quarantined = set()
+
+
+def fail(path, lineno, msg):
+    print(f"{path}:{lineno}: {msg}", file=sys.stderr)
+    return False
+
+
+def validate(path):
+    ok = True
+    expected_seq = 0
+    last_t = 0
+    campaign = None
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.rstrip("\n")
+            if not line:
+                ok = fail(path, lineno, "blank line in stream")
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                ok = fail(path, lineno, f"not valid JSON: {e}")
+                continue
+
+            if obj.get("schema") != SCHEMA:
+                ok = fail(path, lineno, f"schema is {obj.get('schema')!r}, want {SCHEMA!r}")
+            if obj.get("seq") != expected_seq:
+                ok = fail(path, lineno, f"seq {obj.get('seq')} breaks gap-free order (want {expected_seq})")
+            expected_seq = (obj.get("seq", expected_seq)) + 1
+            t = obj.get("t_ns")
+            if not isinstance(t, int) or t < last_t:
+                ok = fail(path, lineno, f"t_ns {t} not monotonic (last {last_t})")
+            else:
+                last_t = t
+
+            ev = obj.get("ev")
+            if ev not in EVENTS:
+                ok = fail(path, lineno, f"unknown ev {ev!r}")
+                continue
+            fields = EVENTS[ev]
+            extra = set(obj) - COMMON - set(fields)
+            missing = set(fields) - set(obj)
+            if extra:
+                ok = fail(path, lineno, f"{ev}: undocumented fields {sorted(extra)}")
+            if missing:
+                ok = fail(path, lineno, f"{ev}: missing fields {sorted(missing)}")
+            for name, want in fields.items():
+                if name not in obj:
+                    continue
+                val = obj[name]
+                types = want if isinstance(want, tuple) else (want,)
+                # bool subclasses int in Python: reject bools where the
+                # schema says integer.
+                good = isinstance(val, types) and not (
+                    int in types and bool not in types and isinstance(val, bool)
+                )
+                if not good:
+                    ok = fail(path, lineno, f"{ev}.{name}: {val!r} has wrong type")
+
+            # Bracketing + accounting.
+            if ev == "campaign_start":
+                if campaign is not None:
+                    ok = fail(path, lineno, "campaign_start inside an open campaign")
+                campaign = Campaign(obj.get("fingerprint"))
+            elif ev == "campaign_end":
+                if campaign is None:
+                    ok = fail(path, lineno, "campaign_end without campaign_start")
+                else:
+                    if obj.get("fingerprint") != campaign.fingerprint:
+                        ok = fail(path, lineno, "campaign_end fingerprint mismatch")
+                    covered = sum(campaign.replayed.values()) + sum(campaign.ok_chunks.values())
+                    if covered != obj.get("covered_samples"):
+                        ok = fail(
+                            path, lineno,
+                            f"covered_samples {obj.get('covered_samples')} != "
+                            f"replayed+executed sample sum {covered}",
+                        )
+                    if len(campaign.replayed) != obj.get("replayed_chunks"):
+                        ok = fail(path, lineno, "replayed_chunks count mismatch")
+                    if len(campaign.ok_chunks) != obj.get("executed_chunks"):
+                        ok = fail(path, lineno, "executed_chunks count mismatch")
+                    if len(campaign.quarantined) != obj.get("quarantined_chunks"):
+                        ok = fail(path, lineno, "quarantined_chunks count mismatch")
+                campaign = None
+            elif campaign is None:
+                ok = fail(path, lineno, f"{ev} outside any campaign")
+            elif ev == "chunk_replayed":
+                campaign.replayed[obj.get("chunk")] = obj.get("samples", 0)
+            elif ev == "chunk_end" and obj.get("ok") is True:
+                campaign.ok_chunks[obj.get("chunk")] = obj.get("samples", 0)
+            elif ev == "quarantined":
+                campaign.quarantined.add(obj.get("chunk"))
+
+    if campaign is not None:
+        ok = fail(path, expected_seq, "stream ends inside an open campaign")
+    if expected_seq == 0:
+        ok = fail(path, 0, "empty trace")
+    if ok:
+        print(f"{path}: {expected_seq} lines OK")
+    return ok
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    return 0 if all([validate(p) for p in sys.argv[1:]]) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,6 +58,10 @@ pub use realm_jpeg as jpeg;
 /// The error-characterization harness (re-export of `realm-metrics`).
 pub use realm_metrics as metrics;
 
+/// The campaign observability layer: spans, metrics registry, JSONL
+/// event streams (re-export of `realm-obs`).
+pub use realm_obs as obs;
+
 /// The deterministic parallel execution layer (re-export of `realm-par`).
 pub use realm_par as par;
 
