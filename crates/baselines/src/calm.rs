@@ -71,18 +71,13 @@ impl Multiplier for Calm {
     /// (cALM is `log_mul` with a zero correction, so the correction terms
     /// vanish entirely).
     fn multiply_batch(&self, pairs: &[(u64, u64)], out: &mut [u64]) {
-        assert_eq!(
-            pairs.len(),
-            out.len(),
-            "multiply_batch needs one output slot per operand pair"
-        );
         let width = self.width;
         let f = width - 1;
         if width <= 31 {
             // Narrow fast path: mantissa < 2^(f+1) and the scale shift is
             // at most 2·width − 1 − f, so everything fits in u64.
             let max_product = (1u64 << (2 * width)) - 1;
-            for (slot, &(a, b)) in out.iter_mut().zip(pairs) {
+            for (slot, (a, b)) in realm_core::batch_lanes(pairs, out) {
                 if a == 0 || b == 0 {
                     *slot = 0;
                     continue;
@@ -108,7 +103,7 @@ impl Multiplier for Calm {
             }
             return;
         }
-        for (slot, &(a, b)) in out.iter_mut().zip(pairs) {
+        for (slot, (a, b)) in realm_core::batch_lanes(pairs, out) {
             if a == 0 || b == 0 {
                 *slot = 0;
                 continue;

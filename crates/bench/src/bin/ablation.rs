@@ -15,12 +15,12 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use realm_bench::{Options, OrDie};
+use realm_bench::{Driver, Options, OrDie};
 use realm_core::factors::reduced_relative_error;
 use realm_core::mitchell::{self, LogEncoding};
 use realm_core::quad::adaptive_simpson_2d;
 use realm_core::{ErrorReductionTable, Multiplier, QuantizedLut, Realm, RealmConfig, SegmentGrid};
-use realm_metrics::MonteCarlo;
+use realm_metrics::{ErrorSummary, MonteCarlo};
 
 /// REALM with the set-LSB rounding removed (pure truncation) — ablation 3.
 #[derive(Debug)]
@@ -84,8 +84,20 @@ fn actual_error_table(m: u32) -> ErrorReductionTable {
 }
 
 fn main() {
-    let opts = Options::from_env();
+    let mut opts = Options::from_env();
+    if opts.smoke && opts.samples == Options::default().samples {
+        opts.samples = 1 << 16;
+    }
     let campaign = MonteCarlo::new(opts.samples, opts.seed);
+    let driver = Driver::new(opts);
+    // Every ablation point runs its Monte-Carlo campaign on the
+    // supervised engine path (each point journals separately).
+    let measure = |design: &dyn Multiplier, what: &str| -> ErrorSummary {
+        let sup = driver.run(what, || {
+            campaign.characterize_supervised(design, driver.supervisor())
+        });
+        driver.require_complete(what, sup)
+    };
 
     // Below q = 6, M = 16's largest factor (~0.2386) rounds up to the
     // 2^(q-2) boundary and breaks the paper's (q-2)-bit storage trick —
@@ -105,7 +117,7 @@ fn main() {
     );
     for q in 6..=10u32 {
         let realm = Realm::new(RealmConfig::new(16, 16, 0, q)).or_die("valid configuration");
-        let s = campaign.characterize(&realm);
+        let s = measure(&realm, "LUT-precision ablation");
         println!(
             "{:<6} {:>8.3} {:>8.3} {:>8.3} {:>8}",
             q,
@@ -138,7 +150,7 @@ fn main() {
         for q in [6u32, 10] {
             let realm = Realm::with_table(RealmConfig::new(16, 8, 0, q), table)
                 .or_die("valid configuration");
-            let s = campaign.characterize(&realm);
+            let s = measure(&realm, "factor-formulation ablation");
             println!(
                 "  {:<30} q={q:<3} bias {:+.4}%  mean {:.4}%  peak {:.3}%",
                 label,
@@ -157,8 +169,8 @@ fn main() {
             lut: with.lut().clone(),
             truncation: t,
         };
-        let sw = campaign.characterize(&with);
-        let so = campaign.characterize(&without);
+        let sw = measure(&with, "set-LSB ablation");
+        let so = measure(&without, "set-LSB ablation");
         println!(
             "{:<4} bias {:+.3}% me {:.3}%   bias {:+.3}% me {:.3}%",
             t,
@@ -191,8 +203,10 @@ fn main() {
             }
         }
         mean /= (steps * steps) as f64;
-        let hw =
-            campaign.characterize(&Realm::new(RealmConfig::n16(m, 0)).or_die("paper design point"));
+        let hw = measure(
+            &Realm::new(RealmConfig::n16(m, 0)).or_die("paper design point"),
+            "quantization ablation",
+        );
         println!(
             "  M={m:<3} ideal mean {:.3}% peak {:.3}%   hardware mean {:.3}% peak {:.3}%",
             mean * 100.0,
@@ -201,4 +215,5 @@ fn main() {
             hw.peak_error() * 100.0
         );
     }
+    driver.finish();
 }

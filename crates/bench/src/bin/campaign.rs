@@ -18,7 +18,7 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use realm_bench::{or_die, Options, OrDie};
+use realm_bench::{Driver, Options, OrDie};
 use realm_core::multiplier::MultiplierExt;
 use realm_core::{Realm, RealmConfig};
 use realm_metrics::{ErrorSummary, MonteCarlo};
@@ -68,19 +68,17 @@ fn main() {
     );
 
     let campaign = MonteCarlo::new(opts.samples, opts.seed);
-    let obs = opts.observability();
-    let supervisor = opts.supervisor().with_collector(obs.collector());
-    let sup = or_die(
-        campaign.characterize_supervised(&design, &supervisor),
-        "campaign",
-    );
+    let driver = Driver::new(opts);
+    let sup = driver.run("campaign", || {
+        campaign.characterize_supervised(&design, driver.supervisor())
+    });
     println!("{}", sup.report.render());
 
     if let (true, Some(errors)) = (sup.report.is_complete(), &sup.value) {
         println!("{errors}");
-        opts.write_csv(
+        driver.opts.write_csv(
             "campaign_summary.json",
-            &summary_json(&label, opts.samples, opts.seed, errors),
+            &summary_json(&label, campaign.samples(), campaign.seed(), errors),
         );
     } else {
         // Partial coverage is a normal outcome of a deadline, Ctrl-C,
@@ -90,6 +88,5 @@ fn main() {
     // The aggregated observability artifacts ride along with --out /
     // --trace; the campaign summary above stays byte-identical whether
     // or not anyone observed the run.
-    opts.write_csv("metrics_summary.json", &obs.metrics().to_json());
-    obs.finish();
+    driver.finish();
 }

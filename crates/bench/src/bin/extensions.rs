@@ -19,7 +19,7 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use realm_baselines::{Calm, Drum, Mbm, Ssm};
-use realm_bench::{Options, OrDie};
+use realm_bench::{Driver, Options, OrDie};
 use realm_core::float::{ApproxFloat, FloatFormat};
 use realm_core::mse::mse_table;
 use realm_core::{Accurate, ErrorReductionTable, Multiplier, Realm, RealmConfig};
@@ -27,13 +27,24 @@ use realm_dsp::conv2d::Kernel;
 use realm_dsp::fir::{output_snr, FirFilter};
 use realm_dsp::mlp::{dataset, Mlp};
 use realm_jpeg::{psnr, Image};
-use realm_metrics::breakdown::{characterize_by_interval, interval_mean_spread};
-use realm_metrics::nmed::distance_metrics;
-use realm_metrics::MonteCarlo;
+use realm_metrics::breakdown::interval_mean_spread;
+use realm_metrics::nmed::distance_metrics_supervised;
+use realm_metrics::{characterize_by_interval_supervised, MonteCarlo};
 
 fn main() {
-    let opts = Options::from_env();
+    let mut opts = Options::from_env();
+    if opts.smoke && opts.samples == Options::default().samples {
+        opts.samples = 1 << 16;
+    }
     let campaign = MonteCarlo::new(opts.samples, opts.seed);
+    let driver = Driver::new(opts);
+    let opts = &driver.opts;
+    let measure = |design: &dyn Multiplier, what: &str| {
+        let sup = driver.run(what, || {
+            campaign.characterize_supervised(design, driver.supervisor())
+        });
+        driver.require_complete(what, sup)
+    };
 
     println!("Extension 1 — MSE-optimal factors (paper §III-B future work):");
     println!(
@@ -50,7 +61,7 @@ fn main() {
         ] {
             let realm = Realm::with_table(RealmConfig::new(16, m, 0, 10), &table)
                 .or_die("valid configuration");
-            let s = campaign.characterize(&realm);
+            let s = measure(&realm, "factor-formulation campaign");
             println!(
                 "{:<28} {:>8.3} {:>8.3} {:>8.3} {:>10.3}   (M={m}, q=10)",
                 label,
@@ -73,7 +84,15 @@ fn main() {
     ];
     for design in &reps {
         use realm_core::multiplier::MultiplierExt;
-        let d = distance_metrics(design.as_ref(), opts.samples.min(1 << 21), opts.seed);
+        let sup = driver.run("distance campaign", || {
+            distance_metrics_supervised(
+                design.as_ref(),
+                opts.samples.min(1 << 21),
+                opts.seed,
+                driver.supervisor(),
+            )
+        });
+        let d = driver.require_complete("distance campaign", sup);
         println!(
             "  {:<18} NMED {:>8.3}   worst {:>8.2}",
             design.label(),
@@ -89,7 +108,15 @@ fn main() {
         ("REALM8", &realm as &dyn Multiplier),
         ("SSM m=8", &ssm as &dyn Multiplier),
     ] {
-        let cells = characterize_by_interval(design, opts.samples.min(1 << 21), opts.seed);
+        let sup = driver.run("breakdown campaign", || {
+            characterize_by_interval_supervised(
+                design,
+                opts.samples.min(1 << 21),
+                opts.seed,
+                driver.supervisor(),
+            )
+        });
+        let cells = driver.require_complete("breakdown campaign", sup);
         match interval_mean_spread(&cells, 10, 200) {
             Some((lo, hi)) => println!(
                 "  {label:<10} per-interval mean error spans {:.3}%..{:.3}% (ratio {:.2})",
@@ -186,4 +213,5 @@ fn main() {
             acc * 100.0
         );
     }
+    driver.finish();
 }

@@ -13,7 +13,7 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use realm_bench::{Options, OrDie};
+use realm_bench::{Driver, Options, OrDie};
 use realm_core::{Realm, RealmConfig};
 use realm_dsp::fir::{output_snr, FirFilter};
 use realm_fault::{Fault, FaultPlan, FaultSite, FaultyMultiplier, Guarded, Operand, SiteClass};
@@ -219,17 +219,16 @@ fn main() {
     }
     let (faults_per_stage, vectors) = if smoke { (6, 50) } else { (16, 250) };
 
-    let obs = opts.observability();
-    let supervisor = opts.supervisor().with_collector(obs.collector());
-    let Some(classes) = functional_campaign(&opts, opts.samples, &supervisor) else {
+    let driver = Driver::new(opts);
+    let opts = &driver.opts;
+    let Some(classes) = functional_campaign(opts, opts.samples, driver.supervisor()) else {
         // The stop (deadline, Ctrl-C) covers the whole study: a partial
         // sweep cannot be cross-validated, so report and exit cleanly.
         println!("\nstudy interrupted; rerun with --resume --checkpoint-dir to continue");
-        opts.write_csv("metrics_summary.json", &obs.metrics().to_json());
-        obs.finish();
+        driver.finish();
         return;
     };
-    let impacts = gate_level_campaign(&opts, faults_per_stage, vectors);
+    let impacts = gate_level_campaign(opts, faults_per_stage, vectors);
 
     let (f_top, f_mre) = top_shared(
         &classes,
@@ -249,10 +248,9 @@ fn main() {
     println!("  functional : {f_top:<16} (MRE {f_mre:.2})");
     println!("  gate-level : {g_top:<16} (MRE {g_mre:.2})");
 
-    degradation_curve(&opts, opts.samples);
-    application_impact(&opts);
-    opts.write_csv("metrics_summary.json", &obs.metrics().to_json());
-    obs.finish();
+    degradation_curve(opts, opts.samples);
+    application_impact(opts);
+    driver.finish();
 
     if f_top == g_top {
         println!("\ncross-validation PASSED: both levels rank '{f_top}' most critical");

@@ -12,13 +12,13 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use realm_baselines::{Alm, AlmAdder, Calm, ImpLm, IntAlp, Mbm};
-use realm_bench::{Options, OrDie};
+use realm_bench::{Driver, OrDie};
 use realm_core::{Multiplier, Realm, RealmConfig};
 use realm_metrics::heatmap::render_heatmap;
-use realm_metrics::{characterize_range_threaded, error_profile_threaded};
+use realm_metrics::{characterize_range_supervised, error_profile_supervised};
 
 fn main() {
-    let opts = Options::from_env();
+    let driver = Driver::from_env();
     let designs: Vec<(&str, Box<dyn Multiplier>)> = vec![
         ("a_calm", Box::new(Calm::new(16))),
         ("b_alm_soa_m11", Box::new(Alm::new(16, AlmAdder::Soa, 11))),
@@ -43,7 +43,10 @@ fn main() {
         "panel/design", "bias%", "mean%", "min%", "max%"
     );
     for (panel, design) in &designs {
-        let s = characterize_range_threaded(design.as_ref(), 32..=255, 32..=255, opts.threads);
+        let sup = driver.run("error-profile campaign", || {
+            characterize_range_supervised(design.as_ref(), 32..=255, 32..=255, driver.supervisor())
+        });
+        let s = driver.require_complete(&format!("{panel} campaign"), sup);
         println!(
             "{:<16} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
             panel,
@@ -52,22 +55,29 @@ fn main() {
             s.min_error * 100.0,
             s.max_error * 100.0
         );
-        if opts.out_dir.is_some() {
+        if driver.opts.out_dir.is_some() {
+            let profile = driver.run("error-profile surface", || {
+                error_profile_supervised(design.as_ref(), 32..=255, 32..=255, driver.supervisor())
+            });
             let mut csv = String::from("a,b,error_pct\n");
-            for p in error_profile_threaded(design.as_ref(), 32..=255, 32..=255, opts.threads) {
+            for p in driver.require_complete(&format!("{panel} surface"), profile) {
                 csv.push_str(&format!("{},{},{:.5}\n", p.a, p.b, p.error * 100.0));
             }
-            opts.write_csv(&format!("fig1_{panel}.csv"), &csv);
+            driver.opts.write_csv(&format!("fig1_{panel}.csv"), &csv);
         }
     }
     // Terminal heatmaps of the first and last panel (the paper's (a) vs
     // (f) contrast: dense sawtooth vs near-blank surface).
     for (panel, design) in [&designs[0], &designs[designs.len() - 1]] {
         println!("\n|error| heatmap for {panel} (x = A, y = B, 32..=255):");
-        let profile = error_profile_threaded(design.as_ref(), 32..=255, 32..=255, opts.threads);
+        let sup = driver.run("error-profile surface", || {
+            error_profile_supervised(design.as_ref(), 32..=255, 32..=255, driver.supervisor())
+        });
+        let profile = driver.require_complete(&format!("{panel} surface"), sup);
         print!("{}", render_heatmap(&profile, 64, 20, 0.12));
     }
     println!(
         "\npaper shape: panels (a-e) peak at 7.8-12.5 %; panel (f) REALM16 stays within ±2.1 %"
     );
+    driver.finish();
 }

@@ -10,13 +10,95 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use realm_baselines::Calm;
-use realm_bench::{Options, OrDie};
+use realm_bench::{Driver, OrDie};
 use realm_core::factors::reduced_relative_error;
 use realm_core::multiplier::MultiplierExt;
 use realm_core::{ErrorReductionTable, Realm, RealmConfig, SegmentGrid};
+use realm_metrics::{Engine, Workload};
+use realm_par::{Chunk, ChunkPlan};
+
+/// Per-segment accumulation of the figure's empirical panel: for each of
+/// the `M × M` segments, the sum of cALM ("before") relative errors, the
+/// sum of REALM ("after") relative errors, and the sample count. Chunk
+/// `i` covers a row-slice of `A ∈ {64..=255}` with the full `B` span, so
+/// the fold is deterministic for every worker count.
+struct SegmentMeansWorkload<'a> {
+    calm: &'a Calm,
+    realm: &'a Realm,
+    grid: &'a SegmentGrid,
+    segments: usize,
+}
+
+const A_LO: u64 = 64;
+const A_SPAN: u64 = 192; // 64..=255
+const ROWS_PER_CHUNK: u64 = 24;
+
+impl SegmentMeansWorkload<'_> {
+    fn segment_of(&self, a: u64, b: u64) -> usize {
+        let ka = 63 - u64::leading_zeros(a) as u64;
+        let kb = 63 - u64::leading_zeros(b) as u64;
+        let x = a as f64 / (1u64 << ka) as f64 - 1.0;
+        let y = b as f64 / (1u64 << kb) as f64 - 1.0;
+        self.grid
+            .flat_index(self.grid.index_of_value(x), self.grid.index_of_value(y))
+    }
+}
+
+impl Workload for SegmentMeansWorkload<'_> {
+    type Part = Vec<(f64, (f64, u64))>;
+    type Output = Vec<(f64, f64, u64)>;
+
+    fn family(&self) -> &'static str {
+        "fig2-segments"
+    }
+
+    fn subject(&self) -> String {
+        format!(
+            "{} -> {} A,B=64..=255",
+            self.calm.label(),
+            self.realm.label()
+        )
+    }
+
+    fn plan(&self) -> ChunkPlan {
+        ChunkPlan::new(A_SPAN, ROWS_PER_CHUNK)
+    }
+
+    fn seed(&self) -> u64 {
+        0 // exhaustive: no randomness
+    }
+
+    fn run_chunk(&self, chunk: Chunk) -> Self::Part {
+        let mut cells = vec![(0.0, (0.0, 0u64)); self.segments];
+        for a in A_LO + chunk.start..A_LO + chunk.start + chunk.len {
+            for b in A_LO..A_LO + A_SPAN {
+                let idx = self.segment_of(a, b);
+                let eb = self.calm.relative_error(a, b).or_die("nonzero operands");
+                let ea = self.realm.relative_error(a, b).or_die("nonzero operands");
+                let cell = &mut cells[idx];
+                cell.0 += eb;
+                cell.1 .0 += ea;
+                cell.1 .1 += 1;
+            }
+        }
+        cells
+    }
+
+    fn finalize(&self, parts: Vec<(u64, Self::Part)>) -> Option<Self::Output> {
+        let mut cells = vec![(0.0, 0.0, 0u64); self.segments];
+        for (_, part) in &parts {
+            for (total, &(before, (after, n))) in cells.iter_mut().zip(part) {
+                total.0 += before;
+                total.1 += after;
+                total.2 += n;
+            }
+        }
+        (!parts.is_empty()).then_some(cells)
+    }
+}
 
 fn main() {
-    let opts = Options::from_env();
+    let driver = Driver::from_env();
     let m = 4u32;
     let table = ErrorReductionTable::analytic(m).or_die("M = 4 is valid");
     let grid = SegmentGrid::new(m).or_die("M = 4 is valid");
@@ -32,45 +114,39 @@ fn main() {
 
     // Mean relative error per segment before/after the correction,
     // measured empirically over A, B in {64..255} (one full interval per
-    // axis, as in the paper's illustration).
+    // axis, as in the paper's illustration) on the supervised engine
+    // path.
     let calm = Calm::new(16);
     let realm = Realm::new(RealmConfig::new(16, m, 0, 6)).or_die("valid configuration");
-    let mut before = vec![(0.0f64, 0u64); (m * m) as usize];
-    let mut after = vec![(0.0f64, 0u64); (m * m) as usize];
-    for a in 64..=255u64 {
-        for b in 64..=255u64 {
-            let ka = 63 - u64::leading_zeros(a) as u64;
-            let kb = 63 - u64::leading_zeros(b) as u64;
-            let x = a as f64 / (1u64 << ka) as f64 - 1.0;
-            let y = b as f64 / (1u64 << kb) as f64 - 1.0;
-            let idx = grid.flat_index(grid.index_of_value(x), grid.index_of_value(y));
-            let eb = calm.relative_error(a, b).or_die("nonzero");
-            let ea = realm.relative_error(a, b).or_die("nonzero");
-            before[idx].0 += eb;
-            before[idx].1 += 1;
-            after[idx].0 += ea;
-            after[idx].1 += 1;
-        }
-    }
+    let workload = SegmentMeansWorkload {
+        calm: &calm,
+        realm: &realm,
+        grid: &grid,
+        segments: (m * m) as usize,
+    };
+    let sup = driver.run("segment-means campaign", || {
+        Engine::supervised(&workload, driver.supervisor())
+    });
+    let cells = driver.require_complete("segment-means campaign", sup);
 
     println!("\nper-segment mean relative error, % (cALM -> REALM4):");
     let mut csv = String::from("i,j,s_ij,calm_mean_pct,realm_mean_pct,analytic_residual_pct\n");
     for i in 0..m as usize {
-        let mut cells = Vec::new();
+        let mut row = Vec::new();
         for j in 0..m as usize {
-            let idx = grid.flat_index(i, j);
-            let mb = before[idx].0 / before[idx].1.max(1) as f64 * 100.0;
-            let ma = after[idx].0 / after[idx].1.max(1) as f64 * 100.0;
-            cells.push(format!("{mb:>6.2}->{ma:>5.2}"));
+            let (before, after, n) = cells[grid.flat_index(i, j)];
+            let mb = before / n.max(1) as f64 * 100.0;
+            let ma = after / n.max(1) as f64 * 100.0;
+            row.push(format!("{mb:>6.2}->{ma:>5.2}"));
             let residual = table.residual_mean_error(i, j, table.value(i, j)) * 100.0;
             csv.push_str(&format!(
                 "{i},{j},{:.6},{mb:.4},{ma:.4},{residual:.8}\n",
                 table.value(i, j)
             ));
         }
-        println!("  i={i}: {}", cells.join("  "));
+        println!("  i={i}: {}", row.join("  "));
     }
-    opts.write_csv("fig2_segments.csv", &csv);
+    driver.opts.write_csv("fig2_segments.csv", &csv);
 
     // The analytic property behind the figure: with the exact factors the
     // segment-mean error is zero.
@@ -95,4 +171,5 @@ fn main() {
         "worst-case |error| after ideal 4x4 reduction: {:.2}%",
         worst_after * 100.0
     );
+    driver.finish();
 }

@@ -10,8 +10,10 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use realm_bench::{Options, OrDie};
+use realm_bench::{Driver, OrDie};
 use realm_core::{Realm, RealmConfig};
+use realm_metrics::{Engine, Workload};
+use realm_par::{Chunk, ChunkPlan};
 use realm_synth::blocks::adder::ripple_add;
 use realm_synth::blocks::lod::leading_one;
 use realm_synth::blocks::multiplier::wallace_netlist;
@@ -28,8 +30,83 @@ fn block_cost(build: impl FnOnce(&mut Netlist)) -> usize {
     nl.gate_count()
 }
 
+/// One column of the census table: a design's per-kind cell counts, its
+/// gate total, and its critical path.
+struct CensusColumn {
+    name: String,
+    counts: Vec<u64>,
+    total: u64,
+    depth: f64,
+}
+
+/// The census of the figure's three datapaths (REALM16, cALM, accurate
+/// Wallace), one netlist synthesis per chunk — the driver's campaign, so
+/// `--trace`/`--progress`/checkpointing cover the synthesis work too.
+struct CensusWorkload<'a> {
+    realm: &'a Realm,
+}
+
+impl CensusWorkload<'_> {
+    fn netlist(&self, index: u64) -> Netlist {
+        match index {
+            0 => realm_netlist(self.realm),
+            1 => calm_netlist(16),
+            _ => wallace_netlist(16),
+        }
+    }
+}
+
+impl Workload for CensusWorkload<'_> {
+    // Per design: [per-kind counts.., gate total, critical path bits].
+    type Part = Vec<u64>;
+    type Output = Vec<CensusColumn>;
+
+    fn family(&self) -> &'static str {
+        "fig3-census"
+    }
+
+    fn subject(&self) -> String {
+        "realm16/calm/accurate netlists".into()
+    }
+
+    fn plan(&self) -> ChunkPlan {
+        ChunkPlan::new(3, 1)
+    }
+
+    fn seed(&self) -> u64 {
+        0 // synthesis is deterministic
+    }
+
+    fn run_chunk(&self, chunk: Chunk) -> Vec<u64> {
+        let nl = self.netlist(chunk.start);
+        let mut row: Vec<u64> = CellKind::ALL
+            .iter()
+            .map(|kind| nl.census().get(kind).copied().unwrap_or(0) as u64)
+            .collect();
+        row.push(nl.gate_count() as u64);
+        row.push(nl.critical_path().to_bits());
+        row
+    }
+
+    fn finalize(&self, parts: Vec<(u64, Vec<u64>)>) -> Option<Vec<CensusColumn>> {
+        let columns: Vec<CensusColumn> = parts
+            .into_iter()
+            .map(|(index, row)| {
+                let kinds = CellKind::ALL.len();
+                CensusColumn {
+                    name: self.netlist(index).name().to_string(),
+                    counts: row[..kinds].to_vec(),
+                    total: row[kinds],
+                    depth: f64::from_bits(row[kinds + 1]),
+                }
+            })
+            .collect();
+        (!columns.is_empty()).then_some(columns)
+    }
+}
+
 fn main() {
-    let opts = Options::from_env();
+    let driver = Driver::from_env();
     println!("Fig. 3 reproduction — the REALM datapath as synthesized blocks\n");
 
     // Isolated block budgets for the paper's Fig. 3 stages (N = 16).
@@ -81,44 +158,54 @@ fn main() {
     }
     println!("  final antilog barrel shifter      : {final_shift:>5} gates");
 
-    // Whole-design census comparison.
+    // Whole-design census comparison, run as a supervised campaign (one
+    // netlist synthesis per chunk).
     println!("\nfull-design cell census (REALM16/t=0 vs cALM vs accurate):");
     let realm = Realm::new(RealmConfig::n16(16, 0)).or_die("paper design point");
-    let designs = [realm_netlist(&realm), calm_netlist(16), wallace_netlist(16)];
+    let workload = CensusWorkload { realm: &realm };
+    let sup = driver.run("netlist census", || {
+        Engine::supervised(&workload, driver.supervisor())
+    });
+    let columns = driver.require_complete("netlist census", sup);
     print!("{:<10}", "cell");
-    for d in &designs {
-        print!("{:>14}", d.name());
+    for c in &columns {
+        print!("{:>14}", c.name);
     }
     println!();
-    for kind in CellKind::ALL {
+    for (row, kind) in CellKind::ALL.iter().enumerate() {
         print!("{:<10}", format!("{kind:?}"));
-        for d in &designs {
-            print!("{:>14}", d.census().get(&kind).copied().unwrap_or(0));
+        for c in &columns {
+            print!("{:>14}", c.counts[row]);
         }
         println!();
     }
     print!("{:<10}", "total");
-    for d in &designs {
-        print!("{:>14}", d.gate_count());
+    for c in &columns {
+        print!("{:>14}", c.total);
     }
     println!();
     print!("{:<10}", "depth(ps)");
-    for d in &designs {
-        print!("{:>14.0}", d.critical_path());
+    for c in &columns {
+        print!("{:>14.0}", c.depth);
     }
     println!();
 
     // Export the Fig. 3 datapath as structural Verilog.
-    if opts.out_dir.is_some() {
-        for d in &designs {
-            opts.write_csv(&format!("{}.v", d.name()), &to_verilog(d));
+    if driver.opts.out_dir.is_some() {
+        for index in 0..3 {
+            let d = workload.netlist(index);
+            driver
+                .opts
+                .write_csv(&format!("{}.v", d.name()), &to_verilog(&d));
         }
     } else {
-        let v = to_verilog(&designs[0]);
+        let d = workload.netlist(0);
+        let v = to_verilog(&d);
         println!(
             "\nstructural Verilog export: module {} … ({} lines; use --out DIR to write files)",
-            designs[0].name(),
+            d.name(),
             v.lines().count()
         );
     }
+    driver.finish();
 }

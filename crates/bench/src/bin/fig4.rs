@@ -9,16 +9,35 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use realm_bench::{table1_rows, Options, OrDie};
+use realm_bench::{table1_rows_supervised, Driver, Options, OrDie};
 use realm_metrics::{pareto_front, ParetoPoint};
 
 fn main() {
-    let opts = Options::from_env();
+    let mut opts = Options::from_env();
+    if opts.smoke && opts.samples == Options::default().samples {
+        opts.samples = 1 << 16;
+        opts.cycles = 200;
+    }
     println!(
         "Fig. 4 reproduction — design space from {} samples/design, {} power cycles\n",
         opts.samples, opts.cycles
     );
-    let rows = table1_rows(opts.samples, opts.cycles, opts.seed, opts.threads);
+    let driver = Driver::new(opts);
+    let opts = &driver.opts;
+    let table = driver.run("design-space campaign", || {
+        table1_rows_supervised(opts.samples, opts.cycles, opts.seed, driver.supervisor())
+    });
+    if !table.skipped.is_empty() {
+        println!(
+            "design-space campaign incomplete ({} of {} designs done) — rerun with --resume \
+             --checkpoint-dir to continue",
+            table.rows.len(),
+            table.rows.len() + table.skipped.len()
+        );
+        driver.finish();
+        return;
+    }
+    let rows = table.rows;
 
     type Extract = fn(&realm_bench::Table1Row) -> (f64, f64);
     let panes: [(&str, Extract); 4] = [
@@ -79,4 +98,5 @@ fn main() {
     opts.write_csv("fig4_design_space.csv", &csv);
     println!("paper shape: the front is primarily REALM, with DRUM8 at the low-error end and");
     println!("MBM/DRUM5/ALM-SOA at the high-efficiency end");
+    driver.finish();
 }

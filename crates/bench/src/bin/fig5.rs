@@ -8,17 +8,72 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use realm_bench::{Options, OrDie};
+use realm_bench::{Driver, Options, OrDie};
 use realm_core::{Realm, RealmConfig};
-use realm_metrics::{Histogram, MonteCarlo};
+use realm_metrics::{Engine, ErrorSummary, Histogram, MonteCarlo, MonteCarloWorkload, Workload};
+use realm_par::{Chunk, ChunkPlan};
+
+const HIST_LO: f64 = -0.08;
+const HIST_HI: f64 = 0.08;
+const HIST_BINS: usize = 64;
+
+/// The Monte-Carlo error campaign of one design plus the figure's
+/// fixed-axis histogram: each chunk folds its errors into both the
+/// standard accumulator and a private bin-count vector, so the
+/// distribution rides the same supervised, checkpointed, bit-identical
+/// path as the summary statistics.
+struct DistributionWorkload<'a> {
+    inner: MonteCarloWorkload<'a>,
+}
+
+impl Workload for DistributionWorkload<'_> {
+    type Part = (realm_metrics::ErrorAccumulator, Vec<u64>);
+    type Output = (ErrorSummary, Histogram);
+
+    fn family(&self) -> &'static str {
+        "fig5-distribution"
+    }
+
+    fn subject(&self) -> String {
+        self.inner.subject()
+    }
+
+    fn plan(&self) -> ChunkPlan {
+        self.inner.plan()
+    }
+
+    fn seed(&self) -> u64 {
+        self.inner.seed()
+    }
+
+    fn run_chunk(&self, chunk: Chunk) -> Self::Part {
+        let mut hist = Histogram::new(HIST_LO, HIST_HI, HIST_BINS);
+        let acc = self.inner.run_chunk_with(chunk, |e| hist.add(e));
+        (acc, hist.counts().to_vec())
+    }
+
+    fn finalize(&self, parts: Vec<(u64, Self::Part)>) -> Option<Self::Output> {
+        let mut total = realm_metrics::ErrorAccumulator::new();
+        let mut hist = Histogram::new(HIST_LO, HIST_HI, HIST_BINS);
+        for (_, (acc, counts)) in &parts {
+            total.merge(acc);
+            hist.merge(&Histogram::from_counts(HIST_LO, HIST_HI, counts.clone()));
+        }
+        (total.count() > 0).then(|| (total.finish(), hist))
+    }
+}
 
 fn main() {
-    let opts = Options::from_env();
+    let mut opts = Options::from_env();
+    if opts.smoke && opts.samples == Options::default().samples {
+        opts.samples = 1 << 16;
+    }
     let campaign = MonteCarlo::new(opts.samples, opts.seed);
     println!(
         "Fig. 5 reproduction — REALM error distributions ({} samples each)\n",
         opts.samples
     );
+    let driver = Driver::new(opts);
 
     let mut csv = String::from("m,t,bin_center_pct,density\n");
     for &(m, t) in &[
@@ -33,8 +88,13 @@ fn main() {
         (4, 9),
     ] {
         let realm = Realm::new(RealmConfig::n16(m, t)).or_die("paper design point");
-        let mut hist = Histogram::new(-0.08, 0.08, 64);
-        let summary = campaign.characterize_with(&realm, |e| hist.add(e));
+        let workload = DistributionWorkload {
+            inner: campaign.workload(&realm),
+        };
+        let sup = driver.run("distribution campaign", || {
+            Engine::supervised(&workload, driver.supervisor())
+        });
+        let (summary, hist) = driver.require_complete(&format!("REALM{m} t={t} campaign"), sup);
         println!(
             "REALM{m} t={t}: bias {:+.3}%, mass within ±1% = {:.1}%, within ±2% = {:.1}%",
             summary.bias * 100.0,
@@ -53,7 +113,8 @@ fn main() {
             ));
         }
     }
-    opts.write_csv("fig5_distributions.csv", &csv);
+    driver.opts.write_csv("fig5_distributions.csv", &csv);
     println!("paper shape: distributions are double-sided and centred; larger M narrows them;");
     println!("t <= 6 changes little, t = 9 widens and displaces the shape");
+    driver.finish();
 }

@@ -10,58 +10,55 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use realm_bench::{Options, OrDie};
-use realm_core::{Multiplier, Realm, RealmConfig};
-use realm_metrics::sweep::{sweep_knob, Series};
+use realm_bench::{Driver, Options, OrDie};
+use realm_core::{Realm, RealmConfig};
 use realm_metrics::MonteCarlo;
 
 fn main() {
-    let opts = Options::from_env();
-    let campaign = MonteCarlo::new(opts.samples, opts.seed).with_threads(opts.threads);
+    let mut opts = Options::from_env();
+    if opts.smoke && opts.samples == Options::default().samples {
+        opts.samples = 1 << 16;
+        opts.cycles = 200;
+    }
+    let campaign = MonteCarlo::new(opts.samples, opts.seed);
     let knobs: Vec<u32> = (0..=9).collect();
 
     println!(
         "REALM design-space sweep ({} samples per point)\n",
         opts.samples
     );
+    let driver = Driver::new(opts);
     let mut csv = String::from("series,knob,value\n");
-    let mut emit = |series: &Series| {
-        println!("{}:", series.label);
-        for (x, y) in &series.points {
+    let emit = |label: &str, points: &[(u32, f64)], csv: &mut String| {
+        println!("{label}:");
+        for (x, y) in points {
             println!("    t={x:<3} {:.4}%", y * 100.0);
         }
-        for (x, y) in &series.points {
-            csv.push_str(&format!("{},{},{:.6}\n", series.label, x, y));
+        for (x, y) in points {
+            csv.push_str(&format!("{label},{x},{y:.6}\n"));
         }
     };
 
     for m in [16u32, 8, 4] {
-        let mean = sweep_knob(
-            format!("REALM{m} mean error vs t"),
-            &knobs,
-            &campaign,
-            |t| {
-                Box::new(Realm::new(RealmConfig::n16(m, t)).or_die("paper design point"))
-                    as Box<dyn Multiplier>
-            },
-            |s| s.mean_error,
-        );
-        emit(&mean);
-        let peak = sweep_knob(
-            format!("REALM{m} peak error vs t"),
-            &knobs,
-            &campaign,
-            |t| {
-                Box::new(Realm::new(RealmConfig::n16(m, t)).or_die("paper design point"))
-                    as Box<dyn Multiplier>
-            },
-            |s| s.peak_error(),
-        );
-        emit(&peak);
+        // One supervised campaign per (M, t) design point; each summary
+        // feeds both the mean-error and the peak-error curve.
+        let mut mean = Vec::new();
+        let mut peak = Vec::new();
+        for &t in &knobs {
+            let realm = Realm::new(RealmConfig::n16(m, t)).or_die("paper design point");
+            let sup = driver.run("design-point campaign", || {
+                campaign.characterize_supervised(&realm, driver.supervisor())
+            });
+            let s = driver.require_complete(&format!("REALM{m} t={t} campaign"), sup);
+            mean.push((t, s.mean_error));
+            peak.push((t, s.peak_error()));
+        }
+        emit(&format!("REALM{m} mean error vs t"), &mean, &mut csv);
+        emit(&format!("REALM{m} peak error vs t"), &peak, &mut csv);
     }
 
     println!("\nsynthesis-model cost curves (area reduction %, power reduction %):");
-    let reporter = realm_synth::Reporter::paper_setup(opts.cycles, opts.seed);
+    let reporter = realm_synth::Reporter::paper_setup(driver.opts.cycles, driver.opts.seed);
     for m in [16u32, 8, 4] {
         print!("REALM{m}: ");
         for t in 0..=9u32 {
@@ -79,8 +76,9 @@ fn main() {
         }
         println!();
     }
-    opts.write_csv("sweep_design_space.csv", &csv);
+    driver.opts.write_csv("sweep_design_space.csv", &csv);
     println!("\npaper claim: the knobs (M, t) yield a dense grid of 30 Pareto-candidate");
     println!("design points spanning a ~2x range in every metric — the curves above are");
     println!("that grid, one slice per knob.");
+    driver.finish();
 }

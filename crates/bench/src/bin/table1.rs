@@ -9,7 +9,7 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use realm_bench::{or_die, table1_rows_supervised, Options, OrDie, Table1Row};
+use realm_bench::{table1_rows_supervised, Driver, Options, OrDie, Table1Row};
 
 fn main() {
     let mut opts = Options::from_env();
@@ -31,12 +31,11 @@ fn main() {
     // All 65 per-design campaigns run under one supervisor: Ctrl-C /
     // --deadline stop the table gracefully at a chunk boundary, and
     // with --checkpoint-dir + --resume it continues where it stopped.
-    let obs = opts.observability();
-    let supervisor = opts.supervisor().with_collector(obs.collector());
-    let table = or_die(
-        table1_rows_supervised(opts.samples, opts.cycles, opts.seed, &supervisor),
-        "table I campaign",
-    );
+    let driver = Driver::new(opts);
+    let opts = &driver.opts;
+    let table = driver.run("table I campaign", || {
+        table1_rows_supervised(opts.samples, opts.cycles, opts.seed, driver.supervisor())
+    });
     let mut csv = String::from(Table1Row::csv_header());
     csv.push('\n');
     for row in &table.rows {
@@ -45,8 +44,7 @@ fn main() {
         csv.push('\n');
     }
     opts.write_csv("table1.csv", &csv);
-    opts.write_csv("metrics_summary.json", &obs.metrics().to_json());
-    obs.finish();
+    driver.finish();
 
     if !table.skipped.is_empty() {
         println!(

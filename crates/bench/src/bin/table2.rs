@@ -9,10 +9,12 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use realm_baselines::catalog::table2_designs;
-use realm_bench::Options;
+use realm_bench::Driver;
 use realm_core::multiplier::MultiplierExt;
 use realm_core::{Accurate, Multiplier};
 use realm_jpeg::{psnr, Image, JpegCodec};
+use realm_metrics::{Engine, Workload};
+use realm_par::{Chunk, ChunkPlan};
 
 /// Borrowed adapter so one boxed design can drive a codec.
 #[derive(Debug)]
@@ -33,8 +35,70 @@ impl Multiplier for Borrowed<'_> {
     }
 }
 
+/// The PSNR grid of Table II: one JPEG round-trip per chunk, over the
+/// cross product of scenes × (accurate + approximate designs). Each
+/// round-trip is deterministic, so the grid folds bit-identically for
+/// every worker count.
+struct PsnrWorkload<'a> {
+    designs: &'a [Box<dyn Multiplier>],
+    images: &'a [(&'static str, Image)],
+}
+
+impl PsnrWorkload<'_> {
+    /// Columns per image row: the accurate reference plus each design.
+    fn cols(&self) -> u64 {
+        1 + self.designs.len() as u64
+    }
+}
+
+impl Workload for PsnrWorkload<'_> {
+    type Part = Vec<f64>;
+    type Output = Vec<f64>;
+
+    fn family(&self) -> &'static str {
+        "table2-psnr"
+    }
+
+    fn subject(&self) -> String {
+        format!(
+            "jpeg-q50 {} scenes x {} designs",
+            self.images.len(),
+            self.cols()
+        )
+    }
+
+    fn plan(&self) -> ChunkPlan {
+        ChunkPlan::new(self.images.len() as u64 * self.cols(), 1)
+    }
+
+    fn seed(&self) -> u64 {
+        0 // the codec and scenes are deterministic
+    }
+
+    fn run_chunk(&self, chunk: Chunk) -> Vec<f64> {
+        (chunk.start..chunk.start + chunk.len)
+            .map(|idx| {
+                let (_, img) = &self.images[(idx / self.cols()) as usize];
+                let col = idx % self.cols();
+                let roundtrip = if col == 0 {
+                    JpegCodec::quality50(Accurate::new(16)).roundtrip(img)
+                } else {
+                    let design = self.designs[(col - 1) as usize].as_ref();
+                    JpegCodec::quality50(Borrowed(design)).roundtrip(img)
+                };
+                psnr(img, &roundtrip)
+            })
+            .collect()
+    }
+
+    fn finalize(&self, parts: Vec<(u64, Vec<f64>)>) -> Option<Vec<f64>> {
+        let grid: Vec<f64> = parts.into_iter().flat_map(|(_, p)| p).collect();
+        (grid.len() as u64 == self.images.len() as u64 * self.cols()).then_some(grid)
+    }
+}
+
 fn main() {
-    let opts = Options::from_env();
+    let driver = Driver::from_env();
     let designs = table2_designs();
     let images = Image::table2_set();
 
@@ -50,17 +114,21 @@ fn main() {
             .collect::<String>()
     );
 
+    let workload = PsnrWorkload {
+        designs: &designs,
+        images: &images,
+    };
+    let sup = driver.run("PSNR campaign", || {
+        Engine::supervised(&workload, driver.supervisor())
+    });
+    let grid = driver.require_complete("PSNR campaign", sup);
+
+    let cols = workload.cols() as usize;
     let mut csv = format!("image,{}\n", headers[1..].join(","));
-    for (name, img) in &images {
+    for (row, (name, _)) in images.iter().enumerate() {
         let mut cells: Vec<String> = vec![format!("{name:>18}")];
         let mut csv_row: Vec<String> = vec![name.to_string()];
-        let accurate = JpegCodec::quality50(Accurate::new(16));
-        let p = psnr(img, &accurate.roundtrip(img));
-        cells.push(format!("{p:>18.1}"));
-        csv_row.push(format!("{p:.2}"));
-        for d in &designs {
-            let codec = JpegCodec::quality50(Borrowed(d.as_ref()));
-            let p = psnr(img, &codec.roundtrip(img));
+        for p in &grid[row * cols..(row + 1) * cols] {
             cells.push(format!("{p:>18.1}"));
             csv_row.push(format!("{p:.2}"));
         }
@@ -68,7 +136,8 @@ fn main() {
         csv.push_str(&csv_row.join(","));
         csv.push('\n');
     }
-    opts.write_csv("table2.csv", &csv);
+    driver.opts.write_csv("table2.csv", &csv);
 
     println!("\npaper shape: REALM within ~1 dB of accurate; cALM/IntALP/ALM-SOA drop 5-10 dB");
+    driver.finish();
 }

@@ -10,39 +10,40 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use realm_bench::{Options, OrDie};
+use realm_bench::{Driver, Options, OrDie};
 use realm_core::multiplier::MultiplierExt;
-use realm_core::{Multiplier, Realm, RealmConfig};
-use realm_metrics::{ErrorAccumulator, MonteCarlo};
-
-fn exhaustive(design: &dyn Multiplier) -> realm_metrics::ErrorSummary {
-    let max = design.max_operand();
-    let mut acc = ErrorAccumulator::new();
-    for a in 1..=max {
-        for b in 1..=max {
-            if let Some(e) = design.relative_error(a, b) {
-                acc.push(e);
-            }
-        }
-    }
-    acc.finish()
-}
+use realm_core::{Realm, RealmConfig};
+use realm_metrics::{characterize_range_supervised, MonteCarlo};
 
 fn main() {
-    let opts = Options::from_env();
+    let mut opts = Options::from_env();
+    if opts.smoke && opts.samples == Options::default().samples {
+        opts.samples = 1 << 16;
+    }
     println!("width-generality study: REALM (M = 8, t = 0) across operand widths\n");
     println!(
         "{:>5} {:>12} {:>8} {:>8} {:>8} {:>8}",
         "N", "method", "bias%", "mean%", "min%", "max%"
     );
+    let driver = Driver::new(opts);
     for width in [8u32, 12, 16, 24, 32] {
         let realm = Realm::new(RealmConfig::new(width, 8, 0, 6)).or_die("valid configuration");
+        // Exhaustive where feasible (supervised row-chunked sweep),
+        // Monte-Carlo above.
         let (method, s) = if width <= 12 {
-            ("exhaustive", exhaustive(&realm))
+            let max = realm.max_operand();
+            let sup = driver.run("exhaustive width sweep", || {
+                characterize_range_supervised(&realm, 1..=max, 1..=max, driver.supervisor())
+            });
+            ("exhaustive", driver.require_complete("width sweep", sup))
         } else {
+            let campaign = MonteCarlo::new(driver.opts.samples, driver.opts.seed);
+            let sup = driver.run("width campaign", || {
+                campaign.characterize_supervised(&realm, driver.supervisor())
+            });
             (
                 "monte-carlo",
-                MonteCarlo::new(opts.samples, opts.seed).characterize(&realm),
+                driver.require_complete("width campaign", sup),
             )
         };
         println!(
@@ -79,4 +80,5 @@ fn main() {
     }
     println!("\nthe accurate multiplier grows ~quadratically with N while the log datapath");
     println!("grows ~linearly — the approximate design's advantage widens with width.");
+    driver.finish();
 }

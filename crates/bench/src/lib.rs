@@ -21,10 +21,12 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod options;
+pub mod runner;
 pub mod stopwatch;
 pub mod table;
 
 pub use options::Options;
+pub use runner::Driver;
 
 /// Unwraps a result in a driver binary: on error, prints the diagnostic
 /// with its context and exits 1 — drivers fail loudly but never panic.

@@ -1,0 +1,101 @@
+//! The common campaign runner behind every experiment driver: one
+//! [`Driver`] per invocation bundles the parsed [`Options`], the
+//! supervisor they describe (threads, checkpoints, `--resume`,
+//! `--deadline`, `--max-chunks`, chaos injection, Ctrl-C) and the
+//! observability fan-out (`--trace`, `--progress`, the metrics
+//! registry) — so every binary runs its campaigns on the same
+//! supervised, observed path and the uniform flag set behaves
+//! identically everywhere.
+//!
+//! ```no_run
+//! use realm_bench::runner::Driver;
+//! use realm_core::Accurate;
+//! use realm_metrics::MonteCarlo;
+//!
+//! let driver = Driver::from_env();
+//! let campaign = MonteCarlo::new(driver.opts.samples, driver.opts.seed);
+//! let outcome = driver.run("error campaign", || {
+//!     campaign.characterize_supervised(&Accurate::new(16), driver.supervisor())
+//! });
+//! let summary = driver.require_complete("error campaign", outcome);
+//! println!("{summary}");
+//! driver.finish();
+//! ```
+
+use realm_harness::{HarnessError, Supervised, Supervisor};
+
+use crate::{or_die, Options};
+
+/// One experiment-driver invocation: options + supervisor +
+/// observability, wired together.
+#[derive(Debug)]
+pub struct Driver {
+    /// The parsed command-line options.
+    pub opts: Options,
+    obs: crate::options::Observability,
+    supervisor: Supervisor,
+}
+
+impl Driver {
+    /// Builds the driver for already-parsed (and possibly
+    /// smoke-adjusted) options.
+    pub fn new(opts: Options) -> Self {
+        let obs = opts.observability();
+        let supervisor = opts.supervisor().with_collector(obs.collector());
+        Driver {
+            opts,
+            obs,
+            supervisor,
+        }
+    }
+
+    /// Parses `std::env::args` (exit 2 + usage on malformed input, like
+    /// every driver) and builds the runner.
+    pub fn from_env() -> Self {
+        Driver::new(Options::from_env())
+    }
+
+    /// The supervisor every campaign of this invocation runs under.
+    pub fn supervisor(&self) -> &Supervisor {
+        &self.supervisor
+    }
+
+    /// Runs one supervised campaign, converting a harness error (a
+    /// corrupt checkpoint directory, an unwritable journal) into a
+    /// diagnostic and exit 1. Interruption is *not* an error — it shows
+    /// up in the returned [`Supervised`] report (or whatever partial
+    /// account the campaign returns).
+    pub fn run<T>(&self, what: &str, campaign: impl FnOnce() -> Result<T, HarnessError>) -> T {
+        or_die(campaign(), what)
+    }
+
+    /// Unwraps a campaign that the driver needs complete to proceed.
+    /// On interruption (deadline, Ctrl-C, `--max-chunks`, quarantined
+    /// chunks) prints the supervision report with a resume hint,
+    /// publishes the observability artifacts, and exits 0 — partial
+    /// progress is a checkpointed outcome, not a failure.
+    pub fn require_complete<T>(&self, what: &str, sup: Supervised<T>) -> T {
+        match (sup.report.is_complete(), sup.value) {
+            (true, Some(value)) => value,
+            _ => {
+                println!("{}", sup.report.render());
+                println!("{what} incomplete — rerun with --resume --checkpoint-dir to continue");
+                self.finish_ref();
+                std::process::exit(0);
+            }
+        }
+    }
+
+    /// Publishes the end-of-run observability artifacts: the aggregated
+    /// metrics snapshot (into `--out DIR/metrics_summary.json`) and the
+    /// `--trace` JSONL stream (crash-safe atomic write).
+    pub fn finish(self) {
+        self.finish_ref();
+    }
+
+    fn finish_ref(&self) {
+        self.opts
+            .write_csv("metrics_summary.json", &self.obs.metrics().to_json());
+        self.obs.finish();
+    }
+}

@@ -1,0 +1,93 @@
+//! Uniform command-line behavior across every experiment driver: all 13
+//! binaries share one parser (`realm_bench::Options`), so a malformed
+//! flag must exit with status 2 and print the usage table everywhere,
+//! and `--help` must exit 0 with the same table.
+
+use std::process::Command;
+
+/// Every driver binary in the crate, resolved at build time so the test
+/// fails to compile if a binary is renamed without updating the matrix.
+const BINS: [(&str, &str); 13] = [
+    ("ablation", env!("CARGO_BIN_EXE_ablation")),
+    ("campaign", env!("CARGO_BIN_EXE_campaign")),
+    ("extensions", env!("CARGO_BIN_EXE_extensions")),
+    ("faults", env!("CARGO_BIN_EXE_faults")),
+    ("fig1", env!("CARGO_BIN_EXE_fig1")),
+    ("fig2", env!("CARGO_BIN_EXE_fig2")),
+    ("fig3", env!("CARGO_BIN_EXE_fig3")),
+    ("fig4", env!("CARGO_BIN_EXE_fig4")),
+    ("fig5", env!("CARGO_BIN_EXE_fig5")),
+    ("sweep", env!("CARGO_BIN_EXE_sweep")),
+    ("table1", env!("CARGO_BIN_EXE_table1")),
+    ("table2", env!("CARGO_BIN_EXE_table2")),
+    ("widths", env!("CARGO_BIN_EXE_widths")),
+];
+
+#[test]
+fn unknown_flag_exits_2_with_usage_everywhere() {
+    for (name, exe) in BINS {
+        let out = Command::new(exe)
+            .arg("--bogus-flag")
+            .output()
+            .unwrap_or_else(|e| panic!("cannot spawn {name}: {e}"));
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{name}: bad flag must exit 2, got {:?}",
+            out.status.code()
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--bogus-flag"),
+            "{name}: diagnostic must name the flag:\n{stderr}"
+        );
+        assert!(
+            stderr.contains("--samples") && stderr.contains("--trace"),
+            "{name}: usage table must follow the diagnostic:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn missing_flag_value_exits_2_everywhere() {
+    for (name, exe) in BINS {
+        let out = Command::new(exe)
+            .arg("--samples")
+            .output()
+            .unwrap_or_else(|e| panic!("cannot spawn {name}: {e}"));
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{name}: missing value must exit 2"
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("requires a value"),
+            "{name}: diagnostic must explain the missing value"
+        );
+    }
+}
+
+#[test]
+fn help_exits_0_with_the_shared_flag_table() {
+    for (name, exe) in BINS {
+        let out = Command::new(exe)
+            .arg("--help")
+            .output()
+            .unwrap_or_else(|e| panic!("cannot spawn {name}: {e}"));
+        assert_eq!(out.status.code(), Some(0), "{name}: --help must exit 0");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        for flag in [
+            "--samples",
+            "--threads",
+            "--smoke",
+            "--resume",
+            "--trace",
+            "--progress",
+        ] {
+            assert!(
+                stdout.contains(flag),
+                "{name}: --help must document {flag}:\n{stdout}"
+            );
+        }
+    }
+}

@@ -66,13 +66,8 @@ impl Multiplier for Accurate {
     }
 
     fn multiply_batch(&self, pairs: &[(u64, u64)], out: &mut [u64]) {
-        assert_eq!(
-            pairs.len(),
-            out.len(),
-            "multiply_batch needs one output slot per operand pair"
-        );
         let width = self.width;
-        for (slot, &(a, b)) in out.iter_mut().zip(pairs) {
+        for (slot, (a, b)) in crate::multiplier::batch_lanes(pairs, out) {
             debug_assert!(a >> width == 0, "operand a exceeds {width} bits");
             debug_assert!(b >> width == 0, "operand b exceeds {width} bits");
             *slot = a * b;

@@ -81,7 +81,7 @@ pub use error::ConfigError;
 pub use factors::ErrorReductionTable;
 pub use lut::QuantizedLut;
 pub use mitchell::LogEncoding;
-pub use multiplier::Multiplier;
+pub use multiplier::{batch_lanes, Multiplier};
 pub use realm::{Realm, RealmConfig};
 pub use segment::SegmentGrid;
 pub use signed::SignMagnitude;

@@ -80,15 +80,46 @@ pub trait Multiplier: fmt::Debug + Send + Sync {
     /// assert_eq!(out, [15, 63, 0]);
     /// ```
     fn multiply_batch(&self, pairs: &[(u64, u64)], out: &mut [u64]) {
-        assert_eq!(
-            pairs.len(),
-            out.len(),
-            "multiply_batch needs one output slot per operand pair"
-        );
-        for (slot, &(a, b)) in out.iter_mut().zip(pairs) {
+        for (slot, (a, b)) in batch_lanes(pairs, out) {
             *slot = self.multiply(a, b);
         }
     }
+}
+
+/// Checks the batch contract shared by every
+/// [`multiply_batch`](Multiplier::multiply_batch) implementation — one
+/// output slot per operand pair — and yields `(slot, (a, b))` lanes for the
+/// kernel to fill.
+///
+/// The default scalar loop and every monomorphic override (Accurate, REALM,
+/// cALM, DRUM) route their length check through this helper, as do the bulk
+/// campaign drivers in `realm-metrics`, so the contract violation panics
+/// with one uniform message everywhere.
+///
+/// # Panics
+///
+/// Panics if `pairs` and `out` differ in length.
+///
+/// ```
+/// use realm_core::multiplier::batch_lanes;
+///
+/// let pairs = [(3u64, 5u64), (7, 9)];
+/// let mut out = [0u64; 2];
+/// for (slot, (a, b)) in batch_lanes(&pairs, &mut out) {
+///     *slot = a * b;
+/// }
+/// assert_eq!(out, [15, 63]);
+/// ```
+pub fn batch_lanes<'a>(
+    pairs: &'a [(u64, u64)],
+    out: &'a mut [u64],
+) -> impl Iterator<Item = (&'a mut u64, (u64, u64))> {
+    assert_eq!(
+        pairs.len(),
+        out.len(),
+        "multiply_batch needs one output slot per operand pair"
+    );
+    out.iter_mut().zip(pairs.iter().copied())
 }
 
 /// Extension helpers available on every [`Multiplier`].
@@ -212,5 +243,25 @@ mod tests {
     #[test]
     fn label_without_config_is_bare_name() {
         assert_eq!(Accurate::new(16).label(), "Accurate");
+    }
+
+    #[test]
+    #[should_panic(expected = "one output slot per operand pair")]
+    fn batch_lanes_rejects_length_mismatch() {
+        let pairs = [(1u64, 2u64), (3, 4)];
+        let mut out = [0u64; 3];
+        for (slot, (a, b)) in batch_lanes(&pairs, &mut out) {
+            *slot = a * b;
+        }
+    }
+
+    #[test]
+    fn batch_lanes_pairs_slots_in_order() {
+        let pairs = [(2u64, 3u64), (4, 5), (6, 7)];
+        let mut out = [0u64; 3];
+        for (slot, (a, b)) in batch_lanes(&pairs, &mut out) {
+            *slot = a * b;
+        }
+        assert_eq!(out, [6, 20, 42]);
     }
 }

@@ -213,11 +213,6 @@ impl Multiplier for Realm {
     /// truncate → lookup → log-add chain inlined. Bit-identical to the
     /// scalar path by construction — the tests exhaustively cross-check.
     fn multiply_batch(&self, pairs: &[(u64, u64)], out: &mut [u64]) {
-        assert_eq!(
-            pairs.len(),
-            out.len(),
-            "multiply_batch needs one output slot per operand pair"
-        );
         let width = self.config.width;
         let mask = if width >= 64 {
             u64::MAX
@@ -238,7 +233,7 @@ impl Multiplier for Realm {
             // 2·width − 1 − f, so the scaled value stays below
             // 2^(2·width + 1) ≤ 2^63 — no u128 arithmetic needed.
             let max_product = (1u64 << (2 * width)) - 1;
-            for (slot, &(a, b)) in out.iter_mut().zip(pairs) {
+            for (slot, (a, b)) in crate::multiplier::batch_lanes(pairs, out) {
                 let (a, b) = (a & mask, b & mask);
                 if a == 0 || b == 0 {
                     *slot = 0; // zero-operand special case
@@ -269,7 +264,7 @@ impl Multiplier for Realm {
             }
             return;
         }
-        for (slot, &(a, b)) in out.iter_mut().zip(pairs) {
+        for (slot, (a, b)) in crate::multiplier::batch_lanes(pairs, out) {
             let (a, b) = (a & mask, b & mask);
             if a == 0 || b == 0 {
                 *slot = 0; // zero-operand special case

@@ -11,9 +11,10 @@
 use realm_core::multiplier::MultiplierExt;
 use realm_core::rng::SplitMix64;
 use realm_core::Multiplier;
-use realm_harness::{CampaignId, HarnessError, Supervised, Supervisor};
-use realm_par::{map_chunks, Chunk, ChunkPlan, Threads};
+use realm_harness::{HarnessError, Supervised, Supervisor};
+use realm_par::{Chunk, ChunkPlan, Threads};
 
+use crate::engine::{Engine, Workload};
 use crate::montecarlo::DEFAULT_CHUNK;
 use crate::summary::{ErrorAccumulator, ErrorSummary};
 
@@ -40,59 +41,100 @@ pub fn characterize_by_interval_threaded(
     seed: u64,
     threads: Threads,
 ) -> Vec<IntervalCell> {
-    let width = design.width() as usize;
-    let plan = ChunkPlan::new(samples, DEFAULT_CHUNK);
-    let grids = map_chunks(plan, threads, |chunk| run_chunk(design, seed, chunk));
-    fold_grids(width, grids.iter())
+    Engine::new(threads)
+        .run(&BreakdownWorkload::new(design, samples, seed))
+        .unwrap_or_default()
 }
 
-/// The chunk driver shared by the threaded and supervised paths: a
-/// private `width × width` grid of accumulators for one chunk's samples.
-fn run_chunk(design: &dyn Multiplier, seed: u64, chunk: Chunk) -> Vec<ErrorAccumulator> {
-    let width = design.width() as usize;
-    let max = design.max_operand();
-    let mut rng = SplitMix64::stream(seed, chunk.index);
-    let mut pairs = Vec::with_capacity(chunk.len as usize);
-    for _ in 0..chunk.len {
-        let a = rng.range_inclusive(1, max);
-        let b = rng.range_inclusive(1, max);
-        pairs.push((a, b));
-    }
-    let mut products = vec![0u64; pairs.len()];
-    design.multiply_batch(&pairs, &mut products);
-    let mut cells = vec![ErrorAccumulator::new(); width * width];
-    for (&(a, b), &p) in pairs.iter().zip(&products) {
-        let exact = a as u128 * b as u128; // nonzero: operands are ≥ 1
-        let e = (p as f64 - exact as f64) / exact as f64;
-        let ka = a.ilog2() as usize;
-        let kb = b.ilog2() as usize;
-        cells[ka * width + kb].push(e);
-    }
-    cells
+/// The [`Workload`] of a per-interval breakdown campaign: chunk `i`
+/// draws nonzero operand pairs from `SplitMix64::stream(seed, i)` into a
+/// private `width × width` grid of accumulators; grids merge cell-wise
+/// in chunk order and empty cells are dropped at finalization.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakdownWorkload<'a> {
+    design: &'a dyn Multiplier,
+    samples: u64,
+    seed: u64,
 }
 
-/// Folds per-chunk grids cell-wise (in iteration order = chunk order)
-/// and drops empty cells.
-fn fold_grids<'a>(
-    width: usize,
-    grids: impl Iterator<Item = &'a Vec<ErrorAccumulator>>,
-) -> Vec<IntervalCell> {
-    let mut cells = vec![ErrorAccumulator::new(); width * width];
-    for grid in grids {
-        for (total, part) in cells.iter_mut().zip(grid) {
-            total.merge(part);
+impl<'a> BreakdownWorkload<'a> {
+    /// The breakdown of `design` over `samples` uniform nonzero operand
+    /// pairs drawn from `seed`.
+    pub fn new(design: &'a dyn Multiplier, samples: u64, seed: u64) -> Self {
+        BreakdownWorkload {
+            design,
+            samples,
+            seed,
         }
     }
-    cells
-        .into_iter()
-        .enumerate()
-        .filter(|(_, acc)| acc.count() > 0)
-        .map(|(idx, acc)| IntervalCell {
-            ka: (idx / width) as u32,
-            kb: (idx % width) as u32,
-            summary: acc.finish(),
-        })
-        .collect()
+}
+
+impl Workload for BreakdownWorkload<'_> {
+    type Part = Vec<ErrorAccumulator>;
+    type Output = Vec<IntervalCell>;
+
+    fn family(&self) -> &'static str {
+        "breakdown"
+    }
+
+    fn subject(&self) -> String {
+        self.design.label()
+    }
+
+    fn plan(&self) -> ChunkPlan {
+        ChunkPlan::new(self.samples, DEFAULT_CHUNK)
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn run_chunk(&self, chunk: Chunk) -> Vec<ErrorAccumulator> {
+        let design = self.design;
+        let width = design.width() as usize;
+        let max = design.max_operand();
+        let mut rng = SplitMix64::stream(self.seed, chunk.index);
+        let mut pairs = Vec::with_capacity(chunk.len as usize);
+        for _ in 0..chunk.len {
+            let a = rng.range_inclusive(1, max);
+            let b = rng.range_inclusive(1, max);
+            pairs.push((a, b));
+        }
+        let mut products = vec![0u64; pairs.len()];
+        design.multiply_batch(&pairs, &mut products);
+        let mut cells = vec![ErrorAccumulator::new(); width * width];
+        for (&(a, b), &p) in pairs.iter().zip(&products) {
+            let exact = a as u128 * b as u128; // nonzero: operands are ≥ 1
+            let e = (p as f64 - exact as f64) / exact as f64;
+            let ka = a.ilog2() as usize;
+            let kb = b.ilog2() as usize;
+            cells[ka * width + kb].push(e);
+        }
+        cells
+    }
+
+    fn finalize(&self, parts: Vec<(u64, Vec<ErrorAccumulator>)>) -> Option<Vec<IntervalCell>> {
+        // Merge per-chunk grids cell-wise (parts arrive in chunk order)
+        // and drop cells no sample landed in.
+        let width = self.design.width() as usize;
+        let mut cells = vec![ErrorAccumulator::new(); width * width];
+        for (_, grid) in &parts {
+            for (total, part) in cells.iter_mut().zip(grid) {
+                total.merge(part);
+            }
+        }
+        let cells: Vec<IntervalCell> = cells
+            .into_iter()
+            .enumerate()
+            .filter(|(_, acc)| acc.count() > 0)
+            .map(|(idx, acc)| IntervalCell {
+                ka: (idx / width) as u32,
+                kb: (idx % width) as u32,
+                summary: acc.finish(),
+            })
+            .collect();
+        (!cells.is_empty()).then_some(cells)
+    }
 }
 
 /// [`characterize_by_interval`] under a [`Supervisor`]: the breakdown's
@@ -105,14 +147,7 @@ pub fn characterize_by_interval_supervised(
     seed: u64,
     supervisor: &Supervisor,
 ) -> Result<Supervised<Vec<IntervalCell>>, HarnessError> {
-    let width = design.width() as usize;
-    let plan = ChunkPlan::new(samples, DEFAULT_CHUNK);
-    let id = CampaignId::new("breakdown", design.label(), plan, seed);
-    let outcome = supervisor.run(&id, plan, |chunk| run_chunk(design, seed, chunk))?;
-    Ok(outcome.fold(|parts| {
-        let cells = fold_grids(width, parts.iter().map(|(_, grid)| grid));
-        (!cells.is_empty()).then_some(cells)
-    }))
+    Engine::supervised(&BreakdownWorkload::new(design, samples, seed), supervisor)
 }
 
 /// Characterizes a design per power-of-two-interval pair with `samples`

@@ -11,9 +11,10 @@ use std::ops::RangeInclusive;
 
 use realm_core::multiplier::MultiplierExt;
 use realm_core::Multiplier;
-use realm_harness::{CampaignId, HarnessError, Supervised, Supervisor};
-use realm_par::{map_chunks, ChunkPlan, Threads};
+use realm_harness::{ByteReader, Checkpoint, HarnessError, Supervised, Supervisor};
+use realm_par::{Chunk, ChunkPlan, Threads};
 
+use crate::engine::{Engine, Workload};
 use crate::summary::{ErrorAccumulator, ErrorSummary};
 
 /// Rows per chunk for the parallel sweeps. Fixed (never derived from the
@@ -47,6 +48,128 @@ fn for_each_row_error(
     }
 }
 
+/// The row axes of an exhaustive sweep workload, shared by the
+/// summary-folding [`RangeWorkload`] and the surface-collecting
+/// [`ProfileWorkload`]: the materialized `a` values (one sweep row per
+/// value, [`ROWS_PER_CHUNK`] rows per chunk) and the `b` axis every row
+/// multiplies against.
+#[derive(Debug, Clone)]
+struct SweepAxes<'a> {
+    design: &'a dyn Multiplier,
+    a_vals: Vec<u64>,
+    bs: Vec<u64>,
+    a_bounds: (u64, u64),
+    b_bounds: (u64, u64),
+}
+
+impl<'a> SweepAxes<'a> {
+    fn new(
+        design: &'a dyn Multiplier,
+        a_range: RangeInclusive<u64>,
+        b_range: RangeInclusive<u64>,
+    ) -> Self {
+        SweepAxes {
+            design,
+            a_bounds: (*a_range.start(), *a_range.end()),
+            b_bounds: (*b_range.start(), *b_range.end()),
+            a_vals: a_range.collect(),
+            bs: b_range.collect(),
+        }
+    }
+
+    fn plan(&self) -> ChunkPlan {
+        ChunkPlan::new(self.a_vals.len() as u64, ROWS_PER_CHUNK)
+    }
+
+    /// The campaign subject: design label plus both range bounds (the
+    /// sweep draws no randomness, so the bounds are the whole identity).
+    fn subject(&self) -> String {
+        format!(
+            "{} a={}..={} b={}..={}",
+            self.design.label(),
+            self.a_bounds.0,
+            self.a_bounds.1,
+            self.b_bounds.0,
+            self.b_bounds.1
+        )
+    }
+
+    /// Runs the chunk's rows through the design's batch kernel, feeding
+    /// every (a, b, error) sample — zero products skipped — to `on_error`
+    /// in row-major order.
+    fn for_each_chunk_error(&self, chunk: Chunk, mut on_error: impl FnMut(u64, u64, f64)) {
+        let mut pairs = Vec::new();
+        let mut products = Vec::new();
+        for &a in &self.a_vals[chunk.start as usize..chunk.end() as usize] {
+            for_each_row_error(
+                self.design,
+                a,
+                &self.bs,
+                &mut pairs,
+                &mut products,
+                &mut on_error,
+            );
+        }
+    }
+}
+
+/// The [`Workload`] of an exhaustive error-summary sweep: each chunk of
+/// rows folds into an [`ErrorAccumulator`]; the finalized output is the
+/// sweep's [`ErrorSummary`].
+#[derive(Debug, Clone)]
+pub struct RangeWorkload<'a> {
+    axes: SweepAxes<'a>,
+}
+
+impl<'a> RangeWorkload<'a> {
+    /// The sweep of `design` over the cartesian product of two operand
+    /// ranges.
+    pub fn new(
+        design: &'a dyn Multiplier,
+        a_range: RangeInclusive<u64>,
+        b_range: RangeInclusive<u64>,
+    ) -> Self {
+        RangeWorkload {
+            axes: SweepAxes::new(design, a_range, b_range),
+        }
+    }
+}
+
+impl Workload for RangeWorkload<'_> {
+    type Part = ErrorAccumulator;
+    type Output = ErrorSummary;
+
+    fn family(&self) -> &'static str {
+        "exhaustive"
+    }
+
+    fn subject(&self) -> String {
+        self.axes.subject()
+    }
+
+    fn plan(&self) -> ChunkPlan {
+        self.axes.plan()
+    }
+
+    fn seed(&self) -> u64 {
+        0
+    }
+
+    fn run_chunk(&self, chunk: Chunk) -> ErrorAccumulator {
+        let mut acc = ErrorAccumulator::new();
+        self.axes.for_each_chunk_error(chunk, |_, _, e| acc.push(e));
+        acc
+    }
+
+    fn finalize(&self, parts: Vec<(u64, ErrorAccumulator)>) -> Option<ErrorSummary> {
+        let mut total = ErrorAccumulator::new();
+        for (_, part) in &parts {
+            total.merge(part);
+        }
+        (total.count() > 0).then(|| total.finish())
+    }
+}
+
 /// Exhaustively characterizes `design` over the cartesian product of two
 /// operand ranges, with an explicit worker-thread policy. The summary is
 /// bit-identical for every policy.
@@ -60,25 +183,9 @@ pub fn characterize_range_threaded(
     b_range: RangeInclusive<u64>,
     threads: Threads,
 ) -> ErrorSummary {
-    let a_vals: Vec<u64> = a_range.collect();
-    let bs: Vec<u64> = b_range.collect();
-    let plan = ChunkPlan::new(a_vals.len() as u64, ROWS_PER_CHUNK);
-    let parts = map_chunks(plan, threads, |chunk| {
-        let mut acc = ErrorAccumulator::new();
-        let mut pairs = Vec::new();
-        let mut products = Vec::new();
-        for &a in &a_vals[chunk.start as usize..chunk.end() as usize] {
-            for_each_row_error(design, a, &bs, &mut pairs, &mut products, |_, _, e| {
-                acc.push(e)
-            });
-        }
-        acc
-    });
-    let mut total = ErrorAccumulator::new();
-    for part in &parts {
-        total.merge(part);
-    }
-    total.finish()
+    Engine::new(threads)
+        .run(&RangeWorkload::new(design, a_range, b_range))
+        .unwrap_or_else(|| panic!("cannot summarize an empty accumulator"))
 }
 
 /// Exhaustively characterizes `design` over the cartesian product of two
@@ -115,36 +222,7 @@ pub fn characterize_range_supervised(
     b_range: RangeInclusive<u64>,
     supervisor: &Supervisor,
 ) -> Result<Supervised<ErrorSummary>, HarnessError> {
-    let a_vals: Vec<u64> = a_range.clone().collect();
-    let bs: Vec<u64> = b_range.clone().collect();
-    let plan = ChunkPlan::new(a_vals.len() as u64, ROWS_PER_CHUNK);
-    let subject = format!(
-        "{} a={}..={} b={}..={}",
-        design.label(),
-        a_range.start(),
-        a_range.end(),
-        b_range.start(),
-        b_range.end()
-    );
-    let id = CampaignId::new("exhaustive", &subject, plan, 0);
-    let outcome = supervisor.run(&id, plan, |chunk| {
-        let mut acc = ErrorAccumulator::new();
-        let mut pairs = Vec::new();
-        let mut products = Vec::new();
-        for &a in &a_vals[chunk.start as usize..chunk.end() as usize] {
-            for_each_row_error(design, a, &bs, &mut pairs, &mut products, |_, _, e| {
-                acc.push(e)
-            });
-        }
-        acc
-    })?;
-    Ok(outcome.fold(|parts| {
-        let mut total = ErrorAccumulator::new();
-        for (_, part) in &parts {
-            total.merge(part);
-        }
-        (total.count() > 0).then(|| total.finish())
-    }))
+    Engine::supervised(&RangeWorkload::new(design, a_range, b_range), supervisor)
 }
 
 /// One sample of an error-profile surface.
@@ -158,6 +236,79 @@ pub struct ProfilePoint {
     pub error: f64,
 }
 
+impl Checkpoint for ProfilePoint {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.a.encode(out);
+        self.b.encode(out);
+        self.error.encode(out);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Option<Self> {
+        Some(ProfilePoint {
+            a: u64::decode(r)?,
+            b: u64::decode(r)?,
+            error: f64::decode(r)?,
+        })
+    }
+}
+
+/// The [`Workload`] of an exhaustive error-profile sweep: each chunk of
+/// rows collects its [`ProfilePoint`]s; concatenating the per-chunk
+/// vectors in chunk order restores row-major order.
+#[derive(Debug, Clone)]
+pub struct ProfileWorkload<'a> {
+    axes: SweepAxes<'a>,
+}
+
+impl<'a> ProfileWorkload<'a> {
+    /// The profile of `design` over the cartesian product of two operand
+    /// ranges.
+    pub fn new(
+        design: &'a dyn Multiplier,
+        a_range: RangeInclusive<u64>,
+        b_range: RangeInclusive<u64>,
+    ) -> Self {
+        ProfileWorkload {
+            axes: SweepAxes::new(design, a_range, b_range),
+        }
+    }
+}
+
+impl Workload for ProfileWorkload<'_> {
+    type Part = Vec<ProfilePoint>;
+    type Output = Vec<ProfilePoint>;
+
+    fn family(&self) -> &'static str {
+        "profile"
+    }
+
+    fn subject(&self) -> String {
+        self.axes.subject()
+    }
+
+    fn plan(&self) -> ChunkPlan {
+        self.axes.plan()
+    }
+
+    fn seed(&self) -> u64 {
+        0
+    }
+
+    fn run_chunk(&self, chunk: Chunk) -> Vec<ProfilePoint> {
+        let mut points = Vec::new();
+        self.axes.for_each_chunk_error(chunk, |a, b, error| {
+            points.push(ProfilePoint { a, b, error })
+        });
+        points
+    }
+
+    fn finalize(&self, parts: Vec<(u64, Vec<ProfilePoint>)>) -> Option<Vec<ProfilePoint>> {
+        // Parts arrive in chunk order, so concatenation restores
+        // row-major order (a partial run yields the covered rows only).
+        (!parts.is_empty()).then(|| parts.into_iter().flat_map(|(_, points)| points).collect())
+    }
+}
+
 /// [`error_profile`] with an explicit worker-thread policy. The point list
 /// (content and order) is identical for every policy.
 pub fn error_profile_threaded(
@@ -166,22 +317,23 @@ pub fn error_profile_threaded(
     b_range: RangeInclusive<u64>,
     threads: Threads,
 ) -> Vec<ProfilePoint> {
-    let a_vals: Vec<u64> = a_range.collect();
-    let bs: Vec<u64> = b_range.collect();
-    let plan = ChunkPlan::new(a_vals.len() as u64, ROWS_PER_CHUNK);
-    let parts = map_chunks(plan, threads, |chunk| {
-        let mut points = Vec::new();
-        let mut pairs = Vec::new();
-        let mut products = Vec::new();
-        for &a in &a_vals[chunk.start as usize..chunk.end() as usize] {
-            for_each_row_error(design, a, &bs, &mut pairs, &mut products, |a, b, error| {
-                points.push(ProfilePoint { a, b, error })
-            });
-        }
-        points
-    });
-    // Chunks come back in order, so concatenation restores row-major order.
-    parts.into_iter().flatten().collect()
+    Engine::new(threads)
+        .run(&ProfileWorkload::new(design, a_range, b_range))
+        .unwrap_or_default()
+}
+
+/// [`error_profile`] under a [`Supervisor`]: the surface's rows are
+/// journaled chunk-by-chunk like every other workload, so a Fig. 1-scale
+/// profile interrupted mid-sweep resumes bit-identically. On a partial
+/// run the returned points cover the completed chunks only (`None` when
+/// no chunk completed).
+pub fn error_profile_supervised(
+    design: &dyn Multiplier,
+    a_range: RangeInclusive<u64>,
+    b_range: RangeInclusive<u64>,
+    supervisor: &Supervisor,
+) -> Result<Supervised<Vec<ProfilePoint>>, HarnessError> {
+    Engine::supervised(&ProfileWorkload::new(design, a_range, b_range), supervisor)
 }
 
 /// The full relative-error surface over two operand ranges, row-major in

@@ -13,13 +13,14 @@
 //! * NMED and mean-relative-error degradation relative to the fault-free
 //!   design, and the residual NMED behind the guard.
 
+use crate::engine::{campaign_id, Engine, Workload};
 use crate::montecarlo::DEFAULT_CHUNK;
 use crate::nmed::DistanceSummary;
 use realm_core::multiplier::MultiplierExt;
 use realm_core::rng::SplitMix64;
 use realm_fault::{plausible_product, Fault, FaultSite, FaultTarget, Injector, SiteClass};
 use realm_harness::{ByteReader, CampaignId, Checkpoint, HarnessError, Supervised, Supervisor};
-use realm_par::{map_chunks, ChunkPlan, Threads};
+use realm_par::{Chunk, ChunkPlan, Threads};
 use std::fmt;
 
 /// A fault-injection campaign configuration: how many operand pairs to
@@ -40,9 +41,10 @@ pub struct FaultCampaign {
 }
 
 /// Per-chunk partial statistics of a fault campaign, folded in chunk
-/// order by the reduce.
+/// order by the reduce. Opaque — only the engine and the journal touch
+/// its content.
 #[derive(Debug, Clone, Copy, Default)]
-struct FaultPartial {
+pub struct FaultPartial {
     disturbed: u64,
     corrupted: u64,
     detected: u64,
@@ -227,64 +229,14 @@ impl FaultCampaign {
         self
     }
 
-    /// The chunk driver: draws the chunk's operand pairs up front, runs
-    /// the fault-free products through the design's batch kernel, then
-    /// replays each pair through the injector (whose transient draws
-    /// continue the chunk's substream).
-    fn run_chunk(
-        design: &dyn FaultTarget,
-        fault: Fault,
-        seed: u64,
-        chunk: realm_par::Chunk,
-    ) -> FaultPartial {
-        let max = design.max_operand();
-        let width = design.width();
-        let faults = [fault];
-        let mut rng = SplitMix64::stream(seed, chunk.index);
-        let mut pairs = Vec::with_capacity(chunk.len as usize);
-        for _ in 0..chunk.len {
-            let a = rng.range_inclusive(0, max);
-            let b = rng.range_inclusive(0, max);
-            pairs.push((a, b));
+    /// The campaign's [`Workload`] for one design × fault combination —
+    /// the engine-facing description every entry point below drives.
+    pub fn workload<'a>(&self, design: &'a dyn FaultTarget, fault: Fault) -> FaultWorkload<'a> {
+        FaultWorkload {
+            campaign: *self,
+            design,
+            fault,
         }
-        let mut clean_products = vec![0u64; pairs.len()];
-        design.multiply_batch(&pairs, &mut clean_products);
-
-        let mut part = FaultPartial::default();
-        for (&(a, b), &clean) in pairs.iter().zip(&clean_products) {
-            let exact = (a as u128 * b as u128) as f64;
-            let mut injector = Injector::new(&faults, &mut rng);
-            let faulty = design.multiply_faulty(a, b, &mut injector);
-
-            if injector.disturbed() {
-                part.disturbed += 1;
-            }
-            let is_corrupted = faulty != clean;
-            if is_corrupted {
-                part.corrupted += 1;
-            }
-            let implausible = !plausible_product(a, b, faulty);
-            if implausible {
-                part.fallbacks += 1;
-                if is_corrupted {
-                    part.detected += 1;
-                }
-            }
-            let guarded = if implausible {
-                realm_core::mitchell::saturate_product(a as u128 * b as u128, width)
-            } else {
-                faulty
-            };
-
-            part.sum_clean += (clean as f64 - exact).abs();
-            part.sum_faulty += (faulty as f64 - exact).abs();
-            part.sum_guarded += (guarded as f64 - exact).abs();
-            if exact > 0.0 {
-                part.sum_mre += ((faulty as f64 - exact) / exact).abs();
-                part.mre_samples += 1;
-            }
-        }
-        part
     }
 
     /// Normalizes a folded partial into a [`SiteReport`] over `samples`
@@ -315,31 +267,16 @@ impl FaultCampaign {
 
     /// Characterizes a single fault on a design.
     pub fn characterize(&self, design: &dyn FaultTarget, fault: Fault) -> SiteReport {
-        let max = design.max_operand();
-        let norm = max as f64 * max as f64;
-        let seed = self.seed;
-        let plan = ChunkPlan::new(self.samples, self.chunk);
-        let parts = map_chunks(plan, self.threads, |chunk| {
-            FaultCampaign::run_chunk(design, fault, seed, chunk)
-        });
-        let mut total = FaultPartial::default();
-        for part in &parts {
-            total.merge(part);
-        }
-        FaultCampaign::report_from(fault, self.samples, norm, &total)
+        Engine::new(self.threads)
+            .run(&self.workload(design, fault))
+            .unwrap_or_else(|| unreachable!("a fault campaign draws at least one sample"))
     }
 
     /// The fault campaign's identity for checkpoint journaling: binds
     /// the design, the injected fault (via
     /// [`Fault::campaign_tag`]), the plan geometry and the seed.
     pub fn campaign_id(&self, design: &dyn FaultTarget, fault: Fault) -> CampaignId {
-        let subject = format!("{} :: {}", design.label(), fault.campaign_tag());
-        CampaignId::new(
-            "faults",
-            &subject,
-            ChunkPlan::new(self.samples, self.chunk),
-            self.seed,
-        )
+        campaign_id(&self.workload(design, fault))
     }
 
     /// [`characterize`](Self::characterize) under a [`Supervisor`]:
@@ -353,24 +290,7 @@ impl FaultCampaign {
         fault: Fault,
         supervisor: &Supervisor,
     ) -> Result<Supervised<SiteReport>, HarnessError> {
-        let max = design.max_operand();
-        let norm = max as f64 * max as f64;
-        let seed = self.seed;
-        let plan = ChunkPlan::new(self.samples, self.chunk);
-        let outcome = supervisor.run(&self.campaign_id(design, fault), plan, |chunk| {
-            FaultCampaign::run_chunk(design, fault, seed, chunk)
-        })?;
-        Ok(outcome.fold(|parts| {
-            let covered: u64 = parts.iter().map(|&(i, _)| plan.chunk(i).len).sum();
-            if covered == 0 {
-                return None;
-            }
-            let mut total = FaultPartial::default();
-            for (_, part) in &parts {
-                total.merge(part);
-            }
-            Some(FaultCampaign::report_from(fault, covered, norm, &total))
-        }))
+        Engine::supervised(&self.workload(design, fault), supervisor)
     }
 
     /// [`stuck_at_sweep`](Self::stuck_at_sweep) under a [`Supervisor`]:
@@ -456,6 +376,112 @@ impl FaultCampaign {
     /// operand distribution (convenience baseline).
     pub fn baseline(&self, design: &dyn realm_core::Multiplier) -> DistanceSummary {
         crate::nmed::distance_metrics_threaded(design, self.samples, self.seed, self.threads)
+    }
+}
+
+/// The [`Workload`] of one [`FaultCampaign`] applied to one design ×
+/// fault combination: chunk `i` draws its operand pairs and transient
+/// activations from `SplitMix64::stream(seed, i)`, folds a
+/// [`FaultPartial`], and finalization normalizes by the samples the
+/// folded chunks actually cover (equal to the budget on complete runs).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultWorkload<'a> {
+    campaign: FaultCampaign,
+    design: &'a dyn FaultTarget,
+    fault: Fault,
+}
+
+impl Workload for FaultWorkload<'_> {
+    type Part = FaultPartial;
+    type Output = SiteReport;
+
+    fn family(&self) -> &'static str {
+        "faults"
+    }
+
+    fn subject(&self) -> String {
+        format!("{} :: {}", self.design.label(), self.fault.campaign_tag())
+    }
+
+    fn plan(&self) -> ChunkPlan {
+        ChunkPlan::new(self.campaign.samples, self.campaign.chunk)
+    }
+
+    fn seed(&self) -> u64 {
+        self.campaign.seed
+    }
+
+    /// Draws the chunk's operand pairs up front, runs the fault-free
+    /// products through the design's batch kernel, then replays each
+    /// pair through the injector (whose transient draws continue the
+    /// chunk's substream).
+    fn run_chunk(&self, chunk: Chunk) -> FaultPartial {
+        let design = self.design;
+        let max = design.max_operand();
+        let width = design.width();
+        let faults = [self.fault];
+        let mut rng = SplitMix64::stream(self.campaign.seed, chunk.index);
+        let mut pairs = Vec::with_capacity(chunk.len as usize);
+        for _ in 0..chunk.len {
+            let a = rng.range_inclusive(0, max);
+            let b = rng.range_inclusive(0, max);
+            pairs.push((a, b));
+        }
+        let mut clean_products = vec![0u64; pairs.len()];
+        design.multiply_batch(&pairs, &mut clean_products);
+
+        let mut part = FaultPartial::default();
+        for (&(a, b), &clean) in pairs.iter().zip(&clean_products) {
+            let exact = (a as u128 * b as u128) as f64;
+            let mut injector = Injector::new(&faults, &mut rng);
+            let faulty = design.multiply_faulty(a, b, &mut injector);
+
+            if injector.disturbed() {
+                part.disturbed += 1;
+            }
+            let is_corrupted = faulty != clean;
+            if is_corrupted {
+                part.corrupted += 1;
+            }
+            let implausible = !plausible_product(a, b, faulty);
+            if implausible {
+                part.fallbacks += 1;
+                if is_corrupted {
+                    part.detected += 1;
+                }
+            }
+            let guarded = if implausible {
+                realm_core::mitchell::saturate_product(a as u128 * b as u128, width)
+            } else {
+                faulty
+            };
+
+            part.sum_clean += (clean as f64 - exact).abs();
+            part.sum_faulty += (faulty as f64 - exact).abs();
+            part.sum_guarded += (guarded as f64 - exact).abs();
+            if exact > 0.0 {
+                part.sum_mre += ((faulty as f64 - exact) / exact).abs();
+                part.mre_samples += 1;
+            }
+        }
+        part
+    }
+
+    fn finalize(&self, parts: Vec<(u64, FaultPartial)>) -> Option<SiteReport> {
+        let plan = self.plan();
+        let covered: u64 = parts.iter().map(|&(i, _)| plan.chunk(i).len).sum();
+        if covered == 0 {
+            return None;
+        }
+        let max = self.design.max_operand();
+        let norm = max as f64 * max as f64;
+        let mut total = FaultPartial::default();
+        for (_, part) in &parts {
+            total.merge(part);
+        }
+        Some(FaultCampaign::report_from(
+            self.fault, covered, norm, &total,
+        ))
     }
 }
 

@@ -38,6 +38,36 @@ impl Histogram {
         }
     }
 
+    /// Reconstructs a histogram from previously captured
+    /// [`counts`](Self::counts) — the journaling path of chunked
+    /// campaigns, whose per-chunk partials store raw bin counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `counts` is empty.
+    pub fn from_counts(lo: f64, hi: f64, counts: Vec<u64>) -> Self {
+        assert!(lo < hi, "histogram range is empty: [{lo}, {hi}]");
+        assert!(!counts.is_empty(), "histogram needs at least one bin");
+        Histogram { lo, hi, counts }
+    }
+
+    /// Merges another histogram's mass into this one (bin-wise sum).
+    /// Merging is associative and commutative, so chunked campaigns can
+    /// fold per-chunk histograms in any grouping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different ranges or bin counts.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "cannot merge histograms with different geometry"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+    }
+
     /// Records one sample (clamped into range).
     pub fn add(&mut self, value: f64) {
         let bins = self.counts.len();
@@ -186,5 +216,40 @@ mod tests {
     #[should_panic(expected = "range is empty")]
     fn inverted_range_panics() {
         let _ = Histogram::new(0.5, -0.5, 4);
+    }
+
+    #[test]
+    fn merge_equals_adding_everything_to_one() {
+        let samples: Vec<f64> = (0..200).map(|i| (i as f64 - 100.0) / 900.0).collect();
+        let mut whole = Histogram::new(-0.1, 0.1, 16);
+        let mut left = Histogram::new(-0.1, 0.1, 16);
+        let mut right = Histogram::new(-0.1, 0.1, 16);
+        for (i, &s) in samples.iter().enumerate() {
+            whole.add(s);
+            if i < 70 {
+                left.add(s)
+            } else {
+                right.add(s)
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn from_counts_round_trips() {
+        let mut h = Histogram::new(-0.08, 0.08, 8);
+        h.add(0.01);
+        h.add(-0.03);
+        let rebuilt = Histogram::from_counts(-0.08, 0.08, h.counts().to_vec());
+        assert_eq!(rebuilt, h);
+    }
+
+    #[test]
+    #[should_panic(expected = "different geometry")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::new(-0.1, 0.1, 8);
+        let b = Histogram::new(-0.1, 0.1, 16);
+        a.merge(&b);
     }
 }

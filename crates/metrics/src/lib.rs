@@ -17,8 +17,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Campaign code must be total outside tests: partial results degrade to
+// `Option`/reports, never to a lazy panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod breakdown;
+pub mod engine;
 pub mod exhaustive;
 pub mod faults;
 pub mod heatmap;
@@ -31,17 +35,21 @@ pub mod sweep;
 
 pub use breakdown::{
     characterize_by_interval, characterize_by_interval_supervised,
-    characterize_by_interval_threaded, IntervalCell,
+    characterize_by_interval_threaded, BreakdownWorkload, IntervalCell,
 };
+pub use engine::{Engine, Workload};
 pub use exhaustive::{
     characterize_range, characterize_range_supervised, characterize_range_threaded, error_profile,
-    error_profile_threaded,
+    error_profile_supervised, error_profile_threaded, ProfileWorkload, RangeWorkload,
 };
-pub use faults::{summarize_by_class, ClassSummary, FaultCampaign, SiteReport, TransientPoint};
+pub use faults::{
+    summarize_by_class, ClassSummary, FaultCampaign, FaultWorkload, SiteReport, TransientPoint,
+};
 pub use histogram::Histogram;
-pub use montecarlo::MonteCarlo;
+pub use montecarlo::{MonteCarlo, MonteCarloWorkload};
 pub use nmed::{
     distance_metrics, distance_metrics_supervised, distance_metrics_threaded, DistanceSummary,
+    DistanceWorkload,
 };
 pub use pareto::{pareto_front, ParetoPoint};
 pub use realm_harness::{Supervised, Supervisor};

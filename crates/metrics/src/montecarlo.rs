@@ -18,8 +18,9 @@ use realm_core::multiplier::MultiplierExt;
 use realm_core::rng::SplitMix64;
 use realm_core::Multiplier;
 use realm_harness::{CampaignId, HarnessError, Supervised, Supervisor};
-use realm_par::{map_chunks, Chunk, ChunkPlan, Threads};
+use realm_par::{Chunk, ChunkPlan, Threads};
 
+use crate::engine::{campaign_id, Engine, Workload};
 use crate::summary::{ErrorAccumulator, ErrorSummary};
 
 /// Default chunk size: 2^16 samples per chunk, i.e. 256 chunks for the
@@ -105,18 +106,90 @@ impl MonteCarlo {
         ChunkPlan::new(self.samples, self.chunk)
     }
 
-    /// The single chunk driver both entry points run: draws the chunk's
-    /// operand pairs from its own substream, multiplies them through the
+    /// The campaign's [`Workload`] over one design — the engine-facing
+    /// description every entry point below drives.
+    pub fn workload<'a>(&self, design: &'a dyn Multiplier) -> MonteCarloWorkload<'a> {
+        MonteCarloWorkload {
+            campaign: *self,
+            design,
+        }
+    }
+
+    /// Characterizes one design: relative error statistics over uniform
+    /// random pairs (zero products skipped, as in the paper). Runs the
+    /// chunk plan on the campaign's worker pool.
+    pub fn characterize(&self, design: &dyn Multiplier) -> ErrorSummary {
+        Engine::new(self.threads)
+            .run(&self.workload(design))
+            .unwrap_or_else(|| panic!("cannot summarize an empty accumulator"))
+    }
+
+    /// The campaign's identity for checkpoint journaling: binds the
+    /// family, the design (via its label), the plan geometry and the
+    /// seed, so a journal can never be replayed into a different
+    /// campaign.
+    pub fn campaign_id(&self, design: &dyn Multiplier) -> CampaignId {
+        campaign_id(&self.workload(design))
+    }
+
+    /// [`characterize`](Self::characterize) under a
+    /// [`Supervisor`]: checkpoint/resume, panic quarantine, deadlines
+    /// and cancellation.
+    ///
+    /// When the report says the run is complete, the summary is
+    /// bit-identical to [`characterize`](Self::characterize) —
+    /// regardless of thread count, how many times the campaign was
+    /// interrupted and resumed, or how many transient panics were
+    /// retried. On a partial run the summary covers exactly the chunks
+    /// the report accounts for (`None` if no chunk completed). The
+    /// supervisor's thread policy is used (the campaign's own is for
+    /// the unsupervised path).
+    pub fn characterize_supervised(
+        &self,
+        design: &dyn Multiplier,
+        supervisor: &Supervisor,
+    ) -> Result<Supervised<ErrorSummary>, HarnessError> {
+        Engine::supervised(&self.workload(design), supervisor)
+    }
+
+    /// Characterizes one design and simultaneously feeds every error into
+    /// `sink` (used to build Fig. 5 histograms without a second pass).
+    ///
+    /// The sink forces serial execution, but the decomposition and fold
+    /// order are identical to [`characterize`](Self::characterize), so the
+    /// returned summary is bit-identical to the parallel one and the sink
+    /// sees errors in deterministic chunk order.
+    pub fn characterize_with<F: FnMut(f64)>(
+        &self,
+        design: &dyn Multiplier,
+        mut sink: F,
+    ) -> ErrorSummary {
+        let workload = self.workload(design);
+        Engine::serial_with(&workload, |chunk| workload.run_chunk_with(chunk, &mut sink))
+            .unwrap_or_else(|| panic!("cannot summarize an empty accumulator"))
+    }
+}
+
+/// The [`Workload`] of one [`MonteCarlo`] campaign applied to one design:
+/// `samples` uniform operand pairs, chunk `i` drawn from
+/// `SplitMix64::stream(seed, i)`, folded into an [`ErrorAccumulator`]
+/// per chunk.
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarloWorkload<'a> {
+    campaign: MonteCarlo,
+    design: &'a dyn Multiplier,
+}
+
+impl MonteCarloWorkload<'_> {
+    /// The chunk driver with a sample sink: draws the chunk's operand
+    /// pairs from its own substream, multiplies them through the
     /// design's batch kernel, and accumulates relative errors (zero
     /// products skipped, as in the paper). `on_error` observes every
-    /// recorded error in draw order.
-    fn run_chunk(
-        design: &dyn Multiplier,
-        seed: u64,
-        chunk: Chunk,
-        mut on_error: impl FnMut(f64),
-    ) -> ErrorAccumulator {
-        let mut rng = SplitMix64::stream(seed, chunk.index);
+    /// recorded error in draw order. [`Workload::run_chunk`] is exactly
+    /// this with a no-op sink.
+    pub fn run_chunk_with(&self, chunk: Chunk, mut on_error: impl FnMut(f64)) -> ErrorAccumulator {
+        let design = self.design;
+        let mut rng = SplitMix64::stream(self.campaign.seed, chunk.index);
         let max = design.max_operand();
         let mut pairs = Vec::with_capacity(chunk.len as usize);
         for _ in 0..chunk.len {
@@ -138,78 +211,38 @@ impl MonteCarlo {
         }
         acc
     }
+}
 
-    /// Characterizes one design: relative error statistics over uniform
-    /// random pairs (zero products skipped, as in the paper). Runs the
-    /// chunk plan on the campaign's worker pool.
-    pub fn characterize(&self, design: &dyn Multiplier) -> ErrorSummary {
-        let seed = self.seed;
-        let parts = map_chunks(self.plan(), self.threads, |chunk| {
-            MonteCarlo::run_chunk(design, seed, chunk, |_| {})
-        });
+impl Workload for MonteCarloWorkload<'_> {
+    type Part = ErrorAccumulator;
+    type Output = ErrorSummary;
+
+    fn family(&self) -> &'static str {
+        "montecarlo"
+    }
+
+    fn subject(&self) -> String {
+        self.design.label()
+    }
+
+    fn plan(&self) -> ChunkPlan {
+        self.campaign.plan()
+    }
+
+    fn seed(&self) -> u64 {
+        self.campaign.seed
+    }
+
+    fn run_chunk(&self, chunk: Chunk) -> ErrorAccumulator {
+        self.run_chunk_with(chunk, |_| {})
+    }
+
+    fn finalize(&self, parts: Vec<(u64, ErrorAccumulator)>) -> Option<ErrorSummary> {
         let mut total = ErrorAccumulator::new();
-        for part in &parts {
+        for (_, part) in &parts {
             total.merge(part);
         }
-        total.finish()
-    }
-
-    /// The campaign's identity for checkpoint journaling: binds the
-    /// family, the design (via its label), the plan geometry and the
-    /// seed, so a journal can never be replayed into a different
-    /// campaign.
-    pub fn campaign_id(&self, design: &dyn Multiplier) -> CampaignId {
-        CampaignId::new("montecarlo", design.label(), self.plan(), self.seed)
-    }
-
-    /// [`characterize`](Self::characterize) under a
-    /// [`Supervisor`]: checkpoint/resume, panic quarantine, deadlines
-    /// and cancellation.
-    ///
-    /// When the report says the run is complete, the summary is
-    /// bit-identical to [`characterize`](Self::characterize) —
-    /// regardless of thread count, how many times the campaign was
-    /// interrupted and resumed, or how many transient panics were
-    /// retried. On a partial run the summary covers exactly the chunks
-    /// the report accounts for (`None` if no chunk completed). The
-    /// supervisor's thread policy is used (the campaign's own is for
-    /// the unsupervised path).
-    pub fn characterize_supervised(
-        &self,
-        design: &dyn Multiplier,
-        supervisor: &Supervisor,
-    ) -> Result<Supervised<ErrorSummary>, HarnessError> {
-        let seed = self.seed;
-        let outcome = supervisor.run(&self.campaign_id(design), self.plan(), |chunk| {
-            MonteCarlo::run_chunk(design, seed, chunk, |_| {})
-        })?;
-        Ok(outcome.fold(|parts| {
-            let mut total = ErrorAccumulator::new();
-            for (_, part) in &parts {
-                total.merge(part);
-            }
-            (total.count() > 0).then(|| total.finish())
-        }))
-    }
-
-    /// Characterizes one design and simultaneously feeds every error into
-    /// `sink` (used to build Fig. 5 histograms without a second pass).
-    ///
-    /// The sink forces serial execution, but the decomposition and fold
-    /// order are identical to [`characterize`](Self::characterize), so the
-    /// returned summary is bit-identical to the parallel one and the sink
-    /// sees errors in deterministic chunk order.
-    pub fn characterize_with<F: FnMut(f64)>(
-        &self,
-        design: &dyn Multiplier,
-        mut sink: F,
-    ) -> ErrorSummary {
-        let mut total = ErrorAccumulator::new();
-        for chunk in self.plan().chunks() {
-            let part = MonteCarlo::run_chunk(design, self.seed, chunk, &mut sink);
-            total.merge(&part);
-        }
-        total.finish()
+        (total.count() > 0).then(|| total.finish())
     }
 }
 

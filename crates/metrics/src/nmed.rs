@@ -6,9 +6,10 @@
 use realm_core::multiplier::MultiplierExt;
 use realm_core::rng::SplitMix64;
 use realm_core::Multiplier;
-use realm_harness::{ByteReader, CampaignId, Checkpoint, HarnessError, Supervised, Supervisor};
-use realm_par::{map_chunks, Chunk, ChunkPlan, Threads};
+use realm_harness::{ByteReader, Checkpoint, HarnessError, Supervised, Supervisor};
+use realm_par::{Chunk, ChunkPlan, Threads};
 
+use crate::engine::{Engine, Workload};
 use crate::montecarlo::DEFAULT_CHUNK;
 
 /// Absolute-error statistics for one design.
@@ -24,9 +25,10 @@ pub struct DistanceSummary {
 }
 
 /// Per-chunk partial of a distance campaign: plain sums, merged in chunk
-/// order by the reduce.
+/// order by the reduce. Opaque — only the engine and the journal touch
+/// its content.
 #[derive(Debug, Clone, Copy)]
-struct DistancePartial {
+pub struct DistancePartial {
     sum: f64,
     worst: f64,
 }
@@ -45,29 +47,94 @@ impl Checkpoint for DistancePartial {
     }
 }
 
-/// The chunk driver shared by the threaded and supervised paths.
-fn run_chunk(design: &dyn Multiplier, seed: u64, chunk: Chunk) -> DistancePartial {
-    let max = design.max_operand();
-    let mut rng = SplitMix64::stream(seed, chunk.index);
-    let mut pairs = Vec::with_capacity(chunk.len as usize);
-    for _ in 0..chunk.len {
-        let a = rng.range_inclusive(0, max);
-        let b = rng.range_inclusive(0, max);
-        pairs.push((a, b));
+/// The [`Workload`] of a distance-metrics campaign: chunk `i` draws
+/// uniform operand pairs from `SplitMix64::stream(seed, i)` and sums
+/// absolute error distances; finalization normalizes by the samples the
+/// folded chunks actually cover (equal to the budget on complete runs).
+#[derive(Debug, Clone, Copy)]
+pub struct DistanceWorkload<'a> {
+    design: &'a dyn Multiplier,
+    samples: u64,
+    seed: u64,
+}
+
+impl<'a> DistanceWorkload<'a> {
+    /// The NMED/WCED campaign of `design` over `samples` uniform operand
+    /// pairs drawn from `seed`.
+    pub fn new(design: &'a dyn Multiplier, samples: u64, seed: u64) -> Self {
+        DistanceWorkload {
+            design,
+            samples,
+            seed,
+        }
     }
-    let mut products = vec![0u64; pairs.len()];
-    design.multiply_batch(&pairs, &mut products);
-    let mut part = DistancePartial {
-        sum: 0.0,
-        worst: 0.0,
-    };
-    for (&(a, b), &p) in pairs.iter().zip(&products) {
-        let exact = (a as u128 * b as u128) as f64;
-        let d = (p as f64 - exact).abs();
-        part.sum += d;
-        part.worst = part.worst.max(d);
+}
+
+impl Workload for DistanceWorkload<'_> {
+    type Part = DistancePartial;
+    type Output = DistanceSummary;
+
+    fn family(&self) -> &'static str {
+        "nmed"
     }
-    part
+
+    fn subject(&self) -> String {
+        self.design.label()
+    }
+
+    fn plan(&self) -> ChunkPlan {
+        ChunkPlan::new(self.samples, DEFAULT_CHUNK)
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn run_chunk(&self, chunk: Chunk) -> DistancePartial {
+        let design = self.design;
+        let max = design.max_operand();
+        let mut rng = SplitMix64::stream(self.seed, chunk.index);
+        let mut pairs = Vec::with_capacity(chunk.len as usize);
+        for _ in 0..chunk.len {
+            let a = rng.range_inclusive(0, max);
+            let b = rng.range_inclusive(0, max);
+            pairs.push((a, b));
+        }
+        let mut products = vec![0u64; pairs.len()];
+        design.multiply_batch(&pairs, &mut products);
+        let mut part = DistancePartial {
+            sum: 0.0,
+            worst: 0.0,
+        };
+        for (&(a, b), &p) in pairs.iter().zip(&products) {
+            let exact = (a as u128 * b as u128) as f64;
+            let d = (p as f64 - exact).abs();
+            part.sum += d;
+            part.worst = part.worst.max(d);
+        }
+        part
+    }
+
+    fn finalize(&self, parts: Vec<(u64, DistancePartial)>) -> Option<DistanceSummary> {
+        let plan = self.plan();
+        let covered: u64 = parts.iter().map(|&(i, _)| plan.chunk(i).len).sum();
+        if covered == 0 {
+            return None;
+        }
+        let max = self.design.max_operand();
+        let norm = (max as f64) * (max as f64);
+        let mut sum = 0.0f64;
+        let mut worst = 0.0f64;
+        for (_, part) in &parts {
+            sum += part.sum;
+            worst = worst.max(part.worst);
+        }
+        Some(DistanceSummary {
+            nmed: sum / covered as f64 / norm,
+            worst_case: worst / norm,
+            samples: covered,
+        })
+    }
 }
 
 /// [`distance_metrics`] with an explicit worker-thread policy. The summary
@@ -81,21 +148,9 @@ pub fn distance_metrics_threaded(
     threads: Threads,
 ) -> DistanceSummary {
     assert!(samples > 0, "need at least one sample");
-    let max = design.max_operand();
-    let norm = (max as f64) * (max as f64);
-    let plan = ChunkPlan::new(samples, DEFAULT_CHUNK);
-    let parts = map_chunks(plan, threads, |chunk| run_chunk(design, seed, chunk));
-    let mut sum = 0.0f64;
-    let mut worst = 0.0f64;
-    for part in &parts {
-        sum += part.sum;
-        worst = worst.max(part.worst);
-    }
-    DistanceSummary {
-        nmed: sum / samples as f64 / norm,
-        worst_case: worst / norm,
-        samples,
-    }
+    Engine::new(threads)
+        .run(&DistanceWorkload::new(design, samples, seed))
+        .unwrap_or_else(|| unreachable!("a nonempty campaign covers at least one sample"))
 }
 
 /// [`distance_metrics`] under a [`Supervisor`]. A complete run is
@@ -108,28 +163,7 @@ pub fn distance_metrics_supervised(
     supervisor: &Supervisor,
 ) -> Result<Supervised<DistanceSummary>, HarnessError> {
     assert!(samples > 0, "need at least one sample");
-    let max = design.max_operand();
-    let norm = (max as f64) * (max as f64);
-    let plan = ChunkPlan::new(samples, DEFAULT_CHUNK);
-    let id = CampaignId::new("nmed", design.label(), plan, seed);
-    let outcome = supervisor.run(&id, plan, |chunk| run_chunk(design, seed, chunk))?;
-    Ok(outcome.fold(|parts| {
-        let covered: u64 = parts.iter().map(|&(i, _)| plan.chunk(i).len).sum();
-        if covered == 0 {
-            return None;
-        }
-        let mut sum = 0.0f64;
-        let mut worst = 0.0f64;
-        for (_, part) in &parts {
-            sum += part.sum;
-            worst = worst.max(part.worst);
-        }
-        Some(DistanceSummary {
-            nmed: sum / covered as f64 / norm,
-            worst_case: worst / norm,
-            samples: covered,
-        })
-    }))
+    Engine::supervised(&DistanceWorkload::new(design, samples, seed), supervisor)
 }
 
 /// Measures NMED/WCED with `samples` uniform operand pairs on every

@@ -48,14 +48,8 @@ pub fn pareto_front(points: &[ParetoPoint]) -> Vec<usize> {
     order.sort_by(|&i, &j| {
         points[j]
             .gain
-            .partial_cmp(&points[i].gain)
-            .expect("finite gains")
-            .then(
-                points[i]
-                    .cost
-                    .partial_cmp(&points[j].cost)
-                    .expect("finite costs"),
-            )
+            .total_cmp(&points[i].gain)
+            .then(points[i].cost.total_cmp(&points[j].cost))
     });
     let mut front = Vec::new();
     let mut best_cost = f64::INFINITY;
@@ -74,12 +68,7 @@ pub fn pareto_front(points: &[ParetoPoint]) -> Vec<usize> {
             }
         }
     }
-    front.sort_by(|&i, &j| {
-        points[i]
-            .gain
-            .partial_cmp(&points[j].gain)
-            .expect("finite gains")
-    });
+    front.sort_by(|&i, &j| points[i].gain.total_cmp(&points[j].gain));
     front
 }
 
