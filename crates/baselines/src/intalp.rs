@@ -103,13 +103,8 @@ fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> [f64; 3] {
     for col in 0..3 {
         // Partial pivoting.
         let pivot = (col..3)
-            .max_by(|&i, &j| {
-                a[i][col]
-                    .abs()
-                    .partial_cmp(&a[j][col].abs())
-                    .expect("finite")
-            })
-            .expect("nonempty");
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .unwrap_or(col);
         a.swap(col, pivot);
         b.swap(col, pivot);
         let d = a[col][col];

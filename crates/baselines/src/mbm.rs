@@ -76,6 +76,9 @@ impl Multiplier for Mbm {
         self.width
     }
 
+    // `truncation` was range-checked in `Mbm::new`, so the truncate
+    // calls below cannot fail.
+    #[allow(clippy::expect_used)]
     fn multiply(&self, a: u64, b: u64) -> u64 {
         let (Some(ea), Some(eb)) = (
             LogEncoding::encode(a, self.width),

@@ -1,11 +1,13 @@
-//! Supervised Monte-Carlo error campaign on the paper's 16-bit design
-//! point (REALM16, t = 0) — the workspace's reference workload for the
-//! resilience layer: chunk-granular checkpointing, `--resume`, panic
-//! quarantine, `--deadline`, and Ctrl-C all apply.
+//! Supervised Monte-Carlo error campaign on one design — by default the
+//! paper's 16-bit design point (REALM16, t = 0), or any design in the
+//! `realm_metrics::spec` grammar via `--design`. The workspace's
+//! reference workload for the resilience layer: chunk-granular
+//! checkpointing, `--resume`, panic quarantine, `--deadline`, and
+//! Ctrl-C/SIGTERM all apply.
 //!
 //! ```text
 //! cargo run --release -p realm-bench --bin campaign -- \
-//!     --samples 2^22 --checkpoint-dir ckpt --resume --out results
+//!     --samples 2^22 --design realm:m=16,t=0 --checkpoint-dir ckpt --resume --out results
 //! ```
 //!
 //! A complete campaign writes a **byte-stable** `campaign_summary.json`
@@ -20,8 +22,7 @@
 
 use realm_bench::{Driver, Options, OrDie};
 use realm_core::multiplier::MultiplierExt;
-use realm_core::{Realm, RealmConfig};
-use realm_metrics::{ErrorSummary, MonteCarlo};
+use realm_metrics::{parse_design, ErrorSummary, MonteCarlo};
 
 /// A float as a JSON object carrying both the shortest decimal that
 /// round-trips and the exact bit pattern — byte-stable because the
@@ -60,7 +61,8 @@ fn main() {
     if opts.smoke && opts.samples == Options::default().samples {
         opts.samples = 1 << 16;
     }
-    let design = Realm::new(RealmConfig::n16(16, 0)).or_die("paper design point");
+    let design_text = opts.design.clone().unwrap_or_else(|| "realm".to_string());
+    let design = parse_design(&design_text).or_die("design under test");
     let label = design.label();
     println!(
         "supervised Monte-Carlo campaign — {label}, {} samples, seed {}",
@@ -70,7 +72,7 @@ fn main() {
     let campaign = MonteCarlo::new(opts.samples, opts.seed);
     let driver = Driver::new(opts);
     let sup = driver.run("campaign", || {
-        campaign.characterize_supervised(&design, driver.supervisor())
+        campaign.characterize_supervised(design.as_ref(), driver.supervisor())
     });
     println!("{}", sup.report.render());
 

@@ -67,6 +67,10 @@ pub struct Options {
     /// Keep a live progress line on stderr while campaigns run
     /// (`--progress`).
     pub progress: bool,
+    /// Design under test, in the `realm_metrics::spec` grammar
+    /// (`--design realm:m=16,t=0`). `None` lets each driver use its
+    /// built-in default subject.
+    pub design: Option<String>,
 }
 
 impl Default for Options {
@@ -85,6 +89,7 @@ impl Default for Options {
             inject_panic: Vec::new(),
             trace: None,
             progress: false,
+            design: None,
         }
     }
 }
@@ -107,9 +112,12 @@ pub fn usage() -> &'static str {
      \x20 --trace FILE       stream campaign events to FILE as JSONL (schema realm-obs/v1,\n\
      \x20                    published via the crash-safe atomic write path)\n\
      \x20 --progress         live progress line on stderr (chunks done, samples/sec)\n\
+     \x20 --design D         design under test (accurate | realm:m=16,t=0 | calm | drum:k=6 |\n\
+     \x20                    kulkarni | implm | mbm:t=4 | ssm:s=8; width key w, default 16)\n\
      \x20 --help             print this help\n\
      \n\
-     Ctrl-C checkpoints and exits cleanly; a second Ctrl-C aborts immediately.\n\
+     Ctrl-C or SIGTERM (container stop, CI timeout) checkpoints and exits cleanly;\n\
+     a second signal aborts immediately.\n\
      Interrupted campaigns rerun with --resume produce bit-identical results."
 }
 
@@ -173,6 +181,7 @@ impl Options {
                 }
                 "--trace" => opts.trace = Some(PathBuf::from(value("--trace")?)),
                 "--progress" => opts.progress = true,
+                "--design" => opts.design = Some(value("--design")?),
                 // Cargo's bench runner forwards this marker to
                 // `harness = false` benches; it carries no information.
                 "--bench" => {}
@@ -494,6 +503,15 @@ mod tests {
         assert!(!ok(&[]).progress);
         assert!(usage().contains("--trace"), "usage must document --trace");
         assert!(usage().contains("--progress"));
+    }
+
+    #[test]
+    fn parses_design_and_usage_documents_it() {
+        let o = ok(&["--design", "realm:m=8,t=3"]);
+        assert_eq!(o.design.as_deref(), Some("realm:m=8,t=3"));
+        assert!(ok(&[]).design.is_none());
+        assert!(usage().contains("--design"));
+        assert!(usage().contains("SIGTERM"), "usage must document SIGTERM");
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! Cooperative cancellation: a cloneable token checked at chunk
-//! boundaries, with optional Ctrl-C (SIGINT) wiring for the campaign
-//! drivers.
+//! boundaries, with optional termination-signal (SIGINT/SIGTERM)
+//! wiring for the campaign drivers.
 //!
 //! Cancellation is *cooperative*: nothing is interrupted mid-chunk.
 //! The supervisor stops claiming new chunks once the token trips,
 //! finishes the chunks already in flight (journaling them as usual),
 //! flushes a final checkpoint and returns a partial result with an
-//! explicit stop cause — so a Ctrl-C'd campaign resumes exactly where
-//! it left off.
+//! explicit stop cause — so a Ctrl-C'd (or `SIGTERM`ed, e.g. by a
+//! container runtime or CI timeout) campaign resumes exactly where it
+//! left off.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -15,12 +16,13 @@ use std::sync::Arc;
 /// A cloneable cancellation token.
 ///
 /// All clones share one flag: cancelling any clone cancels them all.
-/// Tokens created via [`CancelToken::ctrl_c`] additionally trip when the
-/// process receives SIGINT.
+/// Tokens created via [`CancelToken::term_signals`] (or its historical
+/// alias [`CancelToken::ctrl_c`]) additionally trip when the process
+/// receives SIGINT *or* SIGTERM.
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     local: Arc<AtomicBool>,
-    watch_ctrl_c: bool,
+    watch_signals: bool,
 }
 
 impl CancelToken {
@@ -29,17 +31,26 @@ impl CancelToken {
         CancelToken::default()
     }
 
-    /// A token that also trips on Ctrl-C. Installs the process-wide
-    /// SIGINT handler on first use (idempotent). A second Ctrl-C while
+    /// A token that also trips on the termination signals — Ctrl-C
+    /// (SIGINT) and SIGTERM (the polite kill used by container runtimes,
+    /// `timeout(1)` and CI runners). Installs the process-wide handlers
+    /// on first use (idempotent). A second signal of either kind while
     /// the first is still being honored exits the process immediately
-    /// with status 130, so a wedged campaign can always be killed from
-    /// the keyboard.
-    pub fn ctrl_c() -> Self {
-        sigint::install();
+    /// with the conventional `128 + signum` status, so a wedged campaign
+    /// can always be killed.
+    pub fn term_signals() -> Self {
+        signals::install();
         CancelToken {
             local: Arc::new(AtomicBool::new(false)),
-            watch_ctrl_c: true,
+            watch_signals: true,
         }
+    }
+
+    /// Historical alias for [`term_signals`](Self::term_signals): the
+    /// returned token trips on SIGTERM as well as Ctrl-C, so `kill` and
+    /// container stops checkpoint exactly like a keyboard interrupt.
+    pub fn ctrl_c() -> Self {
+        CancelToken::term_signals()
     }
 
     /// Trips the token (and every clone of it).
@@ -48,70 +59,79 @@ impl CancelToken {
     }
 
     /// Whether the token has tripped (by [`cancel`](Self::cancel) or,
-    /// for Ctrl-C tokens, by SIGINT).
+    /// for signal-watching tokens, by SIGINT/SIGTERM).
     pub fn is_cancelled(&self) -> bool {
-        self.local.load(Ordering::SeqCst) || (self.watch_ctrl_c && sigint::pressed())
+        self.local.load(Ordering::SeqCst) || (self.watch_signals && signals::received())
     }
 }
 
-/// Minimal SIGINT plumbing. The only unsafe code in the workspace: two
-/// direct libc calls (`signal` to install the handler, `_exit` for the
-/// double-Ctrl-C escape hatch), both async-signal-safe.
+/// Minimal SIGINT/SIGTERM plumbing. The only unsafe code in the
+/// workspace: two direct libc calls (`signal` to install the handlers,
+/// `_exit` for the double-signal escape hatch), both async-signal-safe.
 #[allow(unsafe_code)]
-mod sigint {
+mod signals {
     use std::sync::atomic::{AtomicBool, Ordering};
 
-    /// Set (only) by the signal handler.
-    static PRESSED: AtomicBool = AtomicBool::new(false);
+    /// Set (only) by the signal handler — shared by both signals, so a
+    /// SIGTERM followed by an impatient Ctrl-C still hard-exits.
+    static RECEIVED: AtomicBool = AtomicBool::new(false);
     /// Guards one-time handler installation.
     static INSTALLED: AtomicBool = AtomicBool::new(false);
 
     const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
 
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
         fn _exit(status: i32) -> !;
     }
 
-    /// The handler: first Ctrl-C requests cooperative shutdown, second
-    /// exits hard with the conventional 128+SIGINT status. Both paths
-    /// touch only async-signal-safe operations.
-    extern "C" fn on_sigint(_signum: i32) {
-        if PRESSED.swap(true, Ordering::SeqCst) {
+    /// The handler: the first termination signal requests cooperative
+    /// shutdown; a second (either kind) exits hard with the conventional
+    /// `128 + signum` status. Both paths touch only async-signal-safe
+    /// operations.
+    extern "C" fn on_term_signal(signum: i32) {
+        if RECEIVED.swap(true, Ordering::SeqCst) {
             // SAFETY: `_exit` is async-signal-safe and never returns.
-            unsafe { _exit(130) }
+            unsafe { _exit(128 + signum) }
         }
     }
 
-    /// Installs the handler once per process.
+    /// Installs the handlers once per process.
     pub fn install() {
         if INSTALLED.swap(true, Ordering::SeqCst) {
             return;
         }
-        // SAFETY: installing a handler that only performs atomic stores
+        // SAFETY: installing handlers that only perform atomic stores
         // and `_exit` is async-signal-safe; `signal` itself is safe to
         // call from any thread.
         unsafe {
-            signal(SIGINT, on_sigint as *const () as usize);
+            signal(SIGINT, on_term_signal as *const () as usize);
+            signal(SIGTERM, on_term_signal as *const () as usize);
         }
     }
 
-    /// Whether SIGINT has been received.
-    pub fn pressed() -> bool {
-        PRESSED.load(Ordering::SeqCst)
+    /// Whether a termination signal has been received.
+    pub fn received() -> bool {
+        RECEIVED.load(Ordering::SeqCst)
     }
 
-    /// Test hook: raise SIGINT in-process via libc `raise`.
+    /// Test hook: raise a termination signal in-process via libc
+    /// `raise`. Only ever raise ONE signal per test process: the
+    /// double-signal escape hatch `_exit`s on the second.
     #[cfg(test)]
-    pub fn raise_sigint_for_test() {
+    pub fn raise_for_test(signum: i32) {
         extern "C" {
             fn raise(signum: i32) -> i32;
         }
         // SAFETY: raising a signal we have installed a handler for.
         unsafe {
-            raise(SIGINT);
+            raise(signum);
         }
     }
+
+    #[cfg(test)]
+    pub const SIGINT_FOR_TEST: i32 = SIGINT;
 }
 
 #[cfg(test)]
@@ -141,11 +161,14 @@ mod tests {
     }
 
     #[test]
-    fn sigint_trips_ctrl_c_tokens_only() {
+    fn sigint_trips_signal_watching_tokens_only() {
+        // SIGTERM gets the same treatment in tests/sigterm.rs — it has
+        // to live in its own test process because the double-signal
+        // escape hatch hard-exits on the second raise.
         let plain = CancelToken::new();
         let watched = CancelToken::ctrl_c();
         assert!(!watched.is_cancelled());
-        sigint::raise_sigint_for_test();
+        signals::raise_for_test(signals::SIGINT_FOR_TEST);
         assert!(watched.is_cancelled(), "SIGINT must trip the token");
         assert!(!plain.is_cancelled(), "plain tokens ignore SIGINT");
     }

@@ -318,14 +318,14 @@ impl Journal {
 }
 
 /// Parses a `realm-journal v1 <fp>` header, returning the fingerprint.
-fn parse_header(line: &str) -> Option<u64> {
+pub(crate) fn parse_header(line: &str) -> Option<u64> {
     let rest = line.strip_prefix(MAGIC_V1)?.trim();
     u64::from_str_radix(rest, 16).ok()
 }
 
 /// Parses one `c <index> <payload> <checksum>` record, verifying the
 /// checksum. Returns `None` for anything invalid.
-fn parse_record(line: &str) -> Option<(u64, Vec<u8>)> {
+pub(crate) fn parse_record(line: &str) -> Option<(u64, Vec<u8>)> {
     let body = line.strip_prefix("c ")?;
     let (body, checksum_hex) = body.rsplit_once(' ')?;
     let checksum = u64::from_str_radix(checksum_hex, 16).ok()?;

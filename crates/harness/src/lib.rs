@@ -30,6 +30,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod cancel;
+mod discover;
 mod journal;
 mod supervisor;
 mod wire;
@@ -40,8 +41,9 @@ mod wire;
 pub use realm_obs::{atomic_write, atomic_write_str};
 
 pub use cancel::CancelToken;
+pub use discover::{discover, inspect, offer_resumable, JournalInfo, JournalStatus, ResumePlan};
 pub use journal::{CampaignId, Fnv64, Journal, LoadStats, ResumedJournal};
-pub use supervisor::{Outcome, Quarantine, RunReport, StopCause, Supervised, Supervisor};
+pub use supervisor::{Backoff, Outcome, Quarantine, RunReport, StopCause, Supervised, Supervisor};
 pub use wire::{ByteReader, Checkpoint};
 
 use std::fmt;

@@ -24,7 +24,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use realm_obs::{null_collector, Event, SharedCollector};
@@ -196,6 +196,110 @@ struct Chaos {
     persistent: bool,
 }
 
+/// Exponential backoff with deterministic jitter for chunk retries.
+///
+/// Without backoff a panicking chunk is retried immediately, which
+/// hot-spins when the panic is environmental and still present (a full
+/// disk, a saturated co-tenant). With backoff, retry round `a` (1-based)
+/// waits `base · 2^(a−1)` capped at `max`, scaled by a jitter factor in
+/// `[1 − jitter, 1 + jitter]`.
+///
+/// The jitter is a **pure function** of `(seed, attempt)` — no global
+/// RNG, no wall clock — so a seeded test clock observes the exact same
+/// delay sequence on every run:
+///
+/// ```
+/// use std::time::Duration;
+/// use realm_harness::Backoff;
+///
+/// let b = Backoff::new(Duration::from_millis(100), Duration::from_secs(5)).with_seed(7);
+/// assert_eq!(b.delay(1), b.delay(1), "deterministic under one seed");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Backoff {
+    base: Duration,
+    max: Duration,
+    jitter: f64,
+    seed: u64,
+}
+
+impl Backoff {
+    /// Exponential backoff from `base` capped at `max`, with the
+    /// default ±25 % jitter and seed 0.
+    pub fn new(base: Duration, max: Duration) -> Self {
+        Backoff {
+            base,
+            max,
+            jitter: 0.25,
+            seed: 0,
+        }
+    }
+
+    /// Sets the jitter fraction (`0.0` = none, `0.25` = ±25 %). Values
+    /// are clamped to `[0, 1]`.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the jitter seed. Two supervisors with different seeds
+    /// de-synchronize their retry storms; the same seed reproduces the
+    /// exact delay sequence (the deterministic-test contract).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The delay before retry round `attempt` (1-based: the delay
+    /// between the first failure and the first retry is `delay(1)`).
+    /// `attempt == 0` means "before the first try" and is always zero.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let doublings = attempt.saturating_sub(1).min(32);
+        let raw = self
+            .base
+            .saturating_mul(1u32 << doublings.min(31))
+            .min(self.max);
+        if self.jitter == 0.0 {
+            return raw;
+        }
+        // SplitMix64-style finalizer over (seed, attempt): cheap, well
+        // mixed, and dependency-free.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(attempt as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        let factor = 1.0 - self.jitter + 2.0 * self.jitter * unit;
+        raw.mul_f64(factor).min(self.max)
+    }
+}
+
+/// How the supervisor waits out a backoff delay: called with the total
+/// delay and a `should_stop` predicate it must poll so cancellation and
+/// deadlines cut the wait short. The default sleeps in small slices;
+/// tests install a recording no-op to assert the deterministic delay
+/// sequence without real sleeping.
+type Sleeper = Arc<dyn Fn(Duration, &dyn Fn() -> bool) + Send + Sync>;
+
+/// The default sleeper: sleep in ≤ 20 ms slices, polling `should_stop`
+/// between slices so a cancelled campaign never over-waits.
+fn cooperative_sleep(total: Duration, should_stop: &dyn Fn() -> bool) {
+    let slice = Duration::from_millis(20);
+    let deadline = Instant::now() + total;
+    while !should_stop() {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        std::thread::sleep((deadline - now).min(slice));
+    }
+}
+
 /// The resilient campaign supervisor.
 ///
 /// Configure once (thread policy, checkpoint directory, retry budget,
@@ -231,6 +335,8 @@ pub struct Supervisor {
     chunk_budget: Option<u64>,
     chaos: Chaos,
     collector: SharedCollector,
+    backoff: Option<Backoff>,
+    sleeper: Sleeper,
 }
 
 impl fmt::Debug for Supervisor {
@@ -244,6 +350,7 @@ impl fmt::Debug for Supervisor {
             .field("chunk_budget", &self.chunk_budget)
             .field("chaos", &self.chaos)
             .field("observed", &self.collector.enabled())
+            .field("backoff", &self.backoff)
             .finish_non_exhaustive()
     }
 }
@@ -260,6 +367,8 @@ impl Default for Supervisor {
             chunk_budget: None,
             chaos: Chaos::default(),
             collector: null_collector(),
+            backoff: None,
+            sleeper: Arc::new(cooperative_sleep),
         }
     }
 }
@@ -338,6 +447,30 @@ impl Supervisor {
             chunks: chunks.iter().copied().collect(),
             persistent,
         };
+        self
+    }
+
+    /// Waits out `backoff.delay(attempt)` before each retry round, so
+    /// chaos-injected (or environmental) panics don't hot-spin through
+    /// the whole retry budget in microseconds. The wait is cooperative:
+    /// cancellation and deadlines cut it short at ≤ 20 ms granularity.
+    /// Without this call, retries remain immediate (the historical
+    /// behavior).
+    pub fn with_retry_backoff(mut self, backoff: Backoff) -> Self {
+        self.backoff = Some(backoff);
+        self
+    }
+
+    /// Replaces how backoff delays are waited out — the seeded-test-
+    /// clock hook. The function receives the total delay and a
+    /// `should_stop` predicate it must poll. Production code never needs
+    /// this; tests install a recorder to assert the deterministic delay
+    /// sequence without sleeping.
+    pub fn with_sleeper(
+        mut self,
+        sleeper: impl Fn(Duration, &dyn Fn() -> bool) + Send + Sync + 'static,
+    ) -> Self {
+        self.sleeper = Arc::new(sleeper);
         self
     }
 
@@ -471,6 +604,19 @@ impl Supervisor {
         for attempt in 0..=self.retries {
             if to_run.is_empty() || should_stop() {
                 break;
+            }
+            // Back off before each retry round (never before the first
+            // attempt); cancellation and deadlines cut the wait short.
+            if attempt > 0 {
+                if let Some(backoff) = &self.backoff {
+                    let delay = backoff.delay(attempt);
+                    if !delay.is_zero() {
+                        (self.sleeper)(delay, &should_stop);
+                        if should_stop() {
+                            break;
+                        }
+                    }
+                }
             }
             let chaos_arms = |index: u64| {
                 self.chaos.chunks.contains(&index) && (self.chaos.persistent || attempt == 0)
@@ -703,6 +849,76 @@ mod tests {
         assert_eq!(outcome.parts.len(), 9);
         assert_eq!(outcome.report.covered_samples, 90);
         assert!(outcome.report.render().contains("quarantined 1 chunk"));
+    }
+
+    #[test]
+    fn backoff_delays_are_deterministic_and_exponential() {
+        let b = Backoff::new(Duration::from_millis(100), Duration::from_secs(60))
+            .with_jitter(0.0)
+            .with_seed(42);
+        assert_eq!(b.delay(0), Duration::ZERO);
+        assert_eq!(b.delay(1), Duration::from_millis(100));
+        assert_eq!(b.delay(2), Duration::from_millis(200));
+        assert_eq!(b.delay(3), Duration::from_millis(400));
+        // The cap holds even at absurd attempt counts.
+        assert_eq!(b.delay(40), Duration::from_secs(60));
+
+        let jittered = Backoff::new(Duration::from_millis(100), Duration::from_secs(60))
+            .with_jitter(0.25)
+            .with_seed(42);
+        for attempt in 1..=5u32 {
+            let d = jittered.delay(attempt);
+            assert_eq!(d, jittered.delay(attempt), "same seed, same delay");
+            let nominal = Duration::from_millis(100 << (attempt - 1));
+            assert!(
+                d >= nominal.mul_f64(0.75) && d <= nominal.mul_f64(1.25),
+                "{d:?}"
+            );
+        }
+        let other_seed = jittered.with_seed(43);
+        assert!(
+            (1..=8u32).any(|a| other_seed.delay(a) != jittered.delay(a)),
+            "different seeds must de-synchronize somewhere"
+        );
+    }
+
+    #[test]
+    fn retry_rounds_wait_out_the_backoff_schedule() {
+        // A seeded test clock: records every requested delay, sleeps 0.
+        let slept: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+        let record = slept.clone();
+        let backoff = Backoff::new(Duration::from_millis(10), Duration::from_secs(1))
+            .with_jitter(0.25)
+            .with_seed(9);
+        let outcome = Supervisor::new()
+            .with_retries(3)
+            .with_retry_backoff(backoff)
+            .with_sleeper(move |d, _stop| record.lock().unwrap().push(d))
+            .with_injected_panics(&[4], true)
+            .run(&id("backoff"), plan(), chunk_sum)
+            .unwrap();
+        assert_eq!(outcome.report.quarantined.len(), 1);
+        // 3 retry rounds → exactly the deterministic schedule, in order.
+        let want: Vec<Duration> = (1..=3).map(|a| backoff.delay(a)).collect();
+        assert_eq!(*slept.lock().unwrap(), want);
+    }
+
+    #[test]
+    fn cancellation_cuts_the_backoff_wait_short() {
+        let sup = Supervisor::new()
+            .with_retries(2)
+            .with_retry_backoff(
+                Backoff::new(Duration::from_millis(5), Duration::from_millis(50)).with_seed(1),
+            )
+            .with_injected_panics(&[0], true);
+        let cancel = sup.cancel_token();
+        let sup = sup.with_sleeper(move |_d, _stop| cancel.cancel());
+        let outcome = sup.run(&id("backoff-cancel"), plan(), chunk_sum).unwrap();
+        // The token tripped during the first backoff wait: no retry ran,
+        // the chunk is pending (not quarantined), the stop is honest.
+        assert_eq!(outcome.report.stopped, Some(StopCause::Cancelled));
+        assert!(outcome.report.quarantined.is_empty());
+        assert_eq!(outcome.report.pending_chunks(), 1);
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! SIGTERM must trip termination tokens exactly like Ctrl-C.
+//!
+//! This lives in its own integration-test binary (= its own process)
+//! because the harness installs a double-signal escape hatch: the
+//! second termination signal a process receives hard-exits it, so each
+//! test process may raise at most one signal. The SIGINT twin of this
+//! test lives in the `cancel` unit tests.
+
+use realm_harness::CancelToken;
+
+extern "C" {
+    fn raise(signum: i32) -> i32;
+}
+
+const SIGTERM: i32 = 15;
+
+#[test]
+fn sigterm_trips_termination_tokens_only() {
+    let plain = CancelToken::new();
+    let watched = CancelToken::term_signals();
+    let legacy_alias = CancelToken::ctrl_c();
+    assert!(!watched.is_cancelled());
+    assert!(!legacy_alias.is_cancelled());
+    // SAFETY: raising a signal the token installed a handler for.
+    unsafe {
+        raise(SIGTERM);
+    }
+    assert!(watched.is_cancelled(), "SIGTERM must trip the token");
+    assert!(
+        legacy_alias.is_cancelled(),
+        "ctrl_c() tokens watch SIGTERM too (container/CI kills)"
+    );
+    assert!(!plain.is_cancelled(), "plain tokens ignore SIGTERM");
+}

@@ -30,6 +30,7 @@ pub mod histogram;
 pub mod montecarlo;
 pub mod nmed;
 pub mod pareto;
+pub mod spec;
 pub mod summary;
 pub mod sweep;
 
@@ -58,4 +59,5 @@ pub use realm_harness::{Supervised, Supervisor};
 /// metrics and JSONL events from every `*_supervised` campaign family.
 pub use realm_obs as obs;
 pub use realm_par::Threads;
+pub use spec::{parse_design, CampaignSpec, FamilySpec, Scoped, SpecError, SpecWorkload};
 pub use summary::{ErrorAccumulator, ErrorSummary};

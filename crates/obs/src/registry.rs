@@ -197,6 +197,8 @@ struct RegistryInner {
     pending_chunks: f64,
     last_total_chunks: u64,
     chunk_wall_ns: Histogram,
+    custom_counters: BTreeMap<&'static str, u64>,
+    custom_gauges: BTreeMap<&'static str, f64>,
 }
 
 /// The aggregating [`Collector`]: feed it the event stream (directly or
@@ -229,11 +231,17 @@ impl Registry {
         counters.insert("journal_records_loaded_total", inner.journal_records_loaded);
         counters.insert("journal_bytes_salvaged_total", inner.journal_bytes_salvaged);
         counters.insert("samples_covered_total", inner.samples_covered);
+        for (name, value) in &inner.custom_counters {
+            counters.insert(name, *value);
+        }
         let mut gauges = BTreeMap::new();
         gauges.insert("threads", inner.threads);
         gauges.insert("coverage_percent", inner.coverage_percent);
         gauges.insert("samples_per_sec", inner.samples_per_sec);
         gauges.insert("pending_chunks", inner.pending_chunks);
+        for (name, value) in &inner.custom_gauges {
+            gauges.insert(name, *value);
+        }
         MetricsSummary {
             counters,
             gauges,
@@ -244,6 +252,29 @@ impl Registry {
     /// One counter by name (0 if unknown) — a test convenience.
     pub fn counter(&self, name: &str) -> u64 {
         self.snapshot().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Increments a caller-defined counter (created at zero on first
+    /// use). Layers above the chunk engine — job servers, admission
+    /// queues — use this to publish their own monotonic metrics
+    /// (`jobs_accepted_total`, `jobs_shed_total`, …) through the same
+    /// snapshot/serialization path as the event-derived ones. Names
+    /// must be `'static` so snapshots stay allocation-light; a name
+    /// colliding with an event-derived metric shadows it in the
+    /// snapshot (don't do that).
+    pub fn incr(&self, name: &'static str, delta: u64) {
+        if let Ok(mut inner) = self.inner.lock() {
+            let slot = inner.custom_counters.entry(name).or_insert(0);
+            *slot = slot.saturating_add(delta);
+        }
+    }
+
+    /// Sets a caller-defined last-value gauge (`queue_depth`,
+    /// `jobs_running`, …). Same naming rules as [`incr`](Self::incr).
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        if let Ok(mut inner) = self.inner.lock() {
+            inner.custom_gauges.insert(name, value);
+        }
     }
 }
 
@@ -408,6 +439,25 @@ mod tests {
         assert_eq!(snap.gauges["coverage_percent"], 100.0);
         assert!(snap.gauges["samples_per_sec"] > 0.0);
         assert_eq!(snap.chunk_wall_ns.count, 4);
+    }
+
+    #[test]
+    fn custom_counters_and_gauges_ride_the_snapshot() {
+        let r = Registry::new();
+        r.incr("jobs_accepted_total", 1);
+        r.incr("jobs_accepted_total", 2);
+        r.incr("jobs_shed_total", 0); // created at zero, still listed
+        r.gauge("queue_depth", 7.0);
+        r.gauge("queue_depth", 3.0); // last value wins
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["jobs_accepted_total"], 3);
+        assert_eq!(snap.counters["jobs_shed_total"], 0);
+        assert_eq!(snap.gauges["queue_depth"], 3.0);
+        // Event-derived metrics still present alongside.
+        assert_eq!(snap.counters["chunks_executed_total"], 0);
+        let json = snap.to_json();
+        assert!(json.contains("\"jobs_accepted_total\": 3"), "{json}");
+        assert!(json.contains("\"queue_depth\": 3.0"), "{json}");
     }
 
     #[test]

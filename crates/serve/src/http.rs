@@ -1,0 +1,241 @@
+//! Just enough HTTP/1.1 to serve the job API over `std::net` — request
+//! parsing with hard limits (hostile clients get a 4xx, never a panic
+//! or an unbounded buffer), and response writing with explicit
+//! `Content-Length` and `Connection: close` (one request per
+//! connection keeps the threading model trivial and drain-friendly).
+
+use std::io::{self, Read, Write};
+
+/// Maximum bytes of request head (request line + headers) accepted.
+const MAX_HEAD: usize = 16 * 1024;
+/// Maximum request body accepted (job specs are a few hundred bytes).
+pub const MAX_BODY: usize = 64 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target path (query strings are not used by this API
+    /// and are kept attached).
+    pub path: String,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed — each maps to one status code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Malformed request line or headers → 400.
+    Malformed(&'static str),
+    /// Declared body larger than [`MAX_BODY`] → 413.
+    BodyTooLarge,
+    /// The peer closed or timed out before a full request arrived.
+    Io(io::ErrorKind),
+}
+
+/// Reads one HTTP/1.1 request from `stream`.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, ParseError> {
+    // Read until the blank line ending the head, with a hard cap.
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => return Err(ParseError::Io(io::ErrorKind::UnexpectedEof)),
+            Ok(_) => head.push(byte[0]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ParseError::Io(e.kind())),
+        }
+        if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+            break;
+        }
+        if head.len() > MAX_HEAD {
+            return Err(ParseError::Malformed("request head too large"));
+        }
+    }
+    let head = std::str::from_utf8(&head).map_err(|_| ParseError::Malformed("non-UTF-8 head"))?;
+    let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(ParseError::Malformed("bad request line"));
+    };
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ParseError::Malformed("bad content-length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(ParseError::BodyTooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    let mut filled = 0;
+    while filled < content_length {
+        match stream.read(&mut body[filled..]) {
+            Ok(0) => return Err(ParseError::Io(io::ErrorKind::UnexpectedEof)),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ParseError::Io(e.kind())),
+        }
+    }
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// One response to write back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers (`Content-Type`, `Content-Length` and
+    /// `Connection: close` are always emitted).
+    pub headers: Vec<(&'static str, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A JSON error response with a uniform `{"error": ...}` shape.
+    pub fn error(status: u16, message: &str) -> Self {
+        Response::json(
+            status,
+            format!("{{\"error\":{}}}\n", realm_obs::json_string(message)),
+        )
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    /// The conventional reason phrase for the status codes this API
+    /// emits.
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            503 => "Service Unavailable",
+            _ => "Internal Server Error",
+        }
+    }
+
+    /// Serializes the response onto `stream` (errors are returned so the
+    /// caller can drop the connection; a half-written response is the
+    /// peer's problem at that point).
+    pub fn write_to(&self, stream: &mut impl Write) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            self.reason(),
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 9\r\n\r\n{\"a\": 1}\n";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.body, b"{\"a\": 1}\n");
+    }
+
+    #[test]
+    fn parses_get_without_body_and_bare_lf() {
+        let raw = b"GET /healthz HTTP/1.1\n\n";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn hostile_requests_are_bounded_errors() {
+        let huge_head = vec![b'A'; MAX_HEAD + 10];
+        assert!(matches!(
+            read_request(&mut &huge_head[..]),
+            Err(ParseError::Malformed(_)) | Err(ParseError::Io(_))
+        ));
+        let huge_body = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        )
+        .into_bytes();
+        assert_eq!(
+            read_request(&mut &huge_body[..]),
+            Err(ParseError::BodyTooLarge)
+        );
+        let bad_len = b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut &bad_len[..]),
+            Err(ParseError::Malformed(_))
+        ));
+        let truncated = b"POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort";
+        assert!(matches!(
+            read_request(&mut &truncated[..]),
+            Err(ParseError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn response_writes_status_line_headers_and_body() {
+        let mut out = Vec::new();
+        Response::json(202, "{\"id\":1}")
+            .with_header("retry-after", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 202 Accepted\r\n"), "{text}");
+        assert!(text.contains("content-length: 8\r\n"), "{text}");
+        assert!(text.contains("retry-after: 1\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"id\":1}"), "{text}");
+    }
+
+    #[test]
+    fn error_shape_is_uniform() {
+        let r = Response::error(429, "queue full");
+        assert_eq!(r.status, 429);
+        assert_eq!(r.body, b"{\"error\":\"queue full\"}\n");
+    }
+}

@@ -1,0 +1,388 @@
+//! Admission control and scheduling: a bounded multi-tenant queue with
+//! explicit load-shedding, per-tenant fair share, in-tenant priority,
+//! and a delay lane for retry backoff.
+//!
+//! # Policy
+//!
+//! * **Bounded**: at most `capacity` jobs queued across all tenants.
+//!   Over capacity, admission fails fast ([`AdmitError::Full`] → 429) —
+//!   the server sheds load explicitly instead of growing memory.
+//! * **Fair share**: tenants take turns (round-robin over tenants with
+//!   queued work), so one tenant submitting 1000 jobs cannot starve a
+//!   tenant submitting 1. Priority orders jobs *within* a tenant only.
+//! * **Delay lane**: retried jobs re-enter through a timer heap
+//!   (backoff), bypassing the capacity check — they were already
+//!   admitted once, and shedding them would turn a transient fault
+//!   into data loss.
+//! * **Draining**: once closed, admission fails
+//!   ([`AdmitError::Draining`] → 503) and blocked `pop`s return `None`
+//!   so workers can exit. Queued jobs are simply dropped from memory —
+//!   the accepted ledger still holds them, and the next startup
+//!   re-queues them.
+
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::job::Job;
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The queue is at capacity — shed (429; retry later).
+    Full,
+    /// The server is draining — rejected (503; find another replica).
+    Draining,
+}
+
+/// A delayed (backoff) entry, ordered soonest-due-first in the heap.
+struct Delayed {
+    due: Instant,
+    job: Job,
+}
+
+impl PartialEq for Delayed {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due
+    }
+}
+impl Eq for Delayed {}
+impl PartialOrd for Delayed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Delayed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: reverse so the soonest due is on top.
+        other.due.cmp(&self.due)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Per-tenant FIFO (priority-ordered insertion).
+    tenants: BTreeMap<String, VecDeque<Job>>,
+    /// Round-robin order over tenants that currently have queued work.
+    turns: VecDeque<String>,
+    /// Jobs across all tenant queues (not counting the delay lane).
+    queued: usize,
+    /// Backoff lane.
+    delayed: BinaryHeap<Delayed>,
+    /// Closed for business (drain or shutdown).
+    draining: bool,
+}
+
+impl Inner {
+    /// Enqueues into the tenant's lane, keeping higher priority first
+    /// and FIFO order among equal priorities.
+    fn enqueue(&mut self, job: Job) {
+        let tenant = job.request.tenant.clone();
+        let lane = self.tenants.entry(tenant.clone()).or_default();
+        let at = lane
+            .iter()
+            .position(|queued| queued.request.priority < job.request.priority)
+            .unwrap_or(lane.len());
+        lane.insert(at, job);
+        self.queued += 1;
+        if !self.turns.contains(&tenant) {
+            self.turns.push_back(tenant);
+        }
+    }
+
+    /// Moves every due delayed job into its tenant lane; returns how
+    /// long until the next one is due (if any remain).
+    fn promote_due(&mut self, now: Instant) -> Option<Duration> {
+        while let Some(head) = self.delayed.peek() {
+            if head.due > now {
+                return Some(head.due - now);
+            }
+            if let Some(entry) = self.delayed.pop() {
+                self.enqueue(entry.job);
+            }
+        }
+        None
+    }
+
+    /// Takes the next job honoring the round-robin turn order.
+    fn take_next(&mut self) -> Option<Job> {
+        let tenant = self.turns.pop_front()?;
+        let Some(lane) = self.tenants.get_mut(&tenant) else {
+            return self.take_next();
+        };
+        let job = lane.pop_front();
+        if lane.is_empty() {
+            self.tenants.remove(&tenant);
+        } else {
+            self.turns.push_back(tenant);
+        }
+        match job {
+            Some(job) => {
+                self.queued -= 1;
+                Some(job)
+            }
+            None => self.take_next(),
+        }
+    }
+}
+
+/// The shared queue (see the [module docs](self) for policy).
+pub struct AdmissionQueue {
+    inner: Mutex<Inner>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for AdmissionQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionQueue")
+            .field("capacity", &self.capacity)
+            .field("depth", &self.depth())
+            .finish()
+    }
+}
+
+impl AdmissionQueue {
+    /// A queue admitting at most `capacity` jobs at once.
+    pub fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            inner: Mutex::new(Inner::default()),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admission with the capacity/drain check and a durability hook:
+    /// `commit` runs **inside** the admission decision (capacity
+    /// already reserved, queue lock held) so the caller can journal the
+    /// job before any worker can observe it. If `commit` fails the
+    /// slot is released and nothing is queued.
+    pub fn admit<E>(
+        &self,
+        job: Job,
+        commit: impl FnOnce(&Job) -> Result<(), E>,
+    ) -> Result<(), AdmitResult<E>> {
+        let Ok(mut inner) = self.inner.lock() else {
+            return Err(AdmitResult::Rejected(AdmitError::Draining));
+        };
+        if inner.draining {
+            return Err(AdmitResult::Rejected(AdmitError::Draining));
+        }
+        if inner.queued + inner.delayed.len() >= self.capacity {
+            return Err(AdmitResult::Rejected(AdmitError::Full));
+        }
+        if let Err(e) = commit(&job) {
+            return Err(AdmitResult::CommitFailed(e));
+        }
+        inner.enqueue(job);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Re-queues an already-admitted job (recovery), bypassing the
+    /// capacity check — recovered jobs must never be shed.
+    pub fn requeue(&self, job: Job) {
+        if let Ok(mut inner) = self.inner.lock() {
+            inner.enqueue(job);
+        }
+        self.available.notify_one();
+    }
+
+    /// Re-queues an already-admitted job after `delay` (retry backoff).
+    pub fn requeue_after(&self, job: Job, delay: Duration) {
+        if let Ok(mut inner) = self.inner.lock() {
+            inner.delayed.push(Delayed {
+                due: Instant::now() + delay,
+                job,
+            });
+        }
+        // Wake a waiter so its timeout accounts for the new timer.
+        self.available.notify_one();
+    }
+
+    /// Blocks until a job is available (or the queue is draining).
+    /// `None` means "no more work, ever" — the worker should exit.
+    pub fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().ok()?;
+        loop {
+            if inner.draining {
+                return None;
+            }
+            let next_due = inner.promote_due(Instant::now());
+            if let Some(job) = inner.take_next() {
+                return Some(job);
+            }
+            // Sleep until something is pushed, the next delayed job is
+            // due, or (bounded) the drain flag needs a look.
+            let wait = next_due
+                .unwrap_or(Duration::from_millis(200))
+                .min(Duration::from_millis(200));
+            let (guard, _) = self.available.wait_timeout(inner, wait).ok()?;
+            inner = guard;
+        }
+    }
+
+    /// Closes the queue: admission fails, blocked and future `pop`s
+    /// return `None`. Queued jobs are dropped from memory (the ledger
+    /// keeps them; see the [module docs](self)).
+    pub fn close(&self) {
+        if let Ok(mut inner) = self.inner.lock() {
+            inner.draining = true;
+            inner.tenants.clear();
+            inner.turns.clear();
+            inner.delayed.clear();
+            inner.queued = 0;
+        }
+        self.available.notify_all();
+    }
+
+    /// Jobs currently queued (including the delay lane).
+    pub fn depth(&self) -> usize {
+        self.inner
+            .lock()
+            .map(|inner| inner.queued + inner.delayed.len())
+            .unwrap_or(0)
+    }
+
+    /// Tenants with queued work right now.
+    pub fn tenants(&self) -> usize {
+        self.inner
+            .lock()
+            .map(|inner| inner.tenants.len())
+            .unwrap_or(0)
+    }
+}
+
+/// The two ways [`AdmissionQueue::admit`] can fail.
+#[derive(Debug)]
+pub enum AdmitResult<E> {
+    /// Shed or draining (the policy said no).
+    Rejected(AdmitError),
+    /// The durability hook failed (the policy said yes, the disk said
+    /// no); nothing was queued.
+    CommitFailed(E),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobRequest;
+    use realm_metrics::{CampaignSpec, FamilySpec};
+
+    fn job(id: u64, tenant: &str, priority: i64) -> Job {
+        Job {
+            id,
+            request: JobRequest {
+                tenant: tenant.into(),
+                priority,
+                deadline_ms: None,
+                max_retries: 2,
+                spec: CampaignSpec {
+                    design: "accurate".into(),
+                    family: FamilySpec::MonteCarlo { samples: 16 },
+                    seed: 0,
+                    chunk: None,
+                },
+                inject_panic: Vec::new(),
+                persistent_panic: false,
+            },
+            attempts: 0,
+            recovered: false,
+        }
+    }
+
+    fn admit(q: &AdmissionQueue, j: Job) -> Result<(), AdmitResult<()>> {
+        q.admit(j, |_| Ok(()))
+    }
+
+    #[test]
+    fn fair_share_round_robins_across_tenants() {
+        let q = AdmissionQueue::new(16);
+        // Tenant "big" floods; tenant "small" submits one job later.
+        for id in 0..5 {
+            admit(&q, job(id, "big", 0)).unwrap();
+        }
+        admit(&q, job(100, "small", 0)).unwrap();
+        let order: Vec<u64> = (0..6).map(|_| q.pop().unwrap().id).collect();
+        // "small" gets its turn on the second pop, not after the flood.
+        assert_eq!(order, [0, 100, 1, 2, 3, 4], "{order:?}");
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn priority_orders_within_a_tenant_only() {
+        let q = AdmissionQueue::new(16);
+        admit(&q, job(1, "t", 0)).unwrap();
+        admit(&q, job(2, "t", 9)).unwrap();
+        admit(&q, job(3, "t", 9)).unwrap(); // FIFO among equals
+        admit(&q, job(4, "t", -1)).unwrap();
+        let order: Vec<u64> = (0..4).map(|_| q.pop().unwrap().id).collect();
+        assert_eq!(order, [2, 3, 1, 4]);
+    }
+
+    #[test]
+    fn capacity_sheds_explicitly() {
+        let q = AdmissionQueue::new(2);
+        admit(&q, job(0, "a", 0)).unwrap();
+        admit(&q, job(1, "b", 0)).unwrap();
+        match admit(&q, job(2, "c", 0)) {
+            Err(AdmitResult::Rejected(AdmitError::Full)) => {}
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Popping frees a slot.
+        q.pop().unwrap();
+        admit(&q, job(3, "c", 0)).unwrap();
+    }
+
+    #[test]
+    fn failed_commit_releases_the_slot() {
+        let q = AdmissionQueue::new(1);
+        match q.admit(job(0, "a", 0), |_| Err("disk full")) {
+            Err(AdmitResult::CommitFailed("disk full")) => {}
+            other => panic!("expected CommitFailed, got {other:?}"),
+        }
+        assert_eq!(q.depth(), 0);
+        admit(&q, job(1, "a", 0)).unwrap();
+    }
+
+    #[test]
+    fn draining_rejects_admission_and_releases_poppers() {
+        let q = std::sync::Arc::new(AdmissionQueue::new(4));
+        let waiter = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        q.close();
+        assert!(waiter.join().unwrap().is_none(), "popper must be released");
+        match admit(&q, job(0, "a", 0)) {
+            Err(AdmitResult::Rejected(AdmitError::Draining)) => {}
+            other => panic!("expected Draining, got {other:?}"),
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn delayed_jobs_surface_only_when_due() {
+        let q = AdmissionQueue::new(4);
+        q.requeue_after(job(7, "t", 0), Duration::from_millis(60));
+        assert_eq!(q.depth(), 1, "delay lane counts toward depth");
+        let t0 = Instant::now();
+        let popped = q.pop().unwrap();
+        assert_eq!(popped.id, 7);
+        assert!(
+            t0.elapsed() >= Duration::from_millis(50),
+            "must not surface before due ({:?})",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn requeue_bypasses_capacity() {
+        let q = AdmissionQueue::new(1);
+        admit(&q, job(0, "a", 0)).unwrap();
+        q.requeue(job(1, "a", 0)); // recovery must never shed
+        assert_eq!(q.depth(), 2);
+    }
+}

@@ -1,0 +1,117 @@
+//! The headline robustness test: SIGKILL the service mid-job, restart
+//! it over the same directory, and require the recovered job to finish
+//! with a result **byte-identical** to an uninterrupted run. Also
+//! exercises SIGTERM graceful drain on the real binary.
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use realm_harness::discover;
+use realm_serve::client::{extract_u64_field, http_request, wait_terminal};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("realm-serve-rec-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Starts the real `realm-serve` binary on `dir` and waits for it to
+/// publish its bound address. The caller owns the child and must
+/// kill/wait it (that is the point of this test file).
+#[allow(clippy::zombie_processes)]
+fn start_server(dir: &Path) -> (Child, SocketAddr) {
+    let addr_file = dir.join("serve.addr");
+    let _ = std::fs::remove_file(&addr_file);
+    let child = Command::new(env!("CARGO_BIN_EXE_realm-serve"))
+        .args(["--dir", &dir.display().to_string(), "--workers", "1"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn realm-serve");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(&addr_file) {
+            if let Ok(addr) = text.trim().parse() {
+                return (child, addr);
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never published its address"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn sigkill_mid_job_then_restart_resumes_bit_identically() {
+    let dir = scratch("sigkill");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let body =
+        r#"{"tenant":"crash","design":"realm:m=16,t=0","samples":4000000,"chunk":20000,"seed":9}"#;
+
+    let (mut child, addr) = start_server(&dir);
+    let (status, reply) = http_request(addr, "POST", "/jobs", Some(body)).expect("submit");
+    assert_eq!(status, 202, "{reply}");
+    let id = extract_u64_field(&reply, "id").expect("id");
+
+    // Wait until the job has demonstrably checkpointed some chunks,
+    // then SIGKILL — no drain, no flush, no warning.
+    let jobs_dir = dir.join("jobs");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let progressed = discover(&jobs_dir)
+            .map(|infos| infos.iter().any(|j| j.distinct_chunks >= 3))
+            .unwrap_or(false);
+        if progressed {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job never checkpointed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().expect("SIGKILL");
+    let _ = child.wait();
+
+    // Restart over the same directory: the accepted ledger re-queues
+    // the job and its journal replays bit-identically.
+    let (mut child, addr) = start_server(&dir);
+    let state = wait_terminal(addr, id, Duration::from_secs(300)).expect("terminal");
+    assert_eq!(state, "completed");
+    let (_, detail) = http_request(addr, "GET", &format!("/jobs/{id}"), None).expect("detail");
+    assert!(
+        detail.contains("\"recovered\":true"),
+        "the job must come back through recovery, not resubmission: {detail}"
+    );
+    let (status, resumed) =
+        http_request(addr, "GET", &format!("/jobs/{id}/result"), None).expect("result");
+    assert_eq!(status, 200, "{resumed}");
+
+    // Uninterrupted reference with the identical spec.
+    let (status, reply) = http_request(addr, "POST", "/jobs", Some(body)).expect("submit");
+    assert_eq!(status, 202, "{reply}");
+    let ref_id = extract_u64_field(&reply, "id").expect("id");
+    wait_terminal(addr, ref_id, Duration::from_secs(300)).expect("terminal");
+    let (_, reference) =
+        http_request(addr, "GET", &format!("/jobs/{ref_id}/result"), None).expect("result");
+    assert_eq!(
+        resumed, reference,
+        "SIGKILL + restart must be invisible in the result bytes"
+    );
+
+    // SIGTERM the restarted server: graceful drain, clean exit, flushed
+    // metrics summary.
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    let exit = child.wait().expect("server exits");
+    assert!(exit.success(), "SIGTERM must exit cleanly, got {exit:?}");
+    assert!(
+        dir.join("metrics_summary.json").is_file(),
+        "drain must flush the metrics summary"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -2,6 +2,17 @@
 """Validate a realm-obs JSONL trace against the documented schema.
 
 Usage: validate_trace.py TRACE.jsonl [TRACE2.jsonl ...]
+       validate_trace.py --per-job TRACES_DIR
+
+In ``--per-job`` mode the argument is a realm-serve trace directory
+containing ``job-<id>-attempt-<n>.jsonl`` streams. On top of the
+per-stream checks below, the validator enforces the server's isolation
+contract:
+
+* every stream belongs to exactly one job (campaign subjects carry the
+  ``@job-<id>`` scope matching the filename);
+* no cross-job event leakage: a campaign fingerprint observed in one
+  job's streams never appears in another job's.
 
 Checks, per DESIGN.md §11 (schema ``realm-obs/v1``):
 
@@ -78,7 +89,10 @@ def fail(path, lineno, msg):
     return False
 
 
-def validate(path):
+def validate(path, scope=None, fingerprints=None):
+    """Validates one stream. With ``scope``, every campaign subject must
+    end with ``@<scope>``; with ``fingerprints`` (a set), every campaign
+    fingerprint seen is added to it."""
     ok = True
     expected_seq = 0
     last_t = 0
@@ -135,6 +149,13 @@ def validate(path):
                 if campaign is not None:
                     ok = fail(path, lineno, "campaign_start inside an open campaign")
                 campaign = Campaign(obj.get("fingerprint"))
+                if scope is not None and not str(obj.get("subject", "")).endswith(f"@{scope}"):
+                    ok = fail(
+                        path, lineno,
+                        f"subject {obj.get('subject')!r} is not scoped to @{scope}",
+                    )
+                if fingerprints is not None:
+                    fingerprints.add(obj.get("fingerprint"))
             elif ev == "campaign_end":
                 if campaign is None:
                     ok = fail(path, lineno, "campaign_end without campaign_start")
@@ -173,10 +194,55 @@ def validate(path):
     return ok
 
 
+def validate_per_job(traces_dir):
+    """Validates every job-<id>-attempt-<n>.jsonl stream in a realm-serve
+    trace directory, plus the cross-job isolation contract."""
+    import os
+    import re
+
+    pattern = re.compile(r"^job-(\d+)(?:-attempt-\d+)?\.jsonl$")
+    streams = []  # (job_id, path)
+    try:
+        for name in sorted(os.listdir(traces_dir)):
+            m = pattern.match(name)
+            if m:
+                streams.append((m.group(1), os.path.join(traces_dir, name)))
+    except OSError as e:
+        print(f"{traces_dir}: {e}", file=sys.stderr)
+        return False
+    if not streams:
+        print(f"{traces_dir}: no job-*.jsonl streams found", file=sys.stderr)
+        return False
+
+    ok = True
+    per_job = {}  # job_id -> set of fingerprints
+    for job_id, path in streams:
+        fingerprints = per_job.setdefault(job_id, set())
+        ok = validate(path, scope=f"job-{job_id}", fingerprints=fingerprints) and ok
+
+    seen = {}  # fingerprint -> job_id
+    for job_id, fingerprints in sorted(per_job.items()):
+        for fp in sorted(f for f in fingerprints if f is not None):
+            if fp in seen and seen[fp] != job_id:
+                ok = fail(
+                    traces_dir, 0,
+                    f"fingerprint {fp} leaked across jobs {seen[fp]} and {job_id}",
+                )
+            seen[fp] = job_id
+    if ok:
+        print(f"{traces_dir}: {len(streams)} stream(s), {len(per_job)} job(s), no cross-job leakage")
+    return ok
+
+
 def main():
     if len(sys.argv) < 2:
         print(__doc__, file=sys.stderr)
         return 2
+    if sys.argv[1] == "--per-job":
+        if len(sys.argv) != 3:
+            print(__doc__, file=sys.stderr)
+            return 2
+        return 0 if validate_per_job(sys.argv[2]) else 1
     return 0 if all([validate(p) for p in sys.argv[1:]]) else 1
 
 

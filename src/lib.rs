@@ -20,6 +20,11 @@
 //! * [`jpeg`] — the fixed-point JPEG application study.
 //! * [`dsp`] — FIR filtering, 2-D convolution and fixed-point MLP
 //!   inference through approximate multipliers.
+//! * [`harness`] — checkpoint journals, panic quarantine and the
+//!   campaign [`Supervisor`](harness::Supervisor).
+//! * [`serve`] — the fault-tolerant multi-tenant campaign service
+//!   (HTTP job API with admission control, retry/backoff and crash
+//!   recovery).
 //!
 //! ## Quickstart
 //!
@@ -52,6 +57,10 @@ pub use realm_dsp as dsp;
 /// `realm-fault`).
 pub use realm_fault as fault;
 
+/// Supervision and checkpoint discipline: journals, quarantine, the
+/// campaign supervisor (re-export of `realm-harness`).
+pub use realm_harness as harness;
+
 /// The JPEG application study (re-export of `realm-jpeg`).
 pub use realm_jpeg as jpeg;
 
@@ -64,6 +73,10 @@ pub use realm_obs as obs;
 
 /// The deterministic parallel execution layer (re-export of `realm-par`).
 pub use realm_par as par;
+
+/// The fault-tolerant multi-tenant campaign service (re-export of
+/// `realm-serve`).
+pub use realm_serve as serve;
 
 /// The gate-level synthesis substitute (re-export of `realm-synth`).
 pub use realm_synth as synth;
