@@ -73,34 +73,13 @@ impl Multiplier for Calm {
     fn multiply_batch(&self, pairs: &[(u64, u64)], out: &mut [u64]) {
         let width = self.width;
         let f = width - 1;
-        if width <= 31 {
-            // Narrow fast path: mantissa < 2^(f+1) and the scale shift is
-            // at most 2·width − 1 − f, so everything fits in u64.
-            let max_product = (1u64 << (2 * width)) - 1;
-            for (slot, (a, b)) in realm_core::batch_lanes(pairs, out) {
-                if a == 0 || b == 0 {
-                    *slot = 0;
-                    continue;
-                }
-                let ka = 63 - a.leading_zeros();
-                let kb = 63 - b.leading_zeros();
-                let fa = (a - (1u64 << ka)) << (f - ka);
-                let fb = (b - (1u64 << kb)) << (f - kb);
-                let fsum = fa + fb;
-                let k_sum = ka + kb;
-                let (mantissa, exponent) = if fsum >> f == 0 {
-                    ((1u64 << f) + fsum, k_sum)
-                } else {
-                    (fsum, k_sum + 1)
-                };
-                let shift = exponent as i32 - f as i32;
-                let value = if shift >= 0 {
-                    mantissa << shift
-                } else {
-                    mantissa >> -shift
-                };
-                *slot = value.min(max_product);
-            }
+        // Narrow fast path (width ≤ 31): mantissa < 2^(f+1) and the
+        // scale shift is at most 2·width − 1 − f, so everything fits in
+        // u64. The loop body is `realm_simd::CalmKernel::lane` (this
+        // crate's former monomorphic loop verbatim), giving the scalar
+        // and AVX2 tiers one shared source of truth.
+        if let Some(kernel) = realm_simd::CalmKernel::new(width) {
+            kernel.run(realm_simd::active_tier(), pairs, out);
             return;
         }
         for (slot, (a, b)) in realm_core::batch_lanes(pairs, out) {

@@ -100,6 +100,13 @@ impl Multiplier for Drum {
     /// arithmetic suffices at every supported width. Bit-identical to the
     /// scalar path — the tests exhaustively cross-check.
     fn multiply_batch(&self, pairs: &[(u64, u64)], out: &mut [u64]) {
+        // The loop body is `realm_simd::DrumKernel::lane` (this crate's
+        // former monomorphic loop verbatim), so the scalar and AVX2
+        // tiers share one source of truth.
+        if let Some(kernel) = realm_simd::DrumKernel::new(self.width, self.fragment) {
+            kernel.run(realm_simd::active_tier(), pairs, out);
+            return;
+        }
         let k = self.fragment;
         for (slot, (a, b)) in realm_core::batch_lanes(pairs, out) {
             if a == 0 || b == 0 {

@@ -7,8 +7,17 @@
 //! 8-bit square exercises the small-operand and cross-interval paths).
 //! The batch kernels are hand-hoisted monomorphizations, so bit-identity
 //! with the scalar `multiply` is a real proof obligation, not a tautology.
+//!
+//! Since the kernels moved into the tiered `realm-simd` layer, the same
+//! square is additionally run with the ISA tier pinned per call —
+//! scalar and AVX2 — proving SIMD ≡ scalar for cALM and DRUM on all
+//! 65536 pairs (the core suite covers Accurate and REALM), plus a
+//! deterministic random-stream pass over odd batch lengths for the
+//! remainder lanes.
 
 use realm_baselines::{Calm, Drum};
+use realm_core::rng::SplitMix64;
+use realm_core::simd::{self, Tier};
 use realm_core::Multiplier;
 
 fn all_8bit_pairs() -> Vec<(u64, u64)> {
@@ -47,6 +56,87 @@ fn drum_batch_is_bit_identical_to_scalar_on_every_8bit_pair() {
         assert_batch_matches_scalar(&Drum::new(16, fragment).expect("valid config"));
     }
     assert_batch_matches_scalar(&Drum::new(32, 8).expect("valid config"));
+}
+
+/// A kernel invocation with the ISA tier pinned per call.
+type TierRun<'a> = &'a dyn Fn(Tier, &[(u64, u64)], &mut [u64]);
+
+/// Runs `pairs` through both pinned tiers and the design's scalar
+/// `multiply`, asserting three-way bit-identity.
+fn assert_tiers_match(label: &str, design: &dyn Multiplier, run: TierRun, pairs: &[(u64, u64)]) {
+    let mut scalar = vec![0u64; pairs.len()];
+    let mut wide = vec![0u64; pairs.len()];
+    run(Tier::Scalar, pairs, &mut scalar);
+    run(Tier::Avx2, pairs, &mut wide);
+    for (i, &(a, b)) in pairs.iter().enumerate() {
+        assert_eq!(
+            scalar[i],
+            design.multiply(a, b),
+            "{label}: scalar tier != multiply at a={a} b={b}"
+        );
+        assert_eq!(
+            wide[i], scalar[i],
+            "{label}: SIMD tier != scalar tier at a={a} b={b} (lane {i})"
+        );
+    }
+}
+
+#[test]
+fn calm_tiers_agree_on_every_8bit_pair() {
+    let pairs = all_8bit_pairs();
+    for width in [8u32, 16, 31] {
+        let design = Calm::new(width);
+        let kernel = simd::CalmKernel::new(width).expect("narrow width has a kernel");
+        assert_tiers_match(
+            &format!("cALM w={width}"),
+            &design,
+            &|t, p, o| kernel.run(t, p, o),
+            &pairs,
+        );
+    }
+}
+
+#[test]
+fn drum_tiers_agree_on_every_8bit_pair() {
+    let pairs = all_8bit_pairs();
+    for (width, fragment) in [(8u32, 3u32), (8, 6), (16, 4), (16, 6), (16, 8), (32, 8)] {
+        let design = Drum::new(width, fragment).expect("valid config");
+        let kernel = simd::DrumKernel::new(width, fragment).expect("valid config has a kernel");
+        assert_tiers_match(
+            &format!("DRUM w={width} k={fragment}"),
+            &design,
+            &|t, p, o| kernel.run(t, p, o),
+            &pairs,
+        );
+    }
+}
+
+#[test]
+fn proptest_baseline_tiers_agree_on_random_streams_and_odd_lengths() {
+    // Odd lengths cover every remainder-lane count (len mod 4 ∈
+    // {0,1,2,3}); operands stay in-contract for each design's width.
+    let mut rng = SplitMix64::new(0xBA5E_11E5);
+    let calm = Calm::new(16);
+    let calm_kernel = simd::CalmKernel::new(16).expect("narrow width has a kernel");
+    let drum = Drum::new(16, 6).expect("valid config");
+    let drum_kernel = simd::DrumKernel::new(16, 6).expect("valid config has a kernel");
+    for len in [1usize, 2, 3, 5, 63, 1021, 4099] {
+        let pairs: Vec<(u64, u64)> = (0..len)
+            .map(|_| (rng.next_u64() & 0xFFFF, rng.next_u64() & 0xFFFF))
+            .collect();
+        assert_tiers_match(
+            &format!("cALM len={len}"),
+            &calm,
+            &|t, p, o| calm_kernel.run(t, p, o),
+            &pairs,
+        );
+        assert_tiers_match(
+            &format!("DRUM len={len}"),
+            &drum,
+            &|t, p, o| drum_kernel.run(t, p, o),
+            &pairs,
+        );
+    }
 }
 
 #[test]

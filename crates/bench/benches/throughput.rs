@@ -1,23 +1,30 @@
-//! Wall-clock throughput of the characterization substrate, three ways:
+//! Wall-clock throughput of the characterization substrate, four ways:
 //!
 //! 1. **scalar-dyn** — one `Multiplier::multiply` virtual call per
 //!    operand pair (how campaigns ran before the batched engine),
 //! 2. **batched** — one `multiply_batch` virtual call per operand block,
-//!    dispatching to the monomorphic kernels of `Accurate`, `Calm` and
-//!    `Realm` (the fast path the campaigns now use),
-//! 3. **parallel** — the end-to-end `MonteCarlo` engine at several worker
-//!    counts (the thread-scaling curve).
+//!    dispatching through `realm_simd::active_tier()` (the fast path the
+//!    campaigns use; honors `--force-scalar`),
+//! 3. **batched-scalar / batched-simd** — the same block kernels with
+//!    the ISA tier pinned per measurement, producing the before/after
+//!    scalar-vs-SIMD comparison recorded as `simd_speedup`,
+//! 4. **parallel** — the end-to-end `MonteCarlo` engine at several
+//!    worker counts (the thread-scaling curve).
 //!
 //! Prints human-readable lines and writes a machine-readable
-//! `BENCH_throughput.json` (to `--out DIR`, else the working directory).
+//! `BENCH_throughput.json` (to `--out DIR`, created if missing, else the
+//! working directory) that also records the active kernel tier.
 //!
 //! ```text
 //! cargo bench -p realm-bench --bench throughput -- --smoke --threads 2 --out results
 //! ```
 
-use realm_baselines::Calm;
-use realm_bench::stopwatch::{bench, opaque, KernelThroughput, ScalingPoint, ThroughputReport};
-use realm_bench::Options;
+use realm_baselines::{Calm, Drum};
+use realm_bench::stopwatch::{
+    bench, opaque, KernelThroughput, ScalingPoint, SimdComparison, ThroughputReport,
+};
+use realm_bench::{Options, OrDie};
+use realm_core::simd::{self, Tier};
 use realm_core::{Accurate, Multiplier, Realm, RealmConfig};
 use realm_metrics::MonteCarlo;
 use realm_par::Threads;
@@ -41,8 +48,9 @@ fn kernel_designs() -> Vec<Box<dyn Multiplier>> {
     vec![
         Box::new(Accurate::new(16)),
         Box::new(Calm::new(16)),
-        Box::new(Realm::new(RealmConfig::n16(16, 0)).expect("paper design point")),
-        Box::new(Realm::new(RealmConfig::n16(4, 9)).expect("paper design point")),
+        Box::new(Drum::new(16, 6).or_die("paper design point")),
+        Box::new(Realm::new(RealmConfig::n16(16, 0)).or_die("paper design point")),
+        Box::new(Realm::new(RealmConfig::n16(4, 9)).or_die("paper design point")),
     ]
 }
 
@@ -82,6 +90,72 @@ fn measure_kernels(report: &mut ThroughputReport) {
     }
 }
 
+/// Measures each design's block kernel with the ISA tier pinned per
+/// measurement — the scalar reference first, then the wide tier — and
+/// records the before/after rows plus the `simd_speedup` comparison.
+/// On machines without AVX2 the wide tier falls back to scalar inside
+/// `run`, so the comparison degenerates to ~1.0× instead of failing.
+fn measure_tiers(report: &mut ThroughputReport) {
+    let pairs = operand_stream(BLOCK);
+    let mut products = vec![0u64; BLOCK];
+    let realm16 = Realm::new(RealmConfig::n16(16, 0)).or_die("paper design point");
+    let realm4 = Realm::new(RealmConfig::n16(4, 9)).or_die("paper design point");
+    let accurate = simd::AccurateKernel::new(16).or_die("16-bit accurate kernel");
+    let calm = simd::CalmKernel::new(16).or_die("16-bit cALM kernel");
+    let drum = simd::DrumKernel::new(16, 6).or_die("16-bit DRUM kernel");
+    type Runner<'a> = Box<dyn Fn(Tier, &[(u64, u64)], &mut [u64]) + 'a>;
+    let runners: Vec<(&str, Runner)> = vec![
+        ("Accurate", Box::new(move |t, p, o| accurate.run(t, p, o))),
+        ("cALM", Box::new(move |t, p, o| calm.run(t, p, o))),
+        ("DRUMk=6", Box::new(move |t, p, o| drum.run(t, p, o))),
+        (
+            "REALM16t=0",
+            Box::new(|t, p, o| {
+                let kernel = realm16.batch_kernel().or_die("narrow REALM kernel");
+                kernel.run(t, p, o);
+            }),
+        ),
+        (
+            "REALM4t=9",
+            Box::new(|t, p, o| {
+                let kernel = realm4.batch_kernel().or_die("narrow REALM kernel");
+                kernel.run(t, p, o);
+            }),
+        ),
+    ];
+    for (label, run) in &runners {
+        let scalar = bench(&format!("batched-scalar/{label}"), || {
+            run(Tier::Scalar, &pairs, &mut products);
+            products[BLOCK - 1]
+        });
+        let wide = bench(&format!("batched-simd/{label}"), || {
+            run(Tier::Avx2, &pairs, &mut products);
+            products[BLOCK - 1]
+        });
+        for (mode, m) in [("batched-scalar", &scalar), ("batched-simd", &wide)] {
+            let ns = m.ns_per_iter / BLOCK as f64;
+            report.kernels.push(KernelThroughput {
+                design: label.to_string(),
+                mode: mode.to_string(),
+                ns_per_multiply: ns,
+                samples_per_sec: 1e9 / ns,
+            });
+        }
+        let scalar_rate = 1e9 * BLOCK as f64 / scalar.ns_per_iter;
+        let simd_rate = 1e9 * BLOCK as f64 / wide.ns_per_iter;
+        report.simd.push(SimdComparison {
+            design: label.to_string(),
+            scalar_multiplies_per_sec: scalar_rate,
+            simd_multiplies_per_sec: simd_rate,
+            speedup: simd_rate / scalar_rate,
+        });
+        println!(
+            "  {label:<22} simd speedup over scalar tier: {:.2}x",
+            scalar.ns_per_iter / wide.ns_per_iter
+        );
+    }
+}
+
 /// Times the end-to-end Monte-Carlo engine on the paper's headline design
 /// at each worker count (best of `reps` runs — campaigns are
 /// deterministic, so only the clock varies).
@@ -92,7 +166,7 @@ fn measure_scaling(
     reps: u32,
     report: &mut ThroughputReport,
 ) {
-    let design = Realm::new(RealmConfig::n16(16, 0)).expect("paper design point");
+    let design = Realm::new(RealmConfig::n16(16, 0)).or_die("paper design point");
     let mut base_rate = None;
     for &threads in counts {
         let campaign = MonteCarlo::new(samples, seed).with_threads(Threads::Fixed(threads));
@@ -120,7 +194,7 @@ fn measure_scaling(
 /// Gate-level netlist evaluation speed (unchanged from the original
 /// bench; skipped under `--smoke`).
 fn bench_netlist_eval() {
-    let realm = Realm::new(RealmConfig::n16(16, 0)).expect("paper design point");
+    let realm = Realm::new(RealmConfig::n16(16, 0)).or_die("paper design point");
     let netlists = vec![
         realm_synth::designs::wallace16(),
         realm_synth::designs::calm_netlist(16),
@@ -154,10 +228,14 @@ fn main() {
 
     let mut report = ThroughputReport {
         samples,
+        kernel_tier: simd::active_tier().name().to_string(),
         ..ThroughputReport::default()
     };
+    println!("multiply kernel tier: {}", simd::active_tier());
     println!("multiply-kernel throughput ({BLOCK}-pair blocks):");
     measure_kernels(&mut report);
+    println!("\nscalar vs SIMD kernel tiers ({BLOCK}-pair blocks):");
+    measure_tiers(&mut report);
     println!("\nparallel Monte-Carlo scaling ({samples} samples/campaign):");
     measure_scaling(samples, opts.seed, &counts, reps, &mut report);
     if !opts.smoke {
@@ -169,10 +247,10 @@ fn main() {
         .out_dir
         .clone()
         .unwrap_or_else(|| std::path::PathBuf::from("."));
-    std::fs::create_dir_all(&dir).expect("create output directory");
+    std::fs::create_dir_all(&dir).or_die("create output directory");
     let path = dir.join("BENCH_throughput.json");
     // Atomic (tmp + fsync + rename): a reader of the report never
     // observes a torn file even if the bench is killed mid-write.
-    realm_harness::atomic_write_str(&path, &report.to_json()).expect("write throughput report");
+    realm_harness::atomic_write_str(&path, &report.to_json()).or_die("write throughput report");
     println!("\nwrote {}", path.display());
 }

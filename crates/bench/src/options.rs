@@ -71,6 +71,11 @@ pub struct Options {
     /// (`--design realm:m=16,t=0`). `None` lets each driver use its
     /// built-in default subject.
     pub design: Option<String>,
+    /// Pin the multiply kernels to the scalar tier (`--force-scalar`;
+    /// equivalent to `REALM_FORCE_SCALAR=1`). A debugging and CI
+    /// differential knob: results are bit-identical under every tier,
+    /// only throughput changes.
+    pub force_scalar: bool,
 }
 
 impl Default for Options {
@@ -90,6 +95,7 @@ impl Default for Options {
             trace: None,
             progress: false,
             design: None,
+            force_scalar: false,
         }
     }
 }
@@ -114,6 +120,8 @@ pub fn usage() -> &'static str {
      \x20 --progress         live progress line on stderr (chunks done, samples/sec)\n\
      \x20 --design D         design under test (accurate | realm:m=16,t=0 | calm | drum:k=6 |\n\
      \x20                    kulkarni | implm | mbm:t=4 | ssm:s=8; width key w, default 16)\n\
+     \x20 --force-scalar     pin the multiply kernels to the scalar tier (= REALM_FORCE_SCALAR=1).\n\
+     \x20                    Purely a debugging/CI knob: results are bit-identical on every tier.\n\
      \x20 --help             print this help\n\
      \n\
      Ctrl-C or SIGTERM (container stop, CI timeout) checkpoints and exits cleanly;\n\
@@ -132,7 +140,15 @@ impl Options {
             std::process::exit(0);
         }
         match Options::parse(args) {
-            Ok(opts) => opts,
+            Ok(opts) => {
+                // Must happen before the first multiply_batch anywhere in
+                // the process: the kernel tier is resolved once and then
+                // deliberately sticky (realm_simd::active_tier).
+                if opts.force_scalar {
+                    std::env::set_var(realm_core::simd::FORCE_SCALAR_ENV, "1");
+                }
+                opts
+            }
             Err(e) => {
                 eprintln!("error: {e}\n\n{}", usage());
                 std::process::exit(2);
@@ -182,6 +198,7 @@ impl Options {
                 "--trace" => opts.trace = Some(PathBuf::from(value("--trace")?)),
                 "--progress" => opts.progress = true,
                 "--design" => opts.design = Some(value("--design")?),
+                "--force-scalar" => opts.force_scalar = true,
                 // Cargo's bench runner forwards this marker to
                 // `harness = false` benches; it carries no information.
                 "--bench" => {}
@@ -228,6 +245,13 @@ impl Options {
     /// collector for [`Supervisor::with_collector`].
     pub fn observability(&self) -> Observability {
         let registry = Arc::new(Registry::new());
+        // Record which multiply-kernel ISA tier this process dispatches
+        // to (0 = scalar, 1 = AVX2) so every metrics_summary.json names
+        // the tier that produced it, and log it once per process.
+        let tier = realm_core::simd::active_tier();
+        registry.gauge("kernel_tier", f64::from(tier.index()));
+        static TIER_LOG: std::sync::Once = std::sync::Once::new();
+        TIER_LOG.call_once(|| eprintln!("multiply kernel tier: {tier}"));
         let mut fanout = Fanout::new().with(registry.clone());
         let sink = self.trace.as_ref().map(|p| Arc::new(JsonlSink::new(p)));
         if let Some(sink) = &sink {
@@ -512,6 +536,27 @@ mod tests {
         assert!(ok(&[]).design.is_none());
         assert!(usage().contains("--design"));
         assert!(usage().contains("SIGTERM"), "usage must document SIGTERM");
+    }
+
+    #[test]
+    fn parses_force_scalar_and_usage_documents_it() {
+        assert!(ok(&["--force-scalar"]).force_scalar);
+        assert!(!ok(&[]).force_scalar);
+        assert!(usage().contains("--force-scalar"));
+        assert!(usage().contains("REALM_FORCE_SCALAR"));
+    }
+
+    #[test]
+    fn observability_records_the_kernel_tier_gauge() {
+        let metrics = ok(&[]).observability().metrics();
+        let tier = metrics.gauges["kernel_tier"];
+        // 0 = scalar, 1 = AVX2 — whatever this host dispatches to.
+        assert!(tier == 0.0 || tier == 1.0, "kernel_tier = {tier}");
+        assert_eq!(
+            tier as u8,
+            realm_core::simd::active_tier().index(),
+            "gauge must reflect the process-wide tier"
+        );
     }
 
     #[test]

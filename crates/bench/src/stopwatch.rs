@@ -86,6 +86,22 @@ pub struct KernelThroughput {
     pub samples_per_sec: f64,
 }
 
+/// Before/after comparison of one design's batch kernel across ISA
+/// tiers: the scalar reference tier versus the widest tier the process
+/// dispatches to (identical on machines without AVX2, where the wide
+/// tier falls back to scalar).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimdComparison {
+    /// Design label (`"REALM16 (t=0)"`).
+    pub design: String,
+    /// Multiplies per second on the pinned scalar tier.
+    pub scalar_multiplies_per_sec: f64,
+    /// Multiplies per second on the wide (SIMD) tier.
+    pub simd_multiplies_per_sec: f64,
+    /// `simd / scalar` rate ratio.
+    pub speedup: f64,
+}
+
 /// One point of the Monte-Carlo thread-scaling curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScalingPoint {
@@ -104,8 +120,13 @@ pub struct ScalingPoint {
 pub struct ThroughputReport {
     /// Monte-Carlo samples per scaling-curve campaign.
     pub samples: u64,
+    /// The ISA tier `multiply_batch` dispatches to in this process
+    /// (`"scalar"` or `"avx2"`, from `realm_simd::active_tier`).
+    pub kernel_tier: String,
     /// Per-(design, mode) kernel throughputs.
     pub kernels: Vec<KernelThroughput>,
+    /// Scalar-vs-SIMD before/after comparison per design.
+    pub simd: Vec<SimdComparison>,
     /// Thread-scaling curve of the parallel Monte-Carlo engine.
     pub scaling: Vec<ScalingPoint>,
 }
@@ -115,8 +136,12 @@ impl ThroughputReport {
     /// — the workspace builds offline, with no serialization crate).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"realm-bench/throughput/v1\",\n");
+        out.push_str("  \"schema\": \"realm-bench/throughput/v2\",\n");
         out.push_str(&format!("  \"samples\": {},\n", self.samples));
+        out.push_str(&format!(
+            "  \"kernel_tier\": \"{}\",\n",
+            escape_json(&self.kernel_tier)
+        ));
         out.push_str("  \"kernels\": [");
         for (i, k) in self.kernels.iter().enumerate() {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -127,6 +152,18 @@ impl ThroughputReport {
                 escape_json(&k.mode),
                 json_number(k.ns_per_multiply),
                 json_number(k.samples_per_sec),
+            ));
+        }
+        out.push_str("\n  ],\n  \"simd_speedup\": [");
+        for (i, c) in self.simd.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"design\": \"{}\", \"scalar_multiplies_per_sec\": {}, \
+                 \"simd_multiplies_per_sec\": {}, \"speedup\": {}}}",
+                escape_json(&c.design),
+                json_number(c.scalar_multiplies_per_sec),
+                json_number(c.simd_multiplies_per_sec),
+                json_number(c.speedup),
             ));
         }
         out.push_str("\n  ],\n  \"scaling\": [");
@@ -211,11 +248,18 @@ mod tests {
     fn report_json_has_expected_structure() {
         let report = ThroughputReport {
             samples: 1 << 16,
+            kernel_tier: "avx2".into(),
             kernels: vec![KernelThroughput {
                 design: "REALM16 (t=0)".into(),
                 mode: "batched".into(),
                 ns_per_multiply: 12.5,
                 samples_per_sec: 8.0e7,
+            }],
+            simd: vec![SimdComparison {
+                design: "REALM16 (t=0)".into(),
+                scalar_multiplies_per_sec: 4.0e8,
+                simd_multiplies_per_sec: 1.2e9,
+                speedup: 3.0,
             }],
             scaling: vec![ScalingPoint {
                 threads: 1,
@@ -224,8 +268,11 @@ mod tests {
             }],
         };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"realm-bench/throughput/v1\""));
+        assert!(json.contains("\"schema\": \"realm-bench/throughput/v2\""));
+        assert!(json.contains("\"kernel_tier\": \"avx2\""));
         assert!(json.contains("\"design\": \"REALM16 (t=0)\""));
+        assert!(json.contains("\"simd_speedup\": ["));
+        assert!(json.contains("\"speedup\": 3.000"));
         assert!(json.contains("\"threads\": 1"));
         // Structurally balanced and quote-paired (all strings here are
         // escape-free, so raw counts suffice).

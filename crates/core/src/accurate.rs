@@ -66,6 +66,13 @@ impl Multiplier for Accurate {
     }
 
     fn multiply_batch(&self, pairs: &[(u64, u64)], out: &mut [u64]) {
+        // Delegated to the tiered realm-simd kernel (scalar lanes are
+        // `a * b` with the same debug width asserts; the AVX2 tier is a
+        // 4-lane 32×32→64 vector multiply, bit-identical by test).
+        if let Some(kernel) = realm_simd::AccurateKernel::new(self.width) {
+            kernel.run(realm_simd::active_tier(), pairs, out);
+            return;
+        }
         let width = self.width;
         for (slot, (a, b)) in crate::multiplier::batch_lanes(pairs, out) {
             debug_assert!(a >> width == 0, "operand a exceeds {width} bits");

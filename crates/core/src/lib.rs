@@ -32,6 +32,9 @@
 //!   mirroring the constants the authors shipped as open source.
 //! * [`signed`] — the sign-magnitude wrapper that extends any unsigned
 //!   [`Multiplier`] to signed operands (the scheme referenced from DRUM).
+//! * [`simd`] (the re-exported `realm-simd` crate) — the tiered batch
+//!   kernels behind `multiply_batch`: scalar reference lanes plus
+//!   runtime-dispatched AVX2, bit-identical by exhaustive test.
 //!
 //! ## Quick example
 //!
@@ -74,6 +77,11 @@ pub mod realm;
 pub mod rng;
 pub mod segment;
 pub mod signed;
+
+/// The tiered (scalar / AVX2) batch-kernel layer, re-exported so
+/// downstream crates can query [`simd::active_tier`] and pin tiers in
+/// benches and differential tests without a separate dependency.
+pub use realm_simd as simd;
 
 pub use accurate::Accurate;
 pub use builder::RealmBuilder;

@@ -167,6 +167,20 @@ impl Realm {
     pub fn fraction_bits(&self) -> u32 {
         self.config.width - 1 - self.config.truncation
     }
+
+    /// The tiered `realm-simd` batch kernel over this instance's LUT —
+    /// `Some` for every narrow (width ≤ 31) configuration. The kernel
+    /// borrows the code slice, so building one per `multiply_batch`
+    /// call allocates nothing.
+    pub fn batch_kernel(&self) -> Option<realm_simd::RealmKernel<'_>> {
+        realm_simd::RealmKernel::new(
+            self.config.width,
+            self.config.segments,
+            self.config.truncation,
+            self.lut.precision(),
+            self.lut.codes(),
+        )
+    }
 }
 
 impl Multiplier for Realm {
@@ -227,41 +241,16 @@ impl Multiplier for Realm {
         // Construction guarantees f ≥ index_bits, so this cannot underflow.
         let idx_shift = f - self.lut.grid().index_bits();
         let codes = self.lut.codes();
-        if width <= 31 {
-            // Narrow fast path: every intermediate fits in u64. The
-            // mantissa is < 2^(f+2) and the scale shift is at most
-            // 2·width − 1 − f, so the scaled value stays below
-            // 2^(2·width + 1) ≤ 2^63 — no u128 arithmetic needed.
-            let max_product = (1u64 << (2 * width)) - 1;
-            for (slot, (a, b)) in crate::multiplier::batch_lanes(pairs, out) {
-                let (a, b) = (a & mask, b & mask);
-                if a == 0 || b == 0 {
-                    *slot = 0; // zero-operand special case
-                    continue;
-                }
-                let ka = 63 - a.leading_zeros();
-                let kb = 63 - b.leading_zeros();
-                let fa = (((a - (1u64 << ka)) << (full_f - ka)) >> t) | 1;
-                let fb = (((b - (1u64 << kb)) << (full_f - kb)) >> t) | 1;
-                let s = codes[((fa >> idx_shift) as usize) * m + (fb >> idx_shift) as usize] as u64;
-                let fsum = fa + fb;
-                let carry = fsum >> f;
-                let corr_f = if f >= q { s << (f - q) } else { s >> (q - f) };
-                let corr_eff = if carry == 1 { corr_f >> 1 } else { corr_f };
-                let k_sum = ka + kb;
-                let (mantissa, exponent) = if carry == 0 {
-                    ((1u64 << f) + fsum + corr_eff, k_sum)
-                } else {
-                    (fsum + corr_eff, k_sum + 1)
-                };
-                let shift = exponent as i32 - f as i32;
-                let value = if shift >= 0 {
-                    mantissa << shift
-                } else {
-                    mantissa >> -shift
-                };
-                *slot = value.min(max_product);
-            }
+        // Narrow fast path (width ≤ 31): every intermediate fits in u64
+        // — the mantissa is < 2^(f+2) and the scale shift is at most
+        // 2·width − 1 − f, so the scaled value stays below
+        // 2^(2·width + 1) ≤ 2^63. The loop body lives in `realm-simd`
+        // as `RealmKernel::lane` (the scalar tier is this crate's
+        // former monomorphic loop verbatim) so the AVX2 tier shares one
+        // source of truth; the differential suites prove the tiers
+        // bit-identical on every 8-bit pair and random wide streams.
+        if let Some(kernel) = self.batch_kernel() {
+            kernel.run(realm_simd::active_tier(), pairs, out);
             return;
         }
         for (slot, (a, b)) in crate::multiplier::batch_lanes(pairs, out) {

@@ -1,0 +1,198 @@
+//! SIMD ≡ scalar differential proof for the tiered batch kernels.
+//!
+//! The bit-identicality contract (DESIGN.md §14): the AVX2 tier must
+//! reproduce the scalar tier — and therefore the scalar `multiply`
+//! datapath — bit for bit, on every operand pair, at every batch
+//! length. These tests pin both tiers explicitly through the kernels'
+//! `run(tier, ...)` API, so they prove the contract even on hosts where
+//! `active_tier()` would have picked AVX2 anyway, and degrade to
+//! scalar-vs-scalar (trivially green, still exercising remainder-lane
+//! code) on machines without AVX2.
+//!
+//! Coverage:
+//!
+//! * the full 8-bit operand square — all 65536 pairs — for every
+//!   accelerated design (Accurate, REALM across the paper's (M, t)
+//!   corners, at several widths),
+//! * deterministic property tests (`realm_core::rng::SplitMix64`, no
+//!   external crates) over random 16/32/64-bit operand streams — REALM
+//!   masks operands to its port width, so raw u64 inputs are legal —
+//!   and odd batch lengths hitting the remainder lanes.
+
+use realm_core::rng::SplitMix64;
+use realm_core::simd::{self, Tier};
+use realm_core::{Accurate, Multiplier, Realm, RealmConfig};
+
+fn all_8bit_pairs() -> Vec<(u64, u64)> {
+    (0..=255u64)
+        .flat_map(|a| (0..=255u64).map(move |b| (a, b)))
+        .collect()
+}
+
+/// A kernel invocation with the ISA tier pinned per call.
+type TierRun<'a> = &'a dyn Fn(Tier, &[(u64, u64)], &mut [u64]);
+
+/// Runs `pairs` through both pinned tiers and the design's scalar
+/// `multiply`, asserting three-way bit-identity.
+fn assert_tiers_match(label: &str, design: &dyn Multiplier, run: TierRun, pairs: &[(u64, u64)]) {
+    let mut scalar = vec![0u64; pairs.len()];
+    let mut wide = vec![0u64; pairs.len()];
+    run(Tier::Scalar, pairs, &mut scalar);
+    run(Tier::Avx2, pairs, &mut wide);
+    for (i, &(a, b)) in pairs.iter().enumerate() {
+        assert_eq!(
+            scalar[i],
+            design.multiply(a, b),
+            "{label}: scalar tier != multiply at a={a} b={b}"
+        );
+        assert_eq!(
+            wide[i], scalar[i],
+            "{label}: SIMD tier != scalar tier at a={a} b={b} (lane {i})"
+        );
+    }
+}
+
+#[test]
+fn accurate_tiers_agree_on_every_8bit_pair() {
+    let pairs = all_8bit_pairs();
+    for width in [8u32, 16, 32] {
+        let design = Accurate::new(width);
+        let kernel = simd::AccurateKernel::new(width).expect("valid width");
+        assert_tiers_match(
+            &format!("Accurate w={width}"),
+            &design,
+            &|t, p, o| kernel.run(t, p, o),
+            &pairs,
+        );
+    }
+}
+
+#[test]
+fn realm_tiers_agree_on_every_8bit_pair_across_design_corners() {
+    // The paper's (M, t) corners at N = 16: densest LUT, mid, maximum
+    // truncation, and a truncated dense-LUT point.
+    let pairs = all_8bit_pairs();
+    for (m, t) in [(16u32, 0u32), (8, 3), (4, 9), (16, 4)] {
+        let design = Realm::new(RealmConfig::n16(m, t)).expect("paper design point");
+        let kernel = design.batch_kernel().expect("narrow width has a kernel");
+        assert_tiers_match(
+            &format!("REALM M={m} t={t}"),
+            &design,
+            &|tier, p, o| kernel.run(tier, p, o),
+            &pairs,
+        );
+    }
+}
+
+#[test]
+fn realm_tiers_agree_on_every_8bit_pair_at_other_widths() {
+    let pairs = all_8bit_pairs();
+    for width in [8u32, 12, 24, 31] {
+        let design = Realm::new(RealmConfig::new(width, 8, 1, 6)).expect("valid config");
+        let kernel = design.batch_kernel().expect("narrow width has a kernel");
+        assert_tiers_match(
+            &format!("REALM w={width}"),
+            &design,
+            &|tier, p, o| kernel.run(tier, p, o),
+            &pairs,
+        );
+    }
+}
+
+/// Deterministic proptest: random operand streams at several
+/// bit-widths, including full-range u64 (REALM masks operands to its
+/// input ports, so every u64 is in-contract), across odd batch lengths
+/// chosen to cover every remainder-lane count (len mod 4 ∈ {0,1,2,3}).
+#[test]
+fn proptest_realm_tiers_agree_on_random_wide_streams() {
+    let design = Realm::new(RealmConfig::n16(16, 0)).expect("paper design point");
+    let kernel = design.batch_kernel().expect("narrow width has a kernel");
+    let mut rng = SplitMix64::new(0x5EED_51AD);
+    for (case, operand_bits) in [(0u64, 16u32), (1, 32), (2, 64)] {
+        let mask = if operand_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << operand_bits) - 1
+        };
+        for len in [1usize, 2, 3, 4, 5, 7, 64, 1021, 4096] {
+            let mut stream = SplitMix64::stream(rng.next_u64(), case);
+            let pairs: Vec<(u64, u64)> = (0..len)
+                .map(|_| (stream.next_u64() & mask, stream.next_u64() & mask))
+                .collect();
+            assert_tiers_match(
+                &format!("REALM16 t=0, {operand_bits}-bit stream, len {len}"),
+                &design,
+                &|tier, p, o| kernel.run(tier, p, o),
+                &pairs,
+            );
+        }
+    }
+}
+
+#[test]
+fn proptest_accurate_tiers_agree_on_random_streams_and_odd_lengths() {
+    let mut rng = SplitMix64::new(0xACC0_0001);
+    for width in [16u32, 31, 32] {
+        let design = Accurate::new(width);
+        let kernel = simd::AccurateKernel::new(width).expect("valid width");
+        let mask = (1u64 << width) - 1;
+        for len in [1usize, 3, 5, 17, 255, 1000, 4097] {
+            let pairs: Vec<(u64, u64)> = (0..len)
+                .map(|_| (rng.next_u64() & mask, rng.next_u64() & mask))
+                .collect();
+            assert_tiers_match(
+                &format!("Accurate w={width} len={len}"),
+                &design,
+                &|t, p, o| kernel.run(t, p, o),
+                &pairs,
+            );
+        }
+    }
+}
+
+#[test]
+fn default_batch_path_uses_the_active_tier_and_matches_scalar() {
+    // End-to-end: the trait-level multiply_batch (whatever tier the
+    // process dispatches to) must match the scalar datapath.
+    let design = Realm::new(RealmConfig::n16(8, 3)).expect("paper design point");
+    let pairs = all_8bit_pairs();
+    let mut out = vec![0u64; pairs.len()];
+    design.multiply_batch(&pairs, &mut out);
+    for (&(a, b), &p) in pairs.iter().zip(&out) {
+        assert_eq!(p, design.multiply(a, b), "a={a} b={b}");
+    }
+    // And the dispatch is reportable: the process-wide tier is one of
+    // the two named tiers, sticky across calls.
+    let tier = simd::active_tier();
+    assert!(matches!(tier, Tier::Scalar | Tier::Avx2));
+    assert_eq!(tier, simd::active_tier());
+}
+
+#[test]
+fn zero_and_saturation_corners_agree_on_both_tiers() {
+    // The corners the vector code handles specially: zero lanes
+    // (re-pointed at 1 then masked), full-scale saturation, and the
+    // 1×1 floor case — packed densely so they land in the same vector.
+    let design = Realm::new(RealmConfig::n16(16, 0)).expect("paper design point");
+    let kernel = design.batch_kernel().expect("narrow width has a kernel");
+    let max = 65_535u64;
+    let pairs: Vec<(u64, u64)> = vec![
+        (0, 0),
+        (0, max),
+        (max, 0),
+        (1, 1),
+        (max, max),
+        (0, 1),
+        (1, max),
+        (32_768, 32_768),
+        (0, 0),
+        (max, max),
+        (2, 2),
+    ];
+    assert_tiers_match(
+        "REALM16 corners",
+        &design,
+        &|t, p, o| kernel.run(t, p, o),
+        &pairs,
+    );
+}

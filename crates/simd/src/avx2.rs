@@ -1,0 +1,355 @@
+//! AVX2 bodies of the four batch kernels: 4 × u64 lanes per iteration,
+//! remainder lanes through the kernels' scalar `lane` functions so every
+//! batch length is handled and the tail is bit-identical by shared code.
+//!
+//! Lane recipe (shared by the log-based kernels):
+//!
+//! * **Leading-one detect** — no 64-bit `lzcnt` exists in AVX2, so each
+//!   operand is turned into the double `2^52 + v` (exponent-field OR,
+//!   exact for `v < 2^52`; all in-range operands are `< 2^32`), `2^52`
+//!   is subtracted in floating point, and the biased exponent read back
+//!   is `floor(log2 v) + 1023`.
+//! * **Barrel shifts** — per-lane variable shifts are `vpsllvq`/
+//!   `vpsrlvq`, which conveniently produce 0 for any count ≥ 64; the
+//!   select-by-sign final scaling computes both shift directions and
+//!   blends on the sign of the exponent difference.
+//! * **M×M LUT gather** — segment indices are concatenated to one
+//!   row-major offset and the quantized factor codes are fetched with
+//!   `vpgatherqd`; kernel construction guarantees every index is in
+//!   bounds, zero operands included (they are re-pointed at 1 and the
+//!   lane result is masked to 0 afterwards, mirroring the scalar
+//!   short-circuit).
+//! * **Saturation** — products stay below `2^63` for every supported
+//!   width, so signed 64-bit compares implement the unsigned clamp.
+//!
+//! On non-x86-64 targets the module degrades to stubs that report "not
+//! handled", sending every batch to the scalar tier.
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    use crate::kernel::{AccurateKernel, CalmKernel, DrumKernel, RealmKernel};
+    use core::arch::x86_64::*;
+
+    const LANES: usize = 4;
+
+    /// `(u64, u64)` is `repr(Rust)`: the in-memory order of the two
+    /// halves is unspecified, so resolve at compile time which half of
+    /// each 16-byte pair is `.0` and swap the unpacked vectors if the
+    /// compiler flipped them.
+    const A_FIRST: bool = core::mem::offset_of!((u64, u64), 0) == 0;
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn splat(x: u64) -> __m256i {
+        _mm256_set1_epi64x(x as i64)
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn count(x: u32) -> __m128i {
+        _mm_cvtsi64_si128(x as i64)
+    }
+
+    /// Loads 4 operand pairs as `(a_lanes, b_lanes)`, both in the
+    /// permuted order `[0, 2, 1, 3]` that [`store_lanes`] undoes.
+    ///
+    /// # Safety
+    ///
+    /// `p` must be valid for reading 4 consecutive pairs (64 bytes).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn load_pairs(p: *const (u64, u64)) -> (__m256i, __m256i) {
+        // SAFETY: caller guarantees 64 readable bytes; unaligned loads.
+        let (v0, v1) = unsafe {
+            (
+                _mm256_loadu_si256(p as *const __m256i),
+                _mm256_loadu_si256(p.add(2) as *const __m256i),
+            )
+        };
+        let first = _mm256_unpacklo_epi64(v0, v1);
+        let second = _mm256_unpackhi_epi64(v0, v1);
+        if A_FIRST {
+            (first, second)
+        } else {
+            (second, first)
+        }
+    }
+
+    /// Stores 4 product lanes produced in the `[0, 2, 1, 3]` order of
+    /// [`load_pairs`] back in batch order.
+    ///
+    /// # Safety
+    ///
+    /// `out` must be valid for writing 4 `u64` (32 bytes).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn store_lanes(out: *mut u64, permuted: __m256i) {
+        let ordered = _mm256_permute4x64_epi64::<0b11_01_10_00>(permuted);
+        // SAFETY: caller guarantees 32 writable bytes; unaligned store.
+        unsafe { _mm256_storeu_si256(out as *mut __m256i, ordered) };
+    }
+
+    /// `floor(log2 v)` per lane, exact for `1 ≤ v < 2^52`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn floor_log2(v: __m256i) -> __m256i {
+        const MAGIC: u64 = 0x4330_0000_0000_0000; // 2^52 as f64 bits
+        let wide = _mm256_or_si256(v, splat(MAGIC)); // == 2^52 + v
+        let norm = _mm256_sub_pd(_mm256_castsi256_pd(wide), _mm256_castsi256_pd(splat(MAGIC)));
+        _mm256_sub_epi64(
+            _mm256_srli_epi64::<52>(_mm256_castpd_si256(norm)),
+            splat(1023),
+        )
+    }
+
+    /// Zero-operand handling: returns `(zero_lane_mask, a_or_1, b_or_1)`
+    /// — lanes with a zero operand are re-pointed at 1 so the log
+    /// pipeline stays in range, and the caller masks their result to 0.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn guard_zeros(a: __m256i, b: __m256i) -> (__m256i, __m256i, __m256i) {
+        let zero = _mm256_setzero_si256();
+        let one = splat(1);
+        let za = _mm256_cmpeq_epi64(a, zero);
+        let zb = _mm256_cmpeq_epi64(b, zero);
+        (
+            _mm256_or_si256(za, zb),
+            _mm256_or_si256(a, _mm256_and_si256(za, one)),
+            _mm256_or_si256(b, _mm256_and_si256(zb, one)),
+        )
+    }
+
+    /// Final barrel shift + unsigned clamp: `mant · 2^(exp − f)`,
+    /// floored, saturated at `maxp`. All values are `< 2^63`, so the
+    /// signed compares are exact.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    fn scale_and_clamp(mant: __m256i, exp: __m256i, fv: __m256i, maxp: __m256i) -> __m256i {
+        let zero = _mm256_setzero_si256();
+        let shl = _mm256_sub_epi64(exp, fv);
+        let shr = _mm256_sub_epi64(fv, exp);
+        let val = _mm256_blendv_epi8(
+            _mm256_sllv_epi64(mant, shl),
+            _mm256_srlv_epi64(mant, shr),
+            _mm256_cmpgt_epi64(zero, shl),
+        );
+        _mm256_blendv_epi8(val, maxp, _mm256_cmpgt_epi64(val, maxp))
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn accurate_body(k: &AccurateKernel, pairs: &[(u64, u64)], out: &mut [u64]) {
+        let n = pairs.len() - pairs.len() % LANES;
+        let mut i = 0;
+        while i < n {
+            // SAFETY: i + 4 ≤ n ≤ len for both slices.
+            let (a, b) = unsafe { load_pairs(pairs.as_ptr().add(i)) };
+            let p = _mm256_mul_epu32(a, b); // 32×32→64 per lane; N ≤ 32
+                                            // SAFETY: as above.
+            unsafe { store_lanes(out.as_mut_ptr().add(i), p) };
+            i += LANES;
+        }
+        for (slot, &(a, b)) in out[n..].iter_mut().zip(&pairs[n..]) {
+            *slot = k.lane(a, b);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn calm_body(k: &CalmKernel, pairs: &[(u64, u64)], out: &mut [u64]) {
+        let f = k.fraction_bits();
+        let one = splat(1);
+        let fv = splat(f as u64);
+        let implied = splat(1u64 << f);
+        let maxp = splat(k.max_product());
+        let f_cnt = count(f);
+        let n = pairs.len() - pairs.len() % LANES;
+        let mut i = 0;
+        while i < n {
+            // SAFETY: i + 4 ≤ n ≤ len for both slices.
+            let (a, b) = unsafe { load_pairs(pairs.as_ptr().add(i)) };
+            let (zmask, a, b) = guard_zeros(a, b);
+            let ka = floor_log2(a);
+            let kb = floor_log2(b);
+            // fa = (a − 2^ka) << (f − ka): clear the leading one, then
+            // left-align the mantissa under the binary point.
+            let fa = _mm256_sllv_epi64(
+                _mm256_xor_si256(a, _mm256_sllv_epi64(one, ka)),
+                _mm256_sub_epi64(fv, ka),
+            );
+            let fb = _mm256_sllv_epi64(
+                _mm256_xor_si256(b, _mm256_sllv_epi64(one, kb)),
+                _mm256_sub_epi64(fv, kb),
+            );
+            let fsum = _mm256_add_epi64(fa, fb);
+            let carry = _mm256_cmpeq_epi64(_mm256_srl_epi64(fsum, f_cnt), one);
+            let ksum = _mm256_add_epi64(ka, kb);
+            let mant = _mm256_blendv_epi8(_mm256_add_epi64(implied, fsum), fsum, carry);
+            let exp = _mm256_blendv_epi8(ksum, _mm256_add_epi64(ksum, one), carry);
+            let val = scale_and_clamp(mant, exp, fv, maxp);
+            // SAFETY: as above.
+            unsafe { store_lanes(out.as_mut_ptr().add(i), _mm256_andnot_si256(zmask, val)) };
+            i += LANES;
+        }
+        for (slot, &(a, b)) in out[n..].iter_mut().zip(&pairs[n..]) {
+            *slot = k.lane(a, b);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn drum_body(k: &DrumKernel, pairs: &[(u64, u64)], out: &mut [u64]) {
+        let one = splat(1);
+        let frag = splat(k.fragment() as u64);
+        let frag_m1 = splat((k.fragment() - 1) as u64);
+        let n = pairs.len() - pairs.len() % LANES;
+        let mut i = 0;
+        while i < n {
+            // SAFETY: i + 4 ≤ n ≤ len for both slices.
+            let (a, b) = unsafe { load_pairs(pairs.as_ptr().add(i)) };
+            let (zmask, a, b) = guard_zeros(a, b);
+            let pa = floor_log2(a);
+            let pb = floor_log2(b);
+            // shift = p − k + 1; fragment = ((v >> shift) | 1) << shift.
+            // Lanes with p < k get a negative (huge unsigned) count and
+            // produce garbage, but are blended back to the exact value.
+            let sha = _mm256_sub_epi64(pa, frag_m1);
+            let shb = _mm256_sub_epi64(pb, frag_m1);
+            let fa = _mm256_sllv_epi64(_mm256_or_si256(_mm256_srlv_epi64(a, sha), one), sha);
+            let fb = _mm256_sllv_epi64(_mm256_or_si256(_mm256_srlv_epi64(b, shb), one), shb);
+            let av = _mm256_blendv_epi8(fa, a, _mm256_cmpgt_epi64(frag, pa));
+            let bv = _mm256_blendv_epi8(fb, b, _mm256_cmpgt_epi64(frag, pb));
+            let prod = _mm256_mul_epu32(av, bv); // fragments are < 2^32
+                                                 // SAFETY: as above.
+            unsafe { store_lanes(out.as_mut_ptr().add(i), _mm256_andnot_si256(zmask, prod)) };
+            i += LANES;
+        }
+        for (slot, &(a, b)) in out[n..].iter_mut().zip(&pairs[n..]) {
+            *slot = k.lane(a, b);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    fn realm_body(k: &RealmKernel, pairs: &[(u64, u64)], out: &mut [u64]) {
+        let (f, q) = (k.fraction_bits(), k.precision());
+        let one = splat(1);
+        let mask = splat(k.mask());
+        let full_fv = splat(k.full_fraction_bits() as u64);
+        let fv = splat(f as u64);
+        let implied = splat(1u64 << f);
+        let maxp = splat(k.max_product());
+        let t_cnt = count(k.truncation());
+        let f_cnt = count(f);
+        let idx_cnt = count(k.idx_shift());
+        let row_cnt = count(k.index_bits());
+        // The correction aligns the q-bit code under the f fraction
+        // bits; the direction is uniform per kernel.
+        let corr_left = f >= q;
+        let corr_cnt = count(if corr_left { f - q } else { q - f });
+        let codes = k.codes().as_ptr() as *const i32;
+        let n = pairs.len() - pairs.len() % LANES;
+        let mut i = 0;
+        while i < n {
+            // SAFETY: i + 4 ≤ n ≤ len for both slices.
+            let (a, b) = unsafe { load_pairs(pairs.as_ptr().add(i)) };
+            let a = _mm256_and_si256(a, mask);
+            let b = _mm256_and_si256(b, mask);
+            let (zmask, a, b) = guard_zeros(a, b);
+            let ka = floor_log2(a);
+            let kb = floor_log2(b);
+            // fa = (((a − 2^ka) << (full_f − ka)) >> t) | 1 — encode,
+            // truncate, force the surviving LSB.
+            let fa = _mm256_or_si256(
+                _mm256_srl_epi64(
+                    _mm256_sllv_epi64(
+                        _mm256_xor_si256(a, _mm256_sllv_epi64(one, ka)),
+                        _mm256_sub_epi64(full_fv, ka),
+                    ),
+                    t_cnt,
+                ),
+                one,
+            );
+            let fb = _mm256_or_si256(
+                _mm256_srl_epi64(
+                    _mm256_sllv_epi64(
+                        _mm256_xor_si256(b, _mm256_sllv_epi64(one, kb)),
+                        _mm256_sub_epi64(full_fv, kb),
+                    ),
+                    t_cnt,
+                ),
+                one,
+            );
+            // Row-major LUT offset (i << log2 M) | j, then vpgatherqd.
+            // Kernel construction bounds every index below M², and the
+            // zero-guard keeps even dead lanes in range.
+            let idx = _mm256_or_si256(
+                _mm256_sll_epi64(_mm256_srl_epi64(fa, idx_cnt), row_cnt),
+                _mm256_srl_epi64(fb, idx_cnt),
+            );
+            // SAFETY: every lane of `idx` is < codes.len() (see above);
+            // the gather reads 4 in-bounds u32 values.
+            let s = _mm256_cvtepu32_epi64(unsafe { _mm256_i64gather_epi32::<4>(codes, idx) });
+            let corr = if corr_left {
+                _mm256_sll_epi64(s, corr_cnt)
+            } else {
+                _mm256_srl_epi64(s, corr_cnt)
+            };
+            let fsum = _mm256_add_epi64(fa, fb);
+            let carry = _mm256_cmpeq_epi64(_mm256_srl_epi64(fsum, f_cnt), one);
+            // On fraction carry the correction is halved (the s/2 mux).
+            let corr_eff = _mm256_blendv_epi8(corr, _mm256_srli_epi64::<1>(corr), carry);
+            let base = _mm256_add_epi64(fsum, corr_eff);
+            let ksum = _mm256_add_epi64(ka, kb);
+            let mant = _mm256_blendv_epi8(_mm256_add_epi64(implied, base), base, carry);
+            let exp = _mm256_blendv_epi8(ksum, _mm256_add_epi64(ksum, one), carry);
+            let val = scale_and_clamp(mant, exp, fv, maxp);
+            // SAFETY: as above.
+            unsafe { store_lanes(out.as_mut_ptr().add(i), _mm256_andnot_si256(zmask, val)) };
+            i += LANES;
+        }
+        for (slot, &(a, b)) in out[n..].iter_mut().zip(&pairs[n..]) {
+            *slot = k.lane(a, b);
+        }
+    }
+
+    /// Runs the AVX2 body when the CPU supports it; `false` sends the
+    /// batch to the scalar tier.
+    macro_rules! dispatch {
+        ($name:ident, $body:ident, $kernel:ty) => {
+            pub(crate) fn $name(k: &$kernel, pairs: &[(u64, u64)], out: &mut [u64]) -> bool {
+                if !crate::avx2_available() {
+                    return false;
+                }
+                // SAFETY: AVX2 presence was verified at run time on the
+                // line above; the body has no other preconditions.
+                unsafe { $body(k, pairs, out) };
+                true
+            }
+        };
+    }
+
+    dispatch!(run_accurate, accurate_body, AccurateKernel);
+    dispatch!(run_calm, calm_body, CalmKernel);
+    dispatch!(run_drum, drum_body, DrumKernel);
+    dispatch!(run_realm, realm_body, RealmKernel<'_>);
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+mod imp {
+    //! Non-x86-64 stub: no wide tier exists (see the NEON note in the
+    //! crate docs), so every batch reports "not handled" and runs on
+    //! the scalar tier.
+    use crate::kernel::{AccurateKernel, CalmKernel, DrumKernel, RealmKernel};
+
+    pub(crate) fn run_accurate(_: &AccurateKernel, _: &[(u64, u64)], _: &mut [u64]) -> bool {
+        false
+    }
+    pub(crate) fn run_calm(_: &CalmKernel, _: &[(u64, u64)], _: &mut [u64]) -> bool {
+        false
+    }
+    pub(crate) fn run_drum(_: &DrumKernel, _: &[(u64, u64)], _: &mut [u64]) -> bool {
+        false
+    }
+    pub(crate) fn run_realm(_: &RealmKernel<'_>, _: &[(u64, u64)], _: &mut [u64]) -> bool {
+        false
+    }
+}
+
+pub(crate) use imp::{run_accurate, run_calm, run_drum, run_realm};
