@@ -22,7 +22,8 @@
 
 use realm_bench::{Driver, Options, OrDie};
 use realm_core::multiplier::MultiplierExt;
-use realm_metrics::{parse_design, ErrorSummary, MonteCarlo};
+use realm_metrics::{parse_design, ErrorSla, ErrorSummary, MonteCarlo};
+use realm_qos::{Controller, QosTable, TableConfig};
 
 /// A float as a JSON object carrying both the shortest decimal that
 /// round-trips and the exact bit pattern — byte-stable because the
@@ -31,10 +32,20 @@ fn json_f64(x: f64) -> String {
     format!("{{\"value\": {x:?}, \"bits\": \"{:016x}\"}}", x.to_bits())
 }
 
-fn summary_json(design: &str, requested: u64, seed: u64, errors: &ErrorSummary) -> String {
+fn summary_json(
+    design: &str,
+    requested: u64,
+    seed: u64,
+    errors: &ErrorSummary,
+    sla: Option<(ErrorSla, bool)>,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"realm-bench/campaign/v1\",\n");
     out.push_str(&format!("  \"design\": \"{design}\",\n"));
+    if let Some((sla, met)) = sla {
+        out.push_str(&format!("  \"error_sla\": \"{}\",\n", sla.text()));
+        out.push_str(&format!("  \"sla_met\": {met},\n"));
+    }
     out.push_str(&format!("  \"requested_samples\": {requested},\n"));
     out.push_str(&format!("  \"seed\": {seed},\n"));
     out.push_str(&format!("  \"samples\": {},\n", errors.samples));
@@ -56,12 +67,39 @@ fn summary_json(design: &str, requested: u64, seed: u64, errors: &ErrorSummary) 
     out
 }
 
+/// Scores a completed campaign against the `--error-sla` budget (NMED
+/// is a table metric the per-run summary does not carry; the measured
+/// components are mean and peak relative error).
+fn sla_met(sla: &ErrorSla, errors: &ErrorSummary) -> bool {
+    sla.mean.is_none_or(|limit| errors.mean_error <= limit)
+        && sla.peak.is_none_or(|limit| errors.peak_error() <= limit)
+}
+
 fn main() {
     let mut opts = Options::from_env();
     if opts.smoke && opts.samples == Options::default().samples {
         opts.samples = 1 << 16;
     }
-    let design_text = opts.design.clone().unwrap_or_else(|| "realm".to_string());
+    let design_text = match (&opts.design, opts.error_sla) {
+        (Some(text), _) => text.clone(),
+        (None, Some(sla)) => {
+            // No pinned design: characterize the zoo (smoke-sized — the
+            // selection only needs the designs' relative order) and let
+            // the controller pick the cheapest config meeting the budget.
+            let table_cfg = TableConfig {
+                threads: opts.threads,
+                ..TableConfig::smoke()
+            };
+            let table = QosTable::characterize(&table_cfg).or_die("zoo characterization");
+            let entry = Controller::select(&table, &sla).or_die("design selection");
+            println!(
+                "SLA {sla}: selected {} (characterized mean {:.6}, cost {:.3})",
+                entry.design, entry.mean_error, entry.cost
+            );
+            entry.design.clone()
+        }
+        (None, None) => "realm".to_string(),
+    };
     let design = parse_design(&design_text).or_die("design under test");
     let label = design.label();
     println!(
@@ -78,9 +116,19 @@ fn main() {
 
     if let (true, Some(errors)) = (sup.report.is_complete(), &sup.value) {
         println!("{errors}");
+        let scored = driver.opts.error_sla.map(|sla| {
+            let met = sla_met(&sla, errors);
+            println!(
+                "SLA {sla}: {} (delivered mean {:.6}, peak {:.6})",
+                if met { "met" } else { "VIOLATED" },
+                errors.mean_error,
+                errors.peak_error()
+            );
+            (sla, met)
+        });
         driver.opts.write_csv(
             "campaign_summary.json",
-            &summary_json(&label, campaign.samples(), campaign.seed(), errors),
+            &summary_json(&label, campaign.samples(), campaign.seed(), errors, scored),
         );
     } else {
         // Partial coverage is a normal outcome of a deadline, Ctrl-C,

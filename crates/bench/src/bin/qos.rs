@@ -1,0 +1,132 @@
+//! Error-budget QoS driver: characterizes the design zoo into the
+//! versioned `qos_tables.json` artifact, then runs the chaos-validation
+//! campaign — a guarded, controller-driven loop that must hold a target
+//! SLA while faults are injected at every REALM datapath site — and
+//! writes the `BENCH_qos.json` scorecard (SLA attainment, delivered
+//! error vs target, config-switch counts, cost vs the clairvoyant
+//! static selection).
+//!
+//! ```text
+//! cargo run --release -p realm-bench --bin qos -- \
+//!     --smoke --error-sla mean:0.02 --out results --trace qos.jsonl
+//! ```
+//!
+//! With `--out DIR`, an existing `DIR/qos_tables.json` whose
+//! fingerprint matches the requested configuration is loaded instead of
+//! re-characterized; a stale or tampered table is silently rebuilt.
+//! Controller moves (escalations, relaxations) are narrated as
+//! `config_switch`/`escalation` events on the `--trace` stream.
+
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use realm_bench::{Options, OrDie};
+use realm_metrics::ErrorSla;
+use realm_qos::{chaos, ChaosConfig, QosTable, TableConfig};
+
+fn main() {
+    let opts = Options::from_env();
+    let defaults = Options::default();
+
+    let mut table_cfg = if opts.smoke {
+        TableConfig::smoke()
+    } else {
+        TableConfig::paper()
+    };
+    table_cfg.threads = opts.threads;
+    if opts.samples != defaults.samples {
+        table_cfg.samples = opts.samples;
+    }
+    if opts.cycles != defaults.cycles {
+        table_cfg.cycles = opts.cycles;
+    }
+    if opts.seed != defaults.seed {
+        table_cfg.seed = opts.seed;
+    }
+
+    let cached = opts.out_dir.as_ref().and_then(|dir| {
+        QosTable::load(&dir.join("qos_tables.json"), Some(table_cfg.fingerprint())).ok()
+    });
+    let table = match cached {
+        Some(table) => {
+            println!("loaded qos_tables.json (fingerprint matches; skipping characterization)");
+            table
+        }
+        None => {
+            println!(
+                "characterizing the design zoo — {} samples, {} power cycles per design",
+                table_cfg.samples, table_cfg.cycles
+            );
+            QosTable::characterize(&table_cfg).or_die("zoo characterization")
+        }
+    };
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>8}",
+        "design", "mean", "nmed", "peak", "cost"
+    );
+    for entry in &table.entries {
+        println!(
+            "{:<16} {:>10.6} {:>10.6} {:>10.6} {:>8.3}",
+            entry.design, entry.mean_error, entry.nmed, entry.peak_error, entry.cost
+        );
+    }
+    opts.write_csv("qos_tables.json", &table.to_json());
+
+    let sla = match opts.error_sla {
+        Some(sla) => sla,
+        None => ErrorSla::parse("mean:0.02").or_die("default SLA"),
+    };
+    let chaos_cfg = ChaosConfig {
+        threads: opts.threads,
+        ..if opts.smoke {
+            ChaosConfig::smoke(sla)
+        } else {
+            ChaosConfig::paper(sla)
+        }
+    };
+    println!(
+        "chaos campaign — SLA {sla}, {} samples/window, faults at every datapath site",
+        chaos_cfg.window_samples
+    );
+    let obs = opts.observability();
+    let collector = obs.collector();
+    let outcome = chaos::run(&table, &chaos_cfg, collector.as_ref()).or_die("chaos campaign");
+
+    for round in &outcome.rounds {
+        println!(
+            "  {:<22} {:<16} mean {:>9.6} (static {:>9.6}) fb {:>6.4} {}",
+            round.phase,
+            round.design,
+            round.mean_error,
+            round.static_mean_error,
+            round.fallback_rate,
+            if round.met { "met" } else { "VIOLATED" },
+        );
+    }
+    println!(
+        "attainment {:.4} (static baseline {:.4}); mean delivered error {:.6} vs target {:.6}",
+        outcome.attainment,
+        outcome.static_attainment,
+        outcome.mean_delivered_error,
+        outcome.target_mean
+    );
+    println!(
+        "switches {} ({} escalations, {} relaxations); cost {:.3} vs oracle-static {:.3} ({:.3}x)",
+        outcome.switches,
+        outcome.escalations,
+        outcome.relaxations,
+        outcome.mean_cost,
+        outcome.oracle_cost,
+        outcome.cost_ratio
+    );
+
+    opts.write_csv("BENCH_qos.json", &outcome.to_json());
+    opts.write_csv("metrics_summary.json", &obs.metrics().to_json());
+    obs.finish();
+
+    if outcome.attainment < 0.99 {
+        realm_bench::die(&format!(
+            "SLA attainment {:.4} below the 0.99 acceptance floor",
+            outcome.attainment
+        ));
+    }
+}

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use realm_harness::{CancelToken, Supervisor};
+use realm_metrics::ErrorSla;
 use realm_obs::{Fanout, JsonlSink, MetricsSummary, ProgressReporter, Registry, SharedCollector};
 use realm_par::Threads;
 
@@ -29,7 +30,7 @@ impl fmt::Display for CliError {
 impl std::error::Error for CliError {}
 
 /// Common options for the experiment binaries.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Options {
     /// Monte-Carlo samples per design (paper default: `2^24`).
     pub samples: u64,
@@ -76,6 +77,11 @@ pub struct Options {
     /// differential knob: results are bit-identical under every tier,
     /// only throughput changes.
     pub force_scalar: bool,
+    /// Error budget for the campaign (`--error-sla mean:0.03,nmed:0.01`).
+    /// Drivers that honor it select the cheapest characterized design
+    /// satisfying the budget (when no `--design` pins one) and score the
+    /// delivered error against it.
+    pub error_sla: Option<ErrorSla>,
 }
 
 impl Default for Options {
@@ -96,6 +102,7 @@ impl Default for Options {
             progress: false,
             design: None,
             force_scalar: false,
+            error_sla: None,
         }
     }
 }
@@ -122,6 +129,9 @@ pub fn usage() -> &'static str {
      \x20                    kulkarni | implm | mbm:t=4 | ssm:s=8; width key w, default 16)\n\
      \x20 --force-scalar     pin the multiply kernels to the scalar tier (= REALM_FORCE_SCALAR=1).\n\
      \x20                    Purely a debugging/CI knob: results are bit-identical on every tier.\n\
+     \x20 --error-sla S      error budget, comma-separated bounds (mean:0.03,nmed:0.01,peak:0.2).\n\
+     \x20                    Drivers that honor it pick the cheapest design meeting the budget\n\
+     \x20                    (unless --design pins one) and score the delivered error against it.\n\
      \x20 --help             print this help\n\
      \n\
      Ctrl-C or SIGTERM (container stop, CI timeout) checkpoints and exits cleanly;\n\
@@ -199,6 +209,12 @@ impl Options {
                 "--progress" => opts.progress = true,
                 "--design" => opts.design = Some(value("--design")?),
                 "--force-scalar" => opts.force_scalar = true,
+                "--error-sla" => {
+                    let text = value("--error-sla")?;
+                    let sla = ErrorSla::parse(&text)
+                        .map_err(|e| CliError(format!("invalid --error-sla '{text}': {e}")))?;
+                    opts.error_sla = Some(sla);
+                }
                 // Cargo's bench runner forwards this marker to
                 // `harness = false` benches; it carries no information.
                 "--bench" => {}
@@ -536,6 +552,26 @@ mod tests {
         assert!(ok(&[]).design.is_none());
         assert!(usage().contains("--design"));
         assert!(usage().contains("SIGTERM"), "usage must document SIGTERM");
+    }
+
+    #[test]
+    fn parses_error_sla_and_rejects_malformed_budgets() {
+        let o = ok(&["--error-sla", "mean:0.03,nmed:0.01"]);
+        let sla = o.error_sla.expect("parsed SLA");
+        assert_eq!(sla.mean, Some(0.03));
+        assert_eq!(sla.nmed, Some(0.01));
+        assert_eq!(sla.peak, None);
+        assert!(ok(&[]).error_sla.is_none());
+        assert!(usage().contains("--error-sla"));
+        for bad in [
+            &["--error-sla", "mean:banana"][..],
+            &["--error-sla", "typo:0.1"],
+            &["--error-sla", ""],
+            &["--error-sla"],
+        ] {
+            let err = parse(bad).expect_err("must be rejected");
+            assert!(err.to_string().contains("--error-sla"), "{err}");
+        }
     }
 
     #[test]

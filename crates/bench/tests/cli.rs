@@ -1,4 +1,4 @@
-//! Uniform command-line behavior across every experiment driver: all 13
+//! Uniform command-line behavior across every experiment driver: all 14
 //! binaries share one parser (`realm_bench::Options`), so a malformed
 //! flag must exit with status 2 and print the usage table everywhere,
 //! and `--help` must exit 0 with the same table.
@@ -7,7 +7,7 @@ use std::process::Command;
 
 /// Every driver binary in the crate, resolved at build time so the test
 /// fails to compile if a binary is renamed without updating the matrix.
-const BINS: [(&str, &str); 13] = [
+const BINS: [(&str, &str); 14] = [
     ("ablation", env!("CARGO_BIN_EXE_ablation")),
     ("campaign", env!("CARGO_BIN_EXE_campaign")),
     ("extensions", env!("CARGO_BIN_EXE_extensions")),
@@ -17,6 +17,7 @@ const BINS: [(&str, &str); 13] = [
     ("fig3", env!("CARGO_BIN_EXE_fig3")),
     ("fig4", env!("CARGO_BIN_EXE_fig4")),
     ("fig5", env!("CARGO_BIN_EXE_fig5")),
+    ("qos", env!("CARGO_BIN_EXE_qos")),
     ("sweep", env!("CARGO_BIN_EXE_sweep")),
     ("table1", env!("CARGO_BIN_EXE_table1")),
     ("table2", env!("CARGO_BIN_EXE_table2")),
@@ -68,6 +69,33 @@ fn missing_flag_value_exits_2_everywhere() {
 }
 
 #[test]
+fn malformed_error_sla_exits_2_with_usage_everywhere() {
+    for (name, exe) in BINS {
+        for bad in ["mean:banana", "typo:0.1", "mean", ""] {
+            let out = Command::new(exe)
+                .args(["--error-sla", bad])
+                .output()
+                .unwrap_or_else(|e| panic!("cannot spawn {name}: {e}"));
+            assert_eq!(
+                out.status.code(),
+                Some(2),
+                "{name}: --error-sla '{bad}' must exit 2, got {:?}",
+                out.status.code()
+            );
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert!(
+                stderr.contains("--error-sla"),
+                "{name}: diagnostic must name the flag for '{bad}':\n{stderr}"
+            );
+            assert!(
+                stderr.contains("--samples"),
+                "{name}: usage table must follow the diagnostic:\n{stderr}"
+            );
+        }
+    }
+}
+
+#[test]
 fn help_exits_0_with_the_shared_flag_table() {
     for (name, exe) in BINS {
         let out = Command::new(exe)
@@ -83,6 +111,7 @@ fn help_exits_0_with_the_shared_flag_table() {
             "--resume",
             "--trace",
             "--progress",
+            "--error-sla",
         ] {
             assert!(
                 stdout.contains(flag),

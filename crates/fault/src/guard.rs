@@ -19,7 +19,9 @@
 
 use realm_core::mitchell;
 use realm_core::Multiplier;
+use realm_obs::Registry;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 fn bit_len(v: u64) -> u32 {
     64 - v.leading_zeros()
@@ -58,8 +60,26 @@ pub fn plausible_product(a: u64, b: u64, p: u64) -> bool {
 pub struct Guarded<M: Multiplier> {
     inner: M,
     name: String,
+    counters: Arc<GuardCounters>,
+}
+
+/// The guard's operation/fallback tallies, shared across clones so a
+/// clone observes — and contributes to — the same instance counts
+/// (cloning must not silently reset an SLA feedback signal).
+#[derive(Debug, Default)]
+struct GuardCounters {
     operations: AtomicU64,
     fallbacks: AtomicU64,
+}
+
+impl<M: Multiplier + Clone> Clone for Guarded<M> {
+    fn clone(&self) -> Self {
+        Guarded {
+            inner: self.inner.clone(),
+            name: self.name.clone(),
+            counters: Arc::clone(&self.counters),
+        }
+    }
 }
 
 impl<M: Multiplier> Guarded<M> {
@@ -69,8 +89,7 @@ impl<M: Multiplier> Guarded<M> {
         Guarded {
             inner,
             name,
-            operations: AtomicU64::new(0),
-            fallbacks: AtomicU64::new(0),
+            counters: Arc::new(GuardCounters::default()),
         }
     }
 
@@ -81,13 +100,13 @@ impl<M: Multiplier> Guarded<M> {
 
     /// Operations performed so far.
     pub fn operations(&self) -> u64 {
-        self.operations.load(Ordering::Relaxed)
+        self.counters.operations.load(Ordering::Relaxed)
     }
 
     /// Operations whose product violated the invariant and was recomputed
     /// exactly.
     pub fn fallbacks(&self) -> u64 {
-        self.fallbacks.load(Ordering::Relaxed)
+        self.counters.fallbacks.load(Ordering::Relaxed)
     }
 
     /// Fraction of operations that fell back to the exact multiply
@@ -101,11 +120,50 @@ impl<M: Multiplier> Guarded<M> {
         }
     }
 
-    /// Resets the operation and fallback counters.
+    /// Resets the operation and fallback counters (all clones see the
+    /// reset — the counters are shared instance state).
     pub fn reset_counters(&self) {
-        self.operations.store(0, Ordering::Relaxed);
-        self.fallbacks.store(0, Ordering::Relaxed);
+        self.counters.operations.store(0, Ordering::Relaxed);
+        self.counters.fallbacks.store(0, Ordering::Relaxed);
     }
+
+    /// Publishes the guard's state into an obs [`Registry`] under
+    /// per-instance gauge names:
+    ///
+    /// * `guarded_fallback_rate:<instance>` — current fallback rate;
+    /// * `guarded_operations:<instance>` — operations so far;
+    /// * `guarded_config:<instance>` — a stable numeric fingerprint of
+    ///   the wrapped design's `name()`/`config()` pair, so a config
+    ///   change is visible as a gauge step without string metrics.
+    ///
+    /// This is the standard plumbing between a `Guarded` instance and
+    /// anything that reads metrics snapshots (the QoS controller,
+    /// `/metrics`): callers never need bespoke counter threading.
+    pub fn publish_metrics(&self, registry: &Registry, instance: &str) {
+        registry.gauge(
+            &format!("guarded_fallback_rate:{instance}"),
+            self.fallback_rate(),
+        );
+        registry.gauge(
+            &format!("guarded_operations:{instance}"),
+            self.operations() as f64,
+        );
+        registry.gauge(
+            &format!("guarded_config:{instance}"),
+            config_fingerprint(self.inner.name(), &self.inner.config()) as f64,
+        );
+    }
+}
+
+/// FNV-1a over `name "/" config`, folded to 52 bits so the fingerprint
+/// survives an `f64` gauge exactly.
+fn config_fingerprint(name: &str, config: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes().chain([b'/']).chain(config.bytes()) {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h & ((1u64 << 52) - 1)
 }
 
 impl<M: Multiplier> Multiplier for Guarded<M> {
@@ -114,7 +172,7 @@ impl<M: Multiplier> Multiplier for Guarded<M> {
     }
 
     fn multiply(&self, a: u64, b: u64) -> u64 {
-        self.operations.fetch_add(1, Ordering::Relaxed);
+        self.counters.operations.fetch_add(1, Ordering::Relaxed);
         let width = self.inner.width();
         let mask = operand_mask(width);
         let (am, bm) = (a & mask, b & mask);
@@ -122,7 +180,7 @@ impl<M: Multiplier> Multiplier for Guarded<M> {
         if plausible_product(am, bm, p) {
             p
         } else {
-            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+            self.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
             mitchell::saturate_product(am as u128 * bm as u128, width)
         }
     }
@@ -200,6 +258,39 @@ mod tests {
         g.reset_counters();
         assert_eq!(g.operations(), 0);
         assert_eq!(g.fallbacks(), 0);
+    }
+
+    #[test]
+    fn clones_share_counters_instead_of_resetting() {
+        let g = Guarded::new(Accurate::new(16));
+        g.multiply(5, 6);
+        let clone = g.clone();
+        // The clone sees the pre-clone history…
+        assert_eq!(clone.operations(), 1);
+        // …and contributes to the shared tally.
+        clone.multiply(7, 8);
+        assert_eq!(g.operations(), 2);
+        clone.reset_counters();
+        assert_eq!(g.operations(), 0);
+    }
+
+    #[test]
+    fn publish_metrics_exposes_per_instance_gauges() {
+        let registry = realm_obs::Registry::new();
+        let plan = FaultPlan::single(Fault::stuck_at(FaultSite::ShiftAmount { bit: 4 }, true));
+        let g = Guarded::new(FaultyMultiplier::new(realm16(), plan, 1));
+        g.multiply(3, 3);
+        g.publish_metrics(&registry, "job-1");
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauges["guarded_fallback_rate:job-1"], 1.0);
+        assert_eq!(snap.gauges["guarded_operations:job-1"], 1.0);
+        let fp = snap.gauges["guarded_config:job-1"];
+        assert!(fp > 0.0 && fp.fract() == 0.0, "52-bit integer gauge: {fp}");
+
+        // A different configuration moves the config gauge.
+        let g2 = Guarded::new(realm16());
+        g2.publish_metrics(&registry, "job-2");
+        assert_ne!(registry.snapshot().gauges["guarded_config:job-2"], fp);
     }
 
     #[test]

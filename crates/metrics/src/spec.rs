@@ -102,6 +102,112 @@ impl From<HarnessError> for SpecError {
     }
 }
 
+/// A per-campaign error budget: upper bounds on the delivered error
+/// metrics a tenant is willing to accept.
+///
+/// # SLA grammar
+///
+/// ```text
+/// sla := component { "," component }
+/// component := ("mean" | "nmed" | "peak") ":" float
+/// ```
+///
+/// e.g. `"mean:0.03,nmed:0.01"` — at least one component, every value a
+/// finite positive fraction. Absent components are unconstrained.
+/// `mean` bounds the mean absolute relative error, `nmed` the
+/// normalized mean error distance, `peak` the worst-case relative
+/// error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorSla {
+    /// Upper bound on mean |relative error| (`None` = unconstrained).
+    pub mean: Option<f64>,
+    /// Upper bound on NMED.
+    pub nmed: Option<f64>,
+    /// Upper bound on peak |relative error|.
+    pub peak: Option<f64>,
+}
+
+// Total equality holds because the parser (the only sanctioned
+// constructor for serialized SLAs) rejects non-finite values.
+impl Eq for ErrorSla {}
+
+impl ErrorSla {
+    /// Parses the [SLA grammar](ErrorSla). Unknown keys, malformed or
+    /// non-positive values, duplicates and empty specs are all errors —
+    /// an SLA is a contract, so reject, don't guess.
+    pub fn parse(text: &str) -> Result<ErrorSla, SpecError> {
+        let bad = |detail: String| SpecError::Invalid(format!("error SLA '{text}': {detail}"));
+        let mut sla = ErrorSla {
+            mean: None,
+            nmed: None,
+            peak: None,
+        };
+        let mut any = false;
+        for part in text.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once(':')
+                .ok_or_else(|| bad(format!("expected key:value, got '{part}'")))?;
+            let value: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| bad(format!("'{}' is not a number", value.trim())))?;
+            if !value.is_finite() || value <= 0.0 {
+                return Err(bad(format!("'{value}' is not a positive finite bound")));
+            }
+            let slot = match key.trim().to_ascii_lowercase().as_str() {
+                "mean" => &mut sla.mean,
+                "nmed" => &mut sla.nmed,
+                "peak" => &mut sla.peak,
+                other => return Err(bad(format!("unknown key '{other}' (mean|nmed|peak)"))),
+            };
+            if slot.replace(value).is_some() {
+                return Err(bad(format!("duplicate key '{}'", key.trim())));
+            }
+            any = true;
+        }
+        if !any {
+            return Err(bad("at least one of mean|nmed|peak is required".into()));
+        }
+        Ok(sla)
+    }
+
+    /// Whether delivered metrics satisfy every constrained component.
+    pub fn satisfied_by(&self, mean: f64, nmed: f64, peak: f64) -> bool {
+        self.mean.is_none_or(|bound| mean <= bound)
+            && self.nmed.is_none_or(|bound| nmed <= bound)
+            && self.peak.is_none_or(|bound| peak <= bound)
+    }
+
+    /// The canonical text rendering — parses back to an equal value
+    /// (`{:?}` floats round-trip exactly).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for (key, value) in [
+            ("mean", self.mean),
+            ("nmed", self.nmed),
+            ("peak", self.peak),
+        ] {
+            if let Some(v) = value {
+                if !out.is_empty() {
+                    out.push(',');
+                }
+                out.push_str(&format!("{key}:{v:?}"));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ErrorSla {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text())
+    }
+}
+
 /// Parses one `key=int` list (`"m=16,t=0"`), rejecting malformed pairs.
 fn parse_params(design: &str, text: &str) -> Result<Vec<(String, u64)>, SpecError> {
     let bad = |detail: String| SpecError::BadParam {
@@ -217,6 +323,13 @@ pub struct CampaignSpec {
     /// row-structured). `None` uses the family default. Part of the
     /// campaign identity: resume requires an equal chunk size.
     pub chunk: Option<u64>,
+    /// Optional per-campaign error budget. The SLA constrains *design
+    /// selection and delivery accounting* (a QoS controller picks the
+    /// design, the server scores the delivered error against it); it is
+    /// deliberately **not** part of the workload identity — two jobs
+    /// with equal design/family/seed/chunk journal identically whether
+    /// or not an SLA rides along.
+    pub error_sla: Option<ErrorSla>,
 }
 
 impl CampaignSpec {
@@ -428,12 +541,51 @@ mod tests {
         ));
     }
 
+    #[test]
+    fn error_sla_grammar_round_trips() {
+        let sla = ErrorSla::parse("mean:0.03,nmed:0.01").unwrap();
+        assert_eq!(sla.mean, Some(0.03));
+        assert_eq!(sla.nmed, Some(0.01));
+        assert_eq!(sla.peak, None);
+        assert_eq!(ErrorSla::parse(&sla.text()).unwrap(), sla);
+        // Case/whitespace tolerant, like the design grammar.
+        let loose = ErrorSla::parse(" MEAN : 0.03 , nmed:0.01 ").unwrap();
+        assert_eq!(loose, sla);
+        assert!(sla.satisfied_by(0.03, 0.01, 99.0));
+        assert!(!sla.satisfied_by(0.0301, 0.01, 0.0));
+        assert!(!sla.satisfied_by(0.01, 0.02, 0.0));
+    }
+
+    #[test]
+    fn error_sla_rejects_malformed_contracts() {
+        for bad in [
+            "",
+            ",",
+            "mean",
+            "mean:",
+            "mean:banana",
+            "mean=0.03",
+            "latency:0.5",
+            "mean:0.03,mean:0.01",
+            "mean:-0.1",
+            "mean:0",
+            "mean:inf",
+            "mean:NaN",
+        ] {
+            assert!(
+                matches!(ErrorSla::parse(bad), Err(SpecError::Invalid(_))),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
     fn mc_spec(samples: u64) -> CampaignSpec {
         CampaignSpec {
             design: "realm:m=16,t=0".into(),
             family: FamilySpec::MonteCarlo { samples },
             seed: 42,
             chunk: Some(256),
+            error_sla: None,
         }
     }
 
@@ -448,6 +600,7 @@ mod tests {
             },
             seed: 0,
             chunk: None,
+            error_sla: None,
         };
         assert!(empty.validate().is_err());
         assert_eq!(mc_spec(100).total_samples(), 100);
@@ -459,6 +612,7 @@ mod tests {
             },
             seed: 0,
             chunk: None,
+            error_sla: None,
         };
         assert_eq!(exh.total_samples(), 50);
     }
@@ -497,6 +651,7 @@ mod tests {
             },
             seed: 0,
             chunk: None,
+            error_sla: None,
         };
         let sup = Supervisor::new().with_threads(crate::Threads::Fixed(1));
         let out = spec.run_supervised(Some("j"), &sup).unwrap();

@@ -95,6 +95,38 @@ pub enum Event {
         /// The last panic message observed.
         message: String,
     },
+    /// A QoS controller bound a different multiplier configuration.
+    ///
+    /// Emitted outside the campaign span tree: the controller acts
+    /// *between* measurement windows, so these events may appear
+    /// before, after or between campaign brackets.
+    ConfigSwitch {
+        /// The controller's scope (tenant name, chaos-round tag, …).
+        scope: String,
+        /// Design text of the configuration being left.
+        from: String,
+        /// Design text of the configuration now active.
+        to: String,
+        /// Why the controller moved (`"escalate"`, `"relax"`, …).
+        reason: String,
+    },
+    /// A QoS controller observed an SLA breach signal.
+    ///
+    /// Like [`ConfigSwitch`](Event::ConfigSwitch), emitted outside the
+    /// campaign span tree.
+    Escalation {
+        /// The controller's scope (tenant name, chaos-round tag, …).
+        scope: String,
+        /// Design text of the configuration that breached.
+        config: String,
+        /// Mean relative error observed over the feedback window.
+        observed_mean: f64,
+        /// The SLA's mean-relative-error target (0 when the SLA does
+        /// not constrain the mean).
+        target_mean: f64,
+        /// `Guarded::fallback_rate` over the feedback window.
+        fallback_rate: f64,
+    },
     /// The campaign invocation finished (the root span closes).
     CampaignEnd {
         /// Campaign family tag.
@@ -129,6 +161,8 @@ impl Event {
             Event::ChunkEnd { .. } => "chunk_end",
             Event::JournalAppend { .. } => "journal_append",
             Event::Quarantined { .. } => "quarantined",
+            Event::ConfigSwitch { .. } => "config_switch",
+            Event::Escalation { .. } => "escalation",
             Event::CampaignEnd { .. } => "campaign_end",
         }
     }
@@ -198,6 +232,35 @@ impl Event {
                  \"message\":{}",
                 json_string(message)
             ),
+            Event::ConfigSwitch {
+                scope,
+                from,
+                to,
+                reason,
+            } => write!(
+                out,
+                ",\"scope\":{},\"from\":{},\"to\":{},\"reason\":{}",
+                json_string(scope),
+                json_string(from),
+                json_string(to),
+                json_string(reason),
+            ),
+            Event::Escalation {
+                scope,
+                config,
+                observed_mean,
+                target_mean,
+                fallback_rate,
+            } => write!(
+                out,
+                ",\"scope\":{},\"config\":{},\"observed_mean\":{},\
+                 \"target_mean\":{},\"fallback_rate\":{}",
+                json_string(scope),
+                json_string(config),
+                json_f64(*observed_mean),
+                json_f64(*target_mean),
+                json_f64(*fallback_rate),
+            ),
             Event::CampaignEnd {
                 family,
                 fingerprint,
@@ -224,6 +287,17 @@ impl Event {
                 )
             }
         };
+    }
+}
+
+/// Renders an `f64` as a JSON number (`{:?}` prints the shortest
+/// decimal that round-trips); non-finite values — which no healthy
+/// controller emits — degrade to `null` rather than invalid JSON.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -287,6 +361,39 @@ mod tests {
             s,
             ",\"chunk\":3,\"attempt\":1,\"samples\":128,\"ok\":true,\"wall_ns\":42"
         );
+    }
+
+    #[test]
+    fn qos_events_render_as_json_members() {
+        let e = Event::ConfigSwitch {
+            scope: "tenant-a".into(),
+            from: "realm:m=4,t=6".into(),
+            to: "realm:m=16,t=0".into(),
+            reason: "escalate".into(),
+        };
+        assert_eq!(e.kind(), "config_switch");
+        let mut s = String::new();
+        e.write_json_fields(&mut s);
+        assert_eq!(
+            s,
+            ",\"scope\":\"tenant-a\",\"from\":\"realm:m=4,t=6\",\
+             \"to\":\"realm:m=16,t=0\",\"reason\":\"escalate\""
+        );
+
+        let e = Event::Escalation {
+            scope: "tenant-a".into(),
+            config: "realm:m=4,t=6".into(),
+            observed_mean: 0.045,
+            target_mean: 0.03,
+            fallback_rate: f64::NAN,
+        };
+        assert_eq!(e.kind(), "escalation");
+        let mut s = String::new();
+        e.write_json_fields(&mut s);
+        assert!(s.contains("\"observed_mean\":0.045"), "{s}");
+        assert!(s.contains("\"target_mean\":0.03"), "{s}");
+        // Non-finite degrades to null, never invalid JSON.
+        assert!(s.contains("\"fallback_rate\":null"), "{s}");
     }
 
     #[test]

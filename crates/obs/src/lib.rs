@@ -28,6 +28,9 @@
 //!   line on stderr (`--progress`).
 //! * [`atomic_write`] / [`atomic_write_str`] — the workspace's single
 //!   crash-safe artifact writer (re-exported by `realm-harness`).
+//! * [`Json`] — the workspace's minimal JSON reader (plus the
+//!   [`json::object`] writer), shared by every artifact-consuming
+//!   layer (`realm-serve` job API, `realm-qos` tables).
 //!
 //! Observability is strictly passive: collectors never touch RNG
 //! streams, chunk plans or folds, so a traced campaign is bit-identical
@@ -42,6 +45,7 @@
 mod atomic;
 mod collect;
 mod event;
+pub mod json;
 mod jsonl;
 mod progress;
 mod registry;
@@ -51,6 +55,7 @@ pub use collect::{
     null_collector, Collector, Fanout, MemoryCollector, NullCollector, SharedCollector,
 };
 pub use event::{json_string, Event};
+pub use json::{Json, JsonError};
 pub use jsonl::{JsonlSink, JSONL_SCHEMA};
 pub use progress::{human_count, progress_line, ProgressReporter};
 pub use registry::{Histogram, MetricsSummary, Registry};

@@ -18,6 +18,8 @@
 //! | `journal_records_loaded_total` | `journal_loaded` (by `records`) |
 //! | `journal_bytes_salvaged_total` | `journal_loaded` (by `truncated_bytes`) |
 //! | `samples_covered_total` | `campaign_end` (by `covered_samples`) |
+//! | `config_switches_total` | `config_switch` |
+//! | `escalations_total` | `escalation` |
 //!
 //! Gauges (last observed value):
 //!
@@ -106,10 +108,12 @@ impl Histogram {
 /// An immutable snapshot of the registry, ready to render or serialize.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSummary {
-    /// Monotonic counters, by name.
-    pub counters: BTreeMap<&'static str, u64>,
-    /// Last-value gauges, by name.
-    pub gauges: BTreeMap<&'static str, f64>,
+    /// Monotonic counters, by name. Keys are owned so per-instance
+    /// metrics (`guarded_fallback_rate:<instance>`) coexist with the
+    /// fixed event-derived names; `&str` indexing still works.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-value gauges, by name (same keying as `counters`).
+    pub gauges: BTreeMap<String, f64>,
     /// The per-chunk wall-time histogram.
     pub chunk_wall_ns: Histogram,
 }
@@ -191,14 +195,16 @@ struct RegistryInner {
     journal_records_loaded: u64,
     journal_bytes_salvaged: u64,
     samples_covered: u64,
+    config_switches: u64,
+    escalations: u64,
     threads: f64,
     coverage_percent: f64,
     samples_per_sec: f64,
     pending_chunks: f64,
     last_total_chunks: u64,
     chunk_wall_ns: Histogram,
-    custom_counters: BTreeMap<&'static str, u64>,
-    custom_gauges: BTreeMap<&'static str, f64>,
+    custom_counters: BTreeMap<String, u64>,
+    custom_gauges: BTreeMap<String, f64>,
 }
 
 /// The aggregating [`Collector`]: feed it the event stream (directly or
@@ -220,27 +226,37 @@ impl Registry {
             return MetricsSummary::default();
         };
         let mut counters = BTreeMap::new();
-        counters.insert("campaigns_started_total", inner.campaigns_started);
-        counters.insert("campaigns_completed_total", inner.campaigns_completed);
-        counters.insert("chunks_executed_total", inner.chunks_executed);
-        counters.insert("chunks_panicked_total", inner.chunks_panicked);
-        counters.insert("chunks_retried_total", inner.chunks_retried);
-        counters.insert("chunks_replayed_total", inner.chunks_replayed);
-        counters.insert("chunks_quarantined_total", inner.chunks_quarantined);
-        counters.insert("journal_appends_total", inner.journal_appends);
-        counters.insert("journal_records_loaded_total", inner.journal_records_loaded);
-        counters.insert("journal_bytes_salvaged_total", inner.journal_bytes_salvaged);
-        counters.insert("samples_covered_total", inner.samples_covered);
+        for (name, value) in [
+            ("campaigns_started_total", inner.campaigns_started),
+            ("campaigns_completed_total", inner.campaigns_completed),
+            ("chunks_executed_total", inner.chunks_executed),
+            ("chunks_panicked_total", inner.chunks_panicked),
+            ("chunks_retried_total", inner.chunks_retried),
+            ("chunks_replayed_total", inner.chunks_replayed),
+            ("chunks_quarantined_total", inner.chunks_quarantined),
+            ("journal_appends_total", inner.journal_appends),
+            ("journal_records_loaded_total", inner.journal_records_loaded),
+            ("journal_bytes_salvaged_total", inner.journal_bytes_salvaged),
+            ("samples_covered_total", inner.samples_covered),
+            ("config_switches_total", inner.config_switches),
+            ("escalations_total", inner.escalations),
+        ] {
+            counters.insert(name.to_string(), value);
+        }
         for (name, value) in &inner.custom_counters {
-            counters.insert(name, *value);
+            counters.insert(name.clone(), *value);
         }
         let mut gauges = BTreeMap::new();
-        gauges.insert("threads", inner.threads);
-        gauges.insert("coverage_percent", inner.coverage_percent);
-        gauges.insert("samples_per_sec", inner.samples_per_sec);
-        gauges.insert("pending_chunks", inner.pending_chunks);
+        for (name, value) in [
+            ("threads", inner.threads),
+            ("coverage_percent", inner.coverage_percent),
+            ("samples_per_sec", inner.samples_per_sec),
+            ("pending_chunks", inner.pending_chunks),
+        ] {
+            gauges.insert(name.to_string(), value);
+        }
         for (name, value) in &inner.custom_gauges {
-            gauges.insert(name, *value);
+            gauges.insert(name.clone(), *value);
         }
         MetricsSummary {
             counters,
@@ -259,21 +275,21 @@ impl Registry {
     /// queues — use this to publish their own monotonic metrics
     /// (`jobs_accepted_total`, `jobs_shed_total`, …) through the same
     /// snapshot/serialization path as the event-derived ones. Names
-    /// must be `'static` so snapshots stay allocation-light; a name
-    /// colliding with an event-derived metric shadows it in the
-    /// snapshot (don't do that).
-    pub fn incr(&self, name: &'static str, delta: u64) {
+    /// may be dynamic — per-instance metrics use a `name:<instance>`
+    /// convention — but a name colliding with an event-derived metric
+    /// shadows it in the snapshot (don't do that).
+    pub fn incr(&self, name: &str, delta: u64) {
         if let Ok(mut inner) = self.inner.lock() {
-            let slot = inner.custom_counters.entry(name).or_insert(0);
+            let slot = inner.custom_counters.entry(name.to_string()).or_insert(0);
             *slot = slot.saturating_add(delta);
         }
     }
 
     /// Sets a caller-defined last-value gauge (`queue_depth`,
     /// `jobs_running`, …). Same naming rules as [`incr`](Self::incr).
-    pub fn gauge(&self, name: &'static str, value: f64) {
+    pub fn gauge(&self, name: &str, value: f64) {
         if let Ok(mut inner) = self.inner.lock() {
-            inner.custom_gauges.insert(name, value);
+            inner.custom_gauges.insert(name.to_string(), value);
         }
     }
 }
@@ -316,6 +332,8 @@ impl Collector for Registry {
             }
             Event::JournalAppend { .. } => inner.journal_appends += 1,
             Event::Quarantined { .. } => inner.chunks_quarantined += 1,
+            Event::ConfigSwitch { .. } => inner.config_switches += 1,
+            Event::Escalation { .. } => inner.escalations += 1,
             Event::CampaignEnd {
                 replayed_chunks,
                 executed_chunks,
@@ -458,6 +476,30 @@ mod tests {
         let json = snap.to_json();
         assert!(json.contains("\"jobs_accepted_total\": 3"), "{json}");
         assert!(json.contains("\"queue_depth\": 3.0"), "{json}");
+    }
+
+    #[test]
+    fn qos_events_count_and_dynamic_gauge_names_work() {
+        let r = Registry::new();
+        r.record(&Event::ConfigSwitch {
+            scope: "t".into(),
+            from: "a".into(),
+            to: "b".into(),
+            reason: "escalate".into(),
+        });
+        r.record(&Event::Escalation {
+            scope: "t".into(),
+            config: "a".into(),
+            observed_mean: 0.05,
+            target_mean: 0.03,
+            fallback_rate: 0.1,
+        });
+        assert_eq!(r.counter("config_switches_total"), 1);
+        assert_eq!(r.counter("escalations_total"), 1);
+        // Per-instance names are built at runtime — no 'static needed.
+        let instance = format!("guarded_fallback_rate:{}", "job-7");
+        r.gauge(&instance, 0.25);
+        assert_eq!(r.snapshot().gauges["guarded_fallback_rate:job-7"], 0.25);
     }
 
     #[test]

@@ -1,0 +1,770 @@
+//! Chaos validation: does the closed loop actually deliver the SLA
+//! when the datapath is faulting?
+//!
+//! The campaign walks a phase schedule that cycles clean operation with
+//! stuck-at and transient faults at all four REALM datapath sites
+//! (characteristic, fraction, LUT factor, shift amount). Each round:
+//!
+//! 1. **probe** — a short sequential window runs the guarded, faulted
+//!    multiplier at the controller's active rung, publishes the guard's
+//!    gauges to a metrics [`Registry`], and feeds the delivered error
+//!    back as an [`Observation`](crate::Observation); the controller is
+//!    iterated until it holds (at most one full climb of the ladder);
+//! 2. **measure** — a long window runs the settled configuration in
+//!    parallel ([`map_chunks`]) and scores delivered error against the
+//!    SLA. Chunk `i`'s operands come from `SplitMix64::stream` and the
+//!    chunk owns a private faulty-multiplier instance, so the measured
+//!    numbers are bit-identical for every worker-thread count;
+//! 3. **baseline** — the same operand stream through the *static,
+//!    unguarded* oracle configuration (the entry a clairvoyant static
+//!    selector would pick), which is what an uncontrolled deployment
+//!    would have shipped.
+//!
+//! The controller's ladder is the table's native REALM entries plus the
+//! accurate multiplier as the top rung. Escalating to `accurate` models
+//! routing traffic off the log datapath entirely — which is why it is
+//! modeled as [`InterfaceLevel`]`<`[`Accurate`]`>`: the log-domain
+//! fault sites simply don't exist there, so datapath faults cannot
+//! touch it.
+//!
+//! The outcome ([`ChaosOutcome`]) is the substance of `BENCH_qos.json`:
+//! SLA attainment for the adaptive loop and the static baseline, mean
+//! delivered error vs target, config-switch counts, and the adaptive
+//! cost relative to the oracle-static cost.
+
+use realm_core::rng::SplitMix64;
+use realm_core::{Accurate, Multiplier, Realm, RealmConfig};
+use realm_fault::{
+    Fault, FaultPlan, FaultSite, FaultTarget, FaultyMultiplier, Guarded, InterfaceLevel, Operand,
+};
+use realm_metrics::{ErrorSla, Threads};
+use realm_obs::{json_string, Collector, Event, Registry};
+use realm_par::{map_chunks, ChunkPlan};
+
+use crate::controller::{Action, Controller, ControllerConfig, Observation};
+use crate::table::{QosEntry, QosTable};
+use crate::QosError;
+
+/// Chaos campaign parameters.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// The error budget the controller must hold.
+    pub sla: ErrorSla,
+    /// Control-loop tuning.
+    pub controller: ControllerConfig,
+    /// Campaign seed (operand streams, transient-fault draws).
+    pub seed: u64,
+    /// Sequential samples per probe window.
+    pub probe_samples: u64,
+    /// Parallel samples per measured window.
+    pub window_samples: u64,
+    /// Chunk size for the measured window.
+    pub chunk: u64,
+    /// Worker threads for the measured window. Results are
+    /// bit-identical for every value.
+    pub threads: Threads,
+    /// Rounds per unit of phase weight (fault phases have weight 1,
+    /// clean/recovery phases weight 3).
+    pub rounds_per_phase: u32,
+}
+
+/// The controller tuning the chaos campaign runs with: a fallback
+/// threshold loose enough that octave faults the guard fully absorbs
+/// (delivered error intact) don't force a climb, and a short cooldown
+/// so recovery phases glide back down briskly.
+fn chaos_controller() -> ControllerConfig {
+    ControllerConfig {
+        hysteresis: 0.7,
+        fallback_threshold: 0.10,
+        cooldown: 2,
+    }
+}
+
+impl ChaosConfig {
+    /// The full campaign behind `BENCH_qos.json`.
+    pub fn paper(sla: ErrorSla) -> Self {
+        ChaosConfig {
+            sla,
+            controller: chaos_controller(),
+            seed: 0xC4A0_5EED,
+            probe_samples: 4096,
+            window_samples: 1 << 16,
+            chunk: 4096,
+            threads: Threads::Auto,
+            rounds_per_phase: 2,
+        }
+    }
+
+    /// A CI-sized campaign: same schedule, smaller windows.
+    pub fn smoke(sla: ErrorSla) -> Self {
+        ChaosConfig {
+            window_samples: 1 << 13,
+            probe_samples: 2048,
+            chunk: 1024,
+            rounds_per_phase: 1,
+            ..ChaosConfig::paper(sla)
+        }
+    }
+}
+
+/// One schedule phase: a name, the fault active during it, and its
+/// round-count weight.
+#[derive(Debug, Clone, Copy)]
+struct Phase {
+    name: &'static str,
+    fault: Option<Fault>,
+    weight: u32,
+}
+
+/// The phase schedule: clean operation interleaved with one fault per
+/// datapath site class — octave-displacing faults (characteristic,
+/// shift amount) that the guard absorbs and the fallback-rate signal
+/// escalates on, and within-octave faults (fraction, LUT factor) that
+/// slip past the guard and only the delivered-error signal catches.
+/// Every fault phase is followed by a recovery phase so the campaign
+/// also scores the glide back down the ladder.
+fn schedule() -> Vec<Phase> {
+    let clean = |name| Phase {
+        name,
+        fault: None,
+        weight: 3,
+    };
+    let faulty = |name, fault| Phase {
+        name,
+        fault: Some(fault),
+        weight: 1,
+    };
+    vec![
+        clean("clean"),
+        faulty(
+            "stuck_characteristic",
+            Fault::stuck_at(
+                FaultSite::Characteristic {
+                    operand: Operand::A,
+                    bit: 2,
+                },
+                true,
+            ),
+        ),
+        clean("recover_characteristic"),
+        faulty(
+            "transient_fraction",
+            Fault::transient(
+                FaultSite::Fraction {
+                    operand: Operand::B,
+                    bit: 3,
+                },
+                0.5,
+            ),
+        ),
+        clean("recover_fraction"),
+        faulty(
+            "stuck_lut_factor",
+            Fault::stuck_at(FaultSite::LutFactor { bit: 3 }, true),
+        ),
+        clean("recover_lut_factor"),
+        faulty(
+            "transient_shift",
+            Fault::transient(FaultSite::ShiftAmount { bit: 1 }, 0.2),
+        ),
+        clean("recover_shift"),
+    ]
+}
+
+/// One measured round of the campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// Schedule phase name.
+    pub phase: String,
+    /// Campaign tag of the active fault, if any.
+    pub fault: Option<String>,
+    /// Design the measured window ran (post-settle).
+    pub design: String,
+    /// Delivered mean |relative error| (guarded, adaptive).
+    pub mean_error: f64,
+    /// Delivered peak |relative error| (guarded, adaptive).
+    pub peak_error: f64,
+    /// Guard fallback rate over the measured window.
+    pub fallback_rate: f64,
+    /// Delivered mean |relative error| of the static unguarded oracle
+    /// configuration on the same operands.
+    pub static_mean_error: f64,
+    /// Cost proxy of the design the window ran.
+    pub cost: f64,
+    /// Whether the adaptive window met the SLA.
+    pub met: bool,
+    /// Whether the static baseline met the SLA (mean bound only — peak
+    /// is not tracked for the baseline).
+    pub static_met: bool,
+    /// Probe/observe iterations before the controller held.
+    pub settle_steps: u32,
+}
+
+/// The campaign's verdict — everything `BENCH_qos.json` reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosOutcome {
+    /// The enforced SLA, in grammar text.
+    pub sla: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Per-round records, schedule order.
+    pub rounds: Vec<RoundRecord>,
+    /// Fraction of rounds the adaptive loop met the SLA.
+    pub attainment: f64,
+    /// Fraction of rounds the static unguarded baseline met the SLA.
+    pub static_attainment: f64,
+    /// Mean delivered error across all adaptive windows.
+    pub mean_delivered_error: f64,
+    /// The SLA's mean-error target (0 when unconstrained).
+    pub target_mean: f64,
+    /// Config switches the controller performed.
+    pub switches: u64,
+    /// Escalations among those switches.
+    pub escalations: u64,
+    /// Relaxations among those switches.
+    pub relaxations: u64,
+    /// Mean cost proxy across adaptive windows.
+    pub mean_cost: f64,
+    /// Cost proxy of the oracle-static configuration.
+    pub oracle_cost: f64,
+    /// `mean_cost / oracle_cost` — the price of adaptivity.
+    pub cost_ratio: f64,
+}
+
+/// Builds the width-16 REALM behind a `realm:m=…,t=…` table entry.
+fn realm_from_text(text: &str) -> Result<Realm, QosError> {
+    let invalid = || QosError::Design(format!("'{text}' is not a realm:m=…,t=… design"));
+    let args = text.strip_prefix("realm:").ok_or_else(invalid)?;
+    let (mut m, mut t) = (None, None);
+    for part in args.split(',') {
+        let (key, value) = part.split_once('=').ok_or_else(invalid)?;
+        let value: u32 = value.parse().map_err(|_| invalid())?;
+        match key {
+            "m" => m = Some(value),
+            "t" => t = Some(value),
+            _ => return Err(invalid()),
+        }
+    }
+    let (m, t) = (m.ok_or_else(invalid)?, t.ok_or_else(invalid)?);
+    Realm::new(RealmConfig::new(16, m, t, 6)).map_err(|e| QosError::Design(format!("{text}: {e}")))
+}
+
+/// A faultable incarnation of a ladder rung.
+#[derive(Debug, Clone)]
+enum ChaosTarget {
+    /// A native REALM datapath — every log-domain site is live.
+    Realm(Realm),
+    /// The accurate multiplier behind the interface-level fault model:
+    /// datapath sites don't exist there, so escalating to this rung
+    /// models leaving the log datapath entirely.
+    Exact(InterfaceLevel<Accurate>),
+}
+
+impl ChaosTarget {
+    fn build(text: &str) -> Result<Self, QosError> {
+        if text == "accurate" {
+            Ok(ChaosTarget::Exact(InterfaceLevel::new(Accurate::new(16))))
+        } else {
+            Ok(ChaosTarget::Realm(realm_from_text(text)?))
+        }
+    }
+}
+
+/// The accuracy ladder the chaos campaign can actually run under
+/// injection: native REALM designs plus the accurate top rung.
+fn chaos_ladder(table: &QosTable) -> QosTable {
+    QosTable {
+        entries: table
+            .entries
+            .iter()
+            .filter(|e| e.design.starts_with("realm:") || e.design == "accurate")
+            .cloned()
+            .collect(),
+        ..table.clone()
+    }
+}
+
+/// Per-window accumulator: delivered-error sums plus guard counters.
+#[derive(Debug, Clone, Copy, Default)]
+struct WindowSums {
+    abs_err: f64,
+    peak: f64,
+    samples: u64,
+    static_abs_err: f64,
+    static_samples: u64,
+    ops: u64,
+    fallbacks: u64,
+}
+
+/// |relative error| of `approx` against `a·b`, or `None` when the
+/// exact product is zero (same convention as `realm-metrics`).
+fn rel_error(a: u64, b: u64, approx: u64) -> Option<f64> {
+    let exact = (a as u128) * (b as u128);
+    if exact == 0 {
+        return None;
+    }
+    let diff = (approx as u128).abs_diff(exact);
+    Some(diff as f64 / exact as f64)
+}
+
+const OPERAND_MAX: u64 = (1 << 16) - 1;
+
+/// Mixes the round/window/chunk coordinates into a private RNG stream
+/// index so no two windows share operand or fault randomness.
+fn stream_index(round: u64, window: u64, chunk: u64) -> u64 {
+    (round << 32) ^ (window << 20) ^ chunk
+}
+
+/// Runs one measured window: `samples` operand pairs through the
+/// guarded adaptive design and the static unguarded baseline, in
+/// deterministic chunks. Both multipliers see the same operands and
+/// the same per-operation fault draws.
+fn measure_window<M: FaultTarget + Clone>(
+    cfg: &ChaosConfig,
+    round: u64,
+    fault: Option<Fault>,
+    active: &M,
+    oracle: &Realm,
+) -> WindowSums {
+    let plan = fault.map(FaultPlan::single).unwrap_or_default();
+    let plan_ref = &plan;
+    let chunk_size = cfg.chunk.max(1);
+    let chunks = ChunkPlan::new(cfg.window_samples, chunk_size);
+    let partials = map_chunks(chunks, cfg.threads, move |chunk| {
+        let stream = stream_index(round, 1, chunk.index);
+        let mut rng = SplitMix64::stream(cfg.seed, stream);
+        let fault_seed = cfg.seed ^ stream.rotate_left(17);
+        let adaptive = Guarded::new(FaultyMultiplier::new(
+            active.clone(),
+            plan_ref.clone(),
+            fault_seed,
+        ));
+        let baseline = FaultyMultiplier::new(oracle.clone(), plan_ref.clone(), fault_seed);
+        let mut sums = WindowSums::default();
+        for _ in 0..chunk.len {
+            let a = rng.range_inclusive(0, OPERAND_MAX);
+            let b = rng.range_inclusive(0, OPERAND_MAX);
+            if let Some(err) = rel_error(a, b, adaptive.multiply(a, b)) {
+                sums.abs_err += err;
+                sums.peak = sums.peak.max(err);
+                sums.samples += 1;
+            }
+            if let Some(err) = rel_error(a, b, baseline.multiply(a, b)) {
+                sums.static_abs_err += err;
+                sums.static_samples += 1;
+            }
+        }
+        sums.ops = adaptive.operations();
+        sums.fallbacks = adaptive.fallbacks();
+        sums
+    });
+    // Fold in chunk order: bit-identical for every thread count.
+    let mut total = WindowSums::default();
+    for p in partials {
+        total.abs_err += p.abs_err;
+        total.peak = total.peak.max(p.peak);
+        total.samples += p.samples;
+        total.static_abs_err += p.static_abs_err;
+        total.static_samples += p.static_samples;
+        total.ops += p.ops;
+        total.fallbacks += p.fallbacks;
+    }
+    total
+}
+
+/// Runs one sequential probe window and returns the observation the
+/// controller sees (reading the fallback gauge back through a metrics
+/// registry, the same path `realm-serve` uses).
+fn probe_window<M: FaultTarget + Clone>(
+    cfg: &ChaosConfig,
+    round: u64,
+    step: u64,
+    fault: Option<Fault>,
+    design: &M,
+    registry: &Registry,
+    instance: &str,
+) -> Observation {
+    let plan = fault.map(FaultPlan::single).unwrap_or_default();
+    let stream = stream_index(round, 2 + step, 0);
+    let mut rng = SplitMix64::stream(cfg.seed, stream);
+    let guarded = Guarded::new(FaultyMultiplier::new(
+        design.clone(),
+        plan,
+        cfg.seed ^ stream.rotate_left(17),
+    ));
+    let (mut abs_err, mut peak, mut samples) = (0.0f64, 0.0f64, 0u64);
+    for _ in 0..cfg.probe_samples.max(1) {
+        let a = rng.range_inclusive(0, OPERAND_MAX);
+        let b = rng.range_inclusive(0, OPERAND_MAX);
+        if let Some(err) = rel_error(a, b, guarded.multiply(a, b)) {
+            abs_err += err;
+            peak = peak.max(err);
+            samples += 1;
+        }
+    }
+    guarded.publish_metrics(registry, instance);
+    let mean = if samples == 0 {
+        0.0
+    } else {
+        abs_err / samples as f64
+    };
+    Observation::from_metrics(&registry.snapshot(), instance, mean).with_peak_error(peak)
+}
+
+/// Whether a delivered (mean, peak) pair meets the SLA's constrained
+/// bounds. NMED is a characterization-time constraint — it shapes the
+/// ladder, but is not measurable from a single delivered window.
+fn delivered_meets(sla: &ErrorSla, mean: f64, peak: f64) -> bool {
+    sla.mean.is_none_or(|limit| mean <= limit) && sla.peak.is_none_or(|limit| peak <= limit)
+}
+
+/// Runs the chaos campaign. Config switches and escalations are
+/// narrated to `collector` (pass
+/// [`NullCollector`](realm_obs::NullCollector) to discard them).
+pub fn run(
+    table: &QosTable,
+    cfg: &ChaosConfig,
+    collector: &dyn Collector,
+) -> Result<ChaosOutcome, QosError> {
+    let ladder_table = chaos_ladder(table);
+    if !ladder_table
+        .entries
+        .iter()
+        .any(|e| e.design.starts_with("realm:"))
+    {
+        return Err(QosError::Design(
+            "table has no realm:* entries to build a chaos ladder from".into(),
+        ));
+    }
+    let mut controller = Controller::new(&ladder_table, cfg.sla, cfg.controller)?;
+    let registry = Registry::new();
+    let oracle: QosEntry = controller.oracle_static().clone();
+    let oracle_realm = realm_from_text(&oracle.design)?;
+
+    let mut rounds = Vec::new();
+    let mut round_index = 0u64;
+    for phase in schedule() {
+        for _ in 0..phase.weight * cfg.rounds_per_phase.max(1) {
+            let scope = format!("chaos:{}:{round_index}", phase.name);
+            // Settle: probe and observe until the controller holds. A
+            // full climb plus one post-cooldown relax-and-recover
+            // bounds the loop.
+            let mut settle_steps = 0u32;
+            let step_budget = controller.ladder().len() as u64 + 2;
+            for step in 0..=step_budget {
+                settle_steps += 1;
+                let active = ChaosTarget::build(&controller.current().design)?;
+                let obs = match &active {
+                    ChaosTarget::Realm(r) => {
+                        probe_window(cfg, round_index, step, phase.fault, r, &registry, &scope)
+                    }
+                    ChaosTarget::Exact(x) => {
+                        probe_window(cfg, round_index, step, phase.fault, x, &registry, &scope)
+                    }
+                };
+                let decision = controller.observe(&obs);
+                if decision.breached {
+                    let event = Event::Escalation {
+                        scope: scope.clone(),
+                        config: decision.from.clone(),
+                        observed_mean: obs.mean_error,
+                        target_mean: cfg.sla.mean.unwrap_or(0.0),
+                        fallback_rate: obs.fallback_rate,
+                    };
+                    registry.record(&event);
+                    collector.record(&event);
+                }
+                if decision.action != Action::Hold {
+                    let reason = match decision.action {
+                        Action::Escalate => "escalate",
+                        Action::Relax => "relax",
+                        Action::Hold => unreachable!(),
+                    };
+                    let event = Event::ConfigSwitch {
+                        scope: scope.clone(),
+                        from: decision.from.clone(),
+                        to: decision.to.clone(),
+                        reason: format!("{reason}: {}", decision.reason),
+                    };
+                    registry.record(&event);
+                    collector.record(&event);
+                }
+                if decision.action == Action::Hold {
+                    break;
+                }
+            }
+            // Measure the settled configuration.
+            let entry = controller.current().clone();
+            let active = ChaosTarget::build(&entry.design)?;
+            let sums = match &active {
+                ChaosTarget::Realm(r) => {
+                    measure_window(cfg, round_index, phase.fault, r, &oracle_realm)
+                }
+                ChaosTarget::Exact(x) => {
+                    measure_window(cfg, round_index, phase.fault, x, &oracle_realm)
+                }
+            };
+            let mean = if sums.samples == 0 {
+                0.0
+            } else {
+                sums.abs_err / sums.samples as f64
+            };
+            let static_mean = if sums.static_samples == 0 {
+                0.0
+            } else {
+                sums.static_abs_err / sums.static_samples as f64
+            };
+            let fallback_rate = if sums.ops == 0 {
+                0.0
+            } else {
+                sums.fallbacks as f64 / sums.ops as f64
+            };
+            rounds.push(RoundRecord {
+                phase: phase.name.to_string(),
+                fault: phase.fault.map(|f| f.campaign_tag()),
+                design: entry.design.clone(),
+                mean_error: mean,
+                peak_error: sums.peak,
+                fallback_rate,
+                static_mean_error: static_mean,
+                cost: entry.cost,
+                met: delivered_meets(&cfg.sla, mean, sums.peak),
+                static_met: cfg.sla.mean.is_none_or(|limit| static_mean <= limit),
+                settle_steps,
+            });
+            round_index += 1;
+        }
+    }
+
+    let n = rounds.len() as f64;
+    let attainment = rounds.iter().filter(|r| r.met).count() as f64 / n;
+    let static_attainment = rounds.iter().filter(|r| r.static_met).count() as f64 / n;
+    let mean_delivered_error = rounds.iter().map(|r| r.mean_error).sum::<f64>() / n;
+    let mean_cost = rounds.iter().map(|r| r.cost).sum::<f64>() / n;
+    Ok(ChaosOutcome {
+        sla: cfg.sla.text(),
+        seed: cfg.seed,
+        rounds,
+        attainment,
+        static_attainment,
+        mean_delivered_error,
+        target_mean: cfg.sla.mean.unwrap_or(0.0),
+        switches: controller.switches(),
+        escalations: controller.escalations(),
+        relaxations: controller.relaxations(),
+        mean_cost,
+        oracle_cost: oracle.cost,
+        cost_ratio: mean_cost / oracle.cost,
+    })
+}
+
+impl ChaosOutcome {
+    /// Serializes the outcome as the `BENCH_qos.json` document
+    /// (schema `realm-qos/bench/v1`).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        fn num(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x:?}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"schema\":\"realm-qos/bench/v1\",\n\"sla\":{},\n\"seed\":{},\n\
+             \"attainment\":{},\n\"static_attainment\":{},\n\
+             \"mean_delivered_error\":{},\n\"target_mean\":{},\n\
+             \"switches\":{},\n\"escalations\":{},\n\"relaxations\":{},\n\
+             \"mean_cost\":{},\n\"oracle_cost\":{},\n\"cost_ratio\":{},\n\"rounds\":[",
+            json_string(&self.sla),
+            self.seed,
+            num(self.attainment),
+            num(self.static_attainment),
+            num(self.mean_delivered_error),
+            num(self.target_mean),
+            self.switches,
+            self.escalations,
+            self.relaxations,
+            num(self.mean_cost),
+            num(self.oracle_cost),
+            num(self.cost_ratio),
+        );
+        for (i, r) in self.rounds.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let fault = match &r.fault {
+                Some(tag) => json_string(tag),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                out,
+                "{sep}{{\"phase\":{},\"fault\":{fault},\"design\":{},\
+                 \"mean_error\":{},\"peak_error\":{},\"fallback_rate\":{},\
+                 \"static_mean_error\":{},\"cost\":{},\"met\":{},\
+                 \"static_met\":{},\"settle_steps\":{}}}",
+                json_string(&r.phase),
+                json_string(&r.design),
+                num(r.mean_error),
+                num(r.peak_error),
+                num(r.fallback_rate),
+                num(r.static_mean_error),
+                num(r.cost),
+                r.met,
+                r.static_met,
+                r.settle_steps,
+            );
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realm_obs::NullCollector;
+
+    #[test]
+    fn realm_text_round_trips_and_rejects_garbage() {
+        let r = realm_from_text("realm:m=8,t=3").unwrap();
+        assert_eq!(r.width(), 16);
+        for bad in ["calm", "realm:m=8", "realm:m=8,t=x", "realm:m=8,t=3,z=1"] {
+            assert!(realm_from_text(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn measured_windows_are_thread_invariant() {
+        let cfg_base = ChaosConfig {
+            window_samples: 1 << 12,
+            chunk: 256,
+            ..ChaosConfig::smoke(ErrorSla::parse("mean:0.04").unwrap())
+        };
+        let active = realm_from_text("realm:m=4,t=3").unwrap();
+        let oracle = realm_from_text("realm:m=4,t=6").unwrap();
+        let fault = Some(Fault::transient(
+            FaultSite::Fraction {
+                operand: Operand::B,
+                bit: 3,
+            },
+            0.5,
+        ));
+        let reference = measure_window(
+            &ChaosConfig {
+                threads: Threads::Fixed(1),
+                ..cfg_base.clone()
+            },
+            7,
+            fault,
+            &active,
+            &oracle,
+        );
+        for workers in [2, 8] {
+            let parallel = measure_window(
+                &ChaosConfig {
+                    threads: Threads::Fixed(workers),
+                    ..cfg_base.clone()
+                },
+                7,
+                fault,
+                &active,
+                &oracle,
+            );
+            assert_eq!(reference.abs_err.to_bits(), parallel.abs_err.to_bits());
+            assert_eq!(reference.fallbacks, parallel.fallbacks);
+            assert_eq!(
+                reference.static_abs_err.to_bits(),
+                parallel.static_abs_err.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn accurate_rung_is_immune_to_datapath_faults() {
+        let cfg = ChaosConfig {
+            window_samples: 1 << 10,
+            chunk: 256,
+            ..ChaosConfig::smoke(ErrorSla::parse("mean:0.02").unwrap())
+        };
+        let ChaosTarget::Exact(exact) = ChaosTarget::build("accurate").unwrap() else {
+            panic!("accurate must build the interface-level target");
+        };
+        let oracle = realm_from_text("realm:m=4,t=6").unwrap();
+        let fault = Some(Fault::stuck_at(FaultSite::LutFactor { bit: 3 }, true));
+        let sums = measure_window(&cfg, 3, fault, &exact, &oracle);
+        assert_eq!(sums.abs_err, 0.0, "datapath faults must not reach Accurate");
+        assert_eq!(sums.fallbacks, 0);
+        assert!(sums.static_abs_err > 0.0, "the REALM baseline must feel it");
+    }
+
+    #[test]
+    fn outcome_json_is_parseable_and_complete() {
+        let outcome = ChaosOutcome {
+            sla: "mean:0.03".into(),
+            seed: 9,
+            rounds: vec![RoundRecord {
+                phase: "clean".into(),
+                fault: None,
+                design: "realm:m=8,t=3".into(),
+                mean_error: 0.011,
+                peak_error: 0.09,
+                fallback_rate: 0.0,
+                static_mean_error: 0.012,
+                cost: 0.4,
+                met: true,
+                static_met: true,
+                settle_steps: 1,
+            }],
+            attainment: 1.0,
+            static_attainment: 1.0,
+            mean_delivered_error: 0.011,
+            target_mean: 0.03,
+            switches: 0,
+            escalations: 0,
+            relaxations: 0,
+            mean_cost: 0.4,
+            oracle_cost: 0.4,
+            cost_ratio: 1.0,
+        };
+        let doc = realm_obs::Json::parse(&outcome.to_json()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(realm_obs::Json::as_str),
+            Some("realm-qos/bench/v1")
+        );
+        let rounds = doc
+            .get("rounds")
+            .and_then(realm_obs::Json::as_array)
+            .unwrap();
+        assert_eq!(rounds.len(), 1);
+        assert_eq!(
+            rounds[0].get("design").and_then(realm_obs::Json::as_str),
+            Some("realm:m=8,t=3")
+        );
+    }
+
+    #[test]
+    fn schedule_covers_all_four_sites_and_recovers_after_each() {
+        let phases = schedule();
+        let tags: Vec<String> = phases
+            .iter()
+            .filter_map(|p| p.fault.map(|f| f.campaign_tag()))
+            .collect();
+        for site in ["characteristic", "fraction", "lut", "shift"] {
+            assert!(
+                tags.iter().any(|t| t.contains(site)),
+                "schedule misses site {site}: {tags:?}"
+            );
+        }
+        // Every fault phase is followed by a clean phase.
+        for pair in phases.windows(2) {
+            if pair[0].fault.is_some() {
+                assert!(
+                    pair[1].fault.is_none(),
+                    "fault phases must be followed by recovery"
+                );
+            }
+        }
+        let _ = NullCollector;
+    }
+}

@@ -1,0 +1,471 @@
+//! The SLA controller: pick the cheapest configuration that meets an
+//! error budget, then keep it honest online.
+//!
+//! ## Static selection
+//!
+//! [`Controller::select`] answers the design-time question: given a
+//! characterized [`QosTable`](crate::QosTable) and an
+//! [`ErrorSla`](realm_metrics::ErrorSla), which entry is the cheapest
+//! whose *characterized* mean / NMED / peak error satisfies every
+//! constrained bound? The answer is monotone by construction —
+//! tightening any SLA component can only shrink the satisfying set, so
+//! the selected cost never decreases.
+//!
+//! ## Online control
+//!
+//! Characterized error assumes a healthy datapath. At run time the
+//! controller walks an **accuracy ladder** — the satisfying entries
+//! sorted by cost and pruned so each rung is strictly more accurate
+//! than the one below — driven by [`Observation`]s of *delivered*
+//! error and `Guarded::fallback_rate`:
+//!
+//! * **breach** (any observed bound above its SLA limit, or the
+//!   fallback rate above [`ControllerConfig::fallback_threshold`]) →
+//!   escalate one rung immediately;
+//! * **healthy** (every observed bound under `hysteresis ×` its limit
+//!   and the fallback rate under half the threshold) for
+//!   [`ControllerConfig::cooldown`] consecutive windows → relax one
+//!   rung, but never below the static selection;
+//! * anything in between holds and resets the healthy streak.
+//!
+//! The asymmetry (instant escalation, damped relaxation) is the
+//! hysteresis that keeps the controller from flapping on noise.
+
+use realm_metrics::ErrorSla;
+use realm_obs::MetricsSummary;
+
+use crate::table::{QosEntry, QosTable};
+use crate::QosError;
+
+/// Tuning knobs for the online control loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerConfig {
+    /// A window only counts toward the relaxation streak when every
+    /// observed bound is below `hysteresis ×` its SLA limit
+    /// (`0 < hysteresis ≤ 1`; smaller = more conservative).
+    pub hysteresis: f64,
+    /// `Guarded::fallback_rate` above this is a breach even when the
+    /// delivered error still meets the SLA — a rising fallback rate
+    /// means the guard is doing the multiplier's job.
+    pub fallback_threshold: f64,
+    /// Consecutive healthy windows required before relaxing one rung.
+    pub cooldown: u32,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            hysteresis: 0.7,
+            fallback_threshold: 0.05,
+            cooldown: 3,
+        }
+    }
+}
+
+/// One feedback window: delivered error plus the guard's signal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Delivered mean |relative error| over the window.
+    pub mean_error: f64,
+    /// Delivered peak |relative error| over the window, when measured.
+    pub peak_error: Option<f64>,
+    /// `Guarded::fallback_rate` over the window (0 when unguarded).
+    pub fallback_rate: f64,
+}
+
+impl Observation {
+    /// An observation of delivered mean error only.
+    pub fn new(mean_error: f64) -> Self {
+        Observation {
+            mean_error,
+            peak_error: None,
+            fallback_rate: 0.0,
+        }
+    }
+
+    /// Adds a delivered peak-error measurement.
+    pub fn with_peak_error(mut self, peak_error: f64) -> Self {
+        self.peak_error = Some(peak_error);
+        self
+    }
+
+    /// Adds the guard's fallback rate.
+    pub fn with_fallback_rate(mut self, fallback_rate: f64) -> Self {
+        self.fallback_rate = fallback_rate;
+        self
+    }
+
+    /// Builds an observation from a metrics snapshot, reading the
+    /// `guarded_fallback_rate:<instance>` gauge that
+    /// `Guarded::publish_metrics` maintains (0 when the instance has
+    /// not published yet).
+    pub fn from_metrics(summary: &MetricsSummary, instance: &str, mean_error: f64) -> Self {
+        let gauge = format!("guarded_fallback_rate:{instance}");
+        Observation::new(mean_error)
+            .with_fallback_rate(summary.gauges.get(gauge.as_str()).copied().unwrap_or(0.0))
+    }
+}
+
+/// What the controller did with a feedback window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Keep the active configuration.
+    Hold,
+    /// Switch one rung up the accuracy ladder.
+    Escalate,
+    /// Switch one rung down after a full healthy streak.
+    Relax,
+}
+
+/// The controller's verdict for one window — everything a caller needs
+/// to apply the switch and narrate it (`Event::ConfigSwitch` /
+/// `Event::Escalation`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// What happened.
+    pub action: Action,
+    /// Design active before the window.
+    pub from: String,
+    /// Design active after the window (equals `from` on [`Action::Hold`]).
+    pub to: String,
+    /// Human-readable cause (`"mean 0.041 > sla 0.03"`, `"healthy
+    /// streak 3/3"`, …).
+    pub reason: String,
+    /// Whether the window breached the SLA (set on escalations and on
+    /// holds at the top of the ladder).
+    pub breached: bool,
+}
+
+/// An SLA-driven configuration controller over a characterized table.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    sla: ErrorSla,
+    cfg: ControllerConfig,
+    ladder: Vec<QosEntry>,
+    rung: usize,
+    healthy_streak: u32,
+    switches: u64,
+    escalations: u64,
+    relaxations: u64,
+}
+
+impl Controller {
+    /// Static selection: the cheapest characterized entry satisfying
+    /// every constrained SLA bound. Monotone: tightening any bound
+    /// never returns a cheaper entry.
+    pub fn select<'t>(table: &'t QosTable, sla: &ErrorSla) -> Result<&'t QosEntry, QosError> {
+        table
+            .entries
+            .iter()
+            .find(|e| sla.satisfied_by(e.mean_error, e.nmed, e.peak_error))
+            .ok_or_else(|| QosError::NoFeasibleConfig(sla.text()))
+    }
+
+    /// Builds a controller whose ladder starts at the static selection.
+    ///
+    /// The ladder keeps every satisfying entry, cost-ascending, pruned
+    /// so each rung's characterized mean error strictly improves on
+    /// the rung below — escalation always buys accuracy, never just
+    /// cost.
+    pub fn new(table: &QosTable, sla: ErrorSla, cfg: ControllerConfig) -> Result<Self, QosError> {
+        let mut ladder: Vec<QosEntry> = Vec::new();
+        for entry in &table.entries {
+            if !sla.satisfied_by(entry.mean_error, entry.nmed, entry.peak_error) {
+                continue;
+            }
+            let improves = ladder
+                .last()
+                .is_none_or(|prev| entry.mean_error < prev.mean_error);
+            if improves {
+                ladder.push(entry.clone());
+            }
+        }
+        if ladder.is_empty() {
+            return Err(QosError::NoFeasibleConfig(sla.text()));
+        }
+        Ok(Controller {
+            sla,
+            cfg,
+            ladder,
+            rung: 0,
+            healthy_streak: 0,
+            switches: 0,
+            escalations: 0,
+            relaxations: 0,
+        })
+    }
+
+    /// The accuracy ladder, rung 0 (static selection) first.
+    pub fn ladder(&self) -> &[QosEntry] {
+        &self.ladder
+    }
+
+    /// The active entry.
+    pub fn current(&self) -> &QosEntry {
+        &self.ladder[self.rung]
+    }
+
+    /// The active rung index (0 = static selection).
+    pub fn rung(&self) -> usize {
+        self.rung
+    }
+
+    /// The entry a clairvoyant static selector would run forever — the
+    /// cost baseline the adaptive controller is scored against.
+    pub fn oracle_static(&self) -> &QosEntry {
+        &self.ladder[0]
+    }
+
+    /// The SLA this controller enforces.
+    pub fn sla(&self) -> &ErrorSla {
+        &self.sla
+    }
+
+    /// Config switches performed (escalations + relaxations).
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Escalations performed.
+    pub fn escalations(&self) -> u64 {
+        self.escalations
+    }
+
+    /// Relaxations performed.
+    pub fn relaxations(&self) -> u64 {
+        self.relaxations
+    }
+
+    /// Why the window breached, or `None` if every constrained bound
+    /// held.
+    fn breach_reason(&self, obs: &Observation) -> Option<String> {
+        if let Some(limit) = self.sla.mean {
+            if obs.mean_error > limit {
+                return Some(format!("mean {:.4} > sla {limit:.4}", obs.mean_error));
+            }
+        }
+        if let (Some(limit), Some(peak)) = (self.sla.peak, obs.peak_error) {
+            if peak > limit {
+                return Some(format!("peak {peak:.4} > sla {limit:.4}"));
+            }
+        }
+        if obs.fallback_rate > self.cfg.fallback_threshold {
+            return Some(format!(
+                "fallback rate {:.4} > threshold {:.4}",
+                obs.fallback_rate, self.cfg.fallback_threshold
+            ));
+        }
+        None
+    }
+
+    /// Whether the window was healthy enough to count toward the
+    /// relaxation streak.
+    fn healthy(&self, obs: &Observation) -> bool {
+        let under =
+            |value: f64, limit: Option<f64>| limit.is_none_or(|l| value <= l * self.cfg.hysteresis);
+        under(obs.mean_error, self.sla.mean)
+            && obs.peak_error.is_none_or(|p| under(p, self.sla.peak))
+            && obs.fallback_rate <= self.cfg.fallback_threshold / 2.0
+    }
+
+    /// Feeds one feedback window and returns the verdict. The caller
+    /// owns applying the switch (building the new multiplier) and
+    /// emitting the corresponding events.
+    pub fn observe(&mut self, obs: &Observation) -> Decision {
+        let from = self.current().design.clone();
+        if let Some(reason) = self.breach_reason(obs) {
+            self.healthy_streak = 0;
+            if self.rung + 1 < self.ladder.len() {
+                self.rung += 1;
+                self.switches += 1;
+                self.escalations += 1;
+                return Decision {
+                    action: Action::Escalate,
+                    to: self.current().design.clone(),
+                    from,
+                    reason,
+                    breached: true,
+                };
+            }
+            return Decision {
+                action: Action::Hold,
+                to: from.clone(),
+                from,
+                reason: format!("{reason}, already at top of ladder"),
+                breached: true,
+            };
+        }
+        if self.healthy(obs) {
+            self.healthy_streak = self.healthy_streak.saturating_add(1);
+            // Once the cooldown is paid, every further healthy window
+            // relaxes another rung (the streak is retained) — the glide
+            // back down is damped at the start, not per step.
+            if self.healthy_streak >= self.cfg.cooldown && self.rung > 0 {
+                self.rung -= 1;
+                self.switches += 1;
+                self.relaxations += 1;
+                return Decision {
+                    action: Action::Relax,
+                    to: self.current().design.clone(),
+                    from,
+                    reason: format!("healthy streak {}/{}", self.cfg.cooldown, self.cfg.cooldown),
+                    breached: false,
+                };
+            }
+        } else {
+            self.healthy_streak = 0;
+        }
+        Decision {
+            action: Action::Hold,
+            to: from.clone(),
+            from,
+            reason: format!(
+                "within sla (streak {}/{})",
+                self.healthy_streak, self.cfg.cooldown
+            ),
+            breached: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(design: &str, mean: f64, cost: f64) -> QosEntry {
+        QosEntry {
+            design: design.to_string(),
+            mean_error: mean,
+            nmed: mean / 10.0,
+            peak_error: mean * 4.0,
+            area_um2: cost * 1898.1,
+            power_uw: cost * 821.9,
+            cost,
+        }
+    }
+
+    fn table() -> QosTable {
+        QosTable {
+            samples: 1 << 10,
+            seed: 1,
+            cycles: 16,
+            fingerprint: 0xABCD,
+            entries: vec![
+                entry("drum:k=4", 0.060, 0.20),
+                entry("realm:m=4,t=6", 0.028, 0.30),
+                entry("realm:m=8,t=3", 0.012, 0.45),
+                entry("realm:m=16,t=0", 0.004, 0.70),
+                entry("accurate", 0.00001, 1.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn select_is_cheapest_satisfying_and_monotone() {
+        let t = table();
+        let loose = ErrorSla::parse("mean:0.08").unwrap();
+        let mid = ErrorSla::parse("mean:0.03").unwrap();
+        let tight = ErrorSla::parse("mean:0.01").unwrap();
+        assert_eq!(Controller::select(&t, &loose).unwrap().design, "drum:k=4");
+        assert_eq!(
+            Controller::select(&t, &mid).unwrap().design,
+            "realm:m=4,t=6"
+        );
+        assert_eq!(
+            Controller::select(&t, &tight).unwrap().design,
+            "realm:m=16,t=0"
+        );
+        let impossible = ErrorSla::parse("mean:0.03,peak:0.00001").unwrap();
+        assert!(matches!(
+            Controller::select(&t, &impossible),
+            Err(QosError::NoFeasibleConfig(_))
+        ));
+    }
+
+    #[test]
+    fn escalation_is_instant_and_relaxation_waits_for_cooldown() {
+        let t = table();
+        let sla = ErrorSla::parse("mean:0.03").unwrap();
+        let mut c = Controller::new(&t, sla, ControllerConfig::default()).unwrap();
+        assert_eq!(c.current().design, "realm:m=4,t=6");
+        assert_eq!(c.ladder().len(), 4, "{:?}", c.ladder());
+
+        // Breach → escalate immediately.
+        let d = c.observe(&Observation::new(0.045));
+        assert_eq!(d.action, Action::Escalate);
+        assert_eq!(d.to, "realm:m=8,t=3");
+        assert!(d.breached);
+
+        // Two healthy windows are not enough to relax…
+        for _ in 0..2 {
+            let d = c.observe(&Observation::new(0.005));
+            assert_eq!(d.action, Action::Hold);
+        }
+        // …the third is.
+        let d = c.observe(&Observation::new(0.005));
+        assert_eq!(d.action, Action::Relax);
+        assert_eq!(d.to, "realm:m=4,t=6");
+        assert_eq!(c.rung(), 0);
+        assert_eq!(c.switches(), 2);
+        assert_eq!(c.escalations(), 1);
+        assert_eq!(c.relaxations(), 1);
+
+        // Never relaxes below the static selection.
+        for _ in 0..10 {
+            let d = c.observe(&Observation::new(0.001));
+            assert_eq!(d.action, Action::Hold, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn fallback_rate_breaches_even_when_error_is_fine() {
+        let t = table();
+        let sla = ErrorSla::parse("mean:0.03").unwrap();
+        let mut c = Controller::new(&t, sla, ControllerConfig::default()).unwrap();
+        let d = c.observe(&Observation::new(0.001).with_fallback_rate(0.2));
+        assert_eq!(d.action, Action::Escalate);
+        assert!(d.reason.contains("fallback rate"));
+    }
+
+    #[test]
+    fn in_between_windows_reset_the_healthy_streak() {
+        let t = table();
+        let sla = ErrorSla::parse("mean:0.03").unwrap();
+        let mut c = Controller::new(&t, sla, ControllerConfig::default()).unwrap();
+        c.observe(&Observation::new(0.045)); // escalate to rung 1
+        c.observe(&Observation::new(0.005)); // healthy (≤ 0.7 × 0.03)
+        c.observe(&Observation::new(0.025)); // within SLA but above hysteresis
+        for _ in 0..2 {
+            assert_eq!(c.observe(&Observation::new(0.005)).action, Action::Hold);
+        }
+        // Streak restarted after the in-between window: relax on the
+        // third clean window, not earlier.
+        assert_eq!(c.observe(&Observation::new(0.005)).action, Action::Relax);
+    }
+
+    #[test]
+    fn top_of_ladder_breach_holds_and_reports() {
+        let t = table();
+        let sla = ErrorSla::parse("mean:0.03").unwrap();
+        let mut c = Controller::new(&t, sla, ControllerConfig::default()).unwrap();
+        for _ in 0..c.ladder().len() {
+            c.observe(&Observation::new(9.0));
+        }
+        let d = c.observe(&Observation::new(9.0));
+        assert_eq!(d.action, Action::Hold);
+        assert!(d.breached);
+        assert!(d.reason.contains("top of ladder"));
+        assert_eq!(d.from, "accurate");
+    }
+
+    #[test]
+    fn observation_reads_fallback_gauge_from_metrics() {
+        let registry = realm_obs::Registry::new();
+        registry.gauge("guarded_fallback_rate:tenant-a", 0.125);
+        let summary = registry.snapshot();
+        let obs = Observation::from_metrics(&summary, "tenant-a", 0.01);
+        assert_eq!(obs.fallback_rate, 0.125);
+        let missing = Observation::from_metrics(&summary, "tenant-b", 0.01);
+        assert_eq!(missing.fallback_rate, 0.0);
+    }
+}

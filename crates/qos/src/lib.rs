@@ -1,0 +1,104 @@
+//! # realm-qos
+//!
+//! Runtime error-budget QoS for the REALM stack: turn the paper's
+//! design-time accuracy knobs (segment count `M`, truncation `t`) into
+//! a *run-time* control loop that delivers a per-tenant error SLA at
+//! the lowest hardware cost — and keeps delivering it when the
+//! datapath is faulting.
+//!
+//! Three layers, composed from machinery the workspace already has:
+//!
+//! 1. **Characterization tables** ([`table`]): a one-off pass measures
+//!    every design in the zoo (REALM `(M, t)` grid plus the baselines)
+//!    for mean relative error, NMED and peak error (`realm-metrics`)
+//!    and area/power (`realm-synth`'s calibrated proxy), and persists
+//!    the result as a versioned, checksummed `qos_tables.json` whose
+//!    loader rejects tampered bytes and stale fingerprints.
+//! 2. **The controller** ([`controller`]): given an
+//!    [`ErrorSla`](realm_metrics::ErrorSla), selects the cheapest
+//!    configuration whose *characterized* error satisfies every bound,
+//!    then re-evaluates online from delivered-error observations and
+//!    `Guarded::fallback_rate` — escalating up a precomputed accuracy
+//!    ladder on breach, relaxing back only after a hysteresis-scaled
+//!    healthy streak (cooldown), so it degrades gracefully instead of
+//!    flapping.
+//! 3. **Chaos validation** ([`chaos`]): drives the closed loop under
+//!    `realm-fault` injection (stuck-at and transient faults at all
+//!    four datapath sites) and scores delivered error against the SLA,
+//!    against a static uncontrolled baseline, and against the
+//!    oracle-static cost — the numbers behind `BENCH_qos.json`.
+//!
+//! The crate deliberately sits *below* `realm-serve`: the server binds
+//! per-tenant controllers to jobs, but nothing here knows about HTTP,
+//! queues or tenants — only tables, budgets and observations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod chaos;
+pub mod controller;
+pub mod table;
+
+pub use chaos::{ChaosConfig, ChaosOutcome, RoundRecord};
+pub use controller::{Action, Controller, ControllerConfig, Decision, Observation};
+pub use table::{QosEntry, QosTable, TableConfig, TABLE_SCHEMA};
+
+use std::fmt;
+
+/// Errors from table characterization, persistence and controller
+/// construction.
+#[derive(Debug)]
+pub enum QosError {
+    /// Reading or writing a table file failed.
+    Io(String),
+    /// The table document is not valid JSON / not table-shaped.
+    Parse(String),
+    /// The document's checksum does not match its bytes (tampering or
+    /// torn write).
+    Checksum {
+        /// Checksum recorded in the document.
+        claimed: u64,
+        /// Checksum of the document's actual bytes.
+        computed: u64,
+    },
+    /// The table was characterized under a different configuration
+    /// (sample budget, seed, zoo) than the loader expects.
+    StaleFingerprint {
+        /// Fingerprint the loader expected.
+        expected: u64,
+        /// Fingerprint recorded in the document.
+        found: u64,
+    },
+    /// The document's schema tag is not one this crate understands.
+    Unsupported(String),
+    /// A zoo design failed to build or characterize.
+    Design(String),
+    /// No table entry satisfies the requested SLA.
+    NoFeasibleConfig(String),
+}
+
+impl fmt::Display for QosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QosError::Io(detail) => write!(f, "table I/O failed: {detail}"),
+            QosError::Parse(detail) => write!(f, "invalid table document: {detail}"),
+            QosError::Checksum { claimed, computed } => write!(
+                f,
+                "table checksum mismatch: document claims {claimed:016x}, bytes hash to {computed:016x}"
+            ),
+            QosError::StaleFingerprint { expected, found } => write!(
+                f,
+                "stale table fingerprint: expected {expected:016x}, found {found:016x} \
+                 (re-run characterization)"
+            ),
+            QosError::Unsupported(schema) => write!(f, "unsupported table schema '{schema}'"),
+            QosError::Design(detail) => write!(f, "zoo design failed: {detail}"),
+            QosError::NoFeasibleConfig(sla) => {
+                write!(f, "no characterized configuration satisfies SLA '{sla}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QosError {}

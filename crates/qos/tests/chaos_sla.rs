@@ -1,0 +1,119 @@
+//! End-to-end chaos validation: the guarded, controller-driven loop
+//! must hold the SLA under fault injection — bit-identically at every
+//! worker-thread count — while the static uncontrolled configuration
+//! demonstrably violates it.
+
+use realm_metrics::{ErrorSla, Threads};
+use realm_obs::{Collector, MemoryCollector, NullCollector};
+use realm_qos::{chaos, ChaosConfig, QosTable, TableConfig};
+
+fn test_table() -> QosTable {
+    let cfg = TableConfig {
+        samples: 1 << 11,
+        seed: 0xEA51_1AB5,
+        cycles: 16,
+        threads: Threads::Auto,
+    };
+    QosTable::characterize(&cfg).expect("characterization must succeed")
+}
+
+fn test_campaign(threads: Threads) -> ChaosConfig {
+    ChaosConfig {
+        threads,
+        window_samples: 1 << 11,
+        probe_samples: 1 << 10,
+        chunk: 256,
+        ..ChaosConfig::smoke(ErrorSla::parse("mean:0.02").expect("valid SLA"))
+    }
+}
+
+#[test]
+fn chaos_attainment_meets_target_and_static_violates() {
+    let table = test_table();
+    let collector = MemoryCollector::new();
+    let outcome = chaos::run(&table, &test_campaign(Threads::Fixed(2)), &collector)
+        .expect("campaign must run");
+
+    // The adaptive loop holds the SLA in at least 99% of rounds (with
+    // this seed: all of them), while the static uncontrolled oracle
+    // configuration violates it in every fault phase.
+    assert!(
+        outcome.attainment >= 0.99,
+        "attainment {} below target:\n{}",
+        outcome.attainment,
+        outcome.to_json()
+    );
+    assert!(
+        outcome.static_attainment < outcome.attainment,
+        "static baseline must violate where the controller does not \
+         (static {}, adaptive {})",
+        outcome.static_attainment,
+        outcome.attainment
+    );
+    let faulty_rounds: Vec<_> = outcome
+        .rounds
+        .iter()
+        .filter(|r| r.fault.is_some())
+        .collect();
+    assert!(!faulty_rounds.is_empty());
+    assert!(
+        faulty_rounds.iter().any(|r| !r.static_met),
+        "at least one fault phase must break the static baseline"
+    );
+    assert!(
+        outcome.mean_delivered_error <= outcome.target_mean,
+        "mean delivered error {} above target {}",
+        outcome.mean_delivered_error,
+        outcome.target_mean
+    );
+
+    // Adaptivity is allowed to cost something, but bounded: within
+    // 1.5x of the clairvoyant static selection.
+    assert!(
+        outcome.cost_ratio <= 1.5,
+        "cost ratio {} exceeds 1.5x oracle-static",
+        outcome.cost_ratio
+    );
+
+    // The controller actually worked for its keep: it escalated under
+    // faults and relaxed back during recovery.
+    assert!(outcome.escalations > 0, "no escalations recorded");
+    assert!(outcome.relaxations > 0, "no relaxations recorded");
+    assert_eq!(outcome.switches, outcome.escalations + outcome.relaxations);
+
+    // The loop narrated its moves: every switch surfaced as an event.
+    let events = collector.events();
+    let switches = events
+        .iter()
+        .filter(|e| e.kind() == "config_switch")
+        .count() as u64;
+    let escalations = events.iter().filter(|e| e.kind() == "escalation").count() as u64;
+    assert_eq!(
+        switches, outcome.switches,
+        "one config_switch event per switch"
+    );
+    assert!(
+        escalations >= outcome.escalations,
+        "escalation events missing"
+    );
+}
+
+#[test]
+fn chaos_outcome_is_bit_identical_across_thread_counts() {
+    let table = test_table();
+    let reference =
+        chaos::run(&table, &test_campaign(Threads::Fixed(1)), &NullCollector).expect("run");
+    for workers in [2, 8] {
+        let outcome = chaos::run(
+            &table,
+            &test_campaign(Threads::Fixed(workers)),
+            &NullCollector,
+        )
+        .expect("run");
+        assert_eq!(
+            outcome, reference,
+            "{workers}-thread campaign diverged from the sequential one"
+        );
+    }
+    let _ = NullCollector.enabled();
+}

@@ -1,0 +1,197 @@
+//! Hand-rolled property tests for the QoS controller (the workspace
+//! carries no property-testing dependency; the loops draw their cases
+//! from `SplitMix64` so every failure is reproducible from the case
+//! index).
+
+use realm_core::rng::SplitMix64;
+use realm_metrics::ErrorSla;
+use realm_qos::{Action, Controller, ControllerConfig, Observation, QosEntry, QosError, QosTable};
+
+const CASES: u64 = 300;
+
+/// A random but plausible characterized table: costs ascending,
+/// accuracy loosely correlated with cost (cheaper designs err more),
+/// plus occasional inversions so pruning is exercised.
+fn random_table(rng: &mut SplitMix64) -> QosTable {
+    let designs = 3 + rng.below(10) as usize;
+    let mut entries = Vec::new();
+    let mut cost = 0.15 + rng.next_f64() * 0.1;
+    for i in 0..designs {
+        cost += 0.02 + rng.next_f64() * 0.12;
+        let mean = (1.0 / cost) * (0.004 + rng.next_f64() * 0.012);
+        entries.push(QosEntry {
+            design: format!("realm:m={},t={i}", 4 << (i % 3)),
+            mean_error: mean,
+            nmed: mean * (0.2 + rng.next_f64() * 0.2),
+            peak_error: mean * (3.0 + rng.next_f64() * 3.0),
+            area_um2: cost * 1898.1,
+            power_uw: cost * 821.9,
+            cost,
+        });
+    }
+    entries.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+    QosTable {
+        samples: 1 << 10,
+        seed: 1,
+        cycles: 16,
+        fingerprint: 0,
+        entries,
+    }
+}
+
+fn random_sla(rng: &mut SplitMix64) -> ErrorSla {
+    let mut parts = Vec::new();
+    if rng.chance(0.8) {
+        parts.push(format!("mean:{:?}", 0.003 + rng.next_f64() * 0.08));
+    }
+    if rng.chance(0.4) {
+        parts.push(format!("nmed:{:?}", 0.001 + rng.next_f64() * 0.03));
+    }
+    if rng.chance(0.4) {
+        parts.push(format!("peak:{:?}", 0.01 + rng.next_f64() * 0.4));
+    }
+    if parts.is_empty() {
+        parts.push("mean:0.05".to_string());
+    }
+    ErrorSla::parse(&parts.join(",")).expect("generated SLA text must parse")
+}
+
+/// Tightens one random component of an SLA (or constrains a previously
+/// unconstrained one).
+fn tighten(rng: &mut SplitMix64, sla: &ErrorSla) -> ErrorSla {
+    let factor = 0.3 + rng.next_f64() * 0.6;
+    let mut parts = Vec::new();
+    let mut push = |key: &str, bound: Option<f64>, tighten_this: bool| match bound {
+        Some(b) => {
+            let b = if tighten_this { b * factor } else { b };
+            parts.push(format!("{key}:{b:?}"));
+        }
+        None if tighten_this => parts.push(format!("{key}:{:?}", 0.02 * factor)),
+        None => {}
+    };
+    let which = rng.below(3);
+    push("mean", sla.mean, which == 0);
+    push("nmed", sla.nmed, which == 1);
+    push("peak", sla.peak, which == 2);
+    ErrorSla::parse(&parts.join(",")).expect("tightened SLA text must parse")
+}
+
+/// Tightening any SLA component never selects a cheaper configuration:
+/// the satisfying set can only shrink, so the cheapest survivor can
+/// only cost the same or more.
+#[test]
+fn selection_cost_is_monotone_under_sla_tightening() {
+    let mut rng = SplitMix64::new(0x5EED_50DA);
+    for case in 0..CASES {
+        let table = random_table(&mut rng);
+        let sla = random_sla(&mut rng);
+        let tighter = tighten(&mut rng, &sla);
+        let base = Controller::select(&table, &sla);
+        let strict = Controller::select(&table, &tighter);
+        match (base, strict) {
+            (Ok(b), Ok(s)) => assert!(
+                s.cost >= b.cost,
+                "case {case}: tightening {sla} -> {tighter} got cheaper \
+                 ({} {} -> {} {})",
+                b.design,
+                b.cost,
+                s.design,
+                s.cost
+            ),
+            (Err(QosError::NoFeasibleConfig(_)), Ok(s)) => panic!(
+                "case {case}: {sla} infeasible but tighter {tighter} selected {}",
+                s.design
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// The ladder is sorted by ascending cost with strictly improving mean
+/// error, starts at the static selection, and every selected entry
+/// satisfies the SLA it was selected under.
+#[test]
+fn ladder_is_sound() {
+    let mut rng = SplitMix64::new(0xB0A7_10AD);
+    let mut built = 0u32;
+    for case in 0..CASES {
+        let table = random_table(&mut rng);
+        let sla = random_sla(&mut rng);
+        let Ok(controller) = Controller::new(&table, sla, ControllerConfig::default()) else {
+            assert!(
+                matches!(
+                    Controller::select(&table, &sla),
+                    Err(QosError::NoFeasibleConfig(_))
+                ),
+                "case {case}: Controller::new failed but select succeeded"
+            );
+            continue;
+        };
+        built += 1;
+        let ladder = controller.ladder();
+        let static_pick = Controller::select(&table, &sla).expect("feasible");
+        assert_eq!(ladder[0].design, static_pick.design, "case {case}");
+        for pair in ladder.windows(2) {
+            assert!(pair[0].cost <= pair[1].cost, "case {case}: cost order");
+            assert!(
+                pair[1].mean_error < pair[0].mean_error,
+                "case {case}: escalation must strictly improve accuracy"
+            );
+        }
+        for rung in ladder {
+            assert!(
+                sla.satisfied_by(rung.mean_error, rung.nmed, rung.peak_error),
+                "case {case}: rung {} does not satisfy {sla}",
+                rung.design
+            );
+        }
+    }
+    assert!(built > CASES as u32 / 4, "too few feasible cases: {built}");
+}
+
+/// Driving the controller with random observations never moves it off
+/// the ladder, never relaxes below the static selection, and only ever
+/// steps one rung at a time.
+#[test]
+fn observe_walks_the_ladder_one_rung_at_a_time() {
+    let mut rng = SplitMix64::new(0x0B5E_11AD);
+    for case in 0..CASES {
+        let table = random_table(&mut rng);
+        let sla = random_sla(&mut rng);
+        let Ok(mut controller) = Controller::new(&table, sla, ControllerConfig::default()) else {
+            continue;
+        };
+        let depth = controller.ladder().len();
+        for _ in 0..40 {
+            let before = controller.rung();
+            let obs = Observation::new(rng.next_f64() * 0.1)
+                .with_peak_error(rng.next_f64() * 0.5)
+                .with_fallback_rate(if rng.chance(0.2) {
+                    rng.next_f64() * 0.3
+                } else {
+                    0.0
+                });
+            let decision = controller.observe(&obs);
+            let after = controller.rung();
+            assert!(after < depth, "case {case}: rung out of range");
+            match decision.action {
+                Action::Hold => assert_eq!(before, after, "case {case}"),
+                Action::Escalate => assert_eq!(after, before + 1, "case {case}"),
+                Action::Relax => {
+                    assert_eq!(after + 1, before, "case {case}");
+                    assert!(after + 1 >= 1, "case {case}: below static selection");
+                }
+            }
+            assert_eq!(
+                controller.current().design,
+                decision.to,
+                "case {case}: decision.to must match the active rung"
+            );
+        }
+        assert_eq!(
+            controller.switches(),
+            controller.escalations() + controller.relaxations(),
+            "case {case}: switch accounting"
+        );
+    }
+}

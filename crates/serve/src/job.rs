@@ -21,7 +21,7 @@
 
 use std::fmt;
 
-use realm_metrics::{CampaignSpec, ErrorSummary, FamilySpec};
+use realm_metrics::{CampaignSpec, ErrorSla, ErrorSummary, FamilySpec};
 use realm_obs::json_string;
 
 use crate::json::{object, Json};
@@ -72,11 +72,17 @@ impl JobRequest {
         if tenant.is_empty() || tenant.len() > MAX_TENANT {
             return Err(format!("tenant must be 1..={MAX_TENANT} bytes"));
         }
-        let design = doc
-            .get("design")
-            .and_then(Json::as_str)
-            .ok_or("missing required field 'design'")?
-            .to_string();
+        let error_sla = match doc.get("error_sla").and_then(Json::as_str) {
+            None => None,
+            Some(text) => Some(ErrorSla::parse(text).map_err(|e| e.to_string())?),
+        };
+        // With an SLA, the design may be omitted (or explicitly
+        // "auto"): the QoS controller binds one at schedule time.
+        let design = match doc.get("design").and_then(Json::as_str) {
+            Some(d) => d.to_string(),
+            None if error_sla.is_some() => "auto".to_string(),
+            None => return Err("missing required field 'design'".into()),
+        };
         let family_name = doc
             .get("family")
             .and_then(Json::as_str)
@@ -113,11 +119,18 @@ impl JobRequest {
             family,
             seed: doc.get("seed").and_then(Json::as_u64).unwrap_or(0),
             chunk: doc.get("chunk").and_then(Json::as_u64),
+            error_sla,
         };
         // Reject bad specs at admission, not at execution: the client
         // is still on the line to hear about it.
         spec.validate().map_err(|e| e.to_string())?;
-        spec.build_design().map_err(|e| e.to_string())?;
+        if spec.design == "auto" {
+            if spec.error_sla.is_none() {
+                return Err("design 'auto' requires an 'error_sla'".into());
+            }
+        } else {
+            spec.build_design().map_err(|e| e.to_string())?;
+        }
 
         let inject_panic = doc
             .get("inject_panic")
@@ -168,6 +181,9 @@ impl JobRequest {
         members.push(("seed", self.spec.seed.to_string()));
         if let Some(chunk) = self.spec.chunk {
             members.push(("chunk", chunk.to_string()));
+        }
+        if let Some(sla) = &self.spec.error_sla {
+            members.push(("error_sla", json_string(&sla.text())));
         }
         if !self.inject_panic.is_empty() {
             let list: Vec<String> = self.inject_panic.iter().map(u64::to_string).collect();
@@ -313,9 +329,14 @@ fn json_f64(x: f64) -> String {
 /// or retry history) so that two jobs with equal specs — or one job
 /// killed and resumed — produce byte-identical results.
 pub fn result_json(spec: &CampaignSpec, summary: &ErrorSummary) -> String {
-    object(&[
+    let mut members = vec![
         ("schema", json_string("realm-serve/result/v1")),
         ("design", json_string(&spec.design)),
+    ];
+    if let Some(sla) = &spec.error_sla {
+        members.push(("error_sla", json_string(&sla.text())));
+    }
+    members.extend([
         ("seed", spec.seed.to_string()),
         ("samples", summary.samples.to_string()),
         ("bias", json_f64(summary.bias)),
@@ -323,7 +344,8 @@ pub fn result_json(spec: &CampaignSpec, summary: &ErrorSummary) -> String {
         ("variance", json_f64(summary.variance)),
         ("min_error", json_f64(summary.min_error)),
         ("max_error", json_f64(summary.max_error)),
-    ])
+    ]);
+    object(&members)
 }
 
 /// Re-renders a parsed result document in the exact `result_json`
@@ -331,9 +353,11 @@ pub fn result_json(spec: &CampaignSpec, summary: &ErrorSummary) -> String {
 /// the ledger).
 fn render_result(doc: &Json) -> String {
     let num = |key: &str| doc.get(key).map(render_value).unwrap_or_default();
-    object(&[
-        ("schema", num("schema")),
-        ("design", num("design")),
+    let mut members = vec![("schema", num("schema")), ("design", num("design"))];
+    if doc.get("error_sla").is_some() {
+        members.push(("error_sla", num("error_sla")));
+    }
+    members.extend([
         ("seed", num("seed")),
         ("samples", num("samples")),
         ("bias", num("bias")),
@@ -341,7 +365,8 @@ fn render_result(doc: &Json) -> String {
         ("variance", num("variance")),
         ("min_error", num("min_error")),
         ("max_error", num("max_error")),
-    ])
+    ]);
+    object(&members)
 }
 
 /// Renders one parsed JSON value compactly (the shapes `result_json`
@@ -417,6 +442,25 @@ mod tests {
     }
 
     #[test]
+    fn sla_jobs_round_trip_and_default_to_auto_design() {
+        let req =
+            parse_request(r#"{"tenant":"bob","samples":256,"error_sla":"mean:0.03"}"#).unwrap();
+        assert_eq!(req.spec.design, "auto");
+        assert_eq!(req.spec.error_sla.unwrap().mean, Some(0.03));
+        let back = parse_request(&req.to_json()).unwrap();
+        assert_eq!(req, back, "SLA must survive the ledger encoding");
+
+        // An explicit design plus an SLA is also legal: run that
+        // design, score it against the budget.
+        let req = parse_request(
+            r#"{"design":"realm:m=8,t=1","samples":64,"error_sla":"mean:0.05,peak:0.2"}"#,
+        )
+        .unwrap();
+        assert_eq!(req.spec.design, "realm:m=8,t=1");
+        assert_eq!(parse_request(&req.to_json()).unwrap(), req);
+    }
+
+    #[test]
     fn invalid_submissions_are_diagnosed_at_admission() {
         for (doc, needle) in [
             (r#"{"samples":10}"#, "design"),
@@ -435,6 +479,14 @@ mod tests {
                 "empty",
             ),
             (r#"{"design":"accurate","samples":1,"tenant":""}"#, "tenant"),
+            (
+                r#"{"design":"accurate","samples":1,"error_sla":"mean:banana"}"#,
+                "not a number",
+            ),
+            (
+                r#"{"design":"auto","samples":1}"#,
+                "requires an 'error_sla'",
+            ),
         ] {
             let err = parse_request(doc).expect_err(doc);
             assert!(err.contains(needle), "{doc}: {err}");
@@ -448,6 +500,7 @@ mod tests {
             family: FamilySpec::MonteCarlo { samples: 100 },
             seed: 3,
             chunk: None,
+            error_sla: None,
         };
         let summary = ErrorSummary {
             samples: 100,

@@ -167,6 +167,7 @@ mod tests {
                     family: FamilySpec::MonteCarlo { samples: 64 },
                     seed: 1,
                     chunk: Some(16),
+                    error_sla: None,
                 },
                 inject_panic: Vec::new(),
                 persistent_panic: false,

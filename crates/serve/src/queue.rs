@@ -283,6 +283,7 @@ mod tests {
                     family: FamilySpec::MonteCarlo { samples: 16 },
                     seed: 0,
                     chunk: None,
+                    error_sla: None,
                 },
                 inject_panic: Vec::new(),
                 persistent_panic: false,

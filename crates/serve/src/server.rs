@@ -24,8 +24,10 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use realm_harness::{atomic_write_str, discover, Backoff, CancelToken, StopCause, Supervisor};
-use realm_obs::{json_string, Fanout, JsonlSink, Registry};
+use realm_metrics::{ErrorSla, ErrorSummary};
+use realm_obs::{json_string, Collector, Event, Fanout, JsonlSink, Registry};
 use realm_par::Threads;
+use realm_qos::{Action, Controller, ControllerConfig, Observation, QosTable, TableConfig};
 
 use crate::http::{read_request, ParseError, Request, Response};
 use crate::job::{result_json, Job, JobId, JobRequest, JobState, Terminal};
@@ -118,6 +120,33 @@ struct State {
     running: AtomicU64,
     draining: AtomicBool,
     accepting: AtomicBool,
+    qos: Mutex<QosRuntime>,
+}
+
+/// Per-tenant error-budget bookkeeping: the characterized table (lazy,
+/// persisted as `<dir>/qos_tables.json`) plus one SLA controller per
+/// tenant.
+#[derive(Default)]
+struct QosRuntime {
+    table: Option<QosTable>,
+    controllers: BTreeMap<String, TenantQos>,
+}
+
+struct TenantQos {
+    sla: String,
+    controller: Controller,
+}
+
+/// The characterization the server runs when no (valid) table file is
+/// on disk: small enough to regenerate inside one admission call, big
+/// enough to rank the zoo.
+fn qos_table_config() -> TableConfig {
+    TableConfig {
+        samples: 1 << 12,
+        seed: 0xEA51_1AB5,
+        cycles: 32,
+        threads: Threads::Auto,
+    }
 }
 
 impl State {
@@ -146,6 +175,96 @@ impl State {
                 0.0
             },
         );
+    }
+
+    /// Binds a design for an `"auto"` submission: the tenant's
+    /// controller picks the cheapest characterized configuration
+    /// satisfying the SLA. The first SLA job pays for the table —
+    /// loaded from `qos_tables.json` when its fingerprint matches,
+    /// characterized (and saved) otherwise.
+    fn qos_bind(&self, tenant: &str, sla: ErrorSla) -> Result<String, (u16, String)> {
+        let mut qos = self
+            .qos
+            .lock()
+            .map_err(|_| (500u16, "qos state poisoned".to_string()))?;
+        if qos.table.is_none() {
+            let cfg = qos_table_config();
+            let path = self.config.dir.join("qos_tables.json");
+            let table = match QosTable::load(&path, Some(cfg.fingerprint())) {
+                Ok(table) => table,
+                Err(_) => {
+                    let table = QosTable::characterize(&cfg)
+                        .map_err(|e| (500u16, format!("qos characterization failed: {e}")))?;
+                    let _ = table.save(&path);
+                    table
+                }
+            };
+            qos.table = Some(table);
+        }
+        let table = qos
+            .table
+            .clone()
+            .ok_or_else(|| (500u16, "qos table unavailable".to_string()))?;
+        let sla_text = sla.text();
+        let stale = qos
+            .controllers
+            .get(tenant)
+            .is_none_or(|tc| tc.sla != sla_text);
+        if stale {
+            let controller = Controller::new(&table, sla, ControllerConfig::default())
+                .map_err(|e| (400u16, e.to_string()))?;
+            qos.controllers.insert(
+                tenant.to_string(),
+                TenantQos {
+                    sla: sla_text,
+                    controller,
+                },
+            );
+        }
+        let tc = qos
+            .controllers
+            .get(tenant)
+            .ok_or_else(|| (500u16, "qos controller unavailable".to_string()))?;
+        self.registry
+            .gauge(&format!("qos_rung:{tenant}"), tc.controller.rung() as f64);
+        Ok(tc.controller.current().design.clone())
+    }
+
+    /// Feeds a completed SLA job's delivered error back to the tenant's
+    /// controller (error drift escalates the binding for the tenant's
+    /// *next* job) and narrates any switch through the registry.
+    fn qos_observe(&self, tenant: &str, design: &str, summary: &ErrorSummary) {
+        let Ok(mut qos) = self.qos.lock() else { return };
+        let Some(tc) = qos.controllers.get_mut(tenant) else {
+            return;
+        };
+        // Only the controller-bound configuration is feedback for the
+        // controller; explicitly-pinned designs are scored but not fed.
+        if tc.controller.current().design != design {
+            return;
+        }
+        let obs = Observation::new(summary.mean_error).with_peak_error(summary.peak_error());
+        let target_mean = tc.controller.sla().mean.unwrap_or(0.0);
+        let decision = tc.controller.observe(&obs);
+        if decision.breached {
+            self.registry.record(&Event::Escalation {
+                scope: tenant.to_string(),
+                config: decision.from.clone(),
+                observed_mean: obs.mean_error,
+                target_mean,
+                fallback_rate: obs.fallback_rate,
+            });
+        }
+        if decision.action != Action::Hold {
+            self.registry.record(&Event::ConfigSwitch {
+                scope: tenant.to_string(),
+                from: decision.from.clone(),
+                to: decision.to.clone(),
+                reason: decision.reason.clone(),
+            });
+        }
+        self.registry
+            .gauge(&format!("qos_rung:{tenant}"), tc.controller.rung() as f64);
     }
 
     /// Best-effort removal of a finished job's campaign journal.
@@ -188,6 +307,7 @@ impl Server {
             running: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             accepting: AtomicBool::new(true),
+            qos: Mutex::new(QosRuntime::default()),
             config,
         });
 
@@ -405,6 +525,22 @@ fn run_job(state: &Arc<State>, mut job: Job) {
             }
             match (&run.value, run.report.is_complete()) {
                 (Some(summary), true) => {
+                    if let Some(sla) = job.request.spec.error_sla {
+                        // NMED is a population metric the per-job summary
+                        // does not carry; score the components the run
+                        // actually measured.
+                        let met = sla.mean.is_none_or(|limit| summary.mean_error <= limit)
+                            && sla.peak.is_none_or(|limit| summary.peak_error() <= limit);
+                        state.registry.incr(
+                            if met {
+                                "sla_jobs_met_total"
+                            } else {
+                                "sla_jobs_violated_total"
+                            },
+                            1,
+                        );
+                        state.qos_observe(&job.request.tenant, &job.request.spec.design, summary);
+                    }
                     finish(
                         state,
                         &job,
@@ -560,10 +696,23 @@ fn submit(state: &Arc<State>, body: &[u8]) -> Response {
         Ok(doc) => doc,
         Err(e) => return Response::error(400, &format!("invalid JSON: {e}")),
     };
-    let request = match JobRequest::from_json(&doc) {
+    let mut request = match JobRequest::from_json(&doc) {
         Ok(request) => request,
         Err(detail) => return Response::error(400, &detail),
     };
+    if request.spec.design == "auto" {
+        // Resolve the binding at admission so the ledger records the
+        // concrete design: recovery replays the identical spec.
+        let Some(sla) = request.spec.error_sla else {
+            return Response::error(400, "design 'auto' requires an 'error_sla'");
+        };
+        match state.qos_bind(&request.tenant, sla) {
+            Ok(design) => request.spec.design = design,
+            Err((status, detail)) => {
+                return Response::error(status, &format!("cannot bind design for SLA: {detail}"))
+            }
+        }
+    }
     let job = Job {
         id: state.next_id.fetch_add(1, Ordering::SeqCst),
         request,

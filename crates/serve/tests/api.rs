@@ -300,3 +300,78 @@ fn graceful_drain_checkpoints_and_a_restart_resumes_bit_identically() {
     server.shutdown().expect("shutdown");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn sla_jobs_bind_a_design_and_score_the_budget() {
+    let dir = scratch("sla");
+    let server = start(ServeConfig {
+        dir: dir.clone(),
+        workers: 1,
+        ..ServeConfig::default()
+    });
+
+    // No design: admission asks the tenant's QoS controller to bind the
+    // cheapest characterized configuration satisfying the SLA.
+    let body = r#"{"tenant":"alice","samples":4096,"seed":3,"error_sla":"mean:0.05"}"#;
+    let (status, reply) = submit(&server, body);
+    assert_eq!(status, 202, "{reply}");
+    let id = extract_u64_field(&reply, "id").expect("id in 202");
+
+    let state = wait_terminal(server.addr(), id, Duration::from_secs(120)).expect("terminal");
+    assert_eq!(state, "completed");
+    let (status, result) =
+        http_request(server.addr(), "GET", &format!("/jobs/{id}/result"), None).expect("result");
+    assert_eq!(status, 200, "{result}");
+    let design = extract_string_field(&result, "design").expect("resolved design in result");
+    assert_ne!(design, "auto", "admission must record the concrete design");
+    assert!(
+        design.starts_with("realm:") || design == "accurate" || design.contains(':'),
+        "bound design must come from the characterized zoo: {design}"
+    );
+    assert!(result.contains("\"error_sla\":\"mean:0.05\""), "{result}");
+
+    // The characterization table is persisted next to the ledgers so a
+    // restart loads instead of re-measuring.
+    assert!(dir.join("qos_tables.json").is_file());
+
+    // The delivered error is scored against the budget on /metrics, and
+    // the tenant's rung is published.
+    let (status, metrics) = http_request(server.addr(), "GET", "/metrics", None).expect("metrics");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("\"sla_jobs_met_total\": 1"), "{metrics}");
+    assert!(metrics.contains("qos_rung:alice"), "{metrics}");
+
+    // A second job under the same SLA reuses the cached table and binds
+    // the same rung (no drift was observed).
+    let (status, reply) = submit(&server, body);
+    assert_eq!(status, 202, "{reply}");
+    let id2 = extract_u64_field(&reply, "id").expect("id");
+    wait_terminal(server.addr(), id2, Duration::from_secs(120)).expect("terminal");
+    let (_, result2) =
+        http_request(server.addr(), "GET", &format!("/jobs/{id2}/result"), None).expect("result");
+    assert_eq!(
+        extract_string_field(&result2, "design").as_deref(),
+        Some(design.as_str()),
+        "stable SLA must keep a stable binding"
+    );
+
+    // A budget no approximate design can hold binds the exact top rung
+    // (a fresh tenant gets a fresh controller).
+    let (status, reply) = submit(
+        &server,
+        r#"{"tenant":"bob","samples":256,"error_sla":"mean:0.000000001,peak:0.000000001"}"#,
+    );
+    assert_eq!(status, 202, "{reply}");
+    let id3 = extract_u64_field(&reply, "id").expect("id");
+    wait_terminal(server.addr(), id3, Duration::from_secs(120)).expect("terminal");
+    let (_, result3) =
+        http_request(server.addr(), "GET", &format!("/jobs/{id3}/result"), None).expect("result");
+    assert_eq!(
+        extract_string_field(&result3, "design").as_deref(),
+        Some("accurate"),
+        "{result3}"
+    );
+
+    server.shutdown().expect("shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -46,11 +46,14 @@ pub fn carry_lookahead_add(nl: &mut Netlist, a: &[Net], b: &[Net], cin: Net) -> 
             for j in 1..=off {
                 all_p = nl.and(all_p, p[base + j]);
             }
-            terms.push(nl.and(all_p, group_cin));
+            // terms holds at least g[base+off], so the fold seeds from
+            // the first element; the or-tree shape is unchanged.
+            let all_p_cin = nl.and(all_p, group_cin);
             c = terms
                 .into_iter()
                 .reduce(|x, y| nl.or(x, y))
-                .expect("nonempty");
+                .unwrap_or(all_p_cin);
+            c = nl.or(c, all_p_cin);
             carries.push(c);
         }
         group_cin = c;

@@ -299,9 +299,11 @@ pub fn implm_netlist(width: u32) -> Netlist {
     let encode = |nl: &mut Netlist, v: &[Net]| -> (Vec<Net>, Vec<Net>, Net) {
         let mut scratch = StageTrace::new();
         let fe = log_front_end(nl, v, &mut scratch);
-        let round = *fe.fraction.last().expect("fraction is nonempty"); // x >= 0.5
-                                                                        // k' = k + round.
         let zero = nl.zero();
+        // The front end always emits a full-width fraction; its MSB is
+        // the x >= 0.5 rounding bit.
+        let round = fe.fraction.last().copied().unwrap_or(zero);
+        // k' = k + round.
         let kp = ripple_add(nl, &fe.position, &[round], zero);
         // Offset fraction y = x + 2^(w−2), in units of 2^-w.
         // round = 0: x·2^w = fraction << 1  → y = (frac<<1) + 2^(w−2).

@@ -24,7 +24,8 @@ Checks, per DESIGN.md §11 (schema ``realm-obs/v1``):
   fields with the documented JSON types;
 * campaigns are well-bracketed: every ``campaign_start`` is closed by
   a ``campaign_end`` with the same fingerprint, chunk events only
-  occur inside a campaign;
+  occur inside a campaign (QoS controller narration —
+  ``config_switch`` and ``escalation`` — may appear anywhere);
 * accounting: within each campaign, replayed samples plus the samples
   of distinct ok-executed chunks equal ``campaign_end.covered_samples``,
   and replayed/executed/quarantined chunk counts match the close event.
@@ -70,8 +71,21 @@ EVENTS = {
         "stopped": (str, type(None)),
         "wall_ns": int,
     },
+    "config_switch": {"scope": str, "from": str, "to": str, "reason": str},
+    "escalation": {
+        "scope": str,
+        "config": str,
+        "observed_mean": (int, float),
+        "target_mean": (int, float),
+        "fallback_rate": (int, float),
+    },
 }
 COMMON = {"schema", "seq", "t_ns", "ev"}
+
+# QoS controller narration rides alongside the campaign span tree (the
+# controller is not a campaign), so these kinds are legal outside any
+# campaign_start .. campaign_end bracket.
+OUTSIDE_OK = {"config_switch", "escalation"}
 
 
 class Campaign:
@@ -177,7 +191,8 @@ def validate(path, scope=None, fingerprints=None):
                         ok = fail(path, lineno, "quarantined_chunks count mismatch")
                 campaign = None
             elif campaign is None:
-                ok = fail(path, lineno, f"{ev} outside any campaign")
+                if ev not in OUTSIDE_OK:
+                    ok = fail(path, lineno, f"{ev} outside any campaign")
             elif ev == "chunk_replayed":
                 campaign.replayed[obj.get("chunk")] = obj.get("samples", 0)
             elif ev == "chunk_end" and obj.get("ok") is True:
