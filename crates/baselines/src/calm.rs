@@ -31,11 +31,11 @@ impl Calm {
     ///
     /// # Panics
     ///
-    /// Panics unless `4 <= width <= 32`.
+    /// Panics unless `4 <= width <= 64`.
     pub fn new(width: u32) -> Self {
         assert!(
-            (4..=32).contains(&width),
-            "cALM width must be in 4..=32, got {width}"
+            (4..=64).contains(&width),
+            "cALM width must be in 4..=64, got {width}"
         );
         Calm { width }
     }
@@ -64,6 +64,23 @@ impl Multiplier for Calm {
 
     fn name(&self) -> &str {
         "cALM"
+    }
+
+    fn config(&self) -> String {
+        realm_core::multiplier::width_tag(self.width)
+    }
+
+    /// The wide path for `N > 32`: same encode → log-add datapath,
+    /// saturated to the true `2^(2N) − 1` ceiling. Equal to
+    /// `multiply(a, b) as u128` for every `N ≤ 32`.
+    fn multiply_wide(&self, a: u64, b: u64) -> u128 {
+        let (Some(ea), Some(eb)) = (
+            LogEncoding::encode(a, self.width),
+            LogEncoding::encode(b, self.width),
+        ) else {
+            return 0;
+        };
+        mitchell::log_mul_wide(&ea, &eb, 0, 6, self.width)
     }
 
     /// Monomorphic batch kernel: encode → log-add inlined with the fraction

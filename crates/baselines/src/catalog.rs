@@ -11,9 +11,11 @@ use crate::alm::{Alm, AlmAdder};
 use crate::am::{Am, AmRecovery};
 use crate::calm::Calm;
 use crate::drum::Drum;
+use crate::ilm::Ilm;
 use crate::implm::ImpLm;
 use crate::intalp::IntAlp;
 use crate::mbm::Mbm;
+use crate::scaletrim::ScaleTrim;
 use crate::ssm::{Essm8, Ssm};
 
 /// Every REALM configuration of Table I: `M ∈ {16, 8, 4}` × `t ∈ 0..=9`
@@ -75,13 +77,37 @@ pub fn baseline_configurations() -> Vec<Box<dyn Multiplier>> {
     designs
 }
 
-/// All Table I designs: REALM rows first, then the baselines.
+/// The post-paper comparators appended to the extended Table I at
+/// `N = 16`: scaleTRIM (`t ∈ {4, 6}`, compensated) and ILM
+/// (`i ∈ {1, 2}`), in the same order `realm-synth` appends their
+/// netlists.
+///
+/// # Panics
+///
+/// Panics only if the fixed design points were invalid — i.e. never.
+pub fn comparator_configurations() -> Vec<Box<dyn Multiplier>> {
+    let mut designs: Vec<Box<dyn Multiplier>> = Vec::with_capacity(4);
+    for t in [4u32, 6] {
+        designs.push(Box::new(
+            ScaleTrim::new(16, t, true).expect("fixed design point"),
+        ));
+    }
+    for i in [1u32, 2] {
+        designs.push(Box::new(Ilm::new(16, i).expect("fixed design point")));
+    }
+    designs
+}
+
+/// All rows of the extended Table I: REALM first, then the paper's
+/// baselines, then the post-paper comparators (appended last so the
+/// paper rows keep their positions).
 pub fn table1_designs() -> Vec<Box<dyn Multiplier>> {
     let mut designs: Vec<Box<dyn Multiplier>> = realm_configurations()
         .into_iter()
         .map(|r| Box::new(r) as Box<dyn Multiplier>)
         .collect();
     designs.extend(baseline_configurations());
+    designs.extend(comparator_configurations());
     designs
 }
 
@@ -120,6 +146,12 @@ mod tests {
         // 1 cALM + 1 ImpLM + 6 MBM + 5 MAA + 5 SOA + 2 IntALP + 3 AM1 +
         // 3 AM2 + 5 DRUM + 3 SSM + 1 ESSM8 = 35.
         assert_eq!(baseline_configurations().len(), 35);
+    }
+
+    #[test]
+    fn comparator_rows_extend_the_table() {
+        assert_eq!(comparator_configurations().len(), 4);
+        assert_eq!(table1_designs().len(), 69);
     }
 
     #[test]

@@ -36,10 +36,10 @@ impl Drum {
     ///
     /// # Errors
     ///
-    /// Rejects widths outside `4..=32` and fragments outside
+    /// Rejects widths outside `4..=64` and fragments outside
     /// `3..=width`.
     pub fn new(width: u32, fragment: u32) -> Result<Self, ConfigError> {
-        if !(4..=32).contains(&width) {
+        if !(4..=64).contains(&width) {
             return Err(ConfigError::UnsupportedWidth { width });
         }
         if fragment < 3 || fragment > width {
@@ -81,7 +81,21 @@ impl Multiplier for Drum {
         let a = self.approximate_operand(a);
         let b = self.approximate_operand(b);
         // The k×k core plus the two barrel shifts; behaviourally a product
-        // of the approximated operands (cannot exceed 2N bits).
+        // of the approximated operands (cannot exceed 2N bits). For
+        // N ≤ 32 that fits the 64-bit register exactly; wider products
+        // clamp to it (the full value is multiply_wide's).
+        if self.width <= 32 {
+            a * b
+        } else {
+            realm_core::mitchell::saturate_product(a as u128 * b as u128, self.width)
+        }
+    }
+
+    /// The wide path for `N > 32`: the product of the approximated
+    /// operands never exceeds `2N` bits, so it is exact in `u128`.
+    fn multiply_wide(&self, a: u64, b: u64) -> u128 {
+        let a = self.approximate_operand(a) as u128;
+        let b = self.approximate_operand(b) as u128;
         a * b
     }
 
@@ -90,7 +104,12 @@ impl Multiplier for Drum {
     }
 
     fn config(&self) -> String {
-        format!("k={}", self.fragment)
+        let tag = realm_core::multiplier::width_tag(self.width);
+        if tag.is_empty() {
+            format!("k={}", self.fragment)
+        } else {
+            format!("{tag}, k={}", self.fragment)
+        }
     }
 
     /// Monomorphic batch kernel: the fragment width is hoisted out of the
@@ -107,7 +126,7 @@ impl Multiplier for Drum {
             kernel.run(realm_simd::active_tier(), pairs, out);
             return;
         }
-        let k = self.fragment;
+        let (k, width) = (self.fragment, self.width);
         for (slot, (a, b)) in realm_core::batch_lanes(pairs, out) {
             if a == 0 || b == 0 {
                 *slot = 0;
@@ -127,7 +146,9 @@ impl Multiplier for Drum {
                 let shift = pb - k + 1;
                 ((b >> shift) | 1) << shift
             };
-            *slot = a * b;
+            // Wide widths (33..=64) are the only way here past the
+            // kernel; clamp exactly as the scalar path does.
+            *slot = realm_core::mitchell::saturate_product(a as u128 * b as u128, width);
         }
     }
 }
@@ -215,6 +236,7 @@ mod tests {
     fn config_validation() {
         assert!(Drum::new(16, 2).is_err());
         assert!(Drum::new(16, 17).is_err());
-        assert!(Drum::new(33, 8).is_err());
+        assert!(Drum::new(65, 8).is_err());
+        assert!(Drum::new(64, 8).is_ok());
     }
 }

@@ -15,6 +15,14 @@
 //! | AM1 / AM2 | [`am`] | Jiang et al., TCAS-I 2019 | `nb` (error-recovery MSBs) |
 //! | IntALP | [`intalp`] | integer ApproxLP (Imani et al., DAC 2019) | `L` (levels) |
 //!
+//! Two width-generic comparators from later literature extend the zoo
+//! beyond the paper's own Table I:
+//!
+//! | Design | Module | Reference | Knob |
+//! |---|---|---|---|
+//! | scaleTRIM | [`scaletrim`] | Farahmand et al., arXiv:2303.02495 | `t` (cross-term bits), `c` (compensation) |
+//! | ILM | [`ilm`] | Babić et al., MICPRO 2011 | `i` (iterations, 1–2) |
+//!
 //! All designs implement [`realm_core::Multiplier`], so they plug directly
 //! into the `realm-metrics` characterization harness, the `realm-synth`
 //! area/power models and the `realm-jpeg` application study.
@@ -48,18 +56,22 @@ pub mod am;
 pub mod calm;
 pub mod catalog;
 pub mod drum;
+pub mod ilm;
 pub mod implm;
 pub mod intalp;
 pub mod kulkarni;
 pub mod mbm;
+pub mod scaletrim;
 pub mod ssm;
 
 pub use alm::{Alm, AlmAdder};
 pub use am::{Am, AmRecovery};
 pub use calm::Calm;
 pub use drum::Drum;
+pub use ilm::Ilm;
 pub use implm::ImpLm;
 pub use intalp::IntAlp;
 pub use kulkarni::Kulkarni;
 pub use mbm::Mbm;
+pub use scaletrim::ScaleTrim;
 pub use ssm::{Essm8, Ssm};

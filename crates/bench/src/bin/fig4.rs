@@ -9,8 +9,7 @@
 
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
-use realm_bench::{table1_rows_supervised, Driver, Options, OrDie};
-use realm_metrics::{pareto_front, ParetoPoint};
+use realm_bench::{fig4_csv, fig4_panes, table1_rows_supervised, Driver, Options};
 
 fn main() {
     let mut opts = Options::from_env();
@@ -39,38 +38,16 @@ fn main() {
     }
     let rows = table.rows;
 
-    type Extract = fn(&realm_bench::Table1Row) -> (f64, f64);
-    let panes: [(&str, Extract); 4] = [
-        ("(a) mean error vs area reduction", |r| {
-            (r.area_reduction, r.errors.mean_error * 100.0)
-        }),
-        ("(b) mean error vs power reduction", |r| {
-            (r.power_reduction, r.errors.mean_error * 100.0)
-        }),
-        ("(c) peak error vs area reduction", |r| {
-            (r.area_reduction, r.errors.peak_error() * 100.0)
-        }),
-        ("(d) peak error vs power reduction", |r| {
-            (r.power_reduction, r.errors.peak_error() * 100.0)
-        }),
-    ];
-
-    let mut csv = String::from("pane,design,gain_pct,error_pct,pareto\n");
-    for (title, extract) in panes {
-        // The paper constrains the plot to ME <= 4 %, PE <= 15 %.
-        let points: Vec<ParetoPoint> = rows
-            .iter()
-            .filter(|r| r.errors.mean_error * 100.0 <= 4.0 && r.errors.peak_error() * 100.0 <= 15.0)
-            .map(|r| {
-                let (gain, cost) = extract(r);
-                ParetoPoint::new(r.label.clone(), gain, cost)
-            })
-            .collect();
-        let front = pareto_front(&points);
-        println!("{title} — {} points in range, Pareto front:", points.len());
+    let panes = fig4_panes(&rows);
+    for pane in &panes {
+        println!(
+            "{} — {} points in range, Pareto front:",
+            pane.title,
+            pane.points.len()
+        );
         let mut realm_on_front = 0usize;
-        for &i in &front {
-            let p = &points[i];
+        for &i in &pane.front {
+            let p = &pane.points[i];
             if p.label.starts_with("REALM") {
                 realm_on_front += 1;
             }
@@ -82,20 +59,10 @@ fn main() {
         println!(
             "    -> {}/{} Pareto points are REALM configurations\n",
             realm_on_front,
-            front.len()
+            pane.front.len()
         );
-        for (i, p) in points.iter().enumerate() {
-            csv.push_str(&format!(
-                "{},{},{:.2},{:.3},{}\n",
-                title.split_whitespace().next().or_die("pane id"),
-                p.label,
-                p.gain,
-                p.cost,
-                front.contains(&i)
-            ));
-        }
     }
-    opts.write_csv("fig4_design_space.csv", &csv);
+    opts.write_csv("fig4_design_space.csv", &fig4_csv(&panes));
     println!("paper shape: the front is primarily REALM, with DRUM8 at the low-error end and");
     println!("MBM/DRUM5/ALM-SOA at the high-efficiency end");
     driver.finish();

@@ -1,6 +1,6 @@
 //! Regenerates **Table I** of the paper: error metrics (bias, mean,
 //! peaks, variance — Monte-Carlo over uniform 16-bit operands) and
-//! synthesis-model area/power reductions for all 65 design
+//! synthesis-model area/power reductions for all 69 design
 //! configurations.
 //!
 //! ```text
@@ -28,7 +28,7 @@ fn main() {
         "{:<22} {:>7} {:>7} {:>8} {:>7} {:>8} {:>7} {:>9}",
         "design", "aRed%", "pRed%", "bias%", "mean%", "min%", "max%", "var(%^2)"
     );
-    // All 65 per-design campaigns run under one supervisor: Ctrl-C /
+    // All 69 per-design campaigns run under one supervisor: Ctrl-C /
     // --deadline stop the table gracefully at a chunk boundary, and
     // with --checkpoint-dir + --resume it continues where it stopped.
     let driver = Driver::new(opts);
@@ -48,7 +48,7 @@ fn main() {
 
     if !table.skipped.is_empty() {
         println!(
-            "\n{} of 65 designs incomplete ({} rows written); rerun with --resume \
+            "\n{} of 69 designs incomplete ({} rows written); rerun with --resume \
              --checkpoint-dir to continue",
             table.skipped.len(),
             table.rows.len()

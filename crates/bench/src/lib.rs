@@ -158,6 +158,83 @@ pub fn table1_rows(
         .collect()
 }
 
+/// One pane of the Fig. 4 design-space plot: its display title, the
+/// in-range points (ME ≤ 4 %, PE ≤ 15 %, as the paper constrains the
+/// plot) and the indices of the Pareto-optimal ones.
+#[derive(Debug, Clone)]
+pub struct Fig4Pane {
+    /// Pane title, e.g. `"(a) mean error vs area reduction"`.
+    pub title: &'static str,
+    /// The in-range design points (gain %, error %).
+    pub points: Vec<realm_metrics::ParetoPoint>,
+    /// Indices into [`points`](Self::points) on the Pareto front.
+    pub front: Vec<usize>,
+}
+
+/// Assembles the four Fig. 4 panes (mean/peak error against area/power
+/// reduction) from a computed Table I row set. Pure data plumbing over
+/// the rows: the pane contents are bit-determined by the rows alone, so
+/// the `fig4` driver and the golden suite share one definition.
+pub fn fig4_panes(rows: &[Table1Row]) -> Vec<Fig4Pane> {
+    type Extract = fn(&Table1Row) -> (f64, f64);
+    let panes: [(&'static str, Extract); 4] = [
+        ("(a) mean error vs area reduction", |r| {
+            (r.area_reduction, r.errors.mean_error * 100.0)
+        }),
+        ("(b) mean error vs power reduction", |r| {
+            (r.power_reduction, r.errors.mean_error * 100.0)
+        }),
+        ("(c) peak error vs area reduction", |r| {
+            (r.area_reduction, r.errors.peak_error() * 100.0)
+        }),
+        ("(d) peak error vs power reduction", |r| {
+            (r.power_reduction, r.errors.peak_error() * 100.0)
+        }),
+    ];
+    panes
+        .into_iter()
+        .map(|(title, extract)| {
+            // The paper constrains the plot to ME <= 4 %, PE <= 15 %.
+            let points: Vec<realm_metrics::ParetoPoint> = rows
+                .iter()
+                .filter(|r| {
+                    r.errors.mean_error * 100.0 <= 4.0 && r.errors.peak_error() * 100.0 <= 15.0
+                })
+                .map(|r| {
+                    let (gain, cost) = extract(r);
+                    realm_metrics::ParetoPoint::new(r.label.clone(), gain, cost)
+                })
+                .collect();
+            let front = realm_metrics::pareto_front(&points);
+            Fig4Pane {
+                title,
+                points,
+                front,
+            }
+        })
+        .collect()
+}
+
+/// The `fig4_design_space.csv` rendering of [`fig4_panes`]:
+/// `pane,design,gain_pct,error_pct,pareto`, one line per in-range point.
+pub fn fig4_csv(panes: &[Fig4Pane]) -> String {
+    let mut csv = String::from("pane,design,gain_pct,error_pct,pareto\n");
+    for pane in panes {
+        let id = pane.title.split_whitespace().next().unwrap_or(pane.title);
+        for (i, p) in pane.points.iter().enumerate() {
+            csv.push_str(&format!(
+                "{},{},{:.2},{:.3},{}\n",
+                id,
+                p.label,
+                p.gain,
+                p.cost,
+                pane.front.contains(&i)
+            ));
+        }
+    }
+    csv
+}
+
 /// The outcome of a supervised Table I campaign: the rows whose error
 /// campaign completed, the designs that had to be skipped (interrupted
 /// or quarantined), and whether the run stopped early.
@@ -251,13 +328,13 @@ mod tests {
         .expect("supervised table");
         assert!(sup.interrupted);
         assert!(sup.rows.is_empty());
-        assert_eq!(sup.skipped.len(), 65);
+        assert_eq!(sup.skipped.len(), 69);
     }
 
     #[test]
     fn small_table1_run_produces_all_rows() {
         let rows = table1_rows(20_000, 40, 3, realm_par::Threads::Auto);
-        assert_eq!(rows.len(), 65); // 30 REALM + 35 baselines
+        assert_eq!(rows.len(), 69); // 30 REALM + 35 baselines + 4 comparators
         for row in &rows {
             assert!(row.errors.samples > 0, "{}", row.label);
             assert!(row.area_reduction < 100.0);

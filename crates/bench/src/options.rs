@@ -126,7 +126,8 @@ pub fn usage() -> &'static str {
      \x20                    published via the crash-safe atomic write path)\n\
      \x20 --progress         live progress line on stderr (chunks done, samples/sec)\n\
      \x20 --design D         design under test (accurate | realm:m=16,t=0 | calm | drum:k=6 |\n\
-     \x20                    kulkarni | implm | mbm:t=4 | ssm:s=8; width key w, default 16)\n\
+     \x20                    kulkarni | implm | mbm:t=4 | ssm:s=8 | scaletrim:t=4,c=1 | ilm:i=2;\n\
+     \x20                    width via the w key or an @W suffix, e.g. calm@8; default 16)\n\
      \x20 --force-scalar     pin the multiply kernels to the scalar tier (= REALM_FORCE_SCALAR=1).\n\
      \x20                    Purely a debugging/CI knob: results are bit-identical on every tier.\n\
      \x20 --error-sla S      error budget, comma-separated bounds (mean:0.03,nmed:0.01,peak:0.2).\n\
@@ -207,7 +208,15 @@ impl Options {
                 }
                 "--trace" => opts.trace = Some(PathBuf::from(value("--trace")?)),
                 "--progress" => opts.progress = true,
-                "--design" => opts.design = Some(value("--design")?),
+                "--design" => {
+                    let text = value("--design")?;
+                    // Validate eagerly so a typo dies at the flag table,
+                    // not minutes into a campaign. The instance is
+                    // rebuilt by the driver; construction is cheap.
+                    realm_metrics::parse_design(&text)
+                        .map_err(|e| CliError(format!("invalid --design '{text}': {e}")))?;
+                    opts.design = Some(text);
+                }
                 "--force-scalar" => opts.force_scalar = true,
                 "--error-sla" => {
                     let text = value("--error-sla")?;
@@ -551,7 +560,32 @@ mod tests {
         assert_eq!(o.design.as_deref(), Some("realm:m=8,t=3"));
         assert!(ok(&[]).design.is_none());
         assert!(usage().contains("--design"));
+        assert!(usage().contains("scaletrim"), "usage must list scaletrim");
+        assert!(usage().contains("ilm"), "usage must list ilm");
+        assert!(usage().contains("@W"), "usage must document the @W suffix");
         assert!(usage().contains("SIGTERM"), "usage must document SIGTERM");
+    }
+
+    #[test]
+    fn malformed_designs_are_rejected_at_the_flag() {
+        for text in [
+            "frobnicator",     // unknown name
+            "realm:m=3",       // name ok, config invalid
+            "scaletrim:t=1",   // t below the supported range
+            "scaletrim:c=2",   // c must be 0 or 1
+            "ilm:i=3",         // iterations out of range
+            "ilm@banana",      // malformed @W suffix
+            "calm@16:w=16",    // width given twice
+            "drum:k=6,typo=1", // unknown key
+        ] {
+            let err = parse(&["--design", text]).expect_err(text);
+            assert!(err.to_string().contains("--design"), "{text}: {err}");
+            assert!(err.to_string().contains(text), "{text}: {err}");
+        }
+        // The new grammar parses end to end through the flag.
+        for text in ["scaletrim:t=6,c=0", "ilm:i=1", "calm@8", "realm@24:m=8"] {
+            assert_eq!(ok(&["--design", text]).design.as_deref(), Some(text));
+        }
     }
 
     #[test]

@@ -96,6 +96,42 @@ fn malformed_error_sla_exits_2_with_usage_everywhere() {
 }
 
 #[test]
+fn malformed_design_spec_exits_2_with_usage_everywhere() {
+    // One driver per failure class keeps the matrix fast; the parser is
+    // shared, so any driver exercising a class covers them all.
+    let cases = [
+        ("frobnicator", 0),     // unknown design name
+        ("scaletrim:t=1", 1),   // config rejected by the design
+        ("ilm:i=3", 2),         // iteration count out of range
+        ("ilm@banana", 3),      // malformed @W width suffix
+        ("calm@16:w=16", 4),    // width given twice
+        ("drum:k=6,typo=1", 5), // unknown parameter key
+    ];
+    for (bad, i) in cases {
+        let (name, exe) = BINS[i % BINS.len()];
+        let out = Command::new(exe)
+            .args(["--design", bad])
+            .output()
+            .unwrap_or_else(|e| panic!("cannot spawn {name}: {e}"));
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{name}: --design '{bad}' must exit 2, got {:?}",
+            out.status.code()
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--design") && stderr.contains(bad),
+            "{name}: diagnostic must name the flag and spec for '{bad}':\n{stderr}"
+        );
+        assert!(
+            stderr.contains("--samples"),
+            "{name}: usage table must follow the diagnostic:\n{stderr}"
+        );
+    }
+}
+
+#[test]
 fn help_exits_0_with_the_shared_flag_table() {
     for (name, exe) in BINS {
         let out = Command::new(exe)

@@ -1,0 +1,159 @@
+//! Pre-refactor goldens: every 16-bit design's Table 1 / Fig 4 row and
+//! the campaign summary JSON, captured **before** the width-generic core
+//! rewrite and asserted bit-identical ever after.
+//!
+//! The golden files live in `results/goldens/` and were generated from
+//! the pre-refactor tree with
+//!
+//! ```text
+//! REALM_BLESS_GOLDENS=1 cargo test -p realm-bench --test width_goldens
+//! ```
+//!
+//! The suite is deliberately asymmetric about *new* rows: designs added
+//! after the capture (scaleTRIM, ILM, …) may append Table 1 / Fig 4 rows,
+//! but every golden row must still appear byte-for-byte, and a golden
+//! point on a Fig 4 Pareto front may only be *demoted* by newcomers —
+//! adding designs can never improve an existing design's numbers.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use realm_bench::{fig4_csv, fig4_panes, table1_rows, Table1Row};
+
+/// Small fixed campaign geometry: big enough to exercise every design's
+/// datapath and the synthesis models, small enough for debug-mode CI.
+const SAMPLES: u64 = 4_096;
+const CYCLES: u32 = 16;
+const SEED: u64 = 3;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/goldens")
+}
+
+fn blessing() -> bool {
+    std::env::var_os("REALM_BLESS_GOLDENS").is_some()
+}
+
+fn read_golden(name: &str) -> String {
+    let path = golden_dir().join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden '{}' ({e}); regenerate with REALM_BLESS_GOLDENS=1",
+            path.display()
+        )
+    })
+}
+
+fn bless(name: &str, content: &str) {
+    let dir = golden_dir();
+    fs::create_dir_all(&dir).expect("create results/goldens");
+    fs::write(dir.join(name), content).expect("write golden");
+}
+
+fn fresh_table1_and_fig4() -> (String, String) {
+    let rows = table1_rows(SAMPLES, CYCLES, SEED, realm_par::Threads::Fixed(2));
+    let mut table = String::from(Table1Row::csv_header());
+    table.push('\n');
+    for row in &rows {
+        table.push_str(&row.to_csv());
+        table.push('\n');
+    }
+    let fig4 = fig4_csv(&fig4_panes(&rows));
+    (table, fig4)
+}
+
+#[test]
+fn table1_and_fig4_rows_bit_identical_to_goldens() {
+    let (table, fig4) = fresh_table1_and_fig4();
+    if blessing() {
+        bless("table1_16bit.csv", &table);
+        bless("fig4_16bit.csv", &fig4);
+        return;
+    }
+
+    // Table 1: every golden row (header included) must appear verbatim.
+    // New designs may only append rows; they can never change or displace
+    // a pre-refactor one.
+    let golden_table = read_golden("table1_16bit.csv");
+    let fresh_lines: Vec<&str> = table.lines().collect();
+    for line in golden_table.lines() {
+        assert!(
+            fresh_lines.contains(&line),
+            "pre-refactor Table 1 row lost or changed:\n  {line}"
+        );
+    }
+
+    // Fig 4: every golden point keeps its exact gain/error; newcomers may
+    // demote a golden point off the Pareto front but never promote one
+    // (their own rows are new lines, invisible to this check).
+    let golden_fig4 = read_golden("fig4_16bit.csv");
+    for line in golden_fig4.lines().skip(1) {
+        let (prefix, was_pareto) = line.rsplit_once(',').expect("golden fig4 line shape");
+        let fresh = fresh_lines_with_prefix(&fig4, prefix);
+        assert_eq!(
+            fresh.len(),
+            1,
+            "pre-refactor Fig 4 point lost or changed:\n  {prefix},…"
+        );
+        let (_, now_pareto) = fresh[0].rsplit_once(',').expect("fig4 line shape");
+        if was_pareto == "false" {
+            assert_eq!(
+                now_pareto, "false",
+                "a dominated golden point cannot join the front: {prefix}"
+            );
+        }
+    }
+}
+
+fn fresh_lines_with_prefix<'a>(csv: &'a str, prefix: &str) -> Vec<&'a str> {
+    csv.lines()
+        .filter(|l| {
+            l.strip_prefix(prefix)
+                .is_some_and(|rest| rest.starts_with(','))
+        })
+        .collect()
+}
+
+#[test]
+fn campaign_summary_json_bit_identical_to_golden() {
+    // Drive the real binary end to end: parse → campaign → byte-stable
+    // summary through the atomic write path.
+    let out_dir = std::env::temp_dir().join(format!(
+        "realm-width-goldens-{}-{}",
+        std::process::id(),
+        SEED
+    ));
+    let _ = fs::remove_dir_all(&out_dir);
+    let output = Command::new(env!("CARGO_BIN_EXE_campaign"))
+        .args([
+            "--samples",
+            "2^12",
+            "--seed",
+            "3",
+            "--threads",
+            "2",
+            "--out",
+        ])
+        .arg(&out_dir)
+        .output()
+        .expect("spawn campaign binary");
+    assert!(
+        output.status.success(),
+        "campaign failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let summary = fs::read_to_string(out_dir.join("campaign_summary.json"))
+        .expect("campaign_summary.json written");
+    let _ = fs::remove_dir_all(&out_dir);
+
+    if blessing() {
+        bless("campaign_summary.json", &summary);
+        return;
+    }
+    assert_eq!(
+        summary,
+        read_golden("campaign_summary.json"),
+        "campaign_summary.json must stay byte-identical across the width-generic rewrite"
+    );
+}

@@ -25,11 +25,11 @@ impl Accurate {
     ///
     /// # Panics
     ///
-    /// Panics if `width` is 0 or greater than 32.
+    /// Panics if `width` is 0 or greater than 64.
     pub fn new(width: u32) -> Self {
         assert!(
-            (1..=32).contains(&width),
-            "accurate multiplier width must be in 1..=32, got {width}"
+            (1..=64).contains(&width),
+            "accurate multiplier width must be in 1..=64, got {width}"
         );
         Accurate { width }
     }
@@ -49,20 +49,41 @@ impl Multiplier for Accurate {
 
     fn multiply(&self, a: u64, b: u64) -> u64 {
         debug_assert!(
-            a >> self.width == 0,
+            self.width == 64 || a >> self.width == 0,
             "operand a exceeds {} bits",
             self.width
         );
         debug_assert!(
-            b >> self.width == 0,
+            self.width == 64 || b >> self.width == 0,
             "operand b exceeds {} bits",
             self.width
         );
-        a * b
+        if self.width <= 32 {
+            return a * b; // products fit the 64-bit register exactly
+        }
+        crate::mitchell::saturate_product(a as u128 * b as u128, self.width)
+    }
+
+    fn multiply_wide(&self, a: u64, b: u64) -> u128 {
+        debug_assert!(
+            self.width == 64 || a >> self.width == 0,
+            "operand a exceeds {} bits",
+            self.width
+        );
+        debug_assert!(
+            self.width == 64 || b >> self.width == 0,
+            "operand b exceeds {} bits",
+            self.width
+        );
+        a as u128 * b as u128 // a 2N ≤ 128-bit product never saturates
     }
 
     fn name(&self) -> &str {
         "Accurate"
+    }
+
+    fn config(&self) -> String {
+        crate::multiplier::width_tag(self.width)
     }
 
     fn multiply_batch(&self, pairs: &[(u64, u64)], out: &mut [u64]) {
@@ -73,11 +94,10 @@ impl Multiplier for Accurate {
             kernel.run(realm_simd::active_tier(), pairs, out);
             return;
         }
-        let width = self.width;
+        // Wide widths (33..=64): the kernel declines, the clamped scalar
+        // path runs per lane.
         for (slot, (a, b)) in crate::multiplier::batch_lanes(pairs, out) {
-            debug_assert!(a >> width == 0, "operand a exceeds {width} bits");
-            debug_assert!(b >> width == 0, "operand b exceeds {width} bits");
-            *slot = a * b;
+            *slot = self.multiply(a, b);
         }
     }
 }
@@ -100,15 +120,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "width must be in 1..=32")]
+    #[should_panic(expected = "width must be in 1..=64")]
     fn rejects_zero_width() {
         let _ = Accurate::new(0);
     }
 
     #[test]
-    #[should_panic(expected = "width must be in 1..=32")]
+    #[should_panic(expected = "width must be in 1..=64")]
     fn rejects_huge_width() {
-        let _ = Accurate::new(33);
+        let _ = Accurate::new(65);
+    }
+
+    #[test]
+    fn width_64_clamps_the_register_but_not_the_wide_product() {
+        use crate::multiplier::Multiplier;
+        let m = Accurate::new(64);
+        let a = u64::MAX;
+        assert_eq!(m.multiply(a, a), u64::MAX, "64-bit register saturates");
+        assert_eq!(m.multiply_wide(a, a), (a as u128) * (a as u128));
+        assert_eq!(m.multiply(a, 0), 0);
+        // Narrow widths: wide and clamped paths agree bit for bit.
+        let n = Accurate::new(16);
+        assert_eq!(n.multiply_wide(65_535, 65_535), 65_535u128 * 65_535);
     }
 
     #[test]

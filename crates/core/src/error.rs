@@ -19,7 +19,7 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum ConfigError {
-    /// The operand width `N` is outside the supported `4..=32` range.
+    /// The operand width `N` is outside the supported `4..=64` range.
     UnsupportedWidth {
         /// The rejected width.
         width: u32,
@@ -43,6 +43,12 @@ pub enum ConfigError {
     InvalidLutPrecision {
         /// The rejected precision.
         precision: u32,
+    },
+    /// An iteration count outside the supported `1..=2` range (the
+    /// two-iteration ILM baseline only defines one refinement step).
+    InvalidIterations {
+        /// The rejected iteration count.
+        iterations: u32,
     },
     /// An error-reduction factor fell outside the open interval `(0, 0.25)`
     /// that the paper's `(q−2)`-bit storage optimization relies on.
@@ -69,7 +75,7 @@ impl fmt::Display for ConfigError {
             ConfigError::UnsupportedWidth { width } => {
                 write!(
                     f,
-                    "operand width {width} is outside the supported range 4..=32"
+                    "operand width {width} is outside the supported range 4..=64"
                 )
             }
             ConfigError::InvalidSegmentCount { segments } => {
@@ -91,6 +97,12 @@ impl fmt::Display for ConfigError {
                 write!(
                     f,
                     "lut precision {precision} is outside the supported range 3..=20"
+                )
+            }
+            ConfigError::InvalidIterations { iterations } => {
+                write!(
+                    f,
+                    "iteration count {iterations} is outside the supported range 1..=2"
                 )
             }
             ConfigError::FactorOutOfRange { row, col, value } => write!(
@@ -136,6 +148,7 @@ mod tests {
                 index_bits: 4,
             },
             ConfigError::InvalidLutPrecision { precision: 1 },
+            ConfigError::InvalidIterations { iterations: 3 },
             ConfigError::FactorOutOfRange {
                 row: 0,
                 col: 1,

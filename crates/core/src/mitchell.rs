@@ -47,7 +47,7 @@ impl LogEncoding {
     ///
     /// Panics in debug builds if `value` does not fit in `width` bits.
     pub fn encode(value: u64, width: u32) -> Option<Self> {
-        debug_assert!((1..=32).contains(&width));
+        debug_assert!((1..=64).contains(&width));
         debug_assert!(
             width == 64 || value >> width == 0,
             "value exceeds {width} bits"
@@ -150,6 +150,10 @@ pub fn scale(mantissa: u128, exponent: i64, fraction_bits: u32) -> u128 {
 /// Saturates a wide product to the `2N`-bit output register of an `N`-bit
 /// multiplier (the paper's overflow special case: error reduction can push
 /// the result to `2N + 1` bits when both operands are near `2^N − 1`).
+///
+/// The return type is the 64-bit register every [`crate::Multiplier`]
+/// exposes, so widths ≥ 32 additionally clamp to `u64::MAX`; the
+/// width-generic wide path is [`saturate_product_wide`].
 pub fn saturate_product(value: u128, width: u32) -> u64 {
     let max = if width >= 32 {
         u64::MAX as u128
@@ -161,6 +165,20 @@ pub fn saturate_product(value: u128, width: u32) -> u64 {
     } else {
         value as u64
     }
+}
+
+/// [`saturate_product`] without the 64-bit register clamp: saturates to
+/// the true `2^(2N) − 1` ceiling for any `N ≤ 64`. For `N ≤ 32` the two
+/// agree bit for bit (`saturate_product(v, w) as u128 ==
+/// saturate_product_wide(v, w)`), which the width-generic property suite
+/// checks.
+pub fn saturate_product_wide(value: u128, width: u32) -> u128 {
+    let max = if width >= 64 {
+        u128::MAX
+    } else {
+        (1u128 << (2 * width)) - 1
+    };
+    value.min(max)
 }
 
 /// The complete classical log-based product (paper Eq. 3): adds the two
@@ -180,6 +198,33 @@ pub fn log_mul(
     correction_bits: u32,
     width: u32,
 ) -> u64 {
+    let (mantissa, exponent, f) = log_mantissa(a, b, correction, correction_bits);
+    saturate_product(scale(mantissa, exponent, f), width)
+}
+
+/// [`log_mul`] saturated to the true `2^(2N) − 1` product ceiling instead
+/// of the 64-bit output register — the entry point for `N > 32`, where a
+/// `2N`-bit product no longer fits in `u64`. Bit-identical to
+/// `log_mul(…) as u128` for every `N ≤ 32`.
+pub fn log_mul_wide(
+    a: &LogEncoding,
+    b: &LogEncoding,
+    correction: u64,
+    correction_bits: u32,
+    width: u32,
+) -> u128 {
+    let (mantissa, exponent, f) = log_mantissa(a, b, correction, correction_bits);
+    saturate_product_wide(scale(mantissa, exponent, f), width)
+}
+
+/// The shared log-add core of [`log_mul`] / [`log_mul_wide`]: the
+/// pre-scale mantissa, accumulated exponent and fraction width.
+fn log_mantissa(
+    a: &LogEncoding,
+    b: &LogEncoding,
+    correction: u64,
+    correction_bits: u32,
+) -> (u128, i64, u32) {
     assert_eq!(
         a.fraction_bits, b.fraction_bits,
         "operand encodings must share a fraction width"
@@ -199,14 +244,13 @@ pub fn log_mul(
     };
     let corr_eff = if carry == 1 { corr_f >> 1 } else { corr_f };
 
-    let (mantissa, exponent) = if carry == 0 {
+    if carry == 0 {
         // 2^(ka+kb) * (1 + x + y + s)
-        ((1u128 << f) + fsum as u128 + corr_eff as u128, k_sum)
+        ((1u128 << f) + fsum as u128 + corr_eff as u128, k_sum, f)
     } else {
         // 2^(ka+kb+1) * (x + y + s/2), with x + y in [1, 2)
-        (fsum as u128 + corr_eff as u128, k_sum + 1)
-    };
-    saturate_product(scale(mantissa, exponent, f), width)
+        (fsum as u128 + corr_eff as u128, k_sum + 1, f)
+    }
 }
 
 #[cfg(test)]

@@ -44,7 +44,23 @@ pub trait Multiplier: fmt::Debug + Send + Sync {
     fn width(&self) -> u32;
 
     /// Approximately multiply two `N`-bit unsigned integers.
+    ///
+    /// The return register is 64 bits, so for `N > 32` the `2N`-bit
+    /// product is additionally clamped to `u64::MAX`; callers that need
+    /// the full product of a wide design use
+    /// [`multiply_wide`](Multiplier::multiply_wide).
     fn multiply(&self, a: u64, b: u64) -> u64;
+
+    /// The full `2N`-bit product as `u128`.
+    ///
+    /// For `N ≤ 32` this **must** equal `self.multiply(a, b) as u128`
+    /// (the default does exactly that); width-generic designs with
+    /// `N > 32` override it with the unclamped datapath so that error
+    /// characterization sees the real product instead of a saturated
+    /// 64-bit register.
+    fn multiply_wide(&self, a: u64, b: u64) -> u128 {
+        self.multiply(a, b) as u128
+    }
 
     /// Short family name as used in the paper's tables (e.g. `"REALM"`,
     /// `"cALM"`, `"DRUM"`).
@@ -122,6 +138,26 @@ pub fn batch_lanes<'a>(
     out.iter_mut().zip(pairs.iter().copied())
 }
 
+/// The shared width suffix of every design's `config()`: empty at the
+/// paper's default `N = 16` — keeping all 16-bit labels, and therefore
+/// the pinned goldens and campaign fingerprints, byte-identical — and
+/// `"w=N"` elsewhere, so differently sized instances of one design never
+/// share a label.
+///
+/// ```
+/// use realm_core::multiplier::width_tag;
+///
+/// assert_eq!(width_tag(16), "");
+/// assert_eq!(width_tag(32), "w=32");
+/// ```
+pub fn width_tag(width: u32) -> String {
+    if width == 16 {
+        String::new()
+    } else {
+        format!("w={width}")
+    }
+}
+
 /// Extension helpers available on every [`Multiplier`].
 ///
 /// Kept separate from the object-safe core trait so that `dyn Multiplier`
@@ -144,7 +180,7 @@ pub trait MultiplierExt: Multiplier {
         if exact == 0 {
             return None;
         }
-        let approx = self.multiply(a, b) as u128;
+        let approx = self.multiply_wide(a, b);
         let diff = approx as f64 - exact as f64;
         Some(diff / exact as f64)
     }

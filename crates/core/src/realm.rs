@@ -27,7 +27,9 @@ use crate::multiplier::Multiplier;
 ///
 /// The paper's design space is `N = 16`, `M ∈ {4, 8, 16}`,
 /// `t ∈ {0, …, 9}`, `q = 6`; this model accepts any consistent
-/// combination with `N ∈ 4..=32`.
+/// combination with `N ∈ 4..=64` (the width-generic datapath: LOD,
+/// fraction extract, LUT indexing and shift/add reconstruction all take
+/// `N` as a parameter).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RealmConfig {
     /// Operand bit-width `N`.
@@ -128,7 +130,7 @@ impl Realm {
         config: RealmConfig,
         table: &ErrorReductionTable,
     ) -> Result<Self, ConfigError> {
-        if !(4..=32).contains(&config.width) {
+        if !(4..=64).contains(&config.width) {
             return Err(ConfigError::UnsupportedWidth {
                 width: config.width,
             });
@@ -218,7 +220,36 @@ impl Multiplier for Realm {
     }
 
     fn config(&self) -> String {
-        format!("t={}", self.config.truncation)
+        let tag = crate::multiplier::width_tag(self.config.width);
+        if tag.is_empty() {
+            format!("t={}", self.config.truncation)
+        } else {
+            format!("{tag}, t={}", self.config.truncation)
+        }
+    }
+
+    /// The width-generic wide path: the same LOD → truncate → LUT →
+    /// log-add datapath as `multiply`, saturated to the true `2^(2N) − 1`
+    /// ceiling instead of the 64-bit register. Equal to
+    /// `multiply(a, b) as u128` for every `N ≤ 32`.
+    fn multiply_wide(&self, a: u64, b: u64) -> u128 {
+        let width = self.config.width;
+        let mask = if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let (a, b) = (a & mask, b & mask);
+        let (Some(ea), Some(eb)) = (LogEncoding::encode(a, width), LogEncoding::encode(b, width))
+        else {
+            return 0; // zero-operand special case
+        };
+        let t = self.config.truncation;
+        let (Ok(ea), Ok(eb)) = (ea.truncate(t), eb.truncate(t)) else {
+            return mitchell::saturate_product_wide(a as u128 * b as u128, width);
+        };
+        let s = self.lut.lookup(ea.fraction, eb.fraction, ea.fraction_bits);
+        mitchell::log_mul_wide(&ea, &eb, s as u64, self.lut.precision(), width)
     }
 
     /// Monomorphic batch kernel: the same datapath as `multiply`, with the
@@ -402,7 +433,7 @@ mod tests {
     #[test]
     fn invalid_configs_are_rejected() {
         assert!(Realm::new(RealmConfig::new(3, 16, 0, 6)).is_err());
-        assert!(Realm::new(RealmConfig::new(40, 16, 0, 6)).is_err());
+        assert!(Realm::new(RealmConfig::new(65, 16, 0, 6)).is_err());
         assert!(Realm::new(RealmConfig::new(16, 3, 0, 6)).is_err());
         assert!(Realm::new(RealmConfig::new(16, 16, 15, 6)).is_err());
         // t = 12 leaves F = 3 < log2(16) = 4 index bits.

@@ -1,0 +1,199 @@
+//! Property suite for the width-generic REALM core: the `(width, M, t)`
+//! grid at `width ∈ {8, 16, 24, 32, 64}` and `t ∈ {0, 4, 9}`, with
+//! batch ≡ scalar on seeded odd-length streams, zero/saturation operand
+//! packs, the register-clamp contract (`multiply` ≡ `multiply_wide` for
+//! every `N ≤ 32`), and rejection of the grid's invalid combinations.
+//!
+//! Cases are drawn from the workspace's internal seeded PRNG
+//! ([`realm_core::rng::SplitMix64`]) so the suite is deterministic and
+//! builds offline, with no external property-testing dependency.
+
+use realm_core::multiplier::MultiplierExt;
+use realm_core::rng::SplitMix64;
+use realm_core::{ConfigError, Multiplier, Realm, RealmConfig};
+
+const WIDTHS: [u32; 5] = [8, 16, 24, 32, 64];
+const TRUNCATIONS: [u32; 3] = [0, 4, 9];
+
+/// Every valid `(width, t)` point of the sweep grid at `M = 16`, `q = 6`.
+/// Validity is the documented constraint `f − t ≥ log2 M` with
+/// `f = width − 1`; the suite cross-checks the constructor agrees.
+fn grid() -> Vec<Realm> {
+    let mut designs = Vec::new();
+    for width in WIDTHS {
+        for t in TRUNCATIONS {
+            let valid = width - 1 > t && (width - 1) - t >= 4; // log2(16) = 4
+            match Realm::new(RealmConfig::new(width, 16, t, 6)) {
+                Ok(realm) => {
+                    assert!(
+                        valid,
+                        "w={width} t={t}: constructor accepted an invalid point"
+                    );
+                    designs.push(realm);
+                }
+                Err(e) => {
+                    assert!(
+                        !valid,
+                        "w={width} t={t}: constructor rejected a valid point: {e}"
+                    );
+                    assert!(
+                        matches!(e, ConfigError::TruncationTooLarge { .. }),
+                        "w={width} t={t}: wrong rejection: {e}"
+                    );
+                }
+            }
+        }
+    }
+    designs
+}
+
+#[test]
+fn sweep_grid_has_the_expected_valid_points() {
+    // w=8 only admits t=0 (f=7, 4 index bits); every other width takes
+    // all three truncations: 1 + 4 × 3 = 13 designs.
+    let designs = grid();
+    assert_eq!(designs.len(), 13, "grid shape changed");
+    for d in &designs {
+        assert!(WIDTHS.contains(&d.width()));
+    }
+}
+
+#[test]
+fn invalid_combinations_are_rejected_not_mangled() {
+    // t ≥ f is impossible regardless of M.
+    assert!(matches!(
+        Realm::new(RealmConfig::new(8, 16, 9, 6)),
+        Err(ConfigError::TruncationTooLarge { .. })
+    ));
+    // f − t < log2 M: enough fraction bits survive for t but not for
+    // the LUT index.
+    assert!(matches!(
+        Realm::new(RealmConfig::new(8, 16, 4, 6)),
+        Err(ConfigError::TruncationTooLarge { .. })
+    ));
+    // The same t is fine once M shrinks the index requirement.
+    assert!(Realm::new(RealmConfig::new(8, 4, 4, 6)).is_ok());
+    // Width bounds are their own error, checked before everything else.
+    for width in [0u32, 3, 65, 128] {
+        assert!(matches!(
+            Realm::new(RealmConfig::new(width, 16, 0, 6)),
+            Err(ConfigError::UnsupportedWidth { .. })
+        ));
+    }
+}
+
+#[test]
+fn batch_matches_scalar_on_odd_length_streams_across_the_grid() {
+    // Odd lengths cover every remainder-lane count of the 4-wide SIMD
+    // kernels (len mod 4 ∈ {0, 1, 2, 3}).
+    for design in grid() {
+        let max = design.max_operand();
+        let mut rng = SplitMix64::new(0x51D3_CA2E ^ u64::from(design.width()));
+        for len in [1usize, 3, 5, 63, 257, 1021] {
+            let pairs: Vec<(u64, u64)> = (0..len)
+                .map(|_| (rng.next_u64() & max, rng.next_u64() & max))
+                .collect();
+            let mut out = vec![0u64; len];
+            design.multiply_batch(&pairs, &mut out);
+            for (&(a, b), &p) in pairs.iter().zip(&out) {
+                assert_eq!(
+                    p,
+                    design.multiply(a, b),
+                    "{} len={len}: batch and scalar disagree at a={a} b={b}",
+                    design.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_and_saturation_packs_hold_across_the_grid() {
+    for design in grid() {
+        let max = design.max_operand();
+        let label = design.label();
+        // Zero annihilates on every path.
+        for &(a, b) in &[(0u64, 0u64), (0, 1), (1, 0), (0, max), (max, 0)] {
+            assert_eq!(design.multiply(a, b), 0, "{label}: ({a}, {b})");
+            assert_eq!(design.multiply_wide(a, b), 0, "{label}: ({a}, {b})");
+        }
+        let pairs = [(0, 0), (0, max), (max, 0), (max, max), (1, max), (1, 1)];
+        let mut out = [0u64; 6];
+        design.multiply_batch(&pairs, &mut out);
+        for (&(a, b), &p) in pairs.iter().zip(&out) {
+            assert_eq!(p, design.multiply(a, b), "{label}: pack ({a}, {b})");
+        }
+        // The register clamp: max × max must fit the documented ceiling
+        // (2^(2N) − 1 for N ≤ 32, u64::MAX beyond), and the wide path
+        // never exceeds 2^(2N) − 1.
+        let ceiling = if design.width() >= 32 {
+            u64::MAX
+        } else {
+            (1u64 << (2 * design.width())) - 1
+        };
+        assert!(design.multiply(max, max) <= ceiling, "{label}");
+        let wide_ceiling = if design.width() == 64 {
+            u128::MAX
+        } else {
+            (1u128 << (2 * design.width())) - 1
+        };
+        assert!(design.multiply_wide(max, max) <= wide_ceiling, "{label}");
+    }
+}
+
+#[test]
+fn register_and_wide_paths_agree_below_33_bits() {
+    for design in grid() {
+        let max = design.max_operand();
+        if design.width() > 32 {
+            // Beyond the register: the wide path must still dominate the
+            // clamped one.
+            let mut rng = SplitMix64::new(0xAB5E ^ u64::from(design.width()));
+            for _ in 0..256 {
+                let (a, b) = (rng.next_u64() & max, rng.next_u64() & max);
+                assert!(
+                    design.multiply_wide(a, b) >= design.multiply(a, b) as u128,
+                    "{}: wide < clamped at a={a} b={b}",
+                    design.label()
+                );
+            }
+            continue;
+        }
+        let mut rng = SplitMix64::new(0xD1FF ^ u64::from(design.width()));
+        let mut cases: Vec<(u64, u64)> = (0..512)
+            .map(|_| (rng.next_u64() & max, rng.next_u64() & max))
+            .collect();
+        cases.extend([(0, 0), (max, max), (1, max)]);
+        for (a, b) in cases {
+            assert_eq!(
+                design.multiply_wide(a, b),
+                design.multiply(a, b) as u128,
+                "{}: paths diverge at a={a} b={b}",
+                design.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn error_envelope_holds_at_every_width() {
+    // REALM's defining guarantee is width-uniform: the approximation
+    // stays within Mitchell's one-sided envelope, improved by the LUT —
+    // relative error within (−11.2 %, +11.2 %) everywhere on the grid.
+    for design in grid() {
+        let max = design.max_operand();
+        let mut rng = SplitMix64::new(0xE22 ^ u64::from(design.width()));
+        for _ in 0..512 {
+            let a = 1 + (rng.next_u64() % max);
+            let b = 1 + (rng.next_u64() % max);
+            let exact = a as u128 * b as u128;
+            let got = design.multiply_wide(a, b);
+            let rel = (got as f64 - exact as f64) / exact as f64;
+            assert!(
+                rel.abs() < 0.112,
+                "{}: relative error {rel} out of envelope at a={a} b={b}",
+                design.label()
+            );
+        }
+    }
+}

@@ -197,9 +197,23 @@ impl MonteCarloWorkload<'_> {
             let b = rng.range_inclusive(0, max);
             pairs.push((a, b));
         }
+        let mut acc = ErrorAccumulator::new();
+        if design.width() > 32 {
+            // Wide designs: the 64-bit batch register clamps 2N-bit
+            // products, so score the unclamped per-pair wide path.
+            for &(a, b) in &pairs {
+                let exact = a as u128 * b as u128;
+                if exact == 0 {
+                    continue;
+                }
+                let e = (design.multiply_wide(a, b) as f64 - exact as f64) / exact as f64;
+                acc.push(e);
+                on_error(e);
+            }
+            return acc;
+        }
         let mut products = vec![0u64; pairs.len()];
         design.multiply_batch(&pairs, &mut products);
-        let mut acc = ErrorAccumulator::new();
         for (&(a, b), &p) in pairs.iter().zip(&products) {
             let exact = a as u128 * b as u128;
             if exact == 0 {

@@ -10,7 +10,7 @@
 //! # Design grammar
 //!
 //! ```text
-//! design := name [ ":" key "=" int { "," key "=" int } ]
+//! design := name [ "@" width ] [ ":" key "=" int { "," key "=" int } ]
 //! ```
 //!
 //! | name | keys (default) | constructor |
@@ -23,6 +23,11 @@
 //! | `implm` | `w` (16) | ImpLM baseline |
 //! | `mbm` | `w` (16), `t` (0) | Mitchell-based MBM, truncation `t` |
 //! | `ssm` | `w` (16), `s` (8) | static segment multiplier |
+//! | `scaletrim` | `w` (16), `t` (4), `c` (1) | scaleTRIM, `t` cross-term bits, compensation `c` ∈ {0,1} |
+//! | `ilm` | `w` (16), `i` (2) | iterative log multiplier, `i` ∈ {1,2} iterations |
+//!
+//! The `@width` suffix is shorthand for the `w` key (`"calm@8"` ≡
+//! `"calm:w=8"`); giving both is an error, not a tiebreak.
 //!
 //! Unknown names and unknown keys are errors (a job server must reject,
 //! not guess); invalid parameter combinations surface the design's own
@@ -39,7 +44,7 @@
 
 use std::fmt;
 
-use realm_baselines::{Calm, Drum, ImpLm, Kulkarni, Mbm, Ssm};
+use realm_baselines::{Calm, Drum, Ilm, ImpLm, Kulkarni, Mbm, ScaleTrim, Ssm};
 use realm_core::{Accurate, ConfigError, Multiplier, Realm, RealmConfig};
 use realm_harness::{CampaignId, HarnessError, Supervised, Supervisor};
 use realm_par::{Chunk, ChunkPlan};
@@ -76,7 +81,8 @@ impl fmt::Display for SpecError {
         match self {
             SpecError::UnknownDesign(name) => write!(
                 f,
-                "unknown design '{name}' (expected accurate|realm|calm|drum|kulkarni|implm|mbm|ssm)"
+                "unknown design '{name}' (expected \
+                 accurate|realm|calm|drum|kulkarni|implm|mbm|ssm|scaletrim|ilm)"
             ),
             SpecError::BadParam { design, detail } => {
                 write!(f, "bad parameter in design '{design}': {detail}")
@@ -239,12 +245,25 @@ pub fn parse_design(text: &str) -> Result<Box<dyn Multiplier>, SpecError> {
         Some((name, params)) => (name, params),
         None => (text, ""),
     };
-    let name = name.trim().to_ascii_lowercase();
-    let params = parse_params(text, param_text)?;
     let bad = |detail: String| SpecError::BadParam {
         design: text.to_string(),
         detail,
     };
+    // The `@width` suffix: `name@W` is shorthand for `w=W`.
+    let (name, at_width) = match name.split_once('@') {
+        Some((base, wtext)) => {
+            let w: u32 = wtext.trim().parse().map_err(|_| {
+                bad(format!(
+                    "'@{}' is not an unsigned operand width",
+                    wtext.trim()
+                ))
+            })?;
+            (base, Some(w))
+        }
+        None => (name, None),
+    };
+    let name = name.trim().to_ascii_lowercase();
+    let params = parse_params(text, param_text)?;
 
     let allowed: &[&str] = match name.as_str() {
         "accurate" | "calm" | "kulkarni" | "implm" => &["w"],
@@ -252,6 +271,8 @@ pub fn parse_design(text: &str) -> Result<Box<dyn Multiplier>, SpecError> {
         "drum" => &["w", "k"],
         "mbm" => &["w", "t"],
         "ssm" => &["w", "s"],
+        "scaletrim" => &["w", "t", "c"],
+        "ilm" => &["w", "i"],
         _ => return Err(SpecError::UnknownDesign(name)),
     };
     if let Some((key, _)) = params.iter().find(|(k, _)| !allowed.contains(&k.as_str())) {
@@ -259,6 +280,11 @@ pub fn parse_design(text: &str) -> Result<Box<dyn Multiplier>, SpecError> {
             "'{name}' does not accept key '{key}' (allowed: {})",
             allowed.join(", ")
         )));
+    }
+    if at_width.is_some() && params.iter().any(|(k, _)| k == "w") {
+        return Err(bad(
+            "operand width given both as '@W' suffix and 'w=' key".into()
+        ));
     }
     let get = |key: &str, default: u32| -> Result<u32, SpecError> {
         match params.iter().rev().find(|(k, _)| k == key) {
@@ -269,7 +295,10 @@ pub fn parse_design(text: &str) -> Result<Box<dyn Multiplier>, SpecError> {
         }
     };
 
-    let w = get("w", 16)?;
+    let w = match at_width {
+        Some(w) => w,
+        None => get("w", 16)?,
+    };
     let design: Box<dyn Multiplier> = match name.as_str() {
         "accurate" => Box::new(Accurate::new(w)),
         "realm" => Box::new(Realm::new(RealmConfig::new(
@@ -284,6 +313,14 @@ pub fn parse_design(text: &str) -> Result<Box<dyn Multiplier>, SpecError> {
         "implm" => Box::new(ImpLm::new(w)),
         "mbm" => Box::new(Mbm::new(w, get("t", 0)?)?),
         "ssm" => Box::new(Ssm::new(w, get("s", 8)?)?),
+        "scaletrim" => {
+            let c = get("c", 1)?;
+            if c > 1 {
+                return Err(bad(format!("'c={c}' must be 0 or 1")));
+            }
+            Box::new(ScaleTrim::new(w, get("t", 4)?, c == 1)?)
+        }
+        "ilm" => Box::new(Ilm::new(w, get("i", 2)?)?),
         _ => return Err(SpecError::UnknownDesign(name)),
     };
     Ok(design)
@@ -508,6 +545,14 @@ mod tests {
             "implm",
             "mbm:t=4",
             "ssm:s=8",
+            "scaletrim",
+            "scaletrim:t=6,c=0",
+            "ilm",
+            "ilm:i=1",
+            "calm@8",
+            "realm@24:m=8,t=3",
+            "drum@32:k=8",
+            "SCALETRIM@8:t=3",
             " REALM : M=4 , T=1 ", // whitespace + case insensitive
         ] {
             let design = parse_design(text).unwrap_or_else(|e| panic!("{text}: {e}"));
@@ -539,6 +584,28 @@ mod tests {
             parse_design("realm:m=3"),
             Err(SpecError::Config(_))
         ));
+        // The @W suffix: malformed widths and double specification are
+        // grammar errors; a parseable-but-unsupported width is the
+        // design's own ConfigError.
+        assert!(matches!(
+            parse_design("calm@banana"),
+            Err(SpecError::BadParam { .. })
+        ));
+        assert!(matches!(
+            parse_design("realm@16:w=16"),
+            Err(SpecError::BadParam { .. })
+        ));
+        assert!(matches!(parse_design("ilm@0"), Err(SpecError::Config(_))));
+        assert!(matches!(parse_design("ilm@65"), Err(SpecError::Config(_))));
+        assert!(matches!(
+            parse_design("scaletrim:c=2"),
+            Err(SpecError::BadParam { .. })
+        ));
+        assert!(matches!(
+            parse_design("scaletrim:t=1"),
+            Err(SpecError::Config(_))
+        ));
+        assert!(matches!(parse_design("ilm:i=3"), Err(SpecError::Config(_))));
     }
 
     #[test]

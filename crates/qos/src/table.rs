@@ -22,7 +22,10 @@ use realm_core::{Realm, RealmConfig};
 use realm_harness::Fnv64;
 use realm_metrics::{distance_metrics_threaded, parse_design, MonteCarlo, Threads};
 use realm_obs::{atomic_write_str, json_string, Json};
-use realm_synth::designs::{calm_netlist, drum_netlist, mbm_netlist, realm_netlist, wallace16};
+use realm_synth::designs::{
+    calm_netlist, drum_netlist, ilm_netlist, mbm_netlist, realm_netlist, scaletrim_netlist,
+    wallace16,
+};
 use realm_synth::report::{PAPER_ACCURATE_AREA_UM2, PAPER_ACCURATE_POWER_UW};
 use realm_synth::{Netlist, Reporter};
 use std::path::Path;
@@ -95,6 +98,8 @@ enum ZooKind {
     Calm,
     Drum { k: u32 },
     Mbm { t: u32 },
+    ScaleTrim { t: u32, c: bool },
+    Ilm { i: u32 },
 }
 
 /// One characterizable design: its spec-grammar text plus its netlist
@@ -113,6 +118,8 @@ impl ZooDesign {
             ZooKind::Calm => calm_netlist(16),
             ZooKind::Drum { k } => drum_netlist(16, k),
             ZooKind::Mbm { t } => mbm_netlist(16, t),
+            ZooKind::ScaleTrim { t, c } => scaletrim_netlist(16, t, c),
+            ZooKind::Ilm { i } => ilm_netlist(16, i),
         })
     }
 }
@@ -156,6 +163,20 @@ fn zoo() -> Vec<ZooDesign> {
         designs.push(ZooDesign {
             text: format!("mbm:t={t}"),
             kind: ZooKind::Mbm { t },
+        });
+    }
+    // Post-paper comparators, appended last so the earlier table order
+    // (and any external notes keyed on it) survives the extension.
+    for t in [4u32, 6] {
+        designs.push(ZooDesign {
+            text: format!("scaletrim:t={t},c=1"),
+            kind: ZooKind::ScaleTrim { t, c: true },
+        });
+    }
+    for i in [1u32, 2] {
+        designs.push(ZooDesign {
+            text: format!("ilm:i={i}"),
+            kind: ZooKind::Ilm { i },
         });
     }
     designs
@@ -436,6 +457,12 @@ mod tests {
         let realm = table.entry("realm:m=16,t=0").unwrap();
         let calm = table.entry("calm").unwrap();
         assert!(realm.mean_error < calm.mean_error);
+        // The post-paper comparators join the characterized zoo, and
+        // scaleTRIM's cross term beats plain Mitchell on mean error.
+        let scaletrim = table.entry("scaletrim:t=6,c=1").unwrap();
+        let ilm = table.entry("ilm:i=2").unwrap();
+        assert!(scaletrim.mean_error < calm.mean_error);
+        assert!(ilm.mean_error < calm.mean_error);
 
         let text = table.to_json();
         let back = QosTable::from_json(&text).unwrap();

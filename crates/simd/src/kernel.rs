@@ -378,6 +378,149 @@ impl<'a> RealmKernel<'a> {
     }
 }
 
+/// scaleTRIM kernel: leading-one decomposition, truncated `t × t`
+/// cross-term product, optional linearized compensation.
+///
+/// No AVX2 specialization exists yet — [`run`](Self::run) executes the
+/// scalar lanes on every tier (the tier argument is accepted so callers
+/// stay uniform).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleTrimKernel {
+    /// Fraction bits `N − 1`.
+    fraction_bits: u32,
+    /// Cross-term bits kept per operand.
+    truncation: u32,
+    /// Whether the compensation constant is added.
+    compensate: bool,
+    /// Saturation ceiling `2^(2N) − 1`.
+    max_product: u64,
+}
+
+impl ScaleTrimKernel {
+    /// Kernel for `width`-bit operands; `None` outside `4..=31` (width
+    /// 32 up needs the u128 path the design keeps as fallback) or for
+    /// `t` outside `2..=min(8, width − 1)`.
+    pub fn new(width: u32, truncation: u32, compensate: bool) -> Option<Self> {
+        ((4..=31).contains(&width) && (2..=8).contains(&truncation) && truncation < width).then(
+            || ScaleTrimKernel {
+                fraction_bits: width - 1,
+                truncation,
+                compensate,
+                max_product: (1u64 << (2 * width)) - 1,
+            },
+        )
+    }
+
+    /// One scalar lane — bit-identical to
+    /// `realm_baselines::ScaleTrim::multiply`.
+    #[inline]
+    pub fn lane(&self, a: u64, b: u64) -> u64 {
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let f = self.fraction_bits;
+        let t = self.truncation;
+        let ka = 63 - a.leading_zeros();
+        let kb = 63 - b.leading_zeros();
+        let fx = (a - (1u64 << ka)) << (f - ka);
+        let fy = (b - (1u64 << kb)) << (f - kb);
+        let xa = fx >> (f - t);
+        let ya = fy >> (f - t);
+        let pp = xa * ya;
+        let corr = if self.compensate {
+            (pp << 2) + ((xa + ya) << 1) + 1
+        } else {
+            pp << 2
+        };
+        let corr_bits = 2 * t + 2;
+        let corr_f = if f >= corr_bits {
+            corr << (f - corr_bits)
+        } else {
+            corr >> (corr_bits - f)
+        };
+        // mantissa < 4·2^f and the up-shift is at most width − 1, so the
+        // widest lane value is < 2^62 at width 31: u64 is enough.
+        let mantissa = (1u64 << f) + fx + fy + corr_f;
+        let shift = (ka + kb) as i32 - f as i32;
+        let value = if shift >= 0 {
+            mantissa << shift
+        } else {
+            mantissa >> -shift
+        };
+        value.min(self.max_product)
+    }
+
+    /// Multiplies every pair; every tier runs the scalar lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` and `out` differ in length.
+    pub fn run(&self, _tier: Tier, pairs: &[(u64, u64)], out: &mut [u64]) {
+        check_lanes(pairs, out);
+        for (slot, &(a, b)) in out.iter_mut().zip(pairs) {
+            *slot = self.lane(a, b);
+        }
+    }
+}
+
+/// Iterative log multiplier (ILM) kernel: leading-one decomposition of
+/// both operands, one or two refinement iterations over the residues.
+///
+/// No AVX2 specialization exists yet — [`run`](Self::run) executes the
+/// scalar lanes on every tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IlmKernel {
+    iterations: u32,
+}
+
+impl IlmKernel {
+    /// Kernel for `width`-bit operands; `None` outside `4..=32` (the
+    /// approximation is bounded by the exact product, which fits u64 at
+    /// width 32) or iterations outside `1..=2`.
+    pub fn new(width: u32, iterations: u32) -> Option<Self> {
+        ((4..=32).contains(&width) && (1..=2).contains(&iterations))
+            .then_some(IlmKernel { iterations })
+    }
+
+    /// One scalar lane — bit-identical to
+    /// `realm_baselines::Ilm::multiply`.
+    #[inline]
+    pub fn lane(&self, a: u64, b: u64) -> u64 {
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let ka = 63 - a.leading_zeros();
+        let kb = 63 - b.leading_zeros();
+        let res_a = a ^ (1u64 << ka);
+        let res_b = b ^ (1u64 << kb);
+        let mut p = (a << kb) + (res_b << ka);
+        if self.iterations == 2 && res_a != 0 && res_b != 0 {
+            let ka2 = 63 - res_a.leading_zeros();
+            let kb2 = 63 - res_b.leading_zeros();
+            let res2_b = res_b ^ (1u64 << kb2);
+            p += (res_a << kb2) + (res2_b << ka2);
+        }
+        p
+    }
+
+    /// Number of basic-block iterations (1 or 2).
+    pub fn iterations(&self) -> u32 {
+        self.iterations
+    }
+
+    /// Multiplies every pair; every tier runs the scalar lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` and `out` differ in length.
+    pub fn run(&self, _tier: Tier, pairs: &[(u64, u64)], out: &mut [u64]) {
+        check_lanes(pairs, out);
+        for (slot, &(a, b)) in out.iter_mut().zip(pairs) {
+            *slot = self.lane(a, b);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,6 +535,18 @@ mod tests {
         assert!(DrumKernel::new(16, 2).is_none());
         assert!(DrumKernel::new(16, 17).is_none());
         assert!(DrumKernel::new(16, 6).is_some());
+        assert!(
+            ScaleTrimKernel::new(32, 4, true).is_none(),
+            "width 32 is the u128 path"
+        );
+        assert!(ScaleTrimKernel::new(16, 1, true).is_none());
+        assert!(ScaleTrimKernel::new(16, 9, false).is_none());
+        assert!(ScaleTrimKernel::new(4, 4, true).is_none(), "t > N - 1");
+        assert!(ScaleTrimKernel::new(16, 6, false).is_some());
+        assert!(IlmKernel::new(33, 2).is_none());
+        assert!(IlmKernel::new(16, 0).is_none());
+        assert!(IlmKernel::new(16, 3).is_none());
+        assert!(IlmKernel::new(32, 2).is_some());
         let codes = vec![0u32; 16];
         assert!(RealmKernel::new(16, 4, 0, 6, &codes).is_some());
         assert!(RealmKernel::new(32, 4, 0, 6, &codes).is_none());
@@ -416,6 +571,8 @@ mod tests {
         let calm = CalmKernel::new(16).unwrap();
         let drum = DrumKernel::new(16, 6).unwrap();
         let acc = AccurateKernel::new(16).unwrap();
+        let strim = ScaleTrimKernel::new(16, 4, true).unwrap();
+        let ilm = IlmKernel::new(16, 2).unwrap();
         let mut x = 0x9E37_79B9_7F4A_7C15u64;
         let pairs: Vec<(u64, u64)> = (0..1021)
             .map(|_| {
@@ -448,6 +605,16 @@ mod tests {
                 *s = acc.lane(a, b);
             }
             assert_eq!(simd, scalar, "Accurate kernel, tier {tier}");
+            strim.run(tier, &pairs, &mut simd);
+            for (s, &(a, b)) in scalar.iter_mut().zip(&pairs) {
+                *s = strim.lane(a, b);
+            }
+            assert_eq!(simd, scalar, "scaleTRIM kernel, tier {tier}");
+            ilm.run(tier, &pairs, &mut simd);
+            for (s, &(a, b)) in scalar.iter_mut().zip(&pairs) {
+                *s = ilm.lane(a, b);
+            }
+            assert_eq!(simd, scalar, "ILM kernel, tier {tier}");
         }
     }
 

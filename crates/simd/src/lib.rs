@@ -76,7 +76,7 @@ pub mod kernel;
 #[allow(unsafe_code)]
 mod avx2;
 
-pub use kernel::{AccurateKernel, CalmKernel, DrumKernel, RealmKernel};
+pub use kernel::{AccurateKernel, CalmKernel, DrumKernel, IlmKernel, RealmKernel, ScaleTrimKernel};
 
 /// The environment variable that forces the scalar tier
 /// (`REALM_FORCE_SCALAR=1`), for debugging and CI differential runs.

@@ -8,6 +8,7 @@
 //! specification.
 
 mod array;
+mod comparators;
 mod configurable;
 mod divider;
 mod dynamic;
@@ -16,6 +17,7 @@ mod kulkarni;
 mod log_family;
 
 pub use array::{am_netlist, wallace16};
+pub use comparators::{ilm_netlist, scaletrim_netlist};
 pub use configurable::configurable_realm_netlist;
 pub use divider::{mitchell_divider_netlist, realm_divider_netlist};
 pub use dynamic::{drum_netlist, essm8_netlist, ssm_netlist};
@@ -48,7 +50,7 @@ pub struct DesignPair {
 pub fn table1_pairs() -> Vec<DesignPair> {
     use realm_baselines::adders::LowerPart;
     use realm_baselines::{
-        Alm, AlmAdder, Am, AmRecovery, Calm, Drum, Essm8, ImpLm, IntAlp, Mbm, Ssm,
+        Alm, AlmAdder, Am, AmRecovery, Calm, Drum, Essm8, Ilm, ImpLm, IntAlp, Mbm, ScaleTrim, Ssm,
     };
     use realm_core::{Realm, RealmConfig};
 
@@ -132,6 +134,24 @@ pub fn table1_pairs() -> Vec<DesignPair> {
         model: Box::new(Essm8::new()),
         netlist: essm8_netlist(),
     });
+    // Post-paper comparators, appended after every Table I row so the
+    // pinned pre-refactor goldens keep their positions.
+    for (t, c) in [(4u32, true), (6, true)] {
+        let Ok(st) = ScaleTrim::new(16, t, c) else {
+            continue;
+        };
+        pairs.push(DesignPair {
+            model: Box::new(st),
+            netlist: scaletrim_netlist(16, t, c),
+        });
+    }
+    for i in [1u32, 2] {
+        let Ok(ilm) = Ilm::new(16, i) else { continue };
+        pairs.push(DesignPair {
+            model: Box::new(ilm),
+            netlist: ilm_netlist(16, i),
+        });
+    }
     pairs
 }
 

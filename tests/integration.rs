@@ -132,6 +132,6 @@ fn precomputed_tables_build_identical_multipliers() {
 
 #[test]
 fn catalog_row_count_matches_table1() {
-    assert_eq!(catalog::table1_designs().len(), 65);
-    assert_eq!(table1_pairs().len(), 65);
+    assert_eq!(catalog::table1_designs().len(), 69);
+    assert_eq!(table1_pairs().len(), 69);
 }
