@@ -72,6 +72,11 @@ pub struct Options {
     /// (`--design realm:m=16,t=0`). `None` lets each driver use its
     /// built-in default subject.
     pub design: Option<String>,
+    /// Per-layer multiplier bindings for the DNN driver
+    /// (`--layers conv1=realm16t4,dense1=scaletrim:t=6@16`), in the
+    /// `realm_metrics::dnn` layer-spec grammar. Layers not named keep
+    /// the driver's default design.
+    pub layers: Option<String>,
     /// Pin the multiply kernels to the scalar tier (`--force-scalar`;
     /// equivalent to `REALM_FORCE_SCALAR=1`). A debugging and CI
     /// differential knob: results are bit-identical under every tier,
@@ -101,6 +106,7 @@ impl Default for Options {
             trace: None,
             progress: false,
             design: None,
+            layers: None,
             force_scalar: false,
             error_sla: None,
         }
@@ -128,6 +134,9 @@ pub fn usage() -> &'static str {
      \x20 --design D         design under test (accurate | realm:m=16,t=0 | calm | drum:k=6 |\n\
      \x20                    kulkarni | implm | mbm:t=4 | ssm:s=8 | scaletrim:t=4,c=1 | ilm:i=2;\n\
      \x20                    width via the w key or an @W suffix, e.g. calm@8; default 16)\n\
+     \x20 --layers L         per-layer multiplier bindings for the dnn driver, comma-separated\n\
+     \x20                    layer=design pairs (conv1=realm16t4,dense1=scaletrim:t=6@16);\n\
+     \x20                    unlisted layers keep the default design\n\
      \x20 --force-scalar     pin the multiply kernels to the scalar tier (= REALM_FORCE_SCALAR=1).\n\
      \x20                    Purely a debugging/CI knob: results are bit-identical on every tier.\n\
      \x20 --error-sla S      error budget, comma-separated bounds (mean:0.03,nmed:0.01,peak:0.2).\n\
@@ -216,6 +225,15 @@ impl Options {
                     realm_metrics::parse_design(&text)
                         .map_err(|e| CliError(format!("invalid --design '{text}': {e}")))?;
                     opts.design = Some(text);
+                }
+                "--layers" => {
+                    let text = value("--layers")?;
+                    // Validate the whole spec eagerly — a typo'd layer
+                    // spec dies at the flag table, not after the zoo
+                    // has been characterized.
+                    realm_metrics::parse_layer_bindings(&text)
+                        .map_err(|e| CliError(format!("invalid --layers '{text}': {e}")))?;
+                    opts.layers = Some(text);
                 }
                 "--force-scalar" => opts.force_scalar = true,
                 "--error-sla" => {
@@ -585,6 +603,29 @@ mod tests {
         // The new grammar parses end to end through the flag.
         for text in ["scaletrim:t=6,c=0", "ilm:i=1", "calm@8", "realm@24:m=8"] {
             assert_eq!(ok(&["--design", text]).design.as_deref(), Some(text));
+        }
+    }
+
+    #[test]
+    fn parses_layers_and_rejects_malformed_specs() {
+        let o = ok(&["--layers", "conv1=realm16t4,dense1=scaletrim:t=6@16"]);
+        assert_eq!(
+            o.layers.as_deref(),
+            Some("conv1=realm16t4,dense1=scaletrim:t=6@16")
+        );
+        assert!(ok(&[]).layers.is_none());
+        assert!(usage().contains("--layers"), "usage must document --layers");
+        assert!(usage().contains("layer=design"));
+        for bad in [
+            &["--layers", "conv1"][..],       // no '='
+            &["--layers", "conv1=banana"],    // unknown design
+            &["--layers", "t=4"],             // param before any binding
+            &["--layers", "conv1=realm:z=1"], // unknown key
+            &["--layers", ""],                // empty spec
+            &["--layers"],                    // missing value
+        ] {
+            let err = parse(bad).expect_err("must be rejected");
+            assert!(err.to_string().contains("--layers"), "{err}");
         }
     }
 

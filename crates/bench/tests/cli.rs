@@ -1,4 +1,4 @@
-//! Uniform command-line behavior across every experiment driver: all 14
+//! Uniform command-line behavior across every experiment driver: all 15
 //! binaries share one parser (`realm_bench::Options`), so a malformed
 //! flag must exit with status 2 and print the usage table everywhere,
 //! and `--help` must exit 0 with the same table.
@@ -7,9 +7,10 @@ use std::process::Command;
 
 /// Every driver binary in the crate, resolved at build time so the test
 /// fails to compile if a binary is renamed without updating the matrix.
-const BINS: [(&str, &str); 14] = [
+const BINS: [(&str, &str); 15] = [
     ("ablation", env!("CARGO_BIN_EXE_ablation")),
     ("campaign", env!("CARGO_BIN_EXE_campaign")),
+    ("dnn", env!("CARGO_BIN_EXE_dnn")),
     ("extensions", env!("CARGO_BIN_EXE_extensions")),
     ("faults", env!("CARGO_BIN_EXE_faults")),
     ("fig1", env!("CARGO_BIN_EXE_fig1")),
@@ -132,6 +133,70 @@ fn malformed_design_spec_exits_2_with_usage_everywhere() {
 }
 
 #[test]
+fn malformed_layer_spec_exits_2_with_usage_everywhere() {
+    // The layer-binding grammar is validated eagerly at the flag table;
+    // the parser is shared, so a rotating driver per failure class
+    // covers them all (and the dnn driver — its actual consumer — takes
+    // the first).
+    let cases = [
+        ("conv1", 2),                 // no '=' at all
+        ("conv1=", 0),                // empty design
+        ("conv1=banana", 1),          // unknown design name
+        ("t=4", 3),                   // parameter before any binding
+        ("conv1=realm:z=1", 4),       // unknown parameter key
+        ("conv1=calm,conv1=calm", 5), // duplicate layer
+        ("conv1=scaletrim:t=6@x", 6), // malformed trailing width
+        ("", 7),                      // empty spec
+    ];
+    for (bad, i) in cases {
+        let (name, exe) = BINS[i % BINS.len()];
+        let out = Command::new(exe)
+            .args(["--layers", bad])
+            .output()
+            .unwrap_or_else(|e| panic!("cannot spawn {name}: {e}"));
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{name}: --layers '{bad}' must exit 2, got {:?}",
+            out.status.code()
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--layers"),
+            "{name}: diagnostic must name the flag for '{bad}':\n{stderr}"
+        );
+        assert!(
+            stderr.contains("--samples") && stderr.contains("--trace"),
+            "{name}: usage table must follow the diagnostic:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn well_formed_layer_spec_passes_the_flag_table() {
+    // The canonical mixed spec from the documentation must clear eager
+    // validation: compact realm alias + trailing @W relocation. Checked
+    // via --help short-circuit? No — --help wins before parsing, so use
+    // a driver that exits quickly on a separate bad flag *after* the
+    // spec parses, proving the spec itself was accepted.
+    let (name, exe) = BINS[0];
+    let out = Command::new(exe)
+        .args([
+            "--layers",
+            "conv1=realm16t4,dense1=scaletrim:t=6@16",
+            "--bogus-flag",
+        ])
+        .output()
+        .unwrap_or_else(|e| panic!("cannot spawn {name}: {e}"));
+    assert_eq!(out.status.code(), Some(2), "{name}: trailing bad flag");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--bogus-flag") && !stderr.contains("--layers '"),
+        "{name}: the layer spec must parse — only the bogus flag may be diagnosed:\n{stderr}"
+    );
+}
+
+#[test]
 fn help_exits_0_with_the_shared_flag_table() {
     for (name, exe) in BINS {
         let out = Command::new(exe)
@@ -148,6 +213,7 @@ fn help_exits_0_with_the_shared_flag_table() {
             "--trace",
             "--progress",
             "--error-sla",
+            "--layers",
         ] {
             assert!(
                 stdout.contains(flag),

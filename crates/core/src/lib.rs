@@ -92,4 +92,4 @@ pub use mitchell::LogEncoding;
 pub use multiplier::{batch_lanes, Multiplier};
 pub use realm::{Realm, RealmConfig};
 pub use segment::SegmentGrid;
-pub use signed::SignMagnitude;
+pub use signed::{fixed_mul_batch, fixed_mul_signed, FixedBatch, SignMagnitude};

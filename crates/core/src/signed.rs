@@ -5,6 +5,157 @@
 
 use crate::multiplier::Multiplier;
 
+/// Scalar sign-magnitude fixed-point multiply through an unsigned
+/// multiplier: `(a · b) >> shift` with flooring on the **magnitude**
+/// (toward zero, as a hardware sign-magnitude datapath floors), total
+/// for every `i64` input:
+///
+/// * `i64::MIN` contributes its true `2^63` magnitude via
+///   [`i64::unsigned_abs`] — no wrap, no panic;
+/// * a shifted magnitude above `i64::MAX` saturates, so results live in
+///   the symmetric sign-magnitude range `[-i64::MAX, i64::MAX]`.
+///
+/// This is the per-lane reference semantics of [`FixedBatch`]; the
+/// batched path must match it bit for bit on every lane.
+pub fn fixed_mul_signed(m: &dyn Multiplier, a: i64, b: i64, shift: u32) -> i64 {
+    let mag = (m.multiply(a.unsigned_abs(), b.unsigned_abs()) >> shift).min(i64::MAX as u64) as i64;
+    if (a < 0) ^ (b < 0) {
+        -mag
+    } else {
+        mag
+    }
+}
+
+/// Batched sign-magnitude multiply with reusable scratch — the kernel
+/// primitive underneath the realm-dsp GEMM/conv/FIR substrates.
+///
+/// The sign/magnitude split is hoisted out of the lane loop: magnitudes
+/// are packed once, multiplied through **one**
+/// [`Multiplier::multiply_batch`] call (which dispatches to the tiered
+/// realm-simd kernels; the scalar tier is always available), and signs
+/// are re-applied on the way out. Per-lane results are bit-identical to
+/// [`fixed_mul_signed`] by construction, because `multiply_batch` is
+/// contractually bit-identical to scalar `multiply`.
+///
+/// Reusing one `FixedBatch` across calls amortizes the two scratch
+/// allocations across an entire matrix multiplication.
+#[derive(Debug, Default)]
+pub struct FixedBatch {
+    mags: Vec<(u64, u64)>,
+    prods: Vec<u64>,
+}
+
+impl FixedBatch {
+    /// An empty scratch buffer (allocates lazily on first use).
+    pub fn new() -> Self {
+        FixedBatch::default()
+    }
+
+    /// Packs signed pairs into magnitude scratch and runs the one batched
+    /// unsigned multiply; afterwards `self.prods[i]` holds the magnitude
+    /// product of `pairs[i]`.
+    fn run_batch(&mut self, m: &dyn Multiplier, pairs: &[(i64, i64)]) {
+        self.mags.clear();
+        self.mags.extend(
+            pairs
+                .iter()
+                .map(|&(a, b)| (a.unsigned_abs(), b.unsigned_abs())),
+        );
+        self.prods.clear();
+        self.prods.resize(pairs.len(), 0);
+        m.multiply_batch(&self.mags, &mut self.prods);
+    }
+
+    /// `out[i] = fixed_mul_signed(m, pairs[i].0, pairs[i].1, shift)` for
+    /// every lane, through one `multiply_batch` call.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `out.len() == pairs.len()`.
+    pub fn multiply(
+        &mut self,
+        m: &dyn Multiplier,
+        pairs: &[(i64, i64)],
+        shift: u32,
+        out: &mut [i64],
+    ) {
+        assert_eq!(
+            pairs.len(),
+            out.len(),
+            "multiply_batch needs one output slot per operand pair"
+        );
+        self.run_batch(m, pairs);
+        for (slot, (&p, &(a, b))) in out.iter_mut().zip(self.prods.iter().zip(pairs)) {
+            let mag = ((p >> shift).min(i64::MAX as u64)) as i64;
+            *slot = if (a < 0) ^ (b < 0) { -mag } else { mag };
+        }
+    }
+
+    /// Exact signed dot product `Σ fixed_mul_signed(m, a[i], b[i], 0)`
+    /// of two equal-length slices — the GEMM/FIR/MLP inner loop, one
+    /// virtual call per *dot product* instead of one per product.
+    ///
+    /// Accumulation is plain `i64` addition, exactly as the scalar
+    /// substrates accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn dot(&mut self, m: &dyn Multiplier, a: &[i64], b: &[i64]) -> i64 {
+        assert_eq!(a.len(), b.len(), "dot product needs equal-length slices");
+        self.mags.clear();
+        self.mags.extend(
+            a.iter()
+                .zip(b)
+                .map(|(&x, &y)| (x.unsigned_abs(), y.unsigned_abs())),
+        );
+        self.prods.clear();
+        self.prods.resize(a.len(), 0);
+        m.multiply_batch(&self.mags, &mut self.prods);
+        let mut acc = 0i64;
+        for (&p, (&x, &y)) in self.prods.iter().zip(a.iter().zip(b)) {
+            let mag = p.min(i64::MAX as u64) as i64;
+            acc += if (x < 0) ^ (y < 0) { -mag } else { mag };
+        }
+        acc
+    }
+
+    /// [`FixedBatch::dot`] over `i32` slices (the storage type of the
+    /// realm-dsp matrices, taps and quantized weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn dot_i32(&mut self, m: &dyn Multiplier, a: &[i32], b: &[i32]) -> i64 {
+        assert_eq!(a.len(), b.len(), "dot product needs equal-length slices");
+        self.mags.clear();
+        self.mags.extend(
+            a.iter()
+                .zip(b)
+                .map(|(&x, &y)| ((x as i64).unsigned_abs(), (y as i64).unsigned_abs())),
+        );
+        self.prods.clear();
+        self.prods.resize(a.len(), 0);
+        m.multiply_batch(&self.mags, &mut self.prods);
+        let mut acc = 0i64;
+        for (&p, (&x, &y)) in self.prods.iter().zip(a.iter().zip(b)) {
+            let mag = p.min(i64::MAX as u64) as i64;
+            acc += if (x < 0) ^ (y < 0) { -mag } else { mag };
+        }
+        acc
+    }
+}
+
+/// One-shot convenience over [`FixedBatch::multiply`] for callers
+/// without a scratch buffer to reuse.
+///
+/// # Panics
+///
+/// Panics unless `out.len() == pairs.len()`.
+pub fn fixed_mul_batch(m: &dyn Multiplier, pairs: &[(i64, i64)], shift: u32, out: &mut [i64]) {
+    FixedBatch::new().multiply(m, pairs, shift, out);
+}
+
 /// Wraps any unsigned [`Multiplier`] into a signed multiplier.
 ///
 /// Operands are `width`-bit two's-complement integers; their magnitudes
@@ -114,5 +265,84 @@ mod tests {
     fn into_inner_returns_core() {
         let m = SignMagnitude::new(Accurate::new(16));
         assert_eq!(m.into_inner(), Accurate::new(16));
+    }
+
+    #[test]
+    fn batch_multiply_matches_scalar_lane_for_lane() {
+        let core = Realm::new(RealmConfig::n16(16, 0)).unwrap();
+        let pairs: Vec<(i64, i64)> = vec![
+            (300, 200),
+            (-300, 200),
+            (300, -200),
+            (-300, -200),
+            (0, -7),
+            (32_767, 32_767),
+            (-32_768, 1),
+            (-32_768, -32_768),
+        ];
+        for shift in [0u32, 4, 8] {
+            let mut out = vec![0i64; pairs.len()];
+            let mut batch = FixedBatch::new();
+            batch.multiply(&core, &pairs, shift, &mut out);
+            for (i, &(a, b)) in pairs.iter().enumerate() {
+                assert_eq!(
+                    out[i],
+                    fixed_mul_signed(&core, a, b, shift),
+                    "lane {i}: {a} × {b} >> {shift}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_matches_scalar_accumulation() {
+        let core = Accurate::new(16);
+        let a = [300i64, -120, 0, 45, -7];
+        let b = [-21i64, 13, 999, -45, -7];
+        let scalar: i64 = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| fixed_mul_signed(&core, x, y, 0))
+            .sum();
+        let mut batch = FixedBatch::new();
+        assert_eq!(batch.dot(&core, &a, &b), scalar);
+        let a32: Vec<i32> = a.iter().map(|&v| v as i32).collect();
+        let b32: Vec<i32> = b.iter().map(|&v| v as i32).collect();
+        assert_eq!(batch.dot_i32(&core, &a32, &b32), scalar);
+    }
+
+    #[test]
+    fn fixed_mul_signed_is_total_at_extremes() {
+        let m = Accurate::new(64);
+        assert_eq!(fixed_mul_signed(&m, i64::MIN, i64::MIN, 0), i64::MAX);
+        assert_eq!(fixed_mul_signed(&m, i64::MIN, 1, 0), -i64::MAX);
+        let mut out = [0i64; 2];
+        fixed_mul_batch(&m, &[(i64::MIN, i64::MIN), (i64::MIN, 1)], 0, &mut out);
+        assert_eq!(out, [i64::MAX, -i64::MAX]);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_shapes() {
+        let core = Accurate::new(16);
+        let mut batch = FixedBatch::new();
+        let mut out3 = [0i64; 3];
+        batch.multiply(&core, &[(1, 2), (3, 4), (-5, 6)], 0, &mut out3);
+        assert_eq!(out3, [2, 12, -30]);
+        let mut out1 = [0i64; 1];
+        batch.multiply(&core, &[(7, -8)], 0, &mut out1);
+        assert_eq!(out1, [-56]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one output slot per operand pair")]
+    fn batch_multiply_rejects_length_mismatch() {
+        let mut out = [0i64; 1];
+        FixedBatch::new().multiply(&Accurate::new(16), &[(1, 2), (3, 4)], 0, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length slices")]
+    fn dot_rejects_length_mismatch() {
+        let _ = FixedBatch::new().dot(&Accurate::new(16), &[1, 2], &[3]);
     }
 }

@@ -9,7 +9,8 @@
 use realm_core::Multiplier;
 use realm_jpeg::Image;
 
-use crate::fixed_mul;
+use crate::gemm::{matmul, Matrix};
+use crate::im2col::im2col;
 
 /// Fractional bits of the quantized kernel weights (Q12).
 pub const KERNEL_BITS: u32 = 12;
@@ -80,21 +81,22 @@ impl Kernel {
     /// Convolves an image (edge-replicated borders), clamping outputs to
     /// 8 bits; `offset` is added before clamping (128 centres signed
     /// responses like Sobel's).
+    ///
+    /// Lowered to `im2col` + one GEMM so every tap product runs through
+    /// the batched multiply kernels; bit-identical to the historical
+    /// direct nested loop (same tap order, same exact accumulation, same
+    /// round-to-nearest descale).
     pub fn apply(&self, m: &dyn Multiplier, image: &Image, offset: i32) -> Image {
-        let half = (self.size / 2) as isize;
+        // im2col row order is (kernel, image) swapped relative to the old
+        // loop's fixed_mul(w, sample) — sign-magnitude multiplication is
+        // commutative, so the products are identical.
+        let windows = im2col(1, image.width(), image.height(), self.size, |_, x, y| {
+            image.get(x, y) as i32
+        });
+        let weights = Matrix::from_data(self.size * self.size, 1, self.weights.clone());
+        let response = matmul(m, &windows, &weights, KERNEL_BITS);
         Image::from_fn(image.width(), image.height(), |x, y| {
-            let mut acc = 0i64;
-            for ky in 0..self.size {
-                for kx in 0..self.size {
-                    let sx = (x as isize + kx as isize - half).clamp(0, image.width() as isize - 1)
-                        as usize;
-                    let sy = (y as isize + ky as isize - half).clamp(0, image.height() as isize - 1)
-                        as usize;
-                    let w = self.weights[ky * self.size + kx] as i64;
-                    acc += fixed_mul(m, w, image.get(sx, sy) as i64, 0);
-                }
-            }
-            let v = ((acc + (1 << (KERNEL_BITS - 1))) >> KERNEL_BITS) as i32 + offset;
+            let v = response.get(y * image.width() + x, 0) + offset;
             v.clamp(0, 255) as u8
         })
     }

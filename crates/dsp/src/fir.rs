@@ -6,9 +6,7 @@
 //! form and the accumulated output is descaled once — the same datapath
 //! convention as the JPEG DCT.
 
-use realm_core::Multiplier;
-
-use crate::fixed_mul;
+use realm_core::{FixedBatch, Multiplier};
 
 /// Fractional bits of the quantized coefficients (Q15).
 pub const COEFF_BITS: u32 = 15;
@@ -83,19 +81,24 @@ impl FirFilter {
     ///
     /// Panics in debug builds if a sample exceeds the signed 16-bit range.
     pub fn apply(&self, m: &dyn Multiplier, signal: &[i32]) -> Vec<i32> {
+        // Each output is one batched dot product of the overlapping tap
+        // and signal windows (zero-padded taps fall out of the slices),
+        // bit-identical to the historical per-tap fixed_mul loop.
+        let half = self.taps.len() / 2;
+        let mut batch = FixedBatch::new();
         signal
             .iter()
             .enumerate()
             .map(|(n, _)| {
-                let mut acc = 0i64;
-                for (k, &tap) in self.taps.iter().enumerate() {
-                    let Some(idx) = (n + k).checked_sub(self.taps.len() / 2) else {
-                        continue;
-                    };
-                    let Some(&x) = signal.get(idx) else { continue };
-                    debug_assert!(x.unsigned_abs() < (1 << 15), "sample {x} exceeds 16 bits");
-                    acc += fixed_mul(m, tap as i64, x as i64, 0);
-                }
+                let lo_k = half.saturating_sub(n);
+                let start = n + lo_k - half;
+                let count = (self.taps.len() - lo_k).min(signal.len() - start);
+                let window = &signal[start..start + count];
+                debug_assert!(
+                    window.iter().all(|x| x.unsigned_abs() < (1 << 15)),
+                    "sample exceeds 16 bits"
+                );
+                let acc = batch.dot_i32(m, &self.taps[lo_k..lo_k + count], window);
                 ((acc + (1 << (COEFF_BITS - 1))) >> COEFF_BITS) as i32
             })
             .collect()

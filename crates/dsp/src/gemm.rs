@@ -1,7 +1,14 @@
 //! Fixed-point matrix multiplication (GEMM) through an approximate
 //! multiplier — the kernel underneath every dense neural-network layer.
+//!
+//! Inner loops run on the batched sign-magnitude primitive
+//! ([`realm_core::FixedBatch`]): one `multiply_batch` call per dot
+//! product instead of one virtual `multiply` call per scalar product, so
+//! the tiered realm-simd kernels vectorize the lane work. Results are
+//! bit-identical to the scalar path (pinned by
+//! [`matmul_scalar_reference`] and the goldens suite).
 
-use realm_core::Multiplier;
+use realm_core::{FixedBatch, Multiplier};
 
 use crate::fixed_mul;
 
@@ -70,17 +77,58 @@ impl Matrix {
             .sum::<f64>()
             .sqrt()
     }
+
+    /// One row as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn row(&self, r: usize) -> &[i32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The transpose (row-major copy) — lays columns out contiguously so
+    /// GEMM dot products run over slices.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
 }
 
 /// `C = (A × B) >> shift`, every scalar product through `m` (sign-
 /// magnitude), accumulation exact, one descale per output element with
 /// round-to-nearest.
 ///
+/// Each output element is one batched dot product over the tiered
+/// `multiply_batch` kernels — bit-identical to
+/// [`matmul_scalar_reference`], which keeps the historical one-virtual-
+/// call-per-product loop alive as the differential baseline.
+///
 /// # Panics
 ///
 /// Panics if the inner dimensions disagree, or in debug builds if an
 /// entry's magnitude exceeds the multiplier's operand width.
 pub fn matmul(m: &dyn Multiplier, a: &Matrix, b: &Matrix, shift: u32) -> Matrix {
+    assert_eq!(a.cols, b.rows, "inner dimensions disagree");
+    let half = if shift == 0 { 0 } else { 1i64 << (shift - 1) };
+    let bt = b.transpose();
+    let mut batch = FixedBatch::new();
+    Matrix::from_fn(a.rows, b.cols, |r, c| {
+        let acc = batch.dot_i32(m, a.row(r), bt.row(c));
+        ((acc + half) >> shift) as i32
+    })
+}
+
+/// The pre-refactor GEMM loop: one virtual `multiply` call per scalar
+/// product. Semantically identical to [`matmul`]; kept as the
+/// differential baseline and as the "before" side of the batched-path
+/// throughput comparison in the `dnn` bench.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree, or in debug builds if an
+/// entry's magnitude exceeds the multiplier's operand width.
+pub fn matmul_scalar_reference(m: &dyn Multiplier, a: &Matrix, b: &Matrix, shift: u32) -> Matrix {
     assert_eq!(a.cols, b.rows, "inner dimensions disagree");
     let half = if shift == 0 { 0 } else { 1i64 << (shift - 1) };
     Matrix::from_fn(a.rows, b.cols, |r, c| {
@@ -183,5 +231,31 @@ mod tests {
     fn norm_error_of_equal_matrices_is_zero() {
         let a = random_matrix(4, 4, 9, 100);
         assert_eq!(relative_norm_error(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn batched_matmul_is_bit_identical_to_scalar_reference() {
+        let a = random_matrix(9, 13, 21, 12_000);
+        let b = random_matrix(13, 7, 23, 12_000);
+        for m in [
+            &Accurate::new(16) as &dyn Multiplier,
+            &Realm::new(RealmConfig::n16(16, 0)).expect("paper design point"),
+            &Calm::new(16),
+        ] {
+            for shift in [0u32, 4, 8] {
+                assert_eq!(
+                    matmul(m, &a, &b, shift),
+                    matmul_scalar_reference(m, &a, &b, shift),
+                    "batched GEMM diverged from the scalar loop at shift {shift}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrips() {
+        let a = random_matrix(3, 5, 31, 1_000);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(4, 2), a.get(2, 4));
     }
 }

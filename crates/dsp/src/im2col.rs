@@ -1,0 +1,100 @@
+//! `im2col` lowering: unrolls the sliding convolution windows of a
+//! (multi-channel) feature map into the rows of a matrix, so 2-D
+//! convolution becomes one GEMM over the batched multiply kernels.
+//!
+//! Borders are edge-replicated (coordinates clamp to the map), matching
+//! the historical [`crate::conv2d::Kernel::apply`] loop exactly; with
+//! the weights laid out as a `(channels · k · k) × out_channels` matrix,
+//! `matmul(m, im2col(..), weights, shift)` reproduces the direct
+//! convolution bit for bit.
+
+use crate::gemm::Matrix;
+
+/// Unrolls clamped `ksize × ksize` windows around every `(x, y)` into a
+/// `(width · height) × (channels · ksize²)` matrix.
+///
+/// Row `y · width + x` holds the window centred on `(x, y)`; its columns
+/// iterate channel-major, then window row (`ky`), then window column
+/// (`kx`) — the same tap order as the direct nested loop, so exact
+/// accumulation is order-identical too.
+///
+/// `sample(c, x, y)` reads the source map; it is only called with
+/// in-bounds clamped coordinates.
+///
+/// # Panics
+///
+/// Panics unless `ksize` is odd and all dimensions are nonzero.
+pub fn im2col(
+    channels: usize,
+    width: usize,
+    height: usize,
+    ksize: usize,
+    sample: impl Fn(usize, usize, usize) -> i32,
+) -> Matrix {
+    assert!(ksize % 2 == 1, "kernel size must be odd");
+    assert!(
+        channels > 0 && width > 0 && height > 0,
+        "feature map dimensions must be positive"
+    );
+    let half = (ksize / 2) as isize;
+    let cols = channels * ksize * ksize;
+    let mut data = Vec::with_capacity(width * height * cols);
+    for y in 0..height {
+        for x in 0..width {
+            for c in 0..channels {
+                for ky in 0..ksize {
+                    let sy =
+                        (y as isize + ky as isize - half).clamp(0, height as isize - 1) as usize;
+                    for kx in 0..ksize {
+                        let sx =
+                            (x as isize + kx as isize - half).clamp(0, width as isize - 1) as usize;
+                        data.push(sample(c, sx, sy));
+                    }
+                }
+            }
+        }
+    }
+    Matrix::from_data(width * height, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_pixel_map_replicates_everywhere() {
+        let m = im2col(1, 1, 1, 3, |_, _, _| 7);
+        assert_eq!(m.rows(), 1);
+        assert_eq!(m.cols(), 9);
+        for c in 0..9 {
+            assert_eq!(m.get(0, c), 7);
+        }
+    }
+
+    #[test]
+    fn interior_window_reads_the_neighbourhood() {
+        // 3×3 map with values 10·y + x; the centre row sees all nine.
+        let m = im2col(1, 3, 3, 3, |_, x, y| (10 * y + x) as i32);
+        let centre = m.row(4); // row y·w + x = 1·3 + 1
+        assert_eq!(centre, &[0, 1, 2, 10, 11, 12, 20, 21, 22]);
+    }
+
+    #[test]
+    fn corner_window_clamps_to_the_edge() {
+        let m = im2col(1, 3, 3, 3, |_, x, y| (10 * y + x) as i32);
+        // Top-left corner: out-of-range taps replicate row/column 0.
+        assert_eq!(m.row(0), &[0, 0, 1, 0, 0, 1, 10, 10, 11]);
+    }
+
+    #[test]
+    fn channels_are_major_within_a_row() {
+        let m = im2col(2, 1, 1, 1, |c, _, _| c as i32 + 5);
+        assert_eq!(m.row(0), &[5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn even_kernel_rejected() {
+        let _ = im2col(1, 2, 2, 2, |_, _, _| 0);
+    }
+}

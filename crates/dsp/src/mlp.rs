@@ -9,9 +9,7 @@
 //! classification-accuracy cost of each approximate design is measured
 //! end to end.
 
-use realm_core::Multiplier;
-
-use crate::fixed_mul;
+use realm_core::{FixedBatch, Multiplier};
 
 /// Fractional bits of quantized weights and activations (Q8).
 pub const WEIGHT_BITS: u32 = 8;
@@ -128,21 +126,45 @@ impl Mlp {
 
     /// Fixed-point forward pass through `m`: inputs in `[−1, 1]` are
     /// quantized to Q8; returns the pre-sigmoid logit in Q8.
+    ///
+    /// Both layers run as batched sign-magnitude multiplies (one
+    /// `multiply_batch` call per layer), bit-identical to the historical
+    /// per-product loop.
     pub fn logit_fixed(&self, m: &dyn Multiplier, x: [f64; 2]) -> i64 {
         let xq = [
             (x[0].clamp(-1.0, 1.0) * (1 << WEIGHT_BITS) as f64).round() as i64,
             (x[1].clamp(-1.0, 1.0) * (1 << WEIGHT_BITS) as f64).round() as i64,
         ];
-        let mut z = self.b2 as i64;
-        for j in 0..self.hidden {
-            // Hidden pre-activation in Q16, descaled to Q8, ReLU.
-            let pre = fixed_mul(m, self.w1[2 * j] as i64, xq[0], 0)
-                + fixed_mul(m, self.w1[2 * j + 1] as i64, xq[1], 0)
-                + ((self.b1[j] as i64) << WEIGHT_BITS);
-            let h = (pre >> WEIGHT_BITS).clamp(0, 1 << 14); // clamp to 16-bit operand range
-            z += fixed_mul(m, self.w2[j] as i64, h, 0) >> WEIGHT_BITS;
-        }
-        z
+        let mut batch = FixedBatch::new();
+
+        // Hidden layer: both input products of every unit in one batch.
+        let pairs1: Vec<(i64, i64)> = (0..self.hidden)
+            .flat_map(|j| {
+                [
+                    (self.w1[2 * j] as i64, xq[0]),
+                    (self.w1[2 * j + 1] as i64, xq[1]),
+                ]
+            })
+            .collect();
+        let mut prods1 = vec![0i64; pairs1.len()];
+        batch.multiply(m, &pairs1, 0, &mut prods1);
+        let h: Vec<i64> = (0..self.hidden)
+            .map(|j| {
+                // Hidden pre-activation in Q16, descaled to Q8, ReLU.
+                let pre = prods1[2 * j] + prods1[2 * j + 1] + ((self.b1[j] as i64) << WEIGHT_BITS);
+                (pre >> WEIGHT_BITS).clamp(0, 1 << 14) // clamp to 16-bit operand range
+            })
+            .collect();
+
+        // Output layer: one batch, per-product arithmetic descale as the
+        // historical loop did (`fixed_mul(..) >> WEIGHT_BITS` floors the
+        // signed product toward -infinity).
+        let pairs2: Vec<(i64, i64)> = (0..self.hidden)
+            .map(|j| (self.w2[j] as i64, h[j]))
+            .collect();
+        let mut prods2 = vec![0i64; pairs2.len()];
+        batch.multiply(m, &pairs2, 0, &mut prods2);
+        self.b2 as i64 + prods2.iter().map(|&p| p >> WEIGHT_BITS).sum::<i64>()
     }
 
     /// Classifies one point (logit ≥ 0 → inside).

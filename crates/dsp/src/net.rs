@@ -1,0 +1,716 @@
+//! A small int8 quantized inference network with **per-layer multiplier
+//! binding** — the substrate behind the `dnn` campaign driver.
+//!
+//! A [`QuantNet`] is a pipeline of [`Layer`]s (int8 conv, ReLU, average
+//! pool, int8 dense) with a per-layer rescale shift. Every
+//! multiply-accumulate layer binds its *own* [`Multiplier`], so a sweep
+//! can pair an aggressive design for the error-tolerant convolution
+//! front end with a conservative one for the decision-making classifier
+//! head — the per-layer co-selection the DNN approximate-multiplier
+//! literature optimizes for.
+//!
+//! Convolutions lower through [`crate::im2col`] to the batched GEMM, so
+//! all MAC traffic runs on the tiered `multiply_batch` kernels.
+//!
+//! Quantization scheme (fixed, documented in DESIGN.md §17):
+//!
+//! * activations are int8: inputs are centred (`pixel − 128`), hidden
+//!   activations clamp to `[0, 127]` after ReLU;
+//! * weights are int8 (`[-127, 127]`, symmetric, no `-128`);
+//! * each MAC layer accumulates exactly in `i64` and re-quantizes once
+//!   with an arithmetic right shift (its *scale shift*), then adds its
+//!   int bias in the output scale;
+//! * operand magnitudes never exceed 128, so any zoo design of width
+//!   ≥ 8 bits can bind to any layer.
+
+use realm_core::Multiplier;
+
+use crate::gemm::{matmul, Matrix};
+use crate::im2col::im2col;
+
+/// Maximum magnitude of a quantized weight (symmetric int8).
+pub const WEIGHT_MAX: i32 = 127;
+
+/// An intermediate feature map in CHW layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tensor {
+    channels: usize,
+    width: usize,
+    height: usize,
+    data: Vec<i32>,
+}
+
+impl Tensor {
+    /// Wraps CHW data.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `data.len() == channels · width · height` (all
+    /// nonzero).
+    pub fn from_data(channels: usize, width: usize, height: usize, data: Vec<i32>) -> Self {
+        assert!(
+            channels > 0 && width > 0 && height > 0,
+            "tensor dimensions must be positive"
+        );
+        assert_eq!(data.len(), channels * width * height, "data size mismatch");
+        Tensor {
+            channels,
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Map width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Map height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Element access (channel, x, y).
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn get(&self, c: usize, x: usize, y: usize) -> i32 {
+        assert!(
+            c < self.channels && x < self.width && y < self.height,
+            "({c}, {x}, {y}) out of bounds"
+        );
+        self.data[(c * self.height + y) * self.width + x]
+    }
+
+    /// The flattened CHW data.
+    pub fn data(&self) -> &[i32] {
+        &self.data
+    }
+}
+
+/// One pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// int8 2-D convolution (edge-replicated borders) with a per-layer
+    /// scale shift and per-output-channel bias in the output scale.
+    Conv {
+        /// Input channel count.
+        in_ch: usize,
+        /// Output channel count.
+        out_ch: usize,
+        /// Odd kernel side length.
+        ksize: usize,
+        /// Weights, `[out_ch][in_ch · ksize²]`, channel-major then
+        /// row-major within the window (the im2col column order).
+        weights: Vec<i32>,
+        /// Per-output-channel bias, added after the scale shift.
+        bias: Vec<i32>,
+        /// Re-quantization right shift applied to each accumulator.
+        shift: u32,
+    },
+    /// ReLU clamping activations into the int8 range `[0, 127]`.
+    Relu,
+    /// Non-overlapping `k × k` average pooling (flooring integer mean).
+    AvgPool {
+        /// Pool side length (must divide the map dimensions).
+        k: usize,
+    },
+    /// int8 fully-connected layer over the flattened CHW input.
+    Dense {
+        /// Flattened input length.
+        inputs: usize,
+        /// Output (logit) count.
+        outputs: usize,
+        /// Weights, `[outputs][inputs]`.
+        weights: Vec<i32>,
+        /// Per-output bias, added after the scale shift.
+        bias: Vec<i32>,
+        /// Re-quantization right shift applied to each accumulator.
+        shift: u32,
+    },
+}
+
+/// A named pipeline stage; MAC stages (`Conv`, `Dense`) bind one
+/// multiplier each at inference time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layer {
+    /// The layer's binding name (e.g. `conv1`, `dense1`).
+    pub name: String,
+    /// The operation.
+    pub op: Op,
+}
+
+impl Layer {
+    /// Whether this layer consumes a multiplier binding.
+    pub fn is_mac(&self) -> bool {
+        matches!(self.op, Op::Conv { .. } | Op::Dense { .. })
+    }
+
+    /// Multiply-accumulate operations per inference (0 for non-MAC
+    /// layers), given the input map this layer sees.
+    fn macs(&self, in_w: usize, in_h: usize) -> u64 {
+        match &self.op {
+            Op::Conv {
+                in_ch,
+                out_ch,
+                ksize,
+                ..
+            } => (in_w * in_h * out_ch * in_ch * ksize * ksize) as u64,
+            Op::Dense {
+                inputs, outputs, ..
+            } => (inputs * outputs) as u64,
+            _ => 0,
+        }
+    }
+}
+
+/// A quantized inference pipeline with per-layer multiplier binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantNet {
+    input_width: usize,
+    input_height: usize,
+    layers: Vec<Layer>,
+}
+
+impl QuantNet {
+    /// Assembles a pipeline over `input_width × input_height` grayscale
+    /// images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty, a layer name repeats, or a MAC
+    /// layer's weight/bias lengths disagree with its shape.
+    pub fn new(input_width: usize, input_height: usize, layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "a net needs at least one layer");
+        for (i, layer) in layers.iter().enumerate() {
+            assert!(
+                !layers[..i].iter().any(|l| l.name == layer.name),
+                "duplicate layer name '{}'",
+                layer.name
+            );
+            match &layer.op {
+                Op::Conv {
+                    in_ch,
+                    out_ch,
+                    ksize,
+                    weights,
+                    bias,
+                    ..
+                } => {
+                    assert!(ksize % 2 == 1, "kernel size must be odd");
+                    assert_eq!(
+                        weights.len(),
+                        out_ch * in_ch * ksize * ksize,
+                        "conv '{}' weight count",
+                        layer.name
+                    );
+                    assert_eq!(bias.len(), *out_ch, "conv '{}' bias count", layer.name);
+                }
+                Op::Dense {
+                    inputs,
+                    outputs,
+                    weights,
+                    bias,
+                    ..
+                } => {
+                    assert_eq!(
+                        weights.len(),
+                        inputs * outputs,
+                        "dense '{}' weight count",
+                        layer.name
+                    );
+                    assert_eq!(bias.len(), *outputs, "dense '{}' bias count", layer.name);
+                }
+                Op::Relu | Op::AvgPool { .. } => {}
+            }
+        }
+        QuantNet {
+            input_width,
+            input_height,
+            layers,
+        }
+    }
+
+    /// The layers in pipeline order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Names of the MAC layers in binding order — the layers a per-layer
+    /// design spec addresses and `forward` consumes bindings for.
+    pub fn mac_layers(&self) -> Vec<&str> {
+        self.layers
+            .iter()
+            .filter(|l| l.is_mac())
+            .map(|l| l.name.as_str())
+            .collect()
+    }
+
+    /// Multiply-accumulate count per inference for each MAC layer, in
+    /// binding order — the per-layer weights of a config's cost.
+    pub fn mac_counts(&self) -> Vec<(String, u64)> {
+        let mut counts = Vec::new();
+        let (mut w, mut h) = (self.input_width, self.input_height);
+        for layer in &self.layers {
+            if layer.is_mac() {
+                counts.push((layer.name.clone(), layer.macs(w, h)));
+            }
+            if let Op::AvgPool { k } = layer.op {
+                w /= k;
+                h /= k;
+            }
+        }
+        counts
+    }
+
+    /// FNV-64 fingerprint of the topology and every quantized weight —
+    /// part of the sweep Workload's campaign identity.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |v: i64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.input_width as i64);
+        eat(self.input_height as i64);
+        for layer in &self.layers {
+            for b in layer.name.bytes() {
+                eat(b as i64);
+            }
+            match &layer.op {
+                Op::Conv {
+                    in_ch,
+                    out_ch,
+                    ksize,
+                    weights,
+                    bias,
+                    shift,
+                } => {
+                    eat(1);
+                    eat(*in_ch as i64);
+                    eat(*out_ch as i64);
+                    eat(*ksize as i64);
+                    eat(*shift as i64);
+                    weights.iter().chain(bias).for_each(|&v| eat(v as i64));
+                }
+                Op::Relu => eat(2),
+                Op::AvgPool { k } => {
+                    eat(3);
+                    eat(*k as i64);
+                }
+                Op::Dense {
+                    inputs,
+                    outputs,
+                    weights,
+                    bias,
+                    shift,
+                } => {
+                    eat(4);
+                    eat(*inputs as i64);
+                    eat(*outputs as i64);
+                    eat(*shift as i64);
+                    weights.iter().chain(bias).for_each(|&v| eat(v as i64));
+                }
+            }
+        }
+        h
+    }
+
+    /// Runs inference: centres the image to int8, pushes it through the
+    /// pipeline with one multiplier per MAC layer (in [`Self::mac_layers`]
+    /// order), returns the final flattened activations (logits for a
+    /// classifier head).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the image matches the input dimensions and
+    /// `bindings.len()` equals the MAC layer count.
+    pub fn forward(&self, bindings: &[&dyn Multiplier], image: &[u8]) -> Vec<i64> {
+        assert_eq!(
+            image.len(),
+            self.input_width * self.input_height,
+            "image size mismatch"
+        );
+        assert_eq!(
+            bindings.len(),
+            self.layers.iter().filter(|l| l.is_mac()).count(),
+            "one multiplier binding per MAC layer"
+        );
+        let mut t = Tensor::from_data(
+            1,
+            self.input_width,
+            self.input_height,
+            image.iter().map(|&p| p as i32 - 128).collect(),
+        );
+        let mut next_binding = 0usize;
+        for layer in &self.layers {
+            let m = if layer.is_mac() {
+                let m = bindings[next_binding];
+                next_binding += 1;
+                Some(m)
+            } else {
+                None
+            };
+            t = apply_layer(layer, m, &t);
+        }
+        t.data.iter().map(|&v| v as i64).collect()
+    }
+
+    /// Argmax classification (first maximum wins ties).
+    pub fn classify(&self, bindings: &[&dyn Multiplier], image: &[u8]) -> usize {
+        let logits = self.forward(bindings, image);
+        let mut best = 0usize;
+        for (i, &z) in logits.iter().enumerate() {
+            if z > logits[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Classification accuracy over a labelled set.
+    pub fn accuracy(&self, bindings: &[&dyn Multiplier], data: &[(Vec<u8>, usize)]) -> f64 {
+        let correct = data
+            .iter()
+            .filter(|(img, label)| self.classify(bindings, img) == *label)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+fn apply_layer(layer: &Layer, m: Option<&dyn Multiplier>, t: &Tensor) -> Tensor {
+    match &layer.op {
+        Op::Conv {
+            in_ch,
+            out_ch,
+            ksize,
+            weights,
+            bias,
+            shift,
+        } => {
+            assert_eq!(t.channels, *in_ch, "conv '{}' channel mismatch", layer.name);
+            let m = m.unwrap_or_else(|| unreachable!("MAC layer without binding"));
+            let windows = im2col(t.channels, t.width, t.height, *ksize, |c, x, y| {
+                t.get(c, x, y)
+            });
+            let taps = in_ch * ksize * ksize;
+            let wmat = Matrix::from_fn(taps, *out_ch, |r, c| weights[c * taps + r]);
+            let response = matmul(m, &windows, &wmat, *shift);
+            let mut data = Vec::with_capacity(out_ch * t.width * t.height);
+            for (c, b) in bias.iter().enumerate() {
+                for p in 0..t.width * t.height {
+                    data.push(response.get(p, c) + b);
+                }
+            }
+            Tensor::from_data(*out_ch, t.width, t.height, data)
+        }
+        Op::Relu => Tensor {
+            channels: t.channels,
+            width: t.width,
+            height: t.height,
+            data: t.data.iter().map(|&v| v.clamp(0, 127)).collect(),
+        },
+        Op::AvgPool { k } => {
+            assert!(
+                t.width.is_multiple_of(*k) && t.height.is_multiple_of(*k),
+                "pool '{}' must divide the map",
+                layer.name
+            );
+            let (w, h) = (t.width / k, t.height / k);
+            let mut data = Vec::with_capacity(t.channels * w * h);
+            for c in 0..t.channels {
+                for y in 0..h {
+                    for x in 0..w {
+                        let mut sum = 0i64;
+                        for dy in 0..*k {
+                            for dx in 0..*k {
+                                sum += t.get(c, x * k + dx, y * k + dy) as i64;
+                            }
+                        }
+                        data.push((sum / (k * k) as i64) as i32);
+                    }
+                }
+            }
+            Tensor::from_data(t.channels, w, h, data)
+        }
+        Op::Dense {
+            inputs,
+            outputs,
+            weights,
+            bias,
+            shift,
+        } => {
+            assert_eq!(
+                t.data.len(),
+                *inputs,
+                "dense '{}' input mismatch",
+                layer.name
+            );
+            let m = m.unwrap_or_else(|| unreachable!("MAC layer without binding"));
+            let a = Matrix::from_data(1, *inputs, t.data.clone());
+            let wmat = Matrix::from_fn(*inputs, *outputs, |r, c| weights[c * inputs + r]);
+            let z = matmul(m, &a, &wmat, *shift);
+            let data: Vec<i32> = (0..*outputs).map(|o| z.get(0, o) + bias[o]).collect();
+            Tensor::from_data(*outputs, 1, 1, data)
+        }
+    }
+}
+
+/// The deterministic synthetic orientation task: `8 × 8` grayscale
+/// patches in four classes — `0` horizontal stripes, `1` vertical
+/// stripes, `2` diagonal stripes, `3` checkerboard — with randomized
+/// stripe period, phase, contrast and per-pixel noise from
+/// [`realm_core::rng::SplitMix64`].
+pub fn orientation_dataset(n: usize, seed: u64) -> Vec<(Vec<u8>, usize)> {
+    let mut rng = realm_core::rng::SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let label = rng.below(4) as usize;
+            // Half-period 2: bands two pixels wide, the finest pattern a
+            // 3×3 edge bank can see (period-1 stripes alias to zero
+            // response at the ±1 taps).
+            let period = 2usize;
+            let phase = rng.below(4) as usize;
+            // Wide contrast and noise ranges, deliberately overlapping:
+            // the low-contrast/noisy tail is where approximate conv
+            // arithmetic starts costing accuracy, so the task separates
+            // multiplier designs instead of saturating at 1.0 for all.
+            let hi = 90 + rng.below(110) as i32; // bright band
+            let lo = 30 + rng.below(110) as i32; // dark band
+            let noise_amp = 10 + rng.below(50) as i32;
+            let mut img = Vec::with_capacity(64);
+            for y in 0..8usize {
+                for x in 0..8usize {
+                    let on = match label {
+                        0 => ((y + phase) / period).is_multiple_of(2),
+                        1 => ((x + phase) / period).is_multiple_of(2),
+                        2 => ((x + y + phase) / period).is_multiple_of(2),
+                        _ => (((x + phase) / period) % 2) ^ (((y + phase) / period) % 2) == 1,
+                    };
+                    let base = if on { hi } else { lo };
+                    let noise = rng.range_inclusive(0, (2 * noise_amp) as u64) as i32 - noise_amp;
+                    img.push((base + noise).clamp(0, 255) as u8);
+                }
+            }
+            (img, label)
+        })
+        .collect()
+}
+
+/// The stock classifier for the orientation task: a fixed int8 edge-
+/// filter bank (`conv1`, 4 filters), ReLU, `2 × 2` average pooling and a
+/// trained int8 classifier head (`dense1`).
+///
+/// The head is trained deterministically at construction: softmax
+/// regression in floating point on the pooled features of an
+/// exact-multiplier forward pass over a fixed training set, then
+/// symmetric-int8 quantized with a power-of-two scale.
+pub fn tiny_net() -> QuantNet {
+    // Four orientation-selective 3×3 filters, int8 at scale 16.
+    #[rustfmt::skip]
+    let filters: [[i32; 9]; 4] = [
+        [-1, -2, -1,  0, 0, 0,  1, 2, 1],  // horizontal edges
+        [-1, 0, 1,  -2, 0, 2,  -1, 0, 1],  // vertical edges
+        [ 2, -1, -1,  -1, 2, -1,  -1, -1, 2], // main diagonal
+        [-1, -1, 2,  -1, 2, -1,  2, -1, -1], // anti-diagonal
+    ];
+    let weights: Vec<i32> = filters.iter().flatten().map(|&w| w * 16).collect();
+    let conv = Layer {
+        name: "conv1".into(),
+        op: Op::Conv {
+            in_ch: 1,
+            out_ch: 4,
+            ksize: 3,
+            weights,
+            bias: vec![0; 4],
+            shift: 7,
+        },
+    };
+    let relu = Layer {
+        name: "relu1".into(),
+        op: Op::Relu,
+    };
+    let pool = Layer {
+        name: "pool1".into(),
+        op: Op::AvgPool { k: 2 },
+    };
+
+    // Features after pooling: 4 channels × 4 × 4 = 64 ints in [0, 127].
+    let features_of = |net: &QuantNet, img: &[u8]| -> Vec<f64> {
+        let exact = realm_core::Accurate::new(16);
+        net.forward(&[&exact], img)
+            .into_iter()
+            .map(|v| v as f64 / 128.0)
+            .collect()
+    };
+    let feature_net = QuantNet::new(8, 8, vec![conv.clone(), relu.clone(), pool.clone()]);
+    let train = orientation_dataset(512, 0xD1CE);
+
+    // Softmax regression, full-batch GD, deterministic zero init.
+    let (n_feat, n_class) = (64usize, 4usize);
+    let feats: Vec<Vec<f64>> = train
+        .iter()
+        .map(|(img, _)| features_of(&feature_net, img))
+        .collect();
+    let mut w = vec![0.0f64; n_class * n_feat];
+    let mut b = vec![0.0f64; n_class];
+    let lr = 2.0 / train.len() as f64;
+    for _ in 0..300 {
+        let mut gw = vec![0.0; n_class * n_feat];
+        let mut gb = vec![0.0; n_class];
+        for ((_, label), f) in train.iter().zip(&feats) {
+            let logits: Vec<f64> = (0..n_class)
+                .map(|c| {
+                    f.iter()
+                        .enumerate()
+                        .map(|(i, &x)| w[c * n_feat + i] * x)
+                        .sum::<f64>()
+                        + b[c]
+                })
+                .collect();
+            let peak = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let exps: Vec<f64> = logits.iter().map(|&z| (z - peak).exp()).collect();
+            let total: f64 = exps.iter().sum();
+            for c in 0..n_class {
+                let p = exps[c] / total;
+                let err = p - if c == *label { 1.0 } else { 0.0 };
+                for (i, &x) in f.iter().enumerate() {
+                    gw[c * n_feat + i] += err * x;
+                }
+                gb[c] += err;
+            }
+        }
+        for (wv, g) in w.iter_mut().zip(&gw) {
+            *wv -= lr * g;
+        }
+        for (bv, g) in b.iter_mut().zip(&gb) {
+            *bv -= lr * g;
+        }
+    }
+
+    // Symmetric int8 quantization with a power-of-two scale: weights act
+    // on raw int features (the float model saw features / 128), so fold
+    // the 1/128 into the scale.
+    let w_peak = w.iter().fold(0.0f64, |acc, &v| acc.max(v.abs())).max(1e-9);
+    let mut scale_exp = 0i32;
+    while (w_peak / 128.0) * f64::powi(2.0, scale_exp + 1) <= WEIGHT_MAX as f64 && scale_exp < 20 {
+        scale_exp += 1;
+    }
+    let s = f64::powi(2.0, scale_exp);
+    let quant = |v: f64| ((v * s).round() as i32).clamp(-WEIGHT_MAX, WEIGHT_MAX);
+    let wq: Vec<i32> = w.iter().map(|&v| quant(v / 128.0)).collect();
+    let bq: Vec<i32> = b.iter().map(|&v| (v * s).round() as i32).collect();
+
+    let dense = Layer {
+        name: "dense1".into(),
+        op: Op::Dense {
+            inputs: n_feat,
+            outputs: n_class,
+            weights: wq,
+            bias: bq,
+            shift: 0,
+        },
+    };
+    QuantNet::new(8, 8, vec![conv, relu, pool, dense])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realm_core::{Accurate, Realm, RealmConfig};
+
+    #[test]
+    fn dataset_is_deterministic_and_balanced() {
+        let a = orientation_dataset(256, 9);
+        let b = orientation_dataset(256, 9);
+        assert_eq!(a, b);
+        for class in 0..4 {
+            let n = a.iter().filter(|(_, l)| *l == class).count();
+            assert!(n > 32, "class {class} starved: {n}/256");
+        }
+    }
+
+    #[test]
+    fn tiny_net_is_deterministic() {
+        let a = tiny_net();
+        let b = tiny_net();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn tiny_net_learns_the_task() {
+        let net = tiny_net();
+        let test = orientation_dataset(256, 0xE7A1);
+        let exact = Accurate::new(16);
+        let acc = net.accuracy(&[&exact, &exact], &test);
+        // The dataset deliberately includes a low-contrast/noisy tail
+        // (so approximate designs separate on it); well above chance
+        // (0.25) is the bar, not near-perfect.
+        assert!(acc > 0.8, "exact-path accuracy {acc}");
+    }
+
+    #[test]
+    fn realm_binding_tracks_exact_binding() {
+        let net = tiny_net();
+        let test = orientation_dataset(256, 77);
+        let exact = Accurate::new(16);
+        let realm = Realm::new(RealmConfig::n16(16, 0)).expect("paper point");
+        let a_exact = net.accuracy(&[&exact, &exact], &test);
+        let a_realm = net.accuracy(&[&realm, &realm], &test);
+        assert!(
+            a_realm > a_exact - 0.05,
+            "REALM accuracy {a_realm} vs exact {a_exact}"
+        );
+    }
+
+    #[test]
+    fn mac_accounting_matches_topology() {
+        let net = tiny_net();
+        assert_eq!(net.mac_layers(), vec!["conv1", "dense1"]);
+        let counts = net.mac_counts();
+        // conv1: 8·8 pixels × 4 filters × 1·3·3 taps; dense1: 64 × 4.
+        assert_eq!(counts[0], ("conv1".into(), 8 * 8 * 4 * 9));
+        assert_eq!(counts[1], ("dense1".into(), 64 * 4));
+    }
+
+    #[test]
+    fn mixed_bindings_run_per_layer() {
+        let net = tiny_net();
+        let test = orientation_dataset(64, 5);
+        let exact = Accurate::new(16);
+        let rough = Realm::new(RealmConfig::n16(4, 9)).expect("rough point");
+        // Mixed binding must be a valid run and differ from neither being
+        // an error; accuracies are data, not asserted here.
+        let _ = net.accuracy(&[&rough, &exact], &test);
+        let _ = net.accuracy(&[&exact, &rough], &test);
+    }
+
+    #[test]
+    #[should_panic(expected = "one multiplier binding per MAC layer")]
+    fn missing_binding_rejected() {
+        let net = tiny_net();
+        let img = vec![0u8; 64];
+        let exact = Accurate::new(16);
+        let _ = net.forward(&[&exact], &img);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate layer name")]
+    fn duplicate_names_rejected() {
+        let relu = Layer {
+            name: "a".into(),
+            op: Op::Relu,
+        };
+        let _ = QuantNet::new(2, 2, vec![relu.clone(), relu]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Pre-refactor DSP goldens: MLP accuracy, FIR SNR + output checksums and
+//! conv2d pixel checksums for a fixed design slate, captured **before**
+//! the batched-kernel substrate rewrite and asserted bit-identical ever
+//! after — the proof that `Mlp`/`FirFilter`/`Kernel` stay passive shims.
+//!
+//! The golden file lives in `results/goldens/dsp_goldens.csv` and was
+//! generated from the pre-refactor tree with
+//!
+//! ```text
+//! REALM_BLESS_GOLDENS=1 cargo test -p realm-dsp --test goldens
+//! ```
+//!
+//! Unlike the Table 1 goldens, this file is fully closed: the substrate
+//! rewrite may not add, drop or alter a single row. New designs get new
+//! golden files, never edits to this one.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use realm_baselines::{Calm, Drum, Ilm, ScaleTrim};
+use realm_core::{Accurate, Multiplier, Realm, RealmConfig};
+use realm_dsp::conv2d::{sobel_edges, Kernel};
+use realm_dsp::fir::{output_snr, FirFilter};
+use realm_dsp::mlp::{dataset, Mlp};
+use realm_jpeg::{psnr, Image};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/goldens")
+}
+
+fn blessing() -> bool {
+    std::env::var_os("REALM_BLESS_GOLDENS").is_some()
+}
+
+/// The design slate: one representative per dispatch path (accurate fast
+/// path, REALM SIMD kernel at two (M, t) points, cALM, DRUM, and the
+/// scalar-lane comparators from PR 9).
+fn designs() -> Vec<(&'static str, Box<dyn Multiplier>)> {
+    vec![
+        (
+            "accurate",
+            Box::new(Accurate::new(16)) as Box<dyn Multiplier>,
+        ),
+        (
+            "realm16t0",
+            Box::new(Realm::new(RealmConfig::n16(16, 0)).expect("paper point")),
+        ),
+        (
+            "realm8t4",
+            Box::new(Realm::new(RealmConfig::n16(8, 4)).expect("paper point")),
+        ),
+        ("calm", Box::new(Calm::new(16))),
+        ("drum6", Box::new(Drum::new(16, 6).expect("drum k=6"))),
+        (
+            "scaletrim6c",
+            Box::new(ScaleTrim::new(16, 6, true).expect("scaletrim t=6")),
+        ),
+        ("ilm2", Box::new(Ilm::new(16, 2).expect("ilm i=2"))),
+    ]
+}
+
+/// FNV-1a 64 over a byte stream — stable, dependency-free checksum.
+fn fnv64(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn image_checksum(img: &Image) -> u64 {
+    fnv64(img.pixels().iter().copied())
+}
+
+fn signal_checksum(signal: &[i32]) -> u64 {
+    fnv64(signal.iter().flat_map(|v| v.to_le_bytes()))
+}
+
+/// Deterministic test signal shared by the FIR rows.
+fn fir_signal() -> Vec<i32> {
+    (0..512)
+        .map(|n| {
+            let square = if n % 32 < 16 { 9_000 } else { -9_000 };
+            let ripple = ((n % 7) - 3) * 400;
+            square + ripple
+        })
+        .collect()
+}
+
+fn fresh_rows() -> String {
+    let mut out = String::from("substrate,design,metric,value\n");
+
+    // MLP: classification accuracy on a held-out set.
+    let mlp = Mlp::train(12, 400);
+    let test = dataset(512, 0xF00D);
+    for (name, m) in &designs() {
+        let acc = mlp.accuracy(m.as_ref(), &test);
+        let _ = writeln!(out, "mlp,{name},accuracy,{acc}");
+    }
+
+    // FIR: output checksum for every design, SNR vs the exact run.
+    let filter = FirFilter::low_pass(31, 0.15);
+    let signal = fir_signal();
+    let exact_fir = filter.apply(&Accurate::new(16), &signal);
+    for (name, m) in &designs() {
+        let y = filter.apply(m.as_ref(), &signal);
+        let _ = writeln!(out, "fir,{name},checksum,{:016x}", signal_checksum(&y));
+        if *name != "accurate" {
+            let _ = writeln!(out, "fir,{name},snr_db,{}", output_snr(&exact_fir, &y));
+        }
+    }
+
+    // conv2d: Gaussian blur + Sobel edge checksums on the synthetic
+    // cameraman, PSNR of the blur vs the exact-multiplier blur.
+    let img = Image::synthetic_cameraman();
+    let blur_kernel = Kernel::gaussian(5, 1.0);
+    let exact_blur = blur_kernel.apply(&Accurate::new(16), &img, 0);
+    for (name, m) in &designs() {
+        let blur = blur_kernel.apply(m.as_ref(), &img, 0);
+        let edges = sobel_edges(m.as_ref(), &img);
+        let _ = writeln!(
+            out,
+            "conv2d,{name},blur_checksum,{:016x}",
+            image_checksum(&blur)
+        );
+        let _ = writeln!(
+            out,
+            "conv2d,{name},edges_checksum,{:016x}",
+            image_checksum(&edges)
+        );
+        if *name != "accurate" {
+            let _ = writeln!(
+                out,
+                "conv2d,{name},blur_psnr_db,{}",
+                psnr(&exact_blur, &blur)
+            );
+        }
+    }
+
+    out
+}
+
+#[test]
+fn dsp_outputs_bit_identical_to_pre_refactor_goldens() {
+    let fresh = fresh_rows();
+    let path = golden_dir().join("dsp_goldens.csv");
+    if blessing() {
+        fs::create_dir_all(golden_dir()).expect("create results/goldens");
+        fs::write(&path, &fresh).expect("write golden");
+        return;
+    }
+    let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden '{}' ({e}); regenerate with REALM_BLESS_GOLDENS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        fresh, golden,
+        "DSP substrate outputs must stay bit-identical through the batched rewrite"
+    );
+}

@@ -22,6 +22,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod breakdown;
+pub mod dnn;
 pub mod engine;
 pub mod exhaustive;
 pub mod faults;
@@ -38,6 +39,7 @@ pub use breakdown::{
     characterize_by_interval, characterize_by_interval_supervised,
     characterize_by_interval_threaded, BreakdownWorkload, IntervalCell,
 };
+pub use dnn::{parse_layer_bindings, DnnConfig, DnnPoint, DnnSweep, LayerBinding};
 pub use engine::{Engine, Workload};
 pub use exhaustive::{
     characterize_range, characterize_range_supervised, characterize_range_threaded, error_profile,

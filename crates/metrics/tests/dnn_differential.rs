@@ -1,0 +1,88 @@
+//! Determinism contract of the per-layer DNN sweep: the same `DnnSweep`
+//! must produce bit-identical outputs at 1, 2 and 8 threads, and across
+//! an interrupt + journaled resume — the acceptance bar for moving the
+//! inference campaigns onto the shared `Workload` engine.
+
+use realm_metrics::dnn::{parse_layer_bindings, DnnConfig, DnnSweep};
+use realm_metrics::{Engine, Supervisor, Threads};
+
+fn sweep() -> DnnSweep {
+    let net = realm_dsp::tiny_net();
+    let macs = net.mac_layers().len();
+    let layer_names: Vec<&str> = net.mac_layers();
+    let mixed = parse_layer_bindings("conv1=realm16t4,dense1=scaletrim:t=6@16")
+        .expect("canonical mixed spec");
+    let configs = vec![
+        DnnConfig::uniform("accurate", macs).expect("accurate"),
+        DnnConfig::uniform("realm:m=16,t=0", macs).expect("realm16t0"),
+        DnnConfig::uniform("realm:m=16,t=4", macs).expect("realm16t4"),
+        DnnConfig::uniform("drum:k=4", macs).expect("drum4"),
+        DnnConfig::uniform("calm", macs).expect("calm"),
+        DnnConfig::from_bindings("accurate", &mixed, &layer_names).expect("mixed"),
+    ];
+    DnnSweep::new(net, configs, 96, 0xACC).expect("sweep")
+}
+
+/// Accuracies are bitwise equal however many workers partition the
+/// chunks: the workload is pure and finalize restores chunk order.
+#[test]
+fn sweep_is_bit_identical_across_1_2_and_8_threads() {
+    let w = sweep();
+    let one = Engine::new(Threads::Fixed(1)).run(&w).expect("points");
+    for threads in [2usize, 8] {
+        let many = Engine::new(Threads::Fixed(threads))
+            .run(&w)
+            .expect("points");
+        assert_eq!(one, many, "thread count {threads} changed the sweep");
+    }
+    assert_eq!(one.len(), w.configs().len());
+    // Sanity: the exact binding classifies the synthetic patches well and
+    // approximate bindings stay within a usable band rather than collapsing.
+    assert!(
+        one[0].accuracy > 0.85,
+        "accurate config: {}",
+        one[0].accuracy
+    );
+    for p in &one {
+        assert!(
+            p.accuracy > 0.25,
+            "config {} collapsed to chance: {}",
+            p.config_index,
+            p.accuracy
+        );
+    }
+}
+
+/// Interrupting after two chunks and resuming under a different thread
+/// count reproduces the uninterrupted sweep exactly, through the
+/// journaled checkpoint directory.
+#[test]
+fn sweep_survives_interrupt_and_resume_bit_identically() {
+    let dir = std::env::temp_dir().join(format!("realm-dnn-sweep-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let w = sweep();
+
+    let sup = Supervisor::new()
+        .with_threads(Threads::Fixed(1))
+        .checkpoint_to(&dir)
+        .with_chunk_budget(2);
+    let partial = Engine::supervised(&w, &sup).expect("interrupted run");
+    assert!(
+        !partial.report.is_complete(),
+        "budget of 2 chunks must interrupt a {}-config sweep",
+        w.configs().len()
+    );
+
+    let sup = Supervisor::new()
+        .with_threads(Threads::Fixed(2))
+        .checkpoint_to(&dir)
+        .resume(true);
+    let resumed = Engine::supervised(&w, &sup).expect("resumed run");
+    assert!(resumed.report.is_complete());
+    assert_eq!(
+        resumed.value,
+        Engine::new(Threads::Fixed(1)).run(&w),
+        "resume diverged from the uninterrupted sweep"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

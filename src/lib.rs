@@ -18,8 +18,9 @@
 //! * [`synth`] — gate-level netlists for every design with a calibrated
 //!   45 nm-style area/power model.
 //! * [`jpeg`] — the fixed-point JPEG application study.
-//! * [`dsp`] — FIR filtering, 2-D convolution and fixed-point MLP
-//!   inference through approximate multipliers.
+//! * [`dsp`] — FIR filtering, 2-D convolution, batched GEMM and int8
+//!   inference (`QuantNet`, per-layer multiplier binding) through
+//!   approximate multipliers.
 //! * [`harness`] — checkpoint journals, panic quarantine and the
 //!   campaign [`Supervisor`](harness::Supervisor).
 //! * [`serve`] — the fault-tolerant multi-tenant campaign service
